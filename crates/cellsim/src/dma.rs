@@ -1,0 +1,203 @@
+//! The Memory Flow Controller (DMA) model.
+//!
+//! Real MFC rules enforced functionally: transfers are split into
+//! elements of at most 16 KB; a strided rectangle becomes a DMA list
+//! (one element per row). Timing: each *command* pays the issue
+//! latency once; each element adds its bytes at the sustained
+//! bandwidth. List elements pipeline, so a list costs one latency +
+//! bandwidth time of the total payload — the standard first-order Cell
+//! DMA model.
+
+use pixmap::{Image, Pixel, Rect};
+
+/// Largest single DMA element.
+pub const DMA_MAX_ELEMENT: usize = 16 * 1024;
+
+/// Cumulative DMA accounting for one SPE.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DmaStats {
+    /// MFC commands issued (each pays latency).
+    pub commands: u64,
+    /// List elements across all commands.
+    pub elements: u64,
+    /// Payload bytes moved in (get).
+    pub bytes_in: u64,
+    /// Payload bytes moved out (put).
+    pub bytes_out: u64,
+    /// Modeled transfer cycles (latency + bandwidth terms).
+    pub cycles: f64,
+}
+
+/// Per-SPE DMA engine: functional copies + cycle accounting.
+#[derive(Clone, Debug)]
+pub struct DmaEngine {
+    latency_cycles: u64,
+    bytes_per_cycle: f64,
+    stats: DmaStats,
+}
+
+impl DmaEngine {
+    /// Engine with the given issue latency and sustained bandwidth.
+    pub fn new(latency_cycles: u64, bytes_per_cycle: f64) -> Self {
+        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+        DmaEngine {
+            latency_cycles,
+            bytes_per_cycle,
+            stats: DmaStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DmaStats {
+        self.stats
+    }
+
+    /// Reset statistics.
+    pub fn reset(&mut self) {
+        self.stats = DmaStats::default();
+    }
+
+    /// Modeled cycles for a command moving `bytes` in `elements`
+    /// pipelined elements.
+    fn charge(&mut self, bytes: usize, elements: u64, inbound: bool) -> f64 {
+        let cycles = self.latency_cycles as f64 + bytes as f64 / self.bytes_per_cycle;
+        self.stats.commands += 1;
+        self.stats.elements += elements;
+        if inbound {
+            self.stats.bytes_in += bytes as u64;
+        } else {
+            self.stats.bytes_out += bytes as u64;
+        }
+        self.stats.cycles += cycles;
+        cycles
+    }
+
+    /// `get`: copy the rectangle `src_rect` of `src` into a local
+    /// buffer (row-major, `rect.width()` pitch). Returns (buffer,
+    /// modeled cycles). The rectangle becomes a DMA list with one
+    /// element per row (split if a row exceeds 16 KB).
+    pub fn get_rect<P: Pixel>(&mut self, src: &Image<P>, src_rect: Rect) -> (Image<P>, f64) {
+        let local = src.crop(src_rect);
+        let row_bytes = src_rect.width() as usize * std::mem::size_of::<P>();
+        let elems_per_row = row_bytes.div_ceil(DMA_MAX_ELEMENT).max(1) as u64;
+        let elements = elems_per_row * src_rect.height() as u64;
+        let bytes = row_bytes * src_rect.height() as usize;
+        let cycles = self.charge(bytes, elements, true);
+        (local, cycles)
+    }
+
+    /// `get` of a plain byte payload (e.g. the tile's LUT slice).
+    pub fn get_bytes(&mut self, bytes: usize) -> f64 {
+        let elements = bytes.div_ceil(DMA_MAX_ELEMENT).max(1) as u64;
+        self.charge(bytes, elements, true)
+    }
+
+    /// `put`: copy a computed tile back into the output frame.
+    pub fn put_rect<P: Pixel>(
+        &mut self,
+        tile: &Image<P>,
+        dst: &mut Image<P>,
+        dst_rect: Rect,
+    ) -> f64 {
+        assert_eq!(
+            tile.dims(),
+            (dst_rect.width(), dst_rect.height()),
+            "tile/rect mismatch"
+        );
+        dst.blit(tile, dst_rect.x0, dst_rect.y0);
+        let row_bytes = dst_rect.width() as usize * std::mem::size_of::<P>();
+        let elems_per_row = row_bytes.div_ceil(DMA_MAX_ELEMENT).max(1) as u64;
+        let elements = elems_per_row * dst_rect.height() as u64;
+        let bytes = row_bytes * dst_rect.height() as usize;
+        self.charge(bytes, elements, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixmap::Gray8;
+
+    #[test]
+    fn get_rect_copies_functionally() {
+        let src = pixmap::scene::random_gray(64, 48, 1);
+        let mut dma = DmaEngine::new(100, 8.0);
+        let r = Rect::new(10, 5, 30, 25);
+        let (local, cycles) = dma.get_rect(&src, r);
+        assert_eq!(local.dims(), (20, 20));
+        assert_eq!(local.pixel(0, 0), src.pixel(10, 5));
+        assert_eq!(local.pixel(19, 19), src.pixel(29, 24));
+        // 400 bytes at 8 B/cyc + 100 latency
+        assert!((cycles - 150.0).abs() < 1e-9);
+        let s = dma.stats();
+        assert_eq!(s.commands, 1);
+        assert_eq!(s.elements, 20);
+        assert_eq!(s.bytes_in, 400);
+    }
+
+    #[test]
+    fn put_rect_writes_back() {
+        let mut dst: Image<Gray8> = Image::new(32, 32);
+        let tile = Image::filled(8, 4, Gray8(7));
+        let mut dma = DmaEngine::new(10, 8.0);
+        let cycles = dma.put_rect(&tile, &mut dst, Rect::new(4, 8, 12, 12));
+        assert_eq!(dst.pixel(4, 8), Gray8(7));
+        assert_eq!(dst.pixel(11, 11), Gray8(7));
+        assert_eq!(dst.pixel(3, 8), Gray8(0));
+        assert_eq!(dma.stats().bytes_out, 32);
+        assert!(cycles > 10.0);
+    }
+
+    #[test]
+    fn wide_rows_split_into_elements() {
+        // a row of 20_000 bytes needs 2 elements (16 KB max)
+        let src: Image<Gray8> = Image::new(20_000, 2);
+        let mut dma = DmaEngine::new(0, 8.0);
+        let (_, _) = dma.get_rect(&src, Rect::new(0, 0, 20_000, 2));
+        assert_eq!(dma.stats().elements, 4);
+        assert_eq!(dma.stats().commands, 1);
+    }
+
+    #[test]
+    fn latency_amortized_over_list() {
+        // one 100-row rectangle vs 100 single-row commands
+        let src: Image<Gray8> = Image::new(128, 100);
+        let mut list = DmaEngine::new(640, 8.0);
+        let (_, list_cycles) = list.get_rect(&src, Rect::new(0, 0, 128, 100));
+        let mut singles = DmaEngine::new(640, 8.0);
+        let mut single_cycles = 0.0;
+        for y in 0..100 {
+            let (_, c) = singles.get_rect(&src, Rect::new(0, y, 128, y + 1));
+            single_cycles += c;
+        }
+        assert!(
+            list_cycles * 10.0 < single_cycles,
+            "list {list_cycles} vs singles {single_cycles}"
+        );
+    }
+
+    #[test]
+    fn get_bytes_accounts() {
+        let mut dma = DmaEngine::new(100, 4.0);
+        let c = dma.get_bytes(40_000);
+        assert_eq!(dma.stats().elements, 3); // ceil(40000/16384)
+        assert!((c - (100.0 + 10_000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let mut dma = DmaEngine::new(1, 1.0);
+        let _ = dma.get_bytes(100);
+        dma.reset();
+        assert_eq!(dma.stats(), DmaStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "tile/rect mismatch")]
+    fn put_rect_validates_shape() {
+        let mut dst: Image<Gray8> = Image::new(16, 16);
+        let tile: Image<Gray8> = Image::new(4, 4);
+        let mut dma = DmaEngine::new(0, 1.0);
+        let _ = dma.put_rect(&tile, &mut dst, Rect::new(0, 0, 8, 8));
+    }
+}

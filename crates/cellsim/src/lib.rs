@@ -1,0 +1,106 @@
+//! # cellsim — a Cell Broadband Engine platform model
+//!
+//! The paper offloads the correction kernel to the Cell/B.E.'s SPEs:
+//! each SPE owns a 256 KB local store, pulls output tiles' source
+//! footprints in via explicit DMA, computes, and DMAs results back,
+//! overlapping transfers with compute through double buffering. No
+//! Cell hardware exists here, so this crate is a *functional + timing*
+//! model of that execution (substitution documented in DESIGN.md §6):
+//!
+//! * [`LocalStore`] — a bump allocator over exactly 256 KB; kernels
+//!   that exceed it fail, which is what makes the tile-size experiment
+//!   (F4) meaningful rather than cosmetic.
+//! * [`DmaEngine`] — transfer accounting with MFC rules (16-byte
+//!   alignment, 16 KB max per element, DMA-list strided rectangles)
+//!   and a latency + bandwidth cycle model.
+//! * [`SpeKernel`] — the tile kernel itself (integer bilinear path, as
+//!   SPE SIMD code would implement), run against local-store buffers
+//!   only.
+//! * [`CellRunner`] — schedules a [`fisheye_core::TilePlan`] over N
+//!   SPEs with single or double buffering, returning both the output
+//!   frame (bit-exact vs the host reference) and a [`CellReport`] of
+//!   modeled cycles, DMA traffic and per-SPE utilization.
+//!
+//! Timing constants default to the 3.2 GHz PS3-era part and are
+//! documented on [`CellConfig`]; absolute numbers are model outputs,
+//! but the *shapes* (SPE scaling, double-buffering gain, tile-size
+//! sweet spot) derive from the real constraint structure.
+
+mod dma;
+mod localstore;
+mod runner;
+mod spe;
+
+pub use dma::{DmaEngine, DmaStats};
+pub use localstore::{LocalStore, LsAlloc};
+pub use runner::{CellReport, CellRunner, SpeUsage};
+pub use spe::SpeKernel;
+
+/// Machine description. Defaults model the 3.2 GHz Cell in the paper's
+/// era (PS3: 6 usable SPEs, 25.6 GB/s XDR memory).
+#[derive(Clone, Copy, Debug)]
+pub struct CellConfig {
+    /// Usable synergistic processing elements.
+    pub n_spes: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Local store capacity per SPE, bytes.
+    pub local_store_bytes: usize,
+    /// Bytes the code + stack + runtime reserve out of the local store.
+    pub code_reserve_bytes: usize,
+    /// DMA startup latency, cycles (MFC command issue + first beat).
+    pub dma_latency_cycles: u64,
+    /// Sustained DMA bandwidth per SPE, bytes per cycle
+    /// (25.6 GB/s ÷ 3.2 GHz = 8 B/cycle).
+    pub dma_bytes_per_cycle: f64,
+    /// Modeled SPE compute cost of one corrected pixel (SIMD bilinear,
+    /// including LUT fetch from LS), cycles.
+    pub correct_cycles_per_pixel: f64,
+    /// Modeled SPE compute cost of one map entry (ray + projection via
+    /// SPU float pipeline), cycles.
+    pub mapgen_cycles_per_pixel: f64,
+    /// Use double buffering (overlap DMA with compute).
+    pub double_buffer: bool,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        CellConfig {
+            n_spes: 6,
+            clock_hz: 3.2e9,
+            local_store_bytes: 256 * 1024,
+            code_reserve_bytes: 48 * 1024,
+            dma_latency_cycles: 640, // ~200 ns
+            dma_bytes_per_cycle: 8.0,
+            correct_cycles_per_pixel: 6.0,
+            mapgen_cycles_per_pixel: 70.0,
+            double_buffer: true,
+        }
+    }
+}
+
+impl CellConfig {
+    /// Local store bytes available for data buffers.
+    pub fn data_budget(&self) -> usize {
+        self.local_store_bytes - self.code_reserve_bytes
+    }
+
+    /// Convert modeled cycles to seconds.
+    pub fn cycles_to_secs(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_ps3_like() {
+        let c = CellConfig::default();
+        assert_eq!(c.n_spes, 6);
+        assert_eq!(c.local_store_bytes, 256 * 1024);
+        assert!(c.data_budget() < c.local_store_bytes);
+        assert!((c.cycles_to_secs(3.2e9) - 1.0).abs() < 1e-12);
+    }
+}

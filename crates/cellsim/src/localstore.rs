@@ -1,0 +1,158 @@
+//! The SPE local store: 256 KB, explicitly managed.
+//!
+//! Modeled as a bump allocator with 16-byte (quadword) alignment —
+//! exactly how SPE programs lay out static DMA buffers. Exceeding the
+//! capacity is an *error value*, not a panic, because the tile-size
+//! sweep (F4) deliberately probes configurations that do not fit.
+
+/// Error: an allocation did not fit in the local store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LsOverflow {
+    /// Bytes requested (after alignment).
+    pub requested: usize,
+    /// Bytes that were still free.
+    pub available: usize,
+}
+
+impl std::fmt::Display for LsOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "local store overflow: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for LsOverflow {}
+
+/// A buffer handle inside the local store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LsAlloc {
+    /// Offset from the local-store base.
+    pub offset: usize,
+    /// Usable bytes.
+    pub len: usize,
+}
+
+/// A single SPE's local store.
+#[derive(Clone, Debug)]
+pub struct LocalStore {
+    capacity: usize,
+    cursor: usize,
+    high_water: usize,
+}
+
+/// MFC quadword alignment.
+pub const LS_ALIGN: usize = 16;
+
+impl LocalStore {
+    /// A local store with `capacity` usable data bytes.
+    pub fn new(capacity: usize) -> Self {
+        LocalStore {
+            capacity,
+            cursor: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Allocate `len` bytes, 16-byte aligned.
+    pub fn alloc(&mut self, len: usize) -> Result<LsAlloc, LsOverflow> {
+        let aligned = len.div_ceil(LS_ALIGN) * LS_ALIGN;
+        let available = self.capacity - self.cursor;
+        if aligned > available {
+            return Err(LsOverflow {
+                requested: aligned,
+                available,
+            });
+        }
+        let offset = self.cursor;
+        self.cursor += aligned;
+        self.high_water = self.high_water.max(self.cursor);
+        Ok(LsAlloc { offset, len })
+    }
+
+    /// Free everything (between tiles). High-water mark is kept.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.cursor
+    }
+
+    /// Bytes still available.
+    pub fn free(&self) -> usize {
+        self.capacity - self.cursor
+    }
+
+    /// Largest occupancy ever reached — the number a real port would
+    /// compare against 256 KB.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_quadword_aligned() {
+        let mut ls = LocalStore::new(1024);
+        let a = ls.alloc(5).unwrap();
+        let b = ls.alloc(17).unwrap();
+        assert_eq!(a.offset % LS_ALIGN, 0);
+        assert_eq!(b.offset % LS_ALIGN, 0);
+        assert_eq!(b.offset, 16);
+        assert_eq!(ls.used(), 16 + 32);
+    }
+
+    #[test]
+    fn overflow_is_an_error_value() {
+        let mut ls = LocalStore::new(64);
+        assert!(ls.alloc(48).is_ok());
+        let err = ls.alloc(32).unwrap_err();
+        assert_eq!(err.available, 16);
+        assert_eq!(err.requested, 32);
+        // state unchanged after failed alloc
+        assert_eq!(ls.used(), 48);
+    }
+
+    #[test]
+    fn reset_reclaims_but_high_water_persists() {
+        let mut ls = LocalStore::new(256);
+        ls.alloc(100).unwrap();
+        ls.alloc(60).unwrap();
+        let hw = ls.high_water();
+        ls.reset();
+        assert_eq!(ls.used(), 0);
+        assert_eq!(ls.free(), 256);
+        assert_eq!(ls.high_water(), hw);
+        assert!(hw >= 160);
+    }
+
+    #[test]
+    fn exact_fit_allowed() {
+        let mut ls = LocalStore::new(128);
+        assert!(ls.alloc(128).is_ok());
+        assert_eq!(ls.free(), 0);
+        assert!(ls.alloc(1).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = LsOverflow {
+            requested: 100,
+            available: 10,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("100") && s.contains("10"));
+    }
+}

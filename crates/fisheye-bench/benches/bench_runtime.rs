@@ -1,0 +1,51 @@
+//! Criterion benches for the parallel runtime (behind F2): dispatch
+//! overhead of each scheduling policy on an empty-body loop, and the
+//! broadcast (parallel-region entry) cost itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use par_runtime::{Schedule, ThreadPool};
+use std::hint::black_box;
+
+fn bench_schedules(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let mut g = c.benchmark_group("schedule_dispatch");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(20);
+    let policies = [
+        ("static", Schedule::Static { chunk: None }),
+        ("static8", Schedule::Static { chunk: Some(8) }),
+        ("dynamic1", Schedule::Dynamic { chunk: 1 }),
+        ("dynamic16", Schedule::Dynamic { chunk: 16 }),
+        ("guided4", Schedule::Guided { min_chunk: 4 }),
+    ];
+    for (name, sched) in policies {
+        g.bench_function(format!("{name}_1080rows"), |b| {
+            b.iter(|| {
+                pool.parallel_for(0..1080, sched, &|r| {
+                    black_box(r.len());
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_region");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        g.bench_function(format!("broadcast_{threads}t"), |b| {
+            b.iter(|| pool.broadcast(&|id| {
+                black_box(id);
+            }))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedules, bench_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the A1 ablation table (see DESIGN.md §3). Pass --full
+//! for paper-scale resolutions; set FISHEYE_RESULTS_DIR for CSV.
+fn main() {
+    let scale = fisheye_bench::Scale::from_args();
+    fisheye_bench::experiments::a1_ablations::run(scale).emit("a1_ablations");
+}

@@ -1,0 +1,11 @@
+//! Regenerates the entire evaluation: every table and figure in
+//! DESIGN.md §3, in report order. Pass --full for paper-scale
+//! resolutions; set FISHEYE_RESULTS_DIR to also write CSVs.
+fn main() {
+    let scale = fisheye_bench::Scale::from_args();
+    for (slug, run) in fisheye_bench::experiments::all() {
+        let t0 = std::time::Instant::now();
+        run(scale).emit(slug);
+        eprintln!("[{slug} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment f11_color (see DESIGN.md §3). Pass --full for
+//! paper-scale resolutions; set FISHEYE_RESULTS_DIR to also write CSV.
+fn main() {
+    let scale = fisheye_bench::Scale::from_args();
+    fisheye_bench::experiments::f11_color::run(scale).emit("f11_color");
+}

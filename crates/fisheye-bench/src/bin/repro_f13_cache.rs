@@ -1,0 +1,6 @@
+//! Regenerates experiment f13_cache (see DESIGN.md §3). Pass --full
+//! for paper-scale resolutions; set FISHEYE_RESULTS_DIR for CSV.
+fn main() {
+    let scale = fisheye_bench::Scale::from_args();
+    fisheye_bench::experiments::f13_cache::run(scale).emit("f13_cache");
+}

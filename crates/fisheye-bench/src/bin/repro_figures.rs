@@ -1,0 +1,62 @@
+//! Generates the qualitative figures of the evaluation: for several
+//! scenes, a side-by-side panel of (distorted capture | corrected
+//! perspective | cylindrical panorama), with the image circle and view
+//! frustum annotated on the capture.
+//!
+//! Output: `target/figures/*.pgm` (and `.bmp` for easy viewing).
+
+use fisheye_core::synth::{capture_fisheye, World};
+use fisheye_core::{correct, Interpolator, RemapMap};
+use fisheye_geom::{FisheyeLens, OutputProjection, PerspectiveView};
+use pixmap::draw;
+use pixmap::scene::scene_by_name;
+use pixmap::{Gray8, Image};
+
+fn main() {
+    let out_dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(out_dir).expect("create figure dir");
+
+    let side = 480u32;
+    let lens = FisheyeLens::equidistant_fov(side, side, 180.0);
+    let view = PerspectiveView::centered(side, side, 95.0);
+    let cyl = OutputProjection::cylinder_180(side, side / 2, 32.0);
+
+    let persp_map = RemapMap::build(&lens, &view, side, side);
+    let cyl_map = RemapMap::build_projection(&lens, &cyl, side, side);
+
+    for scene_name in ["grid", "circles", "bricks", "checker"] {
+        let scene = scene_by_name(scene_name).unwrap();
+        let captured = capture_fisheye(scene.as_ref(), World::Spherical, &lens, side, side, 2);
+
+        // annotate the capture: image circle + center cross
+        let mut annotated = captured.clone();
+        draw::circle(
+            &mut annotated,
+            lens.cx as i64,
+            lens.cy as i64,
+            lens.image_circle_radius() as i64,
+            Gray8(255),
+        );
+        draw::cross(&mut annotated, lens.cx as i64, lens.cy as i64, 8, Gray8(255));
+
+        let corrected = correct(&captured, &persp_map, Interpolator::Bilinear);
+        let panorama = correct(&captured, &cyl_map, Interpolator::Bilinear);
+
+        // pad the panorama to panel height for stacking
+        let mut pano_panel: Image<Gray8> = Image::new(side, side);
+        pano_panel.blit(&panorama, 0, side / 4);
+
+        let panel = draw::hstack(&[&annotated, &corrected, &pano_panel], 8);
+        let pgm = out_dir.join(format!("figure_{scene_name}.pgm"));
+        pixmap::codec::save_pgm(&panel, &pgm).expect("write figure");
+        let bmp = out_dir.join(format!("figure_{scene_name}.bmp"));
+        pixmap::codec::save_bmp(&pixmap::scene::colorize(&panel), &bmp).expect("write bmp");
+        println!(
+            "{scene_name:>8}: wrote {} ({}x{})",
+            pgm.display(),
+            panel.width(),
+            panel.height()
+        );
+    }
+    println!("\npanels: [annotated capture | corrected 95° view | 180° cylindrical panorama]");
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment t2_traffic (see DESIGN.md §3). Pass --full for
+//! paper-scale resolutions; set FISHEYE_RESULTS_DIR to also write CSV.
+fn main() {
+    let scale = fisheye_bench::Scale::from_args();
+    fisheye_bench::experiments::t2_traffic::run(scale).emit("t2_traffic");
+}

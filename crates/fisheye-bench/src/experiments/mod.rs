@@ -1,0 +1,50 @@
+//! One module per table/figure of the evaluation (DESIGN.md §3).
+//!
+//! Every module exposes `run(scale) -> Table`; the tests in each
+//! module run the experiment at reduced size and assert the *shape*
+//! properties the paper reports (who wins, what saturates, where the
+//! knee is), making the whole evaluation regression-checked.
+
+pub mod a1_ablations;
+pub mod f1_smp_scaling;
+pub mod f2_scheduling;
+pub mod f3_cell_scaling;
+pub mod f4_cell_tiles;
+pub mod f5_gpu_blocks;
+pub mod f6_interp;
+pub mod f7_fixedpoint;
+pub mod f8_resolution;
+pub mod f9_lut_crossover;
+pub mod f10_pipeline;
+pub mod f11_color;
+pub mod f12_projections;
+pub mod f13_cache;
+pub mod t1_platforms;
+pub mod t2_traffic;
+pub mod t3_stream_resources;
+
+use crate::table::Table;
+use crate::Scale;
+
+/// Every experiment: `(slug, runner)` in report order.
+pub fn all() -> Vec<(&'static str, fn(Scale) -> Table)> {
+    vec![
+        ("t1_platforms", t1_platforms::run as fn(Scale) -> Table),
+        ("f1_smp_scaling", f1_smp_scaling::run),
+        ("f2_scheduling", f2_scheduling::run),
+        ("f3_cell_scaling", f3_cell_scaling::run),
+        ("f4_cell_tiles", f4_cell_tiles::run),
+        ("f5_gpu_blocks", f5_gpu_blocks::run),
+        ("f6_interp", f6_interp::run),
+        ("f7_fixedpoint", f7_fixedpoint::run),
+        ("f8_resolution", f8_resolution::run),
+        ("f9_lut_crossover", f9_lut_crossover::run),
+        ("t2_traffic", t2_traffic::run),
+        ("t3_stream_resources", t3_stream_resources::run),
+        ("f10_pipeline", f10_pipeline::run),
+        ("f11_color", f11_color::run),
+        ("f12_projections", f12_projections::run),
+        ("f13_cache", f13_cache::run),
+        ("a1_ablations", a1_ablations::run),
+    ]
+}

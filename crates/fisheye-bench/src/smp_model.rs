@@ -1,0 +1,206 @@
+//! Analytical shared-memory multicore model.
+//!
+//! The paper's SMP numbers come from an 8–16-core Xeon. This host may
+//! have a single core, so alongside the *measured* thread runs the
+//! experiments use this roofline-style model to produce the scaling
+//! *shapes*:
+//!
+//! ```text
+//! T(p) = T_compute / p                     (perfectly parallel part)
+//!      + T_memory / min(p, p_sat)          (scales until BW saturates)
+//!      + n_chunks(p, sched) · t_dispatch   (scheduling overhead)
+//!      + t_barrier · log2(p)               (region join)
+//! ```
+//!
+//! Calibration: the single-thread terms are taken from *measured*
+//! per-pixel costs of the real kernels on this host (passed in by the
+//! caller), so the model's absolute scale is grounded; only the
+//! scaling structure is analytic.
+
+use par_runtime::Schedule;
+
+/// Machine + kernel parameters for the model.
+#[derive(Clone, Copy, Debug)]
+pub struct SmpConfig {
+    /// Worker threads/cores being modeled.
+    pub cores: usize,
+    /// Threads at which the memory system saturates (correction is a
+    /// streaming gather; Nehalem-era parts saturated around 3-4
+    /// readers per socket).
+    pub bw_saturation_threads: usize,
+    /// Per-chunk dispatch cost, seconds (atomic RMW + cache transfer).
+    pub dispatch_secs: f64,
+    /// Barrier/join cost factor, seconds per log2(threads).
+    pub barrier_secs: f64,
+}
+
+impl Default for SmpConfig {
+    fn default() -> Self {
+        SmpConfig {
+            cores: 8,
+            bw_saturation_threads: 4,
+            dispatch_secs: 120e-9,
+            barrier_secs: 2e-6,
+        }
+    }
+}
+
+/// A kernel characterized for the model.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelProfile {
+    /// Single-thread compute seconds (the part that scales with p).
+    pub compute_secs: f64,
+    /// Single-thread memory-stall seconds (scales only to saturation).
+    pub memory_secs: f64,
+    /// Loop iterations (rows) available for distribution.
+    pub iterations: usize,
+}
+
+impl KernelProfile {
+    /// Split a measured single-thread time into compute/memory parts
+    /// by a memory-boundedness fraction in `[0, 1]`.
+    pub fn from_measured(total_secs: f64, memory_fraction: f64, iterations: usize) -> Self {
+        assert!((0.0..=1.0).contains(&memory_fraction));
+        KernelProfile {
+            compute_secs: total_secs * (1.0 - memory_fraction),
+            memory_secs: total_secs * memory_fraction,
+            iterations,
+        }
+    }
+}
+
+/// Number of scheduling events a policy generates for `iters`
+/// iterations on `p` threads.
+pub fn chunk_count(iters: usize, p: usize, sched: Schedule) -> usize {
+    match sched {
+        Schedule::Static { chunk: None } => p,
+        Schedule::Static { chunk: Some(c) } => iters.div_ceil(c.max(1)),
+        Schedule::Dynamic { chunk } => iters.div_ceil(chunk.max(1)),
+        Schedule::Guided { min_chunk } => {
+            // simulate the decay to count exactly
+            let min_chunk = min_chunk.max(1); // guard: 0 would never terminate
+            let mut remaining = iters;
+            let mut n = 0;
+            while remaining > 0 {
+                let take = (remaining / p).max(min_chunk).min(remaining);
+                remaining -= take;
+                n += 1;
+            }
+            n
+        }
+    }
+}
+
+/// Modeled execution time of `kernel` on `p` threads under `sched`.
+pub fn modeled_time(cfg: &SmpConfig, kernel: &KernelProfile, p: usize, sched: Schedule) -> f64 {
+    assert!(p >= 1, "at least one thread");
+    let compute = kernel.compute_secs / p as f64;
+    let memory = kernel.memory_secs / p.min(cfg.bw_saturation_threads) as f64;
+    // dynamic scheduling serializes on the shared counter: dispatch
+    // cost does not parallelize. static dispatch is free after setup.
+    let chunks = chunk_count(kernel.iterations, p, sched) as f64;
+    let dispatch = match sched {
+        Schedule::Static { .. } => chunks * cfg.dispatch_secs * 0.1, // precomputed
+        _ => chunks * cfg.dispatch_secs,
+    };
+    let barrier = cfg.barrier_secs * (p as f64).log2().max(0.0);
+    compute + memory + dispatch + barrier
+}
+
+/// Modeled speedup over single-thread for the same schedule.
+pub fn modeled_speedup(cfg: &SmpConfig, kernel: &KernelProfile, p: usize, sched: Schedule) -> f64 {
+    modeled_time(cfg, kernel, 1, sched) / modeled_time(cfg, kernel, p, sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapgen_like() -> KernelProfile {
+        // compute-bound: 400 ms compute, 20 ms memory, 1080 rows
+        KernelProfile {
+            compute_secs: 0.4,
+            memory_secs: 0.02,
+            iterations: 1080,
+        }
+    }
+
+    fn correct_like() -> KernelProfile {
+        // memory-bound: 10 ms compute, 30 ms memory
+        KernelProfile {
+            compute_secs: 0.01,
+            memory_secs: 0.03,
+            iterations: 1080,
+        }
+    }
+
+    #[test]
+    fn compute_bound_scales_nearly_linearly() {
+        let cfg = SmpConfig::default();
+        let s8 = modeled_speedup(&cfg, &mapgen_like(), 8, Schedule::Static { chunk: None });
+        assert!(s8 > 6.0, "compute-bound speedup at 8 threads: {s8}");
+    }
+
+    #[test]
+    fn memory_bound_saturates() {
+        let cfg = SmpConfig::default();
+        let s4 = modeled_speedup(&cfg, &correct_like(), 4, Schedule::Static { chunk: None });
+        let s8 = modeled_speedup(&cfg, &correct_like(), 8, Schedule::Static { chunk: None });
+        assert!(s4 > 2.0);
+        assert!(
+            s8 - s4 < 1.0,
+            "beyond saturation gains must flatten: s4={s4} s8={s8}"
+        );
+        assert!(s8 < 6.0, "memory-bound can't scale linearly: {s8}");
+    }
+
+    #[test]
+    fn tiny_dynamic_chunks_pay_overhead() {
+        let cfg = SmpConfig::default();
+        let k = mapgen_like();
+        let coarse = modeled_time(&cfg, &k, 8, Schedule::Dynamic { chunk: 16 });
+        let fine = modeled_time(&cfg, &k, 8, Schedule::Dynamic { chunk: 1 });
+        assert!(fine > coarse, "chunk=1 {fine} should cost more than chunk=16 {coarse}");
+    }
+
+    #[test]
+    fn static_beats_dynamic_on_uniform_work() {
+        let cfg = SmpConfig::default();
+        let k = mapgen_like();
+        let st = modeled_time(&cfg, &k, 8, Schedule::Static { chunk: None });
+        let dy = modeled_time(&cfg, &k, 8, Schedule::Dynamic { chunk: 1 });
+        assert!(st < dy);
+    }
+
+    #[test]
+    fn guided_chunk_count_between_static_and_dynamic() {
+        let iters = 1080;
+        let st = chunk_count(iters, 8, Schedule::Static { chunk: None });
+        let gd = chunk_count(iters, 8, Schedule::Guided { min_chunk: 1 });
+        let dy = chunk_count(iters, 8, Schedule::Dynamic { chunk: 1 });
+        assert!(st < gd && gd < dy, "{st} < {gd} < {dy}");
+    }
+
+    #[test]
+    fn speedup_at_one_thread_is_one() {
+        let cfg = SmpConfig::default();
+        let s = modeled_speedup(&cfg, &mapgen_like(), 1, Schedule::Static { chunk: None });
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_measured_splits() {
+        let k = KernelProfile::from_measured(1.0, 0.75, 100);
+        assert!((k.compute_secs - 0.25).abs() < 1e-12);
+        assert!((k.memory_secs - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunk_counts_exact() {
+        assert_eq!(chunk_count(100, 4, Schedule::Static { chunk: None }), 4);
+        assert_eq!(chunk_count(100, 4, Schedule::Static { chunk: Some(8) }), 13);
+        assert_eq!(chunk_count(100, 4, Schedule::Dynamic { chunk: 7 }), 15);
+        let g = chunk_count(100, 4, Schedule::Guided { min_chunk: 4 });
+        assert!(g >= 4 && g <= 25, "guided chunks {g}");
+    }
+}

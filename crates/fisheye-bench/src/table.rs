@@ -1,0 +1,185 @@
+//! Result tables: aligned text for the terminal, CSV for files.
+
+/// A simple column-oriented result table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Table title (the experiment id + caption).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row must match `headers` in length).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (measurement regime,
+    /// machine caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (panics on arity mismatch).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let head: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        out.push_str(&head.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(head.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows; notes become `# comments`).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        for n in &self.notes {
+            out.push_str(&format!("# {n}\n"));
+        }
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout and, when `FISHEYE_RESULTS_DIR` is set, write
+    /// `<dir>/<slug>.csv` too.
+    pub fn emit(&self, slug: &str) {
+        println!("{}", self.render());
+        if let Ok(dir) = std::env::var("FISHEYE_RESULTS_DIR") {
+            let _ = std::fs::create_dir_all(&dir);
+            let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
+            if let Err(e) = std::fs::write(&path, self.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format nanoseconds-per-pixel from (duration, pixel count).
+pub fn ns_per_px(d: std::time::Duration, pixels: u64) -> String {
+    format!("{:.2}", d.as_nanos() as f64 / pixels as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T0 sample", &["a", "long_header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["10".into(), "200000".into(), "x,y".into()]);
+        t.note("measured");
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        assert!(s.contains("== T0 sample =="));
+        assert!(s.contains("long_header"));
+        assert!(s.contains("note: measured"));
+        // every data line has the same length as the header line
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("# measured\n"));
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("a,long_header,c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(
+            ns_per_px(std::time::Duration::from_micros(1), 100),
+            "10.00"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal `--key value` argument parsing (no external dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Args {
+    /// First positional token.
+    pub command: String,
+    /// `--key value` pairs (keys without the `--`).
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parse error with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse raw arguments (without argv[0]).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
+        let mut it = argv.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand".into()))?;
+        if command.starts_with("--") {
+            return Err(ArgError(format!(
+                "expected a subcommand, got option {command}"
+            )));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("expected --option, got {tok}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+            if options.insert(key.to_string(), value).is_some() {
+                return Err(ArgError(format!("--{key} given twice")));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Required string option.
+    pub fn req(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| ArgError(format!("missing required --{key}")))
+    }
+
+    /// Optional string option with default.
+    pub fn opt<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(|s| s.as_str()).unwrap_or(default)
+    }
+
+    /// Optional numeric option with default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'"))),
+        }
+    }
+
+    /// Reject unknown options (catches typos).
+    pub fn allow_only(&self, keys: &[&str]) -> Result<(), ArgError> {
+        for k in self.options.keys() {
+            if !keys.contains(&k.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown option --{k} (allowed: {})",
+                    keys.iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse("correct --in x.pgm --fov 180").unwrap();
+        assert_eq!(a.command, "correct");
+        assert_eq!(a.req("in").unwrap(), "x.pgm");
+        assert_eq!(a.num::<f64>("fov", 0.0).unwrap(), 180.0);
+        assert_eq!(a.opt("interp", "bilinear"), "bilinear");
+    }
+
+    #[test]
+    fn missing_subcommand() {
+        assert!(parse("").is_err());
+        assert!(parse("--in x").is_err());
+    }
+
+    #[test]
+    fn option_without_value() {
+        assert!(parse("correct --in").is_err());
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        assert!(parse("correct --in a --in b").is_err());
+    }
+
+    #[test]
+    fn bad_number() {
+        let a = parse("correct --fov abc").unwrap();
+        assert!(a.num::<f64>("fov", 1.0).is_err());
+    }
+
+    #[test]
+    fn allow_only_catches_typos() {
+        let a = parse("correct --fovv 180").unwrap();
+        assert!(a.allow_only(&["fov"]).is_err());
+        let a = parse("correct --fov 180").unwrap();
+        assert!(a.allow_only(&["fov", "in"]).is_ok());
+    }
+
+    #[test]
+    fn required_option_missing() {
+        let a = parse("correct").unwrap();
+        assert!(a.req("in").is_err());
+    }
+}

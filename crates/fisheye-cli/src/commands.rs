@@ -1,0 +1,333 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+
+use fisheye_core::synth::{capture_fisheye, World};
+use fisheye_core::{correct, correct_parallel, Interpolator, RemapMap};
+use fisheye_geom::calib::{select_model, Observation};
+use fisheye_geom::{FisheyeLens, OutputProjection, PerspectiveView};
+use par_runtime::{Schedule, ThreadPool};
+use pixmap::codec::{load_pgm, save_pgm};
+
+use crate::args::{ArgError, Args};
+
+/// Help text.
+pub const USAGE: &str = "\
+fisheye — fisheye lens distortion correction
+
+USAGE:
+  fisheye capture   --scene NAME --out FILE [--size WxH] [--fov DEG]
+  fisheye correct   --in FILE --out FILE [--fov DEG] [--view-fov DEG]
+                    [--pan DEG] [--tilt DEG] [--out-size WxH]
+                    [--interp nearest|bilinear|bicubic] [--threads N]
+  fisheye panorama  --in FILE --out FILE [--mode cylindrical|equirect]
+                    [--fov DEG] [--out-size WxH]
+  fisheye stitch    --front FILE --back FILE --out FILE [--fov DEG]
+                    [--out-size WxH]
+  fisheye calibrate --obs FILE          (CSV lines: theta_rad,radius_px)
+  fisheye info      --in FILE
+  fisheye help
+
+Scenes: checker circles grid bricks text gradient sinusoid.
+All images are PGM.
+";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Route a parsed command line.
+pub fn dispatch(args: &Args) -> CmdResult {
+    match args.command.as_str() {
+        "capture" => capture(args),
+        "correct" => run_correct(args),
+        "panorama" => panorama(args),
+        "stitch" => stitch(args),
+        "calibrate" => calibrate(args),
+        "info" => info(args),
+        other => Err(Box::new(ArgError(format!(
+            "unknown subcommand '{other}' (run `fisheye help`)"
+        )))),
+    }
+}
+
+/// Parse a `WxH` size string.
+pub fn parse_size(s: &str) -> Result<(u32, u32), ArgError> {
+    let (w, h) = s
+        .split_once(['x', 'X'])
+        .ok_or_else(|| ArgError(format!("size '{s}' is not WxH")))?;
+    let w: u32 = w.parse().map_err(|_| ArgError(format!("bad width '{w}'")))?;
+    let h: u32 = h.parse().map_err(|_| ArgError(format!("bad height '{h}'")))?;
+    if w == 0 || h == 0 {
+        return Err(ArgError("size must be positive".into()));
+    }
+    Ok((w, h))
+}
+
+/// Parse an interpolator name.
+pub fn parse_interp(s: &str) -> Result<Interpolator, ArgError> {
+    match s {
+        "nearest" => Ok(Interpolator::Nearest),
+        "bilinear" => Ok(Interpolator::Bilinear),
+        "bicubic" => Ok(Interpolator::Bicubic),
+        _ => Err(ArgError(format!(
+            "unknown interpolator '{s}' (nearest|bilinear|bicubic)"
+        ))),
+    }
+}
+
+fn capture(args: &Args) -> CmdResult {
+    args.allow_only(&["scene", "out", "size", "fov"])?;
+    let scene_name = args.req("scene")?;
+    let out = args.req("out")?;
+    let (w, h) = parse_size(args.opt("size", "640x480"))?;
+    let fov: f64 = args.num("fov", 180.0)?;
+    let scene = pixmap::scene::scene_by_name(scene_name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown scene '{scene_name}' (try: {})",
+            pixmap::scene::SCENE_NAMES.join(" ")
+        ))
+    })?;
+    let lens = FisheyeLens::equidistant_fov(w, h, fov);
+    let img = capture_fisheye(scene.as_ref(), World::Spherical, &lens, w, h, 2);
+    save_pgm(&img, out)?;
+    println!("captured '{scene_name}' through a {fov}° lens -> {out} ({w}x{h})");
+    Ok(())
+}
+
+fn run_correct(args: &Args) -> CmdResult {
+    args.allow_only(&[
+        "in", "out", "fov", "view-fov", "pan", "tilt", "out-size", "interp", "threads",
+    ])?;
+    let input = load_pgm(args.req("in")?)?;
+    let (sw, sh) = input.dims();
+    let fov: f64 = args.num("fov", 180.0)?;
+    let view_fov: f64 = args.num("view-fov", 90.0)?;
+    let pan: f64 = args.num("pan", 0.0)?;
+    let tilt: f64 = args.num("tilt", 0.0)?;
+    let (ow, oh) = parse_size(args.opt("out-size", &format!("{sw}x{sh}")))?;
+    let interp = parse_interp(args.opt("interp", "bilinear"))?;
+    let threads: usize = args.num("threads", 1)?;
+
+    let lens = FisheyeLens::equidistant_fov(sw, sh, fov);
+    let view = PerspectiveView::centered(ow, oh, view_fov).look(pan, tilt);
+    let t0 = std::time::Instant::now();
+    let map = RemapMap::build(&lens, &view, sw, sh);
+    let t_map = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let out_img = if threads > 1 {
+        let pool = ThreadPool::new(threads);
+        correct_parallel(&input, &map, interp, &pool, Schedule::Static { chunk: None })
+    } else {
+        correct(&input, &map, interp)
+    };
+    let t_cor = t0.elapsed();
+    let out = args.req("out")?;
+    save_pgm(&out_img, out)?;
+    println!(
+        "corrected {sw}x{sh} -> {ow}x{oh} ({}): map {:.1} ms, correct {:.1} ms -> {out}",
+        interp.name(),
+        t_map.as_secs_f64() * 1e3,
+        t_cor.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn panorama(args: &Args) -> CmdResult {
+    args.allow_only(&["in", "out", "mode", "fov", "out-size"])?;
+    let input = load_pgm(args.req("in")?)?;
+    let (sw, sh) = input.dims();
+    let fov: f64 = args.num("fov", 180.0)?;
+    let (ow, oh) = parse_size(args.opt("out-size", "800x300"))?;
+    let mode = args.opt("mode", "cylindrical");
+    let proj = match mode {
+        "cylindrical" => OutputProjection::cylinder_180(ow, oh, 40.0),
+        "equirect" => OutputProjection::equirect_hemisphere(ow, oh),
+        _ => {
+            return Err(Box::new(ArgError(format!(
+                "unknown mode '{mode}' (cylindrical|equirect)"
+            ))))
+        }
+    };
+    let lens = FisheyeLens::equidistant_fov(sw, sh, fov);
+    let map = RemapMap::build_projection(&lens, &proj, sw, sh);
+    let out_img = correct(&input, &map, Interpolator::Bilinear);
+    let out = args.req("out")?;
+    save_pgm(&out_img, out)?;
+    println!("{mode} panorama {ow}x{oh} -> {out} (coverage {:.0}%)", map.coverage() * 100.0);
+    Ok(())
+}
+
+fn stitch(args: &Args) -> CmdResult {
+    args.allow_only(&["front", "back", "out", "fov", "out-size"])?;
+    let front = load_pgm(args.req("front")?)?;
+    let back = load_pgm(args.req("back")?)?;
+    if front.dims() != back.dims() {
+        return Err(Box::new(ArgError(format!(
+            "front {:?} and back {:?} must match",
+            front.dims(),
+            back.dims()
+        ))));
+    }
+    let fov: f64 = args.num("fov", 190.0)?;
+    let (ow, oh) = parse_size(args.opt("out-size", "1024x512"))?;
+    let rig = fisheye_core::DualFisheyeRig::symmetric(front.width(), front.height(), fov);
+    let map = fisheye_core::StitchMap::build(&rig, ow, oh);
+    let pano = map.stitch(&front, &back, Interpolator::Bilinear);
+    let out = args.req("out")?;
+    save_pgm(&pano, out)?;
+    println!(
+        "stitched 360° panorama {ow}x{oh} -> {out} (overlap {:.1}%)",
+        map.overlap_fraction() * 100.0
+    );
+    Ok(())
+}
+
+fn calibrate(args: &Args) -> CmdResult {
+    args.allow_only(&["obs"])?;
+    let text = std::fs::read_to_string(args.req("obs")?)?;
+    let mut obs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (t, r) = line.split_once(',').ok_or_else(|| {
+            ArgError(format!("line {}: expected 'theta,radius'", lineno + 1))
+        })?;
+        obs.push(Observation {
+            theta: t.trim().parse()?,
+            radius_px: r.trim().parse()?,
+        });
+    }
+    if obs.len() < 2 {
+        return Err(Box::new(ArgError("need at least two observations".into())));
+    }
+    let (model, focal, rms) = select_model(&obs);
+    println!(
+        "best model: {} (focal {focal:.3} px, rms {rms:.3} px, {} observations)",
+        model.name(),
+        obs.len()
+    );
+    Ok(())
+}
+
+fn info(args: &Args) -> CmdResult {
+    args.allow_only(&["in"])?;
+    let path = args.req("in")?;
+    let img = load_pgm(path)?;
+    let (w, h) = img.dims();
+    let mut min = u8::MAX;
+    let mut max = 0u8;
+    let mut sum = 0u64;
+    for p in img.pixels() {
+        min = min.min(p.0);
+        max = max.max(p.0);
+        sum += p.0 as u64;
+    }
+    println!(
+        "{path}: {w}x{h}, {} px, luma min {min} max {max} mean {:.1}",
+        img.len(),
+        sum as f64 / img.len() as f64
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_parser() {
+        assert_eq!(parse_size("640x480").unwrap(), (640, 480));
+        assert_eq!(parse_size("8X4").unwrap(), (8, 4));
+        assert!(parse_size("640").is_err());
+        assert!(parse_size("0x4").is_err());
+        assert!(parse_size("ax4").is_err());
+    }
+
+    #[test]
+    fn interp_parser() {
+        assert_eq!(parse_interp("nearest").unwrap(), Interpolator::Nearest);
+        assert_eq!(parse_interp("bicubic").unwrap(), Interpolator::Bicubic);
+        assert!(parse_interp("lanczos").is_err());
+    }
+
+    fn run(line: &str) -> CmdResult {
+        dispatch(&Args::parse(line.split_whitespace().map(String::from)).unwrap())
+    }
+
+    #[test]
+    fn capture_correct_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join("fisheye_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cap = dir.join("cap.pgm");
+        let flat = dir.join("flat.pgm");
+        run(&format!(
+            "capture --scene grid --out {} --size 160x120",
+            cap.display()
+        ))
+        .unwrap();
+        run(&format!(
+            "correct --in {} --out {} --view-fov 80 --out-size 80x60 --interp bilinear",
+            cap.display(),
+            flat.display()
+        ))
+        .unwrap();
+        let img = load_pgm(&flat).unwrap();
+        assert_eq!(img.dims(), (80, 60));
+        run(&format!("info --in {}", flat.display())).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panorama_and_stitch_via_files() {
+        let dir = std::env::temp_dir().join("fisheye_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cap = dir.join("cap.pgm");
+        run(&format!(
+            "capture --scene bricks --out {} --size 128x128",
+            cap.display()
+        ))
+        .unwrap();
+        let pano = dir.join("pano.pgm");
+        run(&format!(
+            "panorama --in {} --out {} --mode equirect --out-size 120x60",
+            cap.display(),
+            pano.display()
+        ))
+        .unwrap();
+        assert_eq!(load_pgm(&pano).unwrap().dims(), (120, 60));
+        let sphere = dir.join("sphere.pgm");
+        run(&format!(
+            "stitch --front {c} --back {c} --out {} --out-size 128x64",
+            sphere.display(),
+            c = cap.display()
+        ))
+        .unwrap();
+        assert_eq!(load_pgm(&sphere).unwrap().dims(), (128, 64));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn calibrate_from_csv() {
+        let dir = std::env::temp_dir().join("fisheye_cli_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = dir.join("obs.csv");
+        // equidistant with f = 200: r = 200*theta
+        let mut text = String::from("# theta,radius\n");
+        for i in 1..40 {
+            let t = i as f64 * 0.035;
+            text.push_str(&format!("{t},{}\n", 200.0 * t));
+        }
+        std::fs::write(&obs, text).unwrap();
+        run(&format!("calibrate --obs {}", obs.display())).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run("nope").is_err());
+        assert!(run("capture --scene nope --out /tmp/x.pgm").is_err());
+        assert!(run("correct --in /does/not/exist.pgm --out /tmp/x.pgm").is_err());
+        assert!(run("panorama --in /does/not/exist.pgm --out /tmp/x.pgm --mode weird").is_err());
+    }
+}

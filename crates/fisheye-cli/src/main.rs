@@ -1,0 +1,41 @@
+//! `fisheye` — command-line fisheye distortion correction.
+//!
+//! ```text
+//! fisheye capture  --scene grid --out cap.pgm [--size 640x480] [--fov 180]
+//! fisheye correct  --in cap.pgm --out flat.pgm [--fov 180] [--view-fov 90]
+//!                  [--pan 0] [--tilt 0] [--out-size 640x480]
+//!                  [--interp bilinear] [--threads 1]
+//! fisheye panorama --in cap.pgm --out pano.pgm [--mode cylindrical|equirect]
+//!                  [--fov 180] [--out-size 800x300]
+//! fisheye stitch   --front f.pgm --back b.pgm --out pano.pgm [--fov 190]
+//!                  [--out-size 1024x512]
+//! fisheye calibrate --obs obs.csv            # lines of "theta_rad,radius_px"
+//! fisheye info     --in img.pgm
+//! ```
+//!
+//! All raster I/O is PGM (binary or ASCII).
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print!("{}", commands::USAGE);
+        return;
+    }
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `fisheye help` for usage");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = commands::dispatch(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Anti-aliased correction for minifying regions.
+//!
+//! A fisheye-to-perspective map is not a pure magnifier: toward the
+//! view edges (and for zoomed-out views) several source pixels collapse
+//! onto one output pixel, and plain bilinear sampling aliases. The
+//! standard fix — and a future-work item of the paper class — is
+//! adaptive supersampling driven by the map's local Jacobian: where
+//! the source-area-per-output-pixel exceeds 1, average a grid of taps
+//! spanning the source footprint instead of a single tap.
+//!
+//! The Jacobian comes from finite differences of the LUT itself, so no
+//! extra geometry evaluation is needed at correction time.
+
+use pixmap::{Image, Pixel};
+
+use crate::interp::sample_bilinear;
+use crate::map::RemapMap;
+
+/// Per-pixel sampling density decided from the map's Jacobian.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AaConfig {
+    /// Maximum supersampling grid per axis (1 = plain bilinear).
+    pub max_grid: u32,
+    /// Jacobian magnitude at which supersampling kicks in
+    /// (source pixels per output pixel along an axis).
+    pub threshold: f32,
+}
+
+impl Default for AaConfig {
+    fn default() -> Self {
+        AaConfig {
+            max_grid: 4,
+            threshold: 1.25,
+        }
+    }
+}
+
+/// The local Jacobian of the map at output pixel `(x, y)`: the source
+/// displacement per unit output step in x and in y, estimated by
+/// central/one-sided differences on the LUT. `None` when no valid
+/// neighbours exist to difference.
+pub fn jacobian(map: &RemapMap, x: u32, y: u32) -> Option<[(f32, f32); 2]> {
+    let e = map.entry(x, y);
+    if !e.is_valid() {
+        return None;
+    }
+    let sample = |xx: i64, yy: i64| -> Option<(f32, f32)> {
+        if xx < 0 || yy < 0 || xx >= map.width() as i64 || yy >= map.height() as i64 {
+            return None;
+        }
+        let e = map.entry(xx as u32, yy as u32);
+        e.is_valid().then_some((e.sx, e.sy))
+    };
+    let dx = match (sample(x as i64 - 1, y as i64), sample(x as i64 + 1, y as i64)) {
+        (Some(a), Some(b)) => Some(((b.0 - a.0) / 2.0, (b.1 - a.1) / 2.0)),
+        (Some(a), None) => Some((e.sx - a.0, e.sy - a.1)),
+        (None, Some(b)) => Some((b.0 - e.sx, b.1 - e.sy)),
+        (None, None) => None,
+    }?;
+    let dy = match (sample(x as i64, y as i64 - 1), sample(x as i64, y as i64 + 1)) {
+        (Some(a), Some(b)) => Some(((b.0 - a.0) / 2.0, (b.1 - a.1) / 2.0)),
+        (Some(a), None) => Some((e.sx - a.0, e.sy - a.1)),
+        (None, Some(b)) => Some((b.0 - e.sx, b.1 - e.sy)),
+        (None, None) => None,
+    }?;
+    Some([dx, dy])
+}
+
+/// The per-axis source step magnitudes (|∂s/∂x|, |∂s/∂y|).
+pub fn jacobian_steps(map: &RemapMap, x: u32, y: u32) -> Option<(f32, f32)> {
+    let [dx, dy] = jacobian(map, x, y)?;
+    Some((dx.0.hypot(dx.1), dy.0.hypot(dy.1)))
+}
+
+/// Correct with Jacobian-adaptive supersampling. Falls back to plain
+/// bilinear where the map magnifies (step < threshold); elsewhere
+/// averages a `g×g` bilinear tap grid spanning the local footprint,
+/// with `g = min(ceil(step), max_grid)` per axis.
+pub fn correct_antialiased<P: Pixel>(
+    src: &Image<P>,
+    map: &RemapMap,
+    cfg: &AaConfig,
+) -> Image<P> {
+    assert!(cfg.max_grid >= 1, "grid must be at least 1");
+    let mut out = Image::new(map.width(), map.height());
+    for y in 0..map.height() {
+        for x in 0..map.width() {
+            let e = map.entry(x, y);
+            if !e.is_valid() {
+                out.set(x, y, P::BLACK);
+                continue;
+            }
+            let (gx, gy) = match jacobian_steps(map, x, y) {
+                Some((sx_step, sy_step)) => {
+                    let gx = if sx_step > cfg.threshold {
+                        (sx_step.ceil() as u32).min(cfg.max_grid)
+                    } else {
+                        1
+                    };
+                    let gy = if sy_step > cfg.threshold {
+                        (sy_step.ceil() as u32).min(cfg.max_grid)
+                    } else {
+                        1
+                    };
+                    (gx, gy)
+                }
+                None => (1, 1),
+            };
+            if gx == 1 && gy == 1 {
+                out.set(x, y, sample_bilinear(src, e.sx, e.sy));
+                continue;
+            }
+            // average a tap grid spanning the output pixel's true
+            // (sheared) source footprint: the parallelogram spanned by
+            // the Jacobian columns
+            let [jx_vec, jy_vec] = jacobian(map, x, y).unwrap();
+            let mut acc = [0f32; 4];
+            for jy in 0..gy {
+                for jx in 0..gx {
+                    let fx = (jx as f32 + 0.5) / gx as f32 - 0.5;
+                    let fy = (jy as f32 + 0.5) / gy as f32 - 0.5;
+                    let p = sample_bilinear(
+                        src,
+                        e.sx + fx * jx_vec.0 + fy * jy_vec.0,
+                        e.sy + fx * jx_vec.1 + fy * jy_vec.1,
+                    );
+                    for (c, a) in acc.iter_mut().enumerate().take(P::CHANNELS) {
+                        *a += p.channel_f32(c);
+                    }
+                }
+            }
+            let n = (gx * gy) as f32;
+            for a in acc.iter_mut().take(P::CHANNELS) {
+                *a /= n;
+            }
+            out.set(x, y, P::from_channels_f32(&acc[..P::CHANNELS]));
+        }
+    }
+    out
+}
+
+/// Mip-pyramid (trilinear) correction — the hardware-texture-unit
+/// style of minification anti-aliasing: build the pyramid once per
+/// frame, pick the level from the Jacobian per pixel. Cheaper than
+/// adaptive supersampling for heavily minifying maps (constant 8 taps
+/// vs up to `max_grid²·4`), at the cost of the pyramid build
+/// (+33% source reads) and slight over-blur from the isotropic LOD.
+pub fn correct_mip(src: &Image<pixmap::Gray8>, map: &RemapMap) -> Image<pixmap::Gray8> {
+    let pyr = pixmap::pyramid::Pyramid::build(src);
+    let mut out = Image::new(map.width(), map.height());
+    for y in 0..map.height() {
+        for x in 0..map.width() {
+            let e = map.entry(x, y);
+            if !e.is_valid() {
+                out.set(x, y, pixmap::Gray8(0));
+                continue;
+            }
+            let footprint = match jacobian_steps(map, x, y) {
+                Some((sx, sy)) => sx.max(sy),
+                None => 1.0,
+            };
+            let v = pyr.sample_trilinear(e.sx, e.sy, footprint);
+            out.set(x, y, pixmap::Gray8::from(pixmap::GrayF32(v)));
+        }
+    }
+    out
+}
+
+/// Fraction of valid output pixels that would be supersampled under
+/// `cfg` — a cost predictor for the feature.
+pub fn supersampled_fraction(map: &RemapMap, cfg: &AaConfig) -> f64 {
+    let mut ss = 0u64;
+    let mut valid = 0u64;
+    for y in 0..map.height() {
+        for x in 0..map.width() {
+            if !map.entry(x, y).is_valid() {
+                continue;
+            }
+            valid += 1;
+            if let Some((sx, sy)) = jacobian_steps(map, x, y) {
+                if sx > cfg.threshold || sy > cfg.threshold {
+                    ss += 1;
+                }
+            }
+        }
+    }
+    if valid == 0 {
+        0.0
+    } else {
+        ss as f64 / valid as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpolator;
+    use fisheye_geom::{FisheyeLens, PerspectiveView};
+    use pixmap::metrics::psnr;
+    use pixmap::Gray8;
+
+    /// A zoomed-out view minifies heavily toward the edges.
+    fn minifying_setup() -> (FisheyeLens, PerspectiveView, RemapMap) {
+        let lens = FisheyeLens::equidistant_fov(512, 512, 180.0);
+        // small output, wide FOV: many source px per output px
+        let view = PerspectiveView::centered(96, 96, 120.0);
+        let map = RemapMap::build(&lens, &view, 512, 512);
+        (lens, view, map)
+    }
+
+    #[test]
+    fn jacobian_larger_at_zoomed_out_edges() {
+        let (_, _, map) = minifying_setup();
+        let center = jacobian_steps(&map, 48, 48).unwrap();
+        let edge = jacobian_steps(&map, 92, 48).unwrap();
+        assert!(
+            center.0 > 1.0,
+            "zoomed-out view minifies even at center: {center:?}"
+        );
+        // the equidistant-to-perspective map *compresses* toward the
+        // edge (tan grows faster than θ): edge steps shrink
+        assert!(edge.0 < center.0, "center {center:?} vs edge {edge:?}");
+    }
+
+    #[test]
+    fn identity_like_map_never_supersamples() {
+        let bc = fisheye_geom::BrownConrady::default();
+        let map = RemapMap::build_brown_conrady(&bc, 50.0, 64, 64, 64, 64);
+        assert_eq!(supersampled_fraction(&map, &AaConfig::default()), 0.0);
+        // and the AA path degenerates to plain bilinear
+        let src = pixmap::scene::random_gray(64, 64, 1);
+        let aa = correct_antialiased(&src, &map, &AaConfig::default());
+        let plain = crate::correct(&src, &map, Interpolator::Bilinear);
+        assert_eq!(aa, plain);
+    }
+
+    #[test]
+    fn minifying_map_supersamples_somewhere() {
+        let (_, _, map) = minifying_setup();
+        let f = supersampled_fraction(&map, &AaConfig::default());
+        assert!(f > 0.3, "fraction {f}");
+    }
+
+    #[test]
+    fn antialiasing_improves_psnr_on_above_nyquist_content() {
+        // content above the OUTPUT Nyquist rate but resolved by the
+        // source: point-sampled bilinear produces moiré, the
+        // area-average (which the supersampler approximates and the
+        // heavily supersampled ground truth defines) does not
+        let (lens, view, map) = minifying_setup();
+        let scene = pixmap::scene::SinusoidField { max_freq: 900.0 };
+        let world = crate::synth::World::Planar(&view);
+        let src = crate::synth::capture_fisheye(&scene, world, &lens, 512, 512, 3);
+        let truth = crate::synth::ground_truth(&scene, world, &view, 8);
+        let plain = crate::correct(&src, &map, Interpolator::Bilinear);
+        let aa = correct_antialiased(
+            &src,
+            &map,
+            &AaConfig {
+                max_grid: 4,
+                threshold: 1.1,
+            },
+        );
+        let p_plain = psnr(&plain, &truth);
+        let p_aa = psnr(&aa, &truth);
+        assert!(
+            p_aa > p_plain + 1.0,
+            "AA {p_aa:.2} dB must beat plain {p_plain:.2} dB"
+        );
+    }
+
+    #[test]
+    fn mip_correction_also_beats_plain_on_aliasing_content() {
+        let (lens, view, map) = minifying_setup();
+        let scene = pixmap::scene::SinusoidField { max_freq: 900.0 };
+        let world = crate::synth::World::Planar(&view);
+        let src = crate::synth::capture_fisheye(&scene, world, &lens, 512, 512, 3);
+        let truth = crate::synth::ground_truth(&scene, world, &view, 8);
+        let plain = crate::correct(&src, &map, Interpolator::Bilinear);
+        let mip = correct_mip(&src, &map);
+        let p_plain = psnr(&plain, &truth);
+        let p_mip = psnr(&mip, &truth);
+        assert!(
+            p_mip > p_plain + 0.5,
+            "mip {p_mip:.2} dB must beat plain {p_plain:.2} dB"
+        );
+    }
+
+    #[test]
+    fn mip_correction_near_noop_when_magnifying() {
+        // zoomed-in view: footprint < 1 everywhere -> level 0 only,
+        // which is plain bilinear up to the luma round-trip
+        let lens = FisheyeLens::equidistant_fov(128, 128, 180.0);
+        let view = PerspectiveView::centered(128, 128, 30.0);
+        let map = RemapMap::build(&lens, &view, 128, 128);
+        let src = pixmap::scene::random_gray(128, 128, 3);
+        let mip = correct_mip(&src, &map);
+        let plain = crate::correct(&src, &map, Interpolator::Bilinear);
+        let q = psnr(&mip, &plain);
+        assert!(q > 48.0, "mip vs plain on magnifying map: {q:.1} dB");
+    }
+
+    #[test]
+    fn invalid_regions_stay_black() {
+        let lens = FisheyeLens::equidistant_fov(256, 256, 120.0);
+        let view = PerspectiveView::centered(64, 64, 150.0);
+        let map = RemapMap::build(&lens, &view, 256, 256);
+        let src: pixmap::Image<Gray8> = pixmap::Image::filled(256, 256, Gray8(255));
+        let aa = correct_antialiased(&src, &map, &AaConfig::default());
+        assert_eq!(aa.pixel(0, 0), Gray8(0));
+        assert_eq!(aa.pixel(32, 32), Gray8(255));
+    }
+
+    #[test]
+    fn max_grid_caps_work() {
+        let (_, _, map) = minifying_setup();
+        let src = pixmap::scene::random_gray(512, 512, 2);
+        // grid 1 == plain bilinear by definition
+        let g1 = correct_antialiased(
+            &src,
+            &map,
+            &AaConfig {
+                max_grid: 1,
+                threshold: 0.1,
+            },
+        );
+        let plain = crate::correct(&src, &map, Interpolator::Bilinear);
+        assert_eq!(g1, plain);
+    }
+}

@@ -1,0 +1,48 @@
+//! # fisheye-core — the distortion-correction engine
+//!
+//! Implements the paper's application proper, in its two phases:
+//!
+//! 1. **Map generation** ([`map`]) — for every output pixel of a
+//!    [`fisheye_geom::PerspectiveView`], trace the ray into the fisheye
+//!    [`fisheye_geom::FisheyeLens`] and record the source coordinate in
+//!    a remap LUT ([`RemapMap`]); optionally quantized to fixed point
+//!    ([`FixedRemapMap`]) for the accelerator paths.
+//! 2. **Correction** ([`correct`]) — per frame, gather source pixels
+//!    through the LUT with a chosen [`Interpolator`] to produce the
+//!    corrected frame. Serial, multicore ([`par_runtime::ThreadPool`])
+//!    and fixed-point variants are provided.
+//!
+//! Supporting modules:
+//!
+//! * [`interp`] — nearest / bilinear / bicubic sampling, float and
+//!   integer datapaths.
+//! * [`tile`] — output tiling and per-tile *source footprints*, the
+//!   unit of DMA on local-store architectures (Cell) and the basis of
+//!   the memory-traffic experiment (T2/F4).
+//! * [`synth`] — synthetic fisheye capture: renders a `pixmap` scene
+//!   through the *forward* lens model, producing the distorted input
+//!   frames all experiments consume (substitute for the paper's
+//!   camera; DESIGN.md §6).
+//! * [`pipeline`] — ties it together with per-phase timing, LUT
+//!   caching, and the direct (no-LUT) mode for the F9 crossover
+//!   experiment.
+
+pub mod antialias;
+pub mod correct;
+pub mod interp;
+pub mod map;
+pub mod pipeline;
+pub mod simd;
+pub mod stitch;
+pub mod synth;
+pub mod tile;
+pub mod yuv;
+
+pub use antialias::{correct_antialiased, AaConfig};
+pub use correct::{correct, correct_fixed, correct_into, correct_parallel};
+pub use interp::Interpolator;
+pub use map::{FixedRemapMap, MapEntry, RemapMap};
+pub use pipeline::{CorrectionPipeline, PipelineConfig, PipelineStats};
+pub use stitch::{DualFisheyeRig, StitchMap};
+pub use tile::{TileJob, TilePlan};
+pub use yuv::{correct_yuv420, correct_yuv420_parallel, YuvMaps};

@@ -1,0 +1,313 @@
+//! The end-to-end correction pipeline with per-phase timing.
+//!
+//! Owns the lens, the current view, the (lazily rebuilt) LUT, and an
+//! optional thread pool, and exposes the per-frame entry point the
+//! video layer calls. Accumulates the phase timings the experiments
+//! report (map-generation time vs correction time — the paper's
+//! central measurement).
+
+use std::time::{Duration, Instant};
+
+use fisheye_geom::{FisheyeLens, PerspectiveView};
+use par_runtime::{Schedule, ThreadPool};
+use pixmap::{Image, Pixel};
+
+use crate::correct::{correct_direct, correct_into, correct_parallel};
+use crate::interp::Interpolator;
+use crate::map::RemapMap;
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Interpolation kernel for phase 2.
+    pub interp: Interpolator,
+    /// Loop schedule when a pool is attached.
+    pub schedule: Schedule,
+    /// If false, skip the LUT entirely and recompute the mapping per
+    /// pixel per frame (the F9 comparison mode).
+    pub use_lut: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            interp: Interpolator::Bilinear,
+            schedule: Schedule::Static { chunk: None },
+            use_lut: true,
+        }
+    }
+}
+
+/// Accumulated phase timings and counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineStats {
+    /// Number of LUT (re)builds.
+    pub map_builds: u64,
+    /// Total time spent building LUTs.
+    pub map_time: Duration,
+    /// Frames corrected.
+    pub frames: u64,
+    /// Total time spent in phase 2.
+    pub correct_time: Duration,
+}
+
+impl PipelineStats {
+    /// Mean per-frame correction time.
+    pub fn correct_per_frame(&self) -> Duration {
+        if self.frames == 0 {
+            Duration::ZERO
+        } else {
+            self.correct_time / self.frames as u32
+        }
+    }
+
+    /// Throughput in frames per second over the corrected frames.
+    pub fn fps(&self) -> f64 {
+        let s = self.correct_time.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.frames as f64 / s
+        }
+    }
+}
+
+/// A stateful correction pipeline for a fixed lens and source size.
+pub struct CorrectionPipeline<'p> {
+    lens: FisheyeLens,
+    view: PerspectiveView,
+    src_w: u32,
+    src_h: u32,
+    config: PipelineConfig,
+    pool: Option<&'p ThreadPool>,
+    map: Option<RemapMap>,
+    stats: PipelineStats,
+}
+
+impl<'p> CorrectionPipeline<'p> {
+    /// Create a pipeline for `lens` over `src_w`×`src_h` input frames,
+    /// initially rendering `view`.
+    pub fn new(
+        lens: FisheyeLens,
+        view: PerspectiveView,
+        src_w: u32,
+        src_h: u32,
+        config: PipelineConfig,
+    ) -> Self {
+        CorrectionPipeline {
+            lens,
+            view,
+            src_w,
+            src_h,
+            config,
+            pool: None,
+            map: None,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Attach a thread pool; subsequent phases run in parallel under
+    /// `config.schedule`.
+    pub fn with_pool(mut self, pool: &'p ThreadPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The active view.
+    pub fn view(&self) -> &PerspectiveView {
+        &self.view
+    }
+
+    /// The lens.
+    pub fn lens(&self) -> &FisheyeLens {
+        &self.lens
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Reset statistics (e.g. after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = PipelineStats::default();
+    }
+
+    /// Change the view (PTZ command). Invalidates the LUT; the next
+    /// frame pays the rebuild.
+    pub fn set_view(&mut self, view: PerspectiveView) {
+        if view != self.view {
+            self.view = view;
+            self.map = None;
+        }
+    }
+
+    /// Ensure the LUT exists, rebuilding if the view changed. Returns
+    /// a reference to it. Public so platform models can grab the same
+    /// map the host pipeline uses.
+    pub fn ensure_map(&mut self) -> &RemapMap {
+        if self.map.is_none() {
+            let t0 = Instant::now();
+            let map = match self.pool {
+                Some(pool) => RemapMap::build_parallel(
+                    &self.lens,
+                    &self.view,
+                    self.src_w,
+                    self.src_h,
+                    pool,
+                    self.config.schedule,
+                ),
+                None => RemapMap::build(&self.lens, &self.view, self.src_w, self.src_h),
+            };
+            self.stats.map_time += t0.elapsed();
+            self.stats.map_builds += 1;
+            self.map = Some(map);
+        }
+        self.map.as_ref().unwrap()
+    }
+
+    /// Correct one frame.
+    pub fn process<P: Pixel>(&mut self, frame: &Image<P>) -> Image<P> {
+        assert_eq!(
+            frame.dims(),
+            (self.src_w, self.src_h),
+            "frame does not match configured source size"
+        );
+        if !self.config.use_lut {
+            let t0 = Instant::now();
+            let out = correct_direct(frame, &self.lens, &self.view, self.config.interp);
+            self.stats.correct_time += t0.elapsed();
+            self.stats.frames += 1;
+            return out;
+        }
+        self.ensure_map();
+        let map = self.map.as_ref().unwrap();
+        let t0 = Instant::now();
+        let out = match self.pool {
+            Some(pool) => {
+                correct_parallel(frame, map, self.config.interp, pool, self.config.schedule)
+            }
+            None => {
+                let mut out = Image::new(map.width(), map.height());
+                correct_into(frame, map, self.config.interp, &mut out);
+                out
+            }
+        };
+        self.stats.correct_time += t0.elapsed();
+        self.stats.frames += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixmap::scene::random_gray;
+    use pixmap::Gray8;
+
+    fn mk(use_lut: bool) -> CorrectionPipeline<'static> {
+        let lens = FisheyeLens::equidistant_fov(160, 120, 180.0);
+        let view = PerspectiveView::centered(80, 60, 90.0);
+        CorrectionPipeline::new(
+            lens,
+            view,
+            160,
+            120,
+            PipelineConfig {
+                use_lut,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn processes_frames_and_counts() {
+        let mut p = mk(true);
+        let frame = random_gray(160, 120, 1);
+        let out = p.process(&frame);
+        assert_eq!(out.dims(), (80, 60));
+        let _ = p.process(&frame);
+        assert_eq!(p.stats().frames, 2);
+        assert_eq!(p.stats().map_builds, 1, "LUT built once for two frames");
+    }
+
+    #[test]
+    fn view_change_rebuilds_map() {
+        let mut p = mk(true);
+        let frame = random_gray(160, 120, 2);
+        let _ = p.process(&frame);
+        p.set_view(PerspectiveView::centered(80, 60, 90.0).look(30.0, 0.0));
+        let _ = p.process(&frame);
+        assert_eq!(p.stats().map_builds, 2);
+        // same view again: no rebuild
+        p.set_view(*p.view());
+        let _ = p.process(&frame);
+        assert_eq!(p.stats().map_builds, 2);
+    }
+
+    #[test]
+    fn direct_mode_never_builds_map() {
+        let mut p = mk(false);
+        let frame = random_gray(160, 120, 3);
+        let _ = p.process(&frame);
+        let _ = p.process(&frame);
+        assert_eq!(p.stats().map_builds, 0);
+        assert_eq!(p.stats().frames, 2);
+    }
+
+    #[test]
+    fn direct_and_lut_agree() {
+        let mut a = mk(true);
+        let mut b = mk(false);
+        let frame = random_gray(160, 120, 4);
+        let out_lut = a.process(&frame);
+        let out_direct = b.process(&frame);
+        let mut max_diff = 0i32;
+        for (x, y) in out_lut.pixels().iter().zip(out_direct.pixels()) {
+            max_diff = max_diff.max((x.0 as i32 - y.0 as i32).abs());
+        }
+        assert!(max_diff <= 1, "LUT vs direct differ by {max_diff}");
+    }
+
+    #[test]
+    fn pooled_pipeline_matches_serial() {
+        let pool = ThreadPool::new(3);
+        let frame = random_gray(160, 120, 5);
+        let mut serial = mk(true);
+        let mut parallel = mk(true).with_pool(&pool);
+        assert_eq!(serial.process(&frame), parallel.process(&frame));
+    }
+
+    #[test]
+    fn stats_throughput_math() {
+        let mut s = PipelineStats {
+            frames: 10,
+            correct_time: Duration::from_millis(500),
+            ..Default::default()
+        };
+        assert_eq!(s.correct_per_frame(), Duration::from_millis(50));
+        assert!((s.fps() - 20.0).abs() < 1e-9);
+        s.frames = 0;
+        s.correct_time = Duration::ZERO;
+        assert_eq!(s.fps(), 0.0);
+        assert_eq!(s.correct_per_frame(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match configured source size")]
+    fn wrong_frame_size_caught() {
+        let mut p = mk(true);
+        let frame: Image<Gray8> = Image::new(10, 10);
+        let _ = p.process(&frame);
+    }
+
+    #[test]
+    fn reset_stats_clears() {
+        let mut p = mk(true);
+        let frame = random_gray(160, 120, 6);
+        let _ = p.process(&frame);
+        p.reset_stats();
+        assert_eq!(p.stats().frames, 0);
+        assert_eq!(p.stats().map_builds, 0);
+    }
+}

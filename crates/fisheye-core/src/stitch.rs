@@ -1,0 +1,328 @@
+//! Dual-fisheye 360° stitching.
+//!
+//! Two back-to-back fisheye cameras with slightly-more-than-180°
+//! fields of view cover the full sphere — the standard consumer-360°
+//! and surveillance-dome configuration. Stitching to one
+//! equirectangular panorama is the natural extension of the correction
+//! kernel: the output projection is a full-sphere equirect, each pixel
+//! is served by the front or back camera (or, in the overlap ring,
+//! a feathered blend of both).
+//!
+//! The machinery reuses [`RemapMap`] unchanged: one map per camera,
+//! plus a per-pixel blend weight computed once from the geometry.
+
+use fisheye_geom::{FisheyeLens, Mat3, Vec3};
+use pixmap::{Gray8, Image};
+
+use crate::interp::Interpolator;
+use crate::map::{MapEntry, RemapMap};
+
+/// Two back-to-back cameras: `front` looks along +Z, `back` along −Z
+/// (mounted rotated 180° about the vertical/Y axis).
+#[derive(Clone, Copy, Debug)]
+pub struct DualFisheyeRig {
+    /// The forward camera.
+    pub front: FisheyeLens,
+    /// The rearward camera (same intrinsics in consumer rigs, kept
+    /// separate to allow per-camera calibration).
+    pub back: FisheyeLens,
+}
+
+impl DualFisheyeRig {
+    /// A symmetric rig: both cameras share the given intrinsics.
+    /// `fov_deg` should exceed 180 so the hemispheres overlap.
+    pub fn symmetric(sensor_w: u32, sensor_h: u32, fov_deg: f64) -> Self {
+        let lens = FisheyeLens::with_model_fov(
+            fisheye_geom::LensModel::Equidistant,
+            sensor_w,
+            sensor_h,
+            fov_deg,
+        );
+        DualFisheyeRig {
+            front: lens,
+            back: lens,
+        }
+    }
+
+    /// Overlap half-width in radians: how far past the ±90° seam each
+    /// camera still sees.
+    pub fn overlap_rad(&self) -> f64 {
+        (self.front.max_theta - std::f64::consts::FRAC_PI_2)
+            .min(self.back.max_theta - std::f64::consts::FRAC_PI_2)
+            .max(0.0)
+    }
+}
+
+/// Precomputed stitch: per-camera remap maps over a `width`×`height`
+/// equirectangular output plus per-pixel front-camera blend weights
+/// (Q0.8: 255 = all front, 0 = all back).
+#[derive(Clone, Debug)]
+pub struct StitchMap {
+    /// Front-camera LUT (invalid where the front cannot see).
+    pub front: RemapMap,
+    /// Back-camera LUT.
+    pub back: RemapMap,
+    /// Per-pixel front weight, Q0.8.
+    pub blend: Vec<u8>,
+    width: u32,
+    height: u32,
+}
+
+impl StitchMap {
+    /// Build for a full-sphere equirect output (`width` spans 360°,
+    /// `height` spans 180°). Blending feathers linearly across the
+    /// rig's overlap ring.
+    pub fn build(rig: &DualFisheyeRig, width: u32, height: u32) -> Self {
+        let back_rot = Mat3::rot_y(std::f64::consts::PI);
+        let overlap = rig.overlap_rad();
+        let (fw, fh) = (rig.front.cx * 2.0, rig.front.cy * 2.0);
+        let (bw, bh) = (rig.back.cx * 2.0, rig.back.cy * 2.0);
+        let n = width as usize * height as usize;
+        let mut front_entries = vec![MapEntry::INVALID; n];
+        let mut back_entries = vec![MapEntry::INVALID; n];
+        let mut blend = vec![0u8; n];
+        for y in 0..height {
+            for x in 0..width {
+                let azimuth = (x as f64 + 0.5) / width as f64 * std::f64::consts::TAU
+                    - std::f64::consts::PI;
+                let polar = (y as f64 + 0.5) / height as f64 * std::f64::consts::PI
+                    - std::f64::consts::FRAC_PI_2;
+                let (sp, cp) = polar.sin_cos();
+                let (sa, ca) = azimuth.sin_cos();
+                // y-down camera frame: polar>0 (image bottom) is +y
+                let ray = Vec3::new(cp * sa, sp, cp * ca);
+                let i = (y * width + x) as usize;
+                // front projection
+                if let Some((sx, sy)) = rig.front.project(ray) {
+                    if sx >= 0.0 && sx < fw && sy >= 0.0 && sy < fh {
+                        front_entries[i] = MapEntry {
+                            sx: sx as f32,
+                            sy: sy as f32,
+                        };
+                    }
+                }
+                // back projection (rotate ray into the back camera)
+                let bray = back_rot * ray;
+                if let Some((sx, sy)) = rig.back.project(bray) {
+                    if sx >= 0.0 && sx < bw && sy >= 0.0 && sy < bh {
+                        back_entries[i] = MapEntry {
+                            sx: sx as f32,
+                            sy: sy as f32,
+                        };
+                    }
+                }
+                // blend weight from the angle to the front axis
+                let theta_front = Vec3::AXIS_Z.angle_to(ray);
+                let w = if overlap <= 0.0 {
+                    if theta_front <= std::f64::consts::FRAC_PI_2 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    // 1 inside the front-exclusive zone, 0 inside the
+                    // back-exclusive zone, linear feather between
+                    let t = (theta_front - (std::f64::consts::FRAC_PI_2 - overlap))
+                        / (2.0 * overlap);
+                    1.0 - t.clamp(0.0, 1.0)
+                };
+                // entries may be missing (image-rectangle clipping):
+                // force weight to the camera that actually has data
+                blend[i] = match (front_entries[i].is_valid(), back_entries[i].is_valid()) {
+                    (true, true) => (w * 255.0).round() as u8,
+                    (true, false) => 255,
+                    (false, true) => 0,
+                    (false, false) => 128, // both black anyway
+                };
+            }
+        }
+        StitchMap {
+            front: RemapMap::from_entries(
+                width,
+                height,
+                fw as u32,
+                fh as u32,
+                front_entries,
+            ),
+            back: RemapMap::from_entries(width, height, bw as u32, bh as u32, back_entries),
+            blend,
+            width,
+            height,
+        }
+    }
+
+    /// Output dimensions.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Fraction of output pixels served by both cameras (the overlap).
+    pub fn overlap_fraction(&self) -> f64 {
+        let both = self
+            .front
+            .entries()
+            .iter()
+            .zip(self.back.entries())
+            .filter(|(f, b)| f.is_valid() && b.is_valid())
+            .count();
+        both as f64 / (self.width as usize * self.height as usize) as f64
+    }
+
+    /// Stitch one frame pair into the panorama.
+    pub fn stitch(
+        &self,
+        front_frame: &Image<Gray8>,
+        back_frame: &Image<Gray8>,
+        interp: Interpolator,
+    ) -> Image<Gray8> {
+        assert_eq!(front_frame.dims(), self.front.src_dims(), "front frame size");
+        assert_eq!(back_frame.dims(), self.back.src_dims(), "back frame size");
+        let mut out = Image::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let i = (y * self.width + x) as usize;
+                let fe = self.front.entry(x, y);
+                let be = self.back.entry(x, y);
+                let w = self.blend[i] as u32;
+                let fv = if fe.is_valid() && w > 0 {
+                    interp.sample(front_frame, fe.sx, fe.sy).0 as u32
+                } else {
+                    0
+                };
+                let bv = if be.is_valid() && w < 255 {
+                    interp.sample(back_frame, be.sx, be.sy).0 as u32
+                } else {
+                    0
+                };
+                let v = if fe.is_valid() && be.is_valid() {
+                    (fv * w + bv * (255 - w) + 127) / 255
+                } else if fe.is_valid() {
+                    fv
+                } else if be.is_valid() {
+                    bv
+                } else {
+                    0
+                };
+                out.set(x, y, Gray8(v as u8));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{capture_fisheye, World};
+    use pixmap::metrics::psnr;
+    use pixmap::scene::{RadialGradient, Scene, SinusoidField};
+
+    /// Capture what the back camera sees of a spherical scene: the
+    /// same `capture_fisheye` but with the scene pre-rotated 180°.
+    fn capture_back(scene: &dyn Scene, lens: &FisheyeLens, w: u32, h: u32) -> Image<Gray8> {
+        // wrap the scene so that the back camera's +Z maps to the
+        // world's −Z: azimuth shifted by π in equirect coordinates
+        struct Rotated<'a>(&'a dyn Scene);
+        impl Scene for Rotated<'_> {
+            fn sample(&self, u: f64, v: f64) -> f32 {
+                self.0.sample((u + 0.5).rem_euclid(1.0), v)
+            }
+        }
+        capture_fisheye(&Rotated(scene), World::Spherical, lens, w, h, 2)
+    }
+
+    fn rig_and_captures(
+        scene: &dyn Scene,
+        fov: f64,
+    ) -> (DualFisheyeRig, Image<Gray8>, Image<Gray8>) {
+        let rig = DualFisheyeRig::symmetric(256, 256, fov);
+        let front = capture_fisheye(scene, World::Spherical, &rig.front, 256, 256, 2);
+        let back = capture_back(scene, &rig.back, 256, 256);
+        (rig, front, back)
+    }
+
+    #[test]
+    fn rig_overlap_geometry() {
+        let rig = DualFisheyeRig::symmetric(256, 256, 190.0);
+        assert!((rig.overlap_rad().to_degrees() - 5.0).abs() < 1e-9);
+        let rig180 = DualFisheyeRig::symmetric(256, 256, 180.0);
+        assert_eq!(rig180.overlap_rad(), 0.0);
+    }
+
+    #[test]
+    fn full_sphere_is_covered() {
+        let rig = DualFisheyeRig::symmetric(256, 256, 190.0);
+        let map = StitchMap::build(&rig, 128, 64);
+        // every output pixel must be served by at least one camera
+        let holes = map
+            .front
+            .entries()
+            .iter()
+            .zip(map.back.entries())
+            .filter(|(f, b)| !f.is_valid() && !b.is_valid())
+            .count();
+        assert_eq!(holes, 0, "{holes} panorama holes");
+        assert!(map.overlap_fraction() > 0.01);
+        assert!(map.overlap_fraction() < 0.2);
+    }
+
+    #[test]
+    fn stitched_panorama_matches_scene() {
+        // the equirect panorama of a spherical scene should reproduce
+        // the scene's own equirect parameterization
+        let scene = SinusoidField { max_freq: 25.0 };
+        let (rig, front, back) = rig_and_captures(&scene, 190.0);
+        let map = StitchMap::build(&rig, 128, 64);
+        let pano = map.stitch(&front, &back, Interpolator::Bilinear);
+        // direct rasterization of the scene in equirect coordinates
+        let truth = Image::from_fn(128, 64, |x, y| {
+            let u = (x as f64 + 0.5) / 128.0;
+            let v = (y as f64 + 0.5) / 64.0;
+            pixmap::Gray8::from(pixmap::GrayF32(scene.sample(u, v)))
+        });
+        let q = psnr(&pano, &truth);
+        assert!(q > 22.0, "stitched panorama PSNR {q:.1} dB");
+    }
+
+    #[test]
+    fn seam_is_smooth() {
+        // a smooth scene must produce a panorama without steps at the
+        // ±90° seams (columns width/4 and 3*width/4)
+        let scene = RadialGradient;
+        let (rig, front, back) = rig_and_captures(&scene, 195.0);
+        let map = StitchMap::build(&rig, 160, 80);
+        let pano = map.stitch(&front, &back, Interpolator::Bilinear);
+        for seam_x in [40u32, 120] {
+            for y in 10..70u32 {
+                let a = pano.pixel(seam_x - 2, y).0 as i32;
+                let b = pano.pixel(seam_x + 2, y).0 as i32;
+                assert!(
+                    (a - b).abs() < 28,
+                    "seam step at x={seam_x} y={y}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blend_weights_respect_exclusive_zones() {
+        let rig = DualFisheyeRig::symmetric(256, 256, 190.0);
+        let map = StitchMap::build(&rig, 128, 64);
+        // straight ahead (center of the panorama) = pure front
+        let center = (32 * 128 + 64) as usize;
+        assert_eq!(map.blend[center], 255);
+        // straight behind (left/right edge) = pure back
+        let behind = (32 * 128) as usize;
+        assert_eq!(map.blend[behind], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "front frame size")]
+    fn frame_sizes_checked() {
+        let rig = DualFisheyeRig::symmetric(256, 256, 190.0);
+        let map = StitchMap::build(&rig, 64, 32);
+        let wrong: Image<Gray8> = Image::new(10, 10);
+        let ok: Image<Gray8> = Image::new(256, 256);
+        let _ = map.stitch(&wrong, &ok, Interpolator::Nearest);
+    }
+}

@@ -1,0 +1,247 @@
+//! Brown–Conrady polynomial distortion model — the classical baseline.
+//!
+//! The genre's standard comparator: radial distortion as a polynomial
+//! in r² plus tangential (decentering) terms,
+//!
+//! ```text
+//! x_d = x(1 + k1 r² + k2 r⁴ + k3 r⁶) + 2 p1 x y + p2 (r² + 2x²)
+//! y_d = y(1 + k1 r² + k2 r⁴ + k3 r⁶) + p1 (r² + 2y²) + 2 p2 x y
+//! ```
+//!
+//! operating on *normalized* image coordinates (pixel offsets divided
+//! by the focal length). The polynomial cannot represent a true 180°
+//! equidistant lens exactly — quantifying that residual against the
+//! exact inverse mapping is one of the accuracy experiments (F6's
+//! baseline row) — but it can be least-squares fit to any lens model,
+//! which [`BrownConrady::fit`] does.
+
+use crate::lens::LensModel;
+use crate::vec3::solve_dense;
+
+/// Brown–Conrady coefficients over normalized coordinates.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct BrownConrady {
+    pub k1: f64,
+    pub k2: f64,
+    pub k3: f64,
+    pub p1: f64,
+    pub p2: f64,
+}
+
+impl BrownConrady {
+    /// A purely radial model (no decentering).
+    pub fn radial(k1: f64, k2: f64, k3: f64) -> Self {
+        BrownConrady {
+            k1,
+            k2,
+            k3,
+            p1: 0.0,
+            p2: 0.0,
+        }
+    }
+
+    /// Apply the forward (distorting) map to normalized coordinates.
+    #[inline]
+    pub fn distort(&self, x: f64, y: f64) -> (f64, f64) {
+        let r2 = x * x + y * y;
+        let radial = 1.0 + r2 * (self.k1 + r2 * (self.k2 + r2 * self.k3));
+        let xd = x * radial + 2.0 * self.p1 * x * y + self.p2 * (r2 + 2.0 * x * x);
+        let yd = y * radial + self.p1 * (r2 + 2.0 * y * y) + 2.0 * self.p2 * x * y;
+        (xd, yd)
+    }
+
+    /// Invert the distortion by fixed-point iteration (the classical
+    /// OpenCV-style `undistortPoints` loop). Converges for the
+    /// moderate distortions the model is valid for; `iterations` = 10
+    /// is more than enough there.
+    pub fn undistort(&self, xd: f64, yd: f64, iterations: u32) -> (f64, f64) {
+        let mut x = xd;
+        let mut y = yd;
+        for _ in 0..iterations {
+            let r2 = x * x + y * y;
+            let radial = 1.0 + r2 * (self.k1 + r2 * (self.k2 + r2 * self.k3));
+            let dx = 2.0 * self.p1 * x * y + self.p2 * (r2 + 2.0 * x * x);
+            let dy = self.p1 * (r2 + 2.0 * y * y) + 2.0 * self.p2 * x * y;
+            if radial.abs() < 1e-12 {
+                break;
+            }
+            x = (xd - dx) / radial;
+            y = (yd - dy) / radial;
+        }
+        (x, y)
+    }
+
+    /// Least-squares fit of the radial coefficients to a fisheye lens
+    /// model over `[0, max_theta]`.
+    ///
+    /// For a radially symmetric comparison we need the polynomial that
+    /// best maps *undistorted* (pinhole) radius `ru = tan θ` to
+    /// *distorted* radius `rd = model(θ)`:
+    /// `rd ≈ ru (1 + k1 ru² + k2 ru⁴ + k3 ru⁶)`. The fit minimizes the
+    /// squared radius error over `samples` uniformly spaced θ values.
+    ///
+    /// Returns the fitted model and its RMS radial error (in the same
+    /// normalized units).
+    pub fn fit(model: LensModel, max_theta: f64, samples: usize) -> (Self, f64) {
+        assert!(samples >= 4, "need at least as many samples as unknowns");
+        // Avoid tan blowing up: cap θ below π/2.
+        let cap = max_theta.min(std::f64::consts::FRAC_PI_2 * 0.98);
+        // Normal equations for the 3-parameter linear LSQ:
+        // minimize Σ (ru(1 + k1 u + k2 u² + k3 u³) - rd)² with u = ru².
+        let mut ata = vec![vec![0.0f64; 3]; 3];
+        let mut atb = vec![0.0f64; 3];
+        let mut pts = Vec::with_capacity(samples);
+        for i in 1..=samples {
+            let theta = cap * i as f64 / samples as f64;
+            let ru = theta.tan();
+            let rd = model.theta_to_r_over_f(theta);
+            pts.push((ru, rd));
+            let u = ru * ru;
+            let basis = [ru * u, ru * u * u, ru * u * u * u];
+            let target = rd - ru;
+            for (r, &br) in basis.iter().enumerate() {
+                for (c, &bc) in basis.iter().enumerate() {
+                    ata[r][c] += br * bc;
+                }
+                atb[r] += br * target;
+            }
+        }
+        let k = solve_dense(&mut ata, &mut atb).expect("normal equations singular");
+        let bc = BrownConrady::radial(k[0], k[1], k[2]);
+        // RMS residual over the sample set
+        let mut sq = 0.0;
+        for &(ru, rd) in &pts {
+            let (xd, _) = bc.distort(ru, 0.0);
+            let e = xd - rd;
+            sq += e * e;
+        }
+        (bc, (sq / pts.len() as f64).sqrt())
+    }
+
+    /// Radial distortion factor at normalized radius `r` (1.0 = none).
+    pub fn radial_factor(&self, r: f64) -> f64 {
+        let r2 = r * r;
+        1.0 + r2 * (self.k1 + r2 * (self.k2 + r2 * self.k3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_model_is_identity() {
+        let bc = BrownConrady::default();
+        let (x, y) = bc.distort(0.3, -0.7);
+        assert_eq!((x, y), (0.3, -0.7));
+        let (x, y) = bc.undistort(0.3, -0.7, 5);
+        assert_eq!((x, y), (0.3, -0.7));
+    }
+
+    #[test]
+    fn center_is_fixed_point() {
+        let bc = BrownConrady {
+            k1: -0.2,
+            k2: 0.03,
+            k3: -0.002,
+            p1: 0.001,
+            p2: -0.0005,
+        };
+        assert_eq!(bc.distort(0.0, 0.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn undistort_inverts_distort() {
+        let bc = BrownConrady {
+            k1: -0.25,
+            k2: 0.05,
+            k3: -0.004,
+            p1: 0.0015,
+            p2: -0.0008,
+        };
+        for &(x, y) in &[(0.1, 0.2), (-0.4, 0.3), (0.6, -0.5), (0.0, 0.7)] {
+            let (xd, yd) = bc.distort(x, y);
+            let (xu, yu) = bc.undistort(xd, yd, 20);
+            assert!(
+                (xu - x).abs() < 1e-9 && (yu - y).abs() < 1e-9,
+                "({x},{y}) -> ({xd},{yd}) -> ({xu},{yu})"
+            );
+        }
+    }
+
+    #[test]
+    fn barrel_distortion_pulls_inward() {
+        // negative k1 = barrel: distorted radius < undistorted radius
+        let bc = BrownConrady::radial(-0.3, 0.0, 0.0);
+        let (xd, _) = bc.distort(0.5, 0.0);
+        assert!(xd < 0.5);
+        assert!(xd > 0.0);
+    }
+
+    #[test]
+    fn tangential_terms_break_symmetry() {
+        let bc = BrownConrady {
+            k1: 0.0,
+            k2: 0.0,
+            k3: 0.0,
+            p1: 0.01,
+            p2: 0.0,
+        };
+        let (_, yd_pos) = bc.distort(0.3, 0.3);
+        let (_, yd_neg) = bc.distort(0.3, -0.3);
+        // p1 shifts both by +p1(r²+2y²): asymmetric about y=0
+        assert!((yd_pos - 0.3) > 0.0);
+        assert!((yd_neg + 0.3) > 0.0);
+        assert!((yd_pos - 0.3) != -(yd_neg + 0.3));
+    }
+
+    #[test]
+    fn fit_equidistant_has_small_error_in_core() {
+        // fit over a 100° FOV (θ ≤ 50°) where the polynomial is a good
+        // approximation
+        let (bc, rms) = BrownConrady::fit(LensModel::Equidistant, 50f64.to_radians(), 200);
+        assert!(bc.k1 < 0.0, "equidistant is barrel-like: k1 = {}", bc.k1);
+        assert!(rms < 5e-4, "rms {rms} too high for 100° fit");
+        // mid-field check against the exact mapping
+        let theta = 30f64.to_radians();
+        let ru = theta.tan();
+        let (rd, _) = bc.distort(ru, 0.0);
+        assert!((rd - theta).abs() < 1e-3, "rd {rd} vs θ {theta}");
+    }
+
+    #[test]
+    fn fit_degrades_toward_180_fov() {
+        // the classical model cannot express r(θ) near θ=90° (tan
+        // diverges); the residual must grow markedly with the fit range
+        let (_, rms_narrow) = BrownConrady::fit(LensModel::Equidistant, 40f64.to_radians(), 200);
+        let (_, rms_wide) = BrownConrady::fit(LensModel::Equidistant, 85f64.to_radians(), 200);
+        assert!(
+            rms_wide > rms_narrow * 50.0,
+            "narrow {rms_narrow:e} vs wide {rms_wide:e}"
+        );
+    }
+
+    #[test]
+    fn fit_other_models() {
+        for m in [LensModel::Equisolid, LensModel::Stereographic] {
+            let (bc, rms) = BrownConrady::fit(m, 45f64.to_radians(), 100);
+            assert!(rms < 1e-3, "{}: rms {rms}", m.name());
+            assert!(bc.k1.is_finite());
+        }
+    }
+
+    #[test]
+    fn radial_factor_matches_distort() {
+        let bc = BrownConrady::radial(-0.2, 0.04, -0.003);
+        let r = 0.6;
+        let (xd, yd) = bc.distort(r, 0.0);
+        assert!((xd - r * bc.radial_factor(r)).abs() < 1e-15);
+        assert_eq!(yd, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many samples")]
+    fn fit_requires_enough_samples() {
+        let _ = BrownConrady::fit(LensModel::Equidistant, 1.0, 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Lens calibration from point correspondences.
+//!
+//! The paper assumes a calibrated camera (the lens's focal length /
+//! field of view are known). Real deployments obtain these from a
+//! calibration target; this module provides that step so the example
+//! applications can start from raw correspondences:
+//!
+//! * [`fit_focal`] — least-squares focal length for a known model from
+//!   (θ, r) observations.
+//! * [`select_model`] — try every [`LensModel`], return the best fit —
+//!   a tiny model-selection loop mirroring what calibration toolboxes
+//!   do.
+//! * [`estimate_center`] — principal-point refinement by symmetry
+//!   search, for sensors where the lens is not perfectly centered.
+
+use crate::lens::{FisheyeLens, LensModel};
+
+/// One calibration observation: a ray at angle `theta` from the optical
+/// axis observed at radial distance `radius_px` from the image center.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observation {
+    /// Angle from the optical axis, radians.
+    pub theta: f64,
+    /// Measured radial distance in pixels.
+    pub radius_px: f64,
+}
+
+/// Least-squares focal length for `model`: minimizes
+/// `Σ (f·map(θᵢ) − rᵢ)²`, which has the closed form
+/// `f = Σ map(θᵢ)·rᵢ / Σ map(θᵢ)²`.
+///
+/// Returns `(focal_px, rms_error_px)`. Panics if fewer than 2
+/// observations or all mapped angles are zero.
+pub fn fit_focal(model: LensModel, obs: &[Observation]) -> (f64, f64) {
+    assert!(obs.len() >= 2, "need at least two observations");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for o in obs {
+        let m = model.theta_to_r_over_f(o.theta);
+        num += m * o.radius_px;
+        den += m * m;
+    }
+    assert!(den > 0.0, "degenerate observations (all on-axis)");
+    let f = num / den;
+    let mut sq = 0.0;
+    for o in obs {
+        let e = f * model.theta_to_r_over_f(o.theta) - o.radius_px;
+        sq += e * e;
+    }
+    (f, (sq / obs.len() as f64).sqrt())
+}
+
+/// Fit every model and return `(best_model, focal_px, rms)` with the
+/// lowest RMS radial error.
+pub fn select_model(obs: &[Observation]) -> (LensModel, f64, f64) {
+    let mut best: Option<(LensModel, f64, f64)> = None;
+    for m in LensModel::ALL {
+        // skip models that cannot represent the observed angles
+        if obs.iter().any(|o| o.theta > m.max_theta() + 1e-9) {
+            continue;
+        }
+        let (f, rms) = fit_focal(m, obs);
+        if best.map_or(true, |(_, _, brms)| rms < brms) {
+            best = Some((m, f, rms));
+        }
+    }
+    best.expect("no model can represent the observations")
+}
+
+/// Build a [`FisheyeLens`] from a fit, given the sensor size and the
+/// largest calibrated angle.
+pub fn lens_from_fit(
+    model: LensModel,
+    focal_px: f64,
+    width: u32,
+    height: u32,
+    max_theta: f64,
+) -> FisheyeLens {
+    FisheyeLens {
+        model,
+        focal_px,
+        cx: width as f64 / 2.0,
+        cy: height as f64 / 2.0,
+        max_theta,
+    }
+}
+
+/// Estimate the principal point of a fisheye image by exploiting the
+/// radial symmetry of the dark region outside the image circle: the
+/// correct center minimizes the asymmetry of the binarized
+/// bright-region's centroid. `luma` is sampled on a `w`×`h` grid in
+/// `[0,1]`; returns `(cx, cy)` in pixels.
+///
+/// This is a coarse but robust estimator — adequate for synthetic
+/// frames where the circle is well defined. It computes the centroid
+/// of all pixels brighter than `threshold`.
+pub fn estimate_center(
+    w: u32,
+    h: u32,
+    threshold: f32,
+    mut luma: impl FnMut(u32, u32) -> f32,
+) -> (f64, f64) {
+    let mut sx = 0.0f64;
+    let mut sy = 0.0f64;
+    let mut n = 0u64;
+    for y in 0..h {
+        for x in 0..w {
+            if luma(x, y) > threshold {
+                sx += x as f64;
+                sy += y as f64;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        return (w as f64 / 2.0, h as f64 / 2.0);
+    }
+    (sx / n as f64 + 0.5, sy / n as f64 + 0.5)
+}
+
+/// Generate synthetic calibration observations from a known lens with
+/// additive radial measurement noise of amplitude `noise_px`
+/// (deterministic triangle-wave "noise" so tests stay reproducible
+/// without an RNG dependency here).
+pub fn synthetic_observations(lens: &FisheyeLens, count: usize, noise_px: f64) -> Vec<Observation> {
+    (1..=count)
+        .map(|i| {
+            let theta = lens.max_theta * i as f64 / count as f64;
+            let jitter = ((i as f64 * 0.7368).fract() - 0.5) * 2.0 * noise_px;
+            Observation {
+                theta,
+                radius_px: lens.focal_px * lens.model.theta_to_r_over_f(theta) + jitter,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lens_180() -> FisheyeLens {
+        FisheyeLens::equidistant_fov(1280, 720, 180.0)
+    }
+
+    #[test]
+    fn fit_focal_recovers_exact() {
+        let lens = lens_180();
+        let obs = synthetic_observations(&lens, 50, 0.0);
+        let (f, rms) = fit_focal(LensModel::Equidistant, &obs);
+        assert!((f - lens.focal_px).abs() < 1e-9, "f {f} vs {}", lens.focal_px);
+        assert!(rms < 1e-9);
+    }
+
+    #[test]
+    fn fit_focal_robust_to_noise() {
+        let lens = lens_180();
+        let obs = synthetic_observations(&lens, 200, 1.5);
+        let (f, rms) = fit_focal(LensModel::Equidistant, &obs);
+        assert!((f - lens.focal_px).abs() < 0.5, "f {f} vs {}", lens.focal_px);
+        assert!(rms < 2.0);
+    }
+
+    #[test]
+    fn select_model_identifies_generator() {
+        for gen in [LensModel::Equidistant, LensModel::Equisolid, LensModel::Stereographic] {
+            let lens = FisheyeLens::with_model_fov(gen, 1000, 1000, 160.0);
+            let obs = synthetic_observations(&lens, 100, 0.0);
+            let (m, f, rms) = select_model(&obs);
+            assert_eq!(m, gen, "picked {} for {}", m.name(), gen.name());
+            assert!((f - lens.focal_px).abs() < 1e-6);
+            assert!(rms < 1e-9);
+        }
+    }
+
+    #[test]
+    fn select_model_skips_incapable_models() {
+        // θ up to 80° rules nothing out, but θ > 90° rules out
+        // orthographic
+        let lens = lens_180();
+        let obs = synthetic_observations(&lens, 60, 0.0);
+        assert!(obs.iter().any(|o| o.theta > std::f64::consts::FRAC_PI_2 * 0.99));
+        let (m, _, _) = select_model(&obs);
+        assert_ne!(m, LensModel::Orthographic);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn fit_focal_needs_data() {
+        let _ = fit_focal(LensModel::Equidistant, &[]);
+    }
+
+    #[test]
+    fn estimate_center_of_offset_circle() {
+        // bright disc centered at (70, 40) in a 120x90 frame
+        let (cx, cy) = estimate_center(120, 90, 0.5, |x, y| {
+            let dx = x as f64 + 0.5 - 70.0;
+            let dy = y as f64 + 0.5 - 40.0;
+            if dx * dx + dy * dy < 30.0 * 30.0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        assert!((cx - 70.0).abs() < 0.5, "cx {cx}");
+        assert!((cy - 40.0).abs() < 0.5, "cy {cy}");
+    }
+
+    #[test]
+    fn estimate_center_all_dark_falls_back() {
+        let (cx, cy) = estimate_center(100, 60, 0.5, |_, _| 0.0);
+        assert_eq!((cx, cy), (50.0, 30.0));
+    }
+
+    #[test]
+    fn lens_from_fit_roundtrip() {
+        let lens = lens_180();
+        let obs = synthetic_observations(&lens, 40, 0.0);
+        let (m, f, _) = select_model(&obs);
+        let rebuilt = lens_from_fit(m, f, 1280, 720, lens.max_theta);
+        // the rebuilt lens projects identically
+        let ray = crate::vec3::Vec3::new(0.4, 0.1, 0.9).normalized();
+        let a = lens.project(ray).unwrap();
+        let b = rebuilt.project(ray).unwrap();
+        assert!((a.0 - b.0).abs() < 1e-6 && (a.1 - b.1).abs() < 1e-6);
+    }
+}

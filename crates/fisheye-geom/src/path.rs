@@ -1,0 +1,203 @@
+//! Smooth PTZ trajectories for the virtual camera.
+//!
+//! Operator consoles don't jump between views — they glide. A
+//! [`PtzPath`] interpolates between keyframed [`PerspectiveView`]s
+//! with smoothstep easing on all four parameters (pan, tilt, roll,
+//! zoom), producing the per-frame view sequence a video pipeline
+//! renders. Angles interpolate along the shortest arc.
+
+use crate::view::PerspectiveView;
+
+/// One keyframe: a view held at a timestamp (seconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Keyframe {
+    /// Time of this keyframe, seconds from path start.
+    pub t: f64,
+    /// The camera at that time.
+    pub view: PerspectiveView,
+}
+
+/// A keyframed PTZ trajectory.
+#[derive(Clone, Debug)]
+pub struct PtzPath {
+    keys: Vec<Keyframe>,
+}
+
+/// Smoothstep ease: 3t² − 2t³.
+#[inline]
+fn smoothstep(t: f64) -> f64 {
+    let t = t.clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Shortest-arc angular interpolation.
+#[inline]
+fn lerp_angle(a: f64, b: f64, t: f64) -> f64 {
+    let mut d = (b - a) % std::f64::consts::TAU;
+    if d > std::f64::consts::PI {
+        d -= std::f64::consts::TAU;
+    } else if d < -std::f64::consts::PI {
+        d += std::f64::consts::TAU;
+    }
+    a + d * t
+}
+
+impl PtzPath {
+    /// Build from keyframes (must be non-empty, strictly increasing in
+    /// time, and share output dimensions — the LUT size cannot change
+    /// mid-stream).
+    pub fn new(keys: Vec<Keyframe>) -> Self {
+        assert!(!keys.is_empty(), "need at least one keyframe");
+        for pair in keys.windows(2) {
+            assert!(
+                pair[1].t > pair[0].t,
+                "keyframe times must strictly increase"
+            );
+            assert_eq!(
+                (pair[0].view.width, pair[0].view.height),
+                (pair[1].view.width, pair[1].view.height),
+                "output size must be constant along a path"
+            );
+        }
+        PtzPath { keys }
+    }
+
+    /// Total duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.keys.last().unwrap().t - self.keys[0].t
+    }
+
+    /// The interpolated view at time `t` (clamped to the path ends).
+    pub fn view_at(&self, t: f64) -> PerspectiveView {
+        let first = &self.keys[0];
+        let last = self.keys.last().unwrap();
+        if t <= first.t || self.keys.len() == 1 {
+            return first.view;
+        }
+        if t >= last.t {
+            return last.view;
+        }
+        let idx = self
+            .keys
+            .partition_point(|k| k.t <= t)
+            .min(self.keys.len() - 1);
+        let a = &self.keys[idx - 1];
+        let b = &self.keys[idx];
+        let u = smoothstep((t - a.t) / (b.t - a.t));
+        PerspectiveView {
+            pan: lerp_angle(a.view.pan, b.view.pan, u),
+            tilt: lerp_angle(a.view.tilt, b.view.tilt, u),
+            roll: lerp_angle(a.view.roll, b.view.roll, u),
+            h_fov: a.view.h_fov + (b.view.h_fov - a.view.h_fov) * u,
+            width: a.view.width,
+            height: a.view.height,
+        }
+    }
+
+    /// Sample the path at `fps` into per-frame views.
+    pub fn sample(&self, fps: f64) -> Vec<PerspectiveView> {
+        assert!(fps > 0.0, "fps must be positive");
+        let frames = (self.duration() * fps).ceil() as usize + 1;
+        (0..frames)
+            .map(|i| self.view_at(self.keys[0].t + i as f64 / fps))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(t: f64, pan_deg: f64, fov_deg: f64) -> Keyframe {
+        Keyframe {
+            t,
+            view: PerspectiveView::centered(320, 240, fov_deg).look(pan_deg, 0.0),
+        }
+    }
+
+    #[test]
+    fn endpoints_exact_and_clamped() {
+        let p = PtzPath::new(vec![key(0.0, -30.0, 90.0), key(2.0, 45.0, 60.0)]);
+        assert_eq!(p.duration(), 2.0);
+        assert_eq!(p.view_at(0.0), p.view_at(-5.0));
+        assert_eq!(p.view_at(2.0), p.view_at(99.0));
+        assert!((p.view_at(0.0).pan.to_degrees() + 30.0).abs() < 1e-12);
+        assert!((p.view_at(2.0).h_fov.to_degrees() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_halfway_smoothstepped() {
+        let p = PtzPath::new(vec![key(0.0, 0.0, 90.0), key(2.0, 40.0, 90.0)]);
+        // smoothstep(0.5) = 0.5: midpoint pan = 20°
+        let v = p.view_at(1.0);
+        assert!((v.pan.to_degrees() - 20.0).abs() < 1e-9);
+        // quarter point: smoothstep(0.25) = 0.15625 → 6.25°
+        let v = p.view_at(0.5);
+        assert!((v.pan.to_degrees() - 40.0 * 0.15625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eased_motion_starts_and_ends_slow() {
+        let p = PtzPath::new(vec![key(0.0, 0.0, 90.0), key(1.0, 90.0, 90.0)]);
+        let step_start = p.view_at(0.05).pan - p.view_at(0.0).pan;
+        let step_mid = p.view_at(0.525).pan - p.view_at(0.475).pan;
+        let step_end = p.view_at(1.0).pan - p.view_at(0.95).pan;
+        assert!(step_mid > step_start * 3.0, "{step_start} vs {step_mid}");
+        assert!(step_mid > step_end * 3.0);
+    }
+
+    #[test]
+    fn multi_segment_is_continuous() {
+        let p = PtzPath::new(vec![
+            key(0.0, 0.0, 90.0),
+            key(1.0, 60.0, 50.0),
+            key(3.0, -45.0, 100.0),
+        ]);
+        // no jumps: adjacent samples differ by a bounded amount
+        let views = p.sample(60.0);
+        assert_eq!(views.len(), 181);
+        for w in views.windows(2) {
+            let dpan = (w[1].pan - w[0].pan).abs().to_degrees();
+            assert!(dpan < 3.0, "pan jump {dpan}°");
+        }
+        // hits the middle keyframe exactly
+        let v = p.view_at(1.0);
+        assert!((v.pan.to_degrees() - 60.0).abs() < 1e-9);
+        assert!((v.h_fov.to_degrees() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shortest_arc_wraps() {
+        // 170° -> -170°: should travel 20° through 180, not 340° back
+        let a = 170f64.to_radians();
+        let b = (-170f64).to_radians();
+        let mid = lerp_angle(a, b, 0.5);
+        let mid_deg = mid.to_degrees();
+        assert!(
+            (mid_deg - 180.0).abs() < 1e-9 || (mid_deg + 180.0).abs() < 1e-9,
+            "mid {mid_deg}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn unordered_keys_rejected() {
+        let _ = PtzPath::new(vec![key(1.0, 0.0, 90.0), key(1.0, 10.0, 90.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant along a path")]
+    fn size_change_rejected() {
+        let a = key(0.0, 0.0, 90.0);
+        let mut b = key(1.0, 0.0, 90.0);
+        b.view.width = 640;
+        let _ = PtzPath::new(vec![a, b]);
+    }
+
+    #[test]
+    fn single_keyframe_is_constant() {
+        let p = PtzPath::new(vec![key(0.5, 10.0, 80.0)]);
+        assert_eq!(p.duration(), 0.0);
+        assert_eq!(p.view_at(0.0), p.view_at(7.0));
+    }
+}

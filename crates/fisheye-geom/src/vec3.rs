@@ -1,0 +1,360 @@
+//! Minimal 3-D vector and rotation-matrix math.
+//!
+//! Only what the projection code needs — no general linear algebra.
+//! Kept dependency-free so the whole geometry stack can be audited in
+//! one place and reused verbatim inside the accelerator kernels.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-component double-precision vector.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    /// Unit +Z — the optical axis in this workspace's convention.
+    pub const AXIS_Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
+
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in the same direction; panics on the zero vector.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        self * (1.0 / n)
+    }
+
+    /// Angle in radians between this vector and `o`, in `[0, π]`.
+    /// Computed via atan2 of cross/dot for accuracy near 0 and π.
+    #[inline]
+    pub fn angle_to(self, o: Vec3) -> f64 {
+        self.cross(o).norm().atan2(self.dot(o))
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A 3×3 matrix, row-major. Used exclusively for rotations here.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Mat3 {
+    pub m: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Rotation about the X axis by `a` radians (tilt: positive looks
+    /// down, given y-down image convention).
+    pub fn rot_x(a: f64) -> Mat3 {
+        let (s, c) = a.sin_cos();
+        Mat3 {
+            m: [[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]],
+        }
+    }
+
+    /// Rotation about the Y axis by `a` radians (pan).
+    pub fn rot_y(a: f64) -> Mat3 {
+        let (s, c) = a.sin_cos();
+        Mat3 {
+            m: [[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]],
+        }
+    }
+
+    /// Rotation about the Z axis by `a` radians (roll).
+    pub fn rot_z(a: f64) -> Mat3 {
+        let (s, c) = a.sin_cos();
+        Mat3 {
+            m: [[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]],
+        }
+    }
+
+    /// Matrix product `self * o`.
+    pub fn mul_mat(self, o: Mat3) -> Mat3 {
+        let mut r = [[0.0; 3]; 3];
+        for (i, row) in r.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.m[i][k] * o.m[k][j]).sum();
+            }
+        }
+        Mat3 { m: r }
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(self, v: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            y: self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            z: self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        }
+    }
+
+    /// Transpose — for rotations this is the inverse.
+    pub fn transpose(self) -> Mat3 {
+        let mut r = [[0.0; 3]; 3];
+        for (i, row) in self.m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                r[j][i] = v;
+            }
+        }
+        Mat3 { m: r }
+    }
+
+    /// Determinant (should be +1 for a proper rotation).
+    pub fn det(self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        self.mul_vec(v)
+    }
+}
+
+impl Mul<Mat3> for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn mul(self, o: Mat3) -> Mat3 {
+        self.mul_mat(o)
+    }
+}
+
+/// Solve a small dense linear system `A x = b` in place by Gaussian
+/// elimination with partial pivoting. Returns `None` when the matrix
+/// is (numerically) singular. Used by the least-squares fits in
+/// [`crate::brown_conrady`] and [`crate::calib`].
+pub fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector size mismatch");
+    for row in a.iter() {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    for col in 0..n {
+        // partial pivot
+        let piv = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        if a[piv][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = b[row];
+        for k in row + 1..n {
+            s -= a[row][k] * x[k];
+        }
+        x[row] = s / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_vec_eq(a: Vec3, b: Vec3, eps: f64) {
+        assert!(
+            (a - b).norm() < eps,
+            "vectors differ: {a:?} vs {b:?} (eps {eps})"
+        );
+    }
+
+    #[test]
+    fn dot_cross_basics() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_vec_eq(x.cross(y), Vec3::AXIS_Z, 1e-15);
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).dot(Vec3::new(4.0, 5.0, 6.0)), 32.0);
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        let u = v.normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        let _ = Vec3::ZERO.normalized();
+    }
+
+    #[test]
+    fn angle_to_accuracy_near_extremes() {
+        let z = Vec3::AXIS_Z;
+        assert!((z.angle_to(z)).abs() < 1e-12);
+        assert!((z.angle_to(-z) - PI).abs() < 1e-12);
+        let almost = Vec3::new(1e-9, 0.0, 1.0);
+        let a = z.angle_to(almost);
+        assert!((a - 1e-9).abs() < 1e-15, "tiny angle lost: {a}");
+    }
+
+    #[test]
+    fn rotations_move_axes_correctly() {
+        // pan +90° about Y sends +Z to +X
+        let r = Mat3::rot_y(FRAC_PI_2);
+        assert_vec_eq(r * Vec3::AXIS_Z, Vec3::new(1.0, 0.0, 0.0), 1e-12);
+        // tilt +90° about X sends +Z to -Y... check convention: rot_x(a)*z = (0,-sin,cos)? m[1][2]=-s so y=-s*1
+        let r = Mat3::rot_x(FRAC_PI_2);
+        assert_vec_eq(r * Vec3::AXIS_Z, Vec3::new(0.0, -1.0, 0.0), 1e-12);
+        // roll about Z leaves Z fixed
+        let r = Mat3::rot_z(1.234);
+        assert_vec_eq(r * Vec3::AXIS_Z, Vec3::AXIS_Z, 1e-15);
+    }
+
+    #[test]
+    fn rotation_is_orthonormal() {
+        let r = Mat3::rot_y(0.7) * Mat3::rot_x(-0.3) * Mat3::rot_z(2.1);
+        let rt = r.transpose();
+        let id = r * rt;
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((id.m[i][j] - want).abs() < 1e-12);
+            }
+        }
+        assert!((r.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_inverts_rotation() {
+        let r = Mat3::rot_y(0.4) * Mat3::rot_x(1.1);
+        let v = Vec3::new(0.3, -0.5, 0.81).normalized();
+        let back = r.transpose() * (r * v);
+        assert_vec_eq(back, v, 1e-12);
+    }
+
+    #[test]
+    fn mat_mul_associativity() {
+        let a = Mat3::rot_x(0.2);
+        let b = Mat3::rot_y(0.5);
+        let c = Mat3::rot_z(-0.9);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let lhs = ((a * b) * c) * v;
+        let rhs = (a * (b * c)) * v;
+        assert_vec_eq(lhs, rhs, 1e-12);
+    }
+
+    #[test]
+    fn solve_dense_known_system() {
+        let mut a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let mut b = vec![8.0, -11.0, -3.0];
+        let x = solve_dense(&mut a, &mut b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] - -1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dense_requires_pivoting() {
+        // zero on the diagonal forces a row swap
+        let mut a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let mut b = vec![2.0, 3.0];
+        let x = solve_dense(&mut a, &mut b).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_dense_singular_returns_none() {
+        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_dense(&mut a, &mut b).is_none());
+    }
+}

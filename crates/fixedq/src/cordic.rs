@@ -1,0 +1,347 @@
+//! CORDIC (COordinate Rotation DIgital Computer) kernels.
+//!
+//! CORDIC is the canonical way hardware accelerators evaluate
+//! trigonometric functions with only shifts and adds. The fisheye
+//! map-generation kernel needs `atan2` (ray angle from coordinates),
+//! `sin`/`cos` (building rotated rays) and vector magnitude; all three
+//! fall out of the same iteration in *vectoring* or *rotation* mode.
+//!
+//! Internals run in Q2.29 on `i64` accumulators (two guard bits wider
+//! than the stored format, as a real datapath would provision) with a
+//! configurable iteration count — the iteration count is an explicit
+//! knob because it is a pipeline-depth/accuracy trade-off the resource
+//! model in `streamsim` reports.
+
+/// Number of fractional bits of the internal CORDIC format (Q2.29).
+pub const CORDIC_FRAC: u32 = 29;
+
+/// atan(2^-i) table in Q2.29 radians, enough entries for full i32
+/// convergence (after ~30 iterations the rotation is below 1 ulp).
+const ATAN_TABLE: [i64; 32] = {
+    // const-evaluable approximation is not possible (no const fp math
+    // in stable Rust for atan), so the table is spelled out. Values are
+    // round(atan(2^-i) * 2^29).
+    [
+        421657428, // atan(1)      = 0.7853981634
+        248918915, // atan(0.5)    = 0.4636476090
+        131521918, // atan(0.25)   = 0.2449786631
+        66762579,  // atan(0.125)
+        33510843,
+        16771758,
+        8387925,
+        4194219,
+        2097141,
+        1048575,
+        524288,
+        262144,
+        131072,
+        65536,
+        32768,
+        16384,
+        8192,
+        4096,
+        2048,
+        1024,
+        512,
+        256,
+        128,
+        64,
+        32,
+        16,
+        8,
+        4,
+        2,
+        1,
+        0,
+        0,
+    ]
+};
+
+/// CORDIC gain K = prod(sqrt(1 + 2^-2i)) for 32 iterations, Q2.29.
+/// 1/K in Q2.29 (0.607252935... * 2^29).
+const INV_GAIN: i64 = 326016437;
+
+/// Result of a vectoring-mode CORDIC: magnitude and angle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Vectored {
+    /// `sqrt(x² + y²)` in the caller's raw scale (Q of the inputs).
+    pub magnitude: i64,
+    /// `atan2(y, x)` in Q2.29 radians, range `(-π, π]`.
+    pub angle: i64,
+}
+
+/// Vectoring mode: rotate `(x, y)` onto the positive x-axis, recording
+/// the applied angle. Inputs are raw fixed-point values in any shared Q
+/// format; the angle comes back in Q2.29 radians and the magnitude in
+/// the input format.
+pub fn vectoring(mut x: i64, mut y: i64, iterations: u32) -> Vectored {
+    let iterations = iterations.min(ATAN_TABLE.len() as u32);
+    // Pre-rotate into the right half-plane so the iteration converges.
+    let mut z: i64 = 0;
+    const PI_Q: i64 = 1686629713; // round(pi * 2^29)
+    if x < 0 {
+        if y >= 0 {
+            // rotate by -pi/2 .. actually reflect: (x,y) -> (y, -x) is +90°
+            let t = x;
+            x = y;
+            y = -t;
+            z = PI_Q / 2 + (PI_Q & 1); // +pi/2 applied, add to result
+        } else {
+            let t = x;
+            x = -y;
+            y = t;
+            z = -(PI_Q / 2);
+        }
+    }
+    for i in 0..iterations {
+        let xi = x >> i;
+        let yi = y >> i;
+        if y >= 0 {
+            x += yi;
+            y -= xi;
+            z += ATAN_TABLE[i as usize];
+        } else {
+            x -= yi;
+            y += xi;
+            z -= ATAN_TABLE[i as usize];
+        }
+    }
+    // x now holds K * magnitude; multiply by 1/K (Q2.29 * Q -> Q).
+    let magnitude = ((x as i128 * INV_GAIN as i128) >> CORDIC_FRAC) as i64;
+    Vectored {
+        magnitude,
+        angle: z,
+    }
+}
+
+/// Fixed-point `atan2(y, x)` in Q2.29 radians.
+pub fn atan2_q(y: i64, x: i64, iterations: u32) -> i64 {
+    if x == 0 && y == 0 {
+        return 0;
+    }
+    vectoring(x, y, iterations).angle
+}
+
+/// Fixed-point magnitude `sqrt(x²+y²)` in the input Q format.
+pub fn hypot_q(x: i64, y: i64, iterations: u32) -> i64 {
+    vectoring(x.abs(), y.abs(), iterations).magnitude
+}
+
+/// Rotation mode: simultaneous `sin`/`cos` of an angle in Q2.29
+/// radians, each returned in Q2.29. The angle is first range-reduced
+/// to `[-π, π]`.
+pub fn sincos_q(angle: i64, iterations: u32) -> (i64, i64) {
+    let iterations = iterations.min(ATAN_TABLE.len() as u32);
+    const PI_Q: i64 = 1686629713;
+    const TWO_PI_Q: i64 = 2 * PI_Q;
+    // range-reduce to [-pi, pi]
+    let mut a = angle % TWO_PI_Q;
+    if a > PI_Q {
+        a -= TWO_PI_Q;
+    } else if a < -PI_Q {
+        a += TWO_PI_Q;
+    }
+    // reduce to [-pi/2, pi/2] and remember the reflection
+    let mut flip = false;
+    if a > PI_Q / 2 {
+        a = PI_Q - a;
+        flip = true;
+    } else if a < -(PI_Q / 2) {
+        a = -PI_Q - a;
+        flip = true;
+    }
+    let mut x = INV_GAIN; // start at 1/K so the gain cancels
+    let mut y: i64 = 0;
+    let mut z = a;
+    for i in 0..iterations {
+        let xi = x >> i;
+        let yi = y >> i;
+        if z >= 0 {
+            x -= yi;
+            y += xi;
+            z -= ATAN_TABLE[i as usize];
+        } else {
+            x += yi;
+            y -= xi;
+            z += ATAN_TABLE[i as usize];
+        }
+    }
+    let (sin, cos) = (y, x);
+    if flip {
+        (sin, -cos)
+    } else {
+        (sin, cos)
+    }
+}
+
+/// Convenience float wrappers (quantize → CORDIC → dequantize),
+/// used by tests and by the accuracy-sweep experiment to measure the
+/// iteration-count error curve.
+pub mod float {
+    use super::*;
+
+    const SCALE: f64 = (1i64 << CORDIC_FRAC) as f64;
+
+    /// `atan2` via CORDIC with the given iteration count.
+    pub fn atan2(y: f64, x: f64, iterations: u32) -> f64 {
+        // Normalize into the Q2.29-safe magnitude range; atan2 is
+        // scale-invariant so this does not change the result.
+        let m = y.abs().max(x.abs());
+        if m == 0.0 {
+            return 0.0;
+        }
+        let s = 1.0 / m;
+        let xq = (x * s * SCALE) as i64;
+        let yq = (y * s * SCALE) as i64;
+        atan2_q(yq, xq, iterations) as f64 / SCALE
+    }
+
+    /// `hypot` via CORDIC.
+    pub fn hypot(x: f64, y: f64, iterations: u32) -> f64 {
+        let m = y.abs().max(x.abs());
+        if m == 0.0 {
+            return 0.0;
+        }
+        let s = 1.0 / m;
+        let xq = (x * s * SCALE) as i64;
+        let yq = (y * s * SCALE) as i64;
+        hypot_q(xq, yq, iterations) as f64 / SCALE * m
+    }
+
+    /// `(sin, cos)` via CORDIC.
+    pub fn sincos(angle: f64, iterations: u32) -> (f64, f64) {
+        let aq = (angle * SCALE) as i64;
+        let (s, c) = sincos_q(aq, iterations);
+        (s as f64 / SCALE, c as f64 / SCALE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-6; // 24+ iterations give ~1e-7; allow slack
+
+    #[test]
+    fn atan2_quadrants() {
+        let cases = [
+            (1.0, 1.0),
+            (1.0, -1.0),
+            (-1.0, 1.0),
+            (-1.0, -1.0),
+            (0.3, 0.9),
+            (-0.7, 0.2),
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (-1.0, 0.0),
+        ];
+        for (y, x) in cases {
+            let got = float::atan2(y, x, 30);
+            let want = f64::atan2(y, x);
+            assert!(
+                (got - want).abs() < EPS,
+                "atan2({y},{x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn atan2_negative_x_axis_gives_pi() {
+        let got = float::atan2(0.0, -1.0, 30);
+        assert!(
+            (got.abs() - std::f64::consts::PI).abs() < EPS,
+            "atan2(0,-1) = {got}"
+        );
+    }
+
+    #[test]
+    fn atan2_origin_is_zero() {
+        assert_eq!(float::atan2(0.0, 0.0, 30), 0.0);
+    }
+
+    #[test]
+    fn hypot_matches_float() {
+        for (x, y) in [(3.0, 4.0), (1.0, 1.0), (0.5, 0.0), (0.0, 2.0), (-3.0, 4.0)] {
+            let got = float::hypot(x, y, 30);
+            let want = f64::hypot(x, y);
+            assert!(
+                (got - want).abs() < 1e-5 * (1.0 + want),
+                "hypot({x},{y}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn sincos_against_std() {
+        for i in -12..=12 {
+            let a = i as f64 * 0.26;
+            let (s, c) = float::sincos(a, 30);
+            assert!((s - a.sin()).abs() < EPS, "sin({a}) = {s}");
+            assert!((c - a.cos()).abs() < EPS, "cos({a}) = {c}");
+        }
+    }
+
+    #[test]
+    fn sincos_range_reduction_beyond_pi() {
+        for &a in &[3.5, -3.5, 6.0, -6.0, 9.42, 12.0] {
+            let (s, c) = float::sincos(a, 30);
+            assert!((s - a.sin()).abs() < 1e-5, "sin({a}) = {s} want {}", a.sin());
+            assert!((c - a.cos()).abs() < 1e-5, "cos({a}) = {c} want {}", a.cos());
+        }
+    }
+
+    #[test]
+    fn pythagorean_identity() {
+        for i in 0..20 {
+            let a = i as f64 * 0.3 - 3.0;
+            let (s, c) = float::sincos(a, 30);
+            assert!((s * s + c * c - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_iterations() {
+        let a = 0.8f64;
+        let mut prev_err = f64::MAX;
+        for iters in [4u32, 8, 16, 28] {
+            let got = float::atan2(a.sin(), a.cos(), iters);
+            let err = (got - a).abs();
+            assert!(
+                err < prev_err + 1e-9,
+                "error should shrink: {iters} iters gave {err}, prev {prev_err}"
+            );
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-6);
+    }
+
+    #[test]
+    fn roughly_one_bit_per_iteration() {
+        // the classic CORDIC property: n iterations ≈ n bits of angle
+        let a = 0.5f64;
+        let err8 = (float::atan2(a.sin(), a.cos(), 8) - a).abs();
+        let err16 = (float::atan2(a.sin(), a.cos(), 16) - a).abs();
+        assert!(err8 < 2.0_f64.powi(-6), "8 iters: {err8}");
+        assert!(err16 < 2.0_f64.powi(-13), "16 iters: {err16}");
+    }
+
+    #[test]
+    fn atan_table_is_monotone_decreasing() {
+        for w in ATAN_TABLE.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // spot-check first entries against float atan
+        let scale = (1i64 << CORDIC_FRAC) as f64;
+        assert!((ATAN_TABLE[0] as f64 / scale - std::f64::consts::FRAC_PI_4).abs() < 1e-8);
+        assert!((ATAN_TABLE[1] as f64 / scale - 0.5f64.atan()).abs() < 1e-8);
+        assert!((ATAN_TABLE[2] as f64 / scale - 0.25f64.atan()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn vectoring_magnitude_scale_invariant_shape() {
+        // magnitude in input units: (300, 400) -> 500
+        let v = vectoring(300 << 16, 400 << 16, 30);
+        let mag = v.magnitude as f64 / 65536.0;
+        assert!((mag - 500.0).abs() < 0.01, "mag {mag}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # fixedq — Q-format fixed-point arithmetic for accelerator datapaths
+//!
+//! The paper's hardware-accelerator implementations (FPGA/streaming
+//! datapath, and to a lesser extent the Cell SPE integer paths) compute
+//! the lens mapping and interpolation in fixed point. This crate is a
+//! bit-accurate software model of such datapaths:
+//!
+//! * [`Fixed<F>`] — a compile-time Q(31−F).F signed fixed-point number
+//!   stored in `i32`, with rounding multiply/divide via `i64`
+//!   intermediates (exactly what a DSP slice computes).
+//! * [`DynFixed`] — the same arithmetic with a *runtime* fractional-bit
+//!   count, used by the precision-sweep experiment (F7) to evaluate the
+//!   PSNR-vs-bits trade-off without recompiling per format.
+//! * [`cordic`] — CORDIC iterations for `atan2`, `sin`/`cos` and
+//!   vector magnitude, the standard trig substitute in hardware.
+//! * [`lut`] — uniformly sampled lookup tables with linear
+//!   interpolation, the other standard hardware trig substitute; used
+//!   by `streamsim` for the θ→r lens mapping.
+//!
+//! Everything here is deterministic; arithmetic saturates where the
+//! hardware would.
+
+pub mod cordic;
+pub mod lut;
+mod q;
+
+pub use q::{DynFixed, Fixed, Q16_16, Q2_29, Q8_24};

@@ -1,0 +1,185 @@
+//! Lookup-table function approximation.
+//!
+//! FPGA and streaming datapaths replace expensive transcendental
+//! evaluation with a block-RAM lookup table plus linear interpolation.
+//! [`LinearLut`] models exactly that: `N+1` uniformly spaced samples of
+//! `f` over `[a, b]`, evaluated with one multiply and one add. The
+//! `streamsim` resource model charges one BRAM per table and reports
+//! the worst-case approximation error measured by [`LinearLut::max_error`].
+
+/// Uniformly sampled lookup table with linear interpolation.
+///
+/// ```
+/// use fixedq::lut::LinearLut;
+///
+/// let lut = LinearLut::build(f64::atan, 0.0, 4.0, 256);
+/// assert!((lut.eval(1.0) - 1f64.atan()).abs() < 1e-4);
+/// assert!(lut.max_error(f64::atan, 4) < 1e-4);
+/// assert_eq!(lut.eval(99.0), lut.eval(4.0)); // clamps at the domain edge
+/// ```
+#[derive(Clone, Debug)]
+pub struct LinearLut {
+    samples: Vec<f64>,
+    a: f64,
+    b: f64,
+    inv_step: f64,
+}
+
+impl LinearLut {
+    /// Build a table of `n_intervals + 1` samples of `f` over `[a, b]`.
+    ///
+    /// Panics if `n_intervals == 0` or `a >= b`.
+    pub fn build(f: impl Fn(f64) -> f64, a: f64, b: f64, n_intervals: usize) -> Self {
+        assert!(n_intervals > 0, "need at least one interval");
+        assert!(a < b, "empty domain [{a}, {b}]");
+        let step = (b - a) / n_intervals as f64;
+        let samples = (0..=n_intervals).map(|i| f(a + i as f64 * step)).collect();
+        Self {
+            samples,
+            a,
+            b,
+            inv_step: 1.0 / step,
+        }
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Always false — a table has at least two samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Domain lower bound.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.a, self.b)
+    }
+
+    /// Evaluate with linear interpolation; inputs outside `[a, b]`
+    /// clamp to the edge (hardware address clamp).
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        let t = (x - self.a) * self.inv_step;
+        let n = self.samples.len() - 1;
+        if t <= 0.0 {
+            return self.samples[0];
+        }
+        if t >= n as f64 {
+            return self.samples[n];
+        }
+        let i = t as usize;
+        let frac = t - i as f64;
+        self.samples[i] + (self.samples[i + 1] - self.samples[i]) * frac
+    }
+
+    /// Worst-case absolute error against `f`, probed at `probes`
+    /// points per interval (3 probes per interval catches the midpoint
+    /// where linear-interpolation error peaks).
+    pub fn max_error(&self, f: impl Fn(f64) -> f64, probes_per_interval: usize) -> f64 {
+        let n = self.samples.len() - 1;
+        let step = (self.b - self.a) / n as f64;
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for p in 0..=probes_per_interval {
+                let x = self.a + i as f64 * step + step * p as f64 / probes_per_interval as f64;
+                let err = (self.eval(x) - f(x)).abs();
+                if err > worst {
+                    worst = err;
+                }
+            }
+        }
+        worst
+    }
+
+    /// Bytes of block RAM this table occupies at the given sample
+    /// width — the number `streamsim` charges to its resource budget.
+    pub fn bram_bytes(&self, bits_per_sample: u32) -> usize {
+        (self.samples.len() * bits_per_sample as usize).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_at_sample_points() {
+        let lut = LinearLut::build(|x| x * x, 0.0, 2.0, 8);
+        for i in 0..=8 {
+            let x = i as f64 * 0.25;
+            assert!((lut.eval(x) - x * x).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn linear_functions_are_reproduced_exactly() {
+        let lut = LinearLut::build(|x| 3.0 * x - 1.0, -2.0, 2.0, 5);
+        for i in 0..50 {
+            let x = -2.0 + i as f64 * 0.08;
+            assert!((lut.eval(x) - (3.0 * x - 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let lut = LinearLut::build(|x| x, 0.0, 1.0, 4);
+        assert_eq!(lut.eval(-5.0), 0.0);
+        assert_eq!(lut.eval(9.0), 1.0);
+    }
+
+    #[test]
+    fn error_shrinks_quadratically_with_resolution() {
+        // linear interpolation error ~ h²·f''/8
+        let f = |x: f64| x.sin();
+        let coarse = LinearLut::build(f, 0.0, 3.0, 16).max_error(f, 8);
+        let fine = LinearLut::build(f, 0.0, 3.0, 64).max_error(f, 8);
+        assert!(coarse > 0.0);
+        // 4x resolution -> ~16x error reduction; allow slack factor 2
+        assert!(
+            fine < coarse / 8.0,
+            "coarse {coarse:e}, fine {fine:e} — not ~quadratic"
+        );
+    }
+
+    #[test]
+    fn atan_table_error_bound() {
+        // the θ→r mapping table used by streamsim: verify a 1024-entry
+        // atan LUT is accurate to better than 1e-5 over [0, 4]
+        let f = |x: f64| x.atan();
+        let lut = LinearLut::build(f, 0.0, 4.0, 1024);
+        assert!(lut.max_error(f, 4) < 1e-5);
+    }
+
+    #[test]
+    fn bram_accounting() {
+        let lut = LinearLut::build(|x| x, 0.0, 1.0, 1024);
+        assert_eq!(lut.len(), 1025);
+        assert_eq!(lut.bram_bytes(16), (1025 * 16usize).div_ceil(8));
+        assert_eq!(lut.bram_bytes(18), (1025 * 18usize).div_ceil(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn zero_intervals_rejected() {
+        let _ = LinearLut::build(|x| x, 0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn inverted_domain_rejected() {
+        let _ = LinearLut::build(|x| x, 1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn monotone_input_gives_monotone_output() {
+        let lut = LinearLut::build(|x| x.atan(), 0.0, 4.0, 64);
+        let mut prev = f64::MIN;
+        for i in 0..200 {
+            let v = lut.eval(i as f64 * 0.02);
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Q-format signed fixed-point numbers.
+//!
+//! `Fixed<F>` stores a real number `x` as `round(x * 2^F)` in an `i32`.
+//! The usable range is therefore `[-2^(31-F), 2^(31-F))` with a
+//! resolution of `2^-F`. Multiplication and division route through
+//! `i64` and round-to-nearest, matching the behaviour of a DSP
+//! multiply-accumulate block with a rounding constant. Out-of-range
+//! results saturate (hardware datapaths clamp rather than wrap).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Compile-time Q-format fixed point: `F` fractional bits in an `i32`.
+///
+/// ```
+/// use fixedq::Q16_16;
+///
+/// let a = Q16_16::from_f64(3.25);
+/// let b = Q16_16::from_f64(-0.5);
+/// assert_eq!((a * b).to_f64(), -1.625);       // exact: both dyadic
+/// assert_eq!(a.floor_int(), 3);
+/// assert_eq!(Q16_16::from_f64(1e9).raw(), i32::MAX); // saturates
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fixed<const F: u32>(i32);
+
+/// Q2.29: range ±4, for angles and unit-vector components.
+pub type Q2_29 = Fixed<29>;
+/// Q8.24: range ±128, for normalized image-plane coordinates.
+pub type Q8_24 = Fixed<24>;
+/// Q16.16: range ±32768, for pixel coordinates up to 8K resolution.
+pub type Q16_16 = Fixed<16>;
+
+#[inline]
+fn sat_i32(v: i64) -> i32 {
+    if v > i32::MAX as i64 {
+        i32::MAX
+    } else if v < i32::MIN as i64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+/// Round-to-nearest (ties away from zero) of `v / 2^shift`.
+#[inline]
+fn rshift_round(v: i64, shift: u32) -> i64 {
+    if shift == 0 {
+        return v;
+    }
+    let half = 1i64 << (shift - 1);
+    if v >= 0 {
+        (v + half) >> shift
+    } else {
+        -((-v + half) >> shift)
+    }
+}
+
+impl<const F: u32> Fixed<F> {
+    /// Smallest positive representable increment.
+    pub const EPSILON_RAW: i32 = 1;
+    /// The value zero.
+    pub const ZERO: Self = Fixed(0);
+    /// The value one.
+    pub const ONE: Self = Fixed(1 << F);
+
+    /// Construct from a raw i32 bit pattern (value = raw / 2^F).
+    #[inline]
+    pub const fn from_raw(raw: i32) -> Self {
+        Fixed(raw)
+    }
+
+    /// The raw underlying integer.
+    #[inline]
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Convert from `f64`, rounding to nearest and saturating.
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        let scaled = x * (1i64 << F) as f64;
+        let r = scaled.round();
+        if r >= i32::MAX as f64 {
+            Fixed(i32::MAX)
+        } else if r <= i32::MIN as f64 {
+            Fixed(i32::MIN)
+        } else {
+            Fixed(r as i32)
+        }
+    }
+
+    /// Convert from `f32` (via `f64` for exactness of the scale).
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        Self::from_f64(x as f64)
+    }
+
+    /// Convert to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1i64 << F) as f64
+    }
+
+    /// Convert to `f32`.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// Construct from an integer, saturating.
+    #[inline]
+    pub fn from_int(x: i32) -> Self {
+        Fixed(sat_i32((x as i64) << F))
+    }
+
+    /// Truncate toward negative infinity to an integer (hardware
+    /// "floor" extract — just drops fractional bits).
+    #[inline]
+    pub fn floor_int(self) -> i32 {
+        self.0 >> F
+    }
+
+    /// The fractional part as raw bits in `[0, 2^F)` — exactly the
+    /// interpolation weight a hardware bilinear unit would extract.
+    #[inline]
+    pub fn frac_raw(self) -> i32 {
+        self.0 & ((1i32 << F) - 1)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn sat_add(self, rhs: Self) -> Self {
+        Fixed(sat_i32(self.0 as i64 + rhs.0 as i64))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn sat_sub(self, rhs: Self) -> Self {
+        Fixed(sat_i32(self.0 as i64 - rhs.0 as i64))
+    }
+
+    /// Rounding, saturating multiply: `(a*b + half) >> F`.
+    #[inline]
+    pub fn mul_q(self, rhs: Self) -> Self {
+        let prod = self.0 as i64 * rhs.0 as i64;
+        Fixed(sat_i32(rshift_round(prod, F)))
+    }
+
+    /// Rounding, saturating divide: `(a << F) / b`. Division by zero
+    /// saturates to the sign of the numerator (hardware convention for
+    /// a guarded divider).
+    #[inline]
+    pub fn div_q(self, rhs: Self) -> Self {
+        if rhs.0 == 0 {
+            return if self.0 >= 0 {
+                Fixed(i32::MAX)
+            } else {
+                Fixed(i32::MIN)
+            };
+        }
+        let num = (self.0 as i64) << F;
+        // round-to-nearest division
+        let q = num / rhs.0 as i64;
+        let r = num % rhs.0 as i64;
+        let half = (rhs.0 as i64).abs() / 2;
+        let adj = if 2 * r.abs() > 2 * half - 1 {
+            if (num < 0) == (rhs.0 < 0) {
+                1
+            } else {
+                -1
+            }
+        } else {
+            0
+        };
+        Fixed(sat_i32(q + adj))
+    }
+
+    /// Absolute value (saturating at `i32::MIN`).
+    #[inline]
+    pub fn abs(self) -> Self {
+        Fixed(if self.0 == i32::MIN {
+            i32::MAX
+        } else {
+            self.0.abs()
+        })
+    }
+
+    /// Fixed-point square root via the non-restoring integer method on
+    /// the widened radicand (`x << F`), exactly as a hardware iterative
+    /// rooter computes it. Negative inputs return zero.
+    pub fn sqrt(self) -> Self {
+        if self.0 <= 0 {
+            return Fixed(0);
+        }
+        let x = (self.0 as u64) << F; // value * 2^(2F)
+        Fixed(isqrt_u64(x) as i32)
+    }
+}
+
+/// Integer square root of a u64 (floor).
+pub fn isqrt_u64(x: u64) -> u64 {
+    if x == 0 {
+        return 0;
+    }
+    // Newton iteration with a good initial guess from leading zeros.
+    let mut r = 1u64 << ((64 - x.leading_zeros()).div_ceil(2));
+    loop {
+        let next = (r + x / r) / 2;
+        if next >= r {
+            break;
+        }
+        r = next;
+    }
+    r
+}
+
+impl<const F: u32> Add for Fixed<F> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.sat_add(rhs)
+    }
+}
+
+impl<const F: u32> Sub for Fixed<F> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.sat_sub(rhs)
+    }
+}
+
+impl<const F: u32> Mul for Fixed<F> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.mul_q(rhs)
+    }
+}
+
+impl<const F: u32> Div for Fixed<F> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self.div_q(rhs)
+    }
+}
+
+impl<const F: u32> Neg for Fixed<F> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Fixed(sat_i32(-(self.0 as i64)))
+    }
+}
+
+impl<const F: u32> AddAssign for Fixed<F> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const F: u32> SubAssign for Fixed<F> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const F: u32> fmt::Debug for Fixed<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed<{}>({} = {:.6})", F, self.0, self.to_f64())
+    }
+}
+
+impl<const F: u32> fmt::Display for Fixed<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.to_f64())
+    }
+}
+
+// ---------------------------------------------------------------------
+
+/// Runtime-parameterized Q-format number for precision-sweep
+/// experiments: same semantics as [`Fixed<F>`] but the fractional bit
+/// count lives in the value. Mixed-format arithmetic is a bug, so ops
+/// assert matching formats.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DynFixed {
+    raw: i32,
+    frac: u32,
+}
+
+impl DynFixed {
+    /// Construct from a real value with `frac` fractional bits.
+    pub fn from_f64(x: f64, frac: u32) -> Self {
+        assert!(frac < 32, "fractional bits must fit an i32");
+        let scaled = (x * (1i64 << frac) as f64).round();
+        let raw = if scaled >= i32::MAX as f64 {
+            i32::MAX
+        } else if scaled <= i32::MIN as f64 {
+            i32::MIN
+        } else {
+            scaled as i32
+        };
+        Self { raw, frac }
+    }
+
+    /// Zero in the given format.
+    pub fn zero(frac: u32) -> Self {
+        Self { raw: 0, frac }
+    }
+
+    /// The raw bits.
+    pub fn raw(self) -> i32 {
+        self.raw
+    }
+
+    /// The format's fractional bit count.
+    pub fn frac_bits(self) -> u32 {
+        self.frac
+    }
+
+    /// Convert back to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 / (1i64 << self.frac) as f64
+    }
+
+    /// Saturating add (formats must match).
+    pub fn add(self, rhs: Self) -> Self {
+        assert_eq!(self.frac, rhs.frac, "format mismatch");
+        Self {
+            raw: sat_i32(self.raw as i64 + rhs.raw as i64),
+            frac: self.frac,
+        }
+    }
+
+    /// Saturating subtract (formats must match).
+    pub fn sub(self, rhs: Self) -> Self {
+        assert_eq!(self.frac, rhs.frac, "format mismatch");
+        Self {
+            raw: sat_i32(self.raw as i64 - rhs.raw as i64),
+            frac: self.frac,
+        }
+    }
+
+    /// Rounding multiply (formats must match).
+    pub fn mul(self, rhs: Self) -> Self {
+        assert_eq!(self.frac, rhs.frac, "format mismatch");
+        let prod = self.raw as i64 * rhs.raw as i64;
+        Self {
+            raw: sat_i32(rshift_round(prod, self.frac)),
+            frac: self.frac,
+        }
+    }
+
+    /// Quantize an `f64` through this format and back — the error model
+    /// used by the precision sweep.
+    pub fn quantize(x: f64, frac: u32) -> f64 {
+        Self::from_f64(x, frac).to_f64()
+    }
+
+    /// The quantization step `2^-frac`.
+    pub fn step(frac: u32) -> f64 {
+        1.0 / (1i64 << frac) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_and_zero() {
+        assert_eq!(Q16_16::ONE.to_f64(), 1.0);
+        assert_eq!(Q16_16::ZERO.to_f64(), 0.0);
+        assert_eq!(Q16_16::ONE.raw(), 65536);
+    }
+
+    #[test]
+    fn roundtrip_precision() {
+        for &x in &[0.0, 1.0, -1.0, 3.14159, -2.71828, 100.5, -100.25] {
+            let q = Q16_16::from_f64(x);
+            assert!(
+                (q.to_f64() - x).abs() <= 1.0 / 65536.0 / 2.0 + 1e-12,
+                "{x} -> {}",
+                q.to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn mul_exact_cases() {
+        let a = Q16_16::from_f64(2.5);
+        let b = Q16_16::from_f64(4.0);
+        assert_eq!((a * b).to_f64(), 10.0);
+        let half = Q16_16::from_f64(0.5);
+        assert_eq!((half * half).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn mul_rounds_to_nearest() {
+        // 2^-16 * 0.5 = 2^-17, rounds up to 2^-16 (ties away from zero)
+        let eps = Q16_16::from_raw(1);
+        let half = Q16_16::from_f64(0.5);
+        assert_eq!((eps * half).raw(), 1);
+        // negative symmetric
+        let neps = Q16_16::from_raw(-1);
+        assert_eq!((neps * half).raw(), -1);
+    }
+
+    #[test]
+    fn div_exact_and_rounding() {
+        let a = Q16_16::from_f64(10.0);
+        let b = Q16_16::from_f64(4.0);
+        assert_eq!((a / b).to_f64(), 2.5);
+        let c = Q16_16::from_f64(1.0);
+        let d = Q16_16::from_f64(3.0);
+        let q = (c / d).to_f64();
+        assert!((q - 1.0 / 3.0).abs() < 2.0 / 65536.0);
+    }
+
+    #[test]
+    fn div_by_zero_saturates() {
+        let a = Q16_16::from_f64(5.0);
+        assert_eq!((a / Q16_16::ZERO).raw(), i32::MAX);
+        assert_eq!(((-a) / Q16_16::ZERO).raw(), i32::MIN);
+    }
+
+    #[test]
+    fn saturation_on_overflow() {
+        let big = Q16_16::from_f64(30000.0);
+        let sum = big + big;
+        assert_eq!(sum.raw(), i32::MAX);
+        let prod = big * big;
+        assert_eq!(prod.raw(), i32::MAX);
+        let nbig = -big;
+        assert_eq!((nbig + nbig).raw(), i32::MIN);
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        assert_eq!(Q16_16::from_f64(1e12).raw(), i32::MAX);
+        assert_eq!(Q16_16::from_f64(-1e12).raw(), i32::MIN);
+    }
+
+    #[test]
+    fn floor_and_frac_decompose() {
+        let q = Q16_16::from_f64(5.75);
+        assert_eq!(q.floor_int(), 5);
+        assert_eq!(q.frac_raw(), (0.75 * 65536.0) as i32);
+        // negative: floor toward -inf
+        let n = Q16_16::from_f64(-1.25);
+        assert_eq!(n.floor_int(), -2);
+        assert_eq!(n.frac_raw(), (0.75 * 65536.0) as i32);
+        // reconstruction: floor + frac == value
+        assert_eq!((n.floor_int() << 16) + n.frac_raw(), n.raw());
+    }
+
+    #[test]
+    fn sqrt_matches_float() {
+        for &x in &[0.0, 0.25, 1.0, 2.0, 9.0, 100.0, 12345.678] {
+            let q = Q16_16::from_f64(x).sqrt().to_f64();
+            assert!(
+                (q - x.sqrt()).abs() < 2.0 / 65536.0 * (1.0 + x.sqrt()),
+                "sqrt({x}) = {q}, want {}",
+                x.sqrt()
+            );
+        }
+        // negative -> 0
+        assert_eq!(Q16_16::from_f64(-4.0).sqrt().raw(), 0);
+    }
+
+    #[test]
+    fn isqrt_u64_exact_squares() {
+        for v in [0u64, 1, 2, 3, 4, 15, 16, 17, 255, 256, 1 << 40] {
+            let r = isqrt_u64(v);
+            assert!(r * r <= v, "floor property failed for {v}");
+            assert!((r + 1) * (r + 1) > v, "not tight for {v}");
+        }
+    }
+
+    #[test]
+    fn abs_handles_min() {
+        assert_eq!(Fixed::<16>::from_raw(i32::MIN).abs().raw(), i32::MAX);
+        assert_eq!(Q16_16::from_f64(-2.0).abs().to_f64(), 2.0);
+    }
+
+    #[test]
+    fn q2_29_unit_range() {
+        let one = Q2_29::ONE;
+        assert_eq!(one.to_f64(), 1.0);
+        // resolution better than 4e-9
+        assert!(Q2_29::from_raw(1).to_f64() < 4e-9);
+        // saturates just under 4
+        assert!(Q2_29::from_f64(10.0).to_f64() < 4.0);
+    }
+
+    #[test]
+    fn dyn_fixed_matches_static() {
+        for frac in [8u32, 16, 24] {
+            let a = DynFixed::from_f64(1.375, frac);
+            let b = DynFixed::from_f64(-2.5, frac);
+            let sum = a.add(b).to_f64();
+            assert!((sum - (-1.125)).abs() < DynFixed::step(frac));
+            let prod = a.mul(b).to_f64();
+            assert!((prod - (1.375 * -2.5)).abs() < 2.0 * DynFixed::step(frac));
+        }
+        // static/dyn agree bit-for-bit at F=16
+        let s = Q16_16::from_f64(3.7) * Q16_16::from_f64(-1.9);
+        let d = DynFixed::from_f64(3.7, 16).mul(DynFixed::from_f64(-1.9, 16));
+        assert_eq!(s.raw(), d.raw());
+    }
+
+    #[test]
+    #[should_panic(expected = "format mismatch")]
+    fn dyn_fixed_rejects_mixed_formats() {
+        let a = DynFixed::from_f64(1.0, 8);
+        let b = DynFixed::from_f64(1.0, 16);
+        let _ = a.add(b);
+    }
+
+    #[test]
+    fn quantize_error_bounded_by_half_step() {
+        for frac in [4u32, 10, 20] {
+            let step = DynFixed::step(frac);
+            for i in 0..100 {
+                let x = (i as f64) * 0.0371 - 2.0;
+                let err = (DynFixed::quantize(x, frac) - x).abs();
+                assert!(err <= step / 2.0 + 1e-15, "frac={frac} x={x} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_assign_and_neg() {
+        let mut a = Q8_24::from_f64(1.5);
+        a -= Q8_24::from_f64(0.25);
+        assert_eq!(a.to_f64(), 1.25);
+        a += Q8_24::from_f64(0.75);
+        assert_eq!(a.to_f64(), 2.0);
+        assert_eq!((-a).to_f64(), -2.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the fixed-point substrate: arithmetic laws
+//! within quantization bounds, CORDIC accuracy over the whole domain,
+//! LUT error bounds.
+
+use fixedq::cordic::float as cf;
+use fixedq::lut::LinearLut;
+use fixedq::{DynFixed, Q16_16};
+use proptest::prelude::*;
+
+const Q16_RANGE: f64 = 30000.0;
+const Q16_STEP: f64 = 1.0 / 65536.0;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn q16_add_matches_reals(a in -Q16_RANGE/2.0..Q16_RANGE/2.0, b in -Q16_RANGE/2.0..Q16_RANGE/2.0) {
+        let qa = Q16_16::from_f64(a);
+        let qb = Q16_16::from_f64(b);
+        let sum = (qa + qb).to_f64();
+        prop_assert!((sum - (a + b)).abs() <= 2.0 * Q16_STEP, "{a}+{b}={sum}");
+    }
+
+    #[test]
+    fn q16_add_commutes_and_associates(a in -100.0f64..100.0, b in -100.0f64..100.0, c in -100.0f64..100.0) {
+        let (qa, qb, qc) = (Q16_16::from_f64(a), Q16_16::from_f64(b), Q16_16::from_f64(c));
+        prop_assert_eq!(qa + qb, qb + qa);
+        prop_assert_eq!((qa + qb) + qc, qa + (qb + qc)); // exact: saturating int adds in range
+    }
+
+    #[test]
+    fn q16_mul_commutes(a in -150.0f64..150.0, b in -150.0f64..150.0) {
+        let qa = Q16_16::from_f64(a);
+        let qb = Q16_16::from_f64(b);
+        prop_assert_eq!(qa * qb, qb * qa);
+    }
+
+    #[test]
+    fn q16_mul_error_bounded(a in -150.0f64..150.0, b in -150.0f64..150.0) {
+        let qa = Q16_16::from_f64(a);
+        let qb = Q16_16::from_f64(b);
+        let got = (qa * qb).to_f64();
+        // quantization of inputs propagates: |err| <= step*(|a|+|b|)/2 + step
+        let bound = Q16_STEP * (a.abs() + b.abs()) / 2.0 + 2.0 * Q16_STEP;
+        prop_assert!((got - a * b).abs() <= bound, "{a}*{b}={got} bound {bound}");
+    }
+
+    #[test]
+    fn q16_div_inverts_mul(a in 0.01f64..100.0, b in 0.01f64..100.0) {
+        let qa = Q16_16::from_f64(a);
+        let qb = Q16_16::from_f64(b);
+        let back = ((qa * qb) / qb).to_f64();
+        prop_assert!((back - qa.to_f64()).abs() <= 3.0 * Q16_STEP * (1.0 + a / b).max(1.0),
+            "a={a} b={b} back={back}");
+    }
+
+    #[test]
+    fn q16_sqrt_squares_back(x in 0.0f64..10000.0) {
+        let r = Q16_16::from_f64(x).sqrt().to_f64();
+        prop_assert!((r * r - x).abs() <= 4.0 * Q16_STEP * (1.0 + 2.0 * r), "sqrt({x})={r}");
+    }
+
+    #[test]
+    fn quantization_error_half_step(x in -1000.0f64..1000.0, frac in 4u32..28) {
+        // stay inside the representable range (outside it the format
+        // saturates by design)
+        prop_assume!(x.abs() < i32::MAX as f64 / (1i64 << frac) as f64 * 0.99);
+        let q = DynFixed::quantize(x, frac);
+        prop_assert!((q - x).abs() <= DynFixed::step(frac) / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn finer_formats_never_worse(x in -100.0f64..100.0, frac in 4u32..20) {
+        prop_assume!(x.abs() < i32::MAX as f64 / (1i64 << (frac + 8)) as f64 * 0.99);
+        let coarse = (DynFixed::quantize(x, frac) - x).abs();
+        let fine = (DynFixed::quantize(x, frac + 8) - x).abs();
+        prop_assert!(fine <= coarse + 1e-15);
+    }
+
+    #[test]
+    fn cordic_atan2_accuracy_full_plane(y in -5.0f64..5.0, x in -5.0f64..5.0) {
+        prop_assume!(x.abs() > 1e-6 || y.abs() > 1e-6);
+        let got = cf::atan2(y, x, 30);
+        let want = f64::atan2(y, x);
+        // compare modulo 2π so the ±π seam does not false-alarm
+        let mut err = (got - want).abs();
+        if err > std::f64::consts::PI {
+            err = std::f64::consts::TAU - err;
+        }
+        prop_assert!(err < 5e-6, "atan2({y},{x}) = {got}, want {want}");
+    }
+
+    #[test]
+    fn cordic_sincos_accuracy(a in -10.0f64..10.0) {
+        let (s, c) = cf::sincos(a, 30);
+        prop_assert!((s - a.sin()).abs() < 1e-5, "sin({a}) = {s}");
+        prop_assert!((c - a.cos()).abs() < 1e-5, "cos({a}) = {c}");
+        prop_assert!((s * s + c * c - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cordic_hypot_accuracy(x in -100.0f64..100.0, y in -100.0f64..100.0) {
+        prop_assume!(x.abs() > 1e-3 || y.abs() > 1e-3);
+        let got = cf::hypot(x, y, 30);
+        let want = f64::hypot(x, y);
+        prop_assert!((got - want).abs() < 1e-4 * (1.0 + want), "hypot({x},{y}) = {got}");
+    }
+
+    #[test]
+    fn lut_error_within_quadratic_bound(n_pow in 4u32..9) {
+        // sin on [0, π]: max |f''| = 1, error bound h²/8
+        let n = 1usize << n_pow;
+        let lut = LinearLut::build(f64::sin, 0.0, std::f64::consts::PI, n);
+        let h = std::f64::consts::PI / n as f64;
+        let bound = h * h / 8.0 + 1e-12;
+        prop_assert!(lut.max_error(f64::sin, 16) <= bound * 1.01);
+    }
+
+    #[test]
+    fn lut_eval_within_sample_hull(x in -1.0f64..5.0) {
+        // interpolation never leaves the convex hull of neighbours —
+        // for monotone atan the output is bounded by the endpoints
+        let lut = LinearLut::build(f64::atan, 0.0, 4.0, 64);
+        let v = lut.eval(x);
+        prop_assert!(v >= 0.0 - 1e-12 && v <= 4.0f64.atan() + 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! A set-associative LRU cache model for the texture unit.
+//!
+//! Tracks hits/misses over a stream of line addresses. Deliberately
+//! simple (true LRU within a set, no sectoring) — first-order texture
+//! locality is what the fisheye gather's performance depends on.
+
+/// Set-associative LRU cache over abstract line addresses.
+#[derive(Clone, Debug)]
+pub struct SetCache {
+    sets: Vec<Vec<u64>>, // each set: most-recent-first line tags
+    ways: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetCache {
+    /// Cache with `lines` total lines and `ways` associativity
+    /// (`lines` is rounded down to a multiple of `ways`; at least one
+    /// set).
+    pub fn new(lines: usize, ways: usize) -> Self {
+        assert!(ways > 0, "need at least one way");
+        let n_sets = (lines / ways).max(1);
+        SetCache {
+            sets: vec![Vec::with_capacity(ways); n_sets],
+            ways,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access a line address; returns true on hit.
+    pub fn access(&mut self, line: u64) -> bool {
+        let set_idx = (line as usize) % self.sets.len();
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+            set.insert(0, line);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.ways {
+                set.pop();
+            }
+            set.insert(0, line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when no accesses yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Forget all contents and counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_access_hits() {
+        let mut c = SetCache::new(64, 4);
+        assert!(!c.access(42));
+        assert!(c.access(42));
+        assert!(c.access(42));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_set() {
+        // 1 set, 2 ways: lines map to the same set
+        let mut c = SetCache::new(2, 2);
+        c.access(0);
+        c.access(1);
+        c.access(0); // 0 now MRU
+        c.access(2); // evicts 1
+        assert!(c.access(0), "0 should survive");
+        assert!(!c.access(1), "1 was evicted");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = SetCache::new(16, 4);
+        // cyclic sweep over 64 lines: pure LRU misses every time
+        for _ in 0..4 {
+            for line in 0..64u64 {
+                c.access(line);
+            }
+        }
+        assert!(c.hit_rate() < 0.05, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn working_set_within_cache_hits_after_warmup() {
+        let mut c = SetCache::new(64, 8);
+        for _ in 0..10 {
+            for line in 0..32u64 {
+                c.access(line);
+            }
+        }
+        assert!(c.hit_rate() > 0.85, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = SetCache::new(8, 2);
+        c.access(1);
+        c.access(1);
+        c.reset();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(!c.access(1));
+    }
+
+    #[test]
+    fn hit_rate_zero_without_accesses() {
+        let c = SetCache::new(8, 2);
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+}

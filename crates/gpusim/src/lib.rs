@@ -1,0 +1,106 @@
+//! # gpusim — a SIMT (GPU) platform model
+//!
+//! The paper's hardware-accelerator ports include a CUDA-style GPU
+//! implementation: one thread per output pixel, threads grouped into
+//! blocks, the source frame read through the texture cache (the gather
+//! is irregular, so coalescing/locality is the performance story). No
+//! GPU is available here, so this crate models that execution
+//! (substitution per DESIGN.md §6):
+//!
+//! * **Functional**: every thread executes the same correction kernel
+//!   the host runs; the output is bit-exact vs
+//!   [`fisheye_core::correct`] — the model cannot "simulate" a wrong
+//!   image.
+//! * **Timing**: per-warp memory behaviour is *measured from the real
+//!   map*: the distinct texture-cache lines each 32-thread warp
+//!   touches are counted, a per-SM LRU-set cache filters repeats, and
+//!   the cycle model combines compute, cache-hit and DRAM terms with
+//!   latency hiding proportional to occupancy.
+//!
+//! Defaults model a ~2009 discrete part (GTX 285 class: 30 SMs,
+//! 1.4 GHz shader clock, 160 GB/s), matching the paper's era.
+
+mod cache;
+mod model;
+pub mod staged;
+
+pub use cache::SetCache;
+pub use model::{GpuReport, GpuRunner, WarpMemProfile};
+pub use staged::{correct_frame_staged, StagedReport};
+
+/// GPU machine description.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors.
+    pub sm_count: usize,
+    /// Threads per warp (32 on every real part).
+    pub warp_size: usize,
+    /// Threads per block (output pixels per block; must be a multiple
+    /// of `warp_size`).
+    pub block_threads: usize,
+    /// Shader clock, Hz.
+    pub clock_hz: f64,
+    /// Texture cache line, bytes.
+    pub line_bytes: usize,
+    /// Per-SM texture cache capacity, bytes.
+    pub tex_cache_bytes: usize,
+    /// Cache associativity for the set model.
+    pub tex_cache_ways: usize,
+    /// DRAM bandwidth, bytes/s.
+    pub dram_bandwidth: f64,
+    /// DRAM access latency, cycles.
+    pub dram_latency_cycles: f64,
+    /// Texture-cache hit latency, cycles.
+    pub tex_hit_cycles: f64,
+    /// Compute cycles per output pixel (address math + bilinear MADs,
+    /// per thread, amortized over the warp's SIMD lanes).
+    pub compute_cycles_per_pixel: f64,
+    /// Resident warps per SM the kernel achieves (occupancy); latency
+    /// is hidden by a factor `1/occupancy_warps` down to the bandwidth
+    /// floor.
+    pub occupancy_warps: f64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            sm_count: 30,
+            warp_size: 32,
+            block_threads: 256,
+            clock_hz: 1.4e9,
+            line_bytes: 32,
+            tex_cache_bytes: 8 * 1024,
+            tex_cache_ways: 8,
+            dram_bandwidth: 160.0e9,
+            dram_latency_cycles: 400.0,
+            tex_hit_cycles: 8.0,
+            compute_cycles_per_pixel: 4.0,
+            occupancy_warps: 16.0,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// Cache lines per SM cache.
+    pub fn cache_lines(&self) -> usize {
+        self.tex_cache_bytes / self.line_bytes
+    }
+
+    /// Sustained DRAM bytes per shader cycle (whole chip).
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_sane() {
+        let c = GpuConfig::default();
+        assert_eq!(c.cache_lines(), 256);
+        assert!(c.dram_bytes_per_cycle() > 50.0);
+        assert_eq!(c.block_threads % c.warp_size, 0);
+    }
+}

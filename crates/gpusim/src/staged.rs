@@ -1,0 +1,209 @@
+//! Shared-memory staging — the alternative GPU kernel.
+//!
+//! Instead of gathering through the texture cache, each block first
+//! cooperatively loads its tile's *source footprint* into shared
+//! memory (coalesced row loads), synchronizes, and gathers from there
+//! — the CUDA analogue of the Cell local-store strategy. The trade-off
+//! the paper class reports: staging wins when footprints are compact
+//! (center tiles) and loses when the footprint overflows the 48 KB
+//! shared memory (edge tiles fall back to the texture path).
+
+use fisheye_core::map::RemapMap;
+use fisheye_core::tile::footprint;
+use fisheye_core::Interpolator;
+use pixmap::{Image, Pixel, Rect};
+
+use crate::GpuConfig;
+
+/// Per-SM shared memory available to one block, bytes (Fermi-class).
+pub const SHARED_MEM_BYTES: usize = 48 * 1024;
+
+/// Report of a staged-kernel frame.
+#[derive(Clone, Debug)]
+pub struct StagedReport {
+    /// Modeled frame cycles.
+    pub frame_cycles: f64,
+    /// Frames per second.
+    pub fps: f64,
+    /// Blocks whose footprint fit shared memory.
+    pub staged_blocks: u64,
+    /// Blocks that fell back to the texture path.
+    pub fallback_blocks: u64,
+    /// DRAM bytes (coalesced footprint loads + fallback line fills).
+    pub dram_bytes: u64,
+}
+
+impl StagedReport {
+    /// Fraction of blocks that could stage.
+    pub fn staged_fraction(&self) -> f64 {
+        let t = self.staged_blocks + self.fallback_blocks;
+        if t == 0 {
+            0.0
+        } else {
+            self.staged_blocks as f64 / t as f64
+        }
+    }
+}
+
+/// Run one frame through the staged kernel model.
+///
+/// Functional output is identical to the plain kernel (the gather
+/// reads the same values, just from a staged copy); the report prices
+/// the two paths differently:
+///
+/// * staged block: footprint bytes at full coalesced DRAM bandwidth +
+///   one barrier + shared-memory-latency gathers;
+/// * fallback block: the texture-path estimate (per-tap line fills at
+///   DRAM latency, amortized by occupancy).
+pub fn correct_frame_staged<P: Pixel>(
+    config: &GpuConfig,
+    src: &Image<P>,
+    map: &RemapMap,
+    interp: Interpolator,
+) -> (Image<P>, StagedReport) {
+    let (out_w, out_h) = (map.width(), map.height());
+    let mut out = Image::new(out_w, out_h);
+    let block_w = config.warp_size as u32;
+    let block_h = (config.block_threads / config.warp_size) as u32;
+    let bpp = std::mem::size_of::<P>();
+    let (src_w, src_h) = map.src_dims();
+    let src_bounds = Rect::new(0, 0, src_w, src_h);
+
+    let mut staged_blocks = 0u64;
+    let mut fallback_blocks = 0u64;
+    let mut dram_bytes = 0u64;
+    let mut sm_cycles = vec![0.0f64; config.sm_count];
+    let mut block_idx = 0usize;
+
+    let mut by = 0u32;
+    while by < out_h {
+        let y1 = (by + block_h).min(out_h);
+        let mut bx = 0u32;
+        while bx < out_w {
+            let x1 = (bx + block_w).min(out_w);
+            let tile = Rect::new(bx, by, x1, y1);
+            let sm = block_idx % config.sm_count;
+            block_idx += 1;
+            let pixels = tile.area() as f64;
+            // functional execution (identical to the plain kernel)
+            for y in tile.y0..tile.y1 {
+                for x in tile.x0..tile.x1 {
+                    let e = map.entry(x, y);
+                    let v = if e.is_valid() {
+                        interp.sample(src, e.sx, e.sy)
+                    } else {
+                        P::BLACK
+                    };
+                    out.set(x, y, v);
+                }
+            }
+            // timing: can this block stage?
+            let fp = footprint(map, &tile, interp).map(|r| r.intersect(&src_bounds));
+            let fp_bytes = fp.map_or(0, |r| r.area() as usize * bpp);
+            let compute = pixels * config.compute_cycles_per_pixel;
+            if fp_bytes > 0 && fp_bytes <= SHARED_MEM_BYTES {
+                staged_blocks += 1;
+                dram_bytes += fp_bytes as u64;
+                // coalesced load at full bandwidth share + smem gathers
+                let load = fp_bytes as f64 / (config.dram_bytes_per_cycle() / config.sm_count as f64)
+                    + config.dram_latency_cycles / config.occupancy_warps;
+                let gather = pixels * interp.taps() as f64 * 1.5 / config.occupancy_warps;
+                sm_cycles[sm] += load + compute.max(gather);
+            } else {
+                fallback_blocks += 1;
+                // texture path estimate: every tap row is a potential
+                // line fill, amortized by occupancy
+                let taps = pixels * interp.taps() as f64;
+                dram_bytes += (taps as u64) * config.line_bytes as u64 / 4;
+                let mem = taps * config.dram_latency_cycles / (4.0 * config.occupancy_warps);
+                sm_cycles[sm] += compute.max(mem);
+            }
+            bx = x1;
+        }
+        by = y1;
+    }
+    let worst = sm_cycles.iter().cloned().fold(0.0f64, f64::max) + 14_000.0;
+    let report = StagedReport {
+        frame_cycles: worst,
+        fps: config.clock_hz / worst,
+        staged_blocks,
+        fallback_blocks,
+        dram_bytes,
+    };
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpuConfig, GpuRunner};
+    use fisheye_core::{correct, RemapMap};
+    use fisheye_geom::{FisheyeLens, PerspectiveView};
+    use pixmap::Gray8;
+
+    fn setup() -> (RemapMap, Image<Gray8>) {
+        let lens = FisheyeLens::equidistant_fov(320, 240, 180.0);
+        let view = PerspectiveView::centered(160, 120, 90.0);
+        let map = RemapMap::build(&lens, &view, 320, 240);
+        let src = pixmap::scene::random_gray(320, 240, 13);
+        (map, src)
+    }
+
+    #[test]
+    fn staged_output_bit_exact() {
+        let (map, src) = setup();
+        let host = correct(&src, &map, Interpolator::Bilinear);
+        let cfg = GpuConfig::default();
+        let (out, report) = correct_frame_staged(&cfg, &src, &map, Interpolator::Bilinear);
+        assert_eq!(out, host);
+        assert!(report.fps > 0.0);
+        assert_eq!(
+            report.staged_blocks + report.fallback_blocks,
+            (160u64.div_ceil(32)) * (120u64.div_ceil(8))
+        );
+    }
+
+    #[test]
+    fn compact_footprints_mostly_stage() {
+        let (map, src) = setup();
+        let cfg = GpuConfig::default();
+        let (_, r) = correct_frame_staged(&cfg, &src, &map, Interpolator::Bilinear);
+        assert!(
+            r.staged_fraction() > 0.9,
+            "staged fraction {}",
+            r.staged_fraction()
+        );
+    }
+
+    #[test]
+    fn huge_blocks_overflow_shared_memory() {
+        // 1024-thread blocks over a zoomed-out map: footprints larger
+        // than 48 KB force fallback
+        let lens = FisheyeLens::equidistant_fov(1280, 960, 180.0);
+        let view = PerspectiveView::centered(128, 96, 140.0);
+        let map = RemapMap::build(&lens, &view, 1280, 960);
+        let src = pixmap::scene::random_gray(1280, 960, 1);
+        let cfg = GpuConfig {
+            block_threads: 1024,
+            ..Default::default()
+        };
+        let (_, r) = correct_frame_staged(&cfg, &src, &map, Interpolator::Bilinear);
+        assert!(r.fallback_blocks > 0, "{r:?}");
+    }
+
+    #[test]
+    fn staging_reduces_dram_vs_texture_path_estimate() {
+        let (map, src) = setup();
+        let cfg = GpuConfig::default();
+        let (_, staged) = correct_frame_staged(&cfg, &src, &map, Interpolator::Bilinear);
+        let (_, tex) = GpuRunner::new(cfg).correct_frame(&src, &map, Interpolator::Bilinear);
+        // staged loads each footprint once; the texture path with its
+        // small cache re-fetches across blocks
+        assert!(
+            staged.dram_bytes < 4 * tex.dram_bytes.max(1),
+            "staged {} vs texture {}",
+            staged.dram_bytes,
+            tex.dram_bytes
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! Set-associative caches and the two-level hierarchy.
+
+/// Configuration of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity, bytes.
+    pub capacity: usize,
+    /// Line size, bytes (power of two).
+    pub line: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// A Nehalem-era 32 KB 8-way L1D with 64-byte lines.
+    pub fn l1_32k() -> Self {
+        CacheConfig {
+            capacity: 32 * 1024,
+            line: 64,
+            ways: 8,
+        }
+    }
+
+    /// An 8 MB 16-way shared L2/L3 with 64-byte lines.
+    pub fn l2_8m() -> Self {
+        CacheConfig {
+            capacity: 8 * 1024 * 1024,
+            line: 64,
+            ways: 16,
+        }
+    }
+
+    fn sets(&self) -> usize {
+        (self.capacity / self.line / self.ways).max(1)
+    }
+}
+
+/// Hit/miss accounting for one level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0,1]` (0 with no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.misses as f64 / t as f64
+        }
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// One set-associative, true-LRU cache level.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets × ways` line tags, most-recently-used first per set.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.ways >= 1, "need at least one way");
+        Cache {
+            sets: vec![Vec::with_capacity(cfg.ways); cfg.sets()],
+            cfg,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Access the line containing byte `addr`; true on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.cfg.line as u64;
+        let n_sets = self.sets.len() as u64;
+        let set = &mut self.sets[(line % n_sets) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+            set.insert(0, line);
+            self.stats.hits += 1;
+            true
+        } else {
+            if set.len() == self.cfg.ways {
+                set.pop();
+            }
+            set.insert(0, line);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Bytes fetched from the level below (misses × line).
+    pub fn fill_bytes(&self) -> u64 {
+        self.stats.misses * self.cfg.line as u64
+    }
+
+    /// Clear contents and counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+/// Configuration of the two-level hierarchy.
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchyConfig {
+    /// Cores (each gets a private L1).
+    pub cores: usize,
+    /// Per-core L1.
+    pub l1: CacheConfig,
+    /// Shared L2.
+    pub l2: CacheConfig,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            cores: 8,
+            l1: CacheConfig::l1_32k(),
+            l2: CacheConfig::l2_8m(),
+        }
+    }
+}
+
+/// Per-core L1s over one shared L2. No coherence traffic is modeled —
+/// the correction kernel's writes are disjoint per row, so there is no
+/// sharing to invalidate (the reason the paper's kernel scales at all).
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1: Vec<Cache>,
+    l2: Cache,
+}
+
+impl Hierarchy {
+    /// Build an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        assert!(cfg.cores >= 1, "need at least one core");
+        Hierarchy {
+            l1: (0..cfg.cores).map(|_| Cache::new(cfg.l1)).collect(),
+            l2: Cache::new(cfg.l2),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Access byte `addr` from `core`. Returns the level that hit
+    /// (1, 2, or 3 = DRAM).
+    pub fn access(&mut self, core: usize, addr: u64) -> u8 {
+        if self.l1[core].access(addr) {
+            1
+        } else if self.l2.access(addr) {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Per-core L1 statistics.
+    pub fn l1_stats(&self, core: usize) -> CacheStats {
+        self.l1[core].stats()
+    }
+
+    /// Aggregate L1 statistics.
+    pub fn l1_total(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for c in &self.l1 {
+            s.hits += c.stats().hits;
+            s.misses += c.stats().misses;
+        }
+        s
+    }
+
+    /// Shared L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Bytes the DRAM interface served (L2 misses × line).
+    pub fn dram_bytes(&self) -> u64 {
+        self.l2.fill_bytes()
+    }
+
+    /// Reset all levels.
+    pub fn reset(&mut self) {
+        for c in &mut self.l1 {
+            c.reset();
+        }
+        self.l2.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_streaming_hits_within_lines() {
+        // 64-byte lines: 63 of 64 sequential byte accesses hit
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        for a in 0..4096u64 {
+            c.access(a);
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 64);
+        assert_eq!(s.hits, 4096 - 64);
+    }
+
+    #[test]
+    fn working_set_bigger_than_capacity_thrashes() {
+        let cfg = CacheConfig {
+            capacity: 1024,
+            line: 64,
+            ways: 2,
+        };
+        let mut c = Cache::new(cfg);
+        // cyclic sweep over 4 KB with 64-byte stride, LRU: all miss
+        for _ in 0..4 {
+            for a in (0..4096u64).step_by(64) {
+                c.access(a);
+            }
+        }
+        assert!(c.stats().miss_rate() > 0.95, "{:?}", c.stats());
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_after_warmup() {
+        let cfg = CacheConfig {
+            capacity: 8192,
+            line: 64,
+            ways: 8,
+        };
+        let mut c = Cache::new(cfg);
+        for _ in 0..8 {
+            for a in (0..4096u64).step_by(64) {
+                c.access(a);
+            }
+        }
+        assert!(c.stats().miss_rate() < 0.15, "{:?}", c.stats());
+    }
+
+    #[test]
+    fn fill_bytes_counts_misses() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        c.access(0);
+        c.access(1);
+        c.access(64);
+        assert_eq!(c.fill_bytes(), 2 * 64);
+    }
+
+    #[test]
+    fn hierarchy_l2_absorbs_l1_capacity_misses() {
+        // working set fits L2 but not L1: after warmup L1 misses land
+        // in L2, DRAM stays quiet
+        let cfg = HierarchyConfig {
+            cores: 1,
+            l1: CacheConfig {
+                capacity: 1024,
+                line: 64,
+                ways: 2,
+            },
+            l2: CacheConfig {
+                capacity: 64 * 1024,
+                line: 64,
+                ways: 8,
+            },
+        };
+        let mut h = Hierarchy::new(cfg);
+        for _ in 0..6 {
+            for a in (0..16_384u64).step_by(64) {
+                h.access(0, a);
+            }
+        }
+        assert!(h.l1_total().miss_rate() > 0.9);
+        assert!(h.l2_stats().miss_rate() < 0.25, "{:?}", h.l2_stats());
+        // DRAM bytes bounded by one sweep (warmup) plus noise
+        assert!(h.dram_bytes() <= 2 * 16_384);
+    }
+
+    #[test]
+    fn cores_have_private_l1s() {
+        let mut h = Hierarchy::new(HierarchyConfig {
+            cores: 2,
+            ..Default::default()
+        });
+        h.access(0, 0);
+        // same line from the other core: misses its own L1, hits L2
+        assert_eq!(h.access(1, 0), 2);
+        // and from the first core again: L1 hit
+        assert_eq!(h.access(0, 0), 1);
+        assert_eq!(h.l1_stats(0).hits, 1);
+        assert_eq!(h.l1_stats(1).hits, 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        h.access(0, 1234);
+        h.reset();
+        assert_eq!(h.l1_total().accesses(), 0);
+        assert_eq!(h.dram_bytes(), 0);
+    }
+
+    #[test]
+    fn miss_rate_edge_cases() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        let s = CacheStats { hits: 0, misses: 5 };
+        assert_eq!(s.miss_rate(), 1.0);
+    }
+}

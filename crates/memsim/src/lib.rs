@@ -1,0 +1,21 @@
+//! # memsim — trace-driven cache-hierarchy simulation
+//!
+//! The multicore analysis (experiments F1/F2) rests on a claim: the
+//! correction phase is *memory-bound* — its irregular gather spills
+//! out of the caches while map generation does not. Rather than assume
+//! the memory-boundedness fraction, this crate measures it: the real
+//! remap LUT is turned into the kernel's exact address trace (source
+//! taps, LUT reads, output writes) and driven through a configurable
+//! two-level cache hierarchy (per-core L1, shared L2, DRAM).
+//!
+//! * [`Cache`] — one set-associative LRU level with byte accounting.
+//! * [`Hierarchy`] — per-core L1s over a shared inclusive L2.
+//! * [`trace`] — address-trace generation for the correction kernel
+//!   and a roofline summary ([`trace::KernelTraffic`]) that feeds the
+//!   `fisheye-bench` SMP model calibration (experiment F13).
+
+pub mod cache;
+pub mod trace;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Hierarchy, HierarchyConfig};
+pub use trace::{simulate_correction, KernelTraffic, TraceConfig};

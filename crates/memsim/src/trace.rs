@@ -1,0 +1,262 @@
+//! Address-trace generation for the correction kernel.
+//!
+//! Reconstructs, from a [`RemapMap`], exactly the byte addresses the
+//! phase-2 kernel touches per output pixel — the LUT entry read, the
+//! interpolation taps in the source frame, the output write — and
+//! drives them through a [`Hierarchy`] with output rows distributed
+//! round-robin over cores (static scheduling). The result is the
+//! kernel's *measured* cache behaviour, from which the roofline
+//! memory-boundedness used by the SMP model is derived instead of
+//! assumed.
+
+use fisheye_core::map::RemapMap;
+use fisheye_core::Interpolator;
+
+use crate::cache::{Hierarchy, HierarchyConfig};
+
+/// Memory layout + machine for the simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Cache hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Bytes per source pixel (1 = 8-bit luma).
+    pub src_bpp: usize,
+    /// Bytes per LUT entry (8 = `MapEntry`/`FixedMapEntry`).
+    pub lut_bpp: usize,
+    /// Bytes per output pixel.
+    pub out_bpp: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            hierarchy: HierarchyConfig::default(),
+            src_bpp: 1,
+            lut_bpp: 8,
+            out_bpp: 1,
+        }
+    }
+}
+
+/// Per-frame traffic summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelTraffic {
+    /// Total memory accesses issued.
+    pub accesses: u64,
+    /// Aggregate L1 miss rate.
+    pub l1_miss_rate: f64,
+    /// L2 miss rate (of L1 misses).
+    pub l2_miss_rate: f64,
+    /// DRAM bytes per frame.
+    pub dram_bytes: u64,
+    /// DRAM bytes ÷ the compulsory minimum (src + lut + out streamed
+    /// once). 1.0 = perfect locality; >1 = capacity misses re-fetch.
+    pub traffic_amplification: f64,
+}
+
+impl KernelTraffic {
+    /// Estimate the memory-stall fraction for the roofline SMP model:
+    /// time share spent waiting on DRAM if the core computes
+    /// `compute_ns_per_px` per pixel and DRAM sustains
+    /// `dram_gbps` GB/s.
+    pub fn memory_fraction(&self, pixels: u64, compute_ns_per_px: f64, dram_gbps: f64) -> f64 {
+        let compute_s = pixels as f64 * compute_ns_per_px * 1e-9;
+        let mem_s = self.dram_bytes as f64 / (dram_gbps * 1e9);
+        mem_s / (mem_s + compute_s)
+    }
+}
+
+/// Simulate one corrected frame's memory behaviour under static
+/// row-round-robin scheduling on `cfg.hierarchy.cores` cores.
+pub fn simulate_correction(
+    map: &RemapMap,
+    interp: Interpolator,
+    cfg: &TraceConfig,
+) -> KernelTraffic {
+    let mut h = Hierarchy::new(cfg.hierarchy);
+    let (src_w, src_h) = map.src_dims();
+    // flat address space: [src | lut | out], regions line-aligned
+    let line = cfg.hierarchy.l1.line as u64;
+    let src_base = 0u64;
+    let src_bytes = src_w as u64 * src_h as u64 * cfg.src_bpp as u64;
+    let lut_base = (src_base + src_bytes).next_multiple_of(line);
+    let lut_bytes = map.width() as u64 * map.height() as u64 * cfg.lut_bpp as u64;
+    let out_base = (lut_base + lut_bytes).next_multiple_of(line);
+
+    let reach = match interp {
+        Interpolator::Nearest => 1i64,
+        Interpolator::Bilinear => 2,
+        Interpolator::Bicubic => 4,
+    };
+    let cores = h.cores();
+    let mut accesses = 0u64;
+    for y in 0..map.height() {
+        let core = (y as usize) % cores;
+        for x in 0..map.width() {
+            // LUT read
+            let lut_addr = lut_base + (y as u64 * map.width() as u64 + x as u64) * cfg.lut_bpp as u64;
+            h.access(core, lut_addr);
+            accesses += 1;
+            let e = map.entry(x, y);
+            if e.is_valid() {
+                let x0 = (e.sx - 0.5).floor().max(0.0) as i64;
+                let y0 = (e.sy - 0.5).floor().max(0.0) as i64;
+                for ty in 0..reach {
+                    let sy = (y0 + ty).min(src_h as i64 - 1) as u64;
+                    // one access per distinct line covering the
+                    // horizontal taps of this row
+                    let a0 = src_base + (sy * src_w as u64 + x0 as u64) * cfg.src_bpp as u64;
+                    let a1 = src_base
+                        + (sy * src_w as u64
+                            + (x0 + reach - 1).min(src_w as i64 - 1) as u64)
+                            * cfg.src_bpp as u64;
+                    let mut a = a0;
+                    loop {
+                        h.access(core, a);
+                        accesses += 1;
+                        let next = (a / line + 1) * line;
+                        if next > a1 {
+                            break;
+                        }
+                        a = next;
+                    }
+                }
+            }
+            // output write
+            let out_addr = out_base + (y as u64 * map.width() as u64 + x as u64) * cfg.out_bpp as u64;
+            h.access(core, out_addr);
+            accesses += 1;
+        }
+    }
+
+    let l1 = h.l1_total();
+    let l2 = h.l2_stats();
+    let compulsory = src_bytes + lut_bytes + map.width() as u64 * map.height() as u64 * cfg.out_bpp as u64;
+    KernelTraffic {
+        accesses,
+        l1_miss_rate: l1.miss_rate(),
+        l2_miss_rate: l2.miss_rate(),
+        dram_bytes: h.dram_bytes(),
+        traffic_amplification: h.dram_bytes() as f64 / compulsory as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisheye_geom::{FisheyeLens, PerspectiveView};
+
+    fn map(out_w: u32, out_h: u32, src_w: u32, src_h: u32) -> RemapMap {
+        let lens = FisheyeLens::equidistant_fov(src_w, src_h, 180.0);
+        let view = PerspectiveView::centered(out_w, out_h, 90.0);
+        RemapMap::build(&lens, &view, src_w, src_h)
+    }
+
+    #[test]
+    fn traffic_sane_for_small_frame() {
+        let m = map(160, 120, 320, 240);
+        let t = simulate_correction(&m, Interpolator::Bilinear, &TraceConfig::default());
+        assert!(t.accesses > (160 * 120 * 4) as u64, "lut+taps+out per px");
+        assert!(t.l1_miss_rate > 0.0 && t.l1_miss_rate < 0.5, "{t:?}");
+        assert!(t.dram_bytes > 0);
+        // with an 8 MB L2 and a 77 KB working set everything fits:
+        // traffic ≈ compulsory
+        assert!(
+            t.traffic_amplification < 1.5,
+            "amplification {}",
+            t.traffic_amplification
+        );
+    }
+
+    #[test]
+    fn bicubic_touches_more_than_bilinear() {
+        let m = map(96, 64, 320, 240);
+        let cfg = TraceConfig::default();
+        let bl = simulate_correction(&m, Interpolator::Bilinear, &cfg);
+        let bc = simulate_correction(&m, Interpolator::Bicubic, &cfg);
+        assert!(bc.accesses > bl.accesses);
+    }
+
+    #[test]
+    fn small_l2_amplifies_traffic_for_rotated_view() {
+        // a 90°-rolled view turns output rows into source *columns*:
+        // each output row strides down the source, so the working set
+        // per row is ~one line per source row — far beyond a tiny L2,
+        // which then re-fetches every line for the next output row
+        let lens = FisheyeLens::equidistant_fov(512, 384, 180.0);
+        let mut view = PerspectiveView::centered(256, 192, 90.0);
+        view.roll = std::f64::consts::FRAC_PI_2;
+        let m = RemapMap::build(&lens, &view, 512, 384);
+        let big = TraceConfig::default();
+        let mut small = TraceConfig::default();
+        small.hierarchy.l1 = crate::cache::CacheConfig {
+            capacity: 1024,
+            line: 64,
+            ways: 2,
+        };
+        small.hierarchy.l2 = crate::cache::CacheConfig {
+            capacity: 4 * 1024,
+            line: 64,
+            ways: 2,
+        };
+        let t_big = simulate_correction(&m, Interpolator::Bilinear, &big);
+        let t_small = simulate_correction(&m, Interpolator::Bilinear, &small);
+        assert!(
+            t_small.dram_bytes > 2 * t_big.dram_bytes,
+            "{} vs {}",
+            t_small.dram_bytes,
+            t_big.dram_bytes
+        );
+        assert!(t_small.traffic_amplification > 1.5, "{}", t_small.traffic_amplification);
+    }
+
+    #[test]
+    fn more_cores_keep_dram_traffic_similar() {
+        // static row scheduling: each source line is mostly used by
+        // one output row band; splitting over cores must not blow up
+        // DRAM traffic (the scaling premise of the paper's phase 2)
+        let m = map(192, 144, 384, 288);
+        let mut one = TraceConfig::default();
+        one.hierarchy.cores = 1;
+        let mut eight = TraceConfig::default();
+        eight.hierarchy.cores = 8;
+        let t1 = simulate_correction(&m, Interpolator::Bilinear, &one);
+        let t8 = simulate_correction(&m, Interpolator::Bilinear, &eight);
+        assert!(
+            t8.dram_bytes as f64 <= t1.dram_bytes as f64 * 2.0,
+            "1-core {} vs 8-core {}",
+            t1.dram_bytes,
+            t8.dram_bytes
+        );
+    }
+
+    #[test]
+    fn memory_fraction_behaviour() {
+        let t = KernelTraffic {
+            accesses: 0,
+            l1_miss_rate: 0.0,
+            l2_miss_rate: 0.0,
+            dram_bytes: 1_000_000,
+            traffic_amplification: 1.0,
+        };
+        // 1 Mpx at 5 ns/px = 5 ms compute; 1 MB at 10 GB/s = 0.1 ms
+        let f = t.memory_fraction(1_000_000, 5.0, 10.0);
+        assert!(f > 0.0 && f < 0.05, "{f}");
+        // slow DRAM pushes the fraction up
+        let f_slow = t.memory_fraction(1_000_000, 5.0, 0.1);
+        assert!(f_slow > f * 10.0);
+    }
+
+    #[test]
+    fn invalid_regions_skip_taps() {
+        // a view wider than the lens: corner pixels only touch LUT+out
+        let lens = FisheyeLens::equidistant_fov(128, 128, 100.0);
+        let view = PerspectiveView::centered(64, 64, 170.0);
+        let m = RemapMap::build(&lens, &view, 128, 128);
+        let full = map(64, 64, 128, 128);
+        let cfg = TraceConfig::default();
+        let t_partial = simulate_correction(&m, Interpolator::Bilinear, &cfg);
+        let t_full = simulate_correction(&full, Interpolator::Bilinear, &cfg);
+        assert!(t_partial.accesses < t_full.accesses);
+    }
+}

@@ -1,0 +1,469 @@
+//! A persistent worker pool with a broadcast primitive.
+//!
+//! One parallel region = one *broadcast*: every worker runs the same
+//! closure exactly once (receiving its worker index), and the caller
+//! blocks until all workers have finished. This mirrors OpenMP's
+//! `#pragma omp parallel` region; the loop-scheduling layer
+//! ([`crate::schedule`]) runs inside it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::schedule::{ChunkQueue, Schedule, WorkerCursor};
+
+/// Type-erased broadcast job: a pointer to a `dyn Fn(usize) + Sync`
+/// that lives on the submitting thread's stack.
+///
+/// SAFETY invariant: the pointer is only dereferenced between the
+/// moment `broadcast` publishes it and the moment `broadcast` observes
+/// `active == 0`; `broadcast` does not return before that, so the
+/// closure outlives every dereference.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: see invariant on `JobPtr`. The pointee is `Sync`, so
+// concurrent shared calls from multiple workers are allowed; `Send`ing
+// the pointer to them is then sound as long as the lifetime invariant
+// holds, which `broadcast` enforces by blocking.
+unsafe impl Send for JobPtr {}
+
+struct State {
+    job: Option<JobPtr>,
+    /// Incremented for every broadcast; workers track the last epoch
+    /// they executed so a worker never runs the same job twice.
+    epoch: u64,
+    /// Workers still executing the current job.
+    active: usize,
+    /// Number of worker closures that panicked in the current job.
+    panics: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers sleep here waiting for a new epoch.
+    work_ready: Condvar,
+    /// The submitter sleeps here waiting for `active == 0`.
+    work_done: Condvar,
+}
+
+/// Per-worker statistics from one parallel loop, for the load-balance
+/// analysis in experiment F2.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Chunks each worker executed.
+    pub chunks: Vec<usize>,
+    /// Iterations each worker executed.
+    pub iterations: Vec<usize>,
+}
+
+impl LoopStats {
+    /// Max/mean iteration ratio — 1.0 is perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.iterations.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.iterations.len() as f64;
+        let max = *self.iterations.iter().max().unwrap() as f64;
+        max / mean
+    }
+
+    /// Total chunks dispatched (= scheduling events).
+    pub fn total_chunks(&self) -> usize {
+        self.chunks.iter().sum()
+    }
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// ```
+/// use par_runtime::{ThreadPool, Schedule};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let sum = AtomicUsize::new(0);
+/// pool.parallel_for(0..1000, Schedule::Guided { min_chunk: 8 }, &|chunk| {
+///     sum.fetch_add(chunk.sum::<usize>(), Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 499_500);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (panics on zero).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                epoch: 0,
+                active: 0,
+                panics: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("par-runtime-{id}"))
+                    .spawn(move || worker_loop(id, &shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Pool sized to the machine (`available_parallelism`, min 1).
+    pub fn with_default_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run `f(worker_index)` once on every worker, blocking until all
+    /// finish. Panics (after all workers finish) if any worker's
+    /// closure panicked.
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        let mut st = self.shared.state.lock();
+        debug_assert!(st.job.is_none() && st.active == 0, "nested broadcast");
+        // SAFETY: erase the lifetime. The invariant documented on
+        // `JobPtr` holds because we wait for `active == 0` below
+        // before returning (and before `f` can be dropped).
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
+                f as *const _,
+            )
+        });
+        st.job = Some(ptr);
+        st.epoch += 1;
+        st.active = self.workers.len();
+        st.panics = 0;
+        self.shared.work_ready.notify_all();
+        while st.active > 0 {
+            self.shared.work_done.wait(&mut st);
+        }
+        st.job = None;
+        let panics = st.panics;
+        drop(st);
+        if panics > 0 {
+            panic!("{panics} worker(s) panicked in parallel region");
+        }
+    }
+
+    /// OpenMP-style parallel for: run `body` over every index chunk of
+    /// `range` under the given schedule.
+    pub fn parallel_for(
+        &self,
+        range: std::ops::Range<usize>,
+        schedule: Schedule,
+        body: &(dyn Fn(std::ops::Range<usize>) + Sync),
+    ) {
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return;
+        }
+        let offset = range.start;
+        let queue = ChunkQueue::new(n, self.threads(), schedule);
+        self.broadcast(&|worker| {
+            let mut cur = WorkerCursor::default();
+            while let Some(chunk) = queue.next(worker, &mut cur) {
+                body(chunk.start + offset..chunk.end + offset);
+            }
+        });
+    }
+
+    /// [`ThreadPool::parallel_for`] that also returns per-worker
+    /// dispatch statistics.
+    pub fn parallel_for_stats(
+        &self,
+        range: std::ops::Range<usize>,
+        schedule: Schedule,
+        body: &(dyn Fn(std::ops::Range<usize>) + Sync),
+    ) -> LoopStats {
+        let n = range.end.saturating_sub(range.start);
+        let w = self.threads();
+        let stats = Mutex::new(LoopStats {
+            chunks: vec![0; w],
+            iterations: vec![0; w],
+        });
+        if n == 0 {
+            return stats.into_inner();
+        }
+        let offset = range.start;
+        let queue = ChunkQueue::new(n, w, schedule);
+        self.broadcast(&|worker| {
+            let mut cur = WorkerCursor::default();
+            let mut chunks = 0usize;
+            let mut iters = 0usize;
+            while let Some(chunk) = queue.next(worker, &mut cur) {
+                chunks += 1;
+                iters += chunk.len();
+                body(chunk.start + offset..chunk.end + offset);
+            }
+            let mut s = stats.lock();
+            s.chunks[worker] = chunks;
+            s.iterations[worker] = iters;
+        });
+        stats.into_inner()
+    }
+
+    /// Parallel mutation of a row-major buffer: `data` is `rows` rows
+    /// of `row_len` elements; `body(row, row_slice)` is called exactly
+    /// once per row, with rows distributed under `schedule`.
+    ///
+    /// This is the correction kernel's access pattern: each output row
+    /// is written by exactly one worker, reads are arbitrary.
+    pub fn parallel_rows<T: Send>(
+        &self,
+        data: &mut [T],
+        row_len: usize,
+        schedule: Schedule,
+        body: &(dyn Fn(usize, &mut [T]) + Sync),
+    ) {
+        assert!(row_len > 0, "row length must be positive");
+        assert_eq!(data.len() % row_len, 0, "buffer is not whole rows");
+        let rows = data.len() / row_len;
+        let table = crate::slice::RowTable::new(data, row_len);
+        self.parallel_for(0..rows, schedule, &|r| {
+            for row in r {
+                // SAFETY: the schedule layer hands out every row index
+                // exactly once (property-tested), so no two workers
+                // ever receive the same row slice.
+                let slice = unsafe { table.row_mut(row) };
+                body(row, slice);
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, shared: &Shared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.job.is_some() && st.epoch > last_epoch {
+                    last_epoch = st.epoch;
+                    break st.job.unwrap();
+                }
+                shared.work_ready.wait(&mut st);
+            }
+        };
+        // SAFETY: `broadcast` keeps the closure alive until it has
+        // observed our `active` decrement below.
+        let f = unsafe { &*job.0 };
+        let panicked = catch_unwind(AssertUnwindSafe(|| f(id))).is_err();
+        let mut st = shared.state.lock();
+        if panicked {
+            st.panics += 1;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_once_per_worker() {
+        let pool = ThreadPool::new(4);
+        let count = AtomicUsize::new(0);
+        let ids = Mutex::new(Vec::new());
+        pool.broadcast(&|id| {
+            count.fetch_add(1, Ordering::Relaxed);
+            ids.lock().push(id);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+        let mut got = ids.into_inner();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn broadcast_is_reusable() {
+        let pool = ThreadPool::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.broadcast(&|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn parallel_for_sums_correctly() {
+        let pool = ThreadPool::new(4);
+        for sched in [
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(3) },
+            Schedule::Dynamic { chunk: 5 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            let sum = AtomicUsize::new(0);
+            pool.parallel_for(0..1000, sched, &|r| {
+                let local: usize = r.sum();
+                sum.fetch_add(local, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 499_500, "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_nonzero_start() {
+        let pool = ThreadPool::new(2);
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(100..200, Schedule::Dynamic { chunk: 7 }, &|r| {
+            sum.fetch_add(r.sum::<usize>(), Ordering::Relaxed);
+        });
+        let expect: usize = (100..200).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn parallel_for_empty_range() {
+        let pool = ThreadPool::new(2);
+        pool.parallel_for(5..5, Schedule::Static { chunk: None }, &|_| {
+            panic!("must not be called")
+        });
+    }
+
+    #[test]
+    fn stats_account_every_iteration() {
+        let pool = ThreadPool::new(4);
+        let stats = pool.parallel_for_stats(0..777, Schedule::Dynamic { chunk: 10 }, &|_| {});
+        assert_eq!(stats.iterations.iter().sum::<usize>(), 777);
+        assert_eq!(stats.chunks.len(), 4);
+        assert!(stats.total_chunks() >= 78); // ceil(777/10)
+        assert!(stats.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn static_stats_are_balanced() {
+        let pool = ThreadPool::new(4);
+        let stats = pool.parallel_for_stats(0..1000, Schedule::Static { chunk: None }, &|_| {});
+        // 1000/4 = 250 each
+        assert_eq!(stats.iterations, vec![250, 250, 250, 250]);
+        assert_eq!(stats.chunks, vec![1, 1, 1, 1]);
+        assert!((stats.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_rows_writes_every_row_once() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0u32; 64 * 17];
+        pool.parallel_rows(&mut data, 17, Schedule::Dynamic { chunk: 3 }, &|row, slice| {
+            assert_eq!(slice.len(), 17);
+            for v in slice {
+                *v += row as u32 + 1; // +=: doubles would reveal double-dispatch
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 17) as u32 + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_rows_single_thread_matches() {
+        let pool1 = ThreadPool::new(1);
+        let pool4 = ThreadPool::new(4);
+        let run = |pool: &ThreadPool| {
+            let mut data = vec![0u64; 50 * 13];
+            pool.parallel_rows(&mut data, 13, Schedule::Guided { min_chunk: 1 }, &|row, s| {
+                for (i, v) in s.iter_mut().enumerate() {
+                    *v = (row * 1000 + i) as u64;
+                }
+            });
+            data
+        };
+        assert_eq!(run(&pool1), run(&pool4));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker(s) panicked")]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        pool.broadcast(&|id| {
+            if id == 0 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn pool_survives_worker_panic() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|_| panic!("boom"));
+        }));
+        assert!(r.is_err());
+        // pool still functional afterwards
+        let count = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not whole rows")]
+    fn parallel_rows_checks_shape() {
+        let pool = ThreadPool::new(1);
+        let mut data = vec![0u8; 10];
+        pool.parallel_rows(&mut data, 3, Schedule::Static { chunk: None }, &|_, _| {});
+    }
+
+    #[test]
+    fn oversubscribed_pool_works() {
+        // more threads than cores (this host has 1): still correct
+        let pool = ThreadPool::new(16);
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(0..10_000, Schedule::Guided { min_chunk: 16 }, &|r| {
+            sum.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn with_default_parallelism_spawns() {
+        let pool = ThreadPool::with_default_parallelism();
+        assert!(pool.threads() >= 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Loop scheduling policies with OpenMP semantics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How loop iterations are divided among workers.
+///
+/// Semantics follow OpenMP 3.0 §2.5.1:
+///
+/// * `Static { chunk: None }` — iterations split into `nthreads`
+///   near-equal contiguous blocks, one per thread. Zero runtime
+///   coordination; best for uniform work.
+/// * `Static { chunk: Some(c) }` — chunks of `c` iterations assigned
+///   round-robin to threads at compile… er, dispatch time. Still zero
+///   coordination, adds cache-friendly interleaving for mildly skewed
+///   work.
+/// * `Dynamic { chunk }` — each idle thread grabs the next `chunk`
+///   iterations from a shared counter. Best load balance, highest
+///   coordination cost (one atomic RMW per chunk).
+/// * `Guided { min_chunk }` — like dynamic but the grabbed chunk size
+///   starts at `remaining / nthreads` and decays exponentially, never
+///   below `min_chunk`. Fewer atomics than dynamic with nearly the
+///   same balance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Schedule {
+    /// Pre-assigned contiguous blocks or round-robin chunks.
+    Static { chunk: Option<usize> },
+    /// Work queue of fixed-size chunks.
+    Dynamic { chunk: usize },
+    /// Work queue of exponentially decaying chunks.
+    Guided { min_chunk: usize },
+}
+
+impl Schedule {
+    /// The policy the paper's best multicore configuration uses.
+    pub const fn default_static() -> Self {
+        Schedule::Static { chunk: None }
+    }
+
+    /// Short name for reports ("static", "static(8)", "dynamic(4)", …).
+    pub fn label(&self) -> String {
+        match self {
+            Schedule::Static { chunk: None } => "static".to_string(),
+            Schedule::Static { chunk: Some(c) } => format!("static({c})"),
+            Schedule::Dynamic { chunk } => format!("dynamic({chunk})"),
+            Schedule::Guided { min_chunk } => format!("guided({min_chunk})"),
+        }
+    }
+}
+
+/// A source of iteration chunks for one parallel loop instance.
+///
+/// Workers call [`ChunkQueue::next`] with their worker index until it
+/// returns `None`. Every iteration in `0..len` is handed out exactly
+/// once across all workers (the property test in this module checks
+/// this for all policies).
+pub struct ChunkQueue {
+    len: usize,
+    workers: usize,
+    schedule: Schedule,
+    /// Shared cursor for dynamic/guided.
+    cursor: AtomicUsize,
+    /// Per-worker chunk ordinal for static round-robin (one atomic per
+    /// worker would be needed if a worker could re-enter; workers are
+    /// single-threaded so a plain counter lives in `WorkerCursor`).
+    base_chunk: usize,
+}
+
+/// Per-worker iteration state over a [`ChunkQueue`].
+#[derive(Default)]
+pub struct WorkerCursor {
+    /// Next round-robin ordinal (static schedules only).
+    round: usize,
+}
+
+impl ChunkQueue {
+    /// Create a queue over `0..len` for `workers` workers.
+    pub fn new(len: usize, workers: usize, schedule: Schedule) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let base_chunk = match schedule {
+            Schedule::Static { chunk: Some(c) } => {
+                assert!(c > 0, "static chunk must be positive");
+                c
+            }
+            Schedule::Static { chunk: None } => len.div_ceil(workers).max(1),
+            Schedule::Dynamic { chunk } => {
+                assert!(chunk > 0, "dynamic chunk must be positive");
+                chunk
+            }
+            Schedule::Guided { min_chunk } => {
+                assert!(min_chunk > 0, "guided min_chunk must be positive");
+                min_chunk
+            }
+        };
+        ChunkQueue {
+            len,
+            workers,
+            schedule,
+            cursor: AtomicUsize::new(0),
+            base_chunk,
+        }
+    }
+
+    /// Total iterations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the loop is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fetch the next chunk for `worker`; `None` when the worker (or
+    /// the whole loop) is out of work.
+    pub fn next(&self, worker: usize, cur: &mut WorkerCursor) -> Option<std::ops::Range<usize>> {
+        match self.schedule {
+            Schedule::Static { .. } => {
+                // chunk ordinal assigned round-robin: worker w takes
+                // ordinals w, w+W, w+2W, ...
+                let ordinal = worker + cur.round * self.workers;
+                let start = ordinal * self.base_chunk;
+                if start >= self.len {
+                    return None;
+                }
+                cur.round += 1;
+                Some(start..(start + self.base_chunk).min(self.len))
+            }
+            Schedule::Dynamic { chunk } => {
+                let start = self.cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= self.len {
+                    return None;
+                }
+                Some(start..(start + chunk).min(self.len))
+            }
+            Schedule::Guided { min_chunk } => {
+                loop {
+                    let start = self.cursor.load(Ordering::Relaxed);
+                    if start >= self.len {
+                        return None;
+                    }
+                    let remaining = self.len - start;
+                    let want = (remaining / self.workers).max(min_chunk).min(remaining);
+                    match self.cursor.compare_exchange_weak(
+                        start,
+                        start + want,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return Some(start..start + want),
+                        Err(_) => continue, // lost the race; retry
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain a queue sequentially, simulating `workers` round-robin
+    /// pullers, and return the set of covered indices.
+    fn drain_all(len: usize, workers: usize, s: Schedule) -> Vec<usize> {
+        let q = ChunkQueue::new(len, workers, s);
+        let mut cursors: Vec<WorkerCursor> = (0..workers).map(|_| WorkerCursor::default()).collect();
+        let mut covered = Vec::new();
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for w in 0..workers {
+                if let Some(r) = q.next(w, &mut cursors[w]) {
+                    covered.extend(r);
+                    progress = true;
+                }
+            }
+        }
+        covered
+    }
+
+    fn assert_exact_cover(len: usize, workers: usize, s: Schedule) {
+        let mut covered = drain_all(len, workers, s);
+        covered.sort_unstable();
+        let expect: Vec<usize> = (0..len).collect();
+        assert_eq!(covered, expect, "{s:?} len={len} workers={workers}");
+    }
+
+    #[test]
+    fn all_policies_cover_exactly_once() {
+        let policies = [
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(1) },
+            Schedule::Static { chunk: Some(7) },
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Dynamic { chunk: 5 },
+            Schedule::Guided { min_chunk: 1 },
+            Schedule::Guided { min_chunk: 4 },
+        ];
+        for &s in &policies {
+            for len in [0usize, 1, 2, 7, 64, 100, 1000] {
+                for workers in [1usize, 2, 3, 8] {
+                    assert_exact_cover(len, workers, s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_default_is_contiguous_blocks() {
+        let q = ChunkQueue::new(100, 4, Schedule::Static { chunk: None });
+        let mut c = WorkerCursor::default();
+        assert_eq!(q.next(0, &mut c), Some(0..25));
+        let mut c1 = WorkerCursor::default();
+        assert_eq!(q.next(1, &mut c1), Some(25..50));
+        let mut c3 = WorkerCursor::default();
+        assert_eq!(q.next(3, &mut c3), Some(75..100));
+        // default static gives exactly one chunk per worker
+        assert_eq!(q.next(0, &mut c), None);
+    }
+
+    #[test]
+    fn static_chunked_round_robins() {
+        let q = ChunkQueue::new(40, 2, Schedule::Static { chunk: Some(10) });
+        let mut c0 = WorkerCursor::default();
+        let mut c1 = WorkerCursor::default();
+        assert_eq!(q.next(0, &mut c0), Some(0..10));
+        assert_eq!(q.next(0, &mut c0), Some(20..30));
+        assert_eq!(q.next(1, &mut c1), Some(10..20));
+        assert_eq!(q.next(1, &mut c1), Some(30..40));
+        assert_eq!(q.next(1, &mut c1), None);
+    }
+
+    #[test]
+    fn static_is_deterministic_per_worker() {
+        // the same worker always receives the same chunks regardless
+        // of interleaving — the defining property of static scheduling
+        let take = |interleave: bool| {
+            let q = ChunkQueue::new(64, 3, Schedule::Static { chunk: Some(4) });
+            let mut c0 = WorkerCursor::default();
+            let mut c2 = WorkerCursor::default();
+            let mut got = Vec::new();
+            if interleave {
+                let _ = q.next(2, &mut c2);
+            }
+            while let Some(r) = q.next(0, &mut c0) {
+                got.push(r);
+            }
+            got
+        };
+        assert_eq!(take(false), take(true));
+    }
+
+    #[test]
+    fn dynamic_hands_out_in_order() {
+        let q = ChunkQueue::new(10, 4, Schedule::Dynamic { chunk: 3 });
+        let mut c = WorkerCursor::default();
+        assert_eq!(q.next(0, &mut c), Some(0..3));
+        assert_eq!(q.next(3, &mut c), Some(3..6));
+        assert_eq!(q.next(1, &mut c), Some(6..9));
+        assert_eq!(q.next(2, &mut c), Some(9..10));
+        assert_eq!(q.next(0, &mut c), None);
+    }
+
+    #[test]
+    fn guided_chunks_decay() {
+        let q = ChunkQueue::new(1000, 4, Schedule::Guided { min_chunk: 8 });
+        let mut c = WorkerCursor::default();
+        let mut sizes = Vec::new();
+        while let Some(r) = q.next(0, &mut c) {
+            sizes.push(r.len());
+        }
+        // first chunk is remaining/workers = 250
+        assert_eq!(sizes[0], 250);
+        // sizes are non-increasing and floor at min_chunk
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert!(*sizes.last().unwrap() <= 8);
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Schedule::Static { chunk: None }.label(), "static");
+        assert_eq!(Schedule::Static { chunk: Some(8) }.label(), "static(8)");
+        assert_eq!(Schedule::Dynamic { chunk: 4 }.label(), "dynamic(4)");
+        assert_eq!(Schedule::Guided { min_chunk: 2 }.label(), "guided(2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dynamic_chunk_rejected() {
+        let _ = ChunkQueue::new(10, 2, Schedule::Dynamic { chunk: 0 });
+    }
+
+    #[test]
+    fn empty_loop_yields_nothing() {
+        let q = ChunkQueue::new(0, 4, Schedule::Dynamic { chunk: 2 });
+        let mut c = WorkerCursor::default();
+        assert_eq!(q.next(0, &mut c), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_schedule() -> impl Strategy<Value = Schedule> {
+        prop_oneof![
+            Just(Schedule::Static { chunk: None }),
+            (1usize..32).prop_map(|c| Schedule::Static { chunk: Some(c) }),
+            (1usize..32).prop_map(|c| Schedule::Dynamic { chunk: c }),
+            (1usize..32).prop_map(|c| Schedule::Guided { min_chunk: c }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn exact_cover_property(len in 0usize..5000, workers in 1usize..16, s in arb_schedule()) {
+            let q = ChunkQueue::new(len, workers, s);
+            let mut cursors: Vec<WorkerCursor> =
+                (0..workers).map(|_| WorkerCursor::default()).collect();
+            let mut seen = vec![false; len];
+            let mut progress = true;
+            while progress {
+                progress = false;
+                for w in 0..workers {
+                    if let Some(r) = q.next(w, &mut cursors[w]) {
+                        for i in r {
+                            prop_assert!(!seen[i], "index {i} handed out twice");
+                            seen[i] = true;
+                        }
+                        progress = true;
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b), "not all indices covered");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Disjoint row access into a row-major buffer.
+//!
+//! [`RowTable`] lets multiple workers mutate different rows of one
+//! buffer concurrently. Disjointness is *not* enforced here — it is
+//! guaranteed by the scheduling layer, which hands out each row index
+//! exactly once (property-tested in [`crate::schedule`]). The unsafe
+//! surface is confined to this one small type.
+
+use std::marker::PhantomData;
+
+/// A shareable view of a row-major `&mut [T]` that can produce
+/// per-row mutable slices.
+pub struct RowTable<'a, T> {
+    base: *mut T,
+    row_len: usize,
+    rows: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: `RowTable` is only a capability to *derive* row slices; the
+// caller contract on `row_mut` (each row index used at most once
+// concurrently) is what makes cross-thread use sound. `T: Send`
+// because the rows themselves move between threads.
+unsafe impl<'a, T: Send> Send for RowTable<'a, T> {}
+unsafe impl<'a, T: Send> Sync for RowTable<'a, T> {}
+
+impl<'a, T> RowTable<'a, T> {
+    /// Wrap a buffer of whole rows (`data.len()` must be a multiple of
+    /// `row_len`).
+    pub fn new(data: &'a mut [T], row_len: usize) -> Self {
+        assert!(row_len > 0, "row length must be positive");
+        assert_eq!(data.len() % row_len, 0, "buffer is not whole rows");
+        RowTable {
+            base: data.as_mut_ptr(),
+            row_len,
+            rows: data.len() / row_len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Elements per row.
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// Produce the mutable slice for `row`.
+    ///
+    /// # Safety
+    ///
+    /// For any given `row`, at most one slice returned by this method
+    /// may be live at a time (across all threads). Callers uphold this
+    /// by routing row indices through a [`crate::ChunkQueue`], which
+    /// dispenses each index exactly once per loop.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn row_mut(&self, row: usize) -> &mut [T] {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        // SAFETY: rows are disjoint ranges of the original buffer;
+        // uniqueness per row index is the caller's obligation.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(row * self.row_len), self.row_len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_partition_the_buffer() {
+        let mut data = vec![0u8; 12];
+        let table = RowTable::new(&mut data, 4);
+        assert_eq!(table.rows(), 3);
+        assert_eq!(table.row_len(), 4);
+        unsafe {
+            table.row_mut(0).fill(1);
+            table.row_mut(2).fill(3);
+        }
+        assert_eq!(data, [1, 1, 1, 1, 0, 0, 0, 0, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_bounds_checked() {
+        let mut data = vec![0u8; 8];
+        let table = RowTable::new(&mut data, 4);
+        unsafe {
+            let _ = table.row_mut(2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn shape_checked() {
+        let mut data = vec![0u8; 7];
+        let _ = RowTable::new(&mut data, 4);
+    }
+
+    #[test]
+    fn concurrent_disjoint_rows() {
+        let mut data = vec![0u32; 100 * 8];
+        let table = RowTable::new(&mut data, 8);
+        std::thread::scope(|s| {
+            let t = &table;
+            for half in 0..2 {
+                s.spawn(move || {
+                    for row in (half..100).step_by(2) {
+                        // SAFETY: each row index visited by exactly one thread
+                        let r = unsafe { t.row_mut(row) };
+                        r.fill(row as u32);
+                    }
+                });
+            }
+        });
+        for row in 0..100 {
+            assert!(data[row * 8..(row + 1) * 8].iter().all(|&v| v == row as u32));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Stress and property tests of the parallel runtime from outside the
+//! crate (public API only).
+
+use par_runtime::{Schedule, ThreadPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+#[test]
+fn many_consecutive_regions() {
+    // regression guard for lost-wakeup bugs: thousands of tiny regions
+    let pool = ThreadPool::new(4);
+    let count = AtomicUsize::new(0);
+    for _ in 0..2000 {
+        pool.broadcast(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(count.load(Ordering::Relaxed), 8000);
+}
+
+#[test]
+fn pools_can_nest_distinct_instances() {
+    // a worker of pool A may submit to pool B (no global state)
+    let a = ThreadPool::new(2);
+    let b = ThreadPool::new(2);
+    let hits = AtomicUsize::new(0);
+    a.broadcast(&|id| {
+        if id == 0 {
+            b.parallel_for(0..100, Schedule::Dynamic { chunk: 7 }, &|r| {
+                hits.fetch_add(r.len(), Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 100);
+}
+
+#[test]
+fn uneven_work_balances_under_dynamic() {
+    // a pathologically skewed loop: iteration i costs ~i; dynamic
+    // scheduling must spread iterations so no worker gets everything
+    let pool = ThreadPool::new(4);
+    let stats = pool.parallel_for_stats(0..400, Schedule::Dynamic { chunk: 4 }, &|r| {
+        for i in r {
+            let mut acc = 0u64;
+            for k in 0..(i as u64 * 50) {
+                acc = acc.wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+        }
+    });
+    assert_eq!(stats.iterations.iter().sum::<usize>(), 400);
+    // every worker got at least one chunk on a 4-way pool
+    // (on a single-core host workers still all participate because
+    // the queue outlives any one worker's burst)
+    let active = stats.chunks.iter().filter(|&&c| c > 0).count();
+    assert!(active >= 1);
+}
+
+#[test]
+fn drop_with_pending_nothing_hangs() {
+    // dropping a pool right after work must join cleanly
+    for _ in 0..50 {
+        let pool = ThreadPool::new(3);
+        pool.parallel_for(0..32, Schedule::Static { chunk: Some(1) }, &|_| {});
+        drop(pool);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_sum_always_correct(
+        n in 0usize..5000,
+        threads in 1usize..9,
+        sched_pick in 0usize..4,
+        chunk in 1usize..32,
+    ) {
+        let sched = match sched_pick {
+            0 => Schedule::Static { chunk: None },
+            1 => Schedule::Static { chunk: Some(chunk) },
+            2 => Schedule::Dynamic { chunk },
+            _ => Schedule::Guided { min_chunk: chunk },
+        };
+        let pool = ThreadPool::new(threads);
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(0..n, sched, &|r| {
+            sum.fetch_add(r.map(|i| i as u64).sum(), Ordering::Relaxed);
+        });
+        let expect = (n as u64).saturating_sub(1) * n as u64 / 2;
+        prop_assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn parallel_rows_fill_every_element(
+        rows in 1usize..80,
+        row_len in 1usize..40,
+        threads in 1usize..6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let mut data = vec![u32::MAX; rows * row_len];
+        pool.parallel_rows(&mut data, row_len, Schedule::Guided { min_chunk: 1 }, &|row, s| {
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = (row * row_len + i) as u32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            prop_assert_eq!(*v, i as u32);
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Row-major pixel buffers.
+//!
+//! [`Image`] is the single container used throughout the workspace. It
+//! is deliberately simple — a `Vec<P>` plus dimensions — because the
+//! correction kernels want raw slices they can iterate without
+//! per-pixel indirection, and because the Cell/GPU platform models need
+//! to reason about its exact memory layout (DMA transfers, coalescing).
+
+use crate::pixel::Pixel;
+
+/// An axis-aligned rectangle in pixel coordinates, used for tiles and
+/// source footprints. `x1`/`y1` are exclusive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Rect {
+    pub x0: u32,
+    pub y0: u32,
+    pub x1: u32,
+    pub y1: u32,
+}
+
+impl Rect {
+    /// Construct a rectangle; panics if the corners are inverted.
+    pub fn new(x0: u32, y0: u32, x1: u32, y1: u32) -> Self {
+        assert!(x0 <= x1 && y0 <= y1, "inverted rect {x0},{y0}..{x1},{y1}");
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// Width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.x1 - self.x0
+    }
+
+    /// Height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.y1 - self.y0
+    }
+
+    /// Number of pixels covered.
+    #[inline]
+    pub fn area(&self) -> u64 {
+        self.width() as u64 * self.height() as u64
+    }
+
+    /// True when the rectangle covers no pixels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x0 == self.x1 || self.y0 == self.y1
+    }
+
+    /// Intersection with another rectangle (empty rect when disjoint).
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        let x0 = self.x0.max(other.x0);
+        let y0 = self.y0.max(other.y0);
+        let x1 = self.x1.min(other.x1).max(x0);
+        let y1 = self.y1.min(other.y1).max(y0);
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Grow by `m` pixels on every side, clamping the origin at zero.
+    pub fn inflate(&self, m: u32) -> Rect {
+        Rect {
+            x0: self.x0.saturating_sub(m),
+            y0: self.y0.saturating_sub(m),
+            x1: self.x1 + m,
+            y1: self.y1 + m,
+        }
+    }
+
+    /// Whether `(x, y)` lies inside.
+    #[inline]
+    pub fn contains(&self, x: u32, y: u32) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+}
+
+/// A densely packed row-major image.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Image<P: Pixel> {
+    width: u32,
+    height: u32,
+    data: Vec<P>,
+}
+
+impl<P: Pixel> Image<P> {
+    /// Allocate an image filled with `P::BLACK`.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self::filled(width, height, P::BLACK)
+    }
+
+    /// Allocate an image filled with `value`.
+    pub fn filled(width: u32, height: u32, value: P) -> Self {
+        let n = width as usize * height as usize;
+        Self {
+            width,
+            height,
+            data: vec![value; n],
+        }
+    }
+
+    /// Build an image by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> P) -> Self {
+        let mut data = Vec::with_capacity(width as usize * height as usize);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Wrap an existing pixel vector; `data.len()` must equal `w*h`.
+    pub fn from_vec(width: u32, height: u32, data: Vec<P>) -> Self {
+        assert_eq!(
+            data.len(),
+            width as usize * height as usize,
+            "pixel count does not match dimensions"
+        );
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// `(width, height)` pair.
+    #[inline]
+    pub fn dims(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the image holds no pixels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The full image area as a [`Rect`].
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        Rect {
+            x0: 0,
+            y0: 0,
+            x1: self.width,
+            y1: self.height,
+        }
+    }
+
+    /// Borrow the raw pixel slice (row-major).
+    #[inline]
+    pub fn pixels(&self) -> &[P] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw pixel slice (row-major).
+    #[inline]
+    pub fn pixels_mut(&mut self) -> &mut [P] {
+        &mut self.data
+    }
+
+    /// Consume the image and return its pixel vector.
+    pub fn into_vec(self) -> Vec<P> {
+        self.data
+    }
+
+    /// Bounds-checked pixel read; `None` outside the image.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Option<P> {
+        if x < self.width && y < self.height {
+            Some(self.data[y as usize * self.width as usize + x as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Pixel read that panics when out of bounds.
+    #[inline]
+    pub fn pixel(&self, x: u32, y: u32) -> P {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds {}x{}",
+            self.width,
+            self.height
+        );
+        self.data[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Pixel read clamped to the image border (replicate padding), the
+    /// boundary rule every interpolator in the workspace uses.
+    #[inline]
+    pub fn pixel_clamped(&self, x: i64, y: i64) -> P {
+        let cx = x.clamp(0, self.width as i64 - 1) as usize;
+        let cy = y.clamp(0, self.height as i64 - 1) as usize;
+        self.data[cy * self.width as usize + cx]
+    }
+
+    /// Write a pixel; panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, p: P) {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds {}x{}",
+            self.width,
+            self.height
+        );
+        self.data[y as usize * self.width as usize + x as usize] = p;
+    }
+
+    /// Borrow one row.
+    #[inline]
+    pub fn row(&self, y: u32) -> &[P] {
+        let w = self.width as usize;
+        let start = y as usize * w;
+        &self.data[start..start + w]
+    }
+
+    /// Mutably borrow one row.
+    #[inline]
+    pub fn row_mut(&mut self, y: u32) -> &mut [P] {
+        let w = self.width as usize;
+        let start = y as usize * w;
+        &mut self.data[start..start + w]
+    }
+
+    /// Iterate rows top to bottom.
+    pub fn rows(&self) -> impl Iterator<Item = &[P]> {
+        self.data.chunks_exact(self.width as usize)
+    }
+
+    /// Split the pixel buffer into disjoint mutable row bands, one per
+    /// entry of `band_heights` (must sum to the image height). Used by
+    /// the parallel runtime to hand each worker its own output band
+    /// without unsafe code.
+    pub fn split_rows_mut(&mut self, band_heights: &[u32]) -> Vec<&mut [P]> {
+        assert_eq!(
+            band_heights.iter().sum::<u32>(),
+            self.height,
+            "band heights must cover the image exactly"
+        );
+        let w = self.width as usize;
+        let mut out = Vec::with_capacity(band_heights.len());
+        let mut rest: &mut [P] = &mut self.data;
+        for &h in band_heights {
+            let (band, tail) = rest.split_at_mut(h as usize * w);
+            out.push(band);
+            rest = tail;
+        }
+        out
+    }
+
+    /// Copy the pixels under `r` (clipped to bounds) into a new image.
+    pub fn crop(&self, r: Rect) -> Image<P> {
+        let r = r.intersect(&self.bounds());
+        let mut out = Image::new(r.width(), r.height());
+        for y in 0..r.height() {
+            let src = &self.row(r.y0 + y)[r.x0 as usize..r.x1 as usize];
+            out.row_mut(y).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Paste `src` with its top-left corner at `(x, y)`, clipping to
+    /// this image's bounds.
+    pub fn blit(&mut self, src: &Image<P>, x: u32, y: u32) {
+        let w = src.width.min(self.width.saturating_sub(x));
+        let h = src.height.min(self.height.saturating_sub(y));
+        for row in 0..h {
+            let s = &src.row(row)[..w as usize];
+            let dx = x as usize;
+            self.row_mut(y + row)[dx..dx + w as usize].copy_from_slice(s);
+        }
+    }
+
+    /// Apply `f` to every pixel, producing a new image (possibly of a
+    /// different pixel type).
+    pub fn map<Q: Pixel>(&self, mut f: impl FnMut(P) -> Q) -> Image<Q> {
+        Image {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&p| f(p)).collect(),
+        }
+    }
+
+    /// Convert pixel type via `From`.
+    pub fn convert<Q: Pixel + From<P>>(&self) -> Image<Q> {
+        self.map(Q::from)
+    }
+
+    /// Set every pixel to `value`.
+    pub fn fill(&mut self, value: P) {
+        self.data.fill(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::{Gray8, Rgb8};
+
+    #[test]
+    fn new_image_is_black() {
+        let img: Image<Gray8> = Image::new(4, 3);
+        assert_eq!(img.dims(), (4, 3));
+        assert!(img.pixels().iter().all(|p| *p == Gray8(0)));
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let img = Image::from_fn(3, 2, |x, y| Gray8((y * 3 + x) as u8));
+        assert_eq!(
+            img.pixels(),
+            &[Gray8(0), Gray8(1), Gray8(2), Gray8(3), Gray8(4), Gray8(5)]
+        );
+        assert_eq!(img.pixel(2, 1), Gray8(5));
+    }
+
+    #[test]
+    fn get_out_of_bounds_is_none() {
+        let img: Image<Gray8> = Image::new(2, 2);
+        assert!(img.get(2, 0).is_none());
+        assert!(img.get(0, 2).is_none());
+        assert!(img.get(1, 1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn pixel_panics_out_of_bounds() {
+        let img: Image<Gray8> = Image::new(2, 2);
+        let _ = img.pixel(5, 0);
+    }
+
+    #[test]
+    fn clamped_reads_replicate_border() {
+        let img = Image::from_fn(2, 2, |x, y| Gray8((10 * y + x) as u8));
+        assert_eq!(img.pixel_clamped(-5, -5), Gray8(0));
+        assert_eq!(img.pixel_clamped(10, 0), Gray8(1));
+        assert_eq!(img.pixel_clamped(0, 10), Gray8(10));
+        assert_eq!(img.pixel_clamped(99, 99), Gray8(11));
+    }
+
+    #[test]
+    fn rows_and_row_mut() {
+        let mut img = Image::from_fn(3, 2, |x, y| Gray8((y * 3 + x) as u8));
+        assert_eq!(img.row(1), &[Gray8(3), Gray8(4), Gray8(5)]);
+        img.row_mut(0)[1] = Gray8(99);
+        assert_eq!(img.pixel(1, 0), Gray8(99));
+        assert_eq!(img.rows().count(), 2);
+    }
+
+    #[test]
+    fn split_rows_mut_disjoint_bands() {
+        let mut img: Image<Gray8> = Image::new(2, 5);
+        {
+            let bands = img.split_rows_mut(&[2, 3]);
+            assert_eq!(bands.len(), 2);
+            assert_eq!(bands[0].len(), 4);
+            assert_eq!(bands[1].len(), 6);
+            bands
+                .into_iter()
+                .enumerate()
+                .for_each(|(i, b)| b.fill(Gray8(i as u8 + 1)));
+        }
+        assert_eq!(img.pixel(0, 0), Gray8(1));
+        assert_eq!(img.pixel(0, 1), Gray8(1));
+        assert_eq!(img.pixel(1, 4), Gray8(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the image exactly")]
+    fn split_rows_mut_checks_coverage() {
+        let mut img: Image<Gray8> = Image::new(2, 5);
+        let _ = img.split_rows_mut(&[2, 2]);
+    }
+
+    #[test]
+    fn crop_and_blit_roundtrip() {
+        let img = Image::from_fn(8, 8, |x, y| Gray8((y * 8 + x) as u8));
+        let r = Rect::new(2, 3, 6, 7);
+        let sub = img.crop(r);
+        assert_eq!(sub.dims(), (4, 4));
+        assert_eq!(sub.pixel(0, 0), img.pixel(2, 3));
+        assert_eq!(sub.pixel(3, 3), img.pixel(5, 6));
+
+        let mut dst: Image<Gray8> = Image::new(8, 8);
+        dst.blit(&sub, 2, 3);
+        for y in 3..7 {
+            for x in 2..6 {
+                assert_eq!(dst.pixel(x, y), img.pixel(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn crop_clips_to_bounds() {
+        let img = Image::from_fn(4, 4, |x, y| Gray8((y * 4 + x) as u8));
+        let sub = img.crop(Rect::new(2, 2, 10, 10));
+        assert_eq!(sub.dims(), (2, 2));
+    }
+
+    #[test]
+    fn blit_clips_to_bounds() {
+        let mut dst: Image<Gray8> = Image::new(4, 4);
+        let src = Image::filled(3, 3, Gray8(7));
+        dst.blit(&src, 2, 2); // only 2x2 fits
+        assert_eq!(dst.pixel(3, 3), Gray8(7));
+        assert_eq!(dst.pixel(1, 1), Gray8(0));
+    }
+
+    #[test]
+    fn map_and_convert() {
+        let img = Image::from_fn(2, 2, |x, _| Gray8(x as u8 * 100));
+        let rgb: Image<Rgb8> = img.convert();
+        assert_eq!(rgb.pixel(1, 0), Rgb8::new(100, 100, 100));
+        let doubled = img.map(|p| Gray8(p.0.saturating_mul(2)));
+        assert_eq!(doubled.pixel(1, 0), Gray8(200));
+    }
+
+    #[test]
+    fn rect_ops() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 2, 6, 6);
+        assert_eq!(a.intersect(&b), Rect::new(2, 2, 4, 4));
+        assert_eq!(a.union(&b), Rect::new(0, 0, 6, 6));
+        assert_eq!(a.area(), 16);
+        assert!(a.contains(0, 0));
+        assert!(!a.contains(4, 0));
+        let c = Rect::new(5, 5, 6, 6);
+        assert!(a.intersect(&c).is_empty());
+        assert_eq!(b.inflate(2), Rect::new(0, 0, 8, 8));
+        // inflate clamps at zero
+        assert_eq!(a.inflate(1), Rect::new(0, 0, 5, 5));
+    }
+
+    #[test]
+    fn rect_union_with_empty_is_identity() {
+        let a = Rect::new(1, 1, 3, 3);
+        let empty = Rect::new(9, 9, 9, 9);
+        assert_eq!(a.union(&empty), a);
+        assert_eq!(empty.union(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count")]
+    fn from_vec_checks_len() {
+        let _ = Image::<Gray8>::from_vec(2, 2, vec![Gray8(0); 3]);
+    }
+}

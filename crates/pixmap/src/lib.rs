@@ -1,0 +1,36 @@
+//! # pixmap — image substrate for the fisheye-correction workspace
+//!
+//! This crate provides everything the correction pipeline needs to hold,
+//! synthesize, load, store and compare raster images, without pulling in
+//! heavyweight codec dependencies:
+//!
+//! * [`Image`] — a generic, densely packed, row-major pixel buffer with
+//!   cheap row access and bounds-checked/unchecked accessors.
+//! * [`pixel`] — pixel types ([`Gray8`], [`GrayF32`], [`Rgb8`], …) with
+//!   lossless/lossy conversions between them.
+//! * [`codec`] — PGM/PPM (ASCII `P2`/`P3` and binary `P5`/`P6`) and
+//!   24-bit BMP encode/decode, implemented from the format specs.
+//! * [`scene`] — synthetic ground-truth scene generators (checkerboards,
+//!   circle grids, brick walls, line grids, text-like panels) used as
+//!   stand-ins for real camera footage.
+//! * [`metrics`] — MSE / PSNR / SSIM / max-error quality metrics used by
+//!   the accuracy experiments (F6, F7).
+//!
+//! The paper's evaluation operates on video frames from a real fisheye
+//! camera; since none is available, the workspace *synthesizes* scenes
+//! here and forward-distorts them through the same lens model
+//! (see `fisheye-geom`), which preserves the code path under test while
+//! additionally providing exact ground truth for PSNR computation.
+
+pub mod codec;
+pub mod draw;
+pub mod image;
+pub mod metrics;
+pub mod pixel;
+pub mod pyramid;
+pub mod scene;
+pub mod y4m;
+pub mod yuv;
+
+pub use crate::image::{Image, Rect};
+pub use crate::pixel::{Gray16, Gray8, GrayF32, Pixel, Rgb8, RgbF32};

@@ -1,0 +1,242 @@
+//! Image quality metrics: MSE, PSNR, SSIM, max absolute error.
+//!
+//! Used by the accuracy experiments (F6 interpolation quality, F7
+//! fixed-point precision) to compare a corrected frame against the
+//! analytically rendered ground truth. All metrics operate on the
+//! canonical `[0,1]` float channel space via the [`Pixel`] trait so
+//! any pixel-type pair with equal dimensions can be compared.
+
+use crate::image::Image;
+use crate::pixel::Pixel;
+
+/// Mean squared error over all channels, in `[0,1]²` units.
+///
+/// Panics if dimensions differ.
+pub fn mse<P: Pixel, Q: Pixel>(a: &Image<P>, b: &Image<Q>) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "mse: dimension mismatch");
+    assert_eq!(P::CHANNELS, Q::CHANNELS, "mse: channel mismatch");
+    let mut acc = 0.0f64;
+    for (pa, pb) in a.pixels().iter().zip(b.pixels()) {
+        for c in 0..P::CHANNELS {
+            let d = (pa.channel_f32(c) - pb.channel_f32(c)) as f64;
+            acc += d * d;
+        }
+    }
+    acc / (a.len() * P::CHANNELS) as f64
+}
+
+/// Peak signal-to-noise ratio in dB (peak = 1.0).
+///
+/// Returns `f64::INFINITY` for identical images.
+pub fn psnr<P: Pixel, Q: Pixel>(a: &Image<P>, b: &Image<Q>) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        -10.0 * m.log10()
+    }
+}
+
+/// Largest absolute per-channel difference, in `[0,1]` units.
+pub fn max_abs_error<P: Pixel, Q: Pixel>(a: &Image<P>, b: &Image<Q>) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "max_abs_error: dimension mismatch");
+    let mut worst = 0.0f64;
+    for (pa, pb) in a.pixels().iter().zip(b.pixels()) {
+        for c in 0..P::CHANNELS {
+            let d = ((pa.channel_f32(c) - pb.channel_f32(c)) as f64).abs();
+            if d > worst {
+                worst = d;
+            }
+        }
+    }
+    worst
+}
+
+/// Fraction of pixels whose luma differs by more than `threshold`.
+pub fn fraction_differing<P: Pixel, Q: Pixel>(a: &Image<P>, b: &Image<Q>, threshold: f32) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "fraction_differing: dimension mismatch");
+    let n = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .filter(|(pa, pb)| (pa.luma() - pb.luma()).abs() > threshold)
+        .count();
+    n as f64 / a.len() as f64
+}
+
+/// Structural similarity (SSIM) computed on luma with the standard
+/// 8×8 non-overlapping window variant and the usual constants
+/// `C1=(0.01)²`, `C2=(0.03)²` for unit dynamic range. Returns the mean
+/// window SSIM in `[-1, 1]` (1 = identical).
+pub fn ssim<P: Pixel, Q: Pixel>(a: &Image<P>, b: &Image<Q>) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "ssim: dimension mismatch");
+    const C1: f64 = 0.01 * 0.01;
+    const C2: f64 = 0.03 * 0.03;
+    const W: u32 = 8;
+    let (w, h) = a.dims();
+    let mut total = 0.0;
+    let mut windows = 0u64;
+    let mut wy = 0;
+    while wy + W <= h {
+        let mut wx = 0;
+        while wx + W <= w {
+            let mut sa = 0.0f64;
+            let mut sb = 0.0f64;
+            let mut saa = 0.0f64;
+            let mut sbb = 0.0f64;
+            let mut sab = 0.0f64;
+            for y in wy..wy + W {
+                for x in wx..wx + W {
+                    let va = a.pixel(x, y).luma() as f64;
+                    let vb = b.pixel(x, y).luma() as f64;
+                    sa += va;
+                    sb += vb;
+                    saa += va * va;
+                    sbb += vb * vb;
+                    sab += va * vb;
+                }
+            }
+            let n = (W * W) as f64;
+            let mu_a = sa / n;
+            let mu_b = sb / n;
+            let var_a = (saa / n - mu_a * mu_a).max(0.0);
+            let var_b = (sbb / n - mu_b * mu_b).max(0.0);
+            let cov = sab / n - mu_a * mu_b;
+            let s = ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+            total += s;
+            windows += 1;
+            wx += W;
+        }
+        wy += W;
+    }
+    if windows == 0 {
+        // image smaller than one window: fall back to a PSNR-like proxy
+        return if mse(a, b) == 0.0 { 1.0 } else { 0.0 };
+    }
+    total / windows as f64
+}
+
+/// A bundle of all metrics for one comparison, as the experiment
+/// harness reports them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quality {
+    pub mse: f64,
+    pub psnr_db: f64,
+    pub ssim: f64,
+    pub max_err: f64,
+}
+
+/// Compute the full [`Quality`] bundle.
+pub fn quality<P: Pixel, Q: Pixel>(a: &Image<P>, b: &Image<Q>) -> Quality {
+    Quality {
+        mse: mse(a, b),
+        psnr_db: psnr(a, b),
+        ssim: ssim(a, b),
+        max_err: max_abs_error(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::{Gray8, GrayF32};
+    use crate::scene::random_gray;
+
+    #[test]
+    fn identical_images_are_perfect() {
+        let img = random_gray(32, 32, 1);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
+        assert_eq!(max_abs_error(&img, &img), 0.0);
+        assert_eq!(fraction_differing(&img, &img, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mse_of_inverted_max_contrast() {
+        let a: Image<Gray8> = Image::filled(8, 8, Gray8(0));
+        let b: Image<Gray8> = Image::filled(8, 8, Gray8(255));
+        assert!((mse(&a, &b) - 1.0).abs() < 1e-9);
+        assert!((psnr(&a, &b) - 0.0).abs() < 1e-9);
+        assert_eq!(max_abs_error(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // uniform error of 0.1 -> mse 0.01 -> psnr 20 dB
+        let a: Image<GrayF32> = Image::filled(16, 16, GrayF32(0.5));
+        let b: Image<GrayF32> = Image::filled(16, 16, GrayF32(0.6));
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let base = random_gray(64, 64, 2);
+        let mut small = base.clone();
+        let mut large = base.clone();
+        for (i, p) in small.pixels_mut().iter_mut().enumerate() {
+            if i % 7 == 0 {
+                p.0 = p.0.wrapping_add(4);
+            }
+        }
+        for (i, p) in large.pixels_mut().iter_mut().enumerate() {
+            if i % 7 == 0 {
+                p.0 = p.0.wrapping_add(64);
+            }
+        }
+        assert!(psnr(&base, &small) > psnr(&base, &large));
+    }
+
+    #[test]
+    fn ssim_detects_structural_change() {
+        use crate::scene::Scene;
+        let a = crate::scene::Checkerboard { cells: 8 }.rasterize(64, 64);
+        let b: Image<Gray8> = Image::filled(64, 64, Gray8(128));
+        let s = ssim(&a, &b);
+        assert!(s < 0.5, "ssim {s} should be low for structure loss");
+    }
+
+    #[test]
+    fn ssim_tiny_image_fallback() {
+        let a: Image<Gray8> = Image::filled(4, 4, Gray8(10));
+        assert_eq!(ssim(&a, &a), 1.0);
+        let b: Image<Gray8> = Image::filled(4, 4, Gray8(200));
+        assert_eq!(ssim(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn fraction_differing_counts() {
+        let a: Image<Gray8> = Image::filled(10, 1, Gray8(0));
+        let mut b = a.clone();
+        b.set(0, 0, Gray8(255));
+        b.set(1, 0, Gray8(255));
+        assert!((fraction_differing(&a, &b, 0.5) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let a: Image<Gray8> = Image::new(4, 4);
+        let b: Image<Gray8> = Image::new(5, 4);
+        let _ = mse(&a, &b);
+    }
+
+    #[test]
+    fn quality_bundle_consistent() {
+        let a = random_gray(32, 32, 3);
+        let b = random_gray(32, 32, 4);
+        let q = quality(&a, &b);
+        assert_eq!(q.mse, mse(&a, &b));
+        assert_eq!(q.psnr_db, psnr(&a, &b));
+        assert!(q.max_err > 0.0);
+    }
+
+    #[test]
+    fn cross_type_comparison() {
+        let a = random_gray(16, 16, 5);
+        let b: Image<GrayF32> = a.convert();
+        // u8->f32 conversion is exact in this direction
+        assert_eq!(mse(&a, &b), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Image pyramids (mipmaps) and trilinear sampling.
+//!
+//! The hardware-friendly alternative to adaptive supersampling for
+//! minifying maps: precompute 2× box-downsampled levels once per
+//! frame, then sample the level matching the local minification (with
+//! linear blending between levels — classic trilinear filtering). GPU
+//! texture units do exactly this; `fisheye-core` exposes it as a
+//! third anti-aliasing option next to point sampling and adaptive
+//! supersampling.
+
+use crate::image::Image;
+use crate::pixel::{GrayF32, Pixel};
+
+/// A full mip chain: level 0 is the original, each next level is a
+/// 2× box reduction, down to 1×1.
+///
+/// ```
+/// use pixmap::pyramid::Pyramid;
+///
+/// let img = pixmap::scene::random_gray(64, 64, 1);
+/// let pyr = Pyramid::build(&img);
+/// assert_eq!(pyr.level(0).dims(), (64, 64));
+/// assert_eq!(pyr.level(3).dims(), (8, 8));
+/// // footprint 1.0 = plain bilinear on level 0
+/// let v = pyr.sample_trilinear(32.0, 32.0, 1.0);
+/// assert!((0.0..=1.0).contains(&v));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pyramid {
+    levels: Vec<Image<GrayF32>>,
+}
+
+impl Pyramid {
+    /// Build the chain from any grayscale-convertible image.
+    pub fn build<P: Pixel>(src: &Image<P>) -> Self {
+        let base: Image<GrayF32> = src.map(|p| GrayF32(p.luma()));
+        let mut levels = vec![base];
+        loop {
+            let prev = levels.last().unwrap();
+            let (w, h) = prev.dims();
+            if w == 1 && h == 1 {
+                break;
+            }
+            let nw = (w / 2).max(1);
+            let nh = (h / 2).max(1);
+            let next = Image::from_fn(nw, nh, |x, y| {
+                // 2x2 box (degenerate edges average what exists)
+                let x0 = (x * 2).min(w - 1);
+                let y0 = (y * 2).min(h - 1);
+                let x1 = (x * 2 + 1).min(w - 1);
+                let y1 = (y * 2 + 1).min(h - 1);
+                GrayF32(
+                    (prev.pixel(x0, y0).0
+                        + prev.pixel(x1, y0).0
+                        + prev.pixel(x0, y1).0
+                        + prev.pixel(x1, y1).0)
+                        / 4.0,
+                )
+            });
+            levels.push(next);
+        }
+        Pyramid { levels }
+    }
+
+    /// Number of levels (≥ 1).
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Borrow one level.
+    pub fn level(&self, l: usize) -> &Image<GrayF32> {
+        &self.levels[l]
+    }
+
+    /// Total pixels across all levels (the 4/3 storage bill).
+    pub fn total_pixels(&self) -> usize {
+        self.levels.iter().map(|i| i.len()).sum()
+    }
+
+    /// Bilinear sample within level `l` at level-0 coordinates.
+    fn sample_level(&self, l: usize, sx: f32, sy: f32) -> f32 {
+        let scale = 1.0 / (1u32 << l) as f32;
+        bilinear_f32(&self.levels[l], sx * scale, sy * scale)
+    }
+
+    /// Trilinear sample: `footprint` is the source pixels covered per
+    /// output pixel (1.0 = no minification). Chooses
+    /// `lod = log2(footprint)` and blends the two straddling levels.
+    pub fn sample_trilinear(&self, sx: f32, sy: f32, footprint: f32) -> f32 {
+        let lod = footprint.max(1.0).log2();
+        let l0 = (lod.floor() as usize).min(self.levels.len() - 1);
+        let l1 = (l0 + 1).min(self.levels.len() - 1);
+        let frac = (lod - l0 as f32).clamp(0.0, 1.0);
+        let a = self.sample_level(l0, sx, sy);
+        if l0 == l1 || frac == 0.0 {
+            return a;
+        }
+        let b = self.sample_level(l1, sx, sy);
+        a * (1.0 - frac) + b * frac
+    }
+}
+
+/// Bilinear sample of a float image at half-integer-center
+/// coordinates with border clamping (local copy of the core
+/// interpolator so `pixmap` stays dependency-free).
+pub fn bilinear_f32(img: &Image<GrayF32>, sx: f32, sy: f32) -> f32 {
+    let fx = sx - 0.5;
+    let fy = sy - 0.5;
+    let x0 = fx.floor();
+    let y0 = fy.floor();
+    let wx = fx - x0;
+    let wy = fy - y0;
+    let x0 = x0 as i64;
+    let y0 = y0 as i64;
+    let p00 = img.pixel_clamped(x0, y0).0;
+    let p10 = img.pixel_clamped(x0 + 1, y0).0;
+    let p01 = img.pixel_clamped(x0, y0 + 1).0;
+    let p11 = img.pixel_clamped(x0 + 1, y0 + 1).0;
+    let top = p00 * (1.0 - wx) + p10 * wx;
+    let bot = p01 * (1.0 - wx) + p11 * wx;
+    top * (1.0 - wy) + bot * wy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::Gray8;
+    use crate::scene::{random_gray, Checkerboard, Scene};
+
+    #[test]
+    fn chain_halves_down_to_one() {
+        let img = random_gray(64, 48, 1);
+        let p = Pyramid::build(&img);
+        assert_eq!(p.level(0).dims(), (64, 48));
+        assert_eq!(p.level(1).dims(), (32, 24));
+        assert_eq!(p.level(2).dims(), (16, 12));
+        let last = p.level(p.levels() - 1);
+        assert_eq!(last.dims(), (1, 1));
+        // storage ≈ 4/3 of the base
+        let ratio = p.total_pixels() as f64 / (64.0 * 48.0);
+        assert!(ratio < 1.4, "storage ratio {ratio}");
+    }
+
+    #[test]
+    fn levels_preserve_mean() {
+        let img = random_gray(64, 64, 2);
+        let p = Pyramid::build(&img);
+        let mean0: f32 =
+            p.level(0).pixels().iter().map(|v| v.0).sum::<f32>() / (64.0 * 64.0);
+        for l in 1..p.levels() {
+            let img = p.level(l);
+            let mean: f32 = img.pixels().iter().map(|v| v.0).sum::<f32>() / img.len() as f32;
+            assert!(
+                (mean - mean0).abs() < 0.02,
+                "level {l} mean drifted: {mean} vs {mean0}"
+            );
+        }
+    }
+
+    #[test]
+    fn checker_converges_to_gray() {
+        let img = Checkerboard { cells: 32 }.rasterize(128, 128);
+        let p = Pyramid::build(&img);
+        // beyond the cell frequency, levels are uniform 0.5 gray
+        let deep = p.level(4); // 8x8
+        for v in deep.pixels() {
+            assert!((v.0 - 0.5).abs() < 0.05, "{}", v.0);
+        }
+    }
+
+    #[test]
+    fn trilinear_footprint_1_equals_bilinear() {
+        let img = random_gray(32, 32, 3);
+        let p = Pyramid::build(&img);
+        let imgf = img.map(crate::pixel::GrayF32::from);
+        for i in 0..20 {
+            let sx = 2.0 + i as f32 * 1.3;
+            let sy = 3.0 + i as f32 * 0.9;
+            let tri = p.sample_trilinear(sx, sy, 1.0);
+            let bil = bilinear_f32(&imgf, sx, sy);
+            assert!((tri - bil).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn larger_footprint_blurs_toward_area_average() {
+        // high-frequency checker: footprint 8 should read ~0.5
+        let img = Checkerboard { cells: 64 }.rasterize(256, 256);
+        let p = Pyramid::build(&img);
+        // sample at a cell center (cells are 4 px; 130 is mid-cell),
+        // not at (128,128) which sits on a 4-cell corner
+        let sharp = p.sample_trilinear(130.0, 130.0, 1.0);
+        let blurred = p.sample_trilinear(130.0, 130.0, 8.0);
+        assert!(sharp < 0.1 || sharp > 0.9, "footprint 1 keeps contrast");
+        assert!((blurred - 0.5).abs() < 0.12, "footprint 8 ≈ gray: {blurred}");
+    }
+
+    #[test]
+    fn huge_footprint_clamps_to_last_level() {
+        let img = random_gray(16, 16, 4);
+        let p = Pyramid::build(&img);
+        let v = p.sample_trilinear(8.0, 8.0, 1e9);
+        let last = p.level(p.levels() - 1).pixel(0, 0).0;
+        assert!((v - last).abs() < 1e-6);
+    }
+
+    #[test]
+    fn works_for_gray8_and_odd_sizes() {
+        let img: Image<Gray8> = random_gray(17, 9, 5);
+        let p = Pyramid::build(&img);
+        assert_eq!(p.level(1).dims(), (8, 4));
+        assert!(p.levels() >= 4);
+    }
+}

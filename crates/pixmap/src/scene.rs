@@ -1,0 +1,361 @@
+//! Synthetic ground-truth scene generators.
+//!
+//! The paper's evaluation uses video captured by a real 180° fisheye
+//! camera. That footage is unavailable, so every experiment in this
+//! workspace starts from a *synthetic scene* rendered here — a function
+//! from continuous plane coordinates to intensity — which is then
+//! forward-projected through the lens model (`fisheye-geom`) to produce
+//! a distorted "captured" frame. Because the scene is analytic we can
+//! sample it at any real-valued coordinate, which makes the synthetic
+//! capture antialiasable and gives exact ground truth for PSNR.
+//!
+//! Scenes chosen to match what the genre's figures photograph:
+//! checkerboards and line grids (straightness of corrected lines is the
+//! visual success criterion), concentric circles (the classical lens
+//! test target), brick walls (realistic high-frequency texture) and
+//! text-like panels (legibility after correction).
+
+use crate::image::Image;
+use crate::pixel::{Gray8, GrayF32, Rgb8};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A continuous scene: intensity in `[0,1]` at any real plane point.
+///
+/// Coordinates are in *scene units*; generators below are all designed
+/// around a nominal unit square `[0,1]²` but remain defined everywhere
+/// (they tile or extend naturally) so that wide-angle projections can
+/// sample beyond the nominal frame.
+pub trait Scene: Send + Sync {
+    /// Sample intensity at `(u, v)`.
+    fn sample(&self, u: f64, v: f64) -> f32;
+
+    /// Rasterize the `[0,1]²` region to a `w`×`h` float image, sampling
+    /// at pixel centers.
+    fn rasterize_f32(&self, w: u32, h: u32) -> Image<GrayF32> {
+        Image::from_fn(w, h, |x, y| {
+            let u = (x as f64 + 0.5) / w as f64;
+            let v = (y as f64 + 0.5) / h as f64;
+            GrayF32(self.sample(u, v))
+        })
+    }
+
+    /// Rasterize to 8-bit grayscale.
+    fn rasterize(&self, w: u32, h: u32) -> Image<Gray8> {
+        self.rasterize_f32(w, h).map(Gray8::from)
+    }
+}
+
+/// Checkerboard with `cells` squares per unit length.
+pub struct Checkerboard {
+    /// Squares per unit length.
+    pub cells: u32,
+}
+
+impl Scene for Checkerboard {
+    fn sample(&self, u: f64, v: f64) -> f32 {
+        let cu = (u * self.cells as f64).floor() as i64;
+        let cv = (v * self.cells as f64).floor() as i64;
+        if (cu + cv).rem_euclid(2) == 0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Concentric rings centered on `(0.5, 0.5)` — the classical circular
+/// lens test target (cf. the genre's printed-circles figures).
+pub struct ConcentricCircles {
+    /// Number of rings between the center and the frame edge.
+    pub rings: u32,
+    /// Fraction of each ring period that is dark (line thickness).
+    pub duty: f64,
+}
+
+impl Scene for ConcentricCircles {
+    fn sample(&self, u: f64, v: f64) -> f32 {
+        let r = ((u - 0.5).powi(2) + (v - 0.5).powi(2)).sqrt();
+        let period = 0.5 / self.rings as f64;
+        let phase = (r / period).fract();
+        if phase < self.duty {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Horizontal + vertical dark lines on a light field, `lines` per unit
+/// length. Corrected output should show these perfectly straight.
+pub struct LineGrid {
+    /// Grid lines per unit length.
+    pub lines: u32,
+    /// Line thickness as a fraction of the cell pitch.
+    pub thickness: f64,
+}
+
+impl Scene for LineGrid {
+    fn sample(&self, u: f64, v: f64) -> f32 {
+        let pitch = 1.0 / self.lines as f64;
+        let fu = (u / pitch).fract().abs();
+        let fv = (v / pitch).fract().abs();
+        let t = self.thickness;
+        if fu < t || fu > 1.0 - t || fv < t || fv > 1.0 - t {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Brick-wall texture: staggered rows of bricks with mortar lines and a
+/// small per-brick shade variation (hash-based, deterministic).
+pub struct BrickWall {
+    /// Brick rows per unit height.
+    pub rows: u32,
+}
+
+fn hash2(a: i64, b: i64) -> u32 {
+    // SplitMix-style integer hash; deterministic across platforms.
+    let mut x = (a as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (b as u64).wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    (x >> 33) as u32
+}
+
+impl Scene for BrickWall {
+    fn sample(&self, u: f64, v: f64) -> f32 {
+        let row_h = 1.0 / self.rows as f64;
+        let brick_w = row_h * 2.0;
+        let row = (v / row_h).floor() as i64;
+        // stagger alternate rows by half a brick
+        let offset = if row.rem_euclid(2) == 0 { 0.0 } else { brick_w / 2.0 };
+        let col = ((u + offset) / brick_w).floor() as i64;
+        let fv = (v / row_h).fract();
+        let fu = ((u + offset) / brick_w).fract();
+        let mortar = 0.08;
+        if fv < mortar || fu < mortar * row_h / brick_w * 2.0 {
+            0.85 // light mortar
+        } else {
+            // per-brick shade in [0.25, 0.55]
+            0.25 + 0.30 * (hash2(row, col) % 1000) as f32 / 1000.0
+        }
+    }
+}
+
+/// A panel of text-like glyph blocks: a coarse random dot-matrix that
+/// approximates printed text's spatial frequency content.
+pub struct GlyphPanel {
+    /// Glyph rows per unit height.
+    pub rows: u32,
+    /// Seed for the deterministic glyph pattern.
+    pub seed: u64,
+}
+
+impl Scene for GlyphPanel {
+    fn sample(&self, u: f64, v: f64) -> f32 {
+        // 5x7 dot-matrix cells, glyphs separated by 1-dot gaps
+        let cell = 1.0 / (self.rows as f64 * 8.0);
+        let gx = (u / cell).floor() as i64;
+        let gy = (v / cell).floor() as i64;
+        let (glyph_x, dot_x) = (gx.div_euclid(6), gx.rem_euclid(6));
+        let (glyph_y, dot_y) = (gy.div_euclid(8), gy.rem_euclid(8));
+        if dot_x >= 5 || dot_y >= 7 {
+            return 1.0; // inter-glyph gap
+        }
+        let h = hash2(
+            glyph_x.wrapping_mul(31).wrapping_add(self.seed as i64),
+            glyph_y,
+        );
+        // each glyph: pseudo-random 5x7 dot pattern, ~45% ink coverage
+        let bit = (h >> ((dot_y * 5 + dot_x) % 31)) & 1;
+        if bit == 1 {
+            0.05
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Smooth radial gradient — a low-frequency control scene where
+/// interpolation error should be tiny.
+pub struct RadialGradient;
+
+impl Scene for RadialGradient {
+    fn sample(&self, u: f64, v: f64) -> f32 {
+        let r = ((u - 0.5).powi(2) + (v - 0.5).powi(2)).sqrt();
+        (1.0 - r * std::f64::consts::SQRT_2).clamp(0.0, 1.0) as f32
+    }
+}
+
+/// Band-limited pseudo-noise built from a few fixed sinusoids; unlike
+/// white noise it is meaningfully resampled by interpolation, making it
+/// a fair PSNR workload.
+pub struct SinusoidField {
+    /// Highest spatial frequency (cycles per unit length).
+    pub max_freq: f64,
+}
+
+impl Scene for SinusoidField {
+    fn sample(&self, u: f64, v: f64) -> f32 {
+        let f = self.max_freq;
+        let s = (u * f).sin() * (v * f * 0.7).cos()
+            + 0.5 * (u * f * 0.31 + v * f * 0.53).sin()
+            + 0.25 * ((u + v) * f).cos();
+        (0.5 + s as f32 * 0.25).clamp(0.0, 1.0)
+    }
+}
+
+/// The standard scene set used by the experiments, by name.
+pub fn scene_by_name(name: &str) -> Option<Box<dyn Scene>> {
+    match name {
+        "checker" => Some(Box::new(Checkerboard { cells: 16 })),
+        "circles" => Some(Box::new(ConcentricCircles { rings: 12, duty: 0.25 })),
+        "grid" => Some(Box::new(LineGrid { lines: 12, thickness: 0.06 })),
+        "bricks" => Some(Box::new(BrickWall { rows: 24 })),
+        "text" => Some(Box::new(GlyphPanel { rows: 20, seed: 7 })),
+        "gradient" => Some(Box::new(RadialGradient)),
+        "sinusoid" => Some(Box::new(SinusoidField { max_freq: 40.0 })),
+        _ => None,
+    }
+}
+
+/// Names accepted by [`scene_by_name`].
+pub const SCENE_NAMES: &[&str] = &[
+    "checker", "circles", "grid", "bricks", "text", "gradient", "sinusoid",
+];
+
+/// Random grayscale image (uniform noise) — used by property tests and
+/// as a worst-case memory-bound workload.
+pub fn random_gray(w: u32, h: u32, seed: u64) -> Image<Gray8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Image::from_fn(w, h, |_, _| Gray8(rng.gen()))
+}
+
+/// Random RGB image.
+pub fn random_rgb(w: u32, h: u32, seed: u64) -> Image<Rgb8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Image::from_fn(w, h, |_, _| Rgb8::new(rng.gen(), rng.gen(), rng.gen()))
+}
+
+/// Colorize a grayscale scene into RGB using a fixed false-color ramp
+/// (for BMP visual outputs).
+pub fn colorize(img: &Image<Gray8>) -> Image<Rgb8> {
+    img.map(|p| {
+        let t = p.0 as f32 / 255.0;
+        Rgb8::from(crate::pixel::RgbF32::new(t, t * t, 0.3 + 0.7 * t))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkerboard_alternates() {
+        let c = Checkerboard { cells: 2 };
+        // cell (0,0) is light, (1,0) dark, (1,1) light
+        assert_eq!(c.sample(0.1, 0.1), 1.0);
+        assert_eq!(c.sample(0.6, 0.1), 0.0);
+        assert_eq!(c.sample(0.6, 0.6), 1.0);
+    }
+
+    #[test]
+    fn checkerboard_defined_outside_unit_square() {
+        let c = Checkerboard { cells: 2 };
+        // continues the pattern with no discontinuity in definition
+        assert_eq!(c.sample(-0.1, 0.1), 0.0);
+        assert_eq!(c.sample(1.1, 0.1), 1.0);
+    }
+
+    #[test]
+    fn circles_center_is_dark_ring_origin() {
+        let c = ConcentricCircles { rings: 10, duty: 0.3 };
+        // at exact center r=0, phase 0 < duty -> dark
+        assert_eq!(c.sample(0.5, 0.5), 0.0);
+        // radial symmetry
+        let a = c.sample(0.5 + 0.13, 0.5);
+        let b = c.sample(0.5, 0.5 + 0.13);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn line_grid_has_lines_at_multiples() {
+        let g = LineGrid { lines: 10, thickness: 0.05 };
+        assert_eq!(g.sample(0.101, 0.05), 0.0); // just past x line at 0.1
+        assert_eq!(g.sample(0.15, 0.15), 1.0); // cell interior
+    }
+
+    #[test]
+    fn brick_wall_in_range_and_deterministic() {
+        let wall = BrickWall { rows: 10 };
+        for i in 0..50 {
+            let u = i as f64 * 0.037;
+            let v = i as f64 * 0.051;
+            let s = wall.sample(u, v);
+            assert!((0.0..=1.0).contains(&s));
+            assert_eq!(s, wall.sample(u, v));
+        }
+    }
+
+    #[test]
+    fn glyph_panel_has_ink_and_paper() {
+        let p = GlyphPanel { rows: 8, seed: 3 };
+        let img = p.rasterize(64, 64);
+        let dark = img.pixels().iter().filter(|p| p.0 < 128).count();
+        let light = img.len() - dark;
+        assert!(dark > 0, "no ink rendered");
+        assert!(light > 0, "no paper rendered");
+    }
+
+    #[test]
+    fn gradient_is_monotone_from_center() {
+        let g = RadialGradient;
+        let a = g.sample(0.5, 0.5);
+        let b = g.sample(0.7, 0.5);
+        let c = g.sample(0.95, 0.5);
+        assert!(a > b && b > c);
+        assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn sinusoid_in_unit_range() {
+        let s = SinusoidField { max_freq: 30.0 };
+        for i in 0..100 {
+            let v = s.sample(i as f64 * 0.013, i as f64 * 0.029);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rasterize_dims_and_range() {
+        let img = Checkerboard { cells: 4 }.rasterize(17, 9);
+        assert_eq!(img.dims(), (17, 9));
+        assert!(img.pixels().iter().all(|p| p.0 == 0 || p.0 == 255));
+    }
+
+    #[test]
+    fn scene_registry_complete() {
+        for name in SCENE_NAMES {
+            assert!(scene_by_name(name).is_some(), "{name} missing");
+        }
+        assert!(scene_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn random_images_are_seed_deterministic() {
+        assert_eq!(random_gray(8, 8, 42), random_gray(8, 8, 42));
+        assert_ne!(random_gray(8, 8, 42), random_gray(8, 8, 43));
+        assert_eq!(random_rgb(4, 4, 1), random_rgb(4, 4, 1));
+    }
+
+    #[test]
+    fn colorize_preserves_dims() {
+        let g = random_gray(6, 5, 9);
+        let c = colorize(&g);
+        assert_eq!(c.dims(), (6, 5));
+    }
+}

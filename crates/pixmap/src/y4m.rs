@@ -1,0 +1,217 @@
+//! YUV4MPEG2 (`.y4m`) stream writer and reader.
+//!
+//! The standard uncompressed video interchange format (mpv, ffmpeg and
+//! every encoder accept it), so the pipeline examples can emit real
+//! playable video. Only the C420jpeg-less plain `C420` variant is
+//! implemented — full frames, progressive, no interlacing metadata.
+
+use std::io::{self, Write};
+
+use crate::yuv::Yuv420;
+
+/// Streams YUV420 frames as YUV4MPEG2.
+pub struct Y4mWriter<W: Write> {
+    sink: W,
+    width: u32,
+    height: u32,
+    frames: u64,
+    header_written: bool,
+    fps_num: u32,
+    fps_den: u32,
+}
+
+impl<W: Write> Y4mWriter<W> {
+    /// Writer for `width`×`height` frames at `fps_num/fps_den` Hz.
+    /// Dimensions must be even (4:2:0 chroma).
+    pub fn new(sink: W, width: u32, height: u32, fps_num: u32, fps_den: u32) -> Self {
+        assert!(width % 2 == 0 && height % 2 == 0, "C420 needs even dims");
+        assert!(fps_num > 0 && fps_den > 0, "frame rate must be positive");
+        Y4mWriter {
+            sink,
+            width,
+            height,
+            frames: 0,
+            header_written: false,
+            fps_num,
+            fps_den,
+        }
+    }
+
+    /// Append one frame.
+    pub fn write_frame(&mut self, frame: &Yuv420) -> io::Result<()> {
+        if frame.dims() != (self.width, self.height) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame {:?} does not match stream {}x{}",
+                    frame.dims(),
+                    self.width,
+                    self.height
+                ),
+            ));
+        }
+        if !self.header_written {
+            writeln!(
+                self.sink,
+                "YUV4MPEG2 W{} H{} F{}:{} Ip A1:1 C420",
+                self.width, self.height, self.fps_num, self.fps_den
+            )?;
+            self.header_written = true;
+        }
+        self.sink.write_all(b"FRAME\n")?;
+        for p in frame.y.pixels() {
+            self.sink.write_all(&[p.0])?;
+        }
+        for p in frame.cb.pixels() {
+            self.sink.write_all(&[p.0])?;
+        }
+        for p in frame.cr.pixels() {
+            self.sink.write_all(&[p.0])?;
+        }
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Frames written so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Flush and return the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Parse a `.y4m` byte stream produced by [`Y4mWriter`] (plain C420).
+/// Returns `(width, height, frames)`.
+pub fn decode_y4m(bytes: &[u8]) -> Result<(u32, u32, Vec<Yuv420>), String> {
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("missing stream header")?;
+    let header = std::str::from_utf8(&bytes[..nl]).map_err(|e| e.to_string())?;
+    if !header.starts_with("YUV4MPEG2") {
+        return Err("not a YUV4MPEG2 stream".into());
+    }
+    let mut w = 0u32;
+    let mut h = 0u32;
+    for tok in header.split_whitespace().skip(1) {
+        match tok.as_bytes()[0] {
+            b'W' => w = tok[1..].parse().map_err(|_| "bad W")?,
+            b'H' => h = tok[1..].parse().map_err(|_| "bad H")?,
+            b'C' => {
+                if &tok[1..] != "420" {
+                    return Err(format!("unsupported chroma mode {tok}"));
+                }
+            }
+            _ => {}
+        }
+    }
+    if w == 0 || h == 0 {
+        return Err("missing dimensions".into());
+    }
+    let y_len = (w * h) as usize;
+    let c_len = (w / 2 * h / 2) as usize;
+    let frame_len = y_len + 2 * c_len;
+    let mut frames = Vec::new();
+    let mut pos = nl + 1;
+    while pos < bytes.len() {
+        let fnl = bytes[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or("truncated frame header")?;
+        if !bytes[pos..pos + fnl].starts_with(b"FRAME") {
+            return Err("expected FRAME marker".into());
+        }
+        pos += fnl + 1;
+        if pos + frame_len > bytes.len() {
+            return Err("truncated frame payload".into());
+        }
+        let to_img = |data: &[u8], w: u32, h: u32| {
+            crate::image::Image::from_vec(
+                w,
+                h,
+                data.iter().map(|&b| crate::pixel::Gray8(b)).collect(),
+            )
+        };
+        frames.push(Yuv420 {
+            y: to_img(&bytes[pos..pos + y_len], w, h),
+            cb: to_img(&bytes[pos + y_len..pos + y_len + c_len], w / 2, h / 2),
+            cr: to_img(&bytes[pos + y_len + c_len..pos + frame_len], w / 2, h / 2),
+        });
+        pos += frame_len;
+    }
+    Ok((w, h, frames))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::random_rgb;
+
+    fn frame(seed: u64) -> Yuv420 {
+        Yuv420::from_rgb(&random_rgb(16, 12, seed))
+    }
+
+    #[test]
+    fn roundtrip_multi_frame() {
+        let mut w = Y4mWriter::new(Vec::new(), 16, 12, 30, 1);
+        let f0 = frame(1);
+        let f1 = frame(2);
+        w.write_frame(&f0).unwrap();
+        w.write_frame(&f1).unwrap();
+        assert_eq!(w.frames(), 2);
+        let bytes = w.finish().unwrap();
+        let (dw, dh, frames) = decode_y4m(&bytes).unwrap();
+        assert_eq!((dw, dh), (16, 12));
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], f0);
+        assert_eq!(frames[1], f1);
+    }
+
+    #[test]
+    fn header_format() {
+        let mut w = Y4mWriter::new(Vec::new(), 32, 24, 30000, 1001);
+        w.write_frame(&Yuv420::from_rgb(&random_rgb(32, 24, 3))).unwrap();
+        let bytes = w.finish().unwrap();
+        let header = std::str::from_utf8(&bytes[..bytes.iter().position(|&b| b == b'\n').unwrap()])
+            .unwrap();
+        assert_eq!(header, "YUV4MPEG2 W32 H24 F30000:1001 Ip A1:1 C420");
+    }
+
+    #[test]
+    fn rejects_mismatched_frame() {
+        let mut w = Y4mWriter::new(Vec::new(), 16, 12, 25, 1);
+        let wrong = Yuv420::from_rgb(&random_rgb(8, 8, 4));
+        assert!(w.write_frame(&wrong).is_err());
+        assert_eq!(w.frames(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even dims")]
+    fn odd_dims_rejected() {
+        let _ = Y4mWriter::new(Vec::new(), 15, 12, 25, 1);
+    }
+
+    #[test]
+    fn decoder_rejects_garbage() {
+        assert!(decode_y4m(b"not a stream\n").is_err());
+        assert!(decode_y4m(b"YUV4MPEG2 W16\n").is_err()); // missing H
+        // truncated payload
+        let mut w = Y4mWriter::new(Vec::new(), 16, 12, 25, 1);
+        w.write_frame(&frame(5)).unwrap();
+        let bytes = w.finish().unwrap();
+        assert!(decode_y4m(&bytes[..bytes.len() - 10]).is_err());
+    }
+
+    #[test]
+    fn empty_stream_has_no_frames() {
+        // header-only stream (no frames written yet -> no header
+        // either; decode of a bare header is fine)
+        let bytes = b"YUV4MPEG2 W16 H12 F25:1 Ip A1:1 C420\n".to_vec();
+        let (_, _, frames) = decode_y4m(&bytes).unwrap();
+        assert!(frames.is_empty());
+    }
+}

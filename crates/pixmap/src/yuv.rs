@@ -1,0 +1,235 @@
+//! Planar YCbCr 4:2:0 frames — the wire format of paper-era video.
+//!
+//! Surveillance and automotive cameras deliver YUV420, not RGB: a
+//! full-resolution luma plane plus two half-resolution chroma planes.
+//! The correction engine processes each plane independently (luma with
+//! the full-resolution map, chroma with a half-resolution map), so the
+//! substrate needs plane management and colorspace conversion.
+//!
+//! Conversions use the BT.601 studio-swing matrix (the standard for
+//! SD/HD security video of the era), with Y in [16, 235] and Cb/Cr in
+//! [16, 240].
+
+use crate::image::Image;
+use crate::pixel::{Gray8, Rgb8};
+
+/// A planar YCbCr 4:2:0 frame: full-res Y, half-res Cb and Cr.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Yuv420 {
+    /// Luma plane, `w`×`h`.
+    pub y: Image<Gray8>,
+    /// Blue-difference chroma, `ceil(w/2)`×`ceil(h/2)`.
+    pub cb: Image<Gray8>,
+    /// Red-difference chroma, `ceil(w/2)`×`ceil(h/2)`.
+    pub cr: Image<Gray8>,
+}
+
+/// Clamp a float to the u8 range with rounding.
+#[inline]
+fn clamp_u8(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+/// RGB → BT.601 studio-swing YCbCr.
+#[inline]
+pub fn rgb_to_ycbcr(p: Rgb8) -> (u8, u8, u8) {
+    let r = p.r as f32;
+    let g = p.g as f32;
+    let b = p.b as f32;
+    let y = 16.0 + 0.257 * r + 0.504 * g + 0.098 * b;
+    let cb = 128.0 - 0.148 * r - 0.291 * g + 0.439 * b;
+    let cr = 128.0 + 0.439 * r - 0.368 * g - 0.071 * b;
+    (clamp_u8(y), clamp_u8(cb), clamp_u8(cr))
+}
+
+/// BT.601 studio-swing YCbCr → RGB.
+#[inline]
+pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> Rgb8 {
+    let y = 1.164 * (y as f32 - 16.0);
+    let cb = cb as f32 - 128.0;
+    let cr = cr as f32 - 128.0;
+    Rgb8 {
+        r: clamp_u8(y + 1.596 * cr),
+        g: clamp_u8(y - 0.392 * cb - 0.813 * cr),
+        b: clamp_u8(y + 2.017 * cb),
+    }
+}
+
+impl Yuv420 {
+    /// Frame dimensions (of the luma plane).
+    pub fn dims(&self) -> (u32, u32) {
+        self.y.dims()
+    }
+
+    /// Total bytes of the three planes (the per-frame memory traffic
+    /// unit: 1.5 B/px).
+    pub fn bytes(&self) -> usize {
+        self.y.len() + self.cb.len() + self.cr.len()
+    }
+
+    /// Convert an RGB image to 4:2:0 by box-averaging each 2×2 chroma
+    /// block (the standard encoder downsampling).
+    pub fn from_rgb(img: &Image<Rgb8>) -> Self {
+        let (w, h) = img.dims();
+        let cw = w.div_ceil(2);
+        let ch = h.div_ceil(2);
+        let mut y_plane = Image::new(w, h);
+        let mut cb_acc = vec![0u32; (cw * ch) as usize];
+        let mut cr_acc = vec![0u32; (cw * ch) as usize];
+        let mut counts = vec![0u32; (cw * ch) as usize];
+        for yy in 0..h {
+            for xx in 0..w {
+                let (y, cb, cr) = rgb_to_ycbcr(img.pixel(xx, yy));
+                y_plane.set(xx, yy, Gray8(y));
+                let ci = ((yy / 2) * cw + xx / 2) as usize;
+                cb_acc[ci] += cb as u32;
+                cr_acc[ci] += cr as u32;
+                counts[ci] += 1;
+            }
+        }
+        let cb = Image::from_vec(
+            cw,
+            ch,
+            cb_acc
+                .iter()
+                .zip(&counts)
+                .map(|(&s, &n)| Gray8(((s + n / 2) / n) as u8))
+                .collect(),
+        );
+        let cr = Image::from_vec(
+            cw,
+            ch,
+            cr_acc
+                .iter()
+                .zip(&counts)
+                .map(|(&s, &n)| Gray8(((s + n / 2) / n) as u8))
+                .collect(),
+        );
+        Yuv420 { y: y_plane, cb, cr }
+    }
+
+    /// Convert back to RGB with nearest-neighbour chroma upsampling
+    /// (what a low-cost display path does).
+    pub fn to_rgb(&self) -> Image<Rgb8> {
+        let (w, h) = self.dims();
+        Image::from_fn(w, h, |x, y| {
+            let cx = (x / 2).min(self.cb.width() - 1);
+            let cy = (y / 2).min(self.cb.height() - 1);
+            ycbcr_to_rgb(
+                self.y.pixel(x, y).0,
+                self.cb.pixel(cx, cy).0,
+                self.cr.pixel(cx, cy).0,
+            )
+        })
+    }
+
+    /// A gray (luma-only) frame lifted to YUV420 with neutral chroma.
+    pub fn from_luma(y: Image<Gray8>) -> Self {
+        let (w, h) = y.dims();
+        let cw = w.div_ceil(2);
+        let ch = h.div_ceil(2);
+        Yuv420 {
+            y,
+            cb: Image::filled(cw, ch, Gray8(128)),
+            cr: Image::filled(cw, ch, Gray8(128)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::random_rgb;
+
+    #[test]
+    fn primaries_map_to_known_ycbcr() {
+        // white
+        let (y, cb, cr) = rgb_to_ycbcr(Rgb8::new(255, 255, 255));
+        assert!((y as i32 - 235).abs() <= 1, "white luma {y}");
+        assert!((cb as i32 - 128).abs() <= 1);
+        assert!((cr as i32 - 128).abs() <= 1);
+        // black
+        let (y, _, _) = rgb_to_ycbcr(Rgb8::new(0, 0, 0));
+        assert!((y as i32 - 16).abs() <= 1, "black luma {y}");
+        // red has high Cr
+        let (_, _, cr) = rgb_to_ycbcr(Rgb8::new(255, 0, 0));
+        assert!(cr > 220, "red Cr {cr}");
+        // blue has high Cb
+        let (_, cb, _) = rgb_to_ycbcr(Rgb8::new(0, 0, 255));
+        assert!(cb > 220, "blue Cb {cb}");
+    }
+
+    #[test]
+    fn rgb_ycbcr_roundtrip_close() {
+        for seed in 0..3u64 {
+            let img = random_rgb(16, 16, seed);
+            for p in img.pixels() {
+                let (y, cb, cr) = rgb_to_ycbcr(*p);
+                let back = ycbcr_to_rgb(y, cb, cr);
+                assert!(
+                    (back.r as i32 - p.r as i32).abs() <= 3
+                        && (back.g as i32 - p.g as i32).abs() <= 3
+                        && (back.b as i32 - p.b as i32).abs() <= 3,
+                    "{p:?} -> {back:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_rgb_dims_and_bytes() {
+        let img = random_rgb(17, 11, 1); // odd dims exercise ceil
+        let yuv = Yuv420::from_rgb(&img);
+        assert_eq!(yuv.dims(), (17, 11));
+        assert_eq!(yuv.cb.dims(), (9, 6));
+        assert_eq!(yuv.cr.dims(), (9, 6));
+        assert_eq!(yuv.bytes(), 17 * 11 + 2 * 9 * 6);
+    }
+
+    #[test]
+    fn uniform_color_survives_420_exactly() {
+        let img: Image<Rgb8> = Image::filled(16, 16, Rgb8::new(50, 120, 200));
+        let yuv = Yuv420::from_rgb(&img);
+        let back = yuv.to_rgb();
+        for p in back.pixels() {
+            assert!(
+                (p.r as i32 - 50).abs() <= 3
+                    && (p.g as i32 - 120).abs() <= 3
+                    && (p.b as i32 - 200).abs() <= 3,
+                "{p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chroma_subsampling_averages_blocks() {
+        // left half red, right half blue: the boundary chroma block
+        // averages them
+        let img = Image::from_fn(4, 2, |x, _| {
+            if x < 2 {
+                Rgb8::new(255, 0, 0)
+            } else {
+                Rgb8::new(0, 0, 255)
+            }
+        });
+        let yuv = Yuv420::from_rgb(&img);
+        assert_eq!(yuv.cb.dims(), (2, 1));
+        let red_cb = yuv.cb.pixel(0, 0).0;
+        let blue_cb = yuv.cb.pixel(1, 0).0;
+        assert!(blue_cb > red_cb, "blue side must have higher Cb");
+    }
+
+    #[test]
+    fn from_luma_is_neutral_gray() {
+        let y = crate::scene::random_gray(8, 8, 2);
+        let yuv = Yuv420::from_luma(y.clone());
+        let rgb = yuv.to_rgb();
+        for (px, orig) in rgb.pixels().iter().zip(y.pixels()) {
+            // neutral chroma -> r≈g≈b, scaled by the studio-swing
+            assert!((px.r as i32 - px.g as i32).abs() <= 2, "{px:?}");
+            assert!((px.g as i32 - px.b as i32).abs() <= 2, "{px:?}");
+            // monotone with luma
+            let _ = orig;
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the image substrate: codec round-trips for
+//! arbitrary images, metric axioms, YUV conversion bounds.
+
+use pixmap::codec;
+use pixmap::image::{Image, Rect};
+use pixmap::metrics::{mse, psnr, ssim};
+use pixmap::pixel::{Gray8, Rgb8};
+use pixmap::yuv::{rgb_to_ycbcr, ycbcr_to_rgb, Yuv420};
+use proptest::prelude::*;
+
+fn arb_gray(max_side: u32) -> impl Strategy<Value = Image<Gray8>> {
+    (1..=max_side, 1..=max_side, any::<u64>()).prop_map(|(w, h, seed)| {
+        let noise = pixmap::scene::random_gray(w, h, seed);
+        noise
+    })
+}
+
+fn arb_rgb(max_side: u32) -> impl Strategy<Value = Image<Rgb8>> {
+    (1..=max_side, 1..=max_side, any::<u64>())
+        .prop_map(|(w, h, seed)| pixmap::scene::random_rgb(w, h, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pgm_binary_roundtrips_any_image(img in arb_gray(40)) {
+        let enc = codec::encode_pgm(&img);
+        let dec = codec::decode_pgm(&enc).unwrap();
+        prop_assert_eq!(img, dec);
+    }
+
+    #[test]
+    fn pgm_ascii_roundtrips_any_image(img in arb_gray(24)) {
+        let enc = codec::encode_pgm_ascii(&img);
+        let dec = codec::decode_pgm(&enc).unwrap();
+        prop_assert_eq!(img, dec);
+    }
+
+    #[test]
+    fn ppm_roundtrips_any_image(img in arb_rgb(32)) {
+        let dec = codec::decode_ppm(&codec::encode_ppm(&img)).unwrap();
+        prop_assert_eq!(img, dec);
+    }
+
+    #[test]
+    fn bmp_roundtrips_any_width(img in arb_rgb(37)) {
+        // widths 1..37 cover all four row-padding residues
+        let dec = codec::decode_bmp(&codec::encode_bmp(&img)).unwrap();
+        prop_assert_eq!(img, dec);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_pgm(img in arb_gray(16), flip in 0usize..64, val in any::<u8>()) {
+        let mut enc = codec::encode_pgm(&img);
+        let idx = flip % enc.len();
+        enc[idx] = val;
+        let _ = codec::decode_pgm(&enc); // Ok or Err, never panic
+    }
+
+    #[test]
+    fn decoder_never_panics_on_truncated_bmp(img in arb_rgb(12), keep in 0usize..400) {
+        let enc = codec::encode_bmp(&img);
+        let cut = keep.min(enc.len());
+        let _ = codec::decode_bmp(&enc[..cut]);
+    }
+
+    #[test]
+    fn mse_axioms(a in arb_gray(24), seed in any::<u64>()) {
+        let b = pixmap::scene::random_gray(a.width(), a.height(), seed);
+        // identity
+        prop_assert_eq!(mse(&a, &a), 0.0);
+        // symmetry
+        let ab = mse(&a, &b);
+        let ba = mse(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-15);
+        // bounded by 1
+        prop_assert!(ab <= 1.0 + 1e-12);
+        // psnr consistent with mse
+        if ab > 0.0 {
+            prop_assert!((psnr(&a, &b) + 10.0 * ab.log10()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ssim_bounded_and_reflexive(a in arb_gray(24)) {
+        let s = ssim(&a, &a);
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crop_blit_restores_region(img in arb_gray(32), x0 in 0u32..16, y0 in 0u32..16) {
+        let r = Rect::new(
+            x0.min(img.width() - 1),
+            y0.min(img.height() - 1),
+            img.width(),
+            img.height(),
+        );
+        let sub = img.crop(r);
+        let mut dst: Image<Gray8> = Image::new(img.width(), img.height());
+        dst.blit(&sub, r.x0, r.y0);
+        for y in r.y0..r.y1 {
+            for x in r.x0..r.x1 {
+                prop_assert_eq!(dst.pixel(x, y), img.pixel(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn ycbcr_conversion_is_nearly_inverse(r in any::<u8>(), g in any::<u8>(), b in any::<u8>()) {
+        let (y, cb, cr) = rgb_to_ycbcr(Rgb8::new(r, g, b));
+        let back = ycbcr_to_rgb(y, cb, cr);
+        prop_assert!((back.r as i32 - r as i32).abs() <= 3);
+        prop_assert!((back.g as i32 - g as i32).abs() <= 3);
+        prop_assert!((back.b as i32 - b as i32).abs() <= 3);
+    }
+
+    #[test]
+    fn yuv420_roundtrip_bounded_error(small in arb_rgb(12)) {
+        // build a chroma-smooth image (every 2x2 block uniform) so
+        // 4:2:0 subsampling is information-lossless; then the full
+        // RGB round-trip must be tight per pixel
+        let img = Image::from_fn(small.width() * 2, small.height() * 2, |x, y| {
+            small.pixel(x / 2, y / 2)
+        });
+        let yuv = Yuv420::from_rgb(&img);
+        let back = yuv.to_rgb();
+        prop_assert_eq!(back.dims(), img.dims());
+        for (a, b) in img.pixels().iter().zip(back.pixels()) {
+            prop_assert!((a.r as i32 - b.r as i32).abs() <= 4, "{a:?} vs {b:?}");
+            prop_assert!((a.g as i32 - b.g as i32).abs() <= 4, "{a:?} vs {b:?}");
+            prop_assert!((a.b as i32 - b.b as i32).abs() <= 4, "{a:?} vs {b:?}");
+        }
+    }
+}

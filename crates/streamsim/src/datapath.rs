@@ -1,0 +1,380 @@
+//! The fixed-point map-generation datapath.
+//!
+//! Stage structure (all Q16.16 unless noted, CORDIC internals Q2.29):
+//!
+//! ```text
+//! (x, y) out pixel
+//!   │ 2 MUL   view scaling: vx = (x+0.5-W/2)/f_v, vy = …      [LUT-free]
+//!   │ 9 MUL   view rotation R · (vx, vy, 1)
+//!   │ CORDIC₁ vectoring(rx, ry)        → ρ, φ
+//!   │ CORDIC₂ vectoring(rz, ρ)         → θ = atan2(ρ, z)
+//!   │ BRAM    lens LUT: θ → r/f (linear-interp, 1 MUL)
+//!   │ 1 MUL   r = f · (r/f)
+//!   │ CORDIC₃ rotation(φ)              → cos φ, sin φ
+//!   │ 2 MUL   sx = cx + r·cos φ, sy = cy + r·sin φ
+//!   └ quantize to FixedMapEntry (corner + Q0.n weights)
+//! ```
+//!
+//! The θ range check (`θ ≤ max_theta`) and frame-bounds check mark
+//! entries invalid exactly like the float path.
+
+use fisheye_core::map::{FixedRemapMap, MapEntry, RemapMap};
+use fisheye_geom::{FisheyeLens, PerspectiveView};
+use fixedq::cordic;
+use fixedq::lut::LinearLut;
+
+/// Q-format of the coordinate datapath.
+pub const COORD_FRAC: u32 = 16;
+
+const SCALE: f64 = (1u32 << COORD_FRAC) as f64;
+const CSCALE: f64 = (1u32 << cordic::CORDIC_FRAC) as f64;
+
+#[inline]
+fn to_q(x: f64) -> i64 {
+    (x * SCALE).round() as i64
+}
+
+#[inline]
+fn from_q(x: i64) -> f64 {
+    x as f64 / SCALE
+}
+
+#[inline]
+fn mul_q(a: i64, b: i64) -> i64 {
+    (a * b) >> COORD_FRAC
+}
+
+/// Accuracy of a fixed-point map vs the float reference.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MapAccuracy {
+    /// Mean absolute source-coordinate error, pixels.
+    pub mean_err_px: f64,
+    /// Worst source-coordinate error, pixels.
+    pub max_err_px: f64,
+    /// Entries whose validity flag disagrees with the reference.
+    pub validity_mismatches: u64,
+    /// Entries compared.
+    pub compared: u64,
+}
+
+/// The datapath: configuration + execution + resource counts.
+#[derive(Clone, Debug)]
+pub struct FixedMapGen {
+    /// CORDIC iterations per unit (pipeline stages each).
+    pub cordic_iters: u32,
+    /// Lens-LUT entries (intervals + 1 samples).
+    pub lens_lut_intervals: usize,
+    /// Fractional bits of the bilinear weights in the emitted map.
+    pub weight_frac_bits: u32,
+    lens_lut: Option<LinearLut>,
+}
+
+impl FixedMapGen {
+    /// Datapath with typical FPGA parameters (18 CORDIC stages, 1024
+    /// LUT intervals, 8-bit weights).
+    pub fn new(cordic_iters: u32, lens_lut_intervals: usize, weight_frac_bits: u32) -> Self {
+        assert!(cordic_iters >= 4 && cordic_iters <= 32, "4..=32 iterations");
+        assert!(
+            (1..=15).contains(&weight_frac_bits),
+            "weights are u16: 1..=15 bits"
+        );
+        FixedMapGen {
+            cordic_iters,
+            lens_lut_intervals,
+            weight_frac_bits,
+            lens_lut: None,
+        }
+    }
+
+    /// Default configuration.
+    pub fn typical() -> Self {
+        Self::new(18, 1024, 8)
+    }
+
+    /// Build (or reuse) the θ → r/f lens LUT for `lens`.
+    fn lut_for(&mut self, lens: &FisheyeLens) -> &LinearLut {
+        if self.lens_lut.is_none() {
+            let model = lens.model;
+            self.lens_lut = Some(LinearLut::build(
+                move |theta| model.theta_to_r_over_f(theta),
+                0.0,
+                lens.max_theta,
+                self.lens_lut_intervals,
+            ));
+        }
+        self.lens_lut.as_ref().unwrap()
+    }
+
+    /// Run the datapath over every output pixel, producing the
+    /// quantized map the streaming corrector consumes.
+    pub fn generate(
+        &mut self,
+        lens: &FisheyeLens,
+        view: &PerspectiveView,
+        src_w: u32,
+        src_h: u32,
+    ) -> FixedRemapMap {
+        let iters = self.cordic_iters;
+        let weight_bits = self.weight_frac_bits;
+        let focal_q = to_q(lens.focal_px);
+        let cx_q = to_q(lens.cx);
+        let cy_q = to_q(lens.cy);
+        let max_theta_c = (lens.max_theta * CSCALE) as i64;
+        // rotation matrix entries in Q16.16 (computed once per view —
+        // a register file in hardware)
+        let r = view.rotation();
+        let rq: Vec<i64> = r.m.iter().flatten().map(|&v| to_q(v)).collect();
+        let inv_fv = to_q(1.0 / view.focal_px());
+        let half_w = to_q(view.width as f64 / 2.0);
+        let half_h = to_q(view.height as f64 / 2.0);
+        let lut = self.lut_for(lens).clone();
+
+        // assemble via the float-map container to reuse its quantizer
+        let mut entries: Vec<MapEntry> = Vec::with_capacity((view.width * view.height) as usize);
+        for y in 0..view.height {
+            for x in 0..view.width {
+                let e = Self::pixel_datapath(
+                    x, y, inv_fv, half_w, half_h, &rq, focal_q, cx_q, cy_q, max_theta_c, &lut,
+                    iters, src_w, src_h,
+                );
+                entries.push(e);
+            }
+        }
+        let float_map = RemapMapBuilder {
+            width: view.width,
+            height: view.height,
+            src_w,
+            src_h,
+            entries,
+        }
+        .finish();
+        float_map.to_fixed(weight_bits)
+    }
+
+    /// One pixel through the datapath (kept in one function — this is
+    /// the unit a HLS tool would pipeline).
+    #[allow(clippy::too_many_arguments)]
+    fn pixel_datapath(
+        x: u32,
+        y: u32,
+        inv_fv: i64,
+        half_w: i64,
+        half_h: i64,
+        rq: &[i64],
+        focal_q: i64,
+        cx_q: i64,
+        cy_q: i64,
+        max_theta_c: i64,
+        lut: &LinearLut,
+        iters: u32,
+        src_w: u32,
+        src_h: u32,
+    ) -> MapEntry {
+        // view-plane coordinates, Q16.16
+        let px = ((x as i64) << COORD_FRAC) + to_q(0.5) - half_w;
+        let py = ((y as i64) << COORD_FRAC) + to_q(0.5) - half_h;
+        let vx = mul_q(px, inv_fv);
+        let vy = mul_q(py, inv_fv);
+        let vz = 1i64 << COORD_FRAC;
+        // rotate
+        let rx = mul_q(rq[0], vx) + mul_q(rq[1], vy) + mul_q(rq[2], vz);
+        let ry = mul_q(rq[3], vx) + mul_q(rq[4], vy) + mul_q(rq[5], vz);
+        let rz = mul_q(rq[6], vx) + mul_q(rq[7], vy) + mul_q(rq[8], vz);
+        // CORDIC 1: (rx, ry) -> ρ (Q16.16), φ (Q2.29)
+        let v1 = cordic::vectoring(rx, ry, iters);
+        let rho = v1.magnitude;
+        let phi = v1.angle;
+        // CORDIC 2: θ = atan2(ρ, rz), Q2.29
+        let v2 = cordic::vectoring(rz, rho, iters);
+        let theta = v2.angle;
+        if theta < 0 || theta > max_theta_c {
+            return MapEntry::INVALID;
+        }
+        // lens LUT: θ -> r/f (LUT evaluated in f64 — a BRAM holding
+        // Q16.16 samples; quantize its output to Q16.16)
+        let r_over_f = to_q(lut.eval(theta as f64 / CSCALE));
+        let r_px = mul_q(focal_q, r_over_f);
+        // CORDIC 3: (cos φ, sin φ), Q2.29 -> narrow to Q16.16
+        let (s, c) = cordic::sincos_q(phi, iters);
+        let cos_q = s_narrow(c);
+        let sin_q = s_narrow(s);
+        let sx = cx_q + mul_q(r_px, cos_q);
+        let sy = cy_q + mul_q(r_px, sin_q);
+        let fx = from_q(sx);
+        let fy = from_q(sy);
+        if fx >= 0.0 && fx < src_w as f64 && fy >= 0.0 && fy < src_h as f64 {
+            MapEntry {
+                sx: fx as f32,
+                sy: fy as f32,
+            }
+        } else {
+            MapEntry::INVALID
+        }
+    }
+
+    /// Compare a generated map against the float reference.
+    pub fn accuracy(fixed: &FixedRemapMap, reference: &RemapMap) -> MapAccuracy {
+        assert_eq!(
+            (fixed.width(), fixed.height()),
+            (reference.width(), reference.height()),
+            "map dimensions differ"
+        );
+        let step = 1.0 / (1u32 << fixed.frac_bits()) as f64;
+        let mut acc = MapAccuracy::default();
+        let mut sum = 0.0f64;
+        for y in 0..fixed.height() {
+            for x in 0..fixed.width() {
+                let f = fixed.entry(x, y);
+                let r = reference.entry(x, y);
+                if f.is_valid() != r.is_valid() {
+                    acc.validity_mismatches += 1;
+                    continue;
+                }
+                if !r.is_valid() {
+                    continue;
+                }
+                let fx = f.x0 as f64 + f.wx as f64 * step + 0.5;
+                let fy = f.y0 as f64 + f.wy as f64 * step + 0.5;
+                let e = ((fx - r.sx as f64).powi(2) + (fy - r.sy as f64).powi(2)).sqrt();
+                sum += e;
+                acc.max_err_px = acc.max_err_px.max(e);
+                acc.compared += 1;
+            }
+        }
+        acc.mean_err_px = if acc.compared > 0 {
+            sum / acc.compared as f64
+        } else {
+            0.0
+        };
+        acc
+    }
+
+    /// DSP multipliers in the datapath (for the resource report):
+    /// 2 (view scale) + 9 (rotation) + 1 (LUT interp) + 1 (r=f·q) +
+    /// 2 (final scale) = 15.
+    pub fn dsp_count(&self) -> u32 {
+        15
+    }
+
+    /// Pipeline depth in cycles: one stage per CORDIC iteration in
+    /// each of the three units, plus fixed stages (scale 1, rotate 2,
+    /// LUT 2, final 2).
+    pub fn pipeline_depth(&self) -> u32 {
+        3 * self.cordic_iters + 7
+    }
+
+    /// BRAM bytes for the lens LUT (Q16.16 samples = 4 bytes each).
+    pub fn lut_bram_bytes(&self) -> usize {
+        (self.lens_lut_intervals + 1) * 4
+    }
+}
+
+/// Narrow a Q2.29 CORDIC result to Q16.16 with rounding.
+#[inline]
+fn s_narrow(v: i64) -> i64 {
+    let shift = cordic::CORDIC_FRAC - COORD_FRAC;
+    (v + (1 << (shift - 1))) >> shift
+}
+
+/// Internal helper so the datapath can reuse `RemapMap::to_fixed`
+/// without exposing a mutable-entry API on `RemapMap`.
+struct RemapMapBuilder {
+    width: u32,
+    height: u32,
+    src_w: u32,
+    src_h: u32,
+    entries: Vec<MapEntry>,
+}
+
+impl RemapMapBuilder {
+    fn finish(self) -> RemapMap {
+        RemapMap::from_entries(self.width, self.height, self.src_w, self.src_h, self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisheye_core::{correct, correct_fixed, Interpolator};
+    use pixmap::metrics::psnr;
+
+    fn setup() -> (FisheyeLens, PerspectiveView, RemapMap) {
+        let lens = FisheyeLens::equidistant_fov(320, 240, 180.0);
+        let view = PerspectiveView::centered(160, 120, 90.0);
+        let reference = RemapMap::build(&lens, &view, 320, 240);
+        (lens, view, reference)
+    }
+
+    #[test]
+    fn datapath_map_close_to_float() {
+        let (lens, view, reference) = setup();
+        let mut gen = FixedMapGen::typical();
+        let fixed = gen.generate(&lens, &view, 320, 240);
+        let acc = FixedMapGen::accuracy(&fixed, &reference);
+        assert!(acc.compared > 10_000);
+        assert!(
+            acc.mean_err_px < 0.05,
+            "mean coordinate error {} px",
+            acc.mean_err_px
+        );
+        assert!(acc.max_err_px < 0.5, "max coordinate error {} px", acc.max_err_px);
+        // validity can flip only on the FOV boundary ring
+        assert!(
+            acc.validity_mismatches < (fixed.width() + fixed.height()) as u64 * 4,
+            "{} validity mismatches",
+            acc.validity_mismatches
+        );
+    }
+
+    #[test]
+    fn corrected_frame_quality_vs_float_path() {
+        let (lens, view, reference) = setup();
+        let src = pixmap::scene::random_gray(320, 240, 9);
+        let float_out = correct(&src, &reference, Interpolator::Bilinear);
+        let mut gen = FixedMapGen::typical();
+        let fixed = gen.generate(&lens, &view, 320, 240);
+        let fixed_out = correct_fixed(&src, &fixed);
+        let q = psnr(&float_out, &fixed_out);
+        assert!(q > 30.0, "PSNR {q} dB vs float reference");
+    }
+
+    #[test]
+    fn more_cordic_iterations_reduce_error() {
+        let (lens, view, reference) = setup();
+        let acc = |iters| {
+            let mut gen = FixedMapGen::new(iters, 1024, 8);
+            let fixed = gen.generate(&lens, &view, 320, 240);
+            FixedMapGen::accuracy(&fixed, &reference).mean_err_px
+        };
+        let e8 = acc(8);
+        let e16 = acc(16);
+        assert!(e16 < e8, "8 iters {e8}, 16 iters {e16}");
+    }
+
+    #[test]
+    fn finer_lens_lut_reduces_error() {
+        let (lens, view, reference) = setup();
+        let acc = |intervals| {
+            let mut gen = FixedMapGen::new(20, intervals, 8);
+            let fixed = gen.generate(&lens, &view, 320, 240);
+            FixedMapGen::accuracy(&fixed, &reference).max_err_px
+        };
+        let coarse = acc(16);
+        let fine = acc(2048);
+        assert!(fine <= coarse, "16 ivals {coarse}, 2048 ivals {fine}");
+    }
+
+    #[test]
+    fn resource_counts() {
+        let gen = FixedMapGen::new(18, 1024, 8);
+        assert_eq!(gen.dsp_count(), 15);
+        assert_eq!(gen.pipeline_depth(), 3 * 18 + 7);
+        assert_eq!(gen.lut_bram_bytes(), 1025 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "4..=32")]
+    fn iteration_bounds_enforced() {
+        let _ = FixedMapGen::new(2, 64, 8);
+    }
+}

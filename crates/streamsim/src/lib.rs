@@ -1,0 +1,27 @@
+//! # streamsim — a streaming / FPGA accelerator model
+//!
+//! The paper's deepest-pipelined port: a fixed-function datapath that
+//! produces one corrected pixel per clock (initiation interval 1)
+//! after pipeline fill. Two halves:
+//!
+//! * [`datapath`] — the *bit-accurate* fixed-point map-generation
+//!   datapath: three CORDIC units (vectoring for φ and θ, rotation for
+//!   the final sin/cos) plus a block-RAM lens LUT, all in Q16.16.
+//!   Running it produces a [`fisheye_core::FixedRemapMap`] whose error
+//!   vs the float reference is measured, not assumed — this is the
+//!   datapath the F7 precision experiment sweeps.
+//! * [`stream`] — feasibility and performance analysis: the vertical
+//!   source span each output row needs (line-buffer sizing), BRAM /
+//!   DSP resource accounting, and the II=1 timing model giving fps at
+//!   a chosen clock.
+//!
+//! Substitution note (DESIGN.md §6): no FPGA exists here, but the
+//! numerical results are exactly what the RTL would compute, and the
+//! resource numbers follow standard FPGA costing (one 18×18 DSP per
+//! multiply, one BRAM per LUT/line buffer port).
+
+pub mod datapath;
+pub mod stream;
+
+pub use datapath::{FixedMapGen, MapAccuracy};
+pub use stream::{LineBufferAnalysis, StreamConfig, StreamReport};

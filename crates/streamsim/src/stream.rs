@@ -1,0 +1,226 @@
+//! Streaming feasibility, timing and resource analysis.
+//!
+//! The corrector datapath streams *output* pixels in raster order at
+//! one pixel per clock. Its source accesses must be served from
+//! on-chip line buffers: for each output row, the set of source rows
+//! referenced must lie inside a sliding window of buffered rows. The
+//! window size needed is a property of the *map* (fisheye maps need a
+//! tall window near the frame top/bottom), so the analysis here runs
+//! on the real map rather than assuming a constant.
+
+use fisheye_core::map::RemapMap;
+use fisheye_core::Interpolator;
+
+use crate::datapath::FixedMapGen;
+
+/// Accelerator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Datapath clock, Hz (150 MHz is a period-typical image pipeline).
+    pub clock_hz: f64,
+    /// On-chip buffer budget for source line buffers, bytes.
+    pub bram_budget_bytes: usize,
+    /// Bytes per source pixel (1 = 8-bit luma).
+    pub bytes_per_pixel: usize,
+    /// Blanking/setup overhead per frame, cycles.
+    pub frame_overhead_cycles: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            clock_hz: 150.0e6,
+            bram_budget_bytes: 2 * 1024 * 1024, // mid-size FPGA BRAM
+            bytes_per_pixel: 1,
+            frame_overhead_cycles: 10_000.0,
+        }
+    }
+}
+
+/// Line-buffer requirements measured from a map.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LineBufferAnalysis {
+    /// Largest vertical source span (rows) needed by any output row,
+    /// including the interpolator margin.
+    pub max_rows_needed: u32,
+    /// Largest single-row *growth* of the window start — if the window
+    /// start ever has to move backward, pure streaming is infeasible.
+    pub monotone: bool,
+    /// Line-buffer bytes = max_rows_needed × src_width × bpp.
+    pub buffer_bytes: usize,
+}
+
+/// Compute the line-buffer analysis for a map.
+pub fn analyze_line_buffers(
+    map: &RemapMap,
+    interp: Interpolator,
+    bytes_per_pixel: usize,
+) -> LineBufferAnalysis {
+    let (src_w, _) = map.src_dims();
+    let margin = interp.margin() as f32;
+    let mut max_span = 0u32;
+    let mut prev_min = f32::NEG_INFINITY;
+    let mut monotone = true;
+    for y in 0..map.height() {
+        let mut lo = f32::MAX;
+        let mut hi = f32::MIN;
+        let mut any = false;
+        for e in map.row(y) {
+            if e.is_valid() {
+                any = true;
+                lo = lo.min(e.sy);
+                hi = hi.max(e.sy);
+            }
+        }
+        if !any {
+            continue;
+        }
+        let span = ((hi + margin).ceil() - (lo - margin).floor()) as u32 + 1;
+        max_span = max_span.max(span);
+        if lo < prev_min - 1.0 {
+            // window start would have to rewind by more than the
+            // tolerance of one row: not streamable
+            monotone = false;
+        }
+        prev_min = prev_min.max(lo);
+    }
+    LineBufferAnalysis {
+        max_rows_needed: max_span,
+        monotone,
+        buffer_bytes: max_span as usize * src_w as usize * bytes_per_pixel,
+    }
+}
+
+/// The full accelerator report for one configuration + map.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Line-buffer analysis.
+    pub line_buffers: LineBufferAnalysis,
+    /// True when the line buffers fit the BRAM budget and the access
+    /// pattern is streamable.
+    pub feasible: bool,
+    /// Pipeline depth (cycles) of the map-gen datapath.
+    pub pipeline_depth: u32,
+    /// DSP multipliers used (map-gen + 3 for bilinear).
+    pub dsp_count: u32,
+    /// Total BRAM bytes: line buffers + lens LUT.
+    pub bram_bytes: usize,
+    /// Cycles per frame: pixels at II=1 + fill + overhead.
+    pub frame_cycles: f64,
+    /// Frames per second at the configured clock.
+    pub fps: f64,
+}
+
+/// Analyze one (map, datapath, config) triple.
+pub fn analyze(map: &RemapMap, gen: &FixedMapGen, cfg: &StreamConfig) -> StreamReport {
+    let lb = analyze_line_buffers(map, Interpolator::Bilinear, cfg.bytes_per_pixel);
+    let bram = lb.buffer_bytes + gen.lut_bram_bytes();
+    let feasible = lb.monotone && bram <= cfg.bram_budget_bytes;
+    let pixels = map.width() as f64 * map.height() as f64;
+    let frame_cycles =
+        pixels + gen.pipeline_depth() as f64 + cfg.frame_overhead_cycles;
+    StreamReport {
+        line_buffers: lb,
+        feasible,
+        pipeline_depth: gen.pipeline_depth(),
+        dsp_count: gen.dsp_count() + 3, // bilinear: 3 more multipliers
+        bram_bytes: bram,
+        frame_cycles,
+        fps: cfg.clock_hz / frame_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisheye_geom::{FisheyeLens, PerspectiveView};
+
+    fn map(out_w: u32, out_h: u32, fov: f64) -> RemapMap {
+        let lens = FisheyeLens::equidistant_fov(640, 480, 180.0);
+        let view = PerspectiveView::centered(out_w, out_h, fov);
+        RemapMap::build(&lens, &view, 640, 480)
+    }
+
+    #[test]
+    fn narrow_view_needs_few_rows() {
+        let m = map(320, 240, 40.0);
+        let lb = analyze_line_buffers(&m, Interpolator::Bilinear, 1);
+        assert!(lb.monotone, "narrow straight-ahead view must stream");
+        assert!(
+            lb.max_rows_needed < 60,
+            "rows needed {}",
+            lb.max_rows_needed
+        );
+        assert_eq!(lb.buffer_bytes, lb.max_rows_needed as usize * 640);
+    }
+
+    #[test]
+    fn wider_view_needs_more_rows() {
+        let narrow = analyze_line_buffers(&map(320, 240, 40.0), Interpolator::Bilinear, 1);
+        let wide = analyze_line_buffers(&map(320, 240, 100.0), Interpolator::Bilinear, 1);
+        assert!(
+            wide.max_rows_needed > narrow.max_rows_needed,
+            "narrow {} vs wide {}",
+            narrow.max_rows_needed,
+            wide.max_rows_needed
+        );
+    }
+
+    #[test]
+    fn bicubic_margin_adds_rows() {
+        let m = map(320, 240, 60.0);
+        let bl = analyze_line_buffers(&m, Interpolator::Bilinear, 1);
+        let bc = analyze_line_buffers(&m, Interpolator::Bicubic, 1);
+        assert!(bc.max_rows_needed >= bl.max_rows_needed + 2);
+    }
+
+    #[test]
+    fn report_feasibility_follows_budget() {
+        let m = map(320, 240, 90.0);
+        let gen = FixedMapGen::typical();
+        let generous = analyze(
+            &m,
+            &gen,
+            &StreamConfig {
+                bram_budget_bytes: 8 * 1024 * 1024,
+                ..Default::default()
+            },
+        );
+        assert!(generous.feasible, "8 MB budget must fit: {generous:?}");
+        let tiny = analyze(
+            &m,
+            &gen,
+            &StreamConfig {
+                bram_budget_bytes: 4 * 1024,
+                ..Default::default()
+            },
+        );
+        assert!(!tiny.feasible, "4 KB budget cannot fit");
+    }
+
+    #[test]
+    fn fps_dominated_by_pixel_count() {
+        let gen = FixedMapGen::typical();
+        let cfg = StreamConfig::default();
+        let small = analyze(&map(320, 240, 90.0), &gen, &cfg);
+        let large = analyze(&map(640, 480, 90.0), &gen, &cfg);
+        // fixed per-frame overhead dilutes the ratio slightly below 4
+        let ratio = small.fps / large.fps;
+        assert!(
+            ratio > 3.2 && ratio <= 4.0,
+            "4x pixels should cost ~4x: ratio {ratio}"
+        );
+        // 150 MHz / (320*240) ≈ 1800 fps upper bound
+        assert!(small.fps > 1000.0 && small.fps < 2000.0, "{}", small.fps);
+    }
+
+    #[test]
+    fn dsp_and_bram_accounting() {
+        let m = map(160, 120, 80.0);
+        let gen = FixedMapGen::new(16, 512, 8);
+        let r = analyze(&m, &gen, &StreamConfig::default());
+        assert_eq!(r.dsp_count, 15 + 3);
+        assert_eq!(r.pipeline_depth, 3 * 16 + 7);
+        assert!(r.bram_bytes >= gen.lut_bram_bytes());
+    }
+}

@@ -1,0 +1,139 @@
+//! Latency distribution statistics.
+//!
+//! Real-time systems are judged by tail latency, not means. This
+//! collector keeps every sample (frame counts are small enough) and
+//! reports the percentiles the F10 experiment and the examples print.
+
+use std::time::Duration;
+
+/// An online latency collector with percentile queries.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<Duration>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.samples.iter().sum();
+        total / self.samples.len() as u32
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) by nearest-rank; zero when
+    /// empty.
+    pub fn percentile(&mut self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    /// Worst sample.
+    pub fn max(&self) -> Duration {
+        self.samples.iter().max().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// `(p50, p95, p99, max)` in one call.
+    pub fn summary(&mut self) -> (Duration, Duration, Duration, Duration) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+            self.max(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_collector_is_zero() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.percentile(0.5), Duration::ZERO);
+        assert_eq!(s.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn known_percentiles() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100u64 {
+            s.record(ms(v));
+        }
+        assert_eq!(s.percentile(0.50), ms(50));
+        assert_eq!(s.percentile(0.95), ms(95));
+        assert_eq!(s.percentile(0.99), ms(99));
+        assert_eq!(s.percentile(1.0), ms(100));
+        assert_eq!(s.max(), ms(100));
+        assert_eq!(s.mean(), ms(50) + Duration::from_micros(500));
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let mut s = LatencyStats::new();
+        for v in [30u64, 10, 50, 20, 40] {
+            s.record(ms(v));
+        }
+        assert_eq!(s.percentile(0.5), ms(30));
+        // record after a percentile query re-sorts lazily
+        s.record(ms(5));
+        assert_eq!(s.percentile(0.5), ms(20));
+    }
+
+    #[test]
+    fn tail_dominated_by_outlier() {
+        let mut s = LatencyStats::new();
+        for _ in 0..99 {
+            s.record(ms(10));
+        }
+        s.record(ms(500));
+        let (p50, p95, p99, max) = s.summary();
+        assert_eq!(p50, ms(10));
+        assert_eq!(p95, ms(10));
+        assert_eq!(p99, ms(10));
+        assert_eq!(max, ms(500));
+        assert_eq!(s.percentile(1.0), ms(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn bad_quantile_rejected() {
+        let mut s = LatencyStats::new();
+        s.record(ms(1));
+        let _ = s.percentile(1.5);
+    }
+}

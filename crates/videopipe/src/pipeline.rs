@@ -1,0 +1,305 @@
+//! The capture → correct → sink pipeline.
+//!
+//! Three stage groups connected by bounded queues:
+//!
+//! ```text
+//! [capture thread] → q_in → [N corrector workers] → q_out → [sink]
+//! ```
+//!
+//! All corrector workers share one immutable [`RemapMap`], so adding
+//! workers scales the memory-bound phase-2 kernel exactly as the
+//! paper's multicore port does — but across *frames* instead of rows
+//! (frame-level parallelism, the natural choice for a pipeline).
+//! Per-frame latency is measured from capture to sink; the report
+//! carries the distribution summary the F10 experiment prints.
+
+use std::time::{Duration, Instant};
+
+use fisheye_core::{correct, Interpolator, RemapMap};
+use pixmap::{Gray8, Image};
+
+use crate::channel::BoundedQueue;
+use crate::source::{VideoFrame, VideoSource};
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PipeConfig {
+    /// Corrector worker threads.
+    pub workers: usize,
+    /// Queue capacity between stages (frames in flight bound).
+    pub queue_capacity: usize,
+    /// Interpolation kernel.
+    pub interp: Interpolator,
+    /// When `Some(cap)`, the sink reorders frames through a
+    /// [`crate::Resequencer`] with that buffer capacity, delivering
+    /// `on_frame` calls strictly in sequence (late frames are
+    /// dropped and counted in [`PipeReport::dropped`]).
+    pub resequence: Option<usize>,
+}
+
+impl Default for PipeConfig {
+    fn default() -> Self {
+        PipeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            interp: Interpolator::Bilinear,
+            resequence: None,
+        }
+    }
+}
+
+/// End-of-run measurements.
+#[derive(Clone, Debug)]
+pub struct PipeReport {
+    /// Frames that reached the sink.
+    pub frames: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// End-to-end throughput.
+    pub fps: f64,
+    /// Mean capture→sink latency.
+    pub mean_latency: Duration,
+    /// Median capture→sink latency.
+    pub p50_latency: Duration,
+    /// 95th-percentile capture→sink latency.
+    pub p95_latency: Duration,
+    /// Worst capture→sink latency.
+    pub max_latency: Duration,
+    /// Input-queue high-water mark (backlog indicator).
+    pub in_queue_high_water: usize,
+    /// Frames that arrived at the sink out of order (frame-parallel
+    /// correction reorders; consumers needing order must resequence).
+    pub out_of_order: u64,
+    /// Frames dropped by the resequencer (0 when resequencing is off).
+    pub dropped: u64,
+}
+
+/// A corrected frame arriving at the sink.
+struct CorrectedFrame {
+    seq: u64,
+    captured_at: Instant,
+    image: Image<Gray8>,
+}
+
+/// Drive `source` through the correction pipeline to exhaustion and
+/// return the measurements. `on_frame` is invoked at the sink for
+/// every corrected frame (pass `|_, _| {}` to discard).
+pub fn run_pipeline(
+    mut source: Box<dyn VideoSource>,
+    map: &RemapMap,
+    config: PipeConfig,
+    mut on_frame: impl FnMut(u64, &Image<Gray8>) + Send,
+) -> PipeReport {
+    assert!(config.workers >= 1, "need at least one worker");
+    let q_in: BoundedQueue<VideoFrame> = BoundedQueue::new(config.queue_capacity);
+    let q_out: BoundedQueue<CorrectedFrame> = BoundedQueue::new(config.queue_capacity);
+
+    let started = Instant::now();
+    let mut frames = 0u64;
+    let mut latency = crate::latency::LatencyStats::new();
+    let mut out_of_order = 0u64;
+    let mut dropped = 0u64;
+    let mut last_seq: Option<u64> = None;
+
+    std::thread::scope(|s| {
+        // capture stage
+        let q_in_prod = q_in.clone();
+        s.spawn(move || {
+            while let Some(frame) = source.next_frame() {
+                if q_in_prod.push(frame).is_err() {
+                    break;
+                }
+            }
+            q_in_prod.close();
+        });
+        // corrector workers
+        let worker_handles: Vec<_> = (0..config.workers)
+            .map(|_| {
+                let q_in = q_in.clone();
+                let q_out = q_out.clone();
+                let interp = config.interp;
+                s.spawn(move || {
+                    while let Some(frame) = q_in.pop() {
+                        let image = correct(&frame.image, map, interp);
+                        let done = CorrectedFrame {
+                            seq: frame.seq,
+                            captured_at: frame.captured_at,
+                            image,
+                        };
+                        if q_out.push(done).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        // closer: when all workers exit, close the output queue
+        {
+            let q_out = q_out.clone();
+            s.spawn(move || {
+                for h in worker_handles {
+                    let _ = h.join();
+                }
+                q_out.close();
+            });
+        }
+        // sink (this thread)
+        let mut reseq = config
+            .resequence
+            .map(crate::resequencer::Resequencer::<CorrectedFrame>::new);
+        while let Some(done) = q_out.pop() {
+            latency.record(done.captured_at.elapsed());
+            if let Some(prev) = last_seq {
+                if done.seq < prev {
+                    out_of_order += 1;
+                }
+            }
+            last_seq = Some(done.seq.max(last_seq.unwrap_or(0)));
+            match reseq.as_mut() {
+                Some(r) => {
+                    for (seq, f) in r.push(done.seq, done) {
+                        on_frame(seq, &f.image);
+                        frames += 1;
+                    }
+                }
+                None => {
+                    on_frame(done.seq, &done.image);
+                    frames += 1;
+                }
+            }
+        }
+        if let Some(r) = reseq.as_mut() {
+            for (seq, f) in r.flush() {
+                on_frame(seq, &f.image);
+                frames += 1;
+            }
+            dropped = r.dropped();
+        }
+    });
+
+    let elapsed = started.elapsed();
+    PipeReport {
+        frames,
+        elapsed,
+        fps: if elapsed.as_secs_f64() > 0.0 {
+            frames as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        mean_latency: latency.mean(),
+        p50_latency: latency.percentile(0.5),
+        p95_latency: latency.percentile(0.95),
+        max_latency: latency.max(),
+        in_queue_high_water: q_in.high_water(),
+        out_of_order,
+        dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ShiftVideo;
+    use fisheye_geom::{FisheyeLens, PerspectiveView};
+    use pixmap::scene::random_gray;
+
+    fn test_map() -> RemapMap {
+        let lens = FisheyeLens::equidistant_fov(128, 96, 180.0);
+        let view = PerspectiveView::centered(64, 48, 90.0);
+        RemapMap::build(&lens, &view, 128, 96)
+    }
+
+    #[test]
+    fn all_frames_reach_sink() {
+        let map = test_map();
+        let src = Box::new(ShiftVideo::new(random_gray(128, 96, 1), 2, 25));
+        let mut seen = Vec::new();
+        let report = run_pipeline(src, &map, PipeConfig::default(), |seq, img| {
+            assert_eq!(img.dims(), (64, 48));
+            seen.push(seq);
+        });
+        assert_eq!(report.frames, 25);
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..25).collect();
+        assert_eq!(seen, expect);
+        assert!(report.fps > 0.0);
+        assert!(report.mean_latency <= report.max_latency);
+    }
+
+    #[test]
+    fn single_worker_preserves_order() {
+        let map = test_map();
+        let src = Box::new(ShiftVideo::new(random_gray(128, 96, 2), 1, 15));
+        let report = run_pipeline(src, &map, PipeConfig::default(), |_, _| {});
+        assert_eq!(report.out_of_order, 0);
+    }
+
+    #[test]
+    fn multiple_workers_process_everything() {
+        let map = test_map();
+        let src = Box::new(ShiftVideo::new(random_gray(128, 96, 3), 1, 40));
+        let config = PipeConfig {
+            workers: 4,
+            ..Default::default()
+        };
+        let mut count = 0u64;
+        let report = run_pipeline(src, &map, config, |_, _| count += 1);
+        assert_eq!(report.frames, 40);
+        assert_eq!(count, 40);
+    }
+
+    #[test]
+    fn output_matches_offline_correction() {
+        let map = test_map();
+        let base = random_gray(128, 96, 4);
+        let src = Box::new(ShiftVideo::new(base.clone(), 0, 1));
+        let mut got = None;
+        let _ = run_pipeline(src, &map, PipeConfig::default(), |_, img| {
+            got = Some(img.clone());
+        });
+        let expect = correct(&base, &map, Interpolator::Bilinear);
+        assert_eq!(got.unwrap(), expect);
+    }
+
+    #[test]
+    fn empty_source_yields_empty_report() {
+        let map = test_map();
+        let src = Box::new(ShiftVideo::new(random_gray(128, 96, 5), 1, 0));
+        let report = run_pipeline(src, &map, PipeConfig::default(), |_, _| {});
+        assert_eq!(report.frames, 0);
+        assert_eq!(report.fps, 0.0);
+        assert_eq!(report.mean_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn resequencer_restores_order_with_many_workers() {
+        let map = test_map();
+        let src = Box::new(ShiftVideo::new(random_gray(128, 96, 7), 1, 50));
+        let config = PipeConfig {
+            workers: 4,
+            resequence: Some(16),
+            ..Default::default()
+        };
+        let mut seqs = Vec::new();
+        let report = run_pipeline(src, &map, config, |seq, _| seqs.push(seq));
+        // delivered strictly in order, nothing dropped with a deep
+        // enough buffer
+        let expect: Vec<u64> = (0..report.frames).collect();
+        assert_eq!(seqs, expect);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.frames, 50);
+    }
+
+    #[test]
+    fn backpressure_bounds_queue() {
+        let map = test_map();
+        let src = Box::new(ShiftVideo::new(random_gray(128, 96, 6), 1, 30));
+        let config = PipeConfig {
+            queue_capacity: 2,
+            ..Default::default()
+        };
+        let report = run_pipeline(src, &map, config, |_, _| {});
+        assert!(report.in_queue_high_water <= 2);
+        assert_eq!(report.frames, 30);
+    }
+}

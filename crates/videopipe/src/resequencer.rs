@@ -1,0 +1,178 @@
+//! Frame resequencing after out-of-order correction.
+//!
+//! With several corrector workers, frames reach the sink out of
+//! order. Displays and encoders need them back in sequence, so the
+//! sink runs a reorder buffer: frames are held until their sequence
+//! number is next, with a capacity bound after which the buffer
+//! *drops* the missing frame's slot and moves on (late frames are
+//! worthless in live video — the same policy jitter buffers use).
+
+use std::collections::BTreeMap;
+
+/// A bounded reorder buffer over sequence-numbered items.
+#[derive(Debug)]
+pub struct Resequencer<T> {
+    pending: BTreeMap<u64, T>,
+    next: u64,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> Resequencer<T> {
+    /// Buffer holding at most `capacity` out-of-order items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        Resequencer {
+            pending: BTreeMap::new(),
+            next: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Offer item `seq`; returns every item that is now in order
+    /// (possibly empty, possibly several).
+    ///
+    /// Items older than the current position are counted as dropped
+    /// (they missed their slot). When the buffer overflows, the
+    /// sequence position skips forward to the oldest pending item,
+    /// recording the gap as dropped.
+    pub fn push(&mut self, seq: u64, item: T) -> Vec<(u64, T)> {
+        if seq < self.next {
+            self.dropped += 1;
+            return Vec::new();
+        }
+        self.pending.insert(seq, item);
+        if self.pending.len() > self.capacity {
+            // skip to the oldest pending item
+            let oldest = *self.pending.keys().next().unwrap();
+            self.dropped += oldest - self.next;
+            self.next = oldest;
+        }
+        let mut ready = Vec::new();
+        while let Some(item) = self.pending.remove(&self.next) {
+            ready.push((self.next, item));
+            self.next += 1;
+        }
+        ready
+    }
+
+    /// Flush everything left, in order, closing gaps (end of stream).
+    pub fn flush(&mut self) -> Vec<(u64, T)> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        let pending = std::mem::take(&mut self.pending);
+        for (seq, item) in pending {
+            if seq > self.next {
+                self.dropped += seq - self.next;
+            }
+            out.push((seq, item));
+            self.next = seq + 1;
+        }
+        out
+    }
+
+    /// Next sequence number expected.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+
+    /// Items currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Frames dropped (missed slots + overflow skips).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_passthrough() {
+        let mut r = Resequencer::new(4);
+        assert_eq!(r.push(0, "a"), vec![(0, "a")]);
+        assert_eq!(r.push(1, "b"), vec![(1, "b")]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn reorders_swapped_pair() {
+        let mut r = Resequencer::new(4);
+        assert!(r.push(1, "b").is_empty());
+        assert_eq!(r.buffered(), 1);
+        assert_eq!(r.push(0, "a"), vec![(0, "a"), (1, "b")]);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn deep_reorder_releases_run() {
+        let mut r = Resequencer::new(8);
+        for s in [3u64, 1, 2] {
+            assert!(r.push(s, s).is_empty());
+        }
+        let out = r.push(0, 0);
+        assert_eq!(out, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn overflow_skips_gap_and_counts_drops() {
+        let mut r = Resequencer::new(2);
+        // frame 0 never arrives; 1 and 2 fill the buffer; 3 overflows
+        assert!(r.push(1, ()).is_empty());
+        assert!(r.push(2, ()).is_empty());
+        let out = r.push(3, ());
+        // skipped to seq 1: releases 1, 2, 3
+        assert_eq!(out.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(r.dropped(), 1, "frame 0 was abandoned");
+        assert_eq!(r.next_seq(), 4);
+    }
+
+    #[test]
+    fn late_frame_counts_dropped() {
+        let mut r = Resequencer::new(4);
+        let _ = r.push(0, ());
+        let _ = r.push(1, ());
+        assert!(r.push(0, ()).is_empty(), "stale frame discarded");
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn flush_emits_remaining_in_order_with_gaps() {
+        let mut r = Resequencer::new(8);
+        let _ = r.push(0, 0);
+        let _ = r.push(2, 2);
+        let _ = r.push(5, 5);
+        let out = r.flush();
+        assert_eq!(out, vec![(2, 2), (5, 5)]);
+        assert_eq!(r.dropped(), 3, "frames 1, 3, 4 never arrived");
+        assert!(r.buffered() == 0);
+    }
+
+    #[test]
+    fn randomized_permutation_recovers_order() {
+        // deterministic pseudo-shuffle of 0..200 in windows of 8
+        let mut seqs: Vec<u64> = (0..200).collect();
+        for w in seqs.chunks_mut(8) {
+            w.reverse();
+        }
+        let mut r = Resequencer::new(8);
+        let mut got = Vec::new();
+        for s in seqs {
+            got.extend(r.push(s, s).into_iter().map(|(q, _)| q));
+        }
+        got.extend(r.flush().into_iter().map(|(q, _)| q));
+        let expect: Vec<u64> = (0..200).collect();
+        assert_eq!(got, expect);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        let _: Resequencer<()> = Resequencer::new(0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Synthetic video sources.
+//!
+//! Stand-ins for the paper's camera feed. Two flavours:
+//!
+//! * [`CycledVideo`] — cycles a small set of fully ray-traced fisheye
+//!   captures (expensive to build, realistic content).
+//! * [`ShiftVideo`] — a single capture translated by a growing offset
+//!   each frame (cheap per frame; models a panning camera well enough
+//!   for throughput work where frame *content* is irrelevant).
+
+use std::time::Instant;
+
+use pixmap::{Gray8, Image};
+
+/// A timestamped frame traveling through the pipeline.
+#[derive(Clone, Debug)]
+pub struct VideoFrame {
+    /// Sequence number (0-based).
+    pub seq: u64,
+    /// Capture timestamp (latency measurements start here).
+    pub captured_at: Instant,
+    /// The distorted fisheye frame.
+    pub image: Image<Gray8>,
+}
+
+/// A source of frames. `next_frame` returns `None` at end of stream.
+pub trait VideoSource: Send {
+    /// Produce the next frame, or `None` when the stream ends.
+    fn next_frame(&mut self) -> Option<VideoFrame>;
+
+    /// Frame dimensions.
+    fn dims(&self) -> (u32, u32);
+}
+
+/// Cycles through a fixed set of frames for `total` frames.
+pub struct CycledVideo {
+    frames: Vec<Image<Gray8>>,
+    total: u64,
+    seq: u64,
+}
+
+impl CycledVideo {
+    /// A video of `total` frames cycling `frames` (must be non-empty,
+    /// all the same size).
+    pub fn new(frames: Vec<Image<Gray8>>, total: u64) -> Self {
+        assert!(!frames.is_empty(), "need at least one frame");
+        let dims = frames[0].dims();
+        assert!(
+            frames.iter().all(|f| f.dims() == dims),
+            "all frames must share dimensions"
+        );
+        CycledVideo {
+            frames,
+            total,
+            seq: 0,
+        }
+    }
+}
+
+impl VideoSource for CycledVideo {
+    fn next_frame(&mut self) -> Option<VideoFrame> {
+        if self.seq >= self.total {
+            return None;
+        }
+        let image = self.frames[(self.seq % self.frames.len() as u64) as usize].clone();
+        let f = VideoFrame {
+            seq: self.seq,
+            captured_at: Instant::now(),
+            image,
+        };
+        self.seq += 1;
+        Some(f)
+    }
+
+    fn dims(&self) -> (u32, u32) {
+        self.frames[0].dims()
+    }
+}
+
+/// Translates a base frame horizontally by `step` pixels per frame
+/// (wrapping), modeling a panning camera.
+pub struct ShiftVideo {
+    base: Image<Gray8>,
+    step: u32,
+    total: u64,
+    seq: u64,
+}
+
+impl ShiftVideo {
+    /// A video of `total` frames shifting `base` by `step` px/frame.
+    pub fn new(base: Image<Gray8>, step: u32, total: u64) -> Self {
+        ShiftVideo {
+            base,
+            step,
+            total,
+            seq: 0,
+        }
+    }
+}
+
+impl VideoSource for ShiftVideo {
+    fn next_frame(&mut self) -> Option<VideoFrame> {
+        if self.seq >= self.total {
+            return None;
+        }
+        let (w, h) = self.base.dims();
+        let shift = (self.seq as u32 * self.step) % w;
+        let mut image = Image::new(w, h);
+        for y in 0..h {
+            let src = self.base.row(y);
+            let dst = image.row_mut(y);
+            let s = shift as usize;
+            dst[..w as usize - s].copy_from_slice(&src[s..]);
+            dst[w as usize - s..].copy_from_slice(&src[..s]);
+        }
+        let f = VideoFrame {
+            seq: self.seq,
+            captured_at: Instant::now(),
+            image,
+        };
+        self.seq += 1;
+        Some(f)
+    }
+
+    fn dims(&self) -> (u32, u32) {
+        self.base.dims()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixmap::scene::random_gray;
+
+    #[test]
+    fn cycled_video_counts_and_cycles() {
+        let a = random_gray(16, 16, 1);
+        let b = random_gray(16, 16, 2);
+        let mut v = CycledVideo::new(vec![a.clone(), b.clone()], 5);
+        assert_eq!(v.dims(), (16, 16));
+        let frames: Vec<_> = std::iter::from_fn(|| v.next_frame()).collect();
+        assert_eq!(frames.len(), 5);
+        assert_eq!(frames[0].image, a);
+        assert_eq!(frames[1].image, b);
+        assert_eq!(frames[2].image, a);
+        assert_eq!(frames[4].seq, 4);
+        assert!(v.next_frame().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn cycled_video_checks_dims() {
+        let _ = CycledVideo::new(vec![random_gray(8, 8, 1), random_gray(9, 8, 1)], 2);
+    }
+
+    #[test]
+    fn shift_video_translates_and_wraps() {
+        let base = random_gray(10, 4, 3);
+        let mut v = ShiftVideo::new(base.clone(), 3, 20);
+        let f0 = v.next_frame().unwrap();
+        assert_eq!(f0.image, base, "frame 0 unshifted");
+        let f1 = v.next_frame().unwrap();
+        assert_eq!(f1.image.pixel(0, 0), base.pixel(3, 0));
+        assert_eq!(f1.image.pixel(7, 2), base.pixel(0, 2), "wraparound");
+        // shift is periodic with period w/gcd: frame 10 back to 0 shift
+        let mut v2 = ShiftVideo::new(base.clone(), 5, 20);
+        let _ = v2.next_frame();
+        let _ = v2.next_frame();
+        let f2 = v2.next_frame().unwrap(); // shift 10 % 10 = 0
+        assert_eq!(f2.image, base);
+    }
+
+    #[test]
+    fn shift_video_total_respected() {
+        let mut v = ShiftVideo::new(random_gray(8, 8, 4), 1, 3);
+        assert!(v.next_frame().is_some());
+        assert!(v.next_frame().is_some());
+        assert!(v.next_frame().is_some());
+        assert!(v.next_frame().is_none());
+    }
+}

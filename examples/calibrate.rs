@@ -1,0 +1,84 @@
+//! Calibration walkthrough: recover the lens parameters a correction
+//! deployment needs from raw observations, then verify the calibrated
+//! pipeline end to end.
+//!
+//! ```sh
+//! cargo run --release --example calibrate
+//! ```
+
+use fisheye::geom::calib::{
+    estimate_center, fit_focal, lens_from_fit, select_model, synthetic_observations,
+};
+use fisheye::geom::LensModel;
+use fisheye::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // ground truth: the camera we pretend not to know
+    // ------------------------------------------------------------------
+    let true_lens = FisheyeLens::equidistant_fov(1280, 720, 180.0);
+    println!(
+        "true lens: {} f={:.3}px center=({:.0},{:.0})",
+        true_lens.model.name(),
+        true_lens.focal_px,
+        true_lens.cx,
+        true_lens.cy
+    );
+
+    // ------------------------------------------------------------------
+    // step 1: principal point from the image circle
+    // ------------------------------------------------------------------
+    let (cx, cy) = estimate_center(1280, 720, 0.05, |x, y| {
+        // a synthetic "all-bright scene" frame: bright inside the image
+        // circle, dark outside
+        let dx = x as f64 + 0.5 - true_lens.cx;
+        let dy = y as f64 + 0.5 - true_lens.cy;
+        if (dx * dx + dy * dy).sqrt() <= true_lens.image_circle_radius() {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    println!("estimated center: ({cx:.1}, {cy:.1})");
+
+    // ------------------------------------------------------------------
+    // step 2: radial observations from a calibration target
+    // (synthesized with 0.8 px measurement noise)
+    // ------------------------------------------------------------------
+    let obs = synthetic_observations(&true_lens, 120, 0.8);
+    println!("collected {} (θ, r) observations", obs.len());
+
+    // step 3: model selection + focal fit
+    let (model, focal, rms) = select_model(&obs);
+    println!(
+        "selected model: {} (f={focal:.3}px, rms={rms:.3}px)",
+        model.name()
+    );
+    for m in LensModel::ALL {
+        if obs.iter().all(|o| o.theta <= m.max_theta()) {
+            let (f, e) = fit_focal(m, &obs);
+            println!("  candidate {:>13}: f={f:8.3}px rms={e:.3}px", m.name());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // step 4: build the calibrated lens and verify the projection error
+    // ------------------------------------------------------------------
+    let calibrated = lens_from_fit(model, focal, 1280, 720, true_lens.max_theta);
+    let mut worst = 0.0f64;
+    for i in 0..500 {
+        let theta = true_lens.max_theta * (i as f64 + 0.5) / 500.0;
+        let phi = i as f64 * 0.7;
+        let ray = fisheye::geom::Vec3::new(
+            theta.sin() * phi.cos(),
+            theta.sin() * phi.sin(),
+            theta.cos(),
+        );
+        if let (Some(a), Some(b)) = (true_lens.project(ray), calibrated.project(ray)) {
+            worst = worst.max(((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt());
+        }
+    }
+    println!("worst reprojection error of calibrated lens: {worst:.3} px");
+    assert!(worst < 1.0, "calibration failed");
+    println!("calibration OK — ready for RemapMap::build(&calibrated, ...)");
+}

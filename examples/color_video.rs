@@ -1,0 +1,71 @@
+//! Color video end to end: synthesize a moving color fisheye stream,
+//! correct it in YUV 4:2:0 (the camera wire format), and write a
+//! playable YUV4MPEG2 file.
+//!
+//! ```sh
+//! cargo run --release --example color_video
+//! mpv target/example-out/corrected.y4m   # or ffplay
+//! ```
+
+use fisheye::core::yuv::{correct_yuv420, YuvMaps};
+use fisheye::core::Interpolator;
+use fisheye::img::y4m::Y4mWriter;
+use fisheye::img::yuv::Yuv420;
+use fisheye::img::{Image, Rgb8};
+use fisheye::prelude::*;
+
+/// Render one colorful RGB frame of the synthetic world at time `t`,
+/// then push it through the forward fisheye model per channel.
+fn distorted_color_frame(lens: &FisheyeLens, w: u32, h: u32, t: f64) -> Yuv420 {
+    // a colorful moving pattern painted directly in fisheye space is
+    // enough here — the correction quality is established elsewhere;
+    // this example is about the video plumbing
+    let rgb: Image<Rgb8> = Image::from_fn(w, h, |x, y| {
+        let dx = x as f64 - lens.cx;
+        let dy = y as f64 - lens.cy;
+        let r = (dx * dx + dy * dy).sqrt();
+        if r > lens.image_circle_radius() {
+            return Rgb8::new(0, 0, 0);
+        }
+        let angle = dy.atan2(dx);
+        let swirl = ((angle * 6.0 + r * 0.05 - t * 3.0).sin() * 0.5 + 0.5) * 255.0;
+        let rings = ((r * 0.15 - t * 5.0).cos() * 0.5 + 0.5) * 255.0;
+        Rgb8::new(swirl as u8, rings as u8, (255.0 - swirl) as u8)
+    });
+    Yuv420::from_rgb(&rgb)
+}
+
+fn main() {
+    let (w, h) = (480u32, 480u32);
+    let frames = 48u64;
+    let lens = FisheyeLens::equidistant_fov(w, h, 180.0);
+    let view = PerspectiveView::centered(w, h, 100.0);
+    let maps = YuvMaps::build(&lens, &view, w, h);
+    println!(
+        "correcting {frames} YUV420 frames at {w}x{h} (LUTs: {} KB)",
+        maps.bytes() / 1024
+    );
+
+    let out_dir = std::path::Path::new("target/example-out");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+    let path = out_dir.join("corrected.y4m");
+    let file = std::fs::File::create(&path).expect("create y4m");
+    let mut writer = Y4mWriter::new(std::io::BufWriter::new(file), w, h, 24, 1);
+
+    let t0 = std::time::Instant::now();
+    for i in 0..frames {
+        let frame = distorted_color_frame(&lens, w, h, i as f64 / 24.0);
+        let corrected = correct_yuv420(&frame, &maps, Interpolator::Bilinear);
+        writer.write_frame(&corrected).expect("write frame");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let sink = writer.finish().expect("flush");
+    drop(sink);
+    println!(
+        "wrote {} ({} frames, {:.1} fps sustained incl. synthesis)",
+        path.display(),
+        frames,
+        frames as f64 / elapsed
+    );
+    println!("play with: mpv {}", path.display());
+}

@@ -1,0 +1,66 @@
+//! Quickstart: synthesize a fisheye capture, correct it, measure
+//! quality against the analytic ground truth, and save the images.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Writes `quickstart_{distorted,corrected,truth}.pgm` into
+//! `target/example-out/`.
+
+use fisheye::core::synth::{capture_fisheye, ground_truth, World};
+use fisheye::img::metrics::quality;
+use fisheye::img::scene::scene_by_name;
+use fisheye::prelude::*;
+
+fn main() {
+    let out_dir = std::path::Path::new("target/example-out");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+
+    // 1. the camera: a 180° equidistant fisheye on a 640x480 sensor
+    let lens = FisheyeLens::equidistant_fov(640, 480, 180.0);
+    println!(
+        "lens: {} f={:.1}px image circle r={:.0}px",
+        lens.model.name(),
+        lens.focal_px,
+        lens.image_circle_radius()
+    );
+
+    // 2. a scene to photograph (no camera available — synthesize one)
+    let scene = scene_by_name("grid").unwrap();
+    let view = PerspectiveView::centered(480, 480, 90.0);
+    let world = World::Planar(&view);
+    let distorted = capture_fisheye(scene.as_ref(), world, &lens, 640, 480, 2);
+
+    // 3. phase 1: build the remap LUT for the desired view
+    let t0 = std::time::Instant::now();
+    let map = RemapMap::build(&lens, &view, 640, 480);
+    println!(
+        "map generation: {:.1} ms ({:.0}% of output covered)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        map.coverage() * 100.0
+    );
+
+    // 4. phase 2: correct the frame
+    let t0 = std::time::Instant::now();
+    let corrected = correct(&distorted, &map, Interpolator::Bilinear);
+    println!("correction: {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    // 5. compare against the exact ground truth
+    let truth = ground_truth(scene.as_ref(), world, &view, 2);
+    let q = quality(&corrected, &truth);
+    println!(
+        "quality vs ground truth: PSNR {:.1} dB, SSIM {:.3}, max err {:.3}",
+        q.psnr_db, q.ssim, q.max_err
+    );
+
+    for (name, img) in [
+        ("quickstart_distorted.pgm", &distorted),
+        ("quickstart_corrected.pgm", &corrected),
+        ("quickstart_truth.pgm", &truth),
+    ] {
+        let path = out_dir.join(name);
+        fisheye::img::codec::save_pgm(img, &path).expect("save image");
+        println!("wrote {}", path.display());
+    }
+}

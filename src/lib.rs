@@ -1,0 +1,85 @@
+//! # fisheye — fisheye lens distortion correction on multicore and
+//! hardware accelerator platforms
+//!
+//! A Rust reproduction of the IPPS/IPDPS 2010 parallelization study of
+//! real-time fisheye distortion correction. The facade re-exports the
+//! workspace crates under one roof:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`img`] | pixel buffers, PGM/PPM/BMP codecs, synthetic scenes, quality metrics |
+//! | [`geom`] | lens models, perspective views, Brown–Conrady baseline, calibration |
+//! | [`core`] | remap LUTs, interpolators, tiling, the correction pipeline |
+//! | [`par`] | the OpenMP-style thread pool and loop schedules |
+//! | [`fixed`] | Q-format fixed point, CORDIC, lookup tables |
+//! | [`cell`] | the Cell/B.E. platform model |
+//! | [`gpu`] | the SIMT GPU platform model |
+//! | [`stream`] | the streaming/FPGA platform model |
+//! | [`video`] | the real-time video pipeline |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fisheye::prelude::*;
+//!
+//! // a 180° equidistant camera delivering 640x480 frames
+//! let lens = FisheyeLens::equidistant_fov(640, 480, 180.0);
+//! // the corrected view an operator wants: straight ahead, 90° hFOV
+//! let view = PerspectiveView::centered(640, 480, 90.0);
+//! // phase 1: build the remap LUT (reused until the view changes)
+//! let map = RemapMap::build(&lens, &view, 640, 480);
+//! // phase 2: correct frames
+//! let frame = fisheye::img::scene::random_gray(640, 480, 1);
+//! let corrected = fisheye::core::correct(&frame, &map, Interpolator::Bilinear);
+//! assert_eq!(corrected.dims(), (640, 480));
+//! ```
+
+pub use cellsim as cell;
+pub use fisheye_core as core;
+pub use fisheye_geom as geom;
+pub use fixedq as fixed;
+pub use gpusim as gpu;
+pub use memsim as mem;
+pub use par_runtime as par;
+pub use pixmap as img;
+pub use streamsim as stream;
+pub use videopipe as video;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use crate::core::{
+        correct, correct_fixed, correct_parallel, CorrectionPipeline, FixedRemapMap, Interpolator,
+        PipelineConfig, RemapMap, TilePlan,
+    };
+    pub use crate::geom::{BrownConrady, FisheyeLens, LensModel, PerspectiveView};
+    pub use crate::img::{Gray8, Image, Pixel, Rgb8};
+    pub use crate::par::{Schedule, ThreadPool};
+}
+
+/// One-call correction for simple uses: build the LUT and correct a
+/// single frame. For video, hold a [`core::CorrectionPipeline`]
+/// instead so the LUT is reused.
+pub fn undistort<P: img::Pixel>(
+    frame: &img::Image<P>,
+    lens: &geom::FisheyeLens,
+    view: &geom::PerspectiveView,
+    interp: core::Interpolator,
+) -> img::Image<P> {
+    let (w, h) = frame.dims();
+    let map = core::RemapMap::build(lens, view, w, h);
+    core::correct(frame, &map, interp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn undistort_one_call() {
+        let lens = FisheyeLens::equidistant_fov(64, 48, 180.0);
+        let view = PerspectiveView::centered(32, 24, 90.0);
+        let frame = crate::img::scene::random_gray(64, 48, 1);
+        let out = crate::undistort(&frame, &lens, &view, Interpolator::Bilinear);
+        assert_eq!(out.dims(), (32, 24));
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration: the full synthesize → correct → score loop
+//! that every experiment relies on.
+
+use fisheye::core::synth::{standard_case, World};
+use fisheye::core::{correct, Interpolator, RemapMap};
+use fisheye::geom::calib::{select_model, synthetic_observations};
+use fisheye::img::metrics::{psnr, ssim};
+use fisheye::img::scene::{scene_by_name, SCENE_NAMES};
+use fisheye::prelude::*;
+
+#[test]
+fn every_scene_survives_the_correction_loop() {
+    for name in SCENE_NAMES {
+        let scene = scene_by_name(name).unwrap();
+        let view = PerspectiveView::centered(80, 80, 80.0);
+        let case = standard_case(scene.as_ref(), 160, 160, view, 2);
+        let map = RemapMap::build(&case.lens, &case.view, 160, 160);
+        let out = correct(&case.distorted, &map, Interpolator::Bilinear);
+        let q = psnr(&out, &case.truth);
+        // binary high-frequency scenes (circles, checker) alias down to
+        // ~12 dB at this size; a broken mapping lands below ~8 dB
+        assert!(
+            q > 11.0,
+            "{name}: PSNR {q:.1} dB — correction loop broken for this scene"
+        );
+    }
+}
+
+#[test]
+fn smooth_scene_corrects_nearly_exactly() {
+    let scene = scene_by_name("gradient").unwrap();
+    let view = PerspectiveView::centered(96, 96, 70.0);
+    let case = standard_case(scene.as_ref(), 192, 192, view, 2);
+    let map = RemapMap::build(&case.lens, &case.view, 192, 192);
+    let out = correct(&case.distorted, &map, Interpolator::Bilinear);
+    assert!(psnr(&out, &case.truth) > 38.0);
+    assert!(ssim(&out, &case.truth) > 0.97);
+}
+
+#[test]
+fn bicubic_at_least_matches_bilinear_on_text() {
+    let scene = scene_by_name("text").unwrap();
+    let view = PerspectiveView::centered(128, 128, 70.0);
+    let case = standard_case(scene.as_ref(), 256, 256, view, 2);
+    let map = RemapMap::build(&case.lens, &case.view, 256, 256);
+    let bl = psnr(
+        &correct(&case.distorted, &map, Interpolator::Bilinear),
+        &case.truth,
+    );
+    let bc = psnr(
+        &correct(&case.distorted, &map, Interpolator::Bicubic),
+        &case.truth,
+    );
+    assert!(bc > bl - 0.5, "bicubic {bc:.2} vs bilinear {bl:.2}");
+}
+
+#[test]
+fn panned_view_still_corrects() {
+    let scene = scene_by_name("checker").unwrap();
+    let base = PerspectiveView::centered(96, 96, 100.0);
+    let case = standard_case(scene.as_ref(), 224, 224, base, 2);
+    // render a different (panned) view from the same capture and check
+    // it against its own ground truth
+    let panned = PerspectiveView::centered(96, 96, 60.0).look(25.0, -10.0);
+    let map = RemapMap::build(&case.lens, &panned, 224, 224);
+    let out = correct(&case.distorted, &map, Interpolator::Bilinear);
+    let truth = fisheye::core::synth::ground_truth(
+        scene.as_ref(),
+        World::Planar(&base),
+        &panned,
+        2,
+    );
+    let q = psnr(&out, &truth);
+    assert!(q > 13.0, "panned view PSNR {q:.1} dB");
+}
+
+#[test]
+fn calibration_feeds_correction() {
+    // calibrate from noisy observations, then correct with the
+    // *calibrated* lens and verify against ground truth from the
+    // *true* lens: end-to-end the error stays small
+    let true_lens = FisheyeLens::equidistant_fov(192, 192, 180.0);
+    let obs = synthetic_observations(&true_lens, 80, 0.5);
+    let (model, focal, _) = select_model(&obs);
+    assert_eq!(model, LensModel::Equidistant);
+    let calibrated = fisheye::geom::calib::lens_from_fit(model, focal, 192, 192, true_lens.max_theta);
+
+    let scene = scene_by_name("circles").unwrap();
+    let view = PerspectiveView::centered(96, 96, 80.0);
+    let world = World::Planar(&view);
+    let distorted =
+        fisheye::core::synth::capture_fisheye(scene.as_ref(), world, &true_lens, 192, 192, 2);
+    let truth = fisheye::core::synth::ground_truth(scene.as_ref(), world, &view, 2);
+
+    let map = RemapMap::build(&calibrated, &view, 192, 192);
+    let out = correct(&distorted, &map, Interpolator::Bilinear);
+    let q = psnr(&out, &truth);
+    assert!(q > 11.0, "calibrated correction PSNR {q:.1} dB");
+}
+
+#[test]
+fn undistort_facade_roundtrip() {
+    let lens = FisheyeLens::equidistant_fov(128, 128, 180.0);
+    let view = PerspectiveView::centered(64, 64, 90.0);
+    let frame = fisheye::img::scene::random_gray(128, 128, 3);
+    let a = fisheye::undistort(&frame, &lens, &view, Interpolator::Bilinear);
+    let map = RemapMap::build(&lens, &view, 128, 128);
+    let b = correct(&frame, &map, Interpolator::Bilinear);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn codec_roundtrip_of_corrected_output() {
+    // corrected frames survive the PGM and BMP codecs bit-exactly
+    let lens = FisheyeLens::equidistant_fov(96, 96, 180.0);
+    let view = PerspectiveView::centered(64, 64, 90.0);
+    let frame = fisheye::img::scene::random_gray(96, 96, 4);
+    let out = fisheye::undistort(&frame, &lens, &view, Interpolator::Nearest);
+    let pgm = fisheye::img::codec::encode_pgm(&out);
+    assert_eq!(fisheye::img::codec::decode_pgm(&pgm).unwrap(), out);
+    let rgb: fisheye::img::Image<Rgb8> = out.convert();
+    let bmp = fisheye::img::codec::encode_bmp(&rgb);
+    assert_eq!(fisheye::img::codec::decode_bmp(&bmp).unwrap(), rgb);
+}

@@ -1,0 +1,108 @@
+//! Cross-platform functional consistency: every execution platform
+//! (host serial, host parallel, Cell model, GPU model, streaming
+//! datapath) must produce the same image, exactly where bit-exactness
+//! is promised and within quantization bounds where it is not.
+
+use fisheye::cell::{CellConfig, CellRunner};
+use fisheye::gpu::{GpuConfig, GpuRunner};
+use fisheye::img::metrics::psnr;
+use fisheye::prelude::*;
+use fisheye::stream::FixedMapGen;
+
+fn workload() -> (FisheyeLens, PerspectiveView, RemapMap, Image<Gray8>) {
+    let lens = FisheyeLens::equidistant_fov(256, 192, 180.0);
+    let view = PerspectiveView::centered(128, 96, 90.0);
+    let map = RemapMap::build(&lens, &view, 256, 192);
+    let frame = fisheye::img::scene::random_gray(256, 192, 123);
+    (lens, view, map, frame)
+}
+
+#[test]
+fn host_parallel_bit_exact() {
+    let (_, _, map, frame) = workload();
+    let serial = correct(&frame, &map, Interpolator::Bilinear);
+    for threads in [2usize, 3, 8] {
+        let pool = ThreadPool::new(threads);
+        for sched in [
+            Schedule::Static { chunk: None },
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            let par = correct_parallel(&frame, &map, Interpolator::Bilinear, &pool, sched);
+            assert_eq!(serial, par, "{threads} threads {sched:?}");
+        }
+    }
+}
+
+#[test]
+fn cell_bit_exact_vs_host_fixed() {
+    let (_, _, map, frame) = workload();
+    let fmap = map.to_fixed(12);
+    let host = correct_fixed(&frame, &fmap);
+    for tiles in [(16u32, 16u32), (32, 32), (64, 16)] {
+        let plan = TilePlan::build(&map, tiles.0, tiles.1, Interpolator::Bilinear);
+        for n_spes in [1usize, 3, 6] {
+            let runner = CellRunner::new(CellConfig {
+                n_spes,
+                ..Default::default()
+            });
+            let (out, _) = runner.correct_frame(&frame, &fmap, &plan).unwrap();
+            assert_eq!(out, host, "{tiles:?} x {n_spes} SPEs");
+        }
+    }
+}
+
+#[test]
+fn gpu_bit_exact_vs_host_float() {
+    let (_, _, map, frame) = workload();
+    for interp in Interpolator::ALL {
+        let host = correct(&frame, &map, interp);
+        let runner = GpuRunner::new(GpuConfig::default());
+        let (out, _) = runner.correct_frame(&frame, &map, interp);
+        assert_eq!(out, host, "{}", interp.name());
+    }
+}
+
+#[test]
+fn stream_datapath_within_quantization_of_host() {
+    let (lens, view, map, frame) = workload();
+    let host = correct(&frame, &map, Interpolator::Bilinear);
+    let mut gen = FixedMapGen::typical();
+    let fixed_map = gen.generate(&lens, &view, 256, 192);
+    let out = correct_fixed(&frame, &fixed_map);
+    let q = psnr(&host, &out);
+    assert!(q > 30.0, "streaming datapath PSNR vs host: {q:.1} dB");
+}
+
+#[test]
+fn fixed_host_path_within_quantization_of_float() {
+    let (_, _, map, frame) = workload();
+    let float = correct(&frame, &map, Interpolator::Bilinear);
+    let fixed = correct_fixed(&frame, &map.to_fixed(14));
+    let q = psnr(&float, &fixed);
+    assert!(q > 50.0, "14-bit weights PSNR {q:.1} dB");
+}
+
+#[test]
+fn all_platforms_agree_on_invalid_regions() {
+    // a view wider than the lens: black corners must be identical
+    // everywhere
+    let lens = FisheyeLens::equidistant_fov(256, 192, 120.0);
+    let view = PerspectiveView::centered(128, 96, 150.0);
+    let map = RemapMap::build(&lens, &view, 256, 192);
+    let frame: Image<Gray8> = Image::filled(256, 192, Gray8(200));
+    let host = correct(&frame, &map, Interpolator::Bilinear);
+    assert_eq!(host.pixel(0, 0), Gray8(0));
+
+    let (gpu_out, _) =
+        GpuRunner::new(GpuConfig::default()).correct_frame(&frame, &map, Interpolator::Bilinear);
+    assert_eq!(gpu_out, host);
+
+    let fmap = map.to_fixed(12);
+    let plan = TilePlan::build(&map, 32, 16, Interpolator::Bilinear);
+    let (cell_out, _) = CellRunner::new(CellConfig::default())
+        .correct_frame(&frame, &fmap, &plan)
+        .unwrap();
+    assert_eq!(cell_out.pixel(0, 0), Gray8(0));
+    assert_eq!(cell_out, correct_fixed(&frame, &fmap));
+}
