@@ -1,68 +1,60 @@
-//! Criterion benches for the two application phases (behind T1/F1/F6/F9):
+//! Benches for the two application phases (behind T1/F1/F6/F9):
 //! map generation (serial + parallel), correction per interpolator
 //! (float and fixed paths), and direct no-LUT correction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fisheye_bench::timing::Group;
 use fisheye_bench::workloads::{random_workload, resolution};
 use fisheye_core::correct::correct_direct;
 use fisheye_core::{correct, correct_fixed, Interpolator, RemapMap};
 use par_runtime::{Schedule, ThreadPool};
 use std::hint::black_box;
 
-fn bench_mapgen(c: &mut Criterion) {
+fn bench_mapgen() {
     let res = resolution("QVGA");
     let w = random_workload(res, 1);
-    let mut g = c.benchmark_group("mapgen");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.sample_size(10);
-    g.bench_function("serial_qvga", |b| {
-        b.iter(|| black_box(RemapMap::build(&w.lens, &w.view, res.w, res.h)))
+    let mut g = Group::new("mapgen");
+    g.bench("serial_qvga", || {
+        black_box(RemapMap::build(&w.lens, &w.view, res.w, res.h));
     });
     let pool = ThreadPool::new(4);
-    g.bench_function("parallel4_qvga", |b| {
-        b.iter(|| {
-            black_box(RemapMap::build_parallel(
-                &w.lens,
-                &w.view,
-                res.w,
-                res.h,
-                &pool,
-                Schedule::Static { chunk: None },
-            ))
-        })
+    g.bench("parallel4_qvga", || {
+        black_box(RemapMap::build_parallel(
+            &w.lens,
+            &w.view,
+            res.w,
+            res.h,
+            &pool,
+            Schedule::Static { chunk: None },
+        ));
     });
     g.finish();
 }
 
-fn bench_correct(c: &mut Criterion) {
+fn bench_correct() {
     let res = resolution("QVGA");
     let w = random_workload(res, 2);
-    let mut g = c.benchmark_group("correct");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.sample_size(10);
+    let mut g = Group::new("correct");
     for interp in Interpolator::ALL {
-        g.bench_function(format!("{}_qvga", interp.name()), |b| {
-            b.iter(|| black_box(correct(&w.frame, &w.map, interp)))
+        g.bench(&format!("{}_qvga", interp.name()), || {
+            black_box(correct(&w.frame, &w.map, interp));
         });
     }
     let fmap = w.map.to_fixed(12);
-    g.bench_function("fixed12_qvga", |b| {
-        b.iter(|| black_box(correct_fixed(&w.frame, &fmap)))
+    g.bench("fixed12_qvga", || {
+        black_box(correct_fixed(&w.frame, &fmap));
     });
-    g.bench_function("direct_no_lut_qvga", |b| {
-        b.iter(|| {
-            black_box(correct_direct(
-                &w.frame,
-                &w.lens,
-                &w.view,
-                Interpolator::Bilinear,
-            ))
-        })
+    g.bench("direct_no_lut_qvga", || {
+        black_box(correct_direct(
+            &w.frame,
+            &w.lens,
+            &w.view,
+            Interpolator::Bilinear,
+        ));
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_mapgen, bench_correct);
-criterion_main!(benches);
+fn main() {
+    bench_mapgen();
+    bench_correct();
+}

@@ -1,54 +1,60 @@
-//! Criterion benches for the numeric substrates (behind F7): CORDIC
-//! kernels, LUT evaluation, fixed-point ops, and the quality metrics
-//! used to score experiment outputs.
+//! Benches for the numeric substrates (behind F7): CORDIC kernels,
+//! LUT evaluation, fixed-point ops, and the quality metrics used to
+//! score experiment outputs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fisheye_bench::timing::Group;
 use fixedq::lut::LinearLut;
 use fixedq::{cordic, Q16_16};
 use pixmap::metrics::{psnr, ssim};
 use pixmap::scene::random_gray;
 use std::hint::black_box;
 
-fn bench_cordic(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cordic");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.bench_function("atan2_24it", |b| {
-        b.iter(|| black_box(cordic::atan2_q(black_box(123_456), black_box(654_321), 24)))
+fn bench_cordic() {
+    let mut g = Group::new("cordic");
+    g.bench("atan2_24it", || {
+        black_box(cordic::atan2_q(black_box(123_456), black_box(654_321), 24));
     });
-    g.bench_function("sincos_24it", |b| {
-        b.iter(|| black_box(cordic::sincos_q(black_box(300_000_000), 24)))
+    g.bench("sincos_24it", || {
+        black_box(cordic::sincos_q(black_box(300_000_000), 24));
     });
-    g.bench_function("vectoring_16it", |b| {
-        b.iter(|| black_box(cordic::vectoring(black_box(70_000), black_box(-41_000), 16)))
+    g.bench("vectoring_16it", || {
+        black_box(cordic::vectoring(black_box(70_000), black_box(-41_000), 16));
     });
     g.finish();
 }
 
-fn bench_fixed_and_lut(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fixed_lut");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
+fn bench_fixed_and_lut() {
+    let mut g = Group::new("fixed_lut");
     let a = Q16_16::from_f64(3.25);
     let d = Q16_16::from_f64(-1.87);
-    g.bench_function("q16_mul", |b| b.iter(|| black_box(black_box(a) * black_box(d))));
-    g.bench_function("q16_sqrt", |b| b.iter(|| black_box(black_box(a).sqrt())));
+    g.bench("q16_mul", || {
+        black_box(black_box(a) * black_box(d));
+    });
+    g.bench("q16_sqrt", || {
+        black_box(black_box(a).sqrt());
+    });
     let lut = LinearLut::build(|x| x.atan(), 0.0, 4.0, 1024);
-    g.bench_function("lut_eval", |b| b.iter(|| black_box(lut.eval(black_box(2.345)))));
+    g.bench("lut_eval", || {
+        black_box(lut.eval(black_box(2.345)));
+    });
     g.finish();
 }
 
-fn bench_metrics(c: &mut Criterion) {
-    let mut g = c.benchmark_group("metrics");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.sample_size(20);
+fn bench_metrics() {
+    let mut g = Group::new("metrics");
     let a = random_gray(320, 240, 1);
     let e = random_gray(320, 240, 2);
-    g.bench_function("psnr_qvga", |b| b.iter(|| black_box(psnr(&a, &e))));
-    g.bench_function("ssim_qvga", |b| b.iter(|| black_box(ssim(&a, &e))));
+    g.bench("psnr_qvga", || {
+        black_box(psnr(&a, &e));
+    });
+    g.bench("ssim_qvga", || {
+        black_box(ssim(&a, &e));
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_cordic, bench_fixed_and_lut, bench_metrics);
-criterion_main!(benches);
+fn main() {
+    bench_cordic();
+    bench_fixed_and_lut();
+    bench_metrics();
+}

@@ -1,39 +1,31 @@
-//! Criterion bench for the video pipeline (behind F10): end-to-end
-//! frames through capture → correct → sink at a small size.
+//! Bench for the video pipeline (behind F10): end-to-end frames
+//! through capture → correct → sink at a small size.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fisheye_bench::timing::Group;
 use fisheye_bench::workloads::{random_workload, resolution};
 use fisheye_core::Interpolator;
 use std::hint::black_box;
 use videopipe::{run_pipeline, PipeConfig, ShiftVideo};
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let res = resolution("QVGA");
     let w = random_workload(res, 9);
-    let mut g = c.benchmark_group("video_pipeline");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.sample_size(10);
+    let mut g = Group::new("video_pipeline");
     for workers in [1usize, 2] {
-        g.bench_function(format!("30frames_qvga_{workers}w"), |b| {
-            b.iter(|| {
-                let src = Box::new(ShiftVideo::new(w.frame.clone(), 2, 30));
-                black_box(run_pipeline(
-                    src,
-                    &w.map,
-                    PipeConfig {
-                        workers,
-                        queue_capacity: 4,
-                        interp: Interpolator::Bilinear,
-                        resequence: None,
-                    },
-                    |_, _| {},
-                ))
-            })
+        g.bench(&format!("30frames_qvga_{workers}w"), || {
+            let src = Box::new(ShiftVideo::new(w.frame.clone(), 2, 30));
+            black_box(run_pipeline(
+                src,
+                &w.map,
+                PipeConfig {
+                    workers,
+                    queue_capacity: 4,
+                    interp: Interpolator::Bilinear,
+                    resequence: None,
+                },
+                |_, _| {},
+            ));
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

@@ -1,47 +1,39 @@
-//! Criterion benches for the platform models (behind T1/F3/F4/F5/T3):
-//! a full modeled frame on each simulated platform, plus the tiling
-//! analysis they consume.
+//! Benches for the platform models (behind T1/F3/F4/F5/T3): a full
+//! modeled frame on each simulated platform, plus the tiling analysis
+//! they consume.
 
 use cellsim::{CellConfig, CellRunner};
-use criterion::{criterion_group, criterion_main, Criterion};
+use fisheye_bench::timing::Group;
 use fisheye_bench::workloads::{random_workload, resolution};
 use fisheye_core::{Interpolator, TilePlan};
 use gpusim::{GpuConfig, GpuRunner};
 use std::hint::black_box;
 use streamsim::{FixedMapGen, StreamConfig};
 
-fn bench_models(c: &mut Criterion) {
+fn main() {
     let res = resolution("QVGA");
     let w = random_workload(res, 3);
     let fmap = w.map.to_fixed(12);
     let plan = TilePlan::build(&w.map, 32, 16, Interpolator::Bilinear);
-    let mut g = c.benchmark_group("platform_models");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.sample_size(10);
-    g.bench_function("tile_plan_qvga", |b| {
-        b.iter(|| black_box(TilePlan::build(&w.map, 32, 16, Interpolator::Bilinear)))
+    let mut g = Group::new("platform_models");
+    g.bench("tile_plan_qvga", || {
+        black_box(TilePlan::build(&w.map, 32, 16, Interpolator::Bilinear));
     });
     let cell = CellRunner::new(CellConfig::default());
-    g.bench_function("cell_frame_qvga", |b| {
-        b.iter(|| black_box(cell.correct_frame(&w.frame, &fmap, &plan).unwrap()))
+    g.bench("cell_frame_qvga", || {
+        black_box(cell.correct_frame(&w.frame, &fmap, &plan).unwrap());
     });
     let gpu = GpuRunner::new(GpuConfig::default());
-    g.bench_function("gpu_frame_qvga", |b| {
-        b.iter(|| black_box(gpu.correct_frame(&w.frame, &w.map, Interpolator::Bilinear)))
+    g.bench("gpu_frame_qvga", || {
+        black_box(gpu.correct_frame(&w.frame, &w.map, Interpolator::Bilinear));
     });
     let gen = FixedMapGen::typical();
-    g.bench_function("stream_analysis_qvga", |b| {
-        b.iter(|| black_box(streamsim::stream::analyze(&w.map, &gen, &StreamConfig::default())))
+    g.bench("stream_analysis_qvga", || {
+        black_box(streamsim::stream::analyze(&w.map, &gen, &StreamConfig::default()));
     });
-    g.bench_function("stream_mapgen_datapath_qvga", |b| {
-        b.iter(|| {
-            let mut gen = FixedMapGen::typical();
-            black_box(gen.generate(&w.lens, &w.view, res.w, res.h))
-        })
+    g.bench("stream_mapgen_datapath_qvga", || {
+        let mut gen = FixedMapGen::typical();
+        black_box(gen.generate(&w.lens, &w.view, res.w, res.h));
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

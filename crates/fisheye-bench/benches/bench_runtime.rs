@@ -1,17 +1,14 @@
-//! Criterion benches for the parallel runtime (behind F2): dispatch
-//! overhead of each scheduling policy on an empty-body loop, and the
-//! broadcast (parallel-region entry) cost itself.
+//! Benches for the parallel runtime (behind F2): dispatch overhead of
+//! each scheduling policy on an empty-body loop, and the broadcast
+//! (parallel-region entry) cost itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fisheye_bench::timing::Group;
 use par_runtime::{Schedule, ThreadPool};
 use std::hint::black_box;
 
-fn bench_schedules(c: &mut Criterion) {
+fn bench_schedules() {
     let pool = ThreadPool::new(4);
-    let mut g = c.benchmark_group("schedule_dispatch");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.sample_size(20);
+    let mut g = Group::new("schedule_dispatch");
     let policies = [
         ("static", Schedule::Static { chunk: None }),
         ("static8", Schedule::Static { chunk: Some(8) }),
@@ -20,32 +17,29 @@ fn bench_schedules(c: &mut Criterion) {
         ("guided4", Schedule::Guided { min_chunk: 4 }),
     ];
     for (name, sched) in policies {
-        g.bench_function(format!("{name}_1080rows"), |b| {
-            b.iter(|| {
-                pool.parallel_for(0..1080, sched, &|r| {
-                    black_box(r.len());
-                })
-            })
+        g.bench(&format!("{name}_1080rows"), || {
+            pool.parallel_for(0..1080, sched, &|r| {
+                black_box(r.len());
+            });
         });
     }
     g.finish();
 }
 
-fn bench_broadcast(c: &mut Criterion) {
-    let mut g = c.benchmark_group("parallel_region");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.sample_size(20);
+fn bench_broadcast() {
+    let mut g = Group::new("parallel_region");
     for threads in [1usize, 2, 4, 8] {
         let pool = ThreadPool::new(threads);
-        g.bench_function(format!("broadcast_{threads}t"), |b| {
-            b.iter(|| pool.broadcast(&|id| {
+        g.bench(&format!("broadcast_{threads}t"), || {
+            pool.broadcast(&|id| {
                 black_box(id);
-            }))
+            });
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_schedules, bench_broadcast);
-criterion_main!(benches);
+fn main() {
+    bench_schedules();
+    bench_broadcast();
+}

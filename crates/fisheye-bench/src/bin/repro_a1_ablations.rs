@@ -1,5 +1,5 @@
 //! Regenerates the A1 ablation table (see DESIGN.md §3). Pass --full
-//! for paper-scale resolutions; set FISHEYE_RESULTS_DIR for CSV.
+//! for paper-scale resolutions; CSV lands in the canonical results/ dir (override with FISHEYE_RESULTS_DIR).
 fn main() {
     let scale = fisheye_bench::Scale::from_args();
     fisheye_bench::experiments::a1_ablations::run(scale).emit("a1_ablations");

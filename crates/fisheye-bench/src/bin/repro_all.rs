@@ -1,6 +1,6 @@
 //! Regenerates the entire evaluation: every table and figure in
 //! DESIGN.md §3, in report order. Pass --full for paper-scale
-//! resolutions; set FISHEYE_RESULTS_DIR to also write CSVs.
+//! resolutions; CSVs land in the canonical results/ dir (override with FISHEYE_RESULTS_DIR).
 fn main() {
     let scale = fisheye_bench::Scale::from_args();
     for (slug, run) in fisheye_bench::experiments::all() {

@@ -1,5 +1,5 @@
 //! Regenerates experiment f13_cache (see DESIGN.md §3). Pass --full
-//! for paper-scale resolutions; set FISHEYE_RESULTS_DIR for CSV.
+//! for paper-scale resolutions; CSV lands in the canonical results/ dir (override with FISHEYE_RESULTS_DIR).
 fn main() {
     let scale = fisheye_bench::Scale::from_args();
     fisheye_bench::experiments::f13_cache::run(scale).emit("f13_cache");

@@ -1,5 +1,5 @@
 //! Regenerates experiment f5_gpu_blocks (see DESIGN.md §3). Pass --full for
-//! paper-scale resolutions; set FISHEYE_RESULTS_DIR to also write CSV.
+//! paper-scale resolutions; CSV lands in the canonical results/ dir (override with FISHEYE_RESULTS_DIR).
 fn main() {
     let scale = fisheye_bench::Scale::from_args();
     fisheye_bench::experiments::f5_gpu_blocks::run(scale).emit("f5_gpu_blocks");

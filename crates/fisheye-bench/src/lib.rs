@@ -4,8 +4,9 @@
 //! DESIGN.md §3 for the experiment index). Each experiment lives in
 //! [`experiments`] as a function returning a [`table::Table`]; the
 //! `repro_*` binaries print one each, and `repro_all` prints the whole
-//! evaluation. Criterion micro-benchmarks for the underlying kernels
-//! are under `benches/`.
+//! evaluation. Micro-benchmarks for the underlying kernels are under
+//! `benches/`, running on the in-tree [`timing`] harness (warmup +
+//! median-of-N batches), so `cargo bench` works fully offline.
 //!
 //! Two measurement regimes coexist deliberately:
 //!
@@ -23,6 +24,7 @@
 pub mod experiments;
 pub mod smp_model;
 pub mod table;
+pub mod timing;
 pub mod workloads;
 
 /// Experiment scale: `Quick` keeps every repro binary in seconds on a

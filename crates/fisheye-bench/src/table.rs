@@ -106,17 +106,28 @@ impl Table {
         out
     }
 
-    /// Print to stdout and, when `FISHEYE_RESULTS_DIR` is set, write
-    /// `<dir>/<slug>.csv` too.
+    /// Print to stdout and write `<dir>/<slug>.csv`, where `<dir>` is
+    /// the workspace's canonical `results/` directory (override with
+    /// `FISHEYE_RESULTS_DIR`). All repro binaries and benches funnel
+    /// their CSV output through here so results never scatter.
     pub fn emit(&self, slug: &str) {
         println!("{}", self.render());
-        if let Ok(dir) = std::env::var("FISHEYE_RESULTS_DIR") {
-            let _ = std::fs::create_dir_all(&dir);
-            let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
-            if let Err(e) = std::fs::write(&path, self.to_csv()) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
+        let dir = results_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{slug}.csv"));
+        if let Err(e) = std::fs::write(&path, self.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
         }
+    }
+}
+
+/// The directory result CSVs are written to: `FISHEYE_RESULTS_DIR` if
+/// set, otherwise the workspace's `results/` directory (resolved
+/// relative to this crate's manifest, so it works from any cwd).
+pub fn results_dir() -> std::path::PathBuf {
+    match std::env::var("FISHEYE_RESULTS_DIR") {
+        Ok(dir) => std::path::PathBuf::from(dir),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"),
     }
 }
 

@@ -1,0 +1,235 @@
+//! In-tree micro-benchmark harness (warmup + median-of-N batches).
+//!
+//! Replaces the external criterion dependency for the `benches/`
+//! targets so `cargo bench` needs no registry access. The measurement
+//! protocol is deliberately simple and stated in every CSV:
+//!
+//! 1. **Warmup** — the closure runs repeatedly for a fixed wall-clock
+//!    window, which also yields a per-call cost estimate.
+//! 2. **Calibration** — the batch size is chosen so one timed batch
+//!    lasts at least the configured minimum (amortizing `Instant`
+//!    overhead for nanosecond-scale closures).
+//! 3. **Sampling** — N batches are timed; the *median* per-call time
+//!    is reported (robust to scheduler noise), plus min and max.
+//!
+//! Results print as an aligned table and land as CSV in the canonical
+//! `results/` directory via [`crate::table::Table::emit`].
+//!
+//! Environment knobs (all optional): `FISHEYE_BENCH_WARMUP_MS`,
+//! `FISHEYE_BENCH_BATCH_MS`, `FISHEYE_BENCH_SAMPLES` — lower them for
+//! a smoke run, raise them for quieter numbers.
+
+use std::time::{Duration, Instant};
+
+use crate::table::Table;
+
+/// Measurement parameters for one [`Group`].
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Wall-clock warmup per benchmark.
+    pub warmup: Duration,
+    /// Minimum duration of one timed batch.
+    pub min_batch: Duration,
+    /// Number of timed batches (the median is reported).
+    pub samples: usize,
+}
+
+impl Config {
+    /// Defaults (200 ms warmup, 25 ms batches, 9 samples), overridden
+    /// by the `FISHEYE_BENCH_*` environment variables.
+    pub fn from_env() -> Config {
+        let ms = |var: &str, default: u64| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(default)
+        };
+        Config {
+            warmup: Duration::from_millis(ms("FISHEYE_BENCH_WARMUP_MS", 200)),
+            min_batch: Duration::from_millis(ms("FISHEYE_BENCH_BATCH_MS", 25)),
+            samples: ms("FISHEYE_BENCH_SAMPLES", 9).max(1) as usize,
+        }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark label within the group.
+    pub label: String,
+    /// Median per-call time across batches.
+    pub median: Duration,
+    /// Fastest batch's per-call time.
+    pub min: Duration,
+    /// Slowest batch's per-call time.
+    pub max: Duration,
+    /// Calls per timed batch (after calibration).
+    pub iters: u64,
+}
+
+/// A named group of benchmarks sharing one [`Config`]; mirrors the
+/// criterion `benchmark_group` shape the bench files already had.
+pub struct Group {
+    name: String,
+    config: Config,
+    results: Vec<Measurement>,
+}
+
+impl Group {
+    /// New group with environment-derived configuration.
+    pub fn new(name: &str) -> Group {
+        Group::with_config(name, Config::from_env())
+    }
+
+    /// New group with explicit configuration (used by tests).
+    pub fn with_config(name: &str, config: Config) -> Group {
+        Group {
+            name: name.to_string(),
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measure `f` under this group's protocol and record the result.
+    pub fn bench(&mut self, label: &str, mut f: impl FnMut()) {
+        let m = run_one(label, &self.config, &mut f);
+        eprintln!(
+            "  {}/{}: median {} (min {}, max {}, {} iters/batch)",
+            self.name,
+            m.label,
+            fmt_duration(m.median),
+            fmt_duration(m.min),
+            fmt_duration(m.max),
+            m.iters
+        );
+        self.results.push(m);
+    }
+
+    /// Measurements so far (in insertion order).
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Print the group's table and write `results/bench_<name>.csv`.
+    pub fn finish(self) {
+        let mut t = Table::new(
+            format!("bench {} (median of batches)", self.name),
+            &["bench", "median", "min", "max", "iters/batch"],
+        );
+        for m in &self.results {
+            t.row(vec![
+                m.label.clone(),
+                fmt_duration(m.median),
+                fmt_duration(m.min),
+                fmt_duration(m.max),
+                m.iters.to_string(),
+            ]);
+        }
+        t.note(format!(
+            "warmup {:?}, {} samples, batches >= {:?}; in-tree harness (see fisheye-bench::timing)",
+            self.config.warmup, self.config.samples, self.config.min_batch
+        ));
+        t.emit(&format!("bench_{}", self.name));
+    }
+}
+
+fn run_one(label: &str, cfg: &Config, f: &mut dyn FnMut()) -> Measurement {
+    // warmup + per-call cost estimate
+    let start = Instant::now();
+    let mut calls = 0u64;
+    loop {
+        f();
+        calls += 1;
+        if start.elapsed() >= cfg.warmup && calls >= 1 {
+            break;
+        }
+    }
+    let per_call = start.elapsed().as_nanos().max(1) / calls as u128;
+
+    // calibrate batch size to reach min_batch per timed batch
+    let iters = (cfg.min_batch.as_nanos() / per_call.max(1)).clamp(1, u64::MAX as u128) as u64;
+
+    let mut per_iter: Vec<Duration> = (0..cfg.samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed() / iters as u32
+        })
+        .collect();
+    per_iter.sort_unstable();
+    Measurement {
+        label: label.to_string(),
+        median: per_iter[per_iter.len() / 2],
+        min: per_iter[0],
+        max: per_iter[per_iter.len() - 1],
+        iters,
+    }
+}
+
+/// Format a duration at nanosecond resolution with an adaptive unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Config {
+        Config {
+            warmup: Duration::from_millis(1),
+            min_batch: Duration::from_millis(1),
+            samples: 3,
+        }
+    }
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        let mut g = Group::with_config("unit", fast_config());
+        let mut n = 0u64;
+        g.bench("incr", || {
+            n = std::hint::black_box(n.wrapping_add(1));
+        });
+        let m = &g.results()[0];
+        assert_eq!(m.label, "incr");
+        assert!(m.iters >= 1);
+        assert!(m.min <= m.median && m.median <= m.max);
+        // a wrapping add takes well under a microsecond per call
+        assert!(m.median < Duration::from_micros(5), "{:?}", m.median);
+    }
+
+    #[test]
+    fn slow_closures_get_small_batches() {
+        let mut g = Group::with_config("unit", fast_config());
+        g.bench("sleepy", || std::thread::sleep(Duration::from_millis(2)));
+        let m = &g.results()[0];
+        assert_eq!(m.iters, 1, "a 2ms closure already exceeds the 1ms batch");
+        assert!(m.median >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(532)), "532ns");
+        assert_eq!(fmt_duration(Duration::from_nanos(1500)), "1.50us");
+        assert_eq!(fmt_duration(Duration::from_micros(2500)), "2.50ms");
+        assert_eq!(fmt_duration(Duration::from_millis(1250)), "1.25s");
+    }
+
+    #[test]
+    fn env_config_has_sane_defaults() {
+        let c = Config::from_env();
+        assert!(c.samples >= 1);
+        assert!(c.warmup > Duration::ZERO);
+    }
+}

@@ -141,8 +141,12 @@ pub fn sample_bicubic<P: Pixel>(img: &Image<P>, sx: f32, sy: f32) -> P {
             }
             acc += row * wyj;
         }
-        // Catmull-Rom can overshoot: clamp to the representable range
-        *out = acc.clamp(0.0, 1.0);
+        // Catmull-Rom can overshoot: clamp to the pixel type's own
+        // channel range. Quantized types clamp to [0, 1]; float types
+        // are unbounded, so planes carrying native-unit data (0–255
+        // luma, say) pass through undamaged instead of collapsing to
+        // the top of a hard-coded [0, 1].
+        *out = acc.clamp(P::CHANNEL_MIN, P::CHANNEL_MAX);
     }
     P::from_channels_f32(&ch[..P::CHANNELS])
 }
@@ -163,6 +167,10 @@ pub fn sample_bilinear_fixed_gray8(
     // 64-bit accumulator: Q8.2frac needs 8 + 2·15 + 1 = 39 bits in the
     // worst case (a hardware datapath would provision a 40-bit DSP
     // accumulator for the same reason)
+    assert!(
+        frac_bits <= 15,
+        "frac_bits must be <= 15 so a full weight (1 << frac_bits) fits in the u16 weight inputs, got {frac_bits}"
+    );
     let one = 1u64 << frac_bits;
     let wx = wx as u64;
     let wy = wy as u64;
@@ -177,7 +185,12 @@ pub fn sample_bilinear_fixed_gray8(
     let bot = p01 * (one - wx) + p11 * wx;
     let acc = top * (one - wy) + bot * wy; // Q(8).2frac
     let shift = 2 * frac_bits;
-    Gray8(((acc + (1 << (shift - 1))) >> shift) as u8)
+    // round-to-nearest: half-ulp bias before the shift. At frac_bits=0
+    // the weights are whole (0 or 1), acc is already integral, and the
+    // bias is zero — `1 << (shift - 1)` would underflow the shift
+    // count, so it must be special-cased rather than computed.
+    let round = if shift == 0 { 0 } else { 1u64 << (shift - 1) };
+    Gray8(((acc + round) >> shift) as u8)
 }
 
 #[cfg(test)]
@@ -326,6 +339,92 @@ mod tests {
         assert_eq!(sample_bilinear_fixed_gray8(&img, 0, 0, one, one, frac).0, 40);
         // wx=1.0, wy=0 -> p10
         assert_eq!(sample_bilinear_fixed_gray8(&img, 0, 0, one, 0, frac).0, 100);
+    }
+
+    #[test]
+    fn fixed_bilinear_zero_frac_bits_selects_corners() {
+        // frac_bits=0: weights are whole (0 or 1), the rounding bias is
+        // zero, and `1 << (shift - 1)` must not be evaluated (shift
+        // count underflow). Regression test for exactly that.
+        let img = Image::from_vec(2, 2, vec![Gray8(9), Gray8(90), Gray8(180), Gray8(255)]);
+        assert_eq!(sample_bilinear_fixed_gray8(&img, 0, 0, 0, 0, 0).0, 9);
+        assert_eq!(sample_bilinear_fixed_gray8(&img, 0, 0, 1, 0, 0).0, 90);
+        assert_eq!(sample_bilinear_fixed_gray8(&img, 0, 0, 0, 1, 0).0, 180);
+        assert_eq!(sample_bilinear_fixed_gray8(&img, 0, 0, 1, 1, 0).0, 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "frac_bits must be <= 15")]
+    fn fixed_bilinear_rejects_oversized_frac_bits() {
+        // a full weight (1 << 16) cannot be expressed in the u16 weight
+        // inputs, so the precondition must fail loudly, not corrupt
+        let img = Image::from_vec(1, 1, vec![Gray8(1)]);
+        let _ = sample_bilinear_fixed_gray8(&img, 0, 0, 0, 0, 16);
+    }
+
+    #[test]
+    fn bicubic_gray8_matches_float_reference() {
+        // regression for the hard-coded [0, 1] accumulator clamp: the
+        // 8-bit path must agree with the float path everywhere, bright
+        // regions included
+        let img: Image<Gray8> = pixmap::scene::random_gray(16, 16, 99);
+        let imgf: Image<GrayF32> = img.map(|p| GrayF32(p.0 as f32 / 255.0));
+        for i in 0..100 {
+            let sx = 2.0 + (i as f32 * 0.113) % 12.0;
+            let sy = 2.0 + (i as f32 * 0.271) % 12.0;
+            let got = sample_bicubic(&img, sx, sy).0 as f32;
+            let want = (sample_bicubic(&imgf, sx, sy).0.clamp(0.0, 1.0) * 255.0).round();
+            assert!(
+                (got - want).abs() <= 1.0,
+                "({sx},{sy}): gray8 {got} vs float {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn bicubic_rgb8_channels_stay_independent() {
+        use pixmap::Rgb8;
+        // one channel near saturation, one at zero, one mid-range: the
+        // per-channel clamp must not bleed between channels
+        let img = Image::from_fn(8, 8, |x, y| {
+            Rgb8::new(
+                if (x + y) % 2 == 0 { 255 } else { 230 },
+                0,
+                ((x * 20 + y * 10) % 256) as u8,
+            )
+        });
+        let imgf = img.map(|p: Rgb8| pixmap::RgbF32::from(p));
+        for i in 0..60 {
+            let sx = 2.0 + (i as f32 * 0.173) % 4.0;
+            let sy = 2.0 + (i as f32 * 0.311) % 4.0;
+            let got = sample_bicubic(&img, sx, sy);
+            let want = sample_bicubic(&imgf, sx, sy);
+            assert!((got.r as f32 - (want.r.clamp(0.0, 1.0) * 255.0)).abs() <= 1.5);
+            assert_eq!(got.g, 0, "zero channel must stay zero");
+            assert!((got.b as f32 - (want.b.clamp(0.0, 1.0) * 255.0)).abs() <= 1.5);
+        }
+    }
+
+    #[test]
+    fn bicubic_float_planes_keep_native_units() {
+        // GrayF32 planes may carry native-unit data (0–255 luma). A
+        // hard-coded [0, 1] clamp flattened such planes to 1.0; the
+        // per-type range must let them through. Catmull-Rom has linear
+        // precision, so an exact linear ramp comes back exactly.
+        let img = Image::from_fn(11, 5, |x, _| GrayF32(x as f32 * 25.5));
+        for x in 2..9u32 {
+            let got = sample_bicubic(&img, x as f32 + 0.5, 2.5).0;
+            let want = x as f32 * 25.5;
+            assert!(
+                (got - want).abs() < 1e-3,
+                "texel {x}: {got} vs {want} (clamped to [0,1]?)"
+            );
+        }
+        // interior overshoot is allowed for float types (no clamping),
+        // but the value must stay finite
+        let step = Image::from_fn(10, 3, |x, _| GrayF32(if x < 5 { 0.0 } else { 200.0 }));
+        let v = sample_bicubic(&step, 5.25, 1.5).0;
+        assert!(v.is_finite() && v > 100.0, "{v}");
     }
 
     #[test]

@@ -1,127 +1,226 @@
 //! Property-based tests of the fixed-point substrate: arithmetic laws
 //! within quantization bounds, CORDIC accuracy over the whole domain,
 //! LUT error bounds.
+//!
+//! Runs on the in-tree `proputil` harness (seeded cases, halving
+//! shrinker). Cases a previous fuzzing run caught are pinned as
+//! explicit regression tests at the bottom.
 
 use fixedq::cordic::float as cf;
 use fixedq::lut::LinearLut;
 use fixedq::{DynFixed, Q16_16};
-use proptest::prelude::*;
+use proputil::{ensure, ensure_eq, Gen};
 
 const Q16_RANGE: f64 = 30000.0;
 const Q16_STEP: f64 = 1.0 / 65536.0;
+const CASES: u32 = 256;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn q16_add_matches_reals(a in -Q16_RANGE/2.0..Q16_RANGE/2.0, b in -Q16_RANGE/2.0..Q16_RANGE/2.0) {
+#[test]
+fn q16_add_matches_reals() {
+    proputil::check("q16_add_matches_reals", CASES, |g| {
+        let a = g.f64_in(-Q16_RANGE / 2.0, Q16_RANGE / 2.0);
+        let b = g.f64_in(-Q16_RANGE / 2.0, Q16_RANGE / 2.0);
         let qa = Q16_16::from_f64(a);
         let qb = Q16_16::from_f64(b);
         let sum = (qa + qb).to_f64();
-        prop_assert!((sum - (a + b)).abs() <= 2.0 * Q16_STEP, "{a}+{b}={sum}");
-    }
+        ensure!((sum - (a + b)).abs() <= 2.0 * Q16_STEP, "{a}+{b}={sum}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn q16_add_commutes_and_associates(a in -100.0f64..100.0, b in -100.0f64..100.0, c in -100.0f64..100.0) {
+#[test]
+fn q16_add_commutes_and_associates() {
+    proputil::check("q16_add_commutes_and_associates", CASES, |g| {
+        let a = g.f64_in(-100.0, 100.0);
+        let b = g.f64_in(-100.0, 100.0);
+        let c = g.f64_in(-100.0, 100.0);
         let (qa, qb, qc) = (Q16_16::from_f64(a), Q16_16::from_f64(b), Q16_16::from_f64(c));
-        prop_assert_eq!(qa + qb, qb + qa);
-        prop_assert_eq!((qa + qb) + qc, qa + (qb + qc)); // exact: saturating int adds in range
-    }
+        ensure_eq!(qa + qb, qb + qa);
+        ensure_eq!((qa + qb) + qc, qa + (qb + qc)); // exact: saturating int adds in range
+        Ok(())
+    });
+}
 
-    #[test]
-    fn q16_mul_commutes(a in -150.0f64..150.0, b in -150.0f64..150.0) {
-        let qa = Q16_16::from_f64(a);
-        let qb = Q16_16::from_f64(b);
-        prop_assert_eq!(qa * qb, qb * qa);
-    }
+#[test]
+fn q16_mul_commutes() {
+    proputil::check("q16_mul_commutes", CASES, |g| {
+        let a = g.f64_in(-150.0, 150.0);
+        let b = g.f64_in(-150.0, 150.0);
+        ensure_eq!(
+            Q16_16::from_f64(a) * Q16_16::from_f64(b),
+            Q16_16::from_f64(b) * Q16_16::from_f64(a)
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn q16_mul_error_bounded(a in -150.0f64..150.0, b in -150.0f64..150.0) {
-        let qa = Q16_16::from_f64(a);
-        let qb = Q16_16::from_f64(b);
-        let got = (qa * qb).to_f64();
+#[test]
+fn q16_mul_error_bounded() {
+    proputil::check("q16_mul_error_bounded", CASES, |g| {
+        let a = g.f64_in(-150.0, 150.0);
+        let b = g.f64_in(-150.0, 150.0);
+        let got = (Q16_16::from_f64(a) * Q16_16::from_f64(b)).to_f64();
         // quantization of inputs propagates: |err| <= step*(|a|+|b|)/2 + step
         let bound = Q16_STEP * (a.abs() + b.abs()) / 2.0 + 2.0 * Q16_STEP;
-        prop_assert!((got - a * b).abs() <= bound, "{a}*{b}={got} bound {bound}");
-    }
+        ensure!((got - a * b).abs() <= bound, "{a}*{b}={got} bound {bound}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn q16_div_inverts_mul(a in 0.01f64..100.0, b in 0.01f64..100.0) {
+#[test]
+fn q16_div_inverts_mul() {
+    proputil::check("q16_div_inverts_mul", CASES, |g| {
+        let a = g.f64_in(0.01, 100.0);
+        let b = g.f64_in(0.01, 100.0);
         let qa = Q16_16::from_f64(a);
         let qb = Q16_16::from_f64(b);
         let back = ((qa * qb) / qb).to_f64();
-        prop_assert!((back - qa.to_f64()).abs() <= 3.0 * Q16_STEP * (1.0 + a / b).max(1.0),
-            "a={a} b={b} back={back}");
-    }
+        ensure!(
+            (back - qa.to_f64()).abs() <= 3.0 * Q16_STEP * (1.0 + a / b).max(1.0),
+            "a={a} b={b} back={back}"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn q16_sqrt_squares_back(x in 0.0f64..10000.0) {
+#[test]
+fn q16_sqrt_squares_back() {
+    proputil::check("q16_sqrt_squares_back", CASES, |g| {
+        let x = g.f64_in(0.0, 10000.0);
         let r = Q16_16::from_f64(x).sqrt().to_f64();
-        prop_assert!((r * r - x).abs() <= 4.0 * Q16_STEP * (1.0 + 2.0 * r), "sqrt({x})={r}");
-    }
+        ensure!((r * r - x).abs() <= 4.0 * Q16_STEP * (1.0 + 2.0 * r), "sqrt({x})={r}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn quantization_error_half_step(x in -1000.0f64..1000.0, frac in 4u32..28) {
-        // stay inside the representable range (outside it the format
-        // saturates by design)
-        prop_assume!(x.abs() < i32::MAX as f64 / (1i64 << frac) as f64 * 0.99);
-        let q = DynFixed::quantize(x, frac);
-        prop_assert!((q - x).abs() <= DynFixed::step(frac) / 2.0 + 1e-12);
+fn check_quantization_half_step(x: f64, frac: u32) -> Result<(), String> {
+    // stay inside the representable range (outside it the format
+    // saturates by design)
+    if x.abs() >= i32::MAX as f64 / (1i64 << frac) as f64 * 0.99 {
+        return Ok(());
     }
+    let q = DynFixed::quantize(x, frac);
+    ensure!(
+        (q - x).abs() <= DynFixed::step(frac) / 2.0 + 1e-12,
+        "quantize({x}, {frac}) = {q}"
+    );
+    Ok(())
+}
 
-    #[test]
-    fn finer_formats_never_worse(x in -100.0f64..100.0, frac in 4u32..20) {
-        prop_assume!(x.abs() < i32::MAX as f64 / (1i64 << (frac + 8)) as f64 * 0.99);
+#[test]
+fn quantization_error_half_step() {
+    proputil::check("quantization_error_half_step", CASES, |g| {
+        let x = g.f64_in(-1000.0, 1000.0);
+        let frac = g.u32_in(4, 28);
+        check_quantization_half_step(x, frac)
+    });
+}
+
+#[test]
+fn finer_formats_never_worse() {
+    proputil::check("finer_formats_never_worse", CASES, |g| {
+        let x = g.f64_in(-100.0, 100.0);
+        let frac = g.u32_in(4, 20);
+        if x.abs() >= i32::MAX as f64 / (1i64 << (frac + 8)) as f64 * 0.99 {
+            return Ok(());
+        }
         let coarse = (DynFixed::quantize(x, frac) - x).abs();
         let fine = (DynFixed::quantize(x, frac + 8) - x).abs();
-        prop_assert!(fine <= coarse + 1e-15);
-    }
+        ensure!(fine <= coarse + 1e-15, "x={x} frac={frac}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cordic_atan2_accuracy_full_plane(y in -5.0f64..5.0, x in -5.0f64..5.0) {
-        prop_assume!(x.abs() > 1e-6 || y.abs() > 1e-6);
-        let got = cf::atan2(y, x, 30);
-        let want = f64::atan2(y, x);
-        // compare modulo 2π so the ±π seam does not false-alarm
-        let mut err = (got - want).abs();
-        if err > std::f64::consts::PI {
-            err = std::f64::consts::TAU - err;
-        }
-        prop_assert!(err < 5e-6, "atan2({y},{x}) = {got}, want {want}");
+fn check_atan2(y: f64, x: f64) -> Result<(), String> {
+    if x.abs() <= 1e-6 && y.abs() <= 1e-6 {
+        return Ok(());
     }
+    let got = cf::atan2(y, x, 30);
+    let want = f64::atan2(y, x);
+    // compare modulo 2π so the ±π seam does not false-alarm
+    let mut err = (got - want).abs();
+    if err > std::f64::consts::PI {
+        err = std::f64::consts::TAU - err;
+    }
+    ensure!(err < 5e-6, "atan2({y},{x}) = {got}, want {want}");
+    Ok(())
+}
 
-    #[test]
-    fn cordic_sincos_accuracy(a in -10.0f64..10.0) {
+#[test]
+fn cordic_atan2_accuracy_full_plane() {
+    proputil::check("cordic_atan2_accuracy_full_plane", CASES, |g| {
+        let y = g.f64_in(-5.0, 5.0);
+        let x = g.f64_in(-5.0, 5.0);
+        check_atan2(y, x)
+    });
+}
+
+#[test]
+fn cordic_sincos_accuracy() {
+    proputil::check("cordic_sincos_accuracy", CASES, |g| {
+        let a = g.f64_in(-10.0, 10.0);
         let (s, c) = cf::sincos(a, 30);
-        prop_assert!((s - a.sin()).abs() < 1e-5, "sin({a}) = {s}");
-        prop_assert!((c - a.cos()).abs() < 1e-5, "cos({a}) = {c}");
-        prop_assert!((s * s + c * c - 1.0).abs() < 1e-5);
-    }
+        ensure!((s - a.sin()).abs() < 1e-5, "sin({a}) = {s}");
+        ensure!((c - a.cos()).abs() < 1e-5, "cos({a}) = {c}");
+        ensure!((s * s + c * c - 1.0).abs() < 1e-5, "norm at {a}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cordic_hypot_accuracy(x in -100.0f64..100.0, y in -100.0f64..100.0) {
-        prop_assume!(x.abs() > 1e-3 || y.abs() > 1e-3);
+#[test]
+fn cordic_hypot_accuracy() {
+    proputil::check("cordic_hypot_accuracy", CASES, |g| {
+        let x = g.f64_in(-100.0, 100.0);
+        let y = g.f64_in(-100.0, 100.0);
+        if x.abs() <= 1e-3 && y.abs() <= 1e-3 {
+            return Ok(());
+        }
         let got = cf::hypot(x, y, 30);
         let want = f64::hypot(x, y);
-        prop_assert!((got - want).abs() < 1e-4 * (1.0 + want), "hypot({x},{y}) = {got}");
-    }
+        ensure!((got - want).abs() < 1e-4 * (1.0 + want), "hypot({x},{y}) = {got}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lut_error_within_quadratic_bound(n_pow in 4u32..9) {
+#[test]
+fn lut_error_within_quadratic_bound() {
+    proputil::check("lut_error_within_quadratic_bound", 16, |g| {
         // sin on [0, π]: max |f''| = 1, error bound h²/8
-        let n = 1usize << n_pow;
+        let n = 1usize << g.u32_in(4, 9);
         let lut = LinearLut::build(f64::sin, 0.0, std::f64::consts::PI, n);
         let h = std::f64::consts::PI / n as f64;
         let bound = h * h / 8.0 + 1e-12;
-        prop_assert!(lut.max_error(f64::sin, 16) <= bound * 1.01);
-    }
+        ensure!(lut.max_error(f64::sin, 16) <= bound * 1.01, "n={n}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lut_eval_within_sample_hull(x in -1.0f64..5.0) {
+#[test]
+fn lut_eval_within_sample_hull() {
+    proputil::check("lut_eval_within_sample_hull", CASES, |g| {
         // interpolation never leaves the convex hull of neighbours —
         // for monotone atan the output is bounded by the endpoints
+        let x = g.f64_in(-1.0, 5.0);
         let lut = LinearLut::build(f64::atan, 0.0, 4.0, 64);
         let v = lut.eval(x);
-        prop_assert!(v >= 0.0 - 1e-12 && v <= 4.0f64.atan() + 1e-12);
-    }
+        ensure!(v >= -1e-12 && v <= 4.0f64.atan() + 1e-12, "eval({x}) = {v}");
+        Ok(())
+    });
+}
+
+// --- regression cases, ported from the retired .proptest-regressions
+// file: inputs a previous fuzzing run minimized to a failure.
+
+#[test]
+fn regression_atan2_on_positive_x_axis() {
+    // y exactly 0 with x > 0 once hit the CORDIC vectoring start-up
+    // edge (angle must come out exactly 0, no -0/2π wobble)
+    check_atan2(0.0, 0.6265144331210989).unwrap();
+}
+
+#[test]
+fn regression_quantize_near_negative_range_edge() {
+    // large-magnitude negative value with a mid-size frac: rounding
+    // must not push the raw value past the i32 edge
+    check_quantization_half_step(-86.65383488757215, 17).unwrap();
 }

@@ -9,7 +9,7 @@
 //!
 //! * [`ThreadPool`] — persistent worker threads with a broadcast
 //!   primitive (every worker runs the same closure once per parallel
-//!   region), built on `parking_lot` synchronization.
+//!   region), built on the [`sync`] lock wrappers over `std::sync`.
 //! * [`Schedule`] — `Static`, `Dynamic` and `Guided` loop scheduling
 //!   with OpenMP semantics (chunk parameter included).
 //! * [`ThreadPool::parallel_for`] — the `#pragma omp parallel for`
@@ -29,6 +29,7 @@ mod pool;
 mod reduce;
 mod schedule;
 mod slice;
+pub mod sync;
 
 pub use pool::{LoopStats, ThreadPool};
 pub use schedule::{ChunkQueue, Schedule};

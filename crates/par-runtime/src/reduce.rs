@@ -7,7 +7,7 @@
 //! so results are reproducible run to run for associative-but-not-
 //! commutative operations too).
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::pool::ThreadPool;
 use crate::schedule::Schedule;

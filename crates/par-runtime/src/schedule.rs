@@ -304,20 +304,29 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use proputil::{ensure, Gen};
 
-    fn arb_schedule() -> impl Strategy<Value = Schedule> {
-        prop_oneof![
-            Just(Schedule::Static { chunk: None }),
-            (1usize..32).prop_map(|c| Schedule::Static { chunk: Some(c) }),
-            (1usize..32).prop_map(|c| Schedule::Dynamic { chunk: c }),
-            (1usize..32).prop_map(|c| Schedule::Guided { min_chunk: c }),
-        ]
+    fn arb_schedule(g: &mut Gen) -> Schedule {
+        match g.usize_in(0, 4) {
+            0 => Schedule::Static { chunk: None },
+            1 => Schedule::Static {
+                chunk: Some(g.usize_in(1, 32)),
+            },
+            2 => Schedule::Dynamic {
+                chunk: g.usize_in(1, 32),
+            },
+            _ => Schedule::Guided {
+                min_chunk: g.usize_in(1, 32),
+            },
+        }
     }
 
-    proptest! {
-        #[test]
-        fn exact_cover_property(len in 0usize..5000, workers in 1usize..16, s in arb_schedule()) {
+    #[test]
+    fn exact_cover_property() {
+        proputil::check("exact_cover_property", 256, |g| {
+            let len = g.usize_in(0, 5000);
+            let workers = g.usize_in(1, 16);
+            let s = arb_schedule(g);
             let q = ChunkQueue::new(len, workers, s);
             let mut cursors: Vec<WorkerCursor> =
                 (0..workers).map(|_| WorkerCursor::default()).collect();
@@ -328,14 +337,15 @@ mod proptests {
                 for w in 0..workers {
                     if let Some(r) = q.next(w, &mut cursors[w]) {
                         for i in r {
-                            prop_assert!(!seen[i], "index {i} handed out twice");
+                            ensure!(!seen[i], "index {i} handed out twice ({s:?})");
                             seen[i] = true;
                         }
                         progress = true;
                     }
                 }
             }
-            prop_assert!(seen.iter().all(|&b| b), "not all indices covered");
-        }
+            ensure!(seen.iter().all(|&b| b), "not all indices covered ({s:?})");
+            Ok(())
+        });
     }
 }

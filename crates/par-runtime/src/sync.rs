@@ -1,0 +1,236 @@
+//! Thin, poisoning-transparent wrappers over [`std::sync`] locks.
+//!
+//! The pool and the video-pipeline channel want the ergonomic lock API
+//! (`lock()` returns the guard directly, `Condvar::wait` takes the
+//! guard by `&mut`) without inheriting lock poisoning: a worker panic
+//! is already reported through the pool's own `panics` counter, and a
+//! poisoned queue mutex would otherwise turn one caught panic into a
+//! cascade of unrelated ones. These wrappers recover the inner guard
+//! from a [`std::sync::PoisonError`] unconditionally, which is sound
+//! here because every critical section leaves the protected state
+//! consistent at all times (they only move values and bump counters —
+//! no multi-step invariants are held across a possible panic point).
+//!
+//! No fairness or performance claims beyond `std`'s: contention in
+//! this workspace is a handful of threads around short critical
+//! sections, where `std::sync::Mutex` (futex-based on Linux) is ample.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// A mutual-exclusion lock whose `lock()` never returns `Err`.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the lock on drop.
+///
+/// The inner `Option` is always `Some` except transiently inside
+/// [`Condvar::wait`], which must move the `std` guard by value.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the protected value (ignoring
+    /// poison, like every other operation here).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`, so no
+    /// other thread can hold the lock).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// A condition variable paired with [`Mutex`]; `wait` reborrows the
+/// guard instead of consuming it.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's lock and sleep until notified;
+    /// the lock is re-acquired before returning. Spurious wakeups are
+    /// possible — always re-check the predicate in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let reacquired = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+    }
+
+    /// [`Condvar::wait`] with a timeout; returns `true` if the wait
+    /// timed out (the lock is re-acquired either way).
+    pub fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, dur: Duration) -> bool {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let (reacquired, result) = self
+            .inner
+            .wait_timeout(std_guard, dur)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+        result.timed_out()
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_guards_mutation() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn poisoned_lock_stays_usable() {
+        let m = Arc::new(Mutex::new(vec![1, 2, 3]));
+        let m2 = Arc::clone(&m);
+        let _ = catch_unwind(AssertUnwindSafe(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        }));
+        // std would now return Err(PoisonError); the wrapper recovers
+        assert_eq!(m.lock().len(), 3);
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let m = Mutex::new(String::from("x"));
+        assert_eq!(m.into_inner(), "x");
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*s2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (lock, cv) = &*shared;
+        *lock.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_reports_timeout() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = lock.lock();
+        let timed_out = cv.wait_timeout(&mut g, Duration::from_millis(5));
+        assert!(timed_out);
+        drop(g); // guard still valid (lock re-acquired) and droppable
+    }
+
+    #[test]
+    fn guard_usable_after_wait() {
+        let lock = Mutex::new(7u32);
+        let cv = Condvar::new();
+        let mut g = lock.lock();
+        let _ = cv.wait_timeout(&mut g, Duration::from_millis(1));
+        *g += 1;
+        assert_eq!(*g, 8);
+    }
+}

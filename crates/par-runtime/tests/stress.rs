@@ -2,7 +2,7 @@
 //! crate (public API only).
 
 use par_runtime::{Schedule, ThreadPool};
-use proptest::prelude::*;
+use proputil::ensure_eq;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 #[test]
@@ -66,17 +66,13 @@ fn drop_with_pending_nothing_hangs() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn parallel_sum_always_correct(
-        n in 0usize..5000,
-        threads in 1usize..9,
-        sched_pick in 0usize..4,
-        chunk in 1usize..32,
-    ) {
-        let sched = match sched_pick {
+#[test]
+fn parallel_sum_always_correct() {
+    proputil::check("parallel_sum_always_correct", 32, |g| {
+        let n = g.usize_in(0, 5000);
+        let threads = g.usize_in(1, 9);
+        let chunk = g.usize_in(1, 32);
+        let sched = match g.usize_in(0, 4) {
             0 => Schedule::Static { chunk: None },
             1 => Schedule::Static { chunk: Some(chunk) },
             2 => Schedule::Dynamic { chunk },
@@ -88,15 +84,17 @@ proptest! {
             sum.fetch_add(r.map(|i| i as u64).sum(), Ordering::Relaxed);
         });
         let expect = (n as u64).saturating_sub(1) * n as u64 / 2;
-        prop_assert_eq!(sum.load(Ordering::Relaxed), expect);
-    }
+        ensure_eq!(sum.load(Ordering::Relaxed), expect, "{sched:?} n={n}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parallel_rows_fill_every_element(
-        rows in 1usize..80,
-        row_len in 1usize..40,
-        threads in 1usize..6,
-    ) {
+#[test]
+fn parallel_rows_fill_every_element() {
+    proputil::check("parallel_rows_fill_every_element", 32, |g| {
+        let rows = g.usize_in(1, 80);
+        let row_len = g.usize_in(1, 40);
+        let threads = g.usize_in(1, 6);
         let pool = ThreadPool::new(threads);
         let mut data = vec![u32::MAX; rows * row_len];
         pool.parallel_rows(&mut data, row_len, Schedule::Guided { min_chunk: 1 }, &|row, s| {
@@ -105,7 +103,8 @@ proptest! {
             }
         });
         for (i, v) in data.iter().enumerate() {
-            prop_assert_eq!(*v, i as u32);
+            ensure_eq!(*v, i as u32, "rows={rows} row_len={row_len}");
         }
-    }
+        Ok(())
+    });
 }

@@ -28,6 +28,7 @@ pub mod image;
 pub mod metrics;
 pub mod pixel;
 pub mod pyramid;
+pub mod rng;
 pub mod scene;
 pub mod y4m;
 pub mod yuv;

@@ -21,6 +21,17 @@ pub trait Pixel: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     /// The all-zero pixel used for unmapped output regions.
     const BLACK: Self;
 
+    /// Smallest value a channel can represent in the canonical float
+    /// space. Quantized types are bounded by `[0, 1]`; float types are
+    /// unbounded (they may carry data in native units, e.g. 0–255, or
+    /// intermediate results outside `[0, 1]`), so interpolators must
+    /// clamp to *this* range, not a hard-coded `[0, 1]`.
+    const CHANNEL_MIN: f32;
+
+    /// Largest value a channel can represent in the canonical float
+    /// space (see [`Pixel::CHANNEL_MIN`]).
+    const CHANNEL_MAX: f32;
+
     /// Read channel `c` as a float in `[0, 1]`.
     fn channel_f32(&self, c: usize) -> f32;
 
@@ -96,6 +107,8 @@ impl RgbF32 {
 impl Pixel for Gray8 {
     const CHANNELS: usize = 1;
     const BLACK: Self = Gray8(0);
+    const CHANNEL_MIN: f32 = 0.0;
+    const CHANNEL_MAX: f32 = 1.0;
 
     #[inline]
     fn channel_f32(&self, _c: usize) -> f32 {
@@ -116,6 +129,8 @@ impl Pixel for Gray8 {
 impl Pixel for Gray16 {
     const CHANNELS: usize = 1;
     const BLACK: Self = Gray16(0);
+    const CHANNEL_MIN: f32 = 0.0;
+    const CHANNEL_MAX: f32 = 1.0;
 
     #[inline]
     fn channel_f32(&self, _c: usize) -> f32 {
@@ -136,6 +151,8 @@ impl Pixel for Gray16 {
 impl Pixel for GrayF32 {
     const CHANNELS: usize = 1;
     const BLACK: Self = GrayF32(0.0);
+    const CHANNEL_MIN: f32 = f32::NEG_INFINITY;
+    const CHANNEL_MAX: f32 = f32::INFINITY;
 
     #[inline]
     fn channel_f32(&self, _c: usize) -> f32 {
@@ -156,6 +173,8 @@ impl Pixel for GrayF32 {
 impl Pixel for Rgb8 {
     const CHANNELS: usize = 3;
     const BLACK: Self = Rgb8 { r: 0, g: 0, b: 0 };
+    const CHANNEL_MIN: f32 = 0.0;
+    const CHANNEL_MAX: f32 = 1.0;
 
     #[inline]
     fn channel_f32(&self, c: usize) -> f32 {
@@ -189,6 +208,8 @@ impl Pixel for RgbF32 {
         g: 0.0,
         b: 0.0,
     };
+    const CHANNEL_MIN: f32 = f32::NEG_INFINITY;
+    const CHANNEL_MAX: f32 = f32::INFINITY;
 
     #[inline]
     fn channel_f32(&self, c: usize) -> f32 {

@@ -17,8 +17,7 @@
 
 use crate::image::Image;
 use crate::pixel::{Gray8, GrayF32, Rgb8};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Xoshiro256pp;
 
 /// A continuous scene: intensity in `[0,1]` at any real plane point.
 ///
@@ -229,16 +228,20 @@ pub const SCENE_NAMES: &[&str] = &[
 ];
 
 /// Random grayscale image (uniform noise) — used by property tests and
-/// as a worst-case memory-bound workload.
+/// as a worst-case memory-bound workload. Byte-identical for a given
+/// seed on every platform (see [`crate::rng`] and the golden tests
+/// below), so PSNR goldens computed from these frames are stable.
 pub fn random_gray(w: u32, h: u32, seed: u64) -> Image<Gray8> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    Image::from_fn(w, h, |_, _| Gray8(rng.gen()))
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    Image::from_fn(w, h, |_, _| Gray8(rng.next_u8()))
 }
 
-/// Random RGB image.
+/// Random RGB image. Seed-deterministic like [`random_gray`].
 pub fn random_rgb(w: u32, h: u32, seed: u64) -> Image<Rgb8> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    Image::from_fn(w, h, |_, _| Rgb8::new(rng.gen(), rng.gen(), rng.gen()))
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    Image::from_fn(w, h, |_, _| {
+        Rgb8::new(rng.next_u8(), rng.next_u8(), rng.next_u8())
+    })
 }
 
 /// Colorize a grayscale scene into RGB using a fixed false-color ramp
@@ -350,6 +353,53 @@ mod tests {
         assert_eq!(random_gray(8, 8, 42), random_gray(8, 8, 42));
         assert_ne!(random_gray(8, 8, 42), random_gray(8, 8, 43));
         assert_eq!(random_rgb(4, 4, 1), random_rgb(4, 4, 1));
+    }
+
+    /// FNV-1a over a byte stream — the checksum used by the golden
+    /// tests below (stable, trivially portable).
+    fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    // Golden tests: fixed seeds must reproduce byte-identical scenes
+    // forever. Downstream accuracy tests (fixed-vs-float quantization
+    // bounds, Y4M round-trips, PSNR goldens in the experiments) compare
+    // values computed from these frames, so a silent PRNG change would
+    // invalidate them. The gray/rgb golden bytes were verified against
+    // an independent xoshiro256++ implementation.
+
+    #[test]
+    fn random_gray_golden_bytes() {
+        let img = random_gray(8, 8, 42);
+        let first: Vec<u8> = img.pixels().iter().take(8).map(|p| p.0).collect();
+        assert_eq!(first, [208, 81, 251, 179, 203, 150, 32, 154]);
+        let sum = fnv1a(img.pixels().iter().map(|p| p.0));
+        assert_eq!(sum, 0x8c30a5b847d0aa8f, "got {sum:#x}");
+    }
+
+    #[test]
+    fn random_rgb_golden_bytes() {
+        let img = random_rgb(4, 4, 7);
+        let p0 = img.pixel(0, 0);
+        let p1 = img.pixel(1, 0);
+        assert_eq!((p0.r, p0.g, p0.b), (14, 44, 183));
+        assert_eq!((p1.r, p1.g, p1.b), (109, 246, 119));
+        let sum = fnv1a(img.pixels().iter().flat_map(|p| [p.r, p.g, p.b]));
+        assert_eq!(sum, 0xadaaef0e8d0ce338, "got {sum:#x}");
+    }
+
+    #[test]
+    fn text_panel_golden_checksum() {
+        // the "text" scene (GlyphPanel) is hash-based, not PRNG-based,
+        // but it feeds the same goldens — pin it too
+        let img = GlyphPanel { rows: 20, seed: 7 }.rasterize(64, 64);
+        let sum = fnv1a(img.pixels().iter().map(|p| p.0));
+        assert_eq!(sum, 0x9cd08b1a2f4fa56f, "got {sum:#x}");
     }
 
     #[test]

@@ -1,95 +1,157 @@
 //! Property-based tests of the image substrate: codec round-trips for
 //! arbitrary images, metric axioms, YUV conversion bounds.
+//!
+//! Runs on the in-tree `proputil` harness (seeded cases, halving
+//! shrinker) — see DESIGN.md §5 for why no external property-test
+//! crate is used.
 
 use pixmap::codec;
 use pixmap::image::{Image, Rect};
 use pixmap::metrics::{mse, psnr, ssim};
 use pixmap::pixel::{Gray8, Rgb8};
 use pixmap::yuv::{rgb_to_ycbcr, ycbcr_to_rgb, Yuv420};
-use proptest::prelude::*;
+use proputil::{ensure, ensure_eq, Gen};
 
-fn arb_gray(max_side: u32) -> impl Strategy<Value = Image<Gray8>> {
-    (1..=max_side, 1..=max_side, any::<u64>()).prop_map(|(w, h, seed)| {
-        let noise = pixmap::scene::random_gray(w, h, seed);
-        noise
-    })
+const CASES: u32 = 48;
+
+fn arb_gray(g: &mut Gen, max_side: u32) -> Image<Gray8> {
+    let w = g.u32_in(1, max_side + 1);
+    let h = g.u32_in(1, max_side + 1);
+    pixmap::scene::random_gray(w, h, g.u64_any())
 }
 
-fn arb_rgb(max_side: u32) -> impl Strategy<Value = Image<Rgb8>> {
-    (1..=max_side, 1..=max_side, any::<u64>())
-        .prop_map(|(w, h, seed)| pixmap::scene::random_rgb(w, h, seed))
+fn arb_rgb(g: &mut Gen, max_side: u32) -> Image<Rgb8> {
+    let w = g.u32_in(1, max_side + 1);
+    let h = g.u32_in(1, max_side + 1);
+    pixmap::scene::random_rgb(w, h, g.u64_any())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn pgm_binary_roundtrips_any_image(img in arb_gray(40)) {
+#[test]
+fn pgm_binary_roundtrips_any_image() {
+    proputil::check("pgm_binary_roundtrips_any_image", CASES, |g| {
+        let img = arb_gray(g, 40);
         let enc = codec::encode_pgm(&img);
         let dec = codec::decode_pgm(&enc).unwrap();
-        prop_assert_eq!(img, dec);
-    }
+        ensure_eq!(img, dec);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pgm_ascii_roundtrips_any_image(img in arb_gray(24)) {
-        let enc = codec::encode_pgm_ascii(&img);
-        let dec = codec::decode_pgm(&enc).unwrap();
-        prop_assert_eq!(img, dec);
-    }
+#[test]
+fn pgm_ascii_roundtrips_any_image() {
+    proputil::check("pgm_ascii_roundtrips_any_image", CASES, |g| {
+        let img = arb_gray(g, 24);
+        let dec = codec::decode_pgm(&codec::encode_pgm_ascii(&img)).unwrap();
+        ensure_eq!(img, dec);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ppm_roundtrips_any_image(img in arb_rgb(32)) {
+#[test]
+fn ppm_roundtrips_any_image() {
+    proputil::check("ppm_roundtrips_any_image", CASES, |g| {
+        let img = arb_rgb(g, 32);
         let dec = codec::decode_ppm(&codec::encode_ppm(&img)).unwrap();
-        prop_assert_eq!(img, dec);
-    }
+        ensure_eq!(img, dec);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bmp_roundtrips_any_width(img in arb_rgb(37)) {
-        // widths 1..37 cover all four row-padding residues
+#[test]
+fn bmp_roundtrips_any_width() {
+    // widths 1..37 cover all four row-padding residues
+    proputil::check("bmp_roundtrips_any_width", CASES, |g| {
+        let img = arb_rgb(g, 37);
         let dec = codec::decode_bmp(&codec::encode_bmp(&img)).unwrap();
-        prop_assert_eq!(img, dec);
-    }
+        ensure_eq!(img, dec);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_mutated_pgm(img in arb_gray(16), flip in 0usize..64, val in any::<u8>()) {
+#[test]
+fn bmp_ppm_regression_9x12() {
+    // ported from the committed proptest regression seed: a 9×12 RGB
+    // image (width ≡ 1 mod 4, so 3 padding bytes per BMP row) once
+    // tripped the BMP row-padding logic. Exercise both codecs at that
+    // exact shape with deterministic noise.
+    for seed in 0..8u64 {
+        let img = pixmap::scene::random_rgb(9, 12, seed);
+        assert_eq!(
+            codec::decode_bmp(&codec::encode_bmp(&img)).unwrap(),
+            img,
+            "bmp seed {seed}"
+        );
+        assert_eq!(
+            codec::decode_ppm(&codec::encode_ppm(&img)).unwrap(),
+            img,
+            "ppm seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn decoder_never_panics_on_mutated_pgm() {
+    proputil::check("decoder_never_panics_on_mutated_pgm", CASES, |g| {
+        let img = arb_gray(g, 16);
+        let flip = g.usize_in(0, 64);
+        let val = g.u8_any();
         let mut enc = codec::encode_pgm(&img);
         let idx = flip % enc.len();
         enc[idx] = val;
         let _ = codec::decode_pgm(&enc); // Ok or Err, never panic
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_truncated_bmp(img in arb_rgb(12), keep in 0usize..400) {
+#[test]
+fn decoder_never_panics_on_truncated_bmp() {
+    proputil::check("decoder_never_panics_on_truncated_bmp", CASES, |g| {
+        let img = arb_rgb(g, 12);
+        let keep = g.usize_in(0, 400);
         let enc = codec::encode_bmp(&img);
         let cut = keep.min(enc.len());
         let _ = codec::decode_bmp(&enc[..cut]);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn mse_axioms(a in arb_gray(24), seed in any::<u64>()) {
-        let b = pixmap::scene::random_gray(a.width(), a.height(), seed);
+#[test]
+fn mse_axioms() {
+    proputil::check("mse_axioms", CASES, |g| {
+        let a = arb_gray(g, 24);
+        let b = pixmap::scene::random_gray(a.width(), a.height(), g.u64_any());
         // identity
-        prop_assert_eq!(mse(&a, &a), 0.0);
+        ensure_eq!(mse(&a, &a), 0.0);
         // symmetry
         let ab = mse(&a, &b);
         let ba = mse(&b, &a);
-        prop_assert!((ab - ba).abs() < 1e-15);
+        ensure!((ab - ba).abs() < 1e-15);
         // bounded by 1
-        prop_assert!(ab <= 1.0 + 1e-12);
+        ensure!(ab <= 1.0 + 1e-12);
         // psnr consistent with mse
         if ab > 0.0 {
-            prop_assert!((psnr(&a, &b) + 10.0 * ab.log10()).abs() < 1e-9);
+            ensure!((psnr(&a, &b) + 10.0 * ab.log10()).abs() < 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ssim_bounded_and_reflexive(a in arb_gray(24)) {
+#[test]
+fn ssim_bounded_and_reflexive() {
+    proputil::check("ssim_bounded_and_reflexive", CASES, |g| {
+        let a = arb_gray(g, 24);
         let s = ssim(&a, &a);
-        prop_assert!((s - 1.0).abs() < 1e-9);
-    }
+        ensure!((s - 1.0).abs() < 1e-9, "ssim(a,a) = {s}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn crop_blit_restores_region(img in arb_gray(32), x0 in 0u32..16, y0 in 0u32..16) {
+#[test]
+fn crop_blit_restores_region() {
+    proputil::check("crop_blit_restores_region", CASES, |g| {
+        let img = arb_gray(g, 32);
+        let x0 = g.u32_in(0, 16);
+        let y0 = g.u32_in(0, 16);
         let r = Rect::new(
             x0.min(img.width() - 1),
             y0.min(img.height() - 1),
@@ -101,35 +163,44 @@ proptest! {
         dst.blit(&sub, r.x0, r.y0);
         for y in r.y0..r.y1 {
             for x in r.x0..r.x1 {
-                prop_assert_eq!(dst.pixel(x, y), img.pixel(x, y));
+                ensure_eq!(dst.pixel(x, y), img.pixel(x, y), "at ({x},{y})");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ycbcr_conversion_is_nearly_inverse(r in any::<u8>(), g in any::<u8>(), b in any::<u8>()) {
-        let (y, cb, cr) = rgb_to_ycbcr(Rgb8::new(r, g, b));
+#[test]
+fn ycbcr_conversion_is_nearly_inverse() {
+    proputil::check("ycbcr_conversion_is_nearly_inverse", 256, |g| {
+        let (r, gr, b) = (g.u8_any(), g.u8_any(), g.u8_any());
+        let (y, cb, cr) = rgb_to_ycbcr(Rgb8::new(r, gr, b));
         let back = ycbcr_to_rgb(y, cb, cr);
-        prop_assert!((back.r as i32 - r as i32).abs() <= 3);
-        prop_assert!((back.g as i32 - g as i32).abs() <= 3);
-        prop_assert!((back.b as i32 - b as i32).abs() <= 3);
-    }
+        ensure!((back.r as i32 - r as i32).abs() <= 3, "r {r} -> {}", back.r);
+        ensure!((back.g as i32 - gr as i32).abs() <= 3, "g {gr} -> {}", back.g);
+        ensure!((back.b as i32 - b as i32).abs() <= 3, "b {b} -> {}", back.b);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn yuv420_roundtrip_bounded_error(small in arb_rgb(12)) {
+#[test]
+fn yuv420_roundtrip_bounded_error() {
+    proputil::check("yuv420_roundtrip_bounded_error", CASES, |g| {
         // build a chroma-smooth image (every 2x2 block uniform) so
         // 4:2:0 subsampling is information-lossless; then the full
         // RGB round-trip must be tight per pixel
+        let small = arb_rgb(g, 12);
         let img = Image::from_fn(small.width() * 2, small.height() * 2, |x, y| {
             small.pixel(x / 2, y / 2)
         });
         let yuv = Yuv420::from_rgb(&img);
         let back = yuv.to_rgb();
-        prop_assert_eq!(back.dims(), img.dims());
+        ensure_eq!(back.dims(), img.dims());
         for (a, b) in img.pixels().iter().zip(back.pixels()) {
-            prop_assert!((a.r as i32 - b.r as i32).abs() <= 4, "{a:?} vs {b:?}");
-            prop_assert!((a.g as i32 - b.g as i32).abs() <= 4, "{a:?} vs {b:?}");
-            prop_assert!((a.b as i32 - b.b as i32).abs() <= 4, "{a:?} vs {b:?}");
+            ensure!((a.r as i32 - b.r as i32).abs() <= 4, "{a:?} vs {b:?}");
+            ensure!((a.g as i32 - b.g as i32).abs() <= 4, "{a:?} vs {b:?}");
+            ensure!((a.b as i32 - b.b as i32).abs() <= 4, "{a:?} vs {b:?}");
         }
-    }
+        Ok(())
+    });
 }

@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use par_runtime::sync::{Condvar, Mutex};
 
 struct Inner<T> {
     queue: Mutex<ChannelState<T>>,

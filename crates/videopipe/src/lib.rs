@@ -4,10 +4,10 @@
 //! arrive from the camera, are corrected, and are consumed (displayed
 //! or encoded) with bounded latency. This crate provides that harness:
 //!
-//! * [`channel`] — a bounded blocking MPMC queue built from
-//!   `parking_lot` primitives (the back-pressure mechanism between
-//!   stages), implemented here rather than imported so its behaviour
-//!   under the measurement load is fully known.
+//! * [`channel`] — a bounded blocking MPMC queue built from the
+//!   `par_runtime::sync` lock wrappers (the back-pressure mechanism
+//!   between stages), implemented here rather than imported so its
+//!   behaviour under the measurement load is fully known.
 //! * [`source`] — synthetic video sources: a cycled set of captured
 //!   fisheye frames and a cheap per-frame shift variant for motion.
 //! * [`pipeline`] — capture → correct (N workers) → sink, with

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: the workspace must build and test fully
+# offline (zero registry dependencies), from any checkout.
+#
+# Run from anywhere: ./scripts/tier1.sh
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+
+# --- guard: no manifest may reintroduce a registry dependency --------
+# A dependency is allowed only if it is a path dependency (directly or
+# via workspace inheritance from the root's path-only table).
+fail=0
+check_manifest() {
+    local manifest="$1"
+    # Inside [dependencies]/[dev-dependencies]/[build-dependencies]
+    # sections, every entry must say `path = ...` or `workspace = true`.
+    local bad
+    bad=$(awk '
+        /^\[/ {
+            in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/)
+            next
+        }
+        in_deps && /^[A-Za-z0-9_-]+[ \t]*=/ {
+            if ($0 !~ /path[ \t]*=/ && $0 !~ /workspace[ \t]*=[ \t]*true/) print
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "ERROR: non-path dependency in $manifest:" >&2
+        echo "$bad" | sed 's/^/    /' >&2
+        fail=1
+    fi
+}
+check_manifest Cargo.toml
+for m in crates/*/Cargo.toml; do
+    check_manifest "$m"
+done
+if [ "$fail" -ne 0 ]; then
+    echo "tier1: FAILED (registry dependency reintroduced; the workspace must stay path-only)" >&2
+    exit 1
+fi
+echo "tier1: manifests are path-only"
+
+# --- offline build + test -------------------------------------------
+cargo build --release --offline
+cargo test -q --offline
+
+echo "tier1: OK"

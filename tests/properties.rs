@@ -1,31 +1,30 @@
 //! Property-based integration tests over the geometry and correction
-//! stack (proptest).
+//! stack, on the in-tree `proputil` harness.
 
 use fisheye::geom::{FisheyeLens, LensModel, PerspectiveView, Vec3};
 use fisheye::prelude::*;
-use proptest::prelude::*;
+use proputil::{ensure, ensure_eq, Gen};
 
-fn arb_model() -> impl Strategy<Value = LensModel> {
-    prop_oneof![
-        Just(LensModel::Equidistant),
-        Just(LensModel::Equisolid),
-        Just(LensModel::Stereographic),
-        Just(LensModel::Orthographic),
-    ]
+const CASES: u32 = 64;
+
+fn arb_model(g: &mut Gen) -> LensModel {
+    *g.pick(&[
+        LensModel::Equidistant,
+        LensModel::Equisolid,
+        LensModel::Stereographic,
+        LensModel::Orthographic,
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// unproject ∘ project is the identity on in-FOV rays for every
-    /// lens model and focal length.
-    #[test]
-    fn project_unproject_roundtrip(
-        model in arb_model(),
-        fov_deg in 60.0f64..175.0,
-        theta_frac in 0.01f64..0.95,
-        phi in 0.0f64..std::f64::consts::TAU,
-    ) {
+/// unproject ∘ project is the identity on in-FOV rays for every
+/// lens model and focal length.
+#[test]
+fn project_unproject_roundtrip() {
+    proputil::check("project_unproject_roundtrip", CASES, |g| {
+        let model = arb_model(g);
+        let fov_deg = g.f64_in(60.0, 175.0);
+        let theta_frac = g.f64_in(0.01, 0.95);
+        let phi = g.f64_in(0.0, std::f64::consts::TAU);
         let lens = FisheyeLens::with_model_fov(model, 800, 600, fov_deg);
         let theta = lens.max_theta * theta_frac;
         let ray = Vec3::new(
@@ -35,53 +34,64 @@ proptest! {
         );
         if let Some((px, py)) = lens.project(ray) {
             let back = lens.unproject(px, py).expect("projected point unprojects");
-            prop_assert!((back - ray).norm() < 1e-6, "{model:?} {ray:?} -> {back:?}");
+            ensure!((back - ray).norm() < 1e-6, "{model:?} {ray:?} -> {back:?}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// View pixel_ray ∘ project is the identity for arbitrary PTZ.
-    #[test]
-    fn view_ray_roundtrip(
-        pan in -80.0f64..80.0,
-        tilt in -60.0f64..60.0,
-        fov in 30.0f64..140.0,
-        px in 0.0f64..320.0,
-        py in 0.0f64..240.0,
-    ) {
+/// View pixel_ray ∘ project is the identity for arbitrary PTZ.
+#[test]
+fn view_ray_roundtrip() {
+    proputil::check("view_ray_roundtrip", CASES, |g| {
+        let pan = g.f64_in(-80.0, 80.0);
+        let tilt = g.f64_in(-60.0, 60.0);
+        let fov = g.f64_in(30.0, 140.0);
+        let px = g.f64_in(0.0, 320.0);
+        let py = g.f64_in(0.0, 240.0);
         let view = PerspectiveView::centered(320, 240, fov).look(pan, tilt);
         let ray = view.pixel_ray(px, py);
         let (bx, by) = view.project(ray).expect("forward ray");
-        prop_assert!((bx - px).abs() < 1e-6 && (by - py).abs() < 1e-6);
-    }
+        ensure!(
+            (bx - px).abs() < 1e-6 && (by - py).abs() < 1e-6,
+            "pan={pan} tilt={tilt} fov={fov} ({px},{py}) -> ({bx},{by})"
+        );
+        Ok(())
+    });
+}
 
-    /// The remap LUT never points outside the source frame and the
-    /// corrected image never panics, for arbitrary view geometry.
-    #[test]
-    fn map_entries_always_in_bounds(
-        pan in -90.0f64..90.0,
-        tilt in -45.0f64..45.0,
-        fov in 30.0f64..160.0,
-    ) {
+/// The remap LUT never points outside the source frame and the
+/// corrected image never panics, for arbitrary view geometry.
+#[test]
+fn map_entries_always_in_bounds() {
+    proputil::check("map_entries_always_in_bounds", CASES, |g| {
+        let pan = g.f64_in(-90.0, 90.0);
+        let tilt = g.f64_in(-45.0, 45.0);
+        let fov = g.f64_in(30.0, 160.0);
         let lens = FisheyeLens::equidistant_fov(96, 96, 180.0);
         let view = PerspectiveView::centered(48, 48, fov).look(pan, tilt);
         let map = RemapMap::build(&lens, &view, 96, 96);
         for y in 0..48 {
             for e in map.row(y) {
                 if e.is_valid() {
-                    prop_assert!(e.sx >= 0.0 && e.sx < 96.0);
-                    prop_assert!(e.sy >= 0.0 && e.sy < 96.0);
+                    ensure!(e.sx >= 0.0 && e.sx < 96.0, "sx={} at row {y}", e.sx);
+                    ensure!(e.sy >= 0.0 && e.sy < 96.0, "sy={} at row {y}", e.sy);
                 }
             }
         }
         let frame = fisheye::img::scene::random_gray(96, 96, 1);
         let out = correct(&frame, &map, Interpolator::Bilinear);
-        prop_assert_eq!(out.dims(), (48, 48));
-    }
+        ensure_eq!(out.dims(), (48, 48));
+        Ok(())
+    });
+}
 
-    /// Fixed-point correction converges to float correction as weight
-    /// bits increase (monotone PSNR within noise), for random frames.
-    #[test]
-    fn fixed_converges_to_float(seed in 0u64..1000) {
+/// Fixed-point correction converges to float correction as weight
+/// bits increase (monotone PSNR within noise), for random frames.
+#[test]
+fn fixed_converges_to_float() {
+    proputil::check("fixed_converges_to_float", CASES, |g| {
+        let seed = g.u64_in(0, 999);
         let lens = FisheyeLens::equidistant_fov(64, 64, 180.0);
         let view = PerspectiveView::centered(32, 32, 90.0);
         let map = RemapMap::build(&lens, &view, 64, 64);
@@ -89,18 +99,20 @@ proptest! {
         let float = correct(&frame, &map, Interpolator::Bilinear);
         let p4 = fisheye::img::metrics::psnr(&float, &correct_fixed(&frame, &map.to_fixed(4)));
         let p12 = fisheye::img::metrics::psnr(&float, &correct_fixed(&frame, &map.to_fixed(12)));
-        prop_assert!(p12 >= p4 - 0.5, "p4={p4} p12={p12}");
-    }
+        ensure!(p12 >= p4 - 0.5, "seed={seed} p4={p4} p12={p12}");
+        Ok(())
+    });
+}
 
-    /// Parallel correction is bit-exact vs serial for arbitrary odd
-    /// dimensions, thread counts and schedules.
-    #[test]
-    fn parallel_always_matches_serial(
-        w in 17u32..90,
-        h in 13u32..70,
-        threads in 1usize..6,
-        chunk in 1usize..8,
-    ) {
+/// Parallel correction is bit-exact vs serial for arbitrary odd
+/// dimensions, thread counts and schedules.
+#[test]
+fn parallel_always_matches_serial() {
+    proputil::check("parallel_always_matches_serial", CASES, |g| {
+        let w = g.u32_in(17, 90);
+        let h = g.u32_in(13, 70);
+        let threads = g.usize_in(1, 6);
+        let chunk = g.usize_in(1, 8);
         let lens = FisheyeLens::equidistant_fov(101, 83, 180.0);
         let view = PerspectiveView::centered(w, h, 95.0);
         let map = RemapMap::build(&lens, &view, 101, 83);
@@ -114,14 +126,19 @@ proptest! {
             &pool,
             Schedule::Dynamic { chunk },
         );
-        prop_assert_eq!(serial, par);
-    }
+        ensure_eq!(serial, par, "w={w} h={h} threads={threads} chunk={chunk}");
+        Ok(())
+    });
+}
 
-    /// Tile footprints always contain every tap their tile needs
-    /// (correcting from the cropped footprint = correcting from the
-    /// full frame), for arbitrary tile shapes.
-    #[test]
-    fn footprints_always_sufficient(tw in 4u32..40, th in 4u32..40) {
+/// Tile footprints always contain every tap their tile needs
+/// (correcting from the cropped footprint = correcting from the
+/// full frame), for arbitrary tile shapes.
+#[test]
+fn footprints_always_sufficient() {
+    proputil::check("footprints_always_sufficient", CASES, |g| {
+        let tw = g.u32_in(4, 40);
+        let th = g.u32_in(4, 40);
         let lens = FisheyeLens::equidistant_fov(128, 96, 180.0);
         let view = PerspectiveView::centered(64, 48, 100.0);
         let map = RemapMap::build(&lens, &view, 128, 96);
@@ -129,20 +146,25 @@ proptest! {
         let full = correct(&frame, &map, Interpolator::Bilinear);
         let plan = TilePlan::build(&map, tw, th, Interpolator::Bilinear);
         for job in &plan.jobs {
-            if job.src.is_empty() { continue; }
+            if job.src.is_empty() {
+                continue;
+            }
             let local = frame.crop(job.src);
             for y in job.out.y0..job.out.y1 {
                 for x in job.out.x0..job.out.x1 {
                     let e = map.entry(x, y);
-                    if !e.is_valid() { continue; }
+                    if !e.is_valid() {
+                        continue;
+                    }
                     let got = Interpolator::Bilinear.sample(
                         &local,
                         e.sx - job.src.x0 as f32,
                         e.sy - job.src.y0 as f32,
                     );
-                    prop_assert_eq!(got, full.pixel(x, y));
+                    ensure_eq!(got, full.pixel(x, y), "tile {tw}x{th} at ({x},{y})");
                 }
             }
         }
-    }
+        Ok(())
+    });
 }
