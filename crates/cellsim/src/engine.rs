@@ -1,0 +1,231 @@
+//! [`CorrectionEngine`] adapter: the modeled Cell behind the same
+//! interface as every host path.
+//!
+//! The runner wants a quantized LUT and a tile plan; the engine
+//! derives both from the float map on first use and caches them per
+//! map identity ([`fisheye_core::engine::map_fingerprint`]), so a
+//! video loop pays quantization/planning once per view change — the
+//! same amortization the host pipeline applies. The Cell model's
+//! statistics (DMA traffic, local-store high water, fetch redundancy,
+//! modeled cycles) land in the [`FrameReport`]'s uniform key/value
+//! section.
+
+use std::sync::Mutex;
+
+use fisheye_core::engine::{
+    map_fingerprint, CorrectionEngine, EngineError, EngineSpec, FrameReport,
+};
+use fisheye_core::map::{FixedRemapMap, RemapMap};
+use fisheye_core::{Interpolator, TilePlan};
+use pixmap::{Gray8, Image};
+
+use crate::{CellConfig, CellRunner};
+
+struct CellCache {
+    fingerprint: u64,
+    fixed: FixedRemapMap,
+    plan: TilePlan,
+}
+
+/// The modeled Cell as a correction engine (`Gray8` only — the SPE
+/// kernel is the byte-wise fixed-point datapath).
+pub struct CellEngine {
+    runner: CellRunner,
+    spec: EngineSpec,
+    tile_w: u32,
+    tile_h: u32,
+    frac_bits: u32,
+    cache: Mutex<Option<CellCache>>,
+}
+
+impl CellEngine {
+    /// Build from a [`EngineSpec::Cell`] spec; `base` supplies the
+    /// machine parameters the spec does not name (SPE count, clock,
+    /// local-store size). The spec's buffering choice overrides the
+    /// base config.
+    pub fn from_spec(spec: &EngineSpec, base: CellConfig) -> Result<Self, EngineError> {
+        match *spec {
+            EngineSpec::Cell {
+                tile_w,
+                tile_h,
+                double_buffer,
+                frac_bits,
+            } => Ok(CellEngine {
+                runner: CellRunner::new(CellConfig {
+                    double_buffer,
+                    ..base
+                }),
+                spec: *spec,
+                tile_w,
+                tile_h,
+                frac_bits,
+                cache: Mutex::new(None),
+            }),
+            _ => Err(EngineError::unsupported(
+                spec.name(),
+                "CellEngine only builds cell specs",
+            )),
+        }
+    }
+
+    /// The runner (machine model) this engine drives.
+    pub fn runner(&self) -> &CellRunner {
+        &self.runner
+    }
+}
+
+impl CorrectionEngine<Gray8> for CellEngine {
+    fn name(&self) -> String {
+        self.spec.name()
+    }
+
+    fn correct_frame(
+        &self,
+        src: &Image<Gray8>,
+        map: &RemapMap,
+        out: &mut Image<Gray8>,
+    ) -> Result<FrameReport, EngineError> {
+        let name = self.spec.name();
+        if out.dims() != (map.width(), map.height()) {
+            return Err(EngineError::backend(
+                &name,
+                format!(
+                    "output {:?} does not match map {:?}",
+                    out.dims(),
+                    (map.width(), map.height())
+                ),
+            ));
+        }
+        if src.dims() != map.src_dims() {
+            return Err(EngineError::backend(
+                &name,
+                format!(
+                    "source {:?} does not match map source {:?}",
+                    src.dims(),
+                    map.src_dims()
+                ),
+            ));
+        }
+        let fp = map_fingerprint(map);
+        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        if !matches!(&*cache, Some(c) if c.fingerprint == fp) {
+            *cache = Some(CellCache {
+                fingerprint: fp,
+                fixed: map.to_fixed(self.frac_bits),
+                plan: TilePlan::build(map, self.tile_w, self.tile_h, Interpolator::Bilinear),
+            });
+        }
+        let c = cache.as_ref().unwrap();
+        let (frame, cell) = self
+            .runner
+            .correct_frame(src, &c.fixed, &c.plan)
+            .map_err(|e| EngineError::backend(&name, e.to_string()))?;
+        out.pixels_mut().copy_from_slice(frame.pixels());
+
+        let mut report = FrameReport::new(&name);
+        report.rows = map.height() as u64;
+        report.tiles = c.plan.jobs.len() as u64;
+        report.invalid_pixels = map.entries().iter().filter(|e| !e.is_valid()).count() as u64;
+        report.kv("frac_bits", self.frac_bits as f64);
+        report.kv("spes", self.runner.config().n_spes as f64);
+        report.kv("dma_bytes_in", cell.dma.bytes_in as f64);
+        report.kv("dma_bytes_out", cell.dma.bytes_out as f64);
+        report.kv("dma_cycles", cell.dma.cycles);
+        report.kv("ls_high_water", cell.ls_high_water as f64);
+        report.kv("redundancy", cell.redundancy);
+        report.kv("frame_cycles", cell.frame_cycles);
+        report.kv("model_fps", cell.fps);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisheye_core::correct_fixed;
+    use fisheye_geom::{FisheyeLens, PerspectiveView};
+
+    fn workload() -> (RemapMap, Image<Gray8>) {
+        let lens = FisheyeLens::equidistant_fov(160, 120, 180.0);
+        let view = PerspectiveView::centered(80, 60, 90.0);
+        let map = RemapMap::build(&lens, &view, 160, 120);
+        let src = pixmap::scene::random_gray(160, 120, 21);
+        (map, src)
+    }
+
+    #[test]
+    fn engine_bit_exact_vs_host_fixed() {
+        let (map, src) = workload();
+        let spec = EngineSpec::parse("cell").unwrap();
+        let engine = CellEngine::from_spec(&spec, CellConfig::default()).unwrap();
+        let mut out = Image::new(80, 60);
+        let report = engine.correct_frame(&src, &map, &mut out).unwrap();
+        assert_eq!(out, correct_fixed(&src, &map.to_fixed(12)));
+        assert_eq!(report.backend, "cell");
+        assert!(report.tiles > 0);
+        assert!(report.model.contains_key("dma_bytes_in"));
+        assert!(report.model["frame_cycles"] > 0.0);
+    }
+
+    #[test]
+    fn non_multiple_tiles_round_trip() {
+        // 80x60 output with 24x25 tiles: ragged right column and
+        // bottom row exercise the edge-tile path end to end
+        let (map, src) = workload();
+        let spec = EngineSpec::parse("cell:24x25").unwrap();
+        let engine = CellEngine::from_spec(&spec, CellConfig::default()).unwrap();
+        let mut out = Image::new(80, 60);
+        let report = engine.correct_frame(&src, &map, &mut out).unwrap();
+        assert_eq!(out, correct_fixed(&src, &map.to_fixed(12)));
+        // ceil(80/24) * ceil(60/25) = 4 * 3
+        assert_eq!(report.tiles, 12);
+    }
+
+    #[test]
+    fn empty_footprint_tiles_round_trip_through_engine() {
+        // narrow lens behind a wide view: some tiles contain only
+        // invalid LUT entries (no source footprint to DMA) — the
+        // engine must still produce the exact fixed-point reference,
+        // black corners included
+        let lens = FisheyeLens::equidistant_fov(160, 120, 100.0);
+        let view = PerspectiveView::centered(96, 96, 160.0);
+        let map = RemapMap::build(&lens, &view, 160, 120);
+        let src = pixmap::scene::random_gray(160, 120, 22);
+        let spec = EngineSpec::parse("cell:8x8").unwrap();
+        let engine = CellEngine::from_spec(&spec, CellConfig::default()).unwrap();
+        let plan = TilePlan::build(&map, 8, 8, Interpolator::Bilinear);
+        assert!(
+            plan.jobs.iter().any(|j| j.src.is_empty()),
+            "workload must include empty-footprint tiles"
+        );
+        let mut out = Image::new(96, 96);
+        let report = engine.correct_frame(&src, &map, &mut out).unwrap();
+        assert_eq!(out, correct_fixed(&src, &map.to_fixed(12)));
+        assert_eq!(out.pixel(0, 0), Gray8(0), "invalid corner must be black");
+        assert!(report.invalid_pixels > 0);
+    }
+
+    #[test]
+    fn rejects_non_cell_spec() {
+        assert!(CellEngine::from_spec(&EngineSpec::Serial, CellConfig::default()).is_err());
+    }
+
+    #[test]
+    fn oversized_tile_is_backend_error() {
+        let (map, src) = workload();
+        let spec = EngineSpec::parse("cell:80x60").unwrap();
+        let engine = CellEngine::from_spec(
+            &spec,
+            CellConfig {
+                local_store_bytes: 64 * 1024,
+                ..CellConfig::default()
+            },
+        )
+        .unwrap();
+        let mut out = Image::new(80, 60);
+        assert!(matches!(
+            engine.correct_frame(&src, &map, &mut out),
+            Err(EngineError::Backend { .. })
+        ));
+    }
+}

@@ -27,11 +27,13 @@
 //! sweet spot) derive from the real constraint structure.
 
 mod dma;
+pub mod engine;
 mod localstore;
 mod runner;
 mod spe;
 
 pub use dma::{DmaEngine, DmaStats};
+pub use engine::CellEngine;
 pub use localstore::{LocalStore, LsAlloc};
 pub use runner::{CellReport, CellRunner, SpeUsage};
 pub use spe::SpeKernel;

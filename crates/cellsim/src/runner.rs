@@ -105,12 +105,7 @@ impl CellRunner {
             );
             // static round-robin tile assignment (the paper's SPE
             // dispatch; tiles are uniform in output size)
-            let jobs: Vec<&TileJob> = plan
-                .jobs
-                .iter()
-                .skip(spe)
-                .step_by(n)
-                .collect();
+            let jobs: Vec<&TileJob> = plan.jobs.iter().skip(spe).step_by(n).collect();
             let mut in_cycles = Vec::with_capacity(jobs.len());
             let mut comp_cycles = Vec::with_capacity(jobs.len());
             let mut out_cycles = Vec::with_capacity(jobs.len());
@@ -156,10 +151,7 @@ impl CellRunner {
             ls_high = ls_high.max(ls.high_water());
         }
 
-        let frame_cycles = per_spe
-            .iter()
-            .map(|s| s.busy_cycles)
-            .fold(0.0f64, f64::max);
+        let frame_cycles = per_spe.iter().map(|s| s.busy_cycles).fold(0.0f64, f64::max);
         let (sw, sh) = map.src_dims();
         let report = CellReport {
             frame_cycles,
@@ -217,10 +209,7 @@ impl CellRunner {
                     let ray = view.pixel_ray(x as f64 + 0.5, y as f64 + 0.5);
                     entries[(y * out_w + x) as usize] = match lens.project(ray) {
                         Some((sx, sy))
-                            if sx >= 0.0
-                                && sx < src_w as f64
-                                && sy >= 0.0
-                                && sy < src_h as f64 =>
+                            if sx >= 0.0 && sx < src_w as f64 && sy >= 0.0 && sy < src_h as f64 =>
                         {
                             MapEntry {
                                 sx: sx as f32,

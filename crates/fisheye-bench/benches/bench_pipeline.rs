@@ -21,7 +21,7 @@ fn main() {
                     workers,
                     queue_capacity: 4,
                     interp: Interpolator::Bilinear,
-                    resequence: None,
+                    ..PipeConfig::default()
                 },
                 |_, _| {},
             ));

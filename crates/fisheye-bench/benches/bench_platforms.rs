@@ -29,7 +29,11 @@ fn main() {
     });
     let gen = FixedMapGen::typical();
     g.bench("stream_analysis_qvga", || {
-        black_box(streamsim::stream::analyze(&w.map, &gen, &StreamConfig::default()));
+        black_box(streamsim::stream::analyze(
+            &w.map,
+            &gen,
+            &StreamConfig::default(),
+        ));
     });
     g.bench("stream_mapgen_datapath_qvga", || {
         let mut gen = FixedMapGen::typical();

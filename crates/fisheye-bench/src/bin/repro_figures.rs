@@ -37,7 +37,13 @@ fn main() {
             lens.image_circle_radius() as i64,
             Gray8(255),
         );
-        draw::cross(&mut annotated, lens.cx as i64, lens.cy as i64, 8, Gray8(255));
+        draw::cross(
+            &mut annotated,
+            lens.cx as i64,
+            lens.cy as i64,
+            8,
+            Gray8(255),
+        );
 
         let corrected = correct(&captured, &persp_map, Interpolator::Bilinear);
         let panorama = correct(&captured, &cyl_map, Interpolator::Bilinear);

@@ -1,0 +1,6 @@
+//! Regenerates experiment t4_engine_reports (see DESIGN.md §3). Pass --full for
+//! paper-scale resolutions; CSV lands in the canonical results/ dir (override with FISHEYE_RESULTS_DIR).
+fn main() {
+    let scale = fisheye_bench::Scale::from_args();
+    fisheye_bench::experiments::t4_engine_reports::run(scale).emit("t4_engine_reports");
+}

@@ -37,7 +37,7 @@ pub fn run(scale: Scale) -> Table {
                     workers,
                     queue_capacity: queue,
                     interp: Interpolator::Bilinear,
-                    resequence: None,
+                    ..PipeConfig::default()
                 },
                 |_, _| {},
             );

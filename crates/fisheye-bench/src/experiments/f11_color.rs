@@ -44,12 +44,7 @@ pub fn run(scale: Scale) -> Table {
         format!("F11 — color format cost ({})", res.name),
         &["format", "ms_per_frame", "vs_gray", "bytes_per_px"],
     );
-    table.row(vec![
-        "gray".into(),
-        f2(t_gray * 1e3),
-        f2(1.0),
-        "1.0".into(),
-    ]);
+    table.row(vec!["gray".into(), f2(t_gray * 1e3), f2(1.0), "1.0".into()]);
     table.row(vec![
         "yuv420".into(),
         f2(t_yuv * 1e3),
@@ -75,7 +70,9 @@ mod tests {
     fn shape_yuv_between_gray_and_rgb() {
         let t = run(Scale::Quick);
         let v = |name: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[2].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         let yuv = v("yuv420");
         let rgb = v("rgb");

@@ -47,8 +47,11 @@ pub fn run(scale: Scale) -> Table {
             std::hint::black_box(correct(&w.frame, &map, Interpolator::Bilinear));
         });
         let lb = analyze_line_buffers(&map, Interpolator::Bilinear, 1);
-        let (_, gr) =
-            GpuRunner::new(GpuConfig::default()).correct_frame(&w.frame, &map, Interpolator::Bilinear);
+        let (_, gr) = GpuRunner::new(GpuConfig::default()).correct_frame(
+            &w.frame,
+            &map,
+            Interpolator::Bilinear,
+        );
         table.row(vec![
             proj.name().to_string(),
             f2(map.coverage()),
@@ -71,7 +74,9 @@ mod tests {
         let t = run(Scale::Quick);
         assert_eq!(t.rows.len(), 3);
         let cov = |name: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[1].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[1]
+                .parse()
+                .unwrap()
         };
         assert!(cov("cylindrical") > 0.95);
         assert!(cov("equirectangular") > 0.95);

@@ -83,7 +83,9 @@ pub fn run(scale: Scale) -> Table {
     ));
     table.note(format!(
         "measured columns use real threads on this host ({} cores available)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     ));
     table.note("expected shape: mapgen scales near-linearly; correction saturates at the memory wall (~4 threads)");
     table

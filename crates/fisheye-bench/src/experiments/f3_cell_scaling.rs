@@ -16,7 +16,13 @@ pub fn run(scale: Scale) -> Table {
 
     let mut table = Table::new(
         format!("F3 — Cell BE scaling ({}, 64x32 tiles)", res.name),
-        &["spes", "fps_double_buf", "fps_single_buf", "gain", "speedup_vs_1spe"],
+        &[
+            "spes",
+            "fps_double_buf",
+            "fps_single_buf",
+            "gain",
+            "speedup_vs_1spe",
+        ],
     );
     let mut fps1 = None;
     for n in 1..=6usize {

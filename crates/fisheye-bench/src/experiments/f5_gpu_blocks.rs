@@ -43,8 +43,7 @@ pub fn run(scale: Scale) -> Table {
             f2(r.dram_bytes as f64 / 1e6),
             if r.memory_bound { "mem" } else { "compute" }.to_string(),
         ]);
-        let (_, s) =
-            gpusim::correct_frame_staged(&cfg, &w.frame, &w.map, Interpolator::Bilinear);
+        let (_, s) = gpusim::correct_frame_staged(&cfg, &w.frame, &w.map, Interpolator::Bilinear);
         table.row(vec![
             "staged".into(),
             bt.to_string(),

@@ -27,7 +27,12 @@ fn case(scale: Scale) -> TestCase {
 /// Run the experiment.
 pub fn run(scale: Scale) -> Table {
     let case = case(scale);
-    let map = RemapMap::build(&case.lens, &case.view, case.distorted.width(), case.distorted.height());
+    let map = RemapMap::build(
+        &case.lens,
+        &case.view,
+        case.distorted.width(),
+        case.distorted.height(),
+    );
     let pixels = (case.view.width * case.view.height) as u64;
     let reps = 3;
 
@@ -120,10 +125,7 @@ mod tests {
     fn shape_quality_ordering() {
         let t = run(Scale::Quick);
         let psnr = |name: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[1]
+            t.rows.iter().find(|r| r[0] == name).unwrap()[1]
                 .parse()
                 .unwrap()
         };
@@ -131,8 +133,14 @@ mod tests {
         let bilinear = psnr("bilinear");
         let bicubic = psnr("bicubic");
         let baseline = psnr("brown-conrady+bilinear");
-        assert!(bilinear > nearest, "bilinear {bilinear} vs nearest {nearest}");
-        assert!(bicubic >= bilinear - 0.3, "bicubic {bicubic} vs bilinear {bilinear}");
+        assert!(
+            bilinear > nearest,
+            "bilinear {bilinear} vs nearest {nearest}"
+        );
+        assert!(
+            bicubic >= bilinear - 0.3,
+            "bicubic {bicubic} vs bilinear {bilinear}"
+        );
         assert!(
             baseline < bilinear - 3.0,
             "polynomial baseline {baseline} must trail the exact inverse {bilinear}"

@@ -6,6 +6,10 @@
 //! knee is), making the whole evaluation regression-checked.
 
 pub mod a1_ablations;
+pub mod f10_pipeline;
+pub mod f11_color;
+pub mod f12_projections;
+pub mod f13_cache;
 pub mod f1_smp_scaling;
 pub mod f2_scheduling;
 pub mod f3_cell_scaling;
@@ -15,19 +19,19 @@ pub mod f6_interp;
 pub mod f7_fixedpoint;
 pub mod f8_resolution;
 pub mod f9_lut_crossover;
-pub mod f10_pipeline;
-pub mod f11_color;
-pub mod f12_projections;
-pub mod f13_cache;
 pub mod t1_platforms;
 pub mod t2_traffic;
 pub mod t3_stream_resources;
+pub mod t4_engine_reports;
 
 use crate::table::Table;
 use crate::Scale;
 
-/// Every experiment: `(slug, runner)` in report order.
-pub fn all() -> Vec<(&'static str, fn(Scale) -> Table)> {
+/// One registered experiment: `(slug, runner)`.
+pub type Experiment = (&'static str, fn(Scale) -> Table);
+
+/// Every experiment in report order.
+pub fn all() -> Vec<Experiment> {
     vec![
         ("t1_platforms", t1_platforms::run as fn(Scale) -> Table),
         ("f1_smp_scaling", f1_smp_scaling::run),
@@ -41,6 +45,7 @@ pub fn all() -> Vec<(&'static str, fn(Scale) -> Table)> {
         ("f9_lut_crossover", f9_lut_crossover::run),
         ("t2_traffic", t2_traffic::run),
         ("t3_stream_resources", t3_stream_resources::run),
+        ("t4_engine_reports", t4_engine_reports::run),
         ("f10_pipeline", f10_pipeline::run),
         ("f11_color", f11_color::run),
         ("f12_projections", f12_projections::run),

@@ -1,10 +1,11 @@
 //! T1 — the headline platform comparison: corrected frames per second
 //! per platform per resolution.
 
-use cellsim::{CellConfig, CellRunner};
-use fisheye_core::{correct, Interpolator, TilePlan};
-use gpusim::{GpuConfig, GpuRunner};
+use fisheye::engine::{build_gray8, BuildCtx};
+use fisheye_core::engine::EngineSpec;
+use fisheye_core::{correct, Interpolator};
 use par_runtime::Schedule;
+use pixmap::Image;
 use streamsim::{FixedMapGen, StreamConfig};
 
 use crate::smp_model::{modeled_time, KernelProfile, SmpConfig};
@@ -47,30 +48,33 @@ pub fn run(scale: Scale) -> Table {
                 Schedule::Static { chunk: None },
             );
 
-        let fmap = w.map.to_fixed(12);
-        let plan = TilePlan::build(&w.map, 64, 32, Interpolator::Bilinear);
-        let cell = CellRunner::new(CellConfig::default())
-            .correct_frame(&w.frame, &fmap, &plan)
-            .map(|(_, r)| r.fps)
-            .unwrap_or(f64::NAN);
-        let (_, gr) = GpuRunner::new(GpuConfig::default()).correct_frame(
-            &w.frame,
-            &w.map,
-            Interpolator::Bilinear,
-        );
-        let sr = streamsim::stream::analyze(
-            &w.map,
-            &FixedMapGen::typical(),
-            &StreamConfig::default(),
-        );
-        let all = [1.0 / t1, smp8, cell, gr.fps, sr.fps];
+        // accelerator legs go through the engine layer: build by
+        // spec name, read the model's throughput from the report
+        let ctx = BuildCtx {
+            geometry: Some((&w.lens, &w.view)),
+            ..Default::default()
+        };
+        let model_fps = |name: &str| -> f64 {
+            let spec = EngineSpec::parse(name).expect("registry spec");
+            let engine = build_gray8(&spec, &ctx).expect("accelerator engine");
+            let mut out = Image::new(res.w, res.h);
+            engine
+                .correct_frame(&w.frame, &w.map, &mut out)
+                .map(|r| r.model.get("model_fps").copied().unwrap_or(f64::NAN))
+                .unwrap_or(f64::NAN)
+        };
+        let cell = model_fps("cell:64x32");
+        let gpu = model_fps("gpu");
+        let sr =
+            streamsim::stream::analyze(&w.map, &FixedMapGen::typical(), &StreamConfig::default());
+        let all = [1.0 / t1, smp8, cell, gpu, sr.fps];
         let rt = all.iter().filter(|f| **f >= 30.0).count();
         table.row(vec![
             res.name.to_string(),
             f1(1.0 / t1),
             f1(smp8),
             f1(cell),
-            f1(gr.fps),
+            f1(gpu),
             f1(sr.fps),
             format!("{rt}/5"),
         ]);

@@ -61,7 +61,11 @@ mod tests {
         assert!(rows[1] > rows[0], "line buffers must grow: {rows:?}");
         let fps: Vec<f64> = t.rows.iter().map(|r| r[5].parse().unwrap()).collect();
         assert!(fps[1] < fps[0]);
-        assert!(fps[1] > 30.0, "720p must be real-time at 150 MHz: {}", fps[1]);
+        assert!(
+            fps[1] > 30.0,
+            "720p must be real-time at 150 MHz: {}",
+            fps[1]
+        );
         // all feasible within the default budget
         for r in &t.rows {
             assert_eq!(r[6], "yes", "{:?}", r);

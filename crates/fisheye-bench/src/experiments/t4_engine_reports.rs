@@ -1,0 +1,110 @@
+//! T4 — engine observability: one frame through every registered
+//! backend, tabulating what its [`FrameReport`] attributes — wall
+//! time, rows/tiles of work, invalid pixels, and the backend model's
+//! headline statistic where one exists. This is the registry-driven
+//! complement to T1: same interface for every platform, uniform
+//! key/value section for the model-specific numbers.
+
+use fisheye::engine::{build_gray8, registry, BuildCtx, NumericClass};
+use pixmap::Image;
+
+use crate::table::{f1, f2, Table};
+use crate::workloads::{random_workload, resolution};
+use crate::Scale;
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Table {
+    let res = match scale {
+        Scale::Quick => resolution("VGA"),
+        Scale::Full => resolution("1080p"),
+    };
+    let w = random_workload(res, 4);
+    let mut table = Table::new(
+        format!("T4 — engine reports ({}, bilinear)", res.name),
+        &[
+            "backend",
+            "class",
+            "correct_ms",
+            "rows",
+            "tiles",
+            "invalid_px",
+            "model_fps",
+            "model_detail",
+        ],
+    );
+    let ctx = BuildCtx {
+        geometry: Some((&w.lens, &w.view)),
+        ..Default::default()
+    };
+    for spec in registry() {
+        let engine = build_gray8(&spec, &ctx).expect("registry spec builds");
+        let mut out = Image::new(res.w, res.h);
+        let report = engine
+            .correct_frame(&w.frame, &w.map, &mut out)
+            .expect("registry spec corrects");
+        let class = match spec.numeric_class() {
+            NumericClass::Float => "float".to_string(),
+            NumericClass::Fixed { frac_bits } => format!("q{frac_bits}"),
+        };
+        let model_fps = report
+            .model
+            .get("model_fps")
+            .map(|f| f1(*f))
+            .unwrap_or_else(|| "-".into());
+        // the rest of the uniform kv section, compacted
+        let detail: Vec<String> = report
+            .model_pairs()
+            .into_iter()
+            .filter(|p| !p.starts_with("model_fps="))
+            .take(3)
+            .collect();
+        table.row(vec![
+            report.backend.clone(),
+            class,
+            f2(report.correct_time.as_secs_f64() * 1e3),
+            report.rows.to_string(),
+            report.tiles.to_string(),
+            report.invalid_pixels.to_string(),
+            model_fps,
+            if detail.is_empty() {
+                "-".into()
+            } else {
+                detail.join(" ")
+            },
+        ]);
+    }
+    table.note("host backends report measured wall time; cell/gpu report the machine model's cycle-accurate fps");
+    table.note("every backend ran the same frame through the same CorrectionEngine interface");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_every_backend_reports() {
+        let t = run(Scale::Quick);
+        let names: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        for spec in registry() {
+            assert!(
+                names.contains(&spec.name().as_str()),
+                "{} missing from T4",
+                spec.name()
+            );
+        }
+        for r in &t.rows {
+            let backend = &r[0];
+            assert!(
+                r[3] != "0" || r[4] != "0",
+                "{backend}: no work attributed (rows and tiles both zero)"
+            );
+            let is_model = backend.starts_with("cell") || backend.starts_with("gpu");
+            if is_model {
+                let fps: f64 = r[6].parse().unwrap();
+                assert!(fps > 0.0, "{backend}: model fps {fps}");
+                assert_ne!(r[7], "-", "{backend}: model detail expected");
+            }
+        }
+    }
+}

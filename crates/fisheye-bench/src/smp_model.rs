@@ -160,7 +160,10 @@ mod tests {
         let k = mapgen_like();
         let coarse = modeled_time(&cfg, &k, 8, Schedule::Dynamic { chunk: 16 });
         let fine = modeled_time(&cfg, &k, 8, Schedule::Dynamic { chunk: 1 });
-        assert!(fine > coarse, "chunk=1 {fine} should cost more than chunk=16 {coarse}");
+        assert!(
+            fine > coarse,
+            "chunk=1 {fine} should cost more than chunk=16 {coarse}"
+        );
     }
 
     #[test]
@@ -201,6 +204,6 @@ mod tests {
         assert_eq!(chunk_count(100, 4, Schedule::Static { chunk: Some(8) }), 13);
         assert_eq!(chunk_count(100, 4, Schedule::Dynamic { chunk: 7 }), 15);
         let g = chunk_count(100, 4, Schedule::Guided { min_chunk: 4 });
-        assert!(g >= 4 && g <= 25, "guided chunks {g}");
+        assert!((4..=25).contains(&g), "guided chunks {g}");
     }
 }

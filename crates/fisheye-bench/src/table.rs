@@ -188,9 +188,6 @@ mod tests {
     fn formatters() {
         assert_eq!(f2(1.2345), "1.23");
         assert_eq!(f1(1.25), "1.2");
-        assert_eq!(
-            ns_per_px(std::time::Duration::from_micros(1), 100),
-            "10.00"
-        );
+        assert_eq!(ns_per_px(std::time::Duration::from_micros(1), 100), "10.00");
     }
 }

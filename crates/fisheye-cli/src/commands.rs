@@ -1,15 +1,17 @@
 //! Subcommand implementations.
 
-use std::error::Error;
-
+use fisheye::engine::{build_gray8, BuildCtx};
+use fisheye_core::engine::EngineSpec;
 use fisheye_core::synth::{capture_fisheye, World};
-use fisheye_core::{correct, correct_parallel, Interpolator, RemapMap};
+use fisheye_core::{correct, Interpolator, RemapMap};
 use fisheye_geom::calib::{select_model, Observation};
 use fisheye_geom::{FisheyeLens, OutputProjection, PerspectiveView};
-use par_runtime::{Schedule, ThreadPool};
+use par_runtime::Schedule;
 use pixmap::codec::{load_pgm, save_pgm};
+use pixmap::{Gray8, Image};
 
 use crate::args::{ArgError, Args};
+use crate::error::{with_path, CliError};
 
 /// Help text.
 pub const USAGE: &str = "\
@@ -19,20 +21,24 @@ USAGE:
   fisheye capture   --scene NAME --out FILE [--size WxH] [--fov DEG]
   fisheye correct   --in FILE --out FILE [--fov DEG] [--view-fov DEG]
                     [--pan DEG] [--tilt DEG] [--out-size WxH]
-                    [--interp nearest|bilinear|bicubic] [--threads N]
+                    [--interp nearest|bilinear|bicubic]
+                    [--backend NAME] [--threads N]
   fisheye panorama  --in FILE --out FILE [--mode cylindrical|equirect]
                     [--fov DEG] [--out-size WxH]
   fisheye stitch    --front FILE --back FILE --out FILE [--fov DEG]
                     [--out-size WxH]
   fisheye calibrate --obs FILE          (CSV lines: theta_rad,radius_px)
   fisheye info      --in FILE
+  fisheye backends                      (list correction backends)
   fisheye help
 
 Scenes: checker circles grid bricks text gradient sinusoid.
+Backends: run `fisheye backends` for the registry; parameterized forms
+like smp:dynamic:4, fixed:10, cell:64x32, gpu:512 are accepted too.
 All images are PGM.
 ";
 
-type CmdResult = Result<(), Box<dyn Error>>;
+type CmdResult = Result<(), CliError>;
 
 /// Route a parsed command line.
 pub fn dispatch(args: &Args) -> CmdResult {
@@ -43,9 +49,10 @@ pub fn dispatch(args: &Args) -> CmdResult {
         "stitch" => stitch(args),
         "calibrate" => calibrate(args),
         "info" => info(args),
-        other => Err(Box::new(ArgError(format!(
+        "backends" => backends(args),
+        other => Err(CliError::Usage(format!(
             "unknown subcommand '{other}' (run `fisheye help`)"
-        )))),
+        ))),
     }
 }
 
@@ -54,8 +61,12 @@ pub fn parse_size(s: &str) -> Result<(u32, u32), ArgError> {
     let (w, h) = s
         .split_once(['x', 'X'])
         .ok_or_else(|| ArgError(format!("size '{s}' is not WxH")))?;
-    let w: u32 = w.parse().map_err(|_| ArgError(format!("bad width '{w}'")))?;
-    let h: u32 = h.parse().map_err(|_| ArgError(format!("bad height '{h}'")))?;
+    let w: u32 = w
+        .parse()
+        .map_err(|_| ArgError(format!("bad width '{w}'")))?;
+    let h: u32 = h
+        .parse()
+        .map_err(|_| ArgError(format!("bad height '{h}'")))?;
     if w == 0 || h == 0 {
         return Err(ArgError("size must be positive".into()));
     }
@@ -74,6 +85,14 @@ pub fn parse_interp(s: &str) -> Result<Interpolator, ArgError> {
     }
 }
 
+fn read_pgm(path: &str) -> Result<Image<Gray8>, CliError> {
+    load_pgm(path).map_err(with_path(path))
+}
+
+fn write_pgm(img: &Image<Gray8>, path: &str) -> Result<(), CliError> {
+    save_pgm(img, path).map_err(with_path(path))
+}
+
 fn capture(args: &Args) -> CmdResult {
     args.allow_only(&["scene", "out", "size", "fov"])?;
     let scene_name = args.req("scene")?;
@@ -81,59 +100,96 @@ fn capture(args: &Args) -> CmdResult {
     let (w, h) = parse_size(args.opt("size", "640x480"))?;
     let fov: f64 = args.num("fov", 180.0)?;
     let scene = pixmap::scene::scene_by_name(scene_name).ok_or_else(|| {
-        ArgError(format!(
+        CliError::Usage(format!(
             "unknown scene '{scene_name}' (try: {})",
             pixmap::scene::SCENE_NAMES.join(" ")
         ))
     })?;
     let lens = FisheyeLens::equidistant_fov(w, h, fov);
     let img = capture_fisheye(scene.as_ref(), World::Spherical, &lens, w, h, 2);
-    save_pgm(&img, out)?;
+    write_pgm(&img, out)?;
     println!("captured '{scene_name}' through a {fov}° lens -> {out} ({w}x{h})");
     Ok(())
 }
 
 fn run_correct(args: &Args) -> CmdResult {
     args.allow_only(&[
-        "in", "out", "fov", "view-fov", "pan", "tilt", "out-size", "interp", "threads",
+        "in", "out", "fov", "view-fov", "pan", "tilt", "out-size", "interp", "threads", "backend",
     ])?;
-    let input = load_pgm(args.req("in")?)?;
-    let (sw, sh) = input.dims();
     let fov: f64 = args.num("fov", 180.0)?;
     let view_fov: f64 = args.num("view-fov", 90.0)?;
     let pan: f64 = args.num("pan", 0.0)?;
     let tilt: f64 = args.num("tilt", 0.0)?;
-    let (ow, oh) = parse_size(args.opt("out-size", &format!("{sw}x{sh}")))?;
     let interp = parse_interp(args.opt("interp", "bilinear"))?;
-    let threads: usize = args.num("threads", 1)?;
+    let mut threads: usize = args.num("threads", 1)?;
+    let mut spec = EngineSpec::parse(args.opt("backend", "serial")).map_err(CliError::Usage)?;
+    // back-compat: `--threads N` without an explicit backend means smp
+    if spec == EngineSpec::Serial && args.opt("backend", "serial") == "serial" && threads > 1 {
+        spec = EngineSpec::Smp {
+            schedule: Schedule::default_static(),
+        };
+    }
+    // an explicitly chosen smp backend without --threads gets a real
+    // pool rather than a 1-thread one
+    if matches!(spec, EngineSpec::Smp { .. }) && threads <= 1 {
+        threads = 4;
+    }
+    let input = read_pgm(args.req("in")?)?;
+    let (sw, sh) = input.dims();
+    let (ow, oh) = parse_size(args.opt("out-size", &format!("{sw}x{sh}")))?;
 
     let lens = FisheyeLens::equidistant_fov(sw, sh, fov);
     let view = PerspectiveView::centered(ow, oh, view_fov).look(pan, tilt);
     let t0 = std::time::Instant::now();
     let map = RemapMap::build(&lens, &view, sw, sh);
     let t_map = t0.elapsed();
-    let t0 = std::time::Instant::now();
-    let out_img = if threads > 1 {
-        let pool = ThreadPool::new(threads);
-        correct_parallel(&input, &map, interp, &pool, Schedule::Static { chunk: None })
-    } else {
-        correct(&input, &map, interp)
+
+    let ctx = BuildCtx {
+        interp,
+        threads: threads.max(1),
+        geometry: Some((&lens, &view)),
+        ..Default::default()
     };
-    let t_cor = t0.elapsed();
+    let engine = build_gray8(&spec, &ctx).map_err(|e| CliError::Usage(e.to_string()))?;
+    let mut out_img = Image::new(ow, oh);
+    let report = engine
+        .correct_frame(&input, &map, &mut out_img)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+
     let out = args.req("out")?;
-    save_pgm(&out_img, out)?;
+    write_pgm(&out_img, out)?;
     println!(
-        "corrected {sw}x{sh} -> {ow}x{oh} ({}): map {:.1} ms, correct {:.1} ms -> {out}",
+        "corrected {sw}x{sh} -> {ow}x{oh} ({}, backend {}): map {:.1} ms, correct {:.1} ms -> {out}",
         interp.name(),
+        report.backend,
         t_map.as_secs_f64() * 1e3,
-        t_cor.as_secs_f64() * 1e3
+        report.correct_time.as_secs_f64() * 1e3
     );
+    if !report.model.is_empty() {
+        println!("  model: {}", report.model_pairs().join(" "));
+    }
+    Ok(())
+}
+
+fn backends(args: &Args) -> CmdResult {
+    args.allow_only(&[])?;
+    println!("registered correction backends:");
+    for spec in fisheye::engine::registry() {
+        let class = match spec.numeric_class() {
+            fisheye::engine::NumericClass::Float => "float".to_string(),
+            fisheye::engine::NumericClass::Fixed { frac_bits } => {
+                format!("fixed-point q{frac_bits}")
+            }
+        };
+        let kind = if spec.is_host() { "host" } else { "model" };
+        println!("  {:<8} {kind:<6} {class}", spec.name());
+    }
     Ok(())
 }
 
 fn panorama(args: &Args) -> CmdResult {
     args.allow_only(&["in", "out", "mode", "fov", "out-size"])?;
-    let input = load_pgm(args.req("in")?)?;
+    let input = read_pgm(args.req("in")?)?;
     let (sw, sh) = input.dims();
     let fov: f64 = args.num("fov", 180.0)?;
     let (ow, oh) = parse_size(args.opt("out-size", "800x300"))?;
@@ -142,30 +198,33 @@ fn panorama(args: &Args) -> CmdResult {
         "cylindrical" => OutputProjection::cylinder_180(ow, oh, 40.0),
         "equirect" => OutputProjection::equirect_hemisphere(ow, oh),
         _ => {
-            return Err(Box::new(ArgError(format!(
+            return Err(CliError::Usage(format!(
                 "unknown mode '{mode}' (cylindrical|equirect)"
-            ))))
+            )))
         }
     };
     let lens = FisheyeLens::equidistant_fov(sw, sh, fov);
     let map = RemapMap::build_projection(&lens, &proj, sw, sh);
     let out_img = correct(&input, &map, Interpolator::Bilinear);
     let out = args.req("out")?;
-    save_pgm(&out_img, out)?;
-    println!("{mode} panorama {ow}x{oh} -> {out} (coverage {:.0}%)", map.coverage() * 100.0);
+    write_pgm(&out_img, out)?;
+    println!(
+        "{mode} panorama {ow}x{oh} -> {out} (coverage {:.0}%)",
+        map.coverage() * 100.0
+    );
     Ok(())
 }
 
 fn stitch(args: &Args) -> CmdResult {
     args.allow_only(&["front", "back", "out", "fov", "out-size"])?;
-    let front = load_pgm(args.req("front")?)?;
-    let back = load_pgm(args.req("back")?)?;
+    let front = read_pgm(args.req("front")?)?;
+    let back = read_pgm(args.req("back")?)?;
     if front.dims() != back.dims() {
-        return Err(Box::new(ArgError(format!(
+        return Err(CliError::Usage(format!(
             "front {:?} and back {:?} must match",
             front.dims(),
             back.dims()
-        ))));
+        )));
     }
     let fov: f64 = args.num("fov", 190.0)?;
     let (ow, oh) = parse_size(args.opt("out-size", "1024x512"))?;
@@ -173,7 +232,7 @@ fn stitch(args: &Args) -> CmdResult {
     let map = fisheye_core::StitchMap::build(&rig, ow, oh);
     let pano = map.stitch(&front, &back, Interpolator::Bilinear);
     let out = args.req("out")?;
-    save_pgm(&pano, out)?;
+    write_pgm(&pano, out)?;
     println!(
         "stitched 360° panorama {ow}x{oh} -> {out} (overlap {:.1}%)",
         map.overlap_fraction() * 100.0
@@ -183,23 +242,33 @@ fn stitch(args: &Args) -> CmdResult {
 
 fn calibrate(args: &Args) -> CmdResult {
     args.allow_only(&["obs"])?;
-    let text = std::fs::read_to_string(args.req("obs")?)?;
+    let path = args.req("obs")?;
+    let text = std::fs::read_to_string(path).map_err(with_path(path))?;
     let mut obs = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (t, r) = line.split_once(',').ok_or_else(|| {
-            ArgError(format!("line {}: expected 'theta,radius'", lineno + 1))
-        })?;
+        let bad_line = |what: &str| CliError::Runtime(format!("{path}:{}: {what}", lineno + 1));
+        let (t, r) = line
+            .split_once(',')
+            .ok_or_else(|| bad_line("expected 'theta,radius'"))?;
         obs.push(Observation {
-            theta: t.trim().parse()?,
-            radius_px: r.trim().parse()?,
+            theta: t
+                .trim()
+                .parse()
+                .map_err(|_| bad_line(&format!("bad theta '{}'", t.trim())))?,
+            radius_px: r
+                .trim()
+                .parse()
+                .map_err(|_| bad_line(&format!("bad radius '{}'", r.trim())))?,
         });
     }
     if obs.len() < 2 {
-        return Err(Box::new(ArgError("need at least two observations".into())));
+        return Err(CliError::Runtime(format!(
+            "{path}: need at least two observations"
+        )));
     }
     let (model, focal, rms) = select_model(&obs);
     println!(
@@ -213,7 +282,7 @@ fn calibrate(args: &Args) -> CmdResult {
 fn info(args: &Args) -> CmdResult {
     args.allow_only(&["in"])?;
     let path = args.req("in")?;
-    let img = load_pgm(path)?;
+    let img = read_pgm(path)?;
     let (w, h) = img.dims();
     let mut min = u8::MAX;
     let mut max = 0u8;
@@ -279,6 +348,60 @@ mod tests {
     }
 
     #[test]
+    fn every_registry_backend_selectable_by_name() {
+        let dir = std::env::temp_dir().join("fisheye_cli_backends");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cap = dir.join("cap.pgm");
+        run(&format!(
+            "capture --scene circles --out {} --size 128x96",
+            cap.display()
+        ))
+        .unwrap();
+        let reference = {
+            let flat = dir.join("flat-serial.pgm");
+            run(&format!(
+                "correct --in {} --out {} --view-fov 80 --out-size 64x48 --backend serial",
+                cap.display(),
+                flat.display()
+            ))
+            .unwrap();
+            load_pgm(&flat).unwrap()
+        };
+        for spec in fisheye::engine::registry() {
+            let name = spec.name();
+            let flat = dir.join(format!("flat-{}.pgm", name.replace(':', "_")));
+            run(&format!(
+                "correct --in {} --out {} --view-fov 80 --out-size 64x48 --backend {name}",
+                cap.display(),
+                flat.display()
+            ))
+            .unwrap_or_else(|e| panic!("backend {name}: {e}"));
+            let img = load_pgm(&flat).unwrap();
+            assert_eq!(img.dims(), (64, 48), "backend {name}");
+            // float backends must exactly reproduce the serial output
+            if spec.numeric_class() == fisheye::engine::NumericClass::Float {
+                assert_eq!(img, reference, "backend {name}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backends_subcommand_lists_registry() {
+        run("backends").unwrap();
+    }
+
+    #[test]
+    fn unknown_backend_is_usage_error() {
+        // arguments are validated before any file I/O, so the bad
+        // backend name wins over the missing input file
+        let e =
+            run("correct --in /nonexistent.pgm --out /tmp/x.pgm --backend warp-drive").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "unknown backend is a usage error: {e}");
+        assert!(e.to_string().contains("warp-drive"), "{e}");
+    }
+
+    #[test]
     fn panorama_and_stitch_via_files() {
         let dir = std::env::temp_dir().join("fisheye_cli_test2");
         std::fs::create_dir_all(&dir).unwrap();
@@ -324,10 +447,31 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_reported() {
-        assert!(run("nope").is_err());
-        assert!(run("capture --scene nope --out /tmp/x.pgm").is_err());
-        assert!(run("correct --in /does/not/exist.pgm --out /tmp/x.pgm").is_err());
-        assert!(run("panorama --in /does/not/exist.pgm --out /tmp/x.pgm --mode weird").is_err());
+    fn errors_are_reported_with_exit_codes() {
+        let e = run("nope").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "unknown subcommand is a usage error");
+        let e = run("capture --scene nope --out /tmp/x.pgm").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "unknown scene is a usage error");
+        let e = run("correct --in /does/not/exist.pgm --out /tmp/x.pgm").unwrap_err();
+        assert_eq!(e.exit_code(), 1, "missing input is a runtime error");
+        assert!(
+            e.to_string().contains("/does/not/exist.pgm"),
+            "error names the offending path: {e}"
+        );
+        let e = run("panorama --in /does/not/exist.pgm --out /tmp/x.pgm --mode weird").unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+        let e = run("calibrate --obs /does/not/exist.csv").unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+    }
+
+    #[test]
+    fn bad_calibration_line_pinpointed() {
+        let dir = std::env::temp_dir().join("fisheye_cli_test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = dir.join("obs.csv");
+        std::fs::write(&obs, "0.1,20\nnot-a-number,30\n").unwrap();
+        let e = run(&format!("calibrate --obs {}", obs.display())).unwrap_err();
+        assert!(e.to_string().contains(":2:"), "line number in: {e}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,73 @@
+//! CLI error type: one-line messages and meaningful exit codes
+//! instead of panic backtraces.
+
+use crate::args::ArgError;
+
+/// What went wrong, classified by whose fault it is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line is wrong (unknown option, bad value, unknown
+    /// backend …) — exit code 2, the conventional usage-error code.
+    Usage(String),
+    /// The command line is fine but the operation failed (missing
+    /// file, unreadable image, …) — exit code 1.
+    Runtime(String),
+}
+
+impl CliError {
+    /// Process exit code for this error class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e.0)
+    }
+}
+
+/// Attach a file path to an I/O-ish error, keeping it to one line.
+pub fn with_path<E: std::fmt::Display>(path: &str) -> impl Fn(E) -> CliError + '_ {
+    move |e| CliError::Runtime(format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Runtime("x".into()).exit_code(), 1);
+    }
+
+    #[test]
+    fn arg_errors_are_usage_errors() {
+        let e: CliError = ArgError("bad flag".into()).into();
+        assert_eq!(e, CliError::Usage("bad flag".into()));
+        assert_eq!(e.to_string(), "bad flag");
+    }
+
+    #[test]
+    fn with_path_prefixes() {
+        let f = with_path("a.pgm");
+        assert_eq!(
+            f("no such file"),
+            CliError::Runtime("a.pgm: no such file".into())
+        );
+    }
+}

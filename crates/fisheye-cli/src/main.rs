@@ -4,19 +4,23 @@
 //! fisheye capture  --scene grid --out cap.pgm [--size 640x480] [--fov 180]
 //! fisheye correct  --in cap.pgm --out flat.pgm [--fov 180] [--view-fov 90]
 //!                  [--pan 0] [--tilt 0] [--out-size 640x480]
-//!                  [--interp bilinear] [--threads 1]
+//!                  [--interp bilinear] [--backend serial] [--threads 1]
 //! fisheye panorama --in cap.pgm --out pano.pgm [--mode cylindrical|equirect]
 //!                  [--fov 180] [--out-size 800x300]
 //! fisheye stitch   --front f.pgm --back b.pgm --out pano.pgm [--fov 190]
 //!                  [--out-size 1024x512]
 //! fisheye calibrate --obs obs.csv            # lines of "theta_rad,radius_px"
 //! fisheye info     --in img.pgm
+//! fisheye backends                           # list correction backends
 //! ```
 //!
-//! All raster I/O is PGM (binary or ASCII).
+//! All raster I/O is PGM (binary or ASCII). Errors are reported as a
+//! single `error: …` line; the exit code is 2 for usage errors and 1
+//! for runtime failures (see [`error::CliError`]).
 
 mod args;
 mod commands;
+mod error;
 
 use args::Args;
 
@@ -36,6 +40,6 @@ fn main() {
     };
     if let Err(e) = commands::dispatch(&args) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }

@@ -51,13 +51,19 @@ pub fn jacobian(map: &RemapMap, x: u32, y: u32) -> Option<[(f32, f32); 2]> {
         let e = map.entry(xx as u32, yy as u32);
         e.is_valid().then_some((e.sx, e.sy))
     };
-    let dx = match (sample(x as i64 - 1, y as i64), sample(x as i64 + 1, y as i64)) {
+    let dx = match (
+        sample(x as i64 - 1, y as i64),
+        sample(x as i64 + 1, y as i64),
+    ) {
         (Some(a), Some(b)) => Some(((b.0 - a.0) / 2.0, (b.1 - a.1) / 2.0)),
         (Some(a), None) => Some((e.sx - a.0, e.sy - a.1)),
         (None, Some(b)) => Some((b.0 - e.sx, b.1 - e.sy)),
         (None, None) => None,
     }?;
-    let dy = match (sample(x as i64, y as i64 - 1), sample(x as i64, y as i64 + 1)) {
+    let dy = match (
+        sample(x as i64, y as i64 - 1),
+        sample(x as i64, y as i64 + 1),
+    ) {
         (Some(a), Some(b)) => Some(((b.0 - a.0) / 2.0, (b.1 - a.1) / 2.0)),
         (Some(a), None) => Some((e.sx - a.0, e.sy - a.1)),
         (None, Some(b)) => Some((b.0 - e.sx, b.1 - e.sy)),
@@ -76,11 +82,7 @@ pub fn jacobian_steps(map: &RemapMap, x: u32, y: u32) -> Option<(f32, f32)> {
 /// bilinear where the map magnifies (step < threshold); elsewhere
 /// averages a `g×g` bilinear tap grid spanning the local footprint,
 /// with `g = min(ceil(step), max_grid)` per axis.
-pub fn correct_antialiased<P: Pixel>(
-    src: &Image<P>,
-    map: &RemapMap,
-    cfg: &AaConfig,
-) -> Image<P> {
+pub fn correct_antialiased<P: Pixel>(src: &Image<P>, map: &RemapMap, cfg: &AaConfig) -> Image<P> {
     assert!(cfg.max_grid >= 1, "grid must be at least 1");
     let mut out = Image::new(map.width(), map.height());
     for y in 0..map.height() {

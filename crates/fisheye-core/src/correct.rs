@@ -82,6 +82,18 @@ pub fn correct_parallel<P: Pixel>(
 /// inner loop.
 pub fn correct_fixed(src: &Image<Gray8>, map: &FixedRemapMap) -> Image<Gray8> {
     let mut out = Image::new(map.width(), map.height());
+    correct_fixed_into(src, map, &mut out);
+    out
+}
+
+/// [`correct_fixed`] into a pre-allocated output image (dimensions
+/// must match the map).
+pub fn correct_fixed_into(src: &Image<Gray8>, map: &FixedRemapMap, out: &mut Image<Gray8>) {
+    assert_eq!(
+        out.dims(),
+        (map.width(), map.height()),
+        "output dimensions must match the map"
+    );
     assert_eq!(src.dims(), map.src_dims(), "source dimensions must match");
     let frac = map.frac_bits();
     for y in 0..map.height() {
@@ -95,7 +107,6 @@ pub fn correct_fixed(src: &Image<Gray8>, map: &FixedRemapMap) -> Image<Gray8> {
             };
         }
     }
-    out
 }
 
 /// Direct (LUT-free) correction: recompute the mapping per pixel every

@@ -1,0 +1,1175 @@
+//! The correction-engine layer: one interface over every execution
+//! path.
+//!
+//! The paper's central move is running *one* undistortion kernel on
+//! several platforms (serial host, SMP, Cell SPEs, GPU) and comparing
+//! them. This module gives the repo the same shape: an [`EngineSpec`]
+//! names an execution path, a [`CorrectionEngine`] runs frames through
+//! it, and every run returns a [`FrameReport`] — a uniform
+//! observability payload (phase timing, rows/tiles processed, invalid
+//! pixels, and backend-specific model statistics folded into one
+//! key/value section) that `PipelineStats`, the videopipe latency
+//! accounting and the bench CSV emission all consume.
+//!
+//! Host paths (`serial`, `smp`, `direct`, `fixed`, `simd`) are
+//! implemented here; the accelerator models (`cell` in `cellsim`,
+//! `gpu` in `gpusim`) implement [`CorrectionEngine`] in their own
+//! crates, and the `fisheye` facade crate's `engine` module resolves
+//! *any* spec to a boxed engine. Adding the next backend means
+//! implementing the trait in one file and registering its spec — no
+//! consumer changes.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use fisheye_geom::{FisheyeLens, PerspectiveView};
+use par_runtime::sync::Mutex;
+use par_runtime::{Schedule, ThreadPool};
+use pixmap::{Gray8, GrayF32, Image, Pixel};
+
+use crate::correct::{correct_fixed_into, correct_row};
+use crate::interp::Interpolator;
+use crate::map::{FixedRemapMap, RemapMap};
+use crate::simd;
+
+/// Default fractional weight bits for the quantized (fixed-point)
+/// paths — the accuracy knee of experiment F7.
+pub const DEFAULT_FRAC_BITS: u32 = 12;
+/// Default Cell tile size (the F4 sweet spot for the default config).
+pub const DEFAULT_TILE: (u32, u32) = (32, 16);
+/// Default GPU threads per block.
+pub const DEFAULT_GPU_BLOCK: usize = 256;
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why an engine could not be built or could not run a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The (spec, pixel type, context) combination has no
+    /// implementation — e.g. the integer datapath on float pixels, or
+    /// an accelerator spec handed to the host-only builder.
+    Unsupported {
+        /// Canonical backend name.
+        backend: String,
+        /// What is missing.
+        reason: String,
+    },
+    /// The backend exists but failed on this frame (dimension
+    /// mismatch, local-store overflow, …).
+    Backend {
+        /// Canonical backend name.
+        backend: String,
+        /// Failure description.
+        message: String,
+    },
+}
+
+impl EngineError {
+    /// Convenience constructor for [`EngineError::Unsupported`].
+    pub fn unsupported(backend: impl Into<String>, reason: impl Into<String>) -> Self {
+        EngineError::Unsupported {
+            backend: backend.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`EngineError::Backend`].
+    pub fn backend(backend: impl Into<String>, message: impl Into<String>) -> Self {
+        EngineError::Backend {
+            backend: backend.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Unsupported { backend, reason } => {
+                write!(f, "backend '{backend}' unsupported here: {reason}")
+            }
+            EngineError::Backend { backend, message } => {
+                write!(f, "backend '{backend}' failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+// ---------------------------------------------------------------------
+// FrameReport
+// ---------------------------------------------------------------------
+
+/// Per-frame execution report — the one observability type every
+/// consumer reads.
+///
+/// The fixed fields cover what every backend can report; anything
+/// platform-specific (DMA bytes, cache hit rates, modeled cycles)
+/// goes into the uniform [`FrameReport::model`] key/value section so
+/// downstream code (stats accumulation, CSV emission) never needs a
+/// per-backend type.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FrameReport {
+    /// Canonical spec name of the engine that produced the frame.
+    pub backend: String,
+    /// Wall-clock time of the correction phase on this machine (for
+    /// modeled platforms this is the functional simulation time; the
+    /// modeled frame time is in `model["frame_cycles"]`).
+    pub correct_time: Duration,
+    /// Output rows processed.
+    pub rows: u64,
+    /// Tiles/blocks processed (0 for row-oriented paths).
+    pub tiles: u64,
+    /// Output pixels with no valid source mapping (rendered black).
+    pub invalid_pixels: u64,
+    /// Backend-specific statistics, flattened to `name -> value`.
+    pub model: BTreeMap<String, f64>,
+}
+
+impl FrameReport {
+    /// Empty report for a backend.
+    pub fn new(backend: impl Into<String>) -> Self {
+        FrameReport {
+            backend: backend.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Insert a model statistic.
+    pub fn kv(&mut self, key: &str, value: f64) {
+        self.model.insert(key.to_string(), value);
+    }
+
+    /// The model section as sorted `key=value` strings (CSV/report
+    /// emission).
+    pub fn model_pairs(&self) -> Vec<String> {
+        self.model
+            .iter()
+            .map(|(k, v)| format!("{k}={v:.6}"))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// EngineSpec: naming + parsing + registry
+// ---------------------------------------------------------------------
+
+/// Numeric class of a backend: what serial reference its output must
+/// be bit-exact with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumericClass {
+    /// Float arithmetic — reference is [`crate::correct`] with the
+    /// same interpolator.
+    Float,
+    /// Integer datapath through a quantized LUT — reference is
+    /// [`crate::correct_fixed`] with the same weight width.
+    Fixed {
+        /// Fractional weight bits of the quantized LUT.
+        frac_bits: u32,
+    },
+}
+
+/// A named execution path. `spec.name()` and [`EngineSpec::parse`]
+/// round-trip, and [`EngineSpec::registry`] lists one canonical spec
+/// per backend — the same names `fisheye-cli --backend` accepts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EngineSpec {
+    /// Single-threaded host reference (`serial`).
+    Serial,
+    /// Multicore host path over a thread pool (`smp`,
+    /// `smp:dynamic:2`, …).
+    Smp {
+        /// Row-distribution policy.
+        schedule: Schedule,
+    },
+    /// LUT-free per-pixel recomputation (`direct`, the F9 comparison
+    /// mode). Needs lens + view geometry.
+    Direct,
+    /// Integer-only host path through a quantized LUT (`fixed`,
+    /// `fixed:10`).
+    FixedPoint {
+        /// Fractional weight bits.
+        frac_bits: u32,
+    },
+    /// 4-lane SoA bilinear kernel (`simd`). Bilinear only.
+    Simd,
+    /// Cell/B.E. tiled local-store model (`cell`, `cell:64x32`,
+    /// `cell:32x16:single`, `cell:q10`). Implemented in `cellsim`.
+    Cell {
+        /// Tile width in output pixels.
+        tile_w: u32,
+        /// Tile height in output pixels.
+        tile_h: u32,
+        /// Overlap DMA with compute.
+        double_buffer: bool,
+        /// Fractional weight bits of the SPE integer kernel.
+        frac_bits: u32,
+    },
+    /// SIMT GPU model (`gpu`, `gpu:512`). Implemented in `gpusim`.
+    Gpu {
+        /// Threads per block.
+        block_threads: usize,
+    },
+}
+
+impl EngineSpec {
+    /// Canonical name. Default parameters are omitted so the registry
+    /// names stay short (`cell`, not `cell:32x16:double:q12`).
+    pub fn name(&self) -> String {
+        match *self {
+            EngineSpec::Serial => "serial".into(),
+            EngineSpec::Smp { schedule } => match schedule {
+                Schedule::Static { chunk: None } => "smp".into(),
+                Schedule::Static { chunk: Some(c) } => format!("smp:static:{c}"),
+                Schedule::Dynamic { chunk } => format!("smp:dynamic:{chunk}"),
+                Schedule::Guided { min_chunk } => format!("smp:guided:{min_chunk}"),
+            },
+            EngineSpec::Direct => "direct".into(),
+            EngineSpec::FixedPoint { frac_bits } => {
+                if frac_bits == DEFAULT_FRAC_BITS {
+                    "fixed".into()
+                } else {
+                    format!("fixed:{frac_bits}")
+                }
+            }
+            EngineSpec::Simd => "simd".into(),
+            EngineSpec::Cell {
+                tile_w,
+                tile_h,
+                double_buffer,
+                frac_bits,
+            } => {
+                let mut s = "cell".to_string();
+                if (tile_w, tile_h) != DEFAULT_TILE {
+                    s.push_str(&format!(":{tile_w}x{tile_h}"));
+                }
+                if !double_buffer {
+                    s.push_str(":single");
+                }
+                if frac_bits != DEFAULT_FRAC_BITS {
+                    s.push_str(&format!(":q{frac_bits}"));
+                }
+                s
+            }
+            EngineSpec::Gpu { block_threads } => {
+                if block_threads == DEFAULT_GPU_BLOCK {
+                    "gpu".into()
+                } else {
+                    format!("gpu:{block_threads}")
+                }
+            }
+        }
+    }
+
+    /// One canonical spec per backend, in report order. Every entry
+    /// here is exercised by `tests/platform_consistency.rs` and
+    /// selectable via `fisheye-cli --backend <name>`.
+    pub fn registry() -> Vec<EngineSpec> {
+        vec![
+            EngineSpec::Serial,
+            EngineSpec::Smp {
+                schedule: Schedule::default_static(),
+            },
+            EngineSpec::Direct,
+            EngineSpec::FixedPoint {
+                frac_bits: DEFAULT_FRAC_BITS,
+            },
+            EngineSpec::Simd,
+            EngineSpec::Cell {
+                tile_w: DEFAULT_TILE.0,
+                tile_h: DEFAULT_TILE.1,
+                double_buffer: true,
+                frac_bits: DEFAULT_FRAC_BITS,
+            },
+            EngineSpec::Gpu {
+                block_threads: DEFAULT_GPU_BLOCK,
+            },
+        ]
+    }
+
+    /// Parse a spec name. Accepts everything [`EngineSpec::name`]
+    /// emits plus parameterized forms:
+    /// `smp[:static[:C]|:dynamic[:C]|:guided[:M]]`, `fixed[:BITS]`,
+    /// `cell[:WxH][:single|:double][:qBITS]`, `gpu[:THREADS]`.
+    pub fn parse(s: &str) -> Result<EngineSpec, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        let rest: Vec<&str> = parts.collect();
+        let no_params = |rest: &[&str], name: &str| -> Result<(), String> {
+            if rest.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("backend '{name}' takes no parameters"))
+            }
+        };
+        match head {
+            "serial" => {
+                no_params(&rest, "serial")?;
+                Ok(EngineSpec::Serial)
+            }
+            "direct" => {
+                no_params(&rest, "direct")?;
+                Ok(EngineSpec::Direct)
+            }
+            "simd" => {
+                no_params(&rest, "simd")?;
+                Ok(EngineSpec::Simd)
+            }
+            "smp" => {
+                let schedule = match rest.as_slice() {
+                    [] | ["static"] => Schedule::Static { chunk: None },
+                    ["static", c] => Schedule::Static {
+                        chunk: Some(parse_num(c, "static chunk")?),
+                    },
+                    ["dynamic"] => Schedule::Dynamic { chunk: 1 },
+                    ["dynamic", c] => Schedule::Dynamic {
+                        chunk: parse_num(c, "dynamic chunk")?,
+                    },
+                    ["guided"] => Schedule::Guided { min_chunk: 1 },
+                    ["guided", m] => Schedule::Guided {
+                        min_chunk: parse_num(m, "guided min chunk")?,
+                    },
+                    _ => return Err(format!("bad smp schedule in '{s}'")),
+                };
+                Ok(EngineSpec::Smp { schedule })
+            }
+            "fixed" => {
+                let frac_bits = match rest.as_slice() {
+                    [] => DEFAULT_FRAC_BITS,
+                    [b] => parse_num(b, "fixed frac bits")?,
+                    _ => return Err(format!("bad fixed spec '{s}'")),
+                };
+                if !(1..=15).contains(&frac_bits) {
+                    return Err(format!("fixed frac bits must be 1..=15, got {frac_bits}"));
+                }
+                Ok(EngineSpec::FixedPoint { frac_bits })
+            }
+            "cell" => {
+                let (mut tile_w, mut tile_h) = DEFAULT_TILE;
+                let mut double_buffer = true;
+                let mut frac_bits = DEFAULT_FRAC_BITS;
+                for tok in rest {
+                    if tok == "single" {
+                        double_buffer = false;
+                    } else if tok == "double" {
+                        double_buffer = true;
+                    } else if let Some(b) = tok.strip_prefix('q') {
+                        frac_bits = parse_num(b, "cell frac bits")?;
+                    } else if let Some((w, h)) = tok.split_once('x') {
+                        tile_w = parse_num(w, "cell tile width")?;
+                        tile_h = parse_num(h, "cell tile height")?;
+                        if tile_w == 0 || tile_h == 0 {
+                            return Err("cell tile dimensions must be positive".into());
+                        }
+                    } else {
+                        return Err(format!("bad cell parameter '{tok}' in '{s}'"));
+                    }
+                }
+                if !(1..=15).contains(&frac_bits) {
+                    return Err(format!("cell frac bits must be 1..=15, got {frac_bits}"));
+                }
+                Ok(EngineSpec::Cell {
+                    tile_w,
+                    tile_h,
+                    double_buffer,
+                    frac_bits,
+                })
+            }
+            "gpu" => {
+                let block_threads = match rest.as_slice() {
+                    [] => DEFAULT_GPU_BLOCK,
+                    [t] => parse_num(t, "gpu block threads")?,
+                    _ => return Err(format!("bad gpu spec '{s}'")),
+                };
+                if block_threads == 0 || block_threads % 32 != 0 {
+                    return Err(format!(
+                        "gpu block threads must be a positive multiple of 32, got {block_threads}"
+                    ));
+                }
+                Ok(EngineSpec::Gpu { block_threads })
+            }
+            other => {
+                let names: Vec<String> = EngineSpec::registry().iter().map(|s| s.name()).collect();
+                Err(format!(
+                    "unknown backend '{other}' (registered: {})",
+                    names.join(" ")
+                ))
+            }
+        }
+    }
+
+    /// Which serial reference this backend's output must match
+    /// bit-exactly.
+    pub fn numeric_class(&self) -> NumericClass {
+        match *self {
+            EngineSpec::FixedPoint { frac_bits } | EngineSpec::Cell { frac_bits, .. } => {
+                NumericClass::Fixed { frac_bits }
+            }
+            _ => NumericClass::Float,
+        }
+    }
+
+    /// True when this spec is one of the host paths this module can
+    /// execute itself (the accelerator models live in `cellsim` /
+    /// `gpusim`).
+    pub fn is_host(&self) -> bool {
+        !matches!(self, EngineSpec::Cell { .. } | EngineSpec::Gpu { .. })
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{what}: cannot parse '{s}'"))
+}
+
+// ---------------------------------------------------------------------
+// The engine trait and pixel-capability plumbing
+// ---------------------------------------------------------------------
+
+/// One execution path, prepared and ready to correct frames.
+///
+/// Implementations must be bit-exact with the serial reference of
+/// their [`NumericClass`]: the engine layer may route any consumer's
+/// frames through any backend, so "simulate" and "compute" must be
+/// indistinguishable functionally.
+pub trait CorrectionEngine<P: Pixel>: Send + Sync {
+    /// Canonical spec name ([`EngineSpec::name`]).
+    fn name(&self) -> String;
+
+    /// Correct `src` through `map` into `out` (dimensions must match
+    /// the map) and report what happened.
+    fn correct_frame(
+        &self,
+        src: &Image<P>,
+        map: &RemapMap,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError>;
+}
+
+/// Pixel types the engine layer can route: the float kernels work for
+/// every [`Pixel`], while the integer and SoA-SIMD datapaths exist
+/// only for specific types. The capability flags let builders reject
+/// unsupported (spec, pixel) pairs up front.
+pub trait EnginePixel: Pixel {
+    /// An integer (quantized-LUT) datapath exists for this type.
+    const HAS_FIXED: bool = false;
+    /// The 4-lane SoA bilinear kernel exists for this type.
+    const HAS_SIMD: bool = false;
+
+    /// Integer-datapath correction (bit-exact with
+    /// [`crate::correct_fixed`]).
+    fn fixed_kernel(
+        _src: &Image<Self>,
+        _map: &FixedRemapMap,
+        _out: &mut Image<Self>,
+    ) -> Result<(), EngineError> {
+        Err(EngineError::unsupported(
+            "fixed",
+            "no integer datapath for this pixel type",
+        ))
+    }
+
+    /// SoA-SIMD bilinear correction (bit-exact with the serial
+    /// bilinear reference for this type).
+    fn simd_kernel(
+        _src: &Image<Self>,
+        _map: &RemapMap,
+        _out: &mut Image<Self>,
+    ) -> Result<(), EngineError> {
+        Err(EngineError::unsupported(
+            "simd",
+            "no SoA kernel for this pixel type",
+        ))
+    }
+}
+
+impl EnginePixel for Gray8 {
+    const HAS_FIXED: bool = true;
+    const HAS_SIMD: bool = true;
+
+    fn fixed_kernel(
+        src: &Image<Self>,
+        map: &FixedRemapMap,
+        out: &mut Image<Self>,
+    ) -> Result<(), EngineError> {
+        correct_fixed_into(src, map, out);
+        Ok(())
+    }
+
+    fn simd_kernel(
+        src: &Image<Self>,
+        map: &RemapMap,
+        out: &mut Image<Self>,
+    ) -> Result<(), EngineError> {
+        simd::correct_bilinear_simd_gray8_into(src, map, out);
+        Ok(())
+    }
+}
+
+impl EnginePixel for GrayF32 {
+    const HAS_SIMD: bool = true;
+
+    fn simd_kernel(
+        src: &Image<Self>,
+        map: &RemapMap,
+        out: &mut Image<Self>,
+    ) -> Result<(), EngineError> {
+        simd::correct_bilinear_simd_into(src, map, out);
+        Ok(())
+    }
+}
+
+impl EnginePixel for pixmap::Gray16 {}
+impl EnginePixel for pixmap::Rgb8 {}
+impl EnginePixel for pixmap::RgbF32 {}
+
+// ---------------------------------------------------------------------
+// Host execution
+// ---------------------------------------------------------------------
+
+/// Shared resources a host execution may borrow from its caller. The
+/// boxed host engines own their resources; callers that already hold
+/// a pool / geometry / quantized LUT (e.g. `CorrectionPipeline`) pass
+/// them here instead so nothing is rebuilt per frame.
+#[derive(Clone, Copy, Default)]
+pub struct HostEnv<'a> {
+    /// Thread pool for `smp` (required by that spec).
+    pub pool: Option<&'a ThreadPool>,
+    /// Lens + view for `direct` (required by that spec).
+    pub geometry: Option<(&'a FisheyeLens, &'a PerspectiveView)>,
+    /// Pre-quantized LUT for `fixed` (quantized on the fly when
+    /// absent or of the wrong width).
+    pub fixed: Option<&'a FixedRemapMap>,
+}
+
+fn check_frame_dims<P: Pixel>(
+    name: &str,
+    src: &Image<P>,
+    map: &RemapMap,
+    out: &Image<P>,
+) -> Result<(), EngineError> {
+    if out.dims() != (map.width(), map.height()) {
+        return Err(EngineError::backend(
+            name,
+            format!(
+                "output {:?} does not match map {:?}",
+                out.dims(),
+                (map.width(), map.height())
+            ),
+        ));
+    }
+    if src.dims() != map.src_dims() {
+        return Err(EngineError::backend(
+            name,
+            format!(
+                "source {:?} does not match map source {:?}",
+                src.dims(),
+                map.src_dims()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn invalid_count(map: &RemapMap) -> u64 {
+    map.entries().iter().filter(|e| !e.is_valid()).count() as u64
+}
+
+/// Execute a host spec. This is the single dispatch point the boxed
+/// host engines, `CorrectionPipeline` and videopipe all share — one
+/// kernel per path, measured and reported identically.
+pub fn execute_host<P: EnginePixel>(
+    spec: &EngineSpec,
+    interp: Interpolator,
+    src: &Image<P>,
+    map: &RemapMap,
+    env: &HostEnv,
+    out: &mut Image<P>,
+) -> Result<FrameReport, EngineError> {
+    let name = spec.name();
+    let mut report = FrameReport::new(&name);
+    report.rows = map.height() as u64;
+    match *spec {
+        EngineSpec::Serial => {
+            check_frame_dims(&name, src, map, out)?;
+            let t0 = Instant::now();
+            for y in 0..map.height() {
+                correct_row(src, map.row(y), interp, out.row_mut(y));
+            }
+            report.correct_time = t0.elapsed();
+            report.invalid_pixels = invalid_count(map);
+        }
+        EngineSpec::Smp { schedule } => {
+            check_frame_dims(&name, src, map, out)?;
+            let pool = env.pool.ok_or_else(|| {
+                EngineError::unsupported(&name, "smp needs a thread pool (HostEnv::pool)")
+            })?;
+            let w = map.width() as usize;
+            let t0 = Instant::now();
+            pool.parallel_rows(out.pixels_mut(), w, schedule, &|row, out_row| {
+                correct_row(src, map.row(row as u32), interp, out_row);
+            });
+            report.correct_time = t0.elapsed();
+            report.invalid_pixels = invalid_count(map);
+            report.kv("threads", pool.threads() as f64);
+        }
+        EngineSpec::Direct => {
+            check_frame_dims(&name, src, map, out)?;
+            let (lens, view) = env.geometry.ok_or_else(|| {
+                EngineError::unsupported(&name, "direct needs lens+view (HostEnv::geometry)")
+            })?;
+            if (view.width, view.height) != (map.width(), map.height()) {
+                return Err(EngineError::backend(
+                    &name,
+                    "view dimensions do not match the map",
+                ));
+            }
+            return execute_direct(interp, src, lens, view, out);
+        }
+        EngineSpec::FixedPoint { frac_bits } => {
+            check_frame_dims(&name, src, map, out)?;
+            if !P::HAS_FIXED {
+                return Err(EngineError::unsupported(
+                    &name,
+                    "no integer datapath for this pixel type",
+                ));
+            }
+            let borrowed = env.fixed.filter(|f| f.frac_bits() == frac_bits);
+            let owned;
+            let fmap = match borrowed {
+                Some(f) => f,
+                None => {
+                    let t0 = Instant::now();
+                    owned = map.to_fixed(frac_bits);
+                    report.kv("lut_quantize_ms", t0.elapsed().as_secs_f64() * 1e3);
+                    &owned
+                }
+            };
+            let t0 = Instant::now();
+            P::fixed_kernel(src, fmap, out)?;
+            report.correct_time = t0.elapsed();
+            report.invalid_pixels = invalid_count(map);
+            report.kv("frac_bits", frac_bits as f64);
+        }
+        EngineSpec::Simd => {
+            check_frame_dims(&name, src, map, out)?;
+            if !P::HAS_SIMD {
+                return Err(EngineError::unsupported(
+                    &name,
+                    "no SoA kernel for this pixel type",
+                ));
+            }
+            if interp != Interpolator::Bilinear {
+                return Err(EngineError::unsupported(
+                    &name,
+                    format!("simd implements bilinear only, not {}", interp.name()),
+                ));
+            }
+            let t0 = Instant::now();
+            P::simd_kernel(src, map, out)?;
+            report.correct_time = t0.elapsed();
+            report.invalid_pixels = invalid_count(map);
+            report.kv("lanes", simd::LANES as f64);
+        }
+        EngineSpec::Cell { .. } | EngineSpec::Gpu { .. } => {
+            return Err(EngineError::unsupported(
+                &name,
+                "accelerator model — build it via the facade crate's engine module",
+            ));
+        }
+    }
+    Ok(report)
+}
+
+/// Execute the LUT-free `direct` path — the one host spec that needs
+/// no [`RemapMap`] at all (the F9 comparison mode). `out` must match
+/// the view's dimensions.
+pub fn execute_direct<P: Pixel>(
+    interp: Interpolator,
+    src: &Image<P>,
+    lens: &FisheyeLens,
+    view: &PerspectiveView,
+    out: &mut Image<P>,
+) -> Result<FrameReport, EngineError> {
+    let name = EngineSpec::Direct.name();
+    if out.dims() != (view.width, view.height) {
+        return Err(EngineError::backend(
+            &name,
+            format!(
+                "output {:?} does not match view {:?}",
+                out.dims(),
+                (view.width, view.height)
+            ),
+        ));
+    }
+    let mut report = FrameReport::new(&name);
+    report.rows = view.height as u64;
+    let (sw, sh) = src.dims();
+    let mut invalid = 0u64;
+    let t0 = Instant::now();
+    for y in 0..view.height {
+        for x in 0..view.width {
+            let ray = view.pixel_ray(x as f64 + 0.5, y as f64 + 0.5);
+            let v = match lens.project(ray) {
+                Some((sx, sy)) if sx >= 0.0 && sx < sw as f64 && sy >= 0.0 && sy < sh as f64 => {
+                    interp.sample(src, sx as f32, sy as f32)
+                }
+                _ => {
+                    invalid += 1;
+                    P::BLACK
+                }
+            };
+            out.set(x, y, v);
+        }
+    }
+    report.correct_time = t0.elapsed();
+    report.invalid_pixels = invalid;
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// Boxed host engines
+// ---------------------------------------------------------------------
+
+/// Build context for [`build_host`]: the interpolator every engine
+/// uses, the pool size `smp` engines allocate, and the geometry the
+/// `direct` engine captures.
+#[derive(Clone, Copy)]
+pub struct HostCtx<'a> {
+    /// Interpolation kernel.
+    pub interp: Interpolator,
+    /// Worker threads for `smp` engines.
+    pub threads: usize,
+    /// Lens + view, required by `direct`.
+    pub geometry: Option<(&'a FisheyeLens, &'a PerspectiveView)>,
+}
+
+impl Default for HostCtx<'_> {
+    fn default() -> Self {
+        HostCtx {
+            interp: Interpolator::Bilinear,
+            threads: 4,
+            geometry: None,
+        }
+    }
+}
+
+/// Build a boxed host engine for `spec`. Accelerator specs return
+/// [`EngineError::Unsupported`]; the `fisheye` facade crate resolves
+/// those.
+pub fn build_host<P: EnginePixel>(
+    spec: &EngineSpec,
+    ctx: &HostCtx,
+) -> Result<Box<dyn CorrectionEngine<P>>, EngineError> {
+    let name = spec.name();
+    match *spec {
+        EngineSpec::Serial => Ok(Box::new(SerialEngine { interp: ctx.interp })),
+        EngineSpec::Smp { schedule } => Ok(Box::new(SmpEngine {
+            spec: EngineSpec::Smp { schedule },
+            interp: ctx.interp,
+            pool: ThreadPool::new(ctx.threads.max(1)),
+        })),
+        EngineSpec::Direct => {
+            let (lens, view) = ctx.geometry.ok_or_else(|| {
+                EngineError::unsupported(&name, "direct needs lens+view (HostCtx::geometry)")
+            })?;
+            Ok(Box::new(DirectEngine {
+                interp: ctx.interp,
+                lens: *lens,
+                view: *view,
+            }))
+        }
+        EngineSpec::FixedPoint { frac_bits } => {
+            if !P::HAS_FIXED {
+                return Err(EngineError::unsupported(
+                    &name,
+                    "no integer datapath for this pixel type",
+                ));
+            }
+            Ok(Box::new(FixedPointEngine {
+                frac_bits,
+                cache: Mutex::new(None),
+            }))
+        }
+        EngineSpec::Simd => {
+            if !P::HAS_SIMD {
+                return Err(EngineError::unsupported(
+                    &name,
+                    "no SoA kernel for this pixel type",
+                ));
+            }
+            if ctx.interp != Interpolator::Bilinear {
+                return Err(EngineError::unsupported(
+                    &name,
+                    format!("simd implements bilinear only, not {}", ctx.interp.name()),
+                ));
+            }
+            Ok(Box::new(SimdEngine))
+        }
+        EngineSpec::Cell { .. } | EngineSpec::Gpu { .. } => Err(EngineError::unsupported(
+            &name,
+            "accelerator model — build it via the facade crate's engine module",
+        )),
+    }
+}
+
+/// Cheap identity fingerprint of a map: dimensions, allocation
+/// address, and a strided sample of entry bit patterns. Used by
+/// engines that cache state derived from a map (quantized LUTs, tile
+/// plans) to detect when the caller switched maps.
+pub fn map_fingerprint(map: &RemapMap) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mix = |h: &mut u64, v: u64| {
+        *h ^= v;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(&mut h, map.width() as u64);
+    mix(&mut h, map.height() as u64);
+    let (sw, sh) = map.src_dims();
+    mix(&mut h, sw as u64);
+    mix(&mut h, sh as u64);
+    let e = map.entries();
+    mix(&mut h, e.as_ptr() as u64);
+    let stride = (e.len() / 16).max(1);
+    let mut i = 0;
+    while i < e.len() {
+        mix(&mut h, e[i].sx.to_bits() as u64);
+        mix(&mut h, e[i].sy.to_bits() as u64);
+        i += stride;
+    }
+    h
+}
+
+struct SerialEngine {
+    interp: Interpolator,
+}
+
+impl<P: EnginePixel> CorrectionEngine<P> for SerialEngine {
+    fn name(&self) -> String {
+        EngineSpec::Serial.name()
+    }
+
+    fn correct_frame(
+        &self,
+        src: &Image<P>,
+        map: &RemapMap,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        execute_host(
+            &EngineSpec::Serial,
+            self.interp,
+            src,
+            map,
+            &HostEnv::default(),
+            out,
+        )
+    }
+}
+
+struct SmpEngine {
+    spec: EngineSpec,
+    interp: Interpolator,
+    pool: ThreadPool,
+}
+
+impl<P: EnginePixel> CorrectionEngine<P> for SmpEngine {
+    fn name(&self) -> String {
+        self.spec.name()
+    }
+
+    fn correct_frame(
+        &self,
+        src: &Image<P>,
+        map: &RemapMap,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        let env = HostEnv {
+            pool: Some(&self.pool),
+            ..Default::default()
+        };
+        execute_host(&self.spec, self.interp, src, map, &env, out)
+    }
+}
+
+struct DirectEngine {
+    interp: Interpolator,
+    lens: FisheyeLens,
+    view: PerspectiveView,
+}
+
+impl<P: EnginePixel> CorrectionEngine<P> for DirectEngine {
+    fn name(&self) -> String {
+        EngineSpec::Direct.name()
+    }
+
+    fn correct_frame(
+        &self,
+        src: &Image<P>,
+        map: &RemapMap,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        let env = HostEnv {
+            geometry: Some((&self.lens, &self.view)),
+            ..Default::default()
+        };
+        execute_host(&EngineSpec::Direct, self.interp, src, map, &env, out)
+    }
+}
+
+struct FixedPointEngine {
+    frac_bits: u32,
+    cache: Mutex<Option<(u64, FixedRemapMap)>>,
+}
+
+impl<P: EnginePixel> CorrectionEngine<P> for FixedPointEngine {
+    fn name(&self) -> String {
+        EngineSpec::FixedPoint {
+            frac_bits: self.frac_bits,
+        }
+        .name()
+    }
+
+    fn correct_frame(
+        &self,
+        src: &Image<P>,
+        map: &RemapMap,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        let fp = map_fingerprint(map);
+        let mut cache = self.cache.lock();
+        if !matches!(&*cache, Some((k, _)) if *k == fp) {
+            *cache = Some((fp, map.to_fixed(self.frac_bits)));
+        }
+        let (_, fmap) = cache.as_ref().unwrap();
+        let env = HostEnv {
+            fixed: Some(fmap),
+            ..Default::default()
+        };
+        execute_host(
+            &EngineSpec::FixedPoint {
+                frac_bits: self.frac_bits,
+            },
+            Interpolator::Bilinear,
+            src,
+            map,
+            &env,
+            out,
+        )
+    }
+}
+
+struct SimdEngine;
+
+impl<P: EnginePixel> CorrectionEngine<P> for SimdEngine {
+    fn name(&self) -> String {
+        EngineSpec::Simd.name()
+    }
+
+    fn correct_frame(
+        &self,
+        src: &Image<P>,
+        map: &RemapMap,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        execute_host(
+            &EngineSpec::Simd,
+            Interpolator::Bilinear,
+            src,
+            map,
+            &HostEnv::default(),
+            out,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correct::{correct, correct_fixed};
+
+    fn workload() -> (FisheyeLens, PerspectiveView, RemapMap, Image<Gray8>) {
+        let lens = FisheyeLens::equidistant_fov(160, 120, 180.0);
+        let view = PerspectiveView::centered(80, 60, 90.0);
+        let map = RemapMap::build(&lens, &view, 160, 120);
+        let src = pixmap::scene::random_gray(160, 120, 42);
+        (lens, view, map, src)
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for spec in EngineSpec::registry() {
+            let name = spec.name();
+            let parsed = EngineSpec::parse(&name).unwrap();
+            assert_eq!(parsed, spec, "{name}");
+        }
+        // parameterized forms too
+        for s in [
+            "smp:dynamic:4",
+            "smp:guided:2",
+            "smp:static:8",
+            "fixed:10",
+            "cell:64x32",
+            "cell:16x16:single:q8",
+            "gpu:512",
+        ] {
+            let spec = EngineSpec::parse(s).unwrap();
+            assert_eq!(EngineSpec::parse(&spec.name()).unwrap(), spec, "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert!(EngineSpec::parse("warp-drive").is_err());
+        assert!(EngineSpec::parse("serial:4").is_err());
+        assert!(EngineSpec::parse("fixed:0").is_err());
+        assert!(EngineSpec::parse("fixed:16").is_err());
+        assert!(EngineSpec::parse("gpu:100").is_err());
+        assert!(EngineSpec::parse("cell:0x8").is_err());
+        assert!(EngineSpec::parse("cell:wat").is_err());
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let names: Vec<String> = EngineSpec::registry().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+
+    #[test]
+    fn host_engines_match_serial_reference_gray8() {
+        let (lens, view, map, src) = workload();
+        let reference = correct(&src, &map, Interpolator::Bilinear);
+        let ctx = HostCtx {
+            geometry: Some((&lens, &view)),
+            ..Default::default()
+        };
+        for spec in EngineSpec::registry().iter().filter(|s| s.is_host()) {
+            let engine = build_host::<Gray8>(spec, &ctx).unwrap();
+            let mut out = Image::new(map.width(), map.height());
+            let report = engine.correct_frame(&src, &map, &mut out).unwrap();
+            assert_eq!(report.backend, spec.name());
+            assert_eq!(report.rows, 60);
+            match spec.numeric_class() {
+                NumericClass::Float => {
+                    assert_eq!(out, reference, "{}", spec.name());
+                }
+                NumericClass::Fixed { frac_bits } => {
+                    let fixed_ref = correct_fixed(&src, &map.to_fixed(frac_bits));
+                    assert_eq!(out, fixed_ref, "{}", spec.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accelerator_specs_rejected_by_host_builder() {
+        let ctx = HostCtx::default();
+        for s in ["cell", "gpu"] {
+            let spec = EngineSpec::parse(s).unwrap();
+            assert!(matches!(
+                build_host::<Gray8>(&spec, &ctx),
+                Err(EngineError::Unsupported { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn fixed_engine_unsupported_on_float_pixels() {
+        let spec = EngineSpec::FixedPoint { frac_bits: 12 };
+        assert!(matches!(
+            build_host::<GrayF32>(&spec, &HostCtx::default()),
+            Err(EngineError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn simd_engine_bit_exact_on_f32() {
+        let (_, _, map, src) = workload();
+        let srcf: Image<GrayF32> = src.map(GrayF32::from);
+        let reference = correct(&srcf, &map, Interpolator::Bilinear);
+        let engine = build_host::<GrayF32>(&EngineSpec::Simd, &HostCtx::default()).unwrap();
+        let mut out = Image::new(map.width(), map.height());
+        engine.correct_frame(&srcf, &map, &mut out).unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn simd_rejects_non_bilinear() {
+        let ctx = HostCtx {
+            interp: Interpolator::Bicubic,
+            ..Default::default()
+        };
+        assert!(build_host::<GrayF32>(&EngineSpec::Simd, &ctx).is_err());
+    }
+
+    #[test]
+    fn direct_needs_geometry() {
+        assert!(matches!(
+            build_host::<Gray8>(&EngineSpec::Direct, &HostCtx::default()),
+            Err(EngineError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error_not_a_panic() {
+        let (_, _, map, src) = workload();
+        let engine = build_host::<Gray8>(&EngineSpec::Serial, &HostCtx::default()).unwrap();
+        let mut wrong: Image<Gray8> = Image::new(10, 10);
+        assert!(matches!(
+            engine.correct_frame(&src, &map, &mut wrong),
+            Err(EngineError::Backend { .. })
+        ));
+    }
+
+    #[test]
+    fn report_counts_invalid_pixels() {
+        // a view wider than the lens: black corners
+        let lens = FisheyeLens::equidistant_fov(160, 120, 120.0);
+        let view = PerspectiveView::centered(80, 60, 140.0);
+        let map = RemapMap::build(&lens, &view, 160, 120);
+        let src = pixmap::scene::random_gray(160, 120, 7);
+        let ctx = HostCtx {
+            geometry: Some((&lens, &view)),
+            ..Default::default()
+        };
+        let expect = map.entries().iter().filter(|e| !e.is_valid()).count() as u64;
+        assert!(expect > 0);
+        for spec in EngineSpec::registry().iter().filter(|s| s.is_host()) {
+            let engine = build_host::<Gray8>(spec, &ctx).unwrap();
+            let mut out = Image::new(80, 60);
+            let report = engine.correct_frame(&src, &map, &mut out).unwrap();
+            assert_eq!(report.invalid_pixels, expect, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn fixed_engine_cache_tracks_map_changes() {
+        let (lens, view, map, src) = workload();
+        let engine = build_host::<Gray8>(
+            &EngineSpec::FixedPoint { frac_bits: 12 },
+            &HostCtx::default(),
+        )
+        .unwrap();
+        let mut out = Image::new(80, 60);
+        engine.correct_frame(&src, &map, &mut out).unwrap();
+        let first = out.clone();
+        // a different map must not reuse the cached quantized LUT
+        let map2 = RemapMap::build(&lens, &view.look(25.0, 0.0), 160, 120);
+        engine.correct_frame(&src, &map2, &mut out).unwrap();
+        assert_eq!(out, correct_fixed(&src, &map2.to_fixed(12)));
+        assert_ne!(out, first);
+    }
+
+    #[test]
+    fn frame_report_model_pairs_sorted() {
+        let mut r = FrameReport::new("x");
+        r.kv("zeta", 1.0);
+        r.kv("alpha", 2.0);
+        let pairs = r.model_pairs();
+        assert!(pairs[0].starts_with("alpha=") && pairs[1].starts_with("zeta="));
+    }
+}

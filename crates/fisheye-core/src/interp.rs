@@ -298,7 +298,8 @@ mod tests {
     fn catmull_rom_partition_of_unity() {
         for i in 0..=20 {
             let t = i as f32 / 20.0;
-            let sum = catmull_rom(t + 1.0) + catmull_rom(t) + catmull_rom(t - 1.0) + catmull_rom(t - 2.0);
+            let sum =
+                catmull_rom(t + 1.0) + catmull_rom(t) + catmull_rom(t - 1.0) + catmull_rom(t - 2.0);
             assert!((sum - 1.0).abs() < 1e-5, "t={t}: {sum}");
         }
     }
@@ -318,7 +319,14 @@ mod tests {
             let y0 = fy.floor();
             let wx = (((fx - x0) * one as f32) + 0.5) as u16;
             let wy = (((fy - y0) * one as f32) + 0.5) as u16;
-            let fixed = sample_bilinear_fixed_gray8(&img, x0 as i16, y0 as i16, wx.min(one), wy.min(one), frac);
+            let fixed = sample_bilinear_fixed_gray8(
+                &img,
+                x0 as i16,
+                y0 as i16,
+                wx.min(one),
+                wy.min(one),
+                frac,
+            );
             let float = sample_bilinear(&imgf, sx, sy).0 * 255.0;
             assert!(
                 (fixed.0 as f32 - float).abs() <= 2.0,
@@ -336,7 +344,10 @@ mod tests {
         // weight 0 = pure corner texel
         assert_eq!(sample_bilinear_fixed_gray8(&img, 0, 0, 0, 0, frac).0, 0);
         // weight 2^frac = the opposite corner exactly
-        assert_eq!(sample_bilinear_fixed_gray8(&img, 0, 0, one, one, frac).0, 40);
+        assert_eq!(
+            sample_bilinear_fixed_gray8(&img, 0, 0, one, one, frac).0,
+            40
+        );
         // wx=1.0, wy=0 -> p10
         assert_eq!(sample_bilinear_fixed_gray8(&img, 0, 0, one, 0, frac).0, 100);
     }
@@ -430,11 +441,7 @@ mod tests {
     #[test]
     fn rgb_bilinear_interpolates_channels_independently() {
         use pixmap::Rgb8;
-        let img = Image::from_vec(
-            2,
-            1,
-            vec![Rgb8::new(0, 100, 255), Rgb8::new(100, 200, 55)],
-        );
+        let img = Image::from_vec(2, 1, vec![Rgb8::new(0, 100, 255), Rgb8::new(100, 200, 55)]);
         let got = sample_bilinear(&img, 1.0, 0.5);
         assert_eq!(got.r, 50);
         assert_eq!(got.g, 150);

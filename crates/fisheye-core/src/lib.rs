@@ -29,6 +29,7 @@
 
 pub mod antialias;
 pub mod correct;
+pub mod engine;
 pub mod interp;
 pub mod map;
 pub mod pipeline;
@@ -39,7 +40,10 @@ pub mod tile;
 pub mod yuv;
 
 pub use antialias::{correct_antialiased, AaConfig};
-pub use correct::{correct, correct_fixed, correct_into, correct_parallel};
+pub use correct::{correct, correct_fixed, correct_fixed_into, correct_into, correct_parallel};
+pub use engine::{
+    CorrectionEngine, EngineError, EnginePixel, EngineSpec, FrameReport, NumericClass,
+};
 pub use interp::Interpolator;
 pub use map::{FixedRemapMap, MapEntry, RemapMap};
 pub use pipeline::{CorrectionPipeline, PipelineConfig, PipelineStats};

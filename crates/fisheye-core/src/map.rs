@@ -278,7 +278,10 @@ impl RemapMap {
     /// Quantize to a fixed-point map with `frac_bits` fractional
     /// weight bits (experiment F7 sweeps this).
     pub fn to_fixed(&self, frac_bits: u32) -> FixedRemapMap {
-        assert!(frac_bits >= 1 && frac_bits <= 15, "weights are u16: 1..=15 bits");
+        assert!(
+            (1..=15).contains(&frac_bits),
+            "weights are u16: 1..=15 bits"
+        );
         let scale = (1u32 << frac_bits) as f32;
         let entries = self
             .entries
@@ -327,9 +330,7 @@ fn fill_row(
     for (x, e) in row.iter_mut().enumerate() {
         let ray = view.pixel_ray(x as f64 + 0.5, y as f64 + 0.5);
         *e = match lens.project(ray) {
-            Some((sx, sy))
-                if sx >= 0.0 && sx < src_w as f64 && sy >= 0.0 && sy < src_h as f64 =>
-            {
+            Some((sx, sy)) if sx >= 0.0 && sx < src_w as f64 && sy >= 0.0 && sy < src_h as f64 => {
                 MapEntry {
                     sx: sx as f32,
                     sy: sy as f32,
@@ -485,7 +486,10 @@ mod tests {
         let inner = mid - c;
         let outer = edge - mid;
         assert!(inner > 0.0 && outer > 0.0);
-        assert!(outer < inner, "outer {outer} should compress vs inner {inner}");
+        assert!(
+            outer < inner,
+            "outer {outer} should compress vs inner {inner}"
+        );
     }
 
     #[test]

@@ -2,38 +2,43 @@
 //!
 //! Owns the lens, the current view, the (lazily rebuilt) LUT, and an
 //! optional thread pool, and exposes the per-frame entry point the
-//! video layer calls. Accumulates the phase timings the experiments
-//! report (map-generation time vs correction time — the paper's
-//! central measurement).
+//! video layer calls. Phase 2 is routed through the engine layer
+//! ([`crate::engine`]): the pipeline holds an [`EngineSpec`] instead
+//! of hardcoded serial/parallel/direct branches, so every host
+//! backend — `serial`, `smp`, `direct`, `fixed`, `simd` — runs
+//! through one dispatch point and every frame produces a
+//! [`FrameReport`] that the stats absorb. Accumulates the phase
+//! timings the experiments report (map-generation time vs correction
+//! time — the paper's central measurement).
 
 use std::time::{Duration, Instant};
 
 use fisheye_geom::{FisheyeLens, PerspectiveView};
 use par_runtime::{Schedule, ThreadPool};
-use pixmap::{Image, Pixel};
+use pixmap::Image;
 
-use crate::correct::{correct_direct, correct_into, correct_parallel};
+use crate::engine::{
+    execute_direct, execute_host, EngineError, EnginePixel, EngineSpec, FrameReport, HostEnv,
+};
 use crate::interp::Interpolator;
-use crate::map::RemapMap;
+use crate::map::{FixedRemapMap, RemapMap};
 
 /// Pipeline configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct PipelineConfig {
     /// Interpolation kernel for phase 2.
     pub interp: Interpolator,
-    /// Loop schedule when a pool is attached.
-    pub schedule: Schedule,
-    /// If false, skip the LUT entirely and recompute the mapping per
-    /// pixel per frame (the F9 comparison mode).
-    pub use_lut: bool,
+    /// Execution path for phase 2. Host specs only — the accelerator
+    /// models (`cell`, `gpu`) are driven through the facade crate's
+    /// boxed engines, not the host pipeline.
+    pub engine: EngineSpec,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
             interp: Interpolator::Bilinear,
-            schedule: Schedule::Static { chunk: None },
-            use_lut: true,
+            engine: EngineSpec::Serial,
         }
     }
 }
@@ -49,10 +54,19 @@ pub struct PipelineStats {
     pub frames: u64,
     /// Total time spent in phase 2.
     pub correct_time: Duration,
+    /// Total output pixels with no valid source mapping (summed over
+    /// all corrected frames).
+    pub invalid_pixels: u64,
 }
 
 impl PipelineStats {
     /// Mean per-frame correction time.
+    ///
+    /// Contract: with **zero** corrected frames there is no mean, and
+    /// this returns `Duration::ZERO` rather than dividing by zero —
+    /// callers printing per-frame numbers before the first frame get
+    /// a silent 0, not a panic. With one frame it equals
+    /// `correct_time` exactly.
     pub fn correct_per_frame(&self) -> Duration {
         if self.frames == 0 {
             Duration::ZERO
@@ -62,6 +76,11 @@ impl PipelineStats {
     }
 
     /// Throughput in frames per second over the corrected frames.
+    ///
+    /// Contract: with zero corrected frames (or a zero accumulated
+    /// correction time, which includes the zero-frame case) the
+    /// throughput is undefined and this returns `0.0` rather than
+    /// NaN/inf — a 0 fps readout means "no data", not "slow".
     pub fn fps(&self) -> f64 {
         let s = self.correct_time.as_secs_f64();
         if s == 0.0 {
@@ -69,6 +88,13 @@ impl PipelineStats {
         } else {
             self.frames as f64 / s
         }
+    }
+
+    /// Fold one frame's execution report into the accumulated stats.
+    pub fn absorb(&mut self, report: &FrameReport) {
+        self.frames += 1;
+        self.correct_time += report.correct_time;
+        self.invalid_pixels += report.invalid_pixels;
     }
 }
 
@@ -81,6 +107,7 @@ pub struct CorrectionPipeline<'p> {
     config: PipelineConfig,
     pool: Option<&'p ThreadPool>,
     map: Option<RemapMap>,
+    fixed: Option<FixedRemapMap>,
     stats: PipelineStats,
 }
 
@@ -102,12 +129,13 @@ impl<'p> CorrectionPipeline<'p> {
             config,
             pool: None,
             map: None,
+            fixed: None,
             stats: PipelineStats::default(),
         }
     }
 
-    /// Attach a thread pool; subsequent phases run in parallel under
-    /// `config.schedule`.
+    /// Attach a thread pool; `smp` engines run on it, and LUT builds
+    /// parallelize over it.
     pub fn with_pool(mut self, pool: &'p ThreadPool) -> Self {
         self.pool = Some(pool);
         self
@@ -121,6 +149,11 @@ impl<'p> CorrectionPipeline<'p> {
     /// The lens.
     pub fn lens(&self) -> &FisheyeLens {
         &self.lens
+    }
+
+    /// The configured engine spec.
+    pub fn engine(&self) -> &EngineSpec {
+        &self.config.engine
     }
 
     /// Accumulated statistics.
@@ -139,6 +172,14 @@ impl<'p> CorrectionPipeline<'p> {
         if view != self.view {
             self.view = view;
             self.map = None;
+            self.fixed = None;
+        }
+    }
+
+    fn map_schedule(&self) -> Schedule {
+        match self.config.engine {
+            EngineSpec::Smp { schedule } => schedule,
+            _ => Schedule::default_static(),
         }
     }
 
@@ -148,14 +189,10 @@ impl<'p> CorrectionPipeline<'p> {
     pub fn ensure_map(&mut self) -> &RemapMap {
         if self.map.is_none() {
             let t0 = Instant::now();
+            let schedule = self.map_schedule();
             let map = match self.pool {
                 Some(pool) => RemapMap::build_parallel(
-                    &self.lens,
-                    &self.view,
-                    self.src_w,
-                    self.src_h,
-                    pool,
-                    self.config.schedule,
+                    &self.lens, &self.view, self.src_w, self.src_h, pool, schedule,
                 ),
                 None => RemapMap::build(&self.lens, &self.view, self.src_w, self.src_h),
             };
@@ -166,36 +203,67 @@ impl<'p> CorrectionPipeline<'p> {
         self.map.as_ref().unwrap()
     }
 
-    /// Correct one frame.
-    pub fn process<P: Pixel>(&mut self, frame: &Image<P>) -> Image<P> {
+    /// Correct one frame through the configured engine, returning the
+    /// output and its execution report (already absorbed into the
+    /// stats).
+    pub fn try_process<P: EnginePixel>(
+        &mut self,
+        frame: &Image<P>,
+    ) -> Result<(Image<P>, FrameReport), EngineError> {
         assert_eq!(
             frame.dims(),
             (self.src_w, self.src_h),
             "frame does not match configured source size"
         );
-        if !self.config.use_lut {
-            let t0 = Instant::now();
-            let out = correct_direct(frame, &self.lens, &self.view, self.config.interp);
-            self.stats.correct_time += t0.elapsed();
-            self.stats.frames += 1;
-            return out;
+        // `direct` is the one path that needs no LUT at all — that is
+        // its entire point (the F9 comparison mode).
+        if self.config.engine == EngineSpec::Direct {
+            let mut out = Image::new(self.view.width, self.view.height);
+            let report =
+                execute_direct(self.config.interp, frame, &self.lens, &self.view, &mut out)?;
+            self.stats.absorb(&report);
+            return Ok((out, report));
         }
         self.ensure_map();
+        if let EngineSpec::FixedPoint { frac_bits } = self.config.engine {
+            let stale = !matches!(&self.fixed, Some(f) if f.frac_bits() == frac_bits);
+            if stale {
+                let t0 = Instant::now();
+                self.fixed = Some(self.map.as_ref().unwrap().to_fixed(frac_bits));
+                // LUT quantization is map-phase work, not per-frame.
+                self.stats.map_time += t0.elapsed();
+            }
+        }
         let map = self.map.as_ref().unwrap();
-        let t0 = Instant::now();
-        let out = match self.pool {
-            Some(pool) => {
-                correct_parallel(frame, map, self.config.interp, pool, self.config.schedule)
-            }
-            None => {
-                let mut out = Image::new(map.width(), map.height());
-                correct_into(frame, map, self.config.interp, &mut out);
-                out
-            }
+        let env = HostEnv {
+            pool: self.pool,
+            geometry: Some((&self.lens, &self.view)),
+            fixed: self.fixed.as_ref(),
         };
-        self.stats.correct_time += t0.elapsed();
-        self.stats.frames += 1;
-        out
+        let mut out = Image::new(map.width(), map.height());
+        let report = execute_host(
+            &self.config.engine,
+            self.config.interp,
+            frame,
+            map,
+            &env,
+            &mut out,
+        )?;
+        self.stats.absorb(&report);
+        Ok((out, report))
+    }
+
+    /// Correct one frame.
+    ///
+    /// Panics if the configured engine cannot run here (an
+    /// accelerator spec, `smp` without an attached pool, `simd` with
+    /// a non-bilinear interpolator, …) — use [`Self::try_process`]
+    /// for a recoverable error.
+    pub fn process<P: EnginePixel>(&mut self, frame: &Image<P>) -> Image<P> {
+        match self.try_process(frame) {
+            Ok((out, _)) => out,
+            Err(e) => panic!("pipeline engine '{}': {e}", self.config.engine.name()),
+        }
     }
 }
 
@@ -205,7 +273,7 @@ mod tests {
     use pixmap::scene::random_gray;
     use pixmap::Gray8;
 
-    fn mk(use_lut: bool) -> CorrectionPipeline<'static> {
+    fn mk(engine: EngineSpec) -> CorrectionPipeline<'static> {
         let lens = FisheyeLens::equidistant_fov(160, 120, 180.0);
         let view = PerspectiveView::centered(80, 60, 90.0);
         CorrectionPipeline::new(
@@ -214,7 +282,7 @@ mod tests {
             160,
             120,
             PipelineConfig {
-                use_lut,
+                engine,
                 ..Default::default()
             },
         )
@@ -222,7 +290,7 @@ mod tests {
 
     #[test]
     fn processes_frames_and_counts() {
-        let mut p = mk(true);
+        let mut p = mk(EngineSpec::Serial);
         let frame = random_gray(160, 120, 1);
         let out = p.process(&frame);
         assert_eq!(out.dims(), (80, 60));
@@ -233,7 +301,7 @@ mod tests {
 
     #[test]
     fn view_change_rebuilds_map() {
-        let mut p = mk(true);
+        let mut p = mk(EngineSpec::Serial);
         let frame = random_gray(160, 120, 2);
         let _ = p.process(&frame);
         p.set_view(PerspectiveView::centered(80, 60, 90.0).look(30.0, 0.0));
@@ -247,7 +315,7 @@ mod tests {
 
     #[test]
     fn direct_mode_never_builds_map() {
-        let mut p = mk(false);
+        let mut p = mk(EngineSpec::Direct);
         let frame = random_gray(160, 120, 3);
         let _ = p.process(&frame);
         let _ = p.process(&frame);
@@ -257,25 +325,70 @@ mod tests {
 
     #[test]
     fn direct_and_lut_agree() {
-        let mut a = mk(true);
-        let mut b = mk(false);
+        let mut a = mk(EngineSpec::Serial);
+        let mut b = mk(EngineSpec::Direct);
         let frame = random_gray(160, 120, 4);
         let out_lut = a.process(&frame);
         let out_direct = b.process(&frame);
-        let mut max_diff = 0i32;
-        for (x, y) in out_lut.pixels().iter().zip(out_direct.pixels()) {
-            max_diff = max_diff.max((x.0 as i32 - y.0 as i32).abs());
-        }
-        assert!(max_diff <= 1, "LUT vs direct differ by {max_diff}");
+        assert_eq!(out_lut, out_direct, "direct recomputation must match LUT");
     }
 
     #[test]
     fn pooled_pipeline_matches_serial() {
         let pool = ThreadPool::new(3);
         let frame = random_gray(160, 120, 5);
-        let mut serial = mk(true);
-        let mut parallel = mk(true).with_pool(&pool);
+        let mut serial = mk(EngineSpec::Serial);
+        let mut parallel = mk(EngineSpec::Smp {
+            schedule: Schedule::default_static(),
+        })
+        .with_pool(&pool);
         assert_eq!(serial.process(&frame), parallel.process(&frame));
+    }
+
+    #[test]
+    fn fixed_engine_reuses_quantized_lut() {
+        let mut p = mk(EngineSpec::FixedPoint { frac_bits: 12 });
+        let frame = random_gray(160, 120, 8);
+        let a = p.process(&frame);
+        let b = p.process(&frame);
+        assert_eq!(a, b);
+        assert_eq!(p.stats().frames, 2);
+        // reference: quantize the same map once
+        let map = p.ensure_map().clone();
+        assert_eq!(a, crate::correct::correct_fixed(&frame, &map.to_fixed(12)));
+    }
+
+    #[test]
+    fn simd_engine_matches_serial() {
+        let frame = random_gray(160, 120, 9);
+        let mut serial = mk(EngineSpec::Serial);
+        let mut simd = mk(EngineSpec::Simd);
+        assert_eq!(serial.process(&frame), simd.process(&frame));
+    }
+
+    #[test]
+    fn smp_without_pool_is_a_recoverable_error() {
+        let mut p = mk(EngineSpec::Smp {
+            schedule: Schedule::default_static(),
+        });
+        let frame = random_gray(160, 120, 10);
+        assert!(matches!(
+            p.try_process(&frame),
+            Err(EngineError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_accumulate_invalid_pixels() {
+        // view wider than the lens: black corners on every frame
+        let lens = FisheyeLens::equidistant_fov(160, 120, 120.0);
+        let view = PerspectiveView::centered(80, 60, 140.0);
+        let mut p = CorrectionPipeline::new(lens, view, 160, 120, PipelineConfig::default());
+        let frame = random_gray(160, 120, 11);
+        let (_, r1) = p.try_process(&frame).unwrap();
+        let _ = p.process(&frame);
+        assert!(r1.invalid_pixels > 0);
+        assert_eq!(p.stats().invalid_pixels, 2 * r1.invalid_pixels);
     }
 
     #[test]
@@ -294,16 +407,56 @@ mod tests {
     }
 
     #[test]
+    fn stats_zero_frames_contract() {
+        // fresh stats: no frames corrected → both readouts are a
+        // silent zero, never a division panic or NaN
+        let s = PipelineStats::default();
+        assert_eq!(s.correct_per_frame(), Duration::ZERO);
+        assert_eq!(s.fps(), 0.0);
+        // zero frames but nonzero accumulated time (absorb never
+        // produces this, but the fields are public)
+        let s = PipelineStats {
+            correct_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        assert_eq!(s.correct_per_frame(), Duration::ZERO);
+        assert_eq!(s.fps(), 0.0);
+    }
+
+    #[test]
+    fn stats_single_frame_contract() {
+        // with exactly one frame the mean is the total, and fps is
+        // its reciprocal
+        let mut s = PipelineStats::default();
+        let mut r = FrameReport::new("serial");
+        r.correct_time = Duration::from_millis(20);
+        r.invalid_pixels = 3;
+        s.absorb(&r);
+        assert_eq!(s.frames, 1);
+        assert_eq!(s.correct_per_frame(), Duration::from_millis(20));
+        assert!((s.fps() - 50.0).abs() < 1e-9);
+        assert_eq!(s.invalid_pixels, 3);
+    }
+
+    #[test]
     #[should_panic(expected = "does not match configured source size")]
     fn wrong_frame_size_caught() {
-        let mut p = mk(true);
+        let mut p = mk(EngineSpec::Serial);
         let frame: Image<Gray8> = Image::new(10, 10);
         let _ = p.process(&frame);
     }
 
     #[test]
+    #[should_panic(expected = "pipeline engine 'cell'")]
+    fn accelerator_spec_panics_in_process() {
+        let mut p = mk(EngineSpec::parse("cell").unwrap());
+        let frame = random_gray(160, 120, 12);
+        let _ = p.process(&frame);
+    }
+
+    #[test]
     fn reset_stats_clears() {
-        let mut p = mk(true);
+        let mut p = mk(EngineSpec::Serial);
         let frame = random_gray(160, 120, 6);
         let _ = p.process(&frame);
         p.reset_stats();

@@ -20,6 +20,18 @@ pub const LANES: usize = 4;
 /// with `correct(…, Interpolator::Bilinear, …)` on `GrayF32` inputs.
 pub fn correct_bilinear_simd(src: &Image<GrayF32>, map: &RemapMap) -> Image<GrayF32> {
     let mut out = Image::new(map.width(), map.height());
+    correct_bilinear_simd_into(src, map, &mut out);
+    out
+}
+
+/// [`correct_bilinear_simd`] into a pre-allocated output image
+/// (dimensions must match the map).
+pub fn correct_bilinear_simd_into(src: &Image<GrayF32>, map: &RemapMap, out: &mut Image<GrayF32>) {
+    assert_eq!(
+        out.dims(),
+        (map.width(), map.height()),
+        "output dimensions must match the map"
+    );
     let w = map.width() as usize;
     for y in 0..map.height() {
         let entries = map.row(y);
@@ -43,7 +55,6 @@ pub fn correct_bilinear_simd(src: &Image<GrayF32>, map: &RemapMap) -> Image<Gray
             };
         }
     }
-    out
 }
 
 /// The 4-lane gather + interpolate. All arithmetic is expressed as
@@ -104,6 +115,28 @@ fn gather4(src: &Image<GrayF32>, e: &[MapEntry; LANES]) -> [f32; LANES] {
 pub fn correct_bilinear_simd_gray8(src: &Image<Gray8>, map: &RemapMap) -> Image<Gray8> {
     let srcf: Image<GrayF32> = src.map(GrayF32::from);
     correct_bilinear_simd(&srcf, map).map(Gray8::from)
+}
+
+/// [`correct_bilinear_simd_gray8`] into a pre-allocated output image.
+/// Bit-exact with the serial `Gray8` bilinear path: the lift to float
+/// (`v / 255`), the lane arithmetic, and the final quantization match
+/// `sample_bilinear`'s per-pixel operation order exactly.
+pub fn correct_bilinear_simd_gray8_into(
+    src: &Image<Gray8>,
+    map: &RemapMap,
+    out: &mut Image<Gray8>,
+) {
+    assert_eq!(
+        out.dims(),
+        (map.width(), map.height()),
+        "output dimensions must match the map"
+    );
+    let srcf: Image<GrayF32> = src.map(GrayF32::from);
+    let mut outf: Image<GrayF32> = Image::new(map.width(), map.height());
+    correct_bilinear_simd_into(&srcf, map, &mut outf);
+    for (o, v) in out.pixels_mut().iter_mut().zip(outf.pixels()) {
+        *o = Gray8::from(*v);
+    }
 }
 
 #[cfg(test)]

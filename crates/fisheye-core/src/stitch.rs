@@ -83,8 +83,8 @@ impl StitchMap {
         let mut blend = vec![0u8; n];
         for y in 0..height {
             for x in 0..width {
-                let azimuth = (x as f64 + 0.5) / width as f64 * std::f64::consts::TAU
-                    - std::f64::consts::PI;
+                let azimuth =
+                    (x as f64 + 0.5) / width as f64 * std::f64::consts::TAU - std::f64::consts::PI;
                 let polar = (y as f64 + 0.5) / height as f64 * std::f64::consts::PI
                     - std::f64::consts::FRAC_PI_2;
                 let (sp, cp) = polar.sin_cos();
@@ -122,8 +122,8 @@ impl StitchMap {
                 } else {
                     // 1 inside the front-exclusive zone, 0 inside the
                     // back-exclusive zone, linear feather between
-                    let t = (theta_front - (std::f64::consts::FRAC_PI_2 - overlap))
-                        / (2.0 * overlap);
+                    let t =
+                        (theta_front - (std::f64::consts::FRAC_PI_2 - overlap)) / (2.0 * overlap);
                     1.0 - t.clamp(0.0, 1.0)
                 };
                 // entries may be missing (image-rectangle clipping):
@@ -137,13 +137,7 @@ impl StitchMap {
             }
         }
         StitchMap {
-            front: RemapMap::from_entries(
-                width,
-                height,
-                fw as u32,
-                fh as u32,
-                front_entries,
-            ),
+            front: RemapMap::from_entries(width, height, fw as u32, fh as u32, front_entries),
             back: RemapMap::from_entries(width, height, bw as u32, bh as u32, back_entries),
             blend,
             width,
@@ -175,7 +169,11 @@ impl StitchMap {
         back_frame: &Image<Gray8>,
         interp: Interpolator,
     ) -> Image<Gray8> {
-        assert_eq!(front_frame.dims(), self.front.src_dims(), "front frame size");
+        assert_eq!(
+            front_frame.dims(),
+            self.front.src_dims(),
+            "front frame size"
+        );
         assert_eq!(back_frame.dims(), self.back.src_dims(), "back frame size");
         let mut out = Image::new(self.width, self.height);
         for y in 0..self.height {

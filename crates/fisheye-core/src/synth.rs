@@ -91,9 +91,9 @@ pub fn capture_fisheye_f32(
             for sx in 0..ss {
                 let px = x as f64 + (sx as f64 + 0.5) * inv;
                 let py = y as f64 + (sy as f64 + 0.5) * inv;
-                match lens.unproject(px, py) {
-                    Some(ray) => acc += shade(scene, &world, ray),
-                    None => {} // outside the image circle: black
+                // outside the image circle contributes black
+                if let Some(ray) = lens.unproject(px, py) {
+                    acc += shade(scene, &world, ray);
                 }
             }
         }
@@ -172,14 +172,7 @@ mod tests {
     fn capture_has_black_outside_image_circle() {
         let lens = FisheyeLens::equidistant_fov(64, 64, 180.0);
         let view = PerspectiveView::centered(64, 64, 90.0);
-        let img = capture_fisheye(
-            &RadialGradient,
-            World::Planar(&view),
-            &lens,
-            64,
-            64,
-            1,
-        );
+        let img = capture_fisheye(&RadialGradient, World::Planar(&view), &lens, 64, 64, 1);
         // corners are outside the inscribed circle
         assert_eq!(img.pixel(0, 0), Gray8(0));
         assert_eq!(img.pixel(63, 63), Gray8(0));

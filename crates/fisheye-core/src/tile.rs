@@ -63,10 +63,8 @@ impl TilePlan {
             while x < map.width() {
                 let x1 = (x + tile_w).min(map.width());
                 let out = Rect::new(x, y, x1, y1);
-                let src = footprint(map, &out, interp).map_or(
-                    Rect::new(0, 0, 0, 0),
-                    |r| r.intersect(&src_bounds),
-                );
+                let src = footprint(map, &out, interp)
+                    .map_or(Rect::new(0, 0, 0, 0), |r| r.intersect(&src_bounds));
                 jobs.push(TileJob { out, src });
                 x = x1;
             }
@@ -111,9 +109,7 @@ impl TilePlan {
     pub fn max_working_set(&self, src_bpp: usize, out_bpp: usize, lut_bpp: usize) -> usize {
         self.jobs
             .iter()
-            .map(|j| {
-                j.src_bytes(src_bpp) + j.out_bytes(out_bpp) + j.out.area() as usize * lut_bpp
-            })
+            .map(|j| j.src_bytes(src_bpp) + j.out_bytes(out_bpp) + j.out.area() as usize * lut_bpp)
             .max()
             .unwrap_or(0)
     }
@@ -288,6 +284,106 @@ mod tests {
         let map = RemapMap::build(&lens, &view, 320, 240);
         let corner = Rect::new(0, 0, 4, 4);
         assert!(footprint(&map, &corner, Interpolator::Bilinear).is_none());
+    }
+
+    #[test]
+    fn edge_tiles_get_remainder_dimensions() {
+        // 100x70 output with 32x16 tiles: the last tile column is
+        // 100 - 3*32 = 4 wide, the last row 70 - 4*16 = 6 tall
+        let map = map_180(100, 70);
+        let plan = TilePlan::build(&map, 32, 16, Interpolator::Bilinear);
+        for j in &plan.jobs {
+            let w = j.out.x1 - j.out.x0;
+            let h = j.out.y1 - j.out.y0;
+            assert!(w == 32 || (j.out.x1 == 100 && w == 4), "tile {:?}", j.out);
+            assert!(h == 16 || (j.out.y1 == 70 && h == 6), "tile {:?}", j.out);
+            assert!(j.out.x1 <= 100 && j.out.y1 <= 70, "tile {:?}", j.out);
+        }
+        // the bottom-right corner tile is exactly the double remainder
+        let last = plan.jobs.last().unwrap();
+        assert_eq!(
+            (last.out.x1 - last.out.x0, last.out.y1 - last.out.y0),
+            (4, 6)
+        );
+    }
+
+    #[test]
+    fn non_multiple_dims_plan_reconstructs_frame() {
+        // neither output dimension is a multiple of the tile size
+        let map = map_180(101, 67);
+        let src = pixmap::scene::random_gray(320, 240, 11);
+        let full = crate::correct::correct(&src, &map, Interpolator::Bilinear);
+        let plan = TilePlan::build(&map, 16, 12, Interpolator::Bilinear);
+        let mut out: Image<Gray8> = Image::new(101, 67);
+        for j in &plan.jobs {
+            let local = if j.src.is_empty() {
+                Image::new(1, 1)
+            } else {
+                src.crop(j.src)
+            };
+            for y in j.out.y0..j.out.y1 {
+                for x in j.out.x0..j.out.x1 {
+                    let e = map.entry(x, y);
+                    let v = if e.is_valid() {
+                        Interpolator::Bilinear.sample(
+                            &local,
+                            e.sx - j.src.x0 as f32,
+                            e.sy - j.src.y0 as f32,
+                        )
+                    } else {
+                        Gray8(0)
+                    };
+                    out.set(x, y, v);
+                }
+            }
+        }
+        assert_eq!(out, full);
+    }
+
+    #[test]
+    fn all_invalid_tiles_reconstruct_to_black() {
+        // narrow lens behind a wide view: whole corner tiles have no
+        // valid entry (empty source footprint) and must still come out
+        // of plan-driven correction as black, not garbage
+        let lens = FisheyeLens::equidistant_fov(320, 240, 100.0);
+        let view = PerspectiveView::centered(96, 96, 160.0);
+        let map = RemapMap::build(&lens, &view, 320, 240);
+        let src = pixmap::scene::random_gray(320, 240, 12);
+        let full = crate::correct::correct(&src, &map, Interpolator::Bilinear);
+        let plan = TilePlan::build(&map, 8, 8, Interpolator::Bilinear);
+        let empty: Vec<_> = plan.jobs.iter().filter(|j| j.src.is_empty()).collect();
+        assert!(!empty.is_empty(), "expected fully-invalid tiles");
+        let mut out: Image<Gray8> = Image::new(96, 96);
+        for j in &plan.jobs {
+            let local = if j.src.is_empty() {
+                Image::new(1, 1)
+            } else {
+                src.crop(j.src)
+            };
+            for y in j.out.y0..j.out.y1 {
+                for x in j.out.x0..j.out.x1 {
+                    let e = map.entry(x, y);
+                    let v = if e.is_valid() {
+                        Interpolator::Bilinear.sample(
+                            &local,
+                            e.sx - j.src.x0 as f32,
+                            e.sy - j.src.y0 as f32,
+                        )
+                    } else {
+                        Gray8(0)
+                    };
+                    out.set(x, y, v);
+                }
+            }
+        }
+        assert_eq!(out, full);
+        for j in &empty {
+            for y in j.out.y0..j.out.y1 {
+                for x in j.out.x0..j.out.x1 {
+                    assert_eq!(out.pixel(x, y), Gray8(0));
+                }
+            }
+        }
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub fn select_model(obs: &[Observation]) -> (LensModel, f64, f64) {
             continue;
         }
         let (f, rms) = fit_focal(m, obs);
-        if best.map_or(true, |(_, _, brms)| rms < brms) {
+        if best.is_none_or(|(_, _, brms)| rms < brms) {
             best = Some((m, f, rms));
         }
     }
@@ -148,7 +148,11 @@ mod tests {
         let lens = lens_180();
         let obs = synthetic_observations(&lens, 50, 0.0);
         let (f, rms) = fit_focal(LensModel::Equidistant, &obs);
-        assert!((f - lens.focal_px).abs() < 1e-9, "f {f} vs {}", lens.focal_px);
+        assert!(
+            (f - lens.focal_px).abs() < 1e-9,
+            "f {f} vs {}",
+            lens.focal_px
+        );
         assert!(rms < 1e-9);
     }
 
@@ -157,13 +161,21 @@ mod tests {
         let lens = lens_180();
         let obs = synthetic_observations(&lens, 200, 1.5);
         let (f, rms) = fit_focal(LensModel::Equidistant, &obs);
-        assert!((f - lens.focal_px).abs() < 0.5, "f {f} vs {}", lens.focal_px);
+        assert!(
+            (f - lens.focal_px).abs() < 0.5,
+            "f {f} vs {}",
+            lens.focal_px
+        );
         assert!(rms < 2.0);
     }
 
     #[test]
     fn select_model_identifies_generator() {
-        for gen in [LensModel::Equidistant, LensModel::Equisolid, LensModel::Stereographic] {
+        for gen in [
+            LensModel::Equidistant,
+            LensModel::Equisolid,
+            LensModel::Stereographic,
+        ] {
             let lens = FisheyeLens::with_model_fov(gen, 1000, 1000, 160.0);
             let obs = synthetic_observations(&lens, 100, 0.0);
             let (m, f, rms) = select_model(&obs);
@@ -179,7 +191,9 @@ mod tests {
         // orthographic
         let lens = lens_180();
         let obs = synthetic_observations(&lens, 60, 0.0);
-        assert!(obs.iter().any(|o| o.theta > std::f64::consts::FRAC_PI_2 * 0.99));
+        assert!(obs
+            .iter()
+            .any(|o| o.theta > std::f64::consts::FRAC_PI_2 * 0.99));
         let (m, _, _) = select_model(&obs);
         assert_ne!(m, LensModel::Orthographic);
     }

@@ -294,7 +294,12 @@ mod tests {
     #[test]
     fn unproject_project_roundtrip() {
         let lens = FisheyeLens::equidistant_fov(640, 480, 180.0);
-        for (px, py) in [(320.0, 240.0), (400.0, 240.0), (320.0, 100.0), (450.0, 300.0)] {
+        for (px, py) in [
+            (320.0, 240.0),
+            (400.0, 240.0),
+            (320.0, 100.0),
+            (450.0, 300.0),
+        ] {
             let ray = lens.unproject(px, py).expect("inside circle");
             assert!((ray.norm() - 1.0).abs() < 1e-12, "unit ray");
             let (bx, by) = lens.project(ray).expect("inside fov");
@@ -313,9 +318,16 @@ mod tests {
     #[test]
     fn project_roundtrip_all_models() {
         for m in LensModel::ALL {
-            let lens = FisheyeLens::with_model_fov(m, 512, 512, 170.0_f64.min(m.max_theta().to_degrees() * 2.0 - 1.0));
+            let lens = FisheyeLens::with_model_fov(
+                m,
+                512,
+                512,
+                170.0_f64.min(m.max_theta().to_degrees() * 2.0 - 1.0),
+            );
             let ray = Vec3::new(0.3, -0.2, 0.9).normalized();
-            let (px, py) = lens.project(ray).unwrap_or_else(|| panic!("{} project", m.name()));
+            let (px, py) = lens
+                .project(ray)
+                .unwrap_or_else(|| panic!("{} project", m.name()));
             let back = lens.unproject(px, py).unwrap();
             assert!(
                 (back - ray).norm() < 1e-9,

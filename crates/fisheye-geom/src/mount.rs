@@ -63,8 +63,7 @@ impl MountedLens {
 
     /// Project a *world*-frame ray to fisheye pixels.
     pub fn project_world(&self, world_ray: Vec3) -> Option<(f64, f64)> {
-        self.lens
-            .project(self.cam_to_world.transpose() * world_ray)
+        self.lens.project(self.cam_to_world.transpose() * world_ray)
     }
 
     /// Unproject fisheye pixels to a *world*-frame unit ray.
@@ -209,7 +208,7 @@ mod tests {
             for x in 0..view.width {
                 let ray = view.pixel_ray(x as f64 + 0.5, y as f64 + 0.5);
                 if let Some((sx, sy)) = lens.project(ray) {
-                    if sx >= 0.0 && sx < 512.0 && sy >= 0.0 && sy < 512.0 {
+                    if (0.0..512.0).contains(&sx) && (0.0..512.0).contains(&sy) {
                         valid += 1;
                     }
                 }

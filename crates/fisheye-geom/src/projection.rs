@@ -196,7 +196,11 @@ mod tests {
         ];
         for p in projections {
             let (w, h) = p.dims();
-            for (x, y) in [(0.5, 0.5), (w as f64 - 0.5, h as f64 - 0.5), (w as f64 / 2.0, 1.0)] {
+            for (x, y) in [
+                (0.5, 0.5),
+                (w as f64 - 0.5, h as f64 - 0.5),
+                (w as f64 / 2.0, 1.0),
+            ] {
                 let r = p.pixel_ray(x, y);
                 assert!((r.norm() - 1.0).abs() < 1e-12, "{} at ({x},{y})", p.name());
             }

@@ -218,10 +218,11 @@ pub fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
         }
         a.swap(col, piv);
         b.swap(col, piv);
+        let pivot_row = a[col].clone();
         for row in col + 1..n {
-            let f = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            let f = a[row][col] / pivot_row[col];
+            for (ark, &pk) in a[row][col..].iter_mut().zip(&pivot_row[col..]) {
+                *ark -= f * pk;
             }
             b[row] -= f * b[col];
         }

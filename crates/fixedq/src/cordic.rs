@@ -26,34 +26,8 @@ const ATAN_TABLE: [i64; 32] = {
         248918915, // atan(0.5)    = 0.4636476090
         131521918, // atan(0.25)   = 0.2449786631
         66762579,  // atan(0.125)
-        33510843,
-        16771758,
-        8387925,
-        4194219,
-        2097141,
-        1048575,
-        524288,
-        262144,
-        131072,
-        65536,
-        32768,
-        16384,
-        8192,
-        4096,
-        2048,
-        1024,
-        512,
-        256,
-        128,
-        64,
-        32,
-        16,
-        8,
-        4,
-        2,
-        1,
-        0,
-        0,
+        33510843, 16771758, 8387925, 4194219, 2097141, 1048575, 524288, 262144, 131072, 65536,
+        32768, 16384, 8192, 4096, 2048, 1024, 512, 256, 128, 64, 32, 16, 8, 4, 2, 1, 0, 0,
     ]
 };
 
@@ -285,8 +259,16 @@ mod tests {
     fn sincos_range_reduction_beyond_pi() {
         for &a in &[3.5, -3.5, 6.0, -6.0, 9.42, 12.0] {
             let (s, c) = float::sincos(a, 30);
-            assert!((s - a.sin()).abs() < 1e-5, "sin({a}) = {s} want {}", a.sin());
-            assert!((c - a.cos()).abs() < 1e-5, "cos({a}) = {c} want {}", a.cos());
+            assert!(
+                (s - a.sin()).abs() < 1e-5,
+                "sin({a}) = {s} want {}",
+                a.sin()
+            );
+            assert!(
+                (c - a.cos()).abs() < 1e-5,
+                "cos({a}) = {c} want {}",
+                a.cos()
+            );
         }
     }
 

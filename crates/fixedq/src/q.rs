@@ -329,6 +329,7 @@ impl DynFixed {
     }
 
     /// Saturating add (formats must match).
+    #[allow(clippy::should_implement_trait)] // saturating/rounding with runtime format checks, not the std ops
     pub fn add(self, rhs: Self) -> Self {
         assert_eq!(self.frac, rhs.frac, "format mismatch");
         Self {
@@ -338,6 +339,7 @@ impl DynFixed {
     }
 
     /// Saturating subtract (formats must match).
+    #[allow(clippy::should_implement_trait)] // saturating/rounding with runtime format checks, not the std ops
     pub fn sub(self, rhs: Self) -> Self {
         assert_eq!(self.frac, rhs.frac, "format mismatch");
         Self {
@@ -347,6 +349,7 @@ impl DynFixed {
     }
 
     /// Rounding multiply (formats must match).
+    #[allow(clippy::should_implement_trait)] // saturating/rounding with runtime format checks, not the std ops
     pub fn mul(self, rhs: Self) -> Self {
         assert_eq!(self.frac, rhs.frac, "format mismatch");
         let prod = self.raw as i64 * rhs.raw as i64;
@@ -381,7 +384,8 @@ mod tests {
 
     #[test]
     fn roundtrip_precision() {
-        for &x in &[0.0, 1.0, -1.0, 3.14159, -2.71828, 100.5, -100.25] {
+        let (pi, e) = (std::f64::consts::PI, std::f64::consts::E);
+        for &x in &[0.0, 1.0, -1.0, pi, -e, 100.5, -100.25] {
             let q = Q16_16::from_f64(x);
             assert!(
                 (q.to_f64() - x).abs() <= 1.0 / 65536.0 / 2.0 + 1e-12,

@@ -9,7 +9,7 @@
 use fixedq::cordic::float as cf;
 use fixedq::lut::LinearLut;
 use fixedq::{DynFixed, Q16_16};
-use proputil::{ensure, ensure_eq, Gen};
+use proputil::{ensure, ensure_eq};
 
 const Q16_RANGE: f64 = 30000.0;
 const Q16_STEP: f64 = 1.0 / 65536.0;
@@ -34,7 +34,11 @@ fn q16_add_commutes_and_associates() {
         let a = g.f64_in(-100.0, 100.0);
         let b = g.f64_in(-100.0, 100.0);
         let c = g.f64_in(-100.0, 100.0);
-        let (qa, qb, qc) = (Q16_16::from_f64(a), Q16_16::from_f64(b), Q16_16::from_f64(c));
+        let (qa, qb, qc) = (
+            Q16_16::from_f64(a),
+            Q16_16::from_f64(b),
+            Q16_16::from_f64(c),
+        );
         ensure_eq!(qa + qb, qb + qa);
         ensure_eq!((qa + qb) + qc, qa + (qb + qc)); // exact: saturating int adds in range
         Ok(())
@@ -88,7 +92,10 @@ fn q16_sqrt_squares_back() {
     proputil::check("q16_sqrt_squares_back", CASES, |g| {
         let x = g.f64_in(0.0, 10000.0);
         let r = Q16_16::from_f64(x).sqrt().to_f64();
-        ensure!((r * r - x).abs() <= 4.0 * Q16_STEP * (1.0 + 2.0 * r), "sqrt({x})={r}");
+        ensure!(
+            (r * r - x).abs() <= 4.0 * Q16_STEP * (1.0 + 2.0 * r),
+            "sqrt({x})={r}"
+        );
         Ok(())
     });
 }
@@ -177,7 +184,10 @@ fn cordic_hypot_accuracy() {
         }
         let got = cf::hypot(x, y, 30);
         let want = f64::hypot(x, y);
-        ensure!((got - want).abs() < 1e-4 * (1.0 + want), "hypot({x},{y}) = {got}");
+        ensure!(
+            (got - want).abs() < 1e-4 * (1.0 + want),
+            "hypot({x},{y}) = {got}"
+        );
         Ok(())
     });
 }

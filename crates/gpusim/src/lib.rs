@@ -21,10 +21,12 @@
 //! 1.4 GHz shader clock, 160 GB/s), matching the paper's era.
 
 mod cache;
+pub mod engine;
 mod model;
 pub mod staged;
 
 pub use cache::SetCache;
+pub use engine::GpuEngine;
 pub use model::{GpuReport, GpuRunner, WarpMemProfile};
 pub use staged::{correct_frame_staged, StagedReport};
 

@@ -84,7 +84,7 @@ impl GpuRunner {
     /// Runner for a machine configuration.
     pub fn new(config: GpuConfig) -> Self {
         assert!(
-            config.block_threads % config.warp_size == 0,
+            config.block_threads.is_multiple_of(config.warp_size),
             "block size must be a whole number of warps"
         );
         GpuRunner { config }
@@ -247,10 +247,7 @@ mod tests {
         let (gpu, report) = runner.correct_frame(&src, &map, Interpolator::Bilinear);
         assert_eq!(gpu, host);
         assert!(report.fps > 0.0);
-        assert_eq!(
-            report.blocks,
-            (128u64.div_ceil(32)) * (96u64.div_ceil(8))
-        );
+        assert_eq!(report.blocks, (128u64.div_ceil(32)) * (96u64.div_ceil(8)));
     }
 
     #[test]

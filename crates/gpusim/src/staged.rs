@@ -105,7 +105,8 @@ pub fn correct_frame_staged<P: Pixel>(
                 staged_blocks += 1;
                 dram_bytes += fp_bytes as u64;
                 // coalesced load at full bandwidth share + smem gathers
-                let load = fp_bytes as f64 / (config.dram_bytes_per_cycle() / config.sm_count as f64)
+                let load = fp_bytes as f64
+                    / (config.dram_bytes_per_cycle() / config.sm_count as f64)
                     + config.dram_latency_cycles / config.occupancy_warps;
                 let gather = pixels * interp.taps() as f64 * 1.5 / config.occupancy_warps;
                 sm_cycles[sm] += load + compute.max(gather);

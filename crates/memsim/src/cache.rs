@@ -71,7 +71,10 @@ pub struct Cache {
 impl Cache {
     /// Build an empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.ways >= 1, "need at least one way");
         Cache {
             sets: vec![Vec::with_capacity(cfg.ways); cfg.sets()],

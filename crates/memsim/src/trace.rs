@@ -94,7 +94,8 @@ pub fn simulate_correction(
         let core = (y as usize) % cores;
         for x in 0..map.width() {
             // LUT read
-            let lut_addr = lut_base + (y as u64 * map.width() as u64 + x as u64) * cfg.lut_bpp as u64;
+            let lut_addr =
+                lut_base + (y as u64 * map.width() as u64 + x as u64) * cfg.lut_bpp as u64;
             h.access(core, lut_addr);
             accesses += 1;
             let e = map.entry(x, y);
@@ -107,8 +108,7 @@ pub fn simulate_correction(
                     // horizontal taps of this row
                     let a0 = src_base + (sy * src_w as u64 + x0 as u64) * cfg.src_bpp as u64;
                     let a1 = src_base
-                        + (sy * src_w as u64
-                            + (x0 + reach - 1).min(src_w as i64 - 1) as u64)
+                        + (sy * src_w as u64 + (x0 + reach - 1).min(src_w as i64 - 1) as u64)
                             * cfg.src_bpp as u64;
                     let mut a = a0;
                     loop {
@@ -123,7 +123,8 @@ pub fn simulate_correction(
                 }
             }
             // output write
-            let out_addr = out_base + (y as u64 * map.width() as u64 + x as u64) * cfg.out_bpp as u64;
+            let out_addr =
+                out_base + (y as u64 * map.width() as u64 + x as u64) * cfg.out_bpp as u64;
             h.access(core, out_addr);
             accesses += 1;
         }
@@ -131,7 +132,8 @@ pub fn simulate_correction(
 
     let l1 = h.l1_total();
     let l2 = h.l2_stats();
-    let compulsory = src_bytes + lut_bytes + map.width() as u64 * map.height() as u64 * cfg.out_bpp as u64;
+    let compulsory =
+        src_bytes + lut_bytes + map.width() as u64 * map.height() as u64 * cfg.out_bpp as u64;
     KernelTraffic {
         accesses,
         l1_miss_rate: l1.miss_rate(),
@@ -207,7 +209,11 @@ mod tests {
             t_small.dram_bytes,
             t_big.dram_bytes
         );
-        assert!(t_small.traffic_amplification > 1.5, "{}", t_small.traffic_amplification);
+        assert!(
+            t_small.traffic_amplification > 1.5,
+            "{}",
+            t_small.traffic_amplification
+        );
     }
 
     #[test]

@@ -146,9 +146,10 @@ impl ThreadPool {
         // `JobPtr` holds because we wait for `active == 0` below
         // before returning (and before `f` can be dropped).
         let ptr = JobPtr(unsafe {
-            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
-                f as *const _,
-            )
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const _)
         });
         st.job = Some(ptr);
         st.epoch += 1;
@@ -274,9 +275,9 @@ fn worker_loop(id: usize, shared: &Shared) {
                 if st.shutdown {
                     return;
                 }
-                if st.job.is_some() && st.epoch > last_epoch {
+                if let (Some(job), true) = (st.job, st.epoch > last_epoch) {
                     last_epoch = st.epoch;
-                    break st.job.unwrap();
+                    break job;
                 }
                 shared.work_ready.wait(&mut st);
             }
@@ -389,12 +390,17 @@ mod tests {
     fn parallel_rows_writes_every_row_once() {
         let pool = ThreadPool::new(4);
         let mut data = vec![0u32; 64 * 17];
-        pool.parallel_rows(&mut data, 17, Schedule::Dynamic { chunk: 3 }, &|row, slice| {
-            assert_eq!(slice.len(), 17);
-            for v in slice {
-                *v += row as u32 + 1; // +=: doubles would reveal double-dispatch
-            }
-        });
+        pool.parallel_rows(
+            &mut data,
+            17,
+            Schedule::Dynamic { chunk: 3 },
+            &|row, slice| {
+                assert_eq!(slice.len(), 17);
+                for v in slice {
+                    *v += row as u32 + 1; // +=: doubles would reveal double-dispatch
+                }
+            },
+        );
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, (i / 17) as u32 + 1, "element {i}");
         }
@@ -406,11 +412,16 @@ mod tests {
         let pool4 = ThreadPool::new(4);
         let run = |pool: &ThreadPool| {
             let mut data = vec![0u64; 50 * 13];
-            pool.parallel_rows(&mut data, 13, Schedule::Guided { min_chunk: 1 }, &|row, s| {
-                for (i, v) in s.iter_mut().enumerate() {
-                    *v = (row * 1000 + i) as u64;
-                }
-            });
+            pool.parallel_rows(
+                &mut data,
+                13,
+                Schedule::Guided { min_chunk: 1 },
+                &|row, s| {
+                    for (i, v) in s.iter_mut().enumerate() {
+                        *v = (row * 1000 + i) as u64;
+                    }
+                },
+            );
             data
         };
         assert_eq!(run(&pool1), run(&pool4));

@@ -94,16 +94,16 @@ mod tests {
     #[test]
     fn reduce_with_nontrivial_accumulator() {
         // min and max in one pass
-        let data: Vec<i64> = (0..5000).map(|i| ((i * 7919) % 1000) as i64 - 500).collect();
+        let data: Vec<i64> = (0..5000)
+            .map(|i| ((i * 7919) % 1000) as i64 - 500)
+            .collect();
         let pool = ThreadPool::new(3);
         let d = &data;
         let (min, max) = pool.parallel_reduce(
             0..data.len(),
             Schedule::Dynamic { chunk: 64 },
             || (i64::MAX, i64::MIN),
-            |(lo, hi), chunk| {
-                chunk.fold((lo, hi), |(lo, hi), i| (lo.min(d[i]), hi.max(d[i])))
-            },
+            |(lo, hi), chunk| chunk.fold((lo, hi), |(lo, hi), i| (lo.min(d[i]), hi.max(d[i]))),
             |a, b| (a.0.min(b.0), a.1.max(b.1)),
         );
         assert_eq!(min, *data.iter().min().unwrap());

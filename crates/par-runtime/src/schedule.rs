@@ -163,13 +163,14 @@ mod tests {
     /// pullers, and return the set of covered indices.
     fn drain_all(len: usize, workers: usize, s: Schedule) -> Vec<usize> {
         let q = ChunkQueue::new(len, workers, s);
-        let mut cursors: Vec<WorkerCursor> = (0..workers).map(|_| WorkerCursor::default()).collect();
+        let mut cursors: Vec<WorkerCursor> =
+            (0..workers).map(|_| WorkerCursor::default()).collect();
         let mut covered = Vec::new();
         let mut progress = true;
         while progress {
             progress = false;
-            for w in 0..workers {
-                if let Some(r) = q.next(w, &mut cursors[w]) {
+            for (w, cursor) in cursors.iter_mut().enumerate() {
+                if let Some(r) = q.next(w, cursor) {
                     covered.extend(r);
                     progress = true;
                 }
@@ -334,8 +335,8 @@ mod proptests {
             let mut progress = true;
             while progress {
                 progress = false;
-                for w in 0..workers {
-                    if let Some(r) = q.next(w, &mut cursors[w]) {
+                for (w, cursor) in cursors.iter_mut().enumerate() {
+                    if let Some(r) = q.next(w, cursor) {
                         for i in r {
                             ensure!(!seen[i], "index {i} handed out twice ({s:?})");
                             seen[i] = true;

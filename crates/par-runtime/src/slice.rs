@@ -116,7 +116,9 @@ mod tests {
             }
         });
         for row in 0..100 {
-            assert!(data[row * 8..(row + 1) * 8].iter().all(|&v| v == row as u32));
+            assert!(data[row * 8..(row + 1) * 8]
+                .iter()
+                .all(|&v| v == row as u32));
         }
     }
 }

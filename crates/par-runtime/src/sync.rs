@@ -61,9 +61,7 @@ impl<T: ?Sized> Mutex<T> {
     /// Mutable access without locking (requires `&mut self`, so no
     /// other thread can hold the lock).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner
-            .get_mut()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 

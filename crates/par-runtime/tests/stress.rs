@@ -97,11 +97,16 @@ fn parallel_rows_fill_every_element() {
         let threads = g.usize_in(1, 6);
         let pool = ThreadPool::new(threads);
         let mut data = vec![u32::MAX; rows * row_len];
-        pool.parallel_rows(&mut data, row_len, Schedule::Guided { min_chunk: 1 }, &|row, s| {
-            for (i, v) in s.iter_mut().enumerate() {
-                *v = (row * row_len + i) as u32;
-            }
-        });
+        pool.parallel_rows(
+            &mut data,
+            row_len,
+            Schedule::Guided { min_chunk: 1 },
+            &|row, s| {
+                for (i, v) in s.iter_mut().enumerate() {
+                    *v = (row * row_len + i) as u32;
+                }
+            },
+        );
         for (i, v) in data.iter().enumerate() {
             ensure_eq!(*v, i as u32, "rows={rows} row_len={row_len}");
         }

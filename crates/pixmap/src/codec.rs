@@ -283,7 +283,7 @@ pub fn encode_bmp(img: &Image<Rgb8>) -> Vec<u8> {
     out.extend_from_slice(&(file_size as u32).to_le_bytes());
     out.extend_from_slice(&0u32.to_le_bytes()); // reserved
     out.extend_from_slice(&54u32.to_le_bytes()); // raster offset
-    // BITMAPINFOHEADER
+                                                 // BITMAPINFOHEADER
     out.extend_from_slice(&40u32.to_le_bytes());
     out.extend_from_slice(&(w as i32).to_le_bytes());
     out.extend_from_slice(&(h as i32).to_le_bytes()); // bottom-up
@@ -477,10 +477,7 @@ mod tests {
     #[test]
     fn ppm_rejects_16bit() {
         let data = b"P6\n1 1\n65535\n\0\0\0\0\0\0";
-        assert!(matches!(
-            decode_ppm(data),
-            Err(CodecError::Unsupported(_))
-        ));
+        assert!(matches!(decode_ppm(data), Err(CodecError::Unsupported(_))));
     }
 
     #[test]

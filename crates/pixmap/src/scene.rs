@@ -117,7 +117,8 @@ pub struct BrickWall {
 
 fn hash2(a: i64, b: i64) -> u32 {
     // SplitMix-style integer hash; deterministic across platforms.
-    let mut x = (a as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (b as u64).wrapping_mul(0xBF58476D1CE4E5B9);
+    let mut x =
+        (a as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (b as u64).wrapping_mul(0xBF58476D1CE4E5B9);
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58476D1CE4E5B9);
     x ^= x >> 27;
@@ -131,7 +132,11 @@ impl Scene for BrickWall {
         let brick_w = row_h * 2.0;
         let row = (v / row_h).floor() as i64;
         // stagger alternate rows by half a brick
-        let offset = if row.rem_euclid(2) == 0 { 0.0 } else { brick_w / 2.0 };
+        let offset = if row.rem_euclid(2) == 0 {
+            0.0
+        } else {
+            brick_w / 2.0
+        };
         let col = ((u + offset) / brick_w).floor() as i64;
         let fv = (v / row_h).fract();
         let fu = ((u + offset) / brick_w).fract();
@@ -212,8 +217,14 @@ impl Scene for SinusoidField {
 pub fn scene_by_name(name: &str) -> Option<Box<dyn Scene>> {
     match name {
         "checker" => Some(Box::new(Checkerboard { cells: 16 })),
-        "circles" => Some(Box::new(ConcentricCircles { rings: 12, duty: 0.25 })),
-        "grid" => Some(Box::new(LineGrid { lines: 12, thickness: 0.06 })),
+        "circles" => Some(Box::new(ConcentricCircles {
+            rings: 12,
+            duty: 0.25,
+        })),
+        "grid" => Some(Box::new(LineGrid {
+            lines: 12,
+            thickness: 0.06,
+        })),
         "bricks" => Some(Box::new(BrickWall { rows: 24 })),
         "text" => Some(Box::new(GlyphPanel { rows: 20, seed: 7 })),
         "gradient" => Some(Box::new(RadialGradient)),
@@ -276,7 +287,10 @@ mod tests {
 
     #[test]
     fn circles_center_is_dark_ring_origin() {
-        let c = ConcentricCircles { rings: 10, duty: 0.3 };
+        let c = ConcentricCircles {
+            rings: 10,
+            duty: 0.3,
+        };
         // at exact center r=0, phase 0 < duty -> dark
         assert_eq!(c.sample(0.5, 0.5), 0.0);
         // radial symmetry
@@ -287,7 +301,10 @@ mod tests {
 
     #[test]
     fn line_grid_has_lines_at_multiples() {
-        let g = LineGrid { lines: 10, thickness: 0.05 };
+        let g = LineGrid {
+            lines: 10,
+            thickness: 0.05,
+        };
         assert_eq!(g.sample(0.101, 0.05), 0.0); // just past x line at 0.1
         assert_eq!(g.sample(0.15, 0.15), 1.0); // cell interior
     }

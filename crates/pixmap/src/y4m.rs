@@ -24,7 +24,10 @@ impl<W: Write> Y4mWriter<W> {
     /// Writer for `width`×`height` frames at `fps_num/fps_den` Hz.
     /// Dimensions must be even (4:2:0 chroma).
     pub fn new(sink: W, width: u32, height: u32, fps_num: u32, fps_den: u32) -> Self {
-        assert!(width % 2 == 0 && height % 2 == 0, "C420 needs even dims");
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "C420 needs even dims"
+        );
         assert!(fps_num > 0 && fps_den > 0, "frame rate must be positive");
         Y4mWriter {
             sink,
@@ -101,10 +104,8 @@ pub fn decode_y4m(bytes: &[u8]) -> Result<(u32, u32, Vec<Yuv420>), String> {
         match tok.as_bytes()[0] {
             b'W' => w = tok[1..].parse().map_err(|_| "bad W")?,
             b'H' => h = tok[1..].parse().map_err(|_| "bad H")?,
-            b'C' => {
-                if &tok[1..] != "420" {
-                    return Err(format!("unsupported chroma mode {tok}"));
-                }
+            b'C' if &tok[1..] != "420" => {
+                return Err(format!("unsupported chroma mode {tok}"));
             }
             _ => {}
         }
@@ -174,10 +175,11 @@ mod tests {
     #[test]
     fn header_format() {
         let mut w = Y4mWriter::new(Vec::new(), 32, 24, 30000, 1001);
-        w.write_frame(&Yuv420::from_rgb(&random_rgb(32, 24, 3))).unwrap();
-        let bytes = w.finish().unwrap();
-        let header = std::str::from_utf8(&bytes[..bytes.iter().position(|&b| b == b'\n').unwrap()])
+        w.write_frame(&Yuv420::from_rgb(&random_rgb(32, 24, 3)))
             .unwrap();
+        let bytes = w.finish().unwrap();
+        let header =
+            std::str::from_utf8(&bytes[..bytes.iter().position(|&b| b == b'\n').unwrap()]).unwrap();
         assert_eq!(header, "YUV4MPEG2 W32 H24 F30000:1001 Ip A1:1 C420");
     }
 
@@ -199,7 +201,7 @@ mod tests {
     fn decoder_rejects_garbage() {
         assert!(decode_y4m(b"not a stream\n").is_err());
         assert!(decode_y4m(b"YUV4MPEG2 W16\n").is_err()); // missing H
-        // truncated payload
+                                                          // truncated payload
         let mut w = Y4mWriter::new(Vec::new(), 16, 12, 25, 1);
         w.write_frame(&frame(5)).unwrap();
         let bytes = w.finish().unwrap();

@@ -177,7 +177,11 @@ fn ycbcr_conversion_is_nearly_inverse() {
         let (y, cb, cr) = rgb_to_ycbcr(Rgb8::new(r, gr, b));
         let back = ycbcr_to_rgb(y, cb, cr);
         ensure!((back.r as i32 - r as i32).abs() <= 3, "r {r} -> {}", back.r);
-        ensure!((back.g as i32 - gr as i32).abs() <= 3, "g {gr} -> {}", back.g);
+        ensure!(
+            (back.g as i32 - gr as i32).abs() <= 3,
+            "g {gr} -> {}",
+            back.g
+        );
         ensure!((back.b as i32 - b as i32).abs() <= 3, "b {b} -> {}", back.b);
         Ok(())
     });

@@ -73,7 +73,7 @@ impl FixedMapGen {
     /// Datapath with typical FPGA parameters (18 CORDIC stages, 1024
     /// LUT intervals, 8-bit weights).
     pub fn new(cordic_iters: u32, lens_lut_intervals: usize, weight_frac_bits: u32) -> Self {
-        assert!(cordic_iters >= 4 && cordic_iters <= 32, "4..=32 iterations");
+        assert!((4..=32).contains(&cordic_iters), "4..=32 iterations");
         assert!(
             (1..=15).contains(&weight_frac_bits),
             "weights are u16: 1..=15 bits"
@@ -134,8 +134,20 @@ impl FixedMapGen {
         for y in 0..view.height {
             for x in 0..view.width {
                 let e = Self::pixel_datapath(
-                    x, y, inv_fv, half_w, half_h, &rq, focal_q, cx_q, cy_q, max_theta_c, &lut,
-                    iters, src_w, src_h,
+                    x,
+                    y,
+                    inv_fv,
+                    half_w,
+                    half_h,
+                    &rq,
+                    focal_q,
+                    cx_q,
+                    cy_q,
+                    max_theta_c,
+                    &lut,
+                    iters,
+                    src_w,
+                    src_h,
                 );
                 entries.push(e);
             }
@@ -288,7 +300,13 @@ struct RemapMapBuilder {
 
 impl RemapMapBuilder {
     fn finish(self) -> RemapMap {
-        RemapMap::from_entries(self.width, self.height, self.src_w, self.src_h, self.entries)
+        RemapMap::from_entries(
+            self.width,
+            self.height,
+            self.src_w,
+            self.src_h,
+            self.entries,
+        )
     }
 }
 
@@ -317,7 +335,11 @@ mod tests {
             "mean coordinate error {} px",
             acc.mean_err_px
         );
-        assert!(acc.max_err_px < 0.5, "max coordinate error {} px", acc.max_err_px);
+        assert!(
+            acc.max_err_px < 0.5,
+            "max coordinate error {} px",
+            acc.max_err_px
+        );
         // validity can flip only on the FOV boundary ring
         assert!(
             acc.validity_mismatches < (fixed.width() + fixed.height()) as u64 * 4,

@@ -117,8 +117,7 @@ pub fn analyze(map: &RemapMap, gen: &FixedMapGen, cfg: &StreamConfig) -> StreamR
     let bram = lb.buffer_bytes + gen.lut_bram_bytes();
     let feasible = lb.monotone && bram <= cfg.bram_budget_bytes;
     let pixels = map.width() as f64 * map.height() as f64;
-    let frame_cycles =
-        pixels + gen.pipeline_depth() as f64 + cfg.frame_overhead_cycles;
+    let frame_cycles = pixels + gen.pipeline_depth() as f64 + cfg.frame_overhead_cycles;
     StreamReport {
         line_buffers: lb,
         feasible,

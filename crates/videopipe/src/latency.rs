@@ -50,8 +50,7 @@ impl LatencyStats {
             self.samples.sort_unstable();
             self.sorted = true;
         }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         self.samples[rank - 1]
     }
 

@@ -15,7 +15,9 @@
 
 use std::time::{Duration, Instant};
 
-use fisheye_core::{correct, Interpolator, RemapMap};
+use fisheye_core::engine::{execute_host, EngineSpec, HostEnv};
+use fisheye_core::map::FixedRemapMap;
+use fisheye_core::{Interpolator, RemapMap};
 use pixmap::{Gray8, Image};
 
 use crate::channel::BoundedQueue;
@@ -30,6 +32,12 @@ pub struct PipeConfig {
     pub queue_capacity: usize,
     /// Interpolation kernel.
     pub interp: Interpolator,
+    /// Per-frame execution path inside each worker. Workers already
+    /// provide the frame-level parallelism, so only the
+    /// single-threaded LUT engines are valid here: `serial`, `fixed`
+    /// and `simd` (quantized LUTs are prepared once, before the
+    /// workers start).
+    pub engine: EngineSpec,
     /// When `Some(cap)`, the sink reorders frames through a
     /// [`crate::Resequencer`] with that buffer capacity, delivering
     /// `on_frame` calls strictly in sequence (late frames are
@@ -43,6 +51,7 @@ impl Default for PipeConfig {
             workers: 1,
             queue_capacity: 4,
             interp: Interpolator::Bilinear,
+            engine: EngineSpec::Serial,
             resequence: None,
         }
     }
@@ -72,6 +81,25 @@ pub struct PipeReport {
     pub out_of_order: u64,
     /// Frames dropped by the resequencer (0 when resequencing is off).
     pub dropped: u64,
+    /// Total correction-kernel time summed over all sunk frames (CPU
+    /// work, as opposed to the queue-inclusive latency percentiles).
+    pub kernel_time: Duration,
+    /// Output pixels with no valid source mapping, summed over all
+    /// sunk frames.
+    pub invalid_pixels: u64,
+}
+
+impl PipeReport {
+    /// Mean per-frame kernel time (`Duration::ZERO` when no frames
+    /// reached the sink — same zero-frame contract as
+    /// `PipelineStats`).
+    pub fn kernel_per_frame(&self) -> Duration {
+        if self.frames == 0 {
+            Duration::ZERO
+        } else {
+            self.kernel_time / self.frames as u32
+        }
+    }
 }
 
 /// A corrected frame arriving at the sink.
@@ -79,11 +107,18 @@ struct CorrectedFrame {
     seq: u64,
     captured_at: Instant,
     image: Image<Gray8>,
+    kernel_time: Duration,
+    invalid_pixels: u64,
 }
 
 /// Drive `source` through the correction pipeline to exhaustion and
 /// return the measurements. `on_frame` is invoked at the sink for
 /// every corrected frame (pass `|_, _| {}` to discard).
+///
+/// Panics if `config.engine` is not one of the worker-compatible
+/// specs (see [`PipeConfig::engine`]) or conflicts with the
+/// interpolator — engine validity is a configuration error, caught
+/// before any thread starts.
 pub fn run_pipeline(
     mut source: Box<dyn VideoSource>,
     map: &RemapMap,
@@ -91,6 +126,21 @@ pub fn run_pipeline(
     mut on_frame: impl FnMut(u64, &Image<Gray8>) + Send,
 ) -> PipeReport {
     assert!(config.workers >= 1, "need at least one worker");
+    // quantized LUT prepared once, shared read-only by all workers
+    let fixed: Option<FixedRemapMap> = match config.engine {
+        EngineSpec::Serial | EngineSpec::Simd => None,
+        EngineSpec::FixedPoint { frac_bits } => Some(map.to_fixed(frac_bits)),
+        other => panic!(
+            "videopipe workers support engines serial/fixed/simd, got '{}'",
+            other.name()
+        ),
+    };
+    if config.engine == EngineSpec::Simd {
+        assert!(
+            config.interp == Interpolator::Bilinear,
+            "the simd engine implements bilinear only"
+        );
+    }
     let q_in: BoundedQueue<VideoFrame> = BoundedQueue::new(config.queue_capacity);
     let q_out: BoundedQueue<CorrectedFrame> = BoundedQueue::new(config.queue_capacity);
 
@@ -99,6 +149,8 @@ pub fn run_pipeline(
     let mut latency = crate::latency::LatencyStats::new();
     let mut out_of_order = 0u64;
     let mut dropped = 0u64;
+    let mut kernel_time = Duration::ZERO;
+    let mut invalid_pixels = 0u64;
     let mut last_seq: Option<u64> = None;
 
     std::thread::scope(|s| {
@@ -112,19 +164,32 @@ pub fn run_pipeline(
             }
             q_in_prod.close();
         });
-        // corrector workers
+        // corrector workers — every frame goes through the engine
+        // layer's host dispatcher, so the per-worker execution path is
+        // exactly the named backend
+        let fixed = &fixed;
         let worker_handles: Vec<_> = (0..config.workers)
             .map(|_| {
                 let q_in = q_in.clone();
                 let q_out = q_out.clone();
                 let interp = config.interp;
+                let spec = config.engine;
                 s.spawn(move || {
+                    let env = HostEnv {
+                        fixed: fixed.as_ref(),
+                        ..Default::default()
+                    };
                     while let Some(frame) = q_in.pop() {
-                        let image = correct(&frame.image, map, interp);
+                        let mut image = Image::new(map.width(), map.height());
+                        let report =
+                            execute_host(&spec, interp, &frame.image, map, &env, &mut image)
+                                .expect("engine validated before workers started");
                         let done = CorrectedFrame {
                             seq: frame.seq,
                             captured_at: frame.captured_at,
                             image,
+                            kernel_time: report.correct_time,
+                            invalid_pixels: report.invalid_pixels,
                         };
                         if q_out.push(done).is_err() {
                             break;
@@ -149,6 +214,8 @@ pub fn run_pipeline(
             .map(crate::resequencer::Resequencer::<CorrectedFrame>::new);
         while let Some(done) = q_out.pop() {
             latency.record(done.captured_at.elapsed());
+            kernel_time += done.kernel_time;
+            invalid_pixels += done.invalid_pixels;
             if let Some(prev) = last_seq {
                 if done.seq < prev {
                     out_of_order += 1;
@@ -193,6 +260,8 @@ pub fn run_pipeline(
         in_queue_high_water: q_in.high_water(),
         out_of_order,
         dropped,
+        kernel_time,
+        invalid_pixels,
     }
 }
 
@@ -200,6 +269,7 @@ pub fn run_pipeline(
 mod tests {
     use super::*;
     use crate::source::ShiftVideo;
+    use fisheye_core::{correct, correct_fixed};
     use fisheye_geom::{FisheyeLens, PerspectiveView};
     use pixmap::scene::random_gray;
 
@@ -288,6 +358,49 @@ mod tests {
         assert_eq!(seqs, expect);
         assert_eq!(report.dropped, 0);
         assert_eq!(report.frames, 50);
+    }
+
+    #[test]
+    fn fixed_engine_matches_offline_fixed_reference() {
+        let map = test_map();
+        let base = random_gray(128, 96, 8);
+        let src = Box::new(ShiftVideo::new(base.clone(), 0, 1));
+        let config = PipeConfig {
+            engine: EngineSpec::FixedPoint { frac_bits: 12 },
+            ..Default::default()
+        };
+        let mut got = None;
+        let report = run_pipeline(src, &map, config, |_, img| got = Some(img.clone()));
+        assert_eq!(got.unwrap(), correct_fixed(&base, &map.to_fixed(12)));
+        assert!(report.kernel_time > Duration::ZERO);
+        assert_eq!(report.kernel_per_frame(), report.kernel_time);
+    }
+
+    #[test]
+    fn simd_engine_matches_serial_through_pipeline() {
+        let map = test_map();
+        let base = random_gray(128, 96, 9);
+        let src = Box::new(ShiftVideo::new(base.clone(), 0, 1));
+        let config = PipeConfig {
+            engine: EngineSpec::Simd,
+            workers: 2,
+            ..Default::default()
+        };
+        let mut got = None;
+        let _ = run_pipeline(src, &map, config, |_, img| got = Some(img.clone()));
+        assert_eq!(got.unwrap(), correct(&base, &map, Interpolator::Bilinear));
+    }
+
+    #[test]
+    #[should_panic(expected = "videopipe workers support engines")]
+    fn accelerator_engine_rejected_up_front() {
+        let map = test_map();
+        let src = Box::new(ShiftVideo::new(random_gray(128, 96, 10), 1, 3));
+        let config = PipeConfig {
+            engine: EngineSpec::parse("gpu").unwrap(),
+            ..Default::default()
+        };
+        let _ = run_pipeline(src, &map, config, |_, _| {});
     }
 
     #[test]

@@ -126,7 +126,10 @@ mod tests {
         assert!(r.push(2, ()).is_empty());
         let out = r.push(3, ());
         // skipped to seq 1: releases 1, 2, 3
-        assert_eq!(out.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            out.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert_eq!(r.dropped(), 1, "frame 0 was abandoned");
         assert_eq!(r.next_seq(), 4);
     }

@@ -35,7 +35,14 @@ fn main() {
     // capture both hemispheres of a spherical brick world
     let scene = scene_by_name("bricks").unwrap();
     let front = capture_fisheye(scene.as_ref(), World::Spherical, &rig.front, 640, 640, 2);
-    let back = capture_fisheye(&Rotated(scene.as_ref()), World::Spherical, &rig.back, 640, 640, 2);
+    let back = capture_fisheye(
+        &Rotated(scene.as_ref()),
+        World::Spherical,
+        &rig.back,
+        640,
+        640,
+        2,
+    );
 
     // build the stitch map and stitch
     let t0 = std::time::Instant::now();
@@ -47,7 +54,10 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let pano = map.stitch(&front, &back, Interpolator::Bilinear);
-    println!("stitched 1280x640 panorama in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "stitched 1280x640 panorama in {:.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     // seam check: compare the typical luma step across the ±90° seams
     // with the step at control columns far from any seam — on a
@@ -68,9 +78,7 @@ fn main() {
     };
     let seam = mean_step(&[1280 / 4, 3 * 1280 / 4]);
     let control = mean_step(&[1280 / 8, 5 * 1280 / 8]);
-    println!(
-        "mean luma step: {seam:.1} at the camera seams vs {control:.1} at control columns"
-    );
+    println!("mean luma step: {seam:.1} at the camera seams vs {control:.1} at control columns");
     assert!(
         seam < control * 2.0 + 8.0,
         "seam artefacts dominate scene contrast"

@@ -19,7 +19,10 @@ fn main() {
     let frame = fisheye::img::scene::random_gray(w, h, 42);
     let map = RemapMap::build(&lens, &view, w, h);
     let fmap = map.to_fixed(12);
-    println!("workload: {w}x{h}, bilinear, LUT {} KB\n", map.bytes() / 1024);
+    println!(
+        "workload: {w}x{h}, bilinear, LUT {} KB\n",
+        map.bytes() / 1024
+    );
 
     // host serial (measured)
     let t0 = std::time::Instant::now();
@@ -68,7 +71,11 @@ fn main() {
         "gpu 30 SMs      : {:7.1} fps  (modeled; tex hit rate {:.0}%, {})",
         gr.fps,
         gr.cache_hit_rate * 100.0,
-        if gr.memory_bound { "memory-bound" } else { "compute-bound" }
+        if gr.memory_bound {
+            "memory-bound"
+        } else {
+            "compute-bound"
+        }
     );
     assert_eq!(gpu_out, host_out, "gpu output must be bit-exact vs host");
 

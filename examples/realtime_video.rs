@@ -31,7 +31,7 @@ fn main() {
                 workers,
                 queue_capacity: 4,
                 interp: Interpolator::Bilinear,
-                resequence: None,
+                ..PipeConfig::default()
             },
             |_, _| {},
         );
@@ -54,9 +54,18 @@ fn main() {
     println!("\n--- PTZ sweep along a smooth path (stateful pipeline) ---");
     use fisheye::geom::{Keyframe, PtzPath};
     let path = PtzPath::new(vec![
-        Keyframe { t: 0.0, view: PerspectiveView::centered(w, h, 90.0) },
-        Keyframe { t: 1.0, view: PerspectiveView::centered(w, h, 60.0).look(35.0, -10.0) },
-        Keyframe { t: 2.0, view: PerspectiveView::centered(w, h, 100.0).look(-40.0, 15.0) },
+        Keyframe {
+            t: 0.0,
+            view: PerspectiveView::centered(w, h, 90.0),
+        },
+        Keyframe {
+            t: 1.0,
+            view: PerspectiveView::centered(w, h, 60.0).look(35.0, -10.0),
+        },
+        Keyframe {
+            t: 2.0,
+            view: PerspectiveView::centered(w, h, 100.0).look(-40.0, 15.0),
+        },
     ]);
     let mut pipe = CorrectionPipeline::new(lens, view, w, h, PipelineConfig::default());
     let frame = base;

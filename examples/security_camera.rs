@@ -31,21 +31,24 @@ fn main() {
     // the operator's four monitors
     let monitors = [
         ("wide", PerspectiveView::centered(640, 360, 120.0)),
-        ("left", PerspectiveView::centered(640, 360, 70.0).look(-50.0, -10.0)),
-        ("right", PerspectiveView::centered(640, 360, 70.0).look(50.0, -10.0)),
-        ("zoom", PerspectiveView::centered(640, 360, 30.0).look(15.0, 5.0)),
+        (
+            "left",
+            PerspectiveView::centered(640, 360, 70.0).look(-50.0, -10.0),
+        ),
+        (
+            "right",
+            PerspectiveView::centered(640, 360, 70.0).look(50.0, -10.0),
+        ),
+        (
+            "zoom",
+            PerspectiveView::centered(640, 360, 30.0).look(15.0, 5.0),
+        ),
     ];
 
     let pool = ThreadPool::with_default_parallelism();
     for (name, view) in monitors {
-        let mut pipe = CorrectionPipeline::new(
-            lens,
-            view,
-            src_w as u32,
-            src_h as u32,
-            PipelineConfig::default(),
-        )
-        .with_pool(&pool);
+        let mut pipe = CorrectionPipeline::new(lens, view, src_w, src_h, PipelineConfig::default())
+            .with_pool(&pool);
         let corrected = pipe.process(&frame);
         let s = pipe.stats();
         println!(

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Workspace-wide style gate: formatting must be canonical and clippy
+# must be silent (warnings are errors). Offline, like everything else.
+#
+# Run from anywhere: ./scripts/lint.sh
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+
+echo "lint: cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "lint: cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "lint: OK"

@@ -42,6 +42,9 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "tier1: manifests are path-only"
 
+# --- style gate ------------------------------------------------------
+"$repo/scripts/lint.sh"
+
 # --- offline build + test -------------------------------------------
 cargo build --release --offline
 cargo test -q --offline

@@ -1,0 +1,126 @@
+//! All-backend engine construction.
+//!
+//! `fisheye_core::engine` defines the [`CorrectionEngine`] trait and
+//! builds the host paths, but it cannot see the accelerator models
+//! (`cellsim`/`gpusim` depend on it, not the other way around). This
+//! module sits at the top of the dependency graph and resolves *any*
+//! [`EngineSpec`] — host or accelerator — to a boxed engine, which is
+//! what the CLI's `--backend` flag and the platform-consistency tests
+//! use. The spec names are exactly what [`registry`] reports.
+
+use crate::cell::{CellConfig, CellEngine};
+use crate::core::engine::{build_host, CorrectionEngine, EngineError, EngineSpec, HostCtx};
+use crate::core::Interpolator;
+use crate::geom::{FisheyeLens, PerspectiveView};
+use crate::gpu::{GpuConfig, GpuEngine};
+use crate::img::{Gray8, GrayF32};
+
+pub use crate::core::engine::{EnginePixel, FrameReport, NumericClass};
+
+/// The canonical spec list ([`EngineSpec::registry`]) — one entry per
+/// backend, each buildable here.
+pub fn registry() -> Vec<EngineSpec> {
+    EngineSpec::registry()
+}
+
+/// Everything needed to build any backend: host resources plus the
+/// accelerator machine descriptions.
+#[derive(Clone, Copy)]
+pub struct BuildCtx<'a> {
+    /// Interpolation kernel for the float paths.
+    pub interp: Interpolator,
+    /// Worker threads for `smp` engines.
+    pub threads: usize,
+    /// Lens + view, required by `direct`.
+    pub geometry: Option<(&'a FisheyeLens, &'a PerspectiveView)>,
+    /// Cell machine description (spec parameters override buffering).
+    pub cell: CellConfig,
+    /// GPU machine description (spec parameters override block size).
+    pub gpu: GpuConfig,
+}
+
+impl Default for BuildCtx<'_> {
+    fn default() -> Self {
+        BuildCtx {
+            interp: Interpolator::Bilinear,
+            threads: 4,
+            geometry: None,
+            cell: CellConfig::default(),
+            gpu: GpuConfig::default(),
+        }
+    }
+}
+
+impl<'a> BuildCtx<'a> {
+    fn host(&self) -> HostCtx<'a> {
+        HostCtx {
+            interp: self.interp,
+            threads: self.threads,
+            geometry: self.geometry,
+        }
+    }
+}
+
+/// Build any backend for `Gray8` frames — every registry spec
+/// resolves for this type.
+pub fn build_gray8(
+    spec: &EngineSpec,
+    ctx: &BuildCtx,
+) -> Result<Box<dyn CorrectionEngine<Gray8>>, EngineError> {
+    match spec {
+        EngineSpec::Cell { .. } => Ok(Box::new(CellEngine::from_spec(spec, ctx.cell)?)),
+        EngineSpec::Gpu { .. } => Ok(Box::new(GpuEngine::from_spec(spec, ctx.gpu, ctx.interp)?)),
+        _ => build_host::<Gray8>(spec, &ctx.host()),
+    }
+}
+
+/// Build a backend for `GrayF32` frames. The integer datapaths
+/// (`fixed`, `cell`) have no float implementation and return
+/// [`EngineError::Unsupported`].
+pub fn build_gray_f32(
+    spec: &EngineSpec,
+    ctx: &BuildCtx,
+) -> Result<Box<dyn CorrectionEngine<GrayF32>>, EngineError> {
+    match spec {
+        EngineSpec::Cell { .. } => Err(EngineError::unsupported(
+            spec.name(),
+            "the Cell SPE kernel is the byte-wise fixed-point datapath",
+        )),
+        EngineSpec::Gpu { .. } => Ok(Box::new(GpuEngine::from_spec(spec, ctx.gpu, ctx.interp)?)),
+        _ => build_host::<GrayF32>(spec, &ctx.host()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registry_spec_builds_for_gray8() {
+        let lens = FisheyeLens::equidistant_fov(64, 48, 180.0);
+        let view = PerspectiveView::centered(32, 24, 90.0);
+        let ctx = BuildCtx {
+            geometry: Some((&lens, &view)),
+            ..Default::default()
+        };
+        for spec in registry() {
+            let engine = build_gray8(&spec, &ctx).unwrap();
+            assert_eq!(engine.name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn float_builder_rejects_integer_datapaths() {
+        let ctx = BuildCtx::default();
+        for name in ["fixed", "cell"] {
+            let spec = EngineSpec::parse(name).unwrap();
+            assert!(
+                matches!(
+                    build_gray_f32(&spec, &ctx),
+                    Err(EngineError::Unsupported { .. })
+                ),
+                "{name}"
+            );
+        }
+    }
+}

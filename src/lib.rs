@@ -34,6 +34,8 @@
 //! assert_eq!(corrected.dims(), (640, 480));
 //! ```
 
+pub mod engine;
+
 pub use cellsim as cell;
 pub use fisheye_core as core;
 pub use fisheye_geom as geom;
@@ -48,8 +50,8 @@ pub use videopipe as video;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::core::{
-        correct, correct_fixed, correct_parallel, CorrectionPipeline, FixedRemapMap, Interpolator,
-        PipelineConfig, RemapMap, TilePlan,
+        correct, correct_fixed, correct_parallel, CorrectionEngine, CorrectionPipeline, EngineSpec,
+        FixedRemapMap, FrameReport, Interpolator, PipelineConfig, RemapMap, TilePlan,
     };
     pub use crate::geom::{BrownConrady, FisheyeLens, LensModel, PerspectiveView};
     pub use crate::img::{Gray8, Image, Pixel, Rgb8};

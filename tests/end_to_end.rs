@@ -64,12 +64,8 @@ fn panned_view_still_corrects() {
     let panned = PerspectiveView::centered(96, 96, 60.0).look(25.0, -10.0);
     let map = RemapMap::build(&case.lens, &panned, 224, 224);
     let out = correct(&case.distorted, &map, Interpolator::Bilinear);
-    let truth = fisheye::core::synth::ground_truth(
-        scene.as_ref(),
-        World::Planar(&base),
-        &panned,
-        2,
-    );
+    let truth =
+        fisheye::core::synth::ground_truth(scene.as_ref(), World::Planar(&base), &panned, 2);
     let q = psnr(&out, &truth);
     assert!(q > 13.0, "panned view PSNR {q:.1} dB");
 }
@@ -83,7 +79,8 @@ fn calibration_feeds_correction() {
     let obs = synthetic_observations(&true_lens, 80, 0.5);
     let (model, focal, _) = select_model(&obs);
     assert_eq!(model, LensModel::Equidistant);
-    let calibrated = fisheye::geom::calib::lens_from_fit(model, focal, 192, 192, true_lens.max_theta);
+    let calibrated =
+        fisheye::geom::calib::lens_from_fit(model, focal, 192, 192, true_lens.max_theta);
 
     let scene = scene_by_name("circles").unwrap();
     let view = PerspectiveView::centered(96, 96, 80.0);

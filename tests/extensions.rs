@@ -58,7 +58,7 @@ fn corrected_video_roundtrips_through_y4m() {
 fn cylindrical_panorama_straightens_verticals() {
     // vertical scene lines must stay within one output column in the
     // cylindrical panorama (the mode's defining property)
-    use fisheye::img::scene::{LineGrid, Scene};
+    use fisheye::img::scene::LineGrid;
     let scene = LineGrid {
         lines: 8,
         thickness: 0.04,
@@ -74,7 +74,7 @@ fn cylindrical_panorama_straightens_verticals() {
         pan: 0.0,
         width: 160,
         height: 120,
-        };
+    };
     let map = RemapMap::build_projection(&lens, &proj, 256, 256);
     let pano = correct(&captured, &map, Interpolator::Bilinear);
     // find dark (line) pixels per column in the central band; a
@@ -89,10 +89,7 @@ fn cylindrical_panorama_straightens_verticals() {
     }
     // columns are either mostly-line or mostly-background — a bowed
     // line would smear across many columns with partial counts
-    let partial = col_is_dark
-        .iter()
-        .filter(|&&c| c > 8 && c < 32)
-        .count();
+    let partial = col_is_dark.iter().filter(|&&c| c > 8 && c < 32).count();
     assert!(
         partial <= 8,
         "{partial} columns with partial line coverage — verticals not straight"

@@ -1,11 +1,20 @@
-//! Cross-platform functional consistency: every execution platform
-//! (host serial, host parallel, Cell model, GPU model, streaming
-//! datapath) must produce the same image, exactly where bit-exactness
-//! is promised and within quantization bounds where it is not.
+//! Cross-platform functional consistency, driven by the engine
+//! registry: every registered [`EngineSpec`] — host serial, SMP,
+//! direct, fixed-point, SIMD, Cell model, GPU model — is built
+//! through the facade's [`fisheye::engine::build_gray8`] /
+//! [`fisheye::engine::build_gray_f32`] and must reproduce its
+//! numeric-class reference bit-exactly:
+//!
+//! * [`NumericClass::Float`] engines match `correct(serial)`;
+//! * [`NumericClass::Fixed`] engines match
+//!   `correct_fixed(&src, &map.to_fixed(frac_bits))`.
+//!
+//! The streaming (FPGA) datapath generates its own quantized map, so
+//! it is held to a PSNR bound rather than bit-exactness.
 
-use fisheye::cell::{CellConfig, CellRunner};
-use fisheye::gpu::{GpuConfig, GpuRunner};
+use fisheye::engine::{build_gray8, build_gray_f32, registry, BuildCtx, NumericClass};
 use fisheye::img::metrics::psnr;
+use fisheye::img::GrayF32;
 use fisheye::prelude::*;
 use fisheye::stream::FixedMapGen;
 
@@ -17,8 +26,104 @@ fn workload() -> (FisheyeLens, PerspectiveView, RemapMap, Image<Gray8>) {
     (lens, view, map, frame)
 }
 
+/// The bit-exactness promise for a Gray8 frame: what the engine's
+/// numeric class says its output must equal.
+fn gray8_reference(spec: &EngineSpec, frame: &Image<Gray8>, map: &RemapMap) -> Image<Gray8> {
+    match spec.numeric_class() {
+        NumericClass::Float => correct(frame, map, Interpolator::Bilinear),
+        NumericClass::Fixed { frac_bits } => correct_fixed(frame, &map.to_fixed(frac_bits)),
+    }
+}
+
 #[test]
-fn host_parallel_bit_exact() {
+fn every_registered_engine_bit_exact_on_gray8() {
+    let (lens, view, map, frame) = workload();
+    let ctx = BuildCtx {
+        geometry: Some((&lens, &view)),
+        ..Default::default()
+    };
+    for spec in registry() {
+        let name = spec.name();
+        let engine = build_gray8(&spec, &ctx).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(engine.name(), name, "registry name round-trips");
+        let mut out = Image::new(128, 96);
+        let report = engine
+            .correct_frame(&frame, &map, &mut out)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(out, gray8_reference(&spec, &frame, &map), "{name}");
+        assert_eq!(report.backend, name);
+        assert!(
+            report.rows > 0 || report.tiles > 0,
+            "{name}: report must attribute work"
+        );
+    }
+}
+
+#[test]
+fn float_engines_bit_exact_on_gray_f32() {
+    let (lens, view, map, frame) = workload();
+    let framef: Image<GrayF32> = frame.map(GrayF32::from);
+    let serial = correct(&framef, &map, Interpolator::Bilinear);
+    let ctx = BuildCtx {
+        geometry: Some((&lens, &view)),
+        ..Default::default()
+    };
+    for spec in registry() {
+        let name = spec.name();
+        match build_gray_f32(&spec, &ctx) {
+            Ok(engine) => {
+                let mut out = Image::new(128, 96);
+                engine
+                    .correct_frame(&framef, &map, &mut out)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert_eq!(out, serial, "{name}");
+            }
+            Err(e) => {
+                // only the integer datapaths may refuse float frames
+                assert!(
+                    matches!(spec.numeric_class(), NumericClass::Fixed { .. }),
+                    "{name} refused GrayF32: {e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_round_trip_ragged_and_invalid_tiles() {
+    // narrow lens behind a wide view on non-multiple-of-tile-size
+    // output dims: ragged edge tiles plus tiles whose LUT entries are
+    // all invalid (empty source footprint). Every engine must still
+    // match its reference, black corners included.
+    let lens = FisheyeLens::equidistant_fov(160, 120, 110.0);
+    let view = PerspectiveView::centered(101, 67, 150.0).look(4.0, -3.0);
+    let map = RemapMap::build(&lens, &view, 160, 120);
+    let frame: Image<Gray8> = fisheye::img::scene::random_gray(160, 120, 77);
+    assert!(
+        map.entries().iter().any(|e| !e.is_valid()),
+        "workload must include invalid entries"
+    );
+    let ctx = BuildCtx {
+        geometry: Some((&lens, &view)),
+        ..Default::default()
+    };
+    for spec in registry() {
+        let name = spec.name();
+        let engine = build_gray8(&spec, &ctx).unwrap();
+        let mut out = Image::new(101, 67);
+        let report = engine
+            .correct_frame(&frame, &map, &mut out)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(out, gray8_reference(&spec, &frame, &map), "{name}");
+        assert_eq!(out.pixel(0, 0), Gray8(0), "{name}: invalid corner is black");
+        assert!(report.invalid_pixels > 0, "{name}: reports invalid pixels");
+    }
+}
+
+#[test]
+fn smp_schedules_bit_exact() {
+    // beyond the registry's default smp entry: every schedule family
+    // at several widths
     let (_, _, map, frame) = workload();
     let serial = correct(&frame, &map, Interpolator::Bilinear);
     for threads in [2usize, 3, 8] {
@@ -31,35 +136,6 @@ fn host_parallel_bit_exact() {
             let par = correct_parallel(&frame, &map, Interpolator::Bilinear, &pool, sched);
             assert_eq!(serial, par, "{threads} threads {sched:?}");
         }
-    }
-}
-
-#[test]
-fn cell_bit_exact_vs_host_fixed() {
-    let (_, _, map, frame) = workload();
-    let fmap = map.to_fixed(12);
-    let host = correct_fixed(&frame, &fmap);
-    for tiles in [(16u32, 16u32), (32, 32), (64, 16)] {
-        let plan = TilePlan::build(&map, tiles.0, tiles.1, Interpolator::Bilinear);
-        for n_spes in [1usize, 3, 6] {
-            let runner = CellRunner::new(CellConfig {
-                n_spes,
-                ..Default::default()
-            });
-            let (out, _) = runner.correct_frame(&frame, &fmap, &plan).unwrap();
-            assert_eq!(out, host, "{tiles:?} x {n_spes} SPEs");
-        }
-    }
-}
-
-#[test]
-fn gpu_bit_exact_vs_host_float() {
-    let (_, _, map, frame) = workload();
-    for interp in Interpolator::ALL {
-        let host = correct(&frame, &map, interp);
-        let runner = GpuRunner::new(GpuConfig::default());
-        let (out, _) = runner.correct_frame(&frame, &map, interp);
-        assert_eq!(out, host, "{}", interp.name());
     }
 }
 
@@ -81,28 +157,4 @@ fn fixed_host_path_within_quantization_of_float() {
     let fixed = correct_fixed(&frame, &map.to_fixed(14));
     let q = psnr(&float, &fixed);
     assert!(q > 50.0, "14-bit weights PSNR {q:.1} dB");
-}
-
-#[test]
-fn all_platforms_agree_on_invalid_regions() {
-    // a view wider than the lens: black corners must be identical
-    // everywhere
-    let lens = FisheyeLens::equidistant_fov(256, 192, 120.0);
-    let view = PerspectiveView::centered(128, 96, 150.0);
-    let map = RemapMap::build(&lens, &view, 256, 192);
-    let frame: Image<Gray8> = Image::filled(256, 192, Gray8(200));
-    let host = correct(&frame, &map, Interpolator::Bilinear);
-    assert_eq!(host.pixel(0, 0), Gray8(0));
-
-    let (gpu_out, _) =
-        GpuRunner::new(GpuConfig::default()).correct_frame(&frame, &map, Interpolator::Bilinear);
-    assert_eq!(gpu_out, host);
-
-    let fmap = map.to_fixed(12);
-    let plan = TilePlan::build(&map, 32, 16, Interpolator::Bilinear);
-    let (cell_out, _) = CellRunner::new(CellConfig::default())
-        .correct_frame(&frame, &fmap, &plan)
-        .unwrap();
-    assert_eq!(cell_out.pixel(0, 0), Gray8(0));
-    assert_eq!(cell_out, correct_fixed(&frame, &fmap));
 }
