@@ -1,31 +1,26 @@
 //! [`CorrectionEngine`] adapter: the modeled Cell behind the same
 //! interface as every host path.
 //!
-//! The runner wants a quantized LUT and a tile plan; the engine
-//! derives both from the float map on first use and caches them per
-//! map identity ([`fisheye_core::engine::map_fingerprint`]), so a
-//! video loop pays quantization/planning once per view change — the
-//! same amortization the host pipeline applies. The Cell model's
-//! statistics (DMA traffic, local-store high water, fetch redundancy,
-//! modeled cycles) land in the [`FrameReport`]'s uniform key/value
-//! section.
+//! The runner wants a quantized LUT and a tile plan; both now live in
+//! the compiled [`RemapPlan`] the caller hands to every frame, so the
+//! engine holds **no** per-map state of its own — the plan's owner
+//! (pipeline, video layer, CLI) pays quantization/planning once per
+//! view change for every backend at once. If the plan was compiled
+//! without this engine's LUT width or tile geometry, the engine
+//! derives the missing artifact on the fly and flags the report with
+//! `plan_miss` — functionally identical, measurably slower. The Cell
+//! model's statistics (DMA traffic, local-store high water, fetch
+//! redundancy, modeled cycles) land in the [`FrameReport`]'s uniform
+//! key/value section.
 
-use std::sync::Mutex;
+use std::time::Instant;
 
-use fisheye_core::engine::{
-    map_fingerprint, CorrectionEngine, EngineError, EngineSpec, FrameReport,
-};
-use fisheye_core::map::{FixedRemapMap, RemapMap};
+use fisheye_core::engine::{CorrectionEngine, EngineError, EngineSpec, FrameReport};
+use fisheye_core::plan::RemapPlan;
 use fisheye_core::{Interpolator, TilePlan};
 use pixmap::{Gray8, Image};
 
 use crate::{CellConfig, CellRunner};
-
-struct CellCache {
-    fingerprint: u64,
-    fixed: FixedRemapMap,
-    plan: TilePlan,
-}
 
 /// The modeled Cell as a correction engine (`Gray8` only — the SPE
 /// kernel is the byte-wise fixed-point datapath).
@@ -35,7 +30,6 @@ pub struct CellEngine {
     tile_w: u32,
     tile_h: u32,
     frac_bits: u32,
-    cache: Mutex<Option<CellCache>>,
 }
 
 impl CellEngine {
@@ -59,7 +53,6 @@ impl CellEngine {
                 tile_w,
                 tile_h,
                 frac_bits,
-                cache: Mutex::new(None),
             }),
             _ => Err(EngineError::unsupported(
                 spec.name(),
@@ -82,50 +75,70 @@ impl CorrectionEngine<Gray8> for CellEngine {
     fn correct_frame(
         &self,
         src: &Image<Gray8>,
-        map: &RemapMap,
+        plan: &RemapPlan,
         out: &mut Image<Gray8>,
     ) -> Result<FrameReport, EngineError> {
         let name = self.spec.name();
-        if out.dims() != (map.width(), map.height()) {
+        if out.dims() != (plan.width(), plan.height()) {
             return Err(EngineError::backend(
                 &name,
                 format!(
-                    "output {:?} does not match map {:?}",
+                    "output {:?} does not match plan {:?}",
                     out.dims(),
-                    (map.width(), map.height())
+                    (plan.width(), plan.height())
                 ),
             ));
         }
-        if src.dims() != map.src_dims() {
+        if src.dims() != plan.src_dims() {
             return Err(EngineError::backend(
                 &name,
                 format!(
-                    "source {:?} does not match map source {:?}",
+                    "source {:?} does not match plan source {:?}",
                     src.dims(),
-                    map.src_dims()
+                    plan.src_dims()
                 ),
             ));
         }
-        let fp = map_fingerprint(map);
-        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
-        if !matches!(&*cache, Some(c) if c.fingerprint == fp) {
-            *cache = Some(CellCache {
-                fingerprint: fp,
-                fixed: map.to_fixed(self.frac_bits),
-                plan: TilePlan::build(map, self.tile_w, self.tile_h, Interpolator::Bilinear),
-            });
-        }
-        let c = cache.as_ref().unwrap();
+        // Plan-miss fallback: derive anything the plan does not carry.
+        let mut misses = 0u32;
+        let mut derive_ms = 0.0f64;
+        let owned_fixed;
+        let fixed = match plan.fixed(self.frac_bits) {
+            Some(f) => f,
+            None => {
+                let t0 = Instant::now();
+                owned_fixed = plan.map().to_fixed(self.frac_bits);
+                derive_ms += t0.elapsed().as_secs_f64() * 1e3;
+                misses += 1;
+                &owned_fixed
+            }
+        };
+        let owned_tiles;
+        let tiles = match plan.tile_plan(self.tile_w, self.tile_h) {
+            Some(t) => t,
+            None => {
+                let t0 = Instant::now();
+                owned_tiles =
+                    TilePlan::build(plan.map(), self.tile_w, self.tile_h, Interpolator::Bilinear);
+                derive_ms += t0.elapsed().as_secs_f64() * 1e3;
+                misses += 1;
+                &owned_tiles
+            }
+        };
         let (frame, cell) = self
             .runner
-            .correct_frame(src, &c.fixed, &c.plan)
+            .correct_frame(src, fixed, tiles)
             .map_err(|e| EngineError::backend(&name, e.to_string()))?;
         out.pixels_mut().copy_from_slice(frame.pixels());
 
         let mut report = FrameReport::new(&name);
-        report.rows = map.height() as u64;
-        report.tiles = c.plan.jobs.len() as u64;
-        report.invalid_pixels = map.entries().iter().filter(|e| !e.is_valid()).count() as u64;
+        report.rows = plan.height() as u64;
+        report.tiles = tiles.jobs.len() as u64;
+        report.invalid_pixels = plan.invalid_pixels();
+        if misses > 0 {
+            report.kv("plan_miss", misses as f64);
+            report.kv("plan_derive_ms", derive_ms);
+        }
         report.kv("frac_bits", self.frac_bits as f64);
         report.kv("spes", self.runner.config().n_spes as f64);
         report.kv("dma_bytes_in", cell.dma.bytes_in as f64);
@@ -143,40 +156,59 @@ impl CorrectionEngine<Gray8> for CellEngine {
 mod tests {
     use super::*;
     use fisheye_core::correct_fixed;
+    use fisheye_core::map::RemapMap;
+    use fisheye_core::plan::PlanOptions;
     use fisheye_geom::{FisheyeLens, PerspectiveView};
 
-    fn workload() -> (RemapMap, Image<Gray8>) {
+    fn workload(spec: &EngineSpec) -> (RemapPlan, Image<Gray8>) {
         let lens = FisheyeLens::equidistant_fov(160, 120, 180.0);
         let view = PerspectiveView::centered(80, 60, 90.0);
         let map = RemapMap::build(&lens, &view, 160, 120);
+        let plan = RemapPlan::compile(&map, PlanOptions::for_spec(spec, Interpolator::Bilinear));
         let src = pixmap::scene::random_gray(160, 120, 21);
-        (map, src)
+        (plan, src)
     }
 
     #[test]
     fn engine_bit_exact_vs_host_fixed() {
-        let (map, src) = workload();
         let spec = EngineSpec::parse("cell").unwrap();
+        let (plan, src) = workload(&spec);
         let engine = CellEngine::from_spec(&spec, CellConfig::default()).unwrap();
         let mut out = Image::new(80, 60);
-        let report = engine.correct_frame(&src, &map, &mut out).unwrap();
-        assert_eq!(out, correct_fixed(&src, &map.to_fixed(12)));
+        let report = engine.correct_frame(&src, &plan, &mut out).unwrap();
+        assert_eq!(out, correct_fixed(&src, &plan.map().to_fixed(12)));
         assert_eq!(report.backend, "cell");
         assert!(report.tiles > 0);
         assert!(report.model.contains_key("dma_bytes_in"));
         assert!(report.model["frame_cycles"] > 0.0);
+        // the plan carried both artifacts — no fallback derivation
+        assert_eq!(report.model.get("plan_miss"), None);
+    }
+
+    #[test]
+    fn bare_plan_survives_with_a_plan_miss() {
+        // a plan compiled for the serial engine has neither the
+        // quantized LUT nor the tile plan: the engine derives both
+        let spec = EngineSpec::parse("cell").unwrap();
+        let (full_plan, src) = workload(&spec);
+        let bare = RemapPlan::compile(full_plan.map(), PlanOptions::default());
+        let engine = CellEngine::from_spec(&spec, CellConfig::default()).unwrap();
+        let mut out = Image::new(80, 60);
+        let report = engine.correct_frame(&src, &bare, &mut out).unwrap();
+        assert_eq!(out, correct_fixed(&src, &bare.map().to_fixed(12)));
+        assert_eq!(report.model["plan_miss"], 2.0);
     }
 
     #[test]
     fn non_multiple_tiles_round_trip() {
         // 80x60 output with 24x25 tiles: ragged right column and
         // bottom row exercise the edge-tile path end to end
-        let (map, src) = workload();
         let spec = EngineSpec::parse("cell:24x25").unwrap();
+        let (plan, src) = workload(&spec);
         let engine = CellEngine::from_spec(&spec, CellConfig::default()).unwrap();
         let mut out = Image::new(80, 60);
-        let report = engine.correct_frame(&src, &map, &mut out).unwrap();
-        assert_eq!(out, correct_fixed(&src, &map.to_fixed(12)));
+        let report = engine.correct_frame(&src, &plan, &mut out).unwrap();
+        assert_eq!(out, correct_fixed(&src, &plan.map().to_fixed(12)));
         // ceil(80/24) * ceil(60/25) = 4 * 3
         assert_eq!(report.tiles, 12);
     }
@@ -192,14 +224,18 @@ mod tests {
         let map = RemapMap::build(&lens, &view, 160, 120);
         let src = pixmap::scene::random_gray(160, 120, 22);
         let spec = EngineSpec::parse("cell:8x8").unwrap();
+        let plan = RemapPlan::compile(&map, PlanOptions::for_spec(&spec, Interpolator::Bilinear));
         let engine = CellEngine::from_spec(&spec, CellConfig::default()).unwrap();
-        let plan = TilePlan::build(&map, 8, 8, Interpolator::Bilinear);
         assert!(
-            plan.jobs.iter().any(|j| j.src.is_empty()),
+            plan.tile_plan(8, 8)
+                .unwrap()
+                .jobs
+                .iter()
+                .any(|j| j.src.is_empty()),
             "workload must include empty-footprint tiles"
         );
         let mut out = Image::new(96, 96);
-        let report = engine.correct_frame(&src, &map, &mut out).unwrap();
+        let report = engine.correct_frame(&src, &plan, &mut out).unwrap();
         assert_eq!(out, correct_fixed(&src, &map.to_fixed(12)));
         assert_eq!(out.pixel(0, 0), Gray8(0), "invalid corner must be black");
         assert!(report.invalid_pixels > 0);
@@ -212,8 +248,8 @@ mod tests {
 
     #[test]
     fn oversized_tile_is_backend_error() {
-        let (map, src) = workload();
         let spec = EngineSpec::parse("cell:80x60").unwrap();
+        let (plan, src) = workload(&spec);
         let engine = CellEngine::from_spec(
             &spec,
             CellConfig {
@@ -224,7 +260,7 @@ mod tests {
         .unwrap();
         let mut out = Image::new(80, 60);
         assert!(matches!(
-            engine.correct_frame(&src, &map, &mut out),
+            engine.correct_frame(&src, &plan, &mut out),
             Err(EngineError::Backend { .. })
         ));
     }

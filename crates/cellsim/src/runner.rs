@@ -170,7 +170,7 @@ impl CellRunner {
 
     /// Run map generation on the modeled SPEs: row bands are computed
     /// in local-store-sized batches and DMA'd out. Functional result is
-    /// identical to [`RemapMap::build`]; returns the map plus the
+    /// identical to [`fisheye_core::RemapMap::build`]; returns the map plus the
     /// modeled frame cycles (max over SPE timelines).
     ///
     /// `rows_per_batch` bounds the local-store output buffer: a batch

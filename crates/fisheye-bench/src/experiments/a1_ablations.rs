@@ -1,19 +1,26 @@
 //! A1 — ablation studies of the implementation's design choices.
 //!
-//! Three decisions DESIGN.md bakes into `fisheye-core`, each measured
+//! Four decisions DESIGN.md bakes into `fisheye-core`, each measured
 //! against its alternative on the same frame:
 //!
 //! 1. **LUT layout** — interleaved `MapEntry { sx, sy }` (AoS) vs two
-//!    separate coordinate planes (SoA). AoS wins for a gather kernel
-//!    because both coordinates of one pixel are consumed together.
-//! 2. **Output traversal** — row-major vs 32×32-tiled iteration on the
+//!    separate coordinate planes (SoA). For a *branchy* per-pixel
+//!    gather AoS tends to win because both coordinates of one pixel
+//!    are consumed together; the compiled plan stores SoA anyway
+//!    because span execution consumes the planes sequentially.
+//! 2. **Validity handling** — per-pixel `is_valid()` branching vs the
+//!    plan's per-row valid-span runs (`plan_span_soa`: branch-free
+//!    inner loop over precomputed contiguous runs, gaps filled black
+//!    up front). This is the execution path every engine now uses.
+//! 3. **Output traversal** — row-major vs 32×32-tiled iteration on the
 //!    host. Tiling helps caches only when the *source* working set per
 //!    tile shrinks enough to matter; measuring keeps us honest.
-//! 3. **Weight precompute** — `FixedRemapMap` stores corner+weights
+//! 4. **Weight precompute** — `FixedRemapMap` stores corner+weights
 //!    (8 B/px, no per-pixel float math) vs recomputing weights from
 //!    float coordinates every frame (4 B/px LUT but extra arithmetic).
 
 use fisheye_core::interp::sample_bilinear_fixed_gray8;
+use fisheye_core::plan::{correct_plan, PlanOptions, RemapPlan};
 use fisheye_core::{correct, correct_fixed, Interpolator};
 use pixmap::{Gray8, Image};
 
@@ -118,22 +125,35 @@ pub fn run(scale: Scale) -> Table {
     let w = random_workload(res, 31);
     let soa = SoaMap::from(&w.map);
     let fmap = w.map.to_fixed(12);
+    let plan = RemapPlan::compile(&w.map, PlanOptions::default());
+    let px = (w.map.width() as f64) * (w.map.height() as f64);
 
     let mut table = Table::new(
         format!("A1 — implementation ablations ({})", res.name),
-        &["variant", "ms_per_frame", "vs_baseline"],
+        &["variant", "ms_per_frame", "ns_per_px", "vs_baseline"],
     );
     let baseline = time_median(reps, || {
         std::hint::black_box(correct(&w.frame, &w.map, Interpolator::Bilinear));
     });
     let mut add = |name: &str, t: f64| {
-        table.row(vec![name.to_string(), f2(t * 1e3), f2(t / baseline)]);
+        table.row(vec![
+            name.to_string(),
+            f2(t * 1e3),
+            f2(t * 1e9 / px),
+            f2(t / baseline),
+        ]);
     };
-    add("aos_lut (baseline)", baseline);
+    add("aos_lut_branchy (baseline)", baseline);
     add(
-        "soa_lut",
+        "soa_lut_branchy",
         time_median(reps, || {
             std::hint::black_box(correct_soa(&w.frame, &soa));
+        }),
+    );
+    add(
+        "plan_span_soa",
+        time_median(reps, || {
+            std::hint::black_box(correct_plan(&w.frame, &plan, Interpolator::Bilinear));
         }),
     );
     add(
@@ -155,7 +175,7 @@ pub fn run(scale: Scale) -> Table {
         }),
     );
     table.note("all variants verified to produce equivalent output before timing");
-    table.note("expected shape: AoS ≥ SoA for this gather; tiling ~neutral on the host; precomputed weights beat recompute");
+    table.note("expected shape: span/SoA plan ≥ branchy AoS (no per-pixel validity test); tiling ~neutral on the host; precomputed weights beat recompute");
     table
 }
 
@@ -170,6 +190,9 @@ mod tests {
         let base = correct(&w.frame, &w.map, Interpolator::Bilinear);
         let soa = correct_soa(&w.frame, &SoaMap::from(&w.map));
         assert_eq!(base, soa, "SoA variant diverged");
+        let plan = RemapPlan::compile(&w.map, PlanOptions::default());
+        let spanned = correct_plan(&w.frame, &plan, Interpolator::Bilinear);
+        assert_eq!(base, spanned, "span-plan variant diverged");
         let tiled = correct_tiled(&w.frame, &w.map, 32);
         assert_eq!(base, tiled, "tiled variant diverged");
         // fixed paths agree with each other within 1 LSB (rounding of
@@ -189,10 +212,12 @@ mod tests {
     #[test]
     fn table_runs() {
         let t = run(Scale::Quick);
-        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows.len(), 6);
         for r in &t.rows {
             let ms: f64 = r[1].parse().unwrap();
             assert!(ms > 0.0);
+            let ns: f64 = r[2].parse().unwrap();
+            assert!(ns > 0.0);
         }
     }
 }

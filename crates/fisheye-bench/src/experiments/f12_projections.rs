@@ -9,6 +9,7 @@
 use fisheye_core::{correct, Interpolator, RemapMap};
 use fisheye_geom::{OutputProjection, PerspectiveView};
 use gpusim::{GpuConfig, GpuRunner};
+use par_runtime::{Schedule, ThreadPool};
 use streamsim::stream::analyze_line_buffers;
 
 use crate::table::{f1, f2, Table};
@@ -41,8 +42,18 @@ pub fn run(scale: Scale) -> Table {
             "gpu_hit_rate",
         ],
     );
+    // map generation is trig-bound, so F12 builds its three maps on
+    // the pool (same phase-1 kernel F1 measures for perspective views)
+    let pool = ThreadPool::new(4);
     for proj in projections {
-        let map = RemapMap::build_projection(&w.lens, &proj, res.w, res.h);
+        let map = RemapMap::build_projection_parallel(
+            &w.lens,
+            &proj,
+            res.w,
+            res.h,
+            &pool,
+            Schedule::Static { chunk: None },
+        );
         let t = time_median(3, || {
             std::hint::black_box(correct(&w.frame, &map, Interpolator::Bilinear));
         });

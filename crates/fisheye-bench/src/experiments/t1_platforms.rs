@@ -57,9 +57,10 @@ pub fn run(scale: Scale) -> Table {
         let model_fps = |name: &str| -> f64 {
             let spec = EngineSpec::parse(name).expect("registry spec");
             let engine = build_gray8(&spec, &ctx).expect("accelerator engine");
+            let plan = w.plan_for(&spec);
             let mut out = Image::new(res.w, res.h);
             engine
-                .correct_frame(&w.frame, &w.map, &mut out)
+                .correct_frame(&w.frame, &plan, &mut out)
                 .map(|r| r.model.get("model_fps").copied().unwrap_or(f64::NAN))
                 .unwrap_or(f64::NAN)
         };

@@ -1,16 +1,28 @@
-//! T4 — engine observability: one frame through every registered
-//! backend, tabulating what its [`FrameReport`] attributes — wall
-//! time, rows/tiles of work, invalid pixels, and the backend model's
-//! headline statistic where one exists. This is the registry-driven
-//! complement to T1: same interface for every platform, uniform
-//! key/value section for the model-specific numbers.
+//! T4 — engine observability: frames through every registered
+//! backend, tabulating what its `FrameReport` attributes — plan
+//! compile time, wall time, rows/tiles of work, invalid pixels, the
+//! output pool's hit rate, and the backend model's headline statistic
+//! where one exists. This is the registry-driven complement to T1:
+//! same interface for every platform, uniform key/value section for
+//! the model-specific numbers.
+//!
+//! Every backend consumes the same kind of compiled `RemapPlan` (each
+//! compiled with exactly the artifacts its spec needs — `plan_ms`
+//! shows what that costs per view change), and every output frame is
+//! drawn from a primed `FramePool` — `pool_hit` at 100 % confirms the
+//! steady-state frame path allocates nothing on any backend.
+
+use std::time::Instant;
 
 use fisheye::engine::{build_gray8, registry, BuildCtx, NumericClass};
-use pixmap::Image;
+use pixmap::FramePool;
 
 use crate::table::{f1, f2, Table};
 use crate::workloads::{random_workload, resolution};
 use crate::Scale;
+
+/// Frames run through each backend (first warms the pool's buffer).
+const FRAMES: usize = 3;
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Table {
@@ -20,14 +32,19 @@ pub fn run(scale: Scale) -> Table {
     };
     let w = random_workload(res, 4);
     let mut table = Table::new(
-        format!("T4 — engine reports ({}, bilinear)", res.name),
+        format!(
+            "T4 — engine reports ({}, bilinear, {FRAMES} frames)",
+            res.name
+        ),
         &[
             "backend",
             "class",
+            "plan_ms",
             "correct_ms",
             "rows",
             "tiles",
             "invalid_px",
+            "pool_hit",
             "model_fps",
             "model_detail",
         ],
@@ -38,10 +55,22 @@ pub fn run(scale: Scale) -> Table {
     };
     for spec in registry() {
         let engine = build_gray8(&spec, &ctx).expect("registry spec builds");
-        let mut out = Image::new(res.w, res.h);
-        let report = engine
-            .correct_frame(&w.frame, &w.map, &mut out)
-            .expect("registry spec corrects");
+        let t0 = Instant::now();
+        let plan = w.plan_for(&spec);
+        let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let pool = FramePool::new(res.w, res.h);
+        pool.prime(1);
+        let mut report = None;
+        for _ in 0..FRAMES {
+            let mut out = pool.acquire();
+            report = Some(
+                engine
+                    .correct_frame(&w.frame, &plan, &mut out)
+                    .expect("registry spec corrects"),
+            );
+            // `out` drops here: the buffer recycles for the next frame
+        }
+        let report = report.expect("at least one frame ran");
         let class = match spec.numeric_class() {
             NumericClass::Float => "float".to_string(),
             NumericClass::Fixed { frac_bits } => format!("q{frac_bits}"),
@@ -61,10 +90,12 @@ pub fn run(scale: Scale) -> Table {
         table.row(vec![
             report.backend.clone(),
             class,
+            f2(plan_ms),
             f2(report.correct_time.as_secs_f64() * 1e3),
             report.rows.to_string(),
             report.tiles.to_string(),
             report.invalid_pixels.to_string(),
+            format!("{:.0}%", pool.hit_rate() * 100.0),
             model_fps,
             if detail.is_empty() {
                 "-".into()
@@ -74,7 +105,8 @@ pub fn run(scale: Scale) -> Table {
         ]);
     }
     table.note("host backends report measured wall time; cell/gpu report the machine model's cycle-accurate fps");
-    table.note("every backend ran the same frame through the same CorrectionEngine interface");
+    table.note("every backend ran the same frames through the same CorrectionEngine interface on one compiled plan per spec");
+    table.note("plan_ms is per-view-change work (span index + per-spec LUT quantization/tiling); pool_hit 100% = zero per-frame allocation");
     table
 }
 
@@ -96,14 +128,17 @@ mod tests {
         for r in &t.rows {
             let backend = &r[0];
             assert!(
-                r[3] != "0" || r[4] != "0",
+                r[4] != "0" || r[5] != "0",
                 "{backend}: no work attributed (rows and tiles both zero)"
             );
+            let plan_ms: f64 = r[2].parse().unwrap();
+            assert!(plan_ms >= 0.0, "{backend}: plan_ms {plan_ms}");
+            assert_eq!(r[7], "100%", "{backend}: primed pool must never miss");
             let is_model = backend.starts_with("cell") || backend.starts_with("gpu");
             if is_model {
-                let fps: f64 = r[6].parse().unwrap();
+                let fps: f64 = r[8].parse().unwrap();
                 assert!(fps > 0.0, "{backend}: model fps {fps}");
-                assert_ne!(r[7], "-", "{backend}: model detail expected");
+                assert_ne!(r[9], "-", "{backend}: model detail expected");
             }
         }
     }

@@ -1,7 +1,9 @@
 //! Standard workloads shared by the experiments.
 
+use fisheye_core::engine::EngineSpec;
+use fisheye_core::plan::{PlanOptions, RemapPlan};
 use fisheye_core::synth::{capture_fisheye, World};
-use fisheye_core::RemapMap;
+use fisheye_core::{Interpolator, RemapMap};
 use fisheye_geom::{FisheyeLens, PerspectiveView};
 use pixmap::scene::scene_by_name;
 use pixmap::{Gray8, Image};
@@ -71,6 +73,17 @@ pub struct Workload {
     pub frame: Image<Gray8>,
     /// The prebuilt float LUT.
     pub map: RemapMap,
+}
+
+impl Workload {
+    /// Compile an execution plan for `spec` over this workload's map
+    /// (bilinear, the experiments' standard kernel).
+    pub fn plan_for(&self, spec: &EngineSpec) -> RemapPlan {
+        RemapPlan::compile(
+            &self.map,
+            PlanOptions::for_spec(spec, Interpolator::Bilinear),
+        )
+    }
 }
 
 /// Build the standard workload at a resolution: 180° equidistant lens,

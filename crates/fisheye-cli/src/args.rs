@@ -24,7 +24,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parse raw arguments (without argv[0]).
+    /// Parse raw arguments (without argv\[0\]).
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
         let mut it = argv.into_iter();
         let command = it

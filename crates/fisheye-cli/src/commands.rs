@@ -2,6 +2,7 @@
 
 use fisheye::engine::{build_gray8, BuildCtx};
 use fisheye_core::engine::EngineSpec;
+use fisheye_core::plan::{PlanOptions, RemapPlan};
 use fisheye_core::synth::{capture_fisheye, World};
 use fisheye_core::{correct, Interpolator, RemapMap};
 use fisheye_geom::calib::{select_model, Observation};
@@ -24,7 +25,7 @@ USAGE:
                     [--interp nearest|bilinear|bicubic]
                     [--backend NAME] [--threads N]
   fisheye panorama  --in FILE --out FILE [--mode cylindrical|equirect]
-                    [--fov DEG] [--out-size WxH]
+                    [--fov DEG] [--out-size WxH] [--threads N]
   fisheye stitch    --front FILE --back FILE --out FILE [--fov DEG]
                     [--out-size WxH]
   fisheye calibrate --obs FILE          (CSV lines: theta_rad,radius_px)
@@ -143,6 +144,11 @@ fn run_correct(args: &Args) -> CmdResult {
     let t0 = std::time::Instant::now();
     let map = RemapMap::build(&lens, &view, sw, sh);
     let t_map = t0.elapsed();
+    // compile once per view: spans, SoA planes, plus whatever LUT or
+    // tile artifacts the chosen backend needs
+    let t1 = std::time::Instant::now();
+    let plan = RemapPlan::compile(&map, PlanOptions::for_spec(&spec, interp));
+    let t_plan = t1.elapsed();
 
     let ctx = BuildCtx {
         interp,
@@ -153,16 +159,17 @@ fn run_correct(args: &Args) -> CmdResult {
     let engine = build_gray8(&spec, &ctx).map_err(|e| CliError::Usage(e.to_string()))?;
     let mut out_img = Image::new(ow, oh);
     let report = engine
-        .correct_frame(&input, &map, &mut out_img)
+        .correct_frame(&input, &plan, &mut out_img)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
 
     let out = args.req("out")?;
     write_pgm(&out_img, out)?;
     println!(
-        "corrected {sw}x{sh} -> {ow}x{oh} ({}, backend {}): map {:.1} ms, correct {:.1} ms -> {out}",
+        "corrected {sw}x{sh} -> {ow}x{oh} ({}, backend {}): map {:.1} ms, plan {:.1} ms, correct {:.1} ms -> {out}",
         interp.name(),
         report.backend,
         t_map.as_secs_f64() * 1e3,
+        t_plan.as_secs_f64() * 1e3,
         report.correct_time.as_secs_f64() * 1e3
     );
     if !report.model.is_empty() {
@@ -188,7 +195,7 @@ fn backends(args: &Args) -> CmdResult {
 }
 
 fn panorama(args: &Args) -> CmdResult {
-    args.allow_only(&["in", "out", "mode", "fov", "out-size"])?;
+    args.allow_only(&["in", "out", "mode", "fov", "out-size", "threads"])?;
     let input = read_pgm(args.req("in")?)?;
     let (sw, sh) = input.dims();
     let fov: f64 = args.num("fov", 180.0)?;
@@ -204,7 +211,20 @@ fn panorama(args: &Args) -> CmdResult {
         }
     };
     let lens = FisheyeLens::equidistant_fov(sw, sh, fov);
-    let map = RemapMap::build_projection(&lens, &proj, sw, sh);
+    let threads: usize = args.num("threads", 1)?;
+    let map = if threads > 1 {
+        let pool = par_runtime::ThreadPool::new(threads);
+        RemapMap::build_projection_parallel(
+            &lens,
+            &proj,
+            sw,
+            sh,
+            &pool,
+            par_runtime::Schedule::Static { chunk: None },
+        )
+    } else {
+        RemapMap::build_projection(&lens, &proj, sw, sh)
+    };
     let out_img = correct(&input, &map, Interpolator::Bilinear);
     let out = args.req("out")?;
     write_pgm(&out_img, out)?;

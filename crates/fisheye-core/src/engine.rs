@@ -23,13 +23,13 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use fisheye_geom::{FisheyeLens, PerspectiveView};
-use par_runtime::sync::Mutex;
 use par_runtime::{Schedule, ThreadPool};
 use pixmap::{Gray8, GrayF32, Image, Pixel};
 
-use crate::correct::{correct_fixed_into, correct_row};
+use crate::correct::correct_fixed_into;
 use crate::interp::Interpolator;
-use crate::map::{FixedRemapMap, RemapMap};
+use crate::map::FixedRemapMap;
+use crate::plan::{correct_plan_row, RemapPlan};
 use crate::simd;
 
 /// Default fractional weight bits for the quantized (fixed-point)
@@ -161,7 +161,7 @@ impl FrameReport {
 /// be bit-exact with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NumericClass {
-    /// Float arithmetic — reference is [`crate::correct`] with the
+    /// Float arithmetic — reference is [`crate::correct()`](fn@crate::correct) with the
     /// same interpolator.
     Float,
     /// Integer datapath through a quantized LUT — reference is
@@ -434,16 +434,23 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 /// their [`NumericClass`]: the engine layer may route any consumer's
 /// frames through any backend, so "simulate" and "compute" must be
 /// indistinguishable functionally.
+///
+/// Engines are stateless with respect to the map: everything derived
+/// from it (quantized LUTs, tile plans, span indices) lives in the
+/// caller's compiled [`RemapPlan`]. An engine handed a plan missing an
+/// artifact it needs derives it on the fly and sets `plan_miss=1` in
+/// the report's model section — functional, but the caller is leaving
+/// per-frame work on the table.
 pub trait CorrectionEngine<P: Pixel>: Send + Sync {
     /// Canonical spec name ([`EngineSpec::name`]).
     fn name(&self) -> String;
 
-    /// Correct `src` through `map` into `out` (dimensions must match
-    /// the map) and report what happened.
+    /// Correct `src` through the compiled `plan` into `out`
+    /// (dimensions must match the plan) and report what happened.
     fn correct_frame(
         &self,
         src: &Image<P>,
-        map: &RemapMap,
+        plan: &RemapPlan,
         out: &mut Image<P>,
     ) -> Result<FrameReport, EngineError>;
 }
@@ -471,11 +478,11 @@ pub trait EnginePixel: Pixel {
         ))
     }
 
-    /// SoA-SIMD bilinear correction (bit-exact with the serial
-    /// bilinear reference for this type).
+    /// SoA-SIMD bilinear correction over the plan's span index
+    /// (bit-exact with the serial bilinear reference for this type).
     fn simd_kernel(
         _src: &Image<Self>,
-        _map: &RemapMap,
+        _plan: &RemapPlan,
         _out: &mut Image<Self>,
     ) -> Result<(), EngineError> {
         Err(EngineError::unsupported(
@@ -500,10 +507,10 @@ impl EnginePixel for Gray8 {
 
     fn simd_kernel(
         src: &Image<Self>,
-        map: &RemapMap,
+        plan: &RemapPlan,
         out: &mut Image<Self>,
     ) -> Result<(), EngineError> {
-        simd::correct_bilinear_simd_gray8_into(src, map, out);
+        simd::correct_bilinear_simd_gray8_into(src, plan, out);
         Ok(())
     }
 }
@@ -513,10 +520,10 @@ impl EnginePixel for GrayF32 {
 
     fn simd_kernel(
         src: &Image<Self>,
-        map: &RemapMap,
+        plan: &RemapPlan,
         out: &mut Image<Self>,
     ) -> Result<(), EngineError> {
-        simd::correct_bilinear_simd_into(src, map, out);
+        simd::correct_bilinear_simd_into(src, plan, out);
         Ok(())
     }
 }
@@ -531,130 +538,129 @@ impl EnginePixel for pixmap::RgbF32 {}
 
 /// Shared resources a host execution may borrow from its caller. The
 /// boxed host engines own their resources; callers that already hold
-/// a pool / geometry / quantized LUT (e.g. `CorrectionPipeline`) pass
-/// them here instead so nothing is rebuilt per frame.
+/// a pool / geometry (e.g. `CorrectionPipeline`) pass them here
+/// instead so nothing is rebuilt per frame. Map-derived state
+/// (quantized LUTs, span indices) comes from the compiled
+/// [`RemapPlan`], never from here.
 #[derive(Clone, Copy, Default)]
 pub struct HostEnv<'a> {
     /// Thread pool for `smp` (required by that spec).
     pub pool: Option<&'a ThreadPool>,
     /// Lens + view for `direct` (required by that spec).
     pub geometry: Option<(&'a FisheyeLens, &'a PerspectiveView)>,
-    /// Pre-quantized LUT for `fixed` (quantized on the fly when
-    /// absent or of the wrong width).
-    pub fixed: Option<&'a FixedRemapMap>,
 }
 
 fn check_frame_dims<P: Pixel>(
     name: &str,
     src: &Image<P>,
-    map: &RemapMap,
+    plan: &RemapPlan,
     out: &Image<P>,
 ) -> Result<(), EngineError> {
-    if out.dims() != (map.width(), map.height()) {
+    if out.dims() != (plan.width(), plan.height()) {
         return Err(EngineError::backend(
             name,
             format!(
-                "output {:?} does not match map {:?}",
+                "output {:?} does not match plan {:?}",
                 out.dims(),
-                (map.width(), map.height())
+                (plan.width(), plan.height())
             ),
         ));
     }
-    if src.dims() != map.src_dims() {
+    if src.dims() != plan.src_dims() {
         return Err(EngineError::backend(
             name,
             format!(
-                "source {:?} does not match map source {:?}",
+                "source {:?} does not match plan source {:?}",
                 src.dims(),
-                map.src_dims()
+                plan.src_dims()
             ),
         ));
     }
     Ok(())
 }
 
-fn invalid_count(map: &RemapMap) -> u64 {
-    map.entries().iter().filter(|e| !e.is_valid()).count() as u64
-}
-
-/// Execute a host spec. This is the single dispatch point the boxed
-/// host engines, `CorrectionPipeline` and videopipe all share — one
-/// kernel per path, measured and reported identically.
+/// Execute a host spec over a compiled plan. This is the single
+/// dispatch point the boxed host engines, `CorrectionPipeline` and
+/// videopipe all share — one kernel per path, measured and reported
+/// identically. The float paths iterate the plan's valid spans (no
+/// per-pixel validity branch); `fixed` uses the plan's prequantized
+/// LUT, requantizing (and reporting `plan_miss=1`) only when the plan
+/// was compiled without the requested width.
 pub fn execute_host<P: EnginePixel>(
     spec: &EngineSpec,
     interp: Interpolator,
     src: &Image<P>,
-    map: &RemapMap,
+    plan: &RemapPlan,
     env: &HostEnv,
     out: &mut Image<P>,
 ) -> Result<FrameReport, EngineError> {
     let name = spec.name();
     let mut report = FrameReport::new(&name);
-    report.rows = map.height() as u64;
+    report.rows = plan.height() as u64;
     match *spec {
         EngineSpec::Serial => {
-            check_frame_dims(&name, src, map, out)?;
+            check_frame_dims(&name, src, plan, out)?;
             let t0 = Instant::now();
-            for y in 0..map.height() {
-                correct_row(src, map.row(y), interp, out.row_mut(y));
+            for y in 0..plan.height() {
+                correct_plan_row(src, plan, y, interp, out.row_mut(y));
             }
             report.correct_time = t0.elapsed();
-            report.invalid_pixels = invalid_count(map);
+            report.invalid_pixels = plan.invalid_pixels();
         }
         EngineSpec::Smp { schedule } => {
-            check_frame_dims(&name, src, map, out)?;
+            check_frame_dims(&name, src, plan, out)?;
             let pool = env.pool.ok_or_else(|| {
                 EngineError::unsupported(&name, "smp needs a thread pool (HostEnv::pool)")
             })?;
-            let w = map.width() as usize;
+            let w = plan.width() as usize;
             let t0 = Instant::now();
             pool.parallel_rows(out.pixels_mut(), w, schedule, &|row, out_row| {
-                correct_row(src, map.row(row as u32), interp, out_row);
+                correct_plan_row(src, plan, row as u32, interp, out_row);
             });
             report.correct_time = t0.elapsed();
-            report.invalid_pixels = invalid_count(map);
+            report.invalid_pixels = plan.invalid_pixels();
             report.kv("threads", pool.threads() as f64);
         }
         EngineSpec::Direct => {
-            check_frame_dims(&name, src, map, out)?;
+            check_frame_dims(&name, src, plan, out)?;
             let (lens, view) = env.geometry.ok_or_else(|| {
                 EngineError::unsupported(&name, "direct needs lens+view (HostEnv::geometry)")
             })?;
-            if (view.width, view.height) != (map.width(), map.height()) {
+            if (view.width, view.height) != (plan.width(), plan.height()) {
                 return Err(EngineError::backend(
                     &name,
-                    "view dimensions do not match the map",
+                    "view dimensions do not match the plan",
                 ));
             }
             return execute_direct(interp, src, lens, view, out);
         }
         EngineSpec::FixedPoint { frac_bits } => {
-            check_frame_dims(&name, src, map, out)?;
+            check_frame_dims(&name, src, plan, out)?;
             if !P::HAS_FIXED {
                 return Err(EngineError::unsupported(
                     &name,
                     "no integer datapath for this pixel type",
                 ));
             }
-            let borrowed = env.fixed.filter(|f| f.frac_bits() == frac_bits);
             let owned;
-            let fmap = match borrowed {
+            let fmap = match plan.fixed(frac_bits) {
                 Some(f) => f,
                 None => {
                     let t0 = Instant::now();
-                    owned = map.to_fixed(frac_bits);
+                    owned = plan.map().to_fixed(frac_bits);
                     report.kv("lut_quantize_ms", t0.elapsed().as_secs_f64() * 1e3);
+                    report.kv("plan_miss", 1.0);
                     &owned
                 }
             };
             let t0 = Instant::now();
             P::fixed_kernel(src, fmap, out)?;
             report.correct_time = t0.elapsed();
-            report.invalid_pixels = invalid_count(map);
+            report.invalid_pixels = plan.invalid_pixels();
             report.kv("frac_bits", frac_bits as f64);
         }
         EngineSpec::Simd => {
-            check_frame_dims(&name, src, map, out)?;
+            check_frame_dims(&name, src, plan, out)?;
             if !P::HAS_SIMD {
                 return Err(EngineError::unsupported(
                     &name,
@@ -668,9 +674,9 @@ pub fn execute_host<P: EnginePixel>(
                 ));
             }
             let t0 = Instant::now();
-            P::simd_kernel(src, map, out)?;
+            P::simd_kernel(src, plan, out)?;
             report.correct_time = t0.elapsed();
-            report.invalid_pixels = invalid_count(map);
+            report.invalid_pixels = plan.invalid_pixels();
             report.kv("lanes", simd::LANES as f64);
         }
         EngineSpec::Cell { .. } | EngineSpec::Gpu { .. } => {
@@ -684,7 +690,7 @@ pub fn execute_host<P: EnginePixel>(
 }
 
 /// Execute the LUT-free `direct` path — the one host spec that needs
-/// no [`RemapMap`] at all (the F9 comparison mode). `out` must match
+/// no [`crate::RemapMap`] at all (the F9 comparison mode). `out` must match
 /// the view's dimensions.
 pub fn execute_direct<P: Pixel>(
     interp: Interpolator,
@@ -788,10 +794,7 @@ pub fn build_host<P: EnginePixel>(
                     "no integer datapath for this pixel type",
                 ));
             }
-            Ok(Box::new(FixedPointEngine {
-                frac_bits,
-                cache: Mutex::new(None),
-            }))
+            Ok(Box::new(FixedPointEngine { frac_bits }))
         }
         EngineSpec::Simd => {
             if !P::HAS_SIMD {
@@ -815,33 +818,6 @@ pub fn build_host<P: EnginePixel>(
     }
 }
 
-/// Cheap identity fingerprint of a map: dimensions, allocation
-/// address, and a strided sample of entry bit patterns. Used by
-/// engines that cache state derived from a map (quantized LUTs, tile
-/// plans) to detect when the caller switched maps.
-pub fn map_fingerprint(map: &RemapMap) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
-    let mix = |h: &mut u64, v: u64| {
-        *h ^= v;
-        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    mix(&mut h, map.width() as u64);
-    mix(&mut h, map.height() as u64);
-    let (sw, sh) = map.src_dims();
-    mix(&mut h, sw as u64);
-    mix(&mut h, sh as u64);
-    let e = map.entries();
-    mix(&mut h, e.as_ptr() as u64);
-    let stride = (e.len() / 16).max(1);
-    let mut i = 0;
-    while i < e.len() {
-        mix(&mut h, e[i].sx.to_bits() as u64);
-        mix(&mut h, e[i].sy.to_bits() as u64);
-        i += stride;
-    }
-    h
-}
-
 struct SerialEngine {
     interp: Interpolator,
 }
@@ -854,14 +830,14 @@ impl<P: EnginePixel> CorrectionEngine<P> for SerialEngine {
     fn correct_frame(
         &self,
         src: &Image<P>,
-        map: &RemapMap,
+        plan: &RemapPlan,
         out: &mut Image<P>,
     ) -> Result<FrameReport, EngineError> {
         execute_host(
             &EngineSpec::Serial,
             self.interp,
             src,
-            map,
+            plan,
             &HostEnv::default(),
             out,
         )
@@ -882,14 +858,14 @@ impl<P: EnginePixel> CorrectionEngine<P> for SmpEngine {
     fn correct_frame(
         &self,
         src: &Image<P>,
-        map: &RemapMap,
+        plan: &RemapPlan,
         out: &mut Image<P>,
     ) -> Result<FrameReport, EngineError> {
         let env = HostEnv {
             pool: Some(&self.pool),
             ..Default::default()
         };
-        execute_host(&self.spec, self.interp, src, map, &env, out)
+        execute_host(&self.spec, self.interp, src, plan, &env, out)
     }
 }
 
@@ -907,20 +883,19 @@ impl<P: EnginePixel> CorrectionEngine<P> for DirectEngine {
     fn correct_frame(
         &self,
         src: &Image<P>,
-        map: &RemapMap,
+        plan: &RemapPlan,
         out: &mut Image<P>,
     ) -> Result<FrameReport, EngineError> {
         let env = HostEnv {
             geometry: Some((&self.lens, &self.view)),
             ..Default::default()
         };
-        execute_host(&EngineSpec::Direct, self.interp, src, map, &env, out)
+        execute_host(&EngineSpec::Direct, self.interp, src, plan, &env, out)
     }
 }
 
 struct FixedPointEngine {
     frac_bits: u32,
-    cache: Mutex<Option<(u64, FixedRemapMap)>>,
 }
 
 impl<P: EnginePixel> CorrectionEngine<P> for FixedPointEngine {
@@ -934,27 +909,17 @@ impl<P: EnginePixel> CorrectionEngine<P> for FixedPointEngine {
     fn correct_frame(
         &self,
         src: &Image<P>,
-        map: &RemapMap,
+        plan: &RemapPlan,
         out: &mut Image<P>,
     ) -> Result<FrameReport, EngineError> {
-        let fp = map_fingerprint(map);
-        let mut cache = self.cache.lock();
-        if !matches!(&*cache, Some((k, _)) if *k == fp) {
-            *cache = Some((fp, map.to_fixed(self.frac_bits)));
-        }
-        let (_, fmap) = cache.as_ref().unwrap();
-        let env = HostEnv {
-            fixed: Some(fmap),
-            ..Default::default()
-        };
         execute_host(
             &EngineSpec::FixedPoint {
                 frac_bits: self.frac_bits,
             },
             Interpolator::Bilinear,
             src,
-            map,
-            &env,
+            plan,
+            &HostEnv::default(),
             out,
         )
     }
@@ -970,14 +935,14 @@ impl<P: EnginePixel> CorrectionEngine<P> for SimdEngine {
     fn correct_frame(
         &self,
         src: &Image<P>,
-        map: &RemapMap,
+        plan: &RemapPlan,
         out: &mut Image<P>,
     ) -> Result<FrameReport, EngineError> {
         execute_host(
             &EngineSpec::Simd,
             Interpolator::Bilinear,
             src,
-            map,
+            plan,
             &HostEnv::default(),
             out,
         )
@@ -988,6 +953,8 @@ impl<P: EnginePixel> CorrectionEngine<P> for SimdEngine {
 mod tests {
     use super::*;
     use crate::correct::{correct, correct_fixed};
+    use crate::map::RemapMap;
+    use crate::plan::PlanOptions;
 
     fn workload() -> (FisheyeLens, PerspectiveView, RemapMap, Image<Gray8>) {
         let lens = FisheyeLens::equidistant_fov(160, 120, 180.0);
@@ -995,6 +962,14 @@ mod tests {
         let map = RemapMap::build(&lens, &view, 160, 120);
         let src = pixmap::scene::random_gray(160, 120, 42);
         (lens, view, map, src)
+    }
+
+    /// Compile a plan covering every registry spec's needs.
+    fn plan_for(map: &RemapMap) -> RemapPlan {
+        RemapPlan::compile(
+            map,
+            PlanOptions::for_specs(&EngineSpec::registry(), Interpolator::Bilinear),
+        )
     }
 
     #[test]
@@ -1042,6 +1017,7 @@ mod tests {
     #[test]
     fn host_engines_match_serial_reference_gray8() {
         let (lens, view, map, src) = workload();
+        let plan = plan_for(&map);
         let reference = correct(&src, &map, Interpolator::Bilinear);
         let ctx = HostCtx {
             geometry: Some((&lens, &view)),
@@ -1050,7 +1026,7 @@ mod tests {
         for spec in EngineSpec::registry().iter().filter(|s| s.is_host()) {
             let engine = build_host::<Gray8>(spec, &ctx).unwrap();
             let mut out = Image::new(map.width(), map.height());
-            let report = engine.correct_frame(&src, &map, &mut out).unwrap();
+            let report = engine.correct_frame(&src, &plan, &mut out).unwrap();
             assert_eq!(report.backend, spec.name());
             assert_eq!(report.rows, 60);
             match spec.numeric_class() {
@@ -1060,6 +1036,11 @@ mod tests {
                 NumericClass::Fixed { frac_bits } => {
                     let fixed_ref = correct_fixed(&src, &map.to_fixed(frac_bits));
                     assert_eq!(out, fixed_ref, "{}", spec.name());
+                    assert!(
+                        !report.model.contains_key("plan_miss"),
+                        "registry plan must satisfy {}",
+                        spec.name()
+                    );
                 }
             }
         }
@@ -1089,11 +1070,12 @@ mod tests {
     #[test]
     fn simd_engine_bit_exact_on_f32() {
         let (_, _, map, src) = workload();
+        let plan = plan_for(&map);
         let srcf: Image<GrayF32> = src.map(GrayF32::from);
         let reference = correct(&srcf, &map, Interpolator::Bilinear);
         let engine = build_host::<GrayF32>(&EngineSpec::Simd, &HostCtx::default()).unwrap();
         let mut out = Image::new(map.width(), map.height());
-        engine.correct_frame(&srcf, &map, &mut out).unwrap();
+        engine.correct_frame(&srcf, &plan, &mut out).unwrap();
         assert_eq!(out, reference);
     }
 
@@ -1117,10 +1099,11 @@ mod tests {
     #[test]
     fn dimension_mismatch_is_an_error_not_a_panic() {
         let (_, _, map, src) = workload();
+        let plan = plan_for(&map);
         let engine = build_host::<Gray8>(&EngineSpec::Serial, &HostCtx::default()).unwrap();
         let mut wrong: Image<Gray8> = Image::new(10, 10);
         assert!(matches!(
-            engine.correct_frame(&src, &map, &mut wrong),
+            engine.correct_frame(&src, &plan, &mut wrong),
             Err(EngineError::Backend { .. })
         ));
     }
@@ -1138,16 +1121,20 @@ mod tests {
         };
         let expect = map.entries().iter().filter(|e| !e.is_valid()).count() as u64;
         assert!(expect > 0);
+        let plan = plan_for(&map);
+        assert_eq!(plan.invalid_pixels(), expect);
         for spec in EngineSpec::registry().iter().filter(|s| s.is_host()) {
             let engine = build_host::<Gray8>(spec, &ctx).unwrap();
             let mut out = Image::new(80, 60);
-            let report = engine.correct_frame(&src, &map, &mut out).unwrap();
+            let report = engine.correct_frame(&src, &plan, &mut out).unwrap();
             assert_eq!(report.invalid_pixels, expect, "{}", spec.name());
         }
     }
 
     #[test]
-    fn fixed_engine_cache_tracks_map_changes() {
+    fn fixed_engine_follows_the_plan_it_is_handed() {
+        // engines hold no map-derived state: swapping plans swaps the
+        // quantized LUT with them, with nothing stale in between
         let (lens, view, map, src) = workload();
         let engine = build_host::<Gray8>(
             &EngineSpec::FixedPoint { frac_bits: 12 },
@@ -1155,13 +1142,33 @@ mod tests {
         )
         .unwrap();
         let mut out = Image::new(80, 60);
-        engine.correct_frame(&src, &map, &mut out).unwrap();
+        engine
+            .correct_frame(&src, &plan_for(&map), &mut out)
+            .unwrap();
         let first = out.clone();
-        // a different map must not reuse the cached quantized LUT
         let map2 = RemapMap::build(&lens, &view.look(25.0, 0.0), 160, 120);
-        engine.correct_frame(&src, &map2, &mut out).unwrap();
+        engine
+            .correct_frame(&src, &plan_for(&map2), &mut out)
+            .unwrap();
         assert_eq!(out, correct_fixed(&src, &map2.to_fixed(12)));
         assert_ne!(out, first);
+    }
+
+    #[test]
+    fn fixed_engine_survives_a_plan_miss() {
+        // a plan compiled without the fixed LUT still works — the
+        // engine requantizes per frame and flags it
+        let (_, _, map, src) = workload();
+        let bare = RemapPlan::compile(&map, PlanOptions::default());
+        let engine = build_host::<Gray8>(
+            &EngineSpec::FixedPoint { frac_bits: 12 },
+            &HostCtx::default(),
+        )
+        .unwrap();
+        let mut out = Image::new(80, 60);
+        let report = engine.correct_frame(&src, &bare, &mut out).unwrap();
+        assert_eq!(out, correct_fixed(&src, &map.to_fixed(12)));
+        assert_eq!(report.model.get("plan_miss"), Some(&1.0));
     }
 
     #[test]

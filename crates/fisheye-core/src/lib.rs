@@ -7,7 +7,7 @@
 //!    [`fisheye_geom::FisheyeLens`] and record the source coordinate in
 //!    a remap LUT ([`RemapMap`]); optionally quantized to fixed point
 //!    ([`FixedRemapMap`]) for the accelerator paths.
-//! 2. **Correction** ([`correct`]) — per frame, gather source pixels
+//! 2. **Correction** ([`correct()`](fn@correct)) — per frame, gather source pixels
 //!    through the LUT with a chosen [`Interpolator`] to produce the
 //!    corrected frame. Serial, multicore ([`par_runtime::ThreadPool`])
 //!    and fixed-point variants are provided.
@@ -23,9 +23,13 @@
 //!   through the *forward* lens model, producing the distorted input
 //!   frames all experiments consume (substitute for the paper's
 //!   camera; DESIGN.md §6).
-//! * [`pipeline`] — ties it together with per-phase timing, LUT
-//!   caching, and the direct (no-LUT) mode for the F9 crossover
-//!   experiment.
+//! * [`plan`] — the compile/execute split: [`RemapPlan`] turns a
+//!   [`RemapMap`] into an immutable execution artifact (SoA coordinate
+//!   planes, per-row valid spans, prequantized fixed-point LUTs, tile
+//!   plans) that every engine consumes (DESIGN.md §2.2).
+//! * [`pipeline`] — ties it together with per-phase timing, plan
+//!   caching, pooled output frames, and the direct (no-LUT) mode for
+//!   the F9 crossover experiment.
 
 pub mod antialias;
 pub mod correct;
@@ -33,6 +37,7 @@ pub mod engine;
 pub mod interp;
 pub mod map;
 pub mod pipeline;
+pub mod plan;
 pub mod simd;
 pub mod stitch;
 pub mod synth;
@@ -47,6 +52,7 @@ pub use engine::{
 pub use interp::Interpolator;
 pub use map::{FixedRemapMap, MapEntry, RemapMap};
 pub use pipeline::{CorrectionPipeline, PipelineConfig, PipelineStats};
+pub use plan::{correct_plan, correct_plan_into, PlanOptions, RemapPlan, ValidSpan};
 pub use stitch::{DualFisheyeRig, StitchMap};
 pub use tile::{TileJob, TilePlan};
 pub use yuv::{correct_yuv420, correct_yuv420_parallel, YuvMaps};

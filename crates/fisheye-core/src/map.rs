@@ -104,20 +104,8 @@ impl RemapMap {
         let (w, h) = proj.dims();
         let mut m = Self::empty(w, h, src_w, src_h);
         for y in 0..h {
-            for x in 0..w {
-                let ray = proj.pixel_ray(x as f64 + 0.5, y as f64 + 0.5);
-                m.entries[(y * w + x) as usize] = match lens.project(ray) {
-                    Some((sx, sy))
-                        if sx >= 0.0 && sx < src_w as f64 && sy >= 0.0 && sy < src_h as f64 =>
-                    {
-                        MapEntry {
-                            sx: sx as f32,
-                            sy: sy as f32,
-                        }
-                    }
-                    _ => MapEntry::INVALID,
-                };
-            }
+            let row = &mut m.entries[(y as usize) * w as usize..][..w as usize];
+            fill_projection_row(lens, proj, src_w, src_h, y, row);
         }
         m
     }
@@ -134,21 +122,7 @@ impl RemapMap {
         let (w, h) = proj.dims();
         let mut m = Self::empty(w, h, src_w, src_h);
         pool.parallel_rows(&mut m.entries, w as usize, schedule, &|row, slice| {
-            let y = row as u32;
-            for (x, e) in slice.iter_mut().enumerate() {
-                let ray = proj.pixel_ray(x as f64 + 0.5, y as f64 + 0.5);
-                *e = match lens.project(ray) {
-                    Some((sx, sy))
-                        if sx >= 0.0 && sx < src_w as f64 && sy >= 0.0 && sy < src_h as f64 =>
-                    {
-                        MapEntry {
-                            sx: sx as f32,
-                            sy: sy as f32,
-                        }
-                    }
-                    _ => MapEntry::INVALID,
-                };
-            }
+            fill_projection_row(lens, proj, src_w, src_h, row as u32, slice);
         });
         m
     }
@@ -329,6 +303,31 @@ fn fill_row(
 ) {
     for (x, e) in row.iter_mut().enumerate() {
         let ray = view.pixel_ray(x as f64 + 0.5, y as f64 + 0.5);
+        *e = match lens.project(ray) {
+            Some((sx, sy)) if sx >= 0.0 && sx < src_w as f64 && sy >= 0.0 && sy < src_h as f64 => {
+                MapEntry {
+                    sx: sx as f32,
+                    sy: sy as f32,
+                }
+            }
+            _ => MapEntry::INVALID,
+        };
+    }
+}
+
+/// Compute one output row of LUT entries for an arbitrary output
+/// projection. Shared by the serial and pooled projection builders so
+/// they cannot drift apart numerically.
+fn fill_projection_row(
+    lens: &FisheyeLens,
+    proj: &fisheye_geom::OutputProjection,
+    src_w: u32,
+    src_h: u32,
+    y: u32,
+    row: &mut [MapEntry],
+) {
+    for (x, e) in row.iter_mut().enumerate() {
+        let ray = proj.pixel_ray(x as f64 + 0.5, y as f64 + 0.5);
         *e = match lens.project(ray) {
             Some((sx, sy)) if sx >= 0.0 && sx < src_w as f64 && sy >= 0.0 && sy < src_h as f64 => {
                 MapEntry {

@@ -1,27 +1,35 @@
 //! The end-to-end correction pipeline with per-phase timing.
 //!
-//! Owns the lens, the current view, the (lazily rebuilt) LUT, and an
-//! optional thread pool, and exposes the per-frame entry point the
-//! video layer calls. Phase 2 is routed through the engine layer
-//! ([`crate::engine`]): the pipeline holds an [`EngineSpec`] instead
-//! of hardcoded serial/parallel/direct branches, so every host
-//! backend — `serial`, `smp`, `direct`, `fixed`, `simd` — runs
-//! through one dispatch point and every frame produces a
-//! [`FrameReport`] that the stats absorb. Accumulates the phase
-//! timings the experiments report (map-generation time vs correction
-//! time — the paper's central measurement).
+//! Owns the lens, the current view, the (lazily recompiled)
+//! [`RemapPlan`], and an optional thread pool, and exposes the
+//! per-frame entry point the video layer calls. Phase 2 is routed
+//! through the engine layer ([`crate::engine`]): the pipeline holds an
+//! [`EngineSpec`] instead of hardcoded serial/parallel/direct
+//! branches, so every host backend — `serial`, `smp`, `direct`,
+//! `fixed`, `simd` — runs through one dispatch point and every frame
+//! produces a [`FrameReport`] that the stats absorb. Accumulates the
+//! phase timings the experiments report (map-generation + plan-compile
+//! time vs correction time — the paper's central measurement).
+//!
+//! The pipeline is the plan's owner: engines are stateless with
+//! respect to the map, and the single compiled plan here is the only
+//! per-view artifact in the whole stack. For a zero-allocation steady
+//! state, pair [`CorrectionPipeline::try_process_pooled`] with a
+//! primed [`FramePool`] — every output frame is then a recycled
+//! buffer, and the frame report carries the pool's hit/miss counters.
 
 use std::time::{Duration, Instant};
 
 use fisheye_geom::{FisheyeLens, PerspectiveView};
 use par_runtime::{Schedule, ThreadPool};
-use pixmap::Image;
+use pixmap::{FramePool, Image, PooledFrame};
 
 use crate::engine::{
     execute_direct, execute_host, EngineError, EnginePixel, EngineSpec, FrameReport, HostEnv,
 };
 use crate::interp::Interpolator;
-use crate::map::{FixedRemapMap, RemapMap};
+use crate::map::RemapMap;
+use crate::plan::{PlanOptions, RemapPlan};
 
 /// Pipeline configuration.
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +58,10 @@ pub struct PipelineStats {
     pub map_builds: u64,
     /// Total time spent building LUTs.
     pub map_time: Duration,
+    /// Total time spent compiling plans from built LUTs (span
+    /// indexing, SoA extraction, fixed-point quantization). Like
+    /// `map_time` this is per-view work, not per-frame work.
+    pub plan_time: Duration,
     /// Frames corrected.
     pub frames: u64,
     /// Total time spent in phase 2.
@@ -106,8 +118,7 @@ pub struct CorrectionPipeline<'p> {
     src_h: u32,
     config: PipelineConfig,
     pool: Option<&'p ThreadPool>,
-    map: Option<RemapMap>,
-    fixed: Option<FixedRemapMap>,
+    plan: Option<RemapPlan>,
     stats: PipelineStats,
 }
 
@@ -128,8 +139,7 @@ impl<'p> CorrectionPipeline<'p> {
             src_h,
             config,
             pool: None,
-            map: None,
-            fixed: None,
+            plan: None,
             stats: PipelineStats::default(),
         }
     }
@@ -166,13 +176,12 @@ impl<'p> CorrectionPipeline<'p> {
         self.stats = PipelineStats::default();
     }
 
-    /// Change the view (PTZ command). Invalidates the LUT; the next
-    /// frame pays the rebuild.
+    /// Change the view (PTZ command). Invalidates the plan; the next
+    /// frame pays the map rebuild and plan recompile.
     pub fn set_view(&mut self, view: PerspectiveView) {
         if view != self.view {
             self.view = view;
-            self.map = None;
-            self.fixed = None;
+            self.plan = None;
         }
     }
 
@@ -183,11 +192,12 @@ impl<'p> CorrectionPipeline<'p> {
         }
     }
 
-    /// Ensure the LUT exists, rebuilding if the view changed. Returns
-    /// a reference to it. Public so platform models can grab the same
-    /// map the host pipeline uses.
-    pub fn ensure_map(&mut self) -> &RemapMap {
-        if self.map.is_none() {
+    /// Ensure the compiled plan exists, rebuilding the map and
+    /// recompiling if the view changed. Returns a reference to it.
+    /// Public so platform models and the video layer can run on the
+    /// same plan the host pipeline uses.
+    pub fn ensure_plan(&mut self) -> &RemapPlan {
+        if self.plan.is_none() {
             let t0 = Instant::now();
             let schedule = self.map_schedule();
             let map = match self.pool {
@@ -198,9 +208,58 @@ impl<'p> CorrectionPipeline<'p> {
             };
             self.stats.map_time += t0.elapsed();
             self.stats.map_builds += 1;
-            self.map = Some(map);
+            let t1 = Instant::now();
+            let opts = PlanOptions::for_spec(&self.config.engine, self.config.interp);
+            self.plan = Some(RemapPlan::compile(&map, opts));
+            self.stats.plan_time += t1.elapsed();
         }
-        self.map.as_ref().unwrap()
+        self.plan.as_ref().unwrap()
+    }
+
+    /// Ensure the LUT exists (compiling the plan around it) and return
+    /// a reference to it. Kept for callers that only care about the
+    /// raw map — the plan is the owner, the map lives inside it.
+    pub fn ensure_map(&mut self) -> &RemapMap {
+        self.ensure_plan().map()
+    }
+
+    /// Correct one frame into a caller-provided output buffer (its
+    /// dimensions must match the view). This is the allocation-free
+    /// entry point: with the plan already compiled, no heap allocation
+    /// happens on this path.
+    pub fn try_process_into<P: EnginePixel>(
+        &mut self,
+        frame: &Image<P>,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        assert_eq!(
+            frame.dims(),
+            (self.src_w, self.src_h),
+            "frame does not match configured source size"
+        );
+        // `direct` is the one path that needs no LUT at all — that is
+        // its entire point (the F9 comparison mode).
+        if self.config.engine == EngineSpec::Direct {
+            let report = execute_direct(self.config.interp, frame, &self.lens, &self.view, out)?;
+            self.stats.absorb(&report);
+            return Ok(report);
+        }
+        self.ensure_plan();
+        let plan = self.plan.as_ref().unwrap();
+        let env = HostEnv {
+            pool: self.pool,
+            geometry: Some((&self.lens, &self.view)),
+        };
+        let report = execute_host(
+            &self.config.engine,
+            self.config.interp,
+            frame,
+            plan,
+            &env,
+            out,
+        )?;
+        self.stats.absorb(&report);
+        Ok(report)
     }
 
     /// Correct one frame through the configured engine, returning the
@@ -210,46 +269,24 @@ impl<'p> CorrectionPipeline<'p> {
         &mut self,
         frame: &Image<P>,
     ) -> Result<(Image<P>, FrameReport), EngineError> {
-        assert_eq!(
-            frame.dims(),
-            (self.src_w, self.src_h),
-            "frame does not match configured source size"
-        );
-        // `direct` is the one path that needs no LUT at all — that is
-        // its entire point (the F9 comparison mode).
-        if self.config.engine == EngineSpec::Direct {
-            let mut out = Image::new(self.view.width, self.view.height);
-            let report =
-                execute_direct(self.config.interp, frame, &self.lens, &self.view, &mut out)?;
-            self.stats.absorb(&report);
-            return Ok((out, report));
-        }
-        self.ensure_map();
-        if let EngineSpec::FixedPoint { frac_bits } = self.config.engine {
-            let stale = !matches!(&self.fixed, Some(f) if f.frac_bits() == frac_bits);
-            if stale {
-                let t0 = Instant::now();
-                self.fixed = Some(self.map.as_ref().unwrap().to_fixed(frac_bits));
-                // LUT quantization is map-phase work, not per-frame.
-                self.stats.map_time += t0.elapsed();
-            }
-        }
-        let map = self.map.as_ref().unwrap();
-        let env = HostEnv {
-            pool: self.pool,
-            geometry: Some((&self.lens, &self.view)),
-            fixed: self.fixed.as_ref(),
-        };
-        let mut out = Image::new(map.width(), map.height());
-        let report = execute_host(
-            &self.config.engine,
-            self.config.interp,
-            frame,
-            map,
-            &env,
-            &mut out,
-        )?;
-        self.stats.absorb(&report);
+        let mut out = Image::new(self.view.width, self.view.height);
+        let report = self.try_process_into(frame, &mut out)?;
+        Ok((out, report))
+    }
+
+    /// Correct one frame into a recycled buffer from `frames`. In
+    /// steady state (pool primed or warmed up) the per-frame path
+    /// performs **zero** heap allocations. The report gains the
+    /// pool's cumulative `pool_hits` / `pool_misses` counters.
+    pub fn try_process_pooled<P: EnginePixel>(
+        &mut self,
+        frame: &Image<P>,
+        frames: &FramePool<P>,
+    ) -> Result<(PooledFrame<P>, FrameReport), EngineError> {
+        let mut out = frames.acquire();
+        let mut report = self.try_process_into(frame, &mut out)?;
+        report.kv("pool_hits", frames.hits() as f64);
+        report.kv("pool_misses", frames.misses() as f64);
         Ok((out, report))
     }
 
@@ -296,7 +333,7 @@ mod tests {
         assert_eq!(out.dims(), (80, 60));
         let _ = p.process(&frame);
         assert_eq!(p.stats().frames, 2);
-        assert_eq!(p.stats().map_builds, 1, "LUT built once for two frames");
+        assert_eq!(p.stats().map_builds, 1, "plan compiled once for two frames");
     }
 
     #[test]
@@ -349,10 +386,14 @@ mod tests {
     fn fixed_engine_reuses_quantized_lut() {
         let mut p = mk(EngineSpec::FixedPoint { frac_bits: 12 });
         let frame = random_gray(160, 120, 8);
-        let a = p.process(&frame);
-        let b = p.process(&frame);
+        let (a, r1) = p.try_process(&frame).unwrap();
+        let (b, r2) = p.try_process(&frame).unwrap();
         assert_eq!(a, b);
         assert_eq!(p.stats().frames, 2);
+        // the plan carries the prequantized LUT: neither frame fell
+        // back to on-the-fly quantization
+        assert_eq!(r1.model.get("plan_miss"), None);
+        assert_eq!(r2.model.get("plan_miss"), None);
         // reference: quantize the same map once
         let map = p.ensure_map().clone();
         assert_eq!(a, crate::correct::correct_fixed(&frame, &map.to_fixed(12)));
@@ -364,6 +405,35 @@ mod tests {
         let mut serial = mk(EngineSpec::Serial);
         let mut simd = mk(EngineSpec::Simd);
         assert_eq!(serial.process(&frame), simd.process(&frame));
+    }
+
+    #[test]
+    fn process_into_matches_allocating_path() {
+        let frame = random_gray(160, 120, 14);
+        let mut a = mk(EngineSpec::Serial);
+        let mut b = mk(EngineSpec::Serial);
+        let (out_alloc, _) = a.try_process(&frame).unwrap();
+        let mut out: Image<Gray8> = Image::new(80, 60);
+        let _ = b.try_process_into(&frame, &mut out).unwrap();
+        assert_eq!(out_alloc, out);
+    }
+
+    #[test]
+    fn pooled_frames_recycle_with_full_hit_rate() {
+        let frames: FramePool<Gray8> = FramePool::new(80, 60);
+        frames.prime(1);
+        let mut p = mk(EngineSpec::Serial);
+        let frame = random_gray(160, 120, 15);
+        let reference = mk(EngineSpec::Serial).process(&frame);
+        for _ in 0..8 {
+            let (out, report) = p.try_process_pooled(&frame, &frames).unwrap();
+            assert_eq!(*out, reference);
+            assert_eq!(report.model["pool_misses"], 0.0);
+            // `out` drops here, returning the buffer to the pool
+        }
+        assert_eq!(frames.misses(), 0);
+        assert_eq!(frames.hits(), 8);
+        assert!((frames.hit_rate() - 1.0).abs() < 1e-12);
     }
 
     #[test]

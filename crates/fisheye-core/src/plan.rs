@@ -1,0 +1,583 @@
+//! The compiled remap plan — the explicit **compile** phase between
+//! map generation and frame correction.
+//!
+//! The paper's performance argument rests on the map-gen / correction
+//! asymmetry: the LUT changes only when the view changes, so anything
+//! derivable from it should be paid once per view, never per frame.
+//! Before this module, that derived state (quantized LUTs, tile plans)
+//! was recomputed and cached privately inside each engine behind a map
+//! fingerprint; the hot gather also branched on NaN validity for every
+//! pixel of every frame. [`RemapPlan::compile`] moves all of it into
+//! one immutable artifact:
+//!
+//! * **SoA coordinate planes** — separate `sx`/`sy` `f32` arrays, so
+//!   span kernels stream coordinates without loading interleaved
+//!   `MapEntry` pairs they immediately split apart.
+//! * **Per-row valid spans** — run-length encoding of the contiguous
+//!   valid regions of each row. Engines iterate spans and fill the
+//!   gaps black, eliminating the per-pixel `is_valid()` branch from
+//!   the inner loop (a fisheye map's invalid region is a border, not
+//!   salt-and-pepper, so rows have very few spans).
+//! * **Prequantized fixed-point LUTs** for every `frac_bits` the
+//!   caller requests ([`PlanOptions::frac_bits`]).
+//! * **Tile plans** with source footprints for every requested tile
+//!   geometry ([`PlanOptions::tiles`]) — what the Cell model DMAs.
+//! * The original [`RemapMap`] itself, for consumers that need the
+//!   AoS view (the GPU cache model replays entry order; `direct`
+//!   comparisons read it for reference).
+//!
+//! Execution contract: every [`crate::engine::CorrectionEngine`]
+//! consumes `&RemapPlan`. Whoever owns the view owns the plan —
+//! `CorrectionPipeline` recompiles on `set_view`, videopipe and the
+//! CLI compile once up front — and engines hold **no** derived state
+//! of their own. An engine asked for an artifact the plan was not
+//! compiled with (a missing `frac_bits` width, a missing tile
+//! geometry) derives it on the fly and flags the report with
+//! `plan_miss=1`, keeping execution functional while making the
+//! compiled path the fast one.
+//!
+//! Compilation is deterministic: the same map and options produce a
+//! byte-identical plan (see [`RemapPlan::digest`]), which is what
+//! makes plans safe to share across threads and compare in tests.
+
+use pixmap::{Image, Pixel};
+
+use crate::engine::EngineSpec;
+use crate::interp::{sample_bicubic, sample_bilinear, sample_nearest, Interpolator};
+use crate::map::{FixedRemapMap, RemapMap};
+use crate::tile::TilePlan;
+
+/// What [`RemapPlan::compile`] should prederive beyond the SoA planes
+/// and valid spans (which are always built).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Fractional weight widths to prequantize ([`RemapPlan::fixed`]).
+    pub frac_bits: Vec<u32>,
+    /// Tile geometries `(tile_w, tile_h)` to preplan
+    /// ([`RemapPlan::tile_plan`]).
+    pub tiles: Vec<(u32, u32)>,
+    /// Interpolator whose margin inflates tile source footprints.
+    pub interp: Interpolator,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            frac_bits: Vec::new(),
+            tiles: Vec::new(),
+            interp: Interpolator::Bilinear,
+        }
+    }
+}
+
+impl PlanOptions {
+    /// The options one engine spec needs to run without plan misses.
+    pub fn for_spec(spec: &EngineSpec, interp: Interpolator) -> PlanOptions {
+        PlanOptions::for_specs(std::slice::from_ref(spec), interp)
+    }
+
+    /// The union of what several specs need — compile one plan, run
+    /// every backend on it.
+    pub fn for_specs(specs: &[EngineSpec], interp: Interpolator) -> PlanOptions {
+        let mut opts = PlanOptions {
+            interp,
+            ..Default::default()
+        };
+        for spec in specs {
+            match *spec {
+                EngineSpec::FixedPoint { frac_bits } => opts.frac_bits.push(frac_bits),
+                EngineSpec::Cell {
+                    tile_w,
+                    tile_h,
+                    frac_bits,
+                    ..
+                } => {
+                    opts.frac_bits.push(frac_bits);
+                    opts.tiles.push((tile_w, tile_h));
+                }
+                _ => {}
+            }
+        }
+        opts.frac_bits.sort_unstable();
+        opts.frac_bits.dedup();
+        opts.tiles.sort_unstable();
+        opts.tiles.dedup();
+        opts
+    }
+}
+
+/// One contiguous run of valid LUT entries within a row:
+/// `[start, end)` in output-pixel x coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValidSpan {
+    /// First valid x (inclusive).
+    pub start: u32,
+    /// One past the last valid x.
+    pub end: u32,
+}
+
+impl ValidSpan {
+    /// Pixels covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span is empty (never produced by compilation).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// The compiled, immutable execution artifact for one remap map. See
+/// the module docs for the compile/execute contract.
+#[derive(Clone, Debug)]
+pub struct RemapPlan {
+    map: RemapMap,
+    sx: Vec<f32>,
+    sy: Vec<f32>,
+    spans: Vec<ValidSpan>,
+    /// `row_offsets[y]..row_offsets[y+1]` indexes `spans` for row `y`.
+    row_offsets: Vec<u32>,
+    invalid_pixels: u64,
+    fixed: Vec<FixedRemapMap>,
+    tiles: Vec<TilePlan>,
+    interp: Interpolator,
+}
+
+impl RemapPlan {
+    /// Compile `map` into an execution plan. Always builds the SoA
+    /// planes and valid-span index; additionally prequantizes one
+    /// fixed-point LUT per requested `frac_bits` and one tile plan per
+    /// requested geometry.
+    ///
+    /// Deterministic: the same map and options yield a byte-identical
+    /// plan (same [`RemapPlan::digest`]).
+    pub fn compile(map: &RemapMap, opts: PlanOptions) -> RemapPlan {
+        let entries = map.entries();
+        let mut sx = Vec::with_capacity(entries.len());
+        let mut sy = Vec::with_capacity(entries.len());
+        for e in entries {
+            sx.push(e.sx);
+            sy.push(e.sy);
+        }
+        let w = map.width() as usize;
+        let mut spans = Vec::new();
+        let mut row_offsets = Vec::with_capacity(map.height() as usize + 1);
+        row_offsets.push(0u32);
+        let mut invalid = 0u64;
+        for y in 0..map.height() {
+            let row = &entries[(y as usize) * w..][..w];
+            let mut x = 0usize;
+            while x < w {
+                if row[x].is_valid() {
+                    let start = x;
+                    while x < w && row[x].is_valid() {
+                        x += 1;
+                    }
+                    spans.push(ValidSpan {
+                        start: start as u32,
+                        end: x as u32,
+                    });
+                } else {
+                    invalid += 1;
+                    x += 1;
+                }
+            }
+            row_offsets.push(spans.len() as u32);
+        }
+        let fixed = opts.frac_bits.iter().map(|&b| map.to_fixed(b)).collect();
+        let tiles = opts
+            .tiles
+            .iter()
+            .map(|&(tw, th)| TilePlan::build(map, tw, th, opts.interp))
+            .collect();
+        RemapPlan {
+            map: map.clone(),
+            sx,
+            sy,
+            spans,
+            row_offsets,
+            invalid_pixels: invalid,
+            fixed,
+            tiles,
+            interp: opts.interp,
+        }
+    }
+
+    /// Output width.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.map.width()
+    }
+
+    /// Output height.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.map.height()
+    }
+
+    /// Source frame dimensions the plan was compiled for.
+    #[inline]
+    pub fn src_dims(&self) -> (u32, u32) {
+        self.map.src_dims()
+    }
+
+    /// The AoS map the plan was compiled from.
+    #[inline]
+    pub fn map(&self) -> &RemapMap {
+        &self.map
+    }
+
+    /// Interpolator the tile footprints were inflated for.
+    #[inline]
+    pub fn interp(&self) -> Interpolator {
+        self.interp
+    }
+
+    /// Row `y` of the SoA x-coordinate plane.
+    #[inline]
+    pub fn row_sx(&self, y: u32) -> &[f32] {
+        let w = self.map.width() as usize;
+        &self.sx[(y as usize) * w..][..w]
+    }
+
+    /// Row `y` of the SoA y-coordinate plane.
+    #[inline]
+    pub fn row_sy(&self, y: u32) -> &[f32] {
+        let w = self.map.width() as usize;
+        &self.sy[(y as usize) * w..][..w]
+    }
+
+    /// Valid spans of row `y`, left to right.
+    #[inline]
+    pub fn spans(&self, y: u32) -> &[ValidSpan] {
+        let a = self.row_offsets[y as usize] as usize;
+        let b = self.row_offsets[y as usize + 1] as usize;
+        &self.spans[a..b]
+    }
+
+    /// Total number of valid spans across all rows.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Output pixels with no valid source mapping (precomputed at
+    /// compile time — engines report it without rescanning the map).
+    #[inline]
+    pub fn invalid_pixels(&self) -> u64 {
+        self.invalid_pixels
+    }
+
+    /// The prequantized LUT for `frac_bits`, if one was requested at
+    /// compile time.
+    pub fn fixed(&self, frac_bits: u32) -> Option<&FixedRemapMap> {
+        self.fixed.iter().find(|f| f.frac_bits() == frac_bits)
+    }
+
+    /// All prequantized LUTs, in ascending `frac_bits` order.
+    pub fn fixed_luts(&self) -> &[FixedRemapMap] {
+        &self.fixed
+    }
+
+    /// The precomputed tile plan for `(tile_w, tile_h)`, if one was
+    /// requested at compile time.
+    pub fn tile_plan(&self, tile_w: u32, tile_h: u32) -> Option<&TilePlan> {
+        self.tiles
+            .iter()
+            .find(|t| t.tile_dims() == (tile_w, tile_h))
+    }
+
+    /// Total plan size in bytes (map + SoA planes + spans + quantized
+    /// LUTs); what a view change costs in memory.
+    pub fn bytes(&self) -> usize {
+        self.map.bytes()
+            + self.sx.len() * 4
+            + self.sy.len() * 4
+            + self.spans.len() * std::mem::size_of::<ValidSpan>()
+            + self.fixed.iter().map(|f| f.bytes()).sum::<usize>()
+    }
+
+    /// Order-sensitive FNV-1a digest over every byte of compiled
+    /// state (coordinate bit patterns, spans, quantized entries, tile
+    /// rectangles). Two compilations of the same map with the same
+    /// options produce the same digest — the determinism contract the
+    /// plan-layer tests pin down. (A derived `PartialEq` would be
+    /// wrong here: NaN coordinates of invalid entries compare unequal
+    /// to themselves.)
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.map.width() as u64);
+        mix(self.map.height() as u64);
+        let (sw, sh) = self.map.src_dims();
+        mix(sw as u64);
+        mix(sh as u64);
+        for e in self.map.entries() {
+            mix(e.sx.to_bits() as u64);
+            mix(e.sy.to_bits() as u64);
+        }
+        for v in self.sx.iter().chain(&self.sy) {
+            mix(v.to_bits() as u64);
+        }
+        for s in &self.spans {
+            mix(((s.start as u64) << 32) | s.end as u64);
+        }
+        for o in &self.row_offsets {
+            mix(*o as u64);
+        }
+        mix(self.invalid_pixels);
+        for f in &self.fixed {
+            mix(f.frac_bits() as u64);
+            for e in f.entries() {
+                mix((e.x0 as u16 as u64) << 48
+                    | (e.y0 as u16 as u64) << 32
+                    | (e.wx as u64) << 16
+                    | e.wy as u64);
+            }
+        }
+        for t in &self.tiles {
+            let (tw, th) = t.tile_dims();
+            mix(((tw as u64) << 32) | th as u64);
+            for j in &t.jobs {
+                mix(((j.out.x0 as u64) << 32) | j.out.y0 as u64);
+                mix(((j.out.x1 as u64) << 32) | j.out.y1 as u64);
+                mix(((j.src.x0 as u64) << 32) | j.src.y0 as u64);
+                mix(((j.src.x1 as u64) << 32) | j.src.y1 as u64);
+            }
+        }
+        h
+    }
+}
+
+/// Correct one output row through the plan's span index: gaps between
+/// spans render black, spans sample without any validity branch.
+/// Bit-exact with [`crate::correct::correct_row`] on the same map.
+#[inline]
+pub fn correct_plan_row<P: Pixel>(
+    src: &Image<P>,
+    plan: &RemapPlan,
+    y: u32,
+    interp: Interpolator,
+    out_row: &mut [P],
+) {
+    debug_assert_eq!(out_row.len(), plan.width() as usize);
+    // hoist the kernel dispatch out of the pixel loop
+    match interp {
+        Interpolator::Nearest => span_row(plan, y, out_row, |x, yy| sample_nearest(src, x, yy)),
+        Interpolator::Bilinear => span_row(plan, y, out_row, |x, yy| sample_bilinear(src, x, yy)),
+        Interpolator::Bicubic => span_row(plan, y, out_row, |x, yy| sample_bicubic(src, x, yy)),
+    }
+}
+
+/// Walk one row's spans with a monomorphized sampler: gaps between
+/// spans fill black, so the common full-coverage row writes each pixel
+/// exactly once.
+#[inline]
+fn span_row<P: Pixel>(plan: &RemapPlan, y: u32, out_row: &mut [P], sample: impl Fn(f32, f32) -> P) {
+    let sx = plan.row_sx(y);
+    let sy = plan.row_sy(y);
+    let mut cursor = 0usize;
+    for s in plan.spans(y) {
+        out_row[cursor..s.start as usize].fill(P::BLACK);
+        let r = s.start as usize..s.end as usize;
+        for ((x, yy), o) in sx[r.clone()]
+            .iter()
+            .zip(&sy[r.clone()])
+            .zip(&mut out_row[r.clone()])
+        {
+            *o = sample(*x, *yy);
+        }
+        cursor = r.end;
+    }
+    out_row[cursor..].fill(P::BLACK);
+}
+
+/// Serial span-based correction into a pre-allocated output image.
+/// Bit-exact with [`crate::correct::correct_into`].
+pub fn correct_plan_into<P: Pixel>(
+    src: &Image<P>,
+    plan: &RemapPlan,
+    interp: Interpolator,
+    out: &mut Image<P>,
+) {
+    assert_eq!(
+        out.dims(),
+        (plan.width(), plan.height()),
+        "output dimensions must match the plan"
+    );
+    assert_eq!(
+        src.dims(),
+        plan.src_dims(),
+        "source dimensions must match the plan"
+    );
+    for y in 0..plan.height() {
+        correct_plan_row(src, plan, y, interp, out.row_mut(y));
+    }
+}
+
+/// Serial span-based correction, allocating the output.
+pub fn correct_plan<P: Pixel>(src: &Image<P>, plan: &RemapPlan, interp: Interpolator) -> Image<P> {
+    let mut out = Image::new(plan.width(), plan.height());
+    correct_plan_into(src, plan, interp, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correct::{correct, correct_fixed};
+    use fisheye_geom::{FisheyeLens, PerspectiveView};
+    use pixmap::scene::random_gray;
+
+    fn setup(fov_lens: f64, fov_view: f64) -> (RemapMap, Image<pixmap::Gray8>) {
+        let lens = FisheyeLens::equidistant_fov(160, 120, fov_lens);
+        let view = PerspectiveView::centered(80, 60, fov_view);
+        let map = RemapMap::build(&lens, &view, 160, 120);
+        (map, random_gray(160, 120, 17))
+    }
+
+    #[test]
+    fn full_coverage_map_compiles_to_one_span_per_row() {
+        let (map, _) = setup(180.0, 90.0);
+        let plan = RemapPlan::compile(&map, PlanOptions::default());
+        assert_eq!(plan.span_count(), 60);
+        for y in 0..60 {
+            assert_eq!(plan.spans(y), &[ValidSpan { start: 0, end: 80 }]);
+        }
+        assert_eq!(plan.invalid_pixels(), 0);
+    }
+
+    #[test]
+    fn border_invalid_map_spans_cover_exactly_the_valid_pixels() {
+        let (map, _) = setup(120.0, 140.0);
+        let plan = RemapPlan::compile(&map, PlanOptions::default());
+        let mut covered = 0u64;
+        for y in 0..map.height() {
+            for s in plan.spans(y) {
+                assert!(!s.is_empty());
+                covered += s.len() as u64;
+                for x in s.start..s.end {
+                    assert!(map.entry(x, y).is_valid(), "({x},{y}) inside span");
+                }
+            }
+        }
+        let valid = map.entries().iter().filter(|e| e.is_valid()).count() as u64;
+        assert_eq!(covered, valid);
+        assert_eq!(
+            plan.invalid_pixels(),
+            map.entries().len() as u64 - valid,
+            "invalid count is the complement of span coverage"
+        );
+    }
+
+    #[test]
+    fn span_execution_bit_exact_with_correct() {
+        for (lens_fov, view_fov) in [(180.0, 90.0), (120.0, 140.0)] {
+            let (map, src) = setup(lens_fov, view_fov);
+            let plan = RemapPlan::compile(&map, PlanOptions::default());
+            for interp in Interpolator::ALL {
+                let reference = correct(&src, &map, interp);
+                let via_plan = correct_plan(&src, &plan, interp);
+                assert_eq!(reference, via_plan, "{}", interp.name());
+            }
+        }
+    }
+
+    #[test]
+    fn prequantized_luts_match_direct_quantization() {
+        let (map, src) = setup(180.0, 90.0);
+        let plan = RemapPlan::compile(
+            &map,
+            PlanOptions {
+                frac_bits: vec![8, 12],
+                ..Default::default()
+            },
+        );
+        assert!(plan.fixed(10).is_none(), "unrequested width absent");
+        for bits in [8u32, 12] {
+            let f = plan.fixed(bits).expect("requested width present");
+            assert_eq!(f.frac_bits(), bits);
+            assert_eq!(
+                correct_fixed(&src, f),
+                correct_fixed(&src, &map.to_fixed(bits))
+            );
+        }
+        assert_eq!(plan.fixed_luts().len(), 2);
+    }
+
+    #[test]
+    fn tile_plans_match_direct_builds() {
+        let (map, _) = setup(180.0, 90.0);
+        let plan = RemapPlan::compile(
+            &map,
+            PlanOptions {
+                tiles: vec![(32, 16)],
+                ..Default::default()
+            },
+        );
+        assert!(plan.tile_plan(8, 8).is_none());
+        let t = plan.tile_plan(32, 16).unwrap();
+        let direct = TilePlan::build(&map, 32, 16, Interpolator::Bilinear);
+        assert_eq!(t.jobs, direct.jobs);
+    }
+
+    #[test]
+    fn options_for_specs_union_and_dedup() {
+        let specs = [
+            EngineSpec::Serial,
+            EngineSpec::FixedPoint { frac_bits: 12 },
+            EngineSpec::Cell {
+                tile_w: 32,
+                tile_h: 16,
+                double_buffer: true,
+                frac_bits: 12,
+            },
+            EngineSpec::Cell {
+                tile_w: 32,
+                tile_h: 16,
+                double_buffer: false,
+                frac_bits: 8,
+            },
+        ];
+        let opts = PlanOptions::for_specs(&specs, Interpolator::Bilinear);
+        assert_eq!(opts.frac_bits, vec![8, 12]);
+        assert_eq!(opts.tiles, vec![(32, 16)]);
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let (map, _) = setup(120.0, 140.0);
+        let opts = PlanOptions {
+            frac_bits: vec![12],
+            tiles: vec![(32, 16)],
+            interp: Interpolator::Bilinear,
+        };
+        let a = RemapPlan::compile(&map, opts.clone());
+        let b = RemapPlan::compile(&map, opts);
+        assert_eq!(a.digest(), b.digest());
+        // and the digest does distinguish different maps
+        let (map2, _) = setup(180.0, 90.0);
+        let c = RemapPlan::compile(&map2, PlanOptions::default());
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn plan_bytes_cover_all_artifacts() {
+        let (map, _) = setup(180.0, 90.0);
+        let bare = RemapPlan::compile(&map, PlanOptions::default());
+        let loaded = RemapPlan::compile(
+            &map,
+            PlanOptions {
+                frac_bits: vec![12],
+                ..Default::default()
+            },
+        );
+        assert!(loaded.bytes() > bare.bytes());
+        assert!(bare.bytes() > map.bytes());
+    }
+}

@@ -8,67 +8,77 @@
 //! ablation study (A1/bench) a faithful "SIMDized" variant to measure
 //! against the scalar kernel. Results are bit-exact with the scalar
 //! float path.
+//!
+//! The kernel consumes a compiled [`RemapPlan`]: the coordinates come
+//! straight from the plan's SoA planes (no AoS `MapEntry` unpacking),
+//! and iteration walks the per-row valid spans, so the 4-lane gather
+//! carries no validity mask at all — every lane inside a span is
+//! valid by construction, and the gaps are filled black up front.
 
 use pixmap::{Gray8, GrayF32, Image};
 
-use crate::map::{MapEntry, RemapMap};
+use crate::plan::RemapPlan;
 
 /// Number of lanes processed together.
 pub const LANES: usize = 4;
 
 /// Bilinear-correct one frame with the 4-lane SoA kernel. Bit-exact
 /// with `correct(…, Interpolator::Bilinear, …)` on `GrayF32` inputs.
-pub fn correct_bilinear_simd(src: &Image<GrayF32>, map: &RemapMap) -> Image<GrayF32> {
-    let mut out = Image::new(map.width(), map.height());
-    correct_bilinear_simd_into(src, map, &mut out);
+pub fn correct_bilinear_simd(src: &Image<GrayF32>, plan: &RemapPlan) -> Image<GrayF32> {
+    let mut out = Image::new(plan.width(), plan.height());
+    correct_bilinear_simd_into(src, plan, &mut out);
     out
 }
 
 /// [`correct_bilinear_simd`] into a pre-allocated output image
-/// (dimensions must match the map).
-pub fn correct_bilinear_simd_into(src: &Image<GrayF32>, map: &RemapMap, out: &mut Image<GrayF32>) {
+/// (dimensions must match the plan).
+pub fn correct_bilinear_simd_into(
+    src: &Image<GrayF32>,
+    plan: &RemapPlan,
+    out: &mut Image<GrayF32>,
+) {
     assert_eq!(
         out.dims(),
-        (map.width(), map.height()),
-        "output dimensions must match the map"
+        (plan.width(), plan.height()),
+        "output dimensions must match the plan"
     );
-    let w = map.width() as usize;
-    for y in 0..map.height() {
-        let entries = map.row(y);
+    for y in 0..plan.height() {
+        let sx = plan.row_sx(y);
+        let sy = plan.row_sy(y);
         let out_row = out.row_mut(y);
-        let mut x = 0usize;
-        while x + LANES <= w {
-            let chunk: [MapEntry; LANES] = entries[x..x + LANES].try_into().unwrap();
-            let vals = gather4(src, &chunk);
-            out_row[x..x + LANES]
-                .iter_mut()
-                .zip(vals)
-                .for_each(|(o, v)| *o = GrayF32(v));
-            x += LANES;
-        }
-        // scalar tail
-        for (e, o) in entries[x..].iter().zip(&mut out_row[x..]) {
-            *o = if e.is_valid() {
-                crate::interp::sample_bilinear(src, e.sx, e.sy)
-            } else {
-                GrayF32(0.0)
-            };
+        out_row.fill(GrayF32(0.0));
+        for s in plan.spans(y) {
+            let mut x = s.start as usize;
+            let end = s.end as usize;
+            while x + LANES <= end {
+                let cx: [f32; LANES] = sx[x..x + LANES].try_into().unwrap();
+                let cy: [f32; LANES] = sy[x..x + LANES].try_into().unwrap();
+                let vals = gather4(src, &cx, &cy);
+                out_row[x..x + LANES]
+                    .iter_mut()
+                    .zip(vals)
+                    .for_each(|(o, v)| *o = GrayF32(v));
+                x += LANES;
+            }
+            // scalar tail of the span
+            for x in x..end {
+                out_row[x] = crate::interp::sample_bilinear(src, sx[x], sy[x]);
+            }
         }
     }
 }
 
-/// The 4-lane gather + interpolate. All arithmetic is expressed as
-/// independent per-lane arrays so the compiler can keep each step in
-/// one vector register.
+/// The 4-lane gather + interpolate over four valid coordinates. All
+/// arithmetic is expressed as independent per-lane arrays so the
+/// compiler can keep each step in one vector register. No validity
+/// handling: span iteration guarantees every lane is valid.
 #[inline]
-fn gather4(src: &Image<GrayF32>, e: &[MapEntry; LANES]) -> [f32; LANES] {
+fn gather4(src: &Image<GrayF32>, cx: &[f32; LANES], cy: &[f32; LANES]) -> [f32; LANES] {
     let mut fx = [0f32; LANES];
     let mut fy = [0f32; LANES];
-    let mut valid = [false; LANES];
     for i in 0..LANES {
-        valid[i] = e[i].is_valid();
-        fx[i] = if valid[i] { e[i].sx - 0.5 } else { 0.0 };
-        fy[i] = if valid[i] { e[i].sy - 0.5 } else { 0.0 };
+        fx[i] = cx[i] - 0.5;
+        fy[i] = cy[i] - 0.5;
     }
     let mut x0 = [0f32; LANES];
     let mut y0 = [0f32; LANES];
@@ -101,20 +111,15 @@ fn gather4(src: &Image<GrayF32>, e: &[MapEntry; LANES]) -> [f32; LANES] {
         let bot = p01[i] * (1.0 - wx[i]) + p11[i] * wx[i];
         out[i] = top * (1.0 - wy[i]) + bot * wy[i];
     }
-    for i in 0..LANES {
-        if !valid[i] {
-            out[i] = 0.0;
-        }
-    }
     out
 }
 
 /// Convenience: run the SIMD kernel on an 8-bit frame by lifting to
 /// float lanes (one conversion pass, as the SPE port does when
 /// unpacking bytes into vector registers).
-pub fn correct_bilinear_simd_gray8(src: &Image<Gray8>, map: &RemapMap) -> Image<Gray8> {
+pub fn correct_bilinear_simd_gray8(src: &Image<Gray8>, plan: &RemapPlan) -> Image<Gray8> {
     let srcf: Image<GrayF32> = src.map(GrayF32::from);
-    correct_bilinear_simd(&srcf, map).map(Gray8::from)
+    correct_bilinear_simd(&srcf, plan).map(Gray8::from)
 }
 
 /// [`correct_bilinear_simd_gray8`] into a pre-allocated output image.
@@ -123,17 +128,17 @@ pub fn correct_bilinear_simd_gray8(src: &Image<Gray8>, map: &RemapMap) -> Image<
 /// `sample_bilinear`'s per-pixel operation order exactly.
 pub fn correct_bilinear_simd_gray8_into(
     src: &Image<Gray8>,
-    map: &RemapMap,
+    plan: &RemapPlan,
     out: &mut Image<Gray8>,
 ) {
     assert_eq!(
         out.dims(),
-        (map.width(), map.height()),
-        "output dimensions must match the map"
+        (plan.width(), plan.height()),
+        "output dimensions must match the plan"
     );
     let srcf: Image<GrayF32> = src.map(GrayF32::from);
-    let mut outf: Image<GrayF32> = Image::new(map.width(), map.height());
-    correct_bilinear_simd_into(&srcf, map, &mut outf);
+    let mut outf: Image<GrayF32> = Image::new(plan.width(), plan.height());
+    correct_bilinear_simd_into(&srcf, plan, &mut outf);
     for (o, v) in out.pixels_mut().iter_mut().zip(outf.pixels()) {
         *o = Gray8::from(*v);
     }
@@ -142,51 +147,60 @@ pub fn correct_bilinear_simd_gray8_into(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::map::RemapMap;
+    use crate::plan::PlanOptions;
     use crate::{correct, Interpolator};
     use fisheye_geom::{FisheyeLens, PerspectiveView};
 
-    fn setup(out_w: u32) -> (RemapMap, Image<GrayF32>) {
+    fn setup(out_w: u32) -> (RemapMap, RemapPlan, Image<GrayF32>) {
         let lens = FisheyeLens::equidistant_fov(160, 120, 180.0);
         let view = PerspectiveView::centered(out_w, 60, 90.0);
         let map = RemapMap::build(&lens, &view, 160, 120);
+        let plan = RemapPlan::compile(&map, PlanOptions::default());
         let src = pixmap::scene::random_gray(160, 120, 77).map(GrayF32::from);
-        (map, src)
+        (map, plan, src)
     }
 
     #[test]
     fn bit_exact_vs_scalar() {
-        let (map, src) = setup(80);
+        let (map, plan, src) = setup(80);
         let scalar = correct(&src, &map, Interpolator::Bilinear);
-        let simd = correct_bilinear_simd(&src, &map);
+        let simd = correct_bilinear_simd(&src, &plan);
         assert_eq!(scalar, simd);
     }
 
     #[test]
     fn handles_non_multiple_of_four_width() {
         for w in [77u32, 78, 79, 81] {
-            let (map, src) = setup(w);
+            let (map, plan, src) = setup(w);
             let scalar = correct(&src, &map, Interpolator::Bilinear);
-            let simd = correct_bilinear_simd(&src, &map);
+            let simd = correct_bilinear_simd(&src, &plan);
             assert_eq!(scalar, simd, "width {w}");
         }
     }
 
     #[test]
-    fn invalid_lanes_render_black() {
+    fn invalid_regions_render_black_without_masking() {
+        // narrow lens behind a wide view: the span index excludes the
+        // invalid border, so the gather never even sees those pixels
         let lens = FisheyeLens::equidistant_fov(160, 120, 100.0);
         let view = PerspectiveView::centered(80, 60, 160.0);
         let map = RemapMap::build(&lens, &view, 160, 120);
+        let plan = RemapPlan::compile(&map, PlanOptions::default());
+        assert!(plan.invalid_pixels() > 0);
         let src = pixmap::Image::filled(160, 120, GrayF32(1.0));
-        let out = correct_bilinear_simd(&src, &map);
+        let out = correct_bilinear_simd(&src, &plan);
         assert_eq!(out.pixel(0, 0), GrayF32(0.0));
         assert_eq!(out.pixel(40, 30), GrayF32(1.0));
+        // and it still matches the branchy scalar reference exactly
+        assert_eq!(out, correct(&src, &map, Interpolator::Bilinear));
     }
 
     #[test]
     fn gray8_wrapper_close_to_direct_path() {
-        let (map, _) = setup(80);
+        let (map, plan, _) = setup(80);
         let src8 = pixmap::scene::random_gray(160, 120, 3);
-        let a = correct_bilinear_simd_gray8(&src8, &map);
+        let a = correct_bilinear_simd_gray8(&src8, &plan);
         let b = correct(&src8, &map, Interpolator::Bilinear);
         // the u8 path quantizes at a different point; within 1 LSB
         let max = a

@@ -1,0 +1,175 @@
+//! Property-based tests of the compiled plan layer: executing a
+//! [`RemapPlan`] must be bit-exact with the branchy reference kernels
+//! (`correct` / `correct_fixed`) for arbitrary lenses and views, plan
+//! compilation must be deterministic, and the per-row valid-span RLE
+//! must partition the map's valid entries exactly.
+//!
+//! Runs on the in-tree `proputil` harness (seeded cases, halving
+//! shrinker) — see DESIGN.md §5 for why no external property-test
+//! crate is used.
+
+use fisheye_core::plan::{correct_plan, PlanOptions, RemapPlan};
+use fisheye_core::{correct, correct_fixed, Interpolator, MapEntry, RemapMap};
+use fisheye_geom::{FisheyeLens, PerspectiveView};
+use pixmap::{Gray8, Image};
+use proputil::{ensure, ensure_eq, Gen};
+
+const CASES: u32 = 32;
+
+/// A random (lens, view, source frame) workload. Wide view FOVs behind
+/// narrow lens FOVs produce invalid regions, so both the all-valid and
+/// the gappy span shapes are exercised.
+fn arb_workload(g: &mut Gen) -> (RemapMap, Image<Gray8>) {
+    let sw = g.u32_in(16, 97);
+    let sh = g.u32_in(16, 97);
+    let lens_fov = g.f64_in(100.0, 200.0);
+    let lens = FisheyeLens::equidistant_fov(sw, sh, lens_fov);
+    let ow = g.u32_in(8, 81);
+    let oh = g.u32_in(8, 81);
+    let view_fov = g.f64_in(40.0, 170.0);
+    let pan = g.f64_in(-30.0, 30.0);
+    let tilt = g.f64_in(-20.0, 20.0);
+    let view = PerspectiveView::centered(ow, oh, view_fov).look(pan, tilt);
+    let map = RemapMap::build(&lens, &view, sw, sh);
+    let frame = pixmap::scene::random_gray(sw, sh, g.u64_any());
+    (map, frame)
+}
+
+fn arb_interp(g: &mut Gen) -> Interpolator {
+    *g.pick(&[
+        Interpolator::Nearest,
+        Interpolator::Bilinear,
+        Interpolator::Bicubic,
+    ])
+}
+
+#[test]
+fn plan_execution_bit_exact_with_branchy_reference() {
+    proputil::check(
+        "plan_execution_bit_exact_with_branchy_reference",
+        CASES,
+        |g| {
+            let (map, frame) = arb_workload(g);
+            let interp = arb_interp(g);
+            let plan = RemapPlan::compile(&map, PlanOptions::default());
+            let reference = correct(&frame, &map, interp);
+            let planned = correct_plan(&frame, &plan, interp);
+            ensure_eq!(reference, planned, "interp {}", interp.name());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn plan_fixed_lut_bit_exact_with_direct_quantization() {
+    proputil::check(
+        "plan_fixed_lut_bit_exact_with_direct_quantization",
+        CASES,
+        |g| {
+            let (map, frame) = arb_workload(g);
+            let frac_bits = g.u32_in(4, 16); // u16 weights: 1..=15 bits
+            let plan = RemapPlan::compile(
+                &map,
+                PlanOptions {
+                    frac_bits: vec![frac_bits],
+                    ..PlanOptions::default()
+                },
+            );
+            let lut = plan
+                .fixed(frac_bits)
+                .ok_or_else(|| format!("plan lost its {frac_bits}-bit LUT"))?;
+            ensure_eq!(
+                correct_fixed(&frame, &map.to_fixed(frac_bits)),
+                correct_fixed(&frame, lut),
+                "frac_bits {frac_bits}"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn plan_compilation_is_deterministic() {
+    proputil::check("plan_compilation_is_deterministic", CASES, |g| {
+        let (map, _) = arb_workload(g);
+        let opts = PlanOptions {
+            frac_bits: vec![g.u32_in(4, 16)],
+            tiles: vec![(g.u32_in(4, 33), g.u32_in(4, 33))],
+            ..PlanOptions::default()
+        };
+        let a = RemapPlan::compile(&map, opts.clone());
+        let b = RemapPlan::compile(&map, opts);
+        ensure_eq!(a.digest(), b.digest());
+        // and a clone of the map compiles to the same artifact
+        let c = RemapPlan::compile(&map.clone(), PlanOptions::default());
+        let d = RemapPlan::compile(&map, PlanOptions::default());
+        ensure_eq!(c.digest(), d.digest());
+        Ok(())
+    });
+}
+
+#[test]
+fn spans_partition_the_valid_entries_exactly() {
+    proputil::check("spans_partition_the_valid_entries_exactly", CASES, |g| {
+        let (map, _) = arb_workload(g);
+        let plan = RemapPlan::compile(&map, PlanOptions::default());
+        let mut spanned: u64 = 0;
+        for y in 0..map.height() {
+            let row = map.row(y);
+            let mut prev_end = 0u32;
+            for s in plan.spans(y) {
+                ensure!(s.start >= prev_end, "spans overlap or run backwards");
+                ensure!(s.start < s.end, "empty span stored");
+                for x in s.start..s.end {
+                    ensure!(row[x as usize].is_valid(), "span covers invalid ({x},{y})");
+                }
+                spanned += s.len() as u64;
+                prev_end = s.end;
+            }
+        }
+        let valid = map.entries().iter().filter(|e| e.is_valid()).count() as u64;
+        ensure_eq!(spanned, valid, "spans must cover every valid entry once");
+        let total = map.width() as u64 * map.height() as u64;
+        ensure_eq!(plan.invalid_pixels(), total - valid);
+        Ok(())
+    });
+}
+
+/// Degenerate maps the span builder must not trip over: fully invalid,
+/// single-row, single-column, and 1×1 outputs (valid or not).
+#[test]
+fn degenerate_maps_execute_like_the_reference() {
+    proputil::check("degenerate_maps_execute_like_the_reference", CASES, |g| {
+        let (sw, sh) = (32u32, 24u32);
+        let frame = pixmap::scene::random_gray(sw, sh, g.u64_any());
+        let shape = g.usize_in(0, 4);
+        let (w, h) = match shape {
+            0 => (g.u32_in(1, 17), g.u32_in(1, 17)), // all-invalid
+            1 => (g.u32_in(1, 41), 1),               // single row
+            2 => (1, g.u32_in(1, 41)),               // single column
+            _ => (1, 1),                             // 1×1
+        };
+        let entries: Vec<MapEntry> = (0..w as usize * h as usize)
+            .map(|_| {
+                if shape == 0 || g.bool() {
+                    MapEntry::INVALID
+                } else {
+                    MapEntry {
+                        sx: g.f64_in(0.0, sw as f64) as f32,
+                        sy: g.f64_in(0.0, sh as f64) as f32,
+                    }
+                }
+            })
+            .collect();
+        let map = RemapMap::from_entries(w, h, sw, sh, entries);
+        let interp = arb_interp(g);
+        let plan = RemapPlan::compile(&map, PlanOptions::default());
+        ensure_eq!(
+            correct(&frame, &map, interp),
+            correct_plan(&frame, &plan, interp),
+            "shape {shape} {w}x{h} interp {}",
+            interp.name()
+        );
+        Ok(())
+    });
+}

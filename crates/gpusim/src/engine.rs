@@ -2,13 +2,16 @@
 //! interface as every host path.
 //!
 //! The SIMT model is generic over pixel type and needs no derived
-//! state, so the adapter is thin: run the frame, copy the functional
-//! output, and flatten the model's statistics (texture-cache hit
+//! state, so the adapter is thin: it reads the float map straight out
+//! of the compiled [`RemapPlan`] (the GPU gathers through the raw
+//! LUT — texture hardware does the interpolation, no quantized or
+//! tiled artifact needed), runs the frame, copies the functional
+//! output, and flattens the model's statistics (texture-cache hit
 //! rate, DRAM traffic, warp memory profile, modeled cycles) into the
 //! [`FrameReport`]'s uniform key/value section.
 
 use fisheye_core::engine::{CorrectionEngine, EngineError, EngineSpec, FrameReport};
-use fisheye_core::map::RemapMap;
+use fisheye_core::plan::RemapPlan;
 use fisheye_core::Interpolator;
 use pixmap::{Image, Pixel};
 
@@ -61,37 +64,37 @@ impl<P: Pixel> CorrectionEngine<P> for GpuEngine {
     fn correct_frame(
         &self,
         src: &Image<P>,
-        map: &RemapMap,
+        plan: &RemapPlan,
         out: &mut Image<P>,
     ) -> Result<FrameReport, EngineError> {
         let name = self.spec.name();
-        if out.dims() != (map.width(), map.height()) {
+        if out.dims() != (plan.width(), plan.height()) {
             return Err(EngineError::backend(
                 &name,
                 format!(
-                    "output {:?} does not match map {:?}",
+                    "output {:?} does not match plan {:?}",
                     out.dims(),
-                    (map.width(), map.height())
+                    (plan.width(), plan.height())
                 ),
             ));
         }
-        if src.dims() != map.src_dims() {
+        if src.dims() != plan.src_dims() {
             return Err(EngineError::backend(
                 &name,
                 format!(
-                    "source {:?} does not match map source {:?}",
+                    "source {:?} does not match plan source {:?}",
                     src.dims(),
-                    map.src_dims()
+                    plan.src_dims()
                 ),
             ));
         }
-        let (frame, gpu) = self.runner.correct_frame(src, map, self.interp);
+        let (frame, gpu) = self.runner.correct_frame(src, plan.map(), self.interp);
         out.pixels_mut().copy_from_slice(frame.pixels());
 
         let mut report = FrameReport::new(&name);
-        report.rows = map.height() as u64;
+        report.rows = plan.height() as u64;
         report.tiles = gpu.blocks;
-        report.invalid_pixels = map.entries().iter().filter(|e| !e.is_valid()).count() as u64;
+        report.invalid_pixels = plan.invalid_pixels();
         report.kv("block_threads", self.runner.config().block_threads as f64);
         report.kv("sms", self.runner.config().sm_count as f64);
         report.kv("cache_hit_rate", gpu.cache_hit_rate);
@@ -109,27 +112,30 @@ impl<P: Pixel> CorrectionEngine<P> for GpuEngine {
 mod tests {
     use super::*;
     use fisheye_core::correct;
+    use fisheye_core::map::RemapMap;
+    use fisheye_core::plan::PlanOptions;
     use fisheye_geom::{FisheyeLens, PerspectiveView};
     use pixmap::{Gray8, GrayF32};
 
-    fn workload() -> (RemapMap, Image<Gray8>) {
+    fn workload() -> (RemapPlan, Image<Gray8>) {
         let lens = FisheyeLens::equidistant_fov(160, 120, 180.0);
         let view = PerspectiveView::centered(80, 60, 90.0);
         let map = RemapMap::build(&lens, &view, 160, 120);
+        let plan = RemapPlan::compile(&map, PlanOptions::default());
         let src = pixmap::scene::random_gray(160, 120, 31);
-        (map, src)
+        (plan, src)
     }
 
     #[test]
     fn engine_bit_exact_vs_host_float_gray8() {
-        let (map, src) = workload();
+        let (plan, src) = workload();
         let spec = EngineSpec::parse("gpu").unwrap();
         let engine =
             GpuEngine::from_spec(&spec, GpuConfig::default(), Interpolator::Bilinear).unwrap();
         let mut out = Image::new(80, 60);
         let report =
-            CorrectionEngine::<Gray8>::correct_frame(&engine, &src, &map, &mut out).unwrap();
-        assert_eq!(out, correct(&src, &map, Interpolator::Bilinear));
+            CorrectionEngine::<Gray8>::correct_frame(&engine, &src, &plan, &mut out).unwrap();
+        assert_eq!(out, correct(&src, plan.map(), Interpolator::Bilinear));
         assert_eq!(report.backend, "gpu");
         assert!(report.tiles > 0);
         assert!(report.model.contains_key("cache_hit_rate"));
@@ -138,15 +144,15 @@ mod tests {
 
     #[test]
     fn engine_bit_exact_on_f32() {
-        let (map, src8) = workload();
+        let (plan, src8) = workload();
         let src: Image<GrayF32> = src8.map(GrayF32::from);
         let spec = EngineSpec::parse("gpu:512").unwrap();
         let engine =
             GpuEngine::from_spec(&spec, GpuConfig::default(), Interpolator::Bilinear).unwrap();
         let mut out = Image::new(80, 60);
         let report =
-            CorrectionEngine::<GrayF32>::correct_frame(&engine, &src, &map, &mut out).unwrap();
-        assert_eq!(out, correct(&src, &map, Interpolator::Bilinear));
+            CorrectionEngine::<GrayF32>::correct_frame(&engine, &src, &plan, &mut out).unwrap();
+        assert_eq!(out, correct(&src, plan.map(), Interpolator::Bilinear));
         assert_eq!(report.backend, "gpu:512");
         assert_eq!(report.model["block_threads"], 512.0);
     }

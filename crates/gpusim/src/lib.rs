@@ -9,7 +9,7 @@
 //!
 //! * **Functional**: every thread executes the same correction kernel
 //!   the host runs; the output is bit-exact vs
-//!   [`fisheye_core::correct`] — the model cannot "simulate" a wrong
+//!   [`fisheye_core::correct()`](fn@fisheye_core::correct) — the model cannot "simulate" a wrong
 //!   image.
 //! * **Timing**: per-warp memory behaviour is *measured from the real
 //!   map*: the distinct texture-cache lines each 32-thread warp

@@ -27,6 +27,7 @@ pub mod draw;
 pub mod image;
 pub mod metrics;
 pub mod pixel;
+pub mod pool;
 pub mod pyramid;
 pub mod rng;
 pub mod scene;
@@ -35,3 +36,4 @@ pub mod yuv;
 
 pub use crate::image::{Image, Rect};
 pub use crate::pixel::{Gray16, Gray8, GrayF32, Pixel, Rgb8, RgbF32};
+pub use crate::pool::{FramePool, PooledFrame};

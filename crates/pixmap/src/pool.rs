@@ -1,0 +1,280 @@
+//! Recycled frame buffers for the zero-allocation steady state.
+//!
+//! Every stage of the correction path produces whole output frames at a
+//! fixed resolution, so the allocation pattern is trivially poolable:
+//! once the pipeline has been running for a few frames, every "new"
+//! output buffer can be a recycled one. [`FramePool`] is that recycler.
+//! [`FramePool::acquire`] hands out a [`PooledFrame`] — an owned,
+//! black-filled [`Image`] plus an implicit return-to-pool handle: when
+//! the `PooledFrame` is dropped, its buffer goes back on the free list
+//! instead of back to the allocator.
+//!
+//! The pool is `Clone + Send + Sync` (it is an `Arc` around the shared
+//! state), so producers and consumers on different threads can share
+//! one pool, and a `PooledFrame` is `'static` — it can cross channel
+//! boundaries and outlive the scope that acquired it.
+//!
+//! Hit/miss counters record whether each `acquire` was served from the
+//! free list (*hit*) or had to fall back to the allocator (*miss*);
+//! the video pipeline surfaces these through its `PipeReport` so a
+//! steady-state run can assert a 100 % hit rate after warmup (see
+//! [`FramePool::prime`]).
+//!
+//! This crate is dependency-free by design (DESIGN.md §5), so the free
+//! list uses `std::sync::Mutex` with poison-transparent locking rather
+//! than `par_runtime::sync` (which lives above `pixmap` in the crate
+//! graph).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::image::Image;
+use crate::pixel::Pixel;
+
+/// Shared pool of equally-sized frame buffers.
+///
+/// All frames handed out by one pool have the dimensions the pool was
+/// created with; buffers returned by dropped [`PooledFrame`]s are
+/// reused by later [`FramePool::acquire`] calls.
+pub struct FramePool<P: Pixel> {
+    inner: Arc<PoolInner<P>>,
+}
+
+// Derived `Clone` would require `P: Clone`; the Arc is always clonable.
+impl<P: Pixel> Clone for FramePool<P> {
+    fn clone(&self) -> Self {
+        FramePool {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+struct PoolInner<P> {
+    width: u32,
+    height: u32,
+    free: Mutex<Vec<Vec<P>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Poison-transparent: a panicking holder cannot corrupt a Vec of
+    // buffers in a way that matters here (worst case a buffer is lost).
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl<P: Pixel> FramePool<P> {
+    /// Create an empty pool for `width × height` frames.
+    pub fn new(width: u32, height: u32) -> FramePool<P> {
+        FramePool {
+            inner: Arc::new(PoolInner {
+                width,
+                height,
+                free: Mutex::new(Vec::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.inner.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.inner.height
+    }
+
+    /// Pre-allocate `n` buffers onto the free list so the first `n`
+    /// [`acquire`](FramePool::acquire) calls are already hits. A
+    /// pipeline that primes the pool with its maximum number of
+    /// in-flight frames allocates nothing per frame, ever, and reports
+    /// a 100 % hit rate.
+    pub fn prime(&self, n: usize) {
+        let len = (self.inner.width as usize) * (self.inner.height as usize);
+        let mut free = lock(&self.inner.free);
+        for _ in 0..n {
+            free.push(vec![P::BLACK; len]);
+        }
+    }
+
+    /// Hand out a black-filled frame, recycling a previously returned
+    /// buffer when one is available. The black fill keeps pooled
+    /// acquisition observationally identical to `Image::new` — callers
+    /// cannot see stale pixels from the buffer's previous life.
+    pub fn acquire(&self) -> PooledFrame<P> {
+        let recycled = lock(&self.inner.free).pop();
+        let image = match recycled {
+            Some(mut buf) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                buf.fill(P::BLACK);
+                Image::from_vec(self.inner.width, self.inner.height, buf)
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                Image::new(self.inner.width, self.inner.height)
+            }
+        };
+        PooledFrame {
+            image: Some(image),
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of `acquire` calls served from the free list.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of `acquire` calls that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 1.0 before the first acquire (an
+    /// unused pool has not missed).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            1.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Buffers currently sitting on the free list.
+    pub fn idle(&self) -> usize {
+        lock(&self.inner.free).len()
+    }
+}
+
+/// An owned frame borrowed from a [`FramePool`].
+///
+/// Dereferences to [`Image`]; dropping it returns the underlying
+/// buffer to the pool. Use [`PooledFrame::detach`] to keep the image
+/// and permanently remove the buffer from circulation.
+pub struct PooledFrame<P: Pixel> {
+    image: Option<Image<P>>,
+    pool: Arc<PoolInner<P>>,
+}
+
+impl<P: Pixel> PooledFrame<P> {
+    /// Take the image out of the pool's circulation. The buffer will
+    /// be freed normally instead of being recycled.
+    pub fn detach(mut self) -> Image<P> {
+        self.image.take().expect("image present until drop")
+    }
+}
+
+impl<P: Pixel> Deref for PooledFrame<P> {
+    type Target = Image<P>;
+    fn deref(&self) -> &Image<P> {
+        self.image.as_ref().expect("image present until drop")
+    }
+}
+
+impl<P: Pixel> DerefMut for PooledFrame<P> {
+    fn deref_mut(&mut self) -> &mut Image<P> {
+        self.image.as_mut().expect("image present until drop")
+    }
+}
+
+impl<P: Pixel> Drop for PooledFrame<P> {
+    fn drop(&mut self) {
+        if let Some(image) = self.image.take() {
+            lock(&self.pool.free).push(image.into_vec());
+        }
+    }
+}
+
+impl<P: Pixel> std::fmt::Debug for PooledFrame<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledFrame")
+            .field("width", &self.width())
+            .field("height", &self.height())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::Gray8;
+
+    #[test]
+    fn acquire_miss_then_hit() {
+        let pool: FramePool<Gray8> = FramePool::new(8, 4);
+        let a = pool.acquire();
+        assert_eq!((pool.hits(), pool.misses()), (0, 1));
+        drop(a);
+        assert_eq!(pool.idle(), 1);
+        let _b = pool.acquire();
+        assert_eq!((pool.hits(), pool.misses()), (1, 1));
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn primed_pool_never_misses() {
+        let pool: FramePool<Gray8> = FramePool::new(8, 4);
+        pool.prime(3);
+        for _ in 0..10 {
+            let f = pool.acquire();
+            drop(f);
+        }
+        assert_eq!(pool.misses(), 0);
+        assert!((pool.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recycled_frames_come_back_black() {
+        let pool: FramePool<Gray8> = FramePool::new(4, 4);
+        let mut f = pool.acquire();
+        f.fill(Gray8(200));
+        drop(f);
+        let f2 = pool.acquire();
+        assert!(f2.pixels().iter().all(|p| *p == Gray8::BLACK));
+    }
+
+    #[test]
+    fn detach_removes_buffer_from_circulation() {
+        let pool: FramePool<Gray8> = FramePool::new(4, 4);
+        let f = pool.acquire();
+        let img = f.detach();
+        assert_eq!(img.dims(), (4, 4));
+        assert_eq!(pool.idle(), 0);
+        // Next acquire is a fresh miss: the detached buffer is gone.
+        let _g = pool.acquire();
+        assert_eq!(pool.misses(), 2);
+    }
+
+    #[test]
+    fn pool_is_shared_across_clones_and_threads() {
+        let pool: FramePool<Gray8> = FramePool::new(16, 16);
+        pool.prime(4);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let f = p.acquire();
+                    drop(f);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.hits() + pool.misses(), 100);
+        assert_eq!(pool.idle() as u64, 4 + pool.misses());
+    }
+
+    #[test]
+    fn empty_pool_hit_rate_is_one() {
+        let pool: FramePool<Gray8> = FramePool::new(1, 1);
+        assert_eq!(pool.hit_rate(), 1.0);
+    }
+}

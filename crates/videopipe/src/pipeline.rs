@@ -6,19 +6,32 @@
 //! [capture thread] → q_in → [N corrector workers] → q_out → [sink]
 //! ```
 //!
-//! All corrector workers share one immutable [`RemapMap`], so adding
+//! All corrector workers share one immutable [`RemapPlan`], so adding
 //! workers scales the memory-bound phase-2 kernel exactly as the
 //! paper's multicore port does — but across *frames* instead of rows
-//! (frame-level parallelism, the natural choice for a pipeline).
+//! (frame-level parallelism, the natural choice for a pipeline). The
+//! plan is compiled by the caller, once per view: workers do no
+//! quantization, no span indexing, no per-map setup of any kind.
+//!
+//! Output buffers come from an internal [`FramePool`] primed with the
+//! maximum number of frames that can be in flight at once, so the
+//! steady-state per-frame path allocates **nothing**: each worker
+//! recycles a buffer the sink already released. The sink hands each
+//! [`PooledFrame`] to `on_frame` *by value* — dropping it returns the
+//! buffer to the pool (the zero-copy common case), while
+//! [`PooledFrame::detach`] keeps the image and lets the pool replace
+//! the buffer. The report carries the pool's hit/miss counters; a
+//! steady-state run reports a 100 % hit rate.
+//!
 //! Per-frame latency is measured from capture to sink; the report
 //! carries the distribution summary the F10 experiment prints.
 
 use std::time::{Duration, Instant};
 
 use fisheye_core::engine::{execute_host, EngineSpec, HostEnv};
-use fisheye_core::map::FixedRemapMap;
-use fisheye_core::{Interpolator, RemapMap};
-use pixmap::{Gray8, Image};
+use fisheye_core::plan::RemapPlan;
+use fisheye_core::Interpolator;
+use pixmap::{FramePool, Gray8, PooledFrame};
 
 use crate::channel::BoundedQueue;
 use crate::source::{VideoFrame, VideoSource};
@@ -35,8 +48,8 @@ pub struct PipeConfig {
     /// Per-frame execution path inside each worker. Workers already
     /// provide the frame-level parallelism, so only the
     /// single-threaded LUT engines are valid here: `serial`, `fixed`
-    /// and `simd` (quantized LUTs are prepared once, before the
-    /// workers start).
+    /// and `simd` (the quantized LUT must already be in the plan —
+    /// compile it with `PlanOptions::for_spec`).
     pub engine: EngineSpec,
     /// When `Some(cap)`, the sink reorders frames through a
     /// [`crate::Resequencer`] with that buffer capacity, delivering
@@ -87,6 +100,13 @@ pub struct PipeReport {
     /// Output pixels with no valid source mapping, summed over all
     /// sunk frames.
     pub invalid_pixels: u64,
+    /// Output-buffer acquisitions served by the frame pool's free
+    /// list (no allocation).
+    pub pool_hits: u64,
+    /// Output-buffer acquisitions that had to allocate. The pool is
+    /// primed for the maximum number of in-flight frames, so this
+    /// stays 0 unless the sink detaches frames from the pool.
+    pub pool_misses: u64,
 }
 
 impl PipeReport {
@@ -100,41 +120,59 @@ impl PipeReport {
             self.kernel_time / self.frames as u32
         }
     }
+
+    /// Fraction of output buffers served without allocating, or 1.0
+    /// for a run with no frames (nothing was ever requested).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
 }
 
 /// A corrected frame arriving at the sink.
 struct CorrectedFrame {
     seq: u64,
     captured_at: Instant,
-    image: Image<Gray8>,
+    image: PooledFrame<Gray8>,
     kernel_time: Duration,
     invalid_pixels: u64,
 }
 
 /// Drive `source` through the correction pipeline to exhaustion and
 /// return the measurements. `on_frame` is invoked at the sink for
-/// every corrected frame (pass `|_, _| {}` to discard).
+/// every corrected frame, receiving the pooled output **by value**:
+/// drop it to recycle the buffer, or [`PooledFrame::detach`] it to
+/// keep the image (pass `|_, _| {}` to discard).
 ///
 /// Panics if `config.engine` is not one of the worker-compatible
-/// specs (see [`PipeConfig::engine`]) or conflicts with the
-/// interpolator — engine validity is a configuration error, caught
+/// specs (see [`PipeConfig::engine`]), conflicts with the
+/// interpolator, or needs a fixed-point LUT the plan was not compiled
+/// with — engine/plan compatibility is a configuration error, caught
 /// before any thread starts.
 pub fn run_pipeline(
     mut source: Box<dyn VideoSource>,
-    map: &RemapMap,
+    plan: &RemapPlan,
     config: PipeConfig,
-    mut on_frame: impl FnMut(u64, &Image<Gray8>) + Send,
+    mut on_frame: impl FnMut(u64, PooledFrame<Gray8>) + Send,
 ) -> PipeReport {
     assert!(config.workers >= 1, "need at least one worker");
-    // quantized LUT prepared once, shared read-only by all workers
-    let fixed: Option<FixedRemapMap> = match config.engine {
-        EngineSpec::Serial | EngineSpec::Simd => None,
-        EngineSpec::FixedPoint { frac_bits } => Some(map.to_fixed(frac_bits)),
+    match config.engine {
+        EngineSpec::Serial | EngineSpec::Simd => {}
+        EngineSpec::FixedPoint { frac_bits } => assert!(
+            plan.fixed(frac_bits).is_some(),
+            "plan was not compiled with a {frac_bits}-bit LUT for engine '{}' — \
+             compile it with PlanOptions::for_spec",
+            config.engine.name()
+        ),
         other => panic!(
             "videopipe workers support engines serial/fixed/simd, got '{}'",
             other.name()
         ),
-    };
+    }
     if config.engine == EngineSpec::Simd {
         assert!(
             config.interp == Interpolator::Bilinear,
@@ -143,6 +181,11 @@ pub fn run_pipeline(
     }
     let q_in: BoundedQueue<VideoFrame> = BoundedQueue::new(config.queue_capacity);
     let q_out: BoundedQueue<CorrectedFrame> = BoundedQueue::new(config.queue_capacity);
+    // one output buffer per possible in-flight frame: q_out slots,
+    // one per worker, the resequencer's window, one in the sink's
+    // hands — primed up front, the per-frame path never allocates
+    let pool: FramePool<Gray8> = FramePool::new(plan.width(), plan.height());
+    pool.prime(config.queue_capacity + config.workers + config.resequence.unwrap_or(0) + 1);
 
     let started = Instant::now();
     let mut frames = 0u64;
@@ -167,22 +210,19 @@ pub fn run_pipeline(
         // corrector workers — every frame goes through the engine
         // layer's host dispatcher, so the per-worker execution path is
         // exactly the named backend
-        let fixed = &fixed;
         let worker_handles: Vec<_> = (0..config.workers)
             .map(|_| {
                 let q_in = q_in.clone();
                 let q_out = q_out.clone();
+                let pool = pool.clone();
                 let interp = config.interp;
                 let spec = config.engine;
                 s.spawn(move || {
-                    let env = HostEnv {
-                        fixed: fixed.as_ref(),
-                        ..Default::default()
-                    };
+                    let env = HostEnv::default();
                     while let Some(frame) = q_in.pop() {
-                        let mut image = Image::new(map.width(), map.height());
+                        let mut image = pool.acquire();
                         let report =
-                            execute_host(&spec, interp, &frame.image, map, &env, &mut image)
+                            execute_host(&spec, interp, &frame.image, plan, &env, &mut image)
                                 .expect("engine validated before workers started");
                         let done = CorrectedFrame {
                             seq: frame.seq,
@@ -225,19 +265,19 @@ pub fn run_pipeline(
             match reseq.as_mut() {
                 Some(r) => {
                     for (seq, f) in r.push(done.seq, done) {
-                        on_frame(seq, &f.image);
+                        on_frame(seq, f.image);
                         frames += 1;
                     }
                 }
                 None => {
-                    on_frame(done.seq, &done.image);
+                    on_frame(done.seq, done.image);
                     frames += 1;
                 }
             }
         }
         if let Some(r) = reseq.as_mut() {
             for (seq, f) in r.flush() {
-                on_frame(seq, &f.image);
+                on_frame(seq, f.image);
                 frames += 1;
             }
             dropped = r.dropped();
@@ -262,6 +302,8 @@ pub fn run_pipeline(
         dropped,
         kernel_time,
         invalid_pixels,
+        pool_hits: pool.hits(),
+        pool_misses: pool.misses(),
     }
 }
 
@@ -269,22 +311,28 @@ pub fn run_pipeline(
 mod tests {
     use super::*;
     use crate::source::ShiftVideo;
-    use fisheye_core::{correct, correct_fixed};
+    use fisheye_core::plan::PlanOptions;
+    use fisheye_core::{correct, correct_fixed, RemapMap};
     use fisheye_geom::{FisheyeLens, PerspectiveView};
     use pixmap::scene::random_gray;
 
-    fn test_map() -> RemapMap {
+    fn test_plan_for(spec: &EngineSpec) -> RemapPlan {
         let lens = FisheyeLens::equidistant_fov(128, 96, 180.0);
         let view = PerspectiveView::centered(64, 48, 90.0);
-        RemapMap::build(&lens, &view, 128, 96)
+        let map = RemapMap::build(&lens, &view, 128, 96);
+        RemapPlan::compile(&map, PlanOptions::for_spec(spec, Interpolator::Bilinear))
+    }
+
+    fn test_plan() -> RemapPlan {
+        test_plan_for(&EngineSpec::Serial)
     }
 
     #[test]
     fn all_frames_reach_sink() {
-        let map = test_map();
+        let plan = test_plan();
         let src = Box::new(ShiftVideo::new(random_gray(128, 96, 1), 2, 25));
         let mut seen = Vec::new();
-        let report = run_pipeline(src, &map, PipeConfig::default(), |seq, img| {
+        let report = run_pipeline(src, &plan, PipeConfig::default(), |seq, img| {
             assert_eq!(img.dims(), (64, 48));
             seen.push(seq);
         });
@@ -298,52 +346,70 @@ mod tests {
 
     #[test]
     fn single_worker_preserves_order() {
-        let map = test_map();
+        let plan = test_plan();
         let src = Box::new(ShiftVideo::new(random_gray(128, 96, 2), 1, 15));
-        let report = run_pipeline(src, &map, PipeConfig::default(), |_, _| {});
+        let report = run_pipeline(src, &plan, PipeConfig::default(), |_, _| {});
         assert_eq!(report.out_of_order, 0);
     }
 
     #[test]
     fn multiple_workers_process_everything() {
-        let map = test_map();
+        let plan = test_plan();
         let src = Box::new(ShiftVideo::new(random_gray(128, 96, 3), 1, 40));
         let config = PipeConfig {
             workers: 4,
             ..Default::default()
         };
         let mut count = 0u64;
-        let report = run_pipeline(src, &map, config, |_, _| count += 1);
+        let report = run_pipeline(src, &plan, config, |_, _| count += 1);
         assert_eq!(report.frames, 40);
         assert_eq!(count, 40);
     }
 
     #[test]
     fn output_matches_offline_correction() {
-        let map = test_map();
+        let plan = test_plan();
         let base = random_gray(128, 96, 4);
         let src = Box::new(ShiftVideo::new(base.clone(), 0, 1));
         let mut got = None;
-        let _ = run_pipeline(src, &map, PipeConfig::default(), |_, img| {
-            got = Some(img.clone());
+        let _ = run_pipeline(src, &plan, PipeConfig::default(), |_, img| {
+            got = Some(img.detach());
         });
-        let expect = correct(&base, &map, Interpolator::Bilinear);
+        let expect = correct(&base, plan.map(), Interpolator::Bilinear);
         assert_eq!(got.unwrap(), expect);
     }
 
     #[test]
+    fn steady_state_recycles_every_output_buffer() {
+        // frames dropped at the sink go straight back to the pool:
+        // after the primed warmup, no acquisition ever allocates
+        let plan = test_plan();
+        let src = Box::new(ShiftVideo::new(random_gray(128, 96, 11), 1, 60));
+        let config = PipeConfig {
+            workers: 4,
+            ..Default::default()
+        };
+        let report = run_pipeline(src, &plan, config, |_, _| {});
+        assert_eq!(report.frames, 60);
+        assert_eq!(report.pool_misses, 0, "steady state must never allocate");
+        assert_eq!(report.pool_hits, 60);
+        assert!((report.pool_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn empty_source_yields_empty_report() {
-        let map = test_map();
+        let plan = test_plan();
         let src = Box::new(ShiftVideo::new(random_gray(128, 96, 5), 1, 0));
-        let report = run_pipeline(src, &map, PipeConfig::default(), |_, _| {});
+        let report = run_pipeline(src, &plan, PipeConfig::default(), |_, _| {});
         assert_eq!(report.frames, 0);
         assert_eq!(report.fps, 0.0);
         assert_eq!(report.mean_latency, Duration::ZERO);
+        assert_eq!(report.pool_hit_rate(), 1.0);
     }
 
     #[test]
     fn resequencer_restores_order_with_many_workers() {
-        let map = test_map();
+        let plan = test_plan();
         let src = Box::new(ShiftVideo::new(random_gray(128, 96, 7), 1, 50));
         let config = PipeConfig {
             workers: 4,
@@ -351,7 +417,7 @@ mod tests {
             ..Default::default()
         };
         let mut seqs = Vec::new();
-        let report = run_pipeline(src, &map, config, |seq, _| seqs.push(seq));
+        let report = run_pipeline(src, &plan, config, |seq, _| seqs.push(seq));
         // delivered strictly in order, nothing dropped with a deep
         // enough buffer
         let expect: Vec<u64> = (0..report.frames).collect();
@@ -362,23 +428,24 @@ mod tests {
 
     #[test]
     fn fixed_engine_matches_offline_fixed_reference() {
-        let map = test_map();
+        let spec = EngineSpec::FixedPoint { frac_bits: 12 };
+        let plan = test_plan_for(&spec);
         let base = random_gray(128, 96, 8);
         let src = Box::new(ShiftVideo::new(base.clone(), 0, 1));
         let config = PipeConfig {
-            engine: EngineSpec::FixedPoint { frac_bits: 12 },
+            engine: spec,
             ..Default::default()
         };
         let mut got = None;
-        let report = run_pipeline(src, &map, config, |_, img| got = Some(img.clone()));
-        assert_eq!(got.unwrap(), correct_fixed(&base, &map.to_fixed(12)));
+        let report = run_pipeline(src, &plan, config, |_, img| got = Some(img.detach()));
+        assert_eq!(got.unwrap(), correct_fixed(&base, &plan.map().to_fixed(12)));
         assert!(report.kernel_time > Duration::ZERO);
         assert_eq!(report.kernel_per_frame(), report.kernel_time);
     }
 
     #[test]
     fn simd_engine_matches_serial_through_pipeline() {
-        let map = test_map();
+        let plan = test_plan();
         let base = random_gray(128, 96, 9);
         let src = Box::new(ShiftVideo::new(base.clone(), 0, 1));
         let config = PipeConfig {
@@ -387,31 +454,49 @@ mod tests {
             ..Default::default()
         };
         let mut got = None;
-        let _ = run_pipeline(src, &map, config, |_, img| got = Some(img.clone()));
-        assert_eq!(got.unwrap(), correct(&base, &map, Interpolator::Bilinear));
+        let _ = run_pipeline(src, &plan, config, |_, img| got = Some(img.detach()));
+        assert_eq!(
+            got.unwrap(),
+            correct(&base, plan.map(), Interpolator::Bilinear)
+        );
     }
 
     #[test]
     #[should_panic(expected = "videopipe workers support engines")]
     fn accelerator_engine_rejected_up_front() {
-        let map = test_map();
+        let plan = test_plan();
         let src = Box::new(ShiftVideo::new(random_gray(128, 96, 10), 1, 3));
         let config = PipeConfig {
             engine: EngineSpec::parse("gpu").unwrap(),
             ..Default::default()
         };
-        let _ = run_pipeline(src, &map, config, |_, _| {});
+        let _ = run_pipeline(src, &plan, config, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "plan was not compiled with a 12-bit LUT")]
+    fn fixed_engine_without_plan_lut_rejected_up_front() {
+        // the plan below was compiled for the serial engine only — a
+        // fixed-point worker pool on it is a configuration error, not
+        // a silent per-frame requantization on every worker
+        let plan = test_plan();
+        let src = Box::new(ShiftVideo::new(random_gray(128, 96, 12), 1, 3));
+        let config = PipeConfig {
+            engine: EngineSpec::FixedPoint { frac_bits: 12 },
+            ..Default::default()
+        };
+        let _ = run_pipeline(src, &plan, config, |_, _| {});
     }
 
     #[test]
     fn backpressure_bounds_queue() {
-        let map = test_map();
+        let plan = test_plan();
         let src = Box::new(ShiftVideo::new(random_gray(128, 96, 6), 1, 30));
         let config = PipeConfig {
             queue_capacity: 2,
             ..Default::default()
         };
-        let report = run_pipeline(src, &map, config, |_, _| {});
+        let report = run_pipeline(src, &plan, config, |_, _| {});
         assert!(report.in_queue_high_water <= 2);
         assert_eq!(report.frames, 30);
     }

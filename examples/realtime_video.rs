@@ -7,6 +7,7 @@
 //! cargo run --release --example realtime_video
 //! ```
 
+use fisheye::core::plan::{PlanOptions, RemapPlan};
 use fisheye::core::{CorrectionPipeline, PipelineConfig};
 use fisheye::prelude::*;
 use fisheye::video::{run_pipeline, PipeConfig, ShiftVideo};
@@ -16,6 +17,7 @@ fn main() {
     let lens = FisheyeLens::equidistant_fov(w, h, 180.0);
     let view = PerspectiveView::centered(w, h, 90.0);
     let map = RemapMap::build(&lens, &view, w, h);
+    let plan = RemapPlan::compile(&map, PlanOptions::default());
     let base = fisheye::img::scene::random_gray(w, h, 7);
 
     // ------------------------------------------------------------------
@@ -26,7 +28,7 @@ fn main() {
         let src = Box::new(ShiftVideo::new(base.clone(), 3, 120));
         let report = run_pipeline(
             src,
-            &map,
+            &plan,
             PipeConfig {
                 workers,
                 queue_capacity: 4,
@@ -36,12 +38,13 @@ fn main() {
             |_, _| {},
         );
         println!(
-            "{workers} worker(s): {:6.1} fps, latency p50 {:5.1} / p95 {:5.1} / max {:5.1} ms, reordered {}",
+            "{workers} worker(s): {:6.1} fps, latency p50 {:5.1} / p95 {:5.1} / max {:5.1} ms, reordered {}, pool hit {:.0}%",
             report.fps,
             report.p50_latency.as_secs_f64() * 1e3,
             report.p95_latency.as_secs_f64() * 1e3,
             report.max_latency.as_secs_f64() * 1e3,
-            report.out_of_order
+            report.out_of_order,
+            report.pool_hit_rate() * 100.0
         );
     }
 

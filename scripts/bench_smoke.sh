@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Bench smoke: exercise the heaviest repro binaries at Quick scale so a
+# refactor that silently breaks an experiment (wrong columns, panicking
+# engine, plan/pool regression) is caught without waiting for a full
+# EXPERIMENTS.md regeneration.
+#
+# Run from anywhere: ./scripts/bench_smoke.sh
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+
+echo "bench-smoke: repro_a1_ablations (quick scale)"
+cargo run --release --offline -p fisheye-bench --bin repro_a1_ablations
+
+echo "bench-smoke: repro_t4_engine_reports (quick scale)"
+cargo run --release --offline -p fisheye-bench --bin repro_t4_engine_reports
+
+echo "bench-smoke: OK"

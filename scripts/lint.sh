@@ -14,4 +14,7 @@ cargo fmt --all -- --check
 echo "lint: cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "lint: cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
+
 echo "lint: OK"

@@ -51,7 +51,8 @@ pub use videopipe as video;
 pub mod prelude {
     pub use crate::core::{
         correct, correct_fixed, correct_parallel, CorrectionEngine, CorrectionPipeline, EngineSpec,
-        FixedRemapMap, FrameReport, Interpolator, PipelineConfig, RemapMap, TilePlan,
+        FixedRemapMap, FrameReport, Interpolator, PipelineConfig, PlanOptions, RemapMap, RemapPlan,
+        TilePlan,
     };
     pub use crate::geom::{BrownConrady, FisheyeLens, LensModel, PerspectiveView};
     pub use crate::img::{Gray8, Image, Pixel, Rgb8};

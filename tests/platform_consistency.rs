@@ -9,6 +9,11 @@
 //! * [`NumericClass::Fixed`] engines match
 //!   `correct_fixed(&src, &map.to_fixed(frac_bits))`.
 //!
+//! Every engine executes the same single [`RemapPlan`], compiled once
+//! with the union of what the whole registry needs — the compile/
+//! execute split's core claim is exactly that one immutable plan
+//! serves every backend.
+//!
 //! The streaming (FPGA) datapath generates its own quantized map, so
 //! it is held to a PSNR bound rather than bit-exactness.
 
@@ -18,12 +23,20 @@ use fisheye::img::GrayF32;
 use fisheye::prelude::*;
 use fisheye::stream::FixedMapGen;
 
-fn workload() -> (FisheyeLens, PerspectiveView, RemapMap, Image<Gray8>) {
+/// One plan for the whole registry.
+fn plan_for_registry(map: &RemapMap) -> RemapPlan {
+    RemapPlan::compile(
+        map,
+        PlanOptions::for_specs(&registry(), Interpolator::Bilinear),
+    )
+}
+
+fn workload() -> (FisheyeLens, PerspectiveView, RemapPlan, Image<Gray8>) {
     let lens = FisheyeLens::equidistant_fov(256, 192, 180.0);
     let view = PerspectiveView::centered(128, 96, 90.0);
     let map = RemapMap::build(&lens, &view, 256, 192);
     let frame = fisheye::img::scene::random_gray(256, 192, 123);
-    (lens, view, map, frame)
+    (lens, view, plan_for_registry(&map), frame)
 }
 
 /// The bit-exactness promise for a Gray8 frame: what the engine's
@@ -37,7 +50,7 @@ fn gray8_reference(spec: &EngineSpec, frame: &Image<Gray8>, map: &RemapMap) -> I
 
 #[test]
 fn every_registered_engine_bit_exact_on_gray8() {
-    let (lens, view, map, frame) = workload();
+    let (lens, view, plan, frame) = workload();
     let ctx = BuildCtx {
         geometry: Some((&lens, &view)),
         ..Default::default()
@@ -48,22 +61,27 @@ fn every_registered_engine_bit_exact_on_gray8() {
         assert_eq!(engine.name(), name, "registry name round-trips");
         let mut out = Image::new(128, 96);
         let report = engine
-            .correct_frame(&frame, &map, &mut out)
+            .correct_frame(&frame, &plan, &mut out)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert_eq!(out, gray8_reference(&spec, &frame, &map), "{name}");
+        assert_eq!(out, gray8_reference(&spec, &frame, plan.map()), "{name}");
         assert_eq!(report.backend, name);
         assert!(
             report.rows > 0 || report.tiles > 0,
             "{name}: report must attribute work"
+        );
+        assert_eq!(
+            report.model.get("plan_miss"),
+            None,
+            "{name}: the registry-union plan must carry every artifact"
         );
     }
 }
 
 #[test]
 fn float_engines_bit_exact_on_gray_f32() {
-    let (lens, view, map, frame) = workload();
+    let (lens, view, plan, frame) = workload();
     let framef: Image<GrayF32> = frame.map(GrayF32::from);
-    let serial = correct(&framef, &map, Interpolator::Bilinear);
+    let serial = correct(&framef, plan.map(), Interpolator::Bilinear);
     let ctx = BuildCtx {
         geometry: Some((&lens, &view)),
         ..Default::default()
@@ -74,7 +92,7 @@ fn float_engines_bit_exact_on_gray_f32() {
             Ok(engine) => {
                 let mut out = Image::new(128, 96);
                 engine
-                    .correct_frame(&framef, &map, &mut out)
+                    .correct_frame(&framef, &plan, &mut out)
                     .unwrap_or_else(|e| panic!("{name}: {e}"));
                 assert_eq!(out, serial, "{name}");
             }
@@ -103,6 +121,7 @@ fn engines_round_trip_ragged_and_invalid_tiles() {
         map.entries().iter().any(|e| !e.is_valid()),
         "workload must include invalid entries"
     );
+    let plan = plan_for_registry(&map);
     let ctx = BuildCtx {
         geometry: Some((&lens, &view)),
         ..Default::default()
@@ -112,7 +131,7 @@ fn engines_round_trip_ragged_and_invalid_tiles() {
         let engine = build_gray8(&spec, &ctx).unwrap();
         let mut out = Image::new(101, 67);
         let report = engine
-            .correct_frame(&frame, &map, &mut out)
+            .correct_frame(&frame, &plan, &mut out)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(out, gray8_reference(&spec, &frame, &map), "{name}");
         assert_eq!(out.pixel(0, 0), Gray8(0), "{name}: invalid corner is black");
@@ -124,8 +143,9 @@ fn engines_round_trip_ragged_and_invalid_tiles() {
 fn smp_schedules_bit_exact() {
     // beyond the registry's default smp entry: every schedule family
     // at several widths
-    let (_, _, map, frame) = workload();
-    let serial = correct(&frame, &map, Interpolator::Bilinear);
+    let (_, _, plan, frame) = workload();
+    let map = plan.map();
+    let serial = correct(&frame, map, Interpolator::Bilinear);
     for threads in [2usize, 3, 8] {
         let pool = ThreadPool::new(threads);
         for sched in [
@@ -133,7 +153,7 @@ fn smp_schedules_bit_exact() {
             Schedule::Dynamic { chunk: 1 },
             Schedule::Guided { min_chunk: 2 },
         ] {
-            let par = correct_parallel(&frame, &map, Interpolator::Bilinear, &pool, sched);
+            let par = correct_parallel(&frame, map, Interpolator::Bilinear, &pool, sched);
             assert_eq!(serial, par, "{threads} threads {sched:?}");
         }
     }
@@ -141,8 +161,8 @@ fn smp_schedules_bit_exact() {
 
 #[test]
 fn stream_datapath_within_quantization_of_host() {
-    let (lens, view, map, frame) = workload();
-    let host = correct(&frame, &map, Interpolator::Bilinear);
+    let (lens, view, plan, frame) = workload();
+    let host = correct(&frame, plan.map(), Interpolator::Bilinear);
     let mut gen = FixedMapGen::typical();
     let fixed_map = gen.generate(&lens, &view, 256, 192);
     let out = correct_fixed(&frame, &fixed_map);
@@ -152,9 +172,9 @@ fn stream_datapath_within_quantization_of_host() {
 
 #[test]
 fn fixed_host_path_within_quantization_of_float() {
-    let (_, _, map, frame) = workload();
-    let float = correct(&frame, &map, Interpolator::Bilinear);
-    let fixed = correct_fixed(&frame, &map.to_fixed(14));
+    let (_, _, plan, frame) = workload();
+    let float = correct(&frame, plan.map(), Interpolator::Bilinear);
+    let fixed = correct_fixed(&frame, &plan.map().to_fixed(14));
     let q = psnr(&float, &fixed);
     assert!(q > 50.0, "14-bit weights PSNR {q:.1} dB");
 }
