@@ -1,0 +1,8 @@
+//! Reproduce T5 — serving-layer scaling (sessions vs latency, cache
+//! hit rate and degradation occupancy). Pass `--full` for the
+//! paper-scale run.
+
+fn main() {
+    fisheye_bench::experiments::t5_serve_scaling::run(fisheye_bench::Scale::from_args())
+        .emit("t5_serve_scaling");
+}

@@ -23,6 +23,7 @@ pub mod t1_platforms;
 pub mod t2_traffic;
 pub mod t3_stream_resources;
 pub mod t4_engine_reports;
+pub mod t5_serve_scaling;
 
 use crate::table::Table;
 use crate::Scale;
@@ -46,6 +47,7 @@ pub fn all() -> Vec<Experiment> {
         ("t2_traffic", t2_traffic::run),
         ("t3_stream_resources", t3_stream_resources::run),
         ("t4_engine_reports", t4_engine_reports::run),
+        ("t5_serve_scaling", t5_serve_scaling::run),
         ("f10_pipeline", f10_pipeline::run),
         ("f11_color", f11_color::run),
         ("f12_projections", f12_projections::run),

@@ -1,7 +1,7 @@
 //! T1 — the headline platform comparison: corrected frames per second
 //! per platform per resolution.
 
-use fisheye::engine::{build_gray8, BuildCtx};
+use fisheye::Corrector;
 use fisheye_core::engine::EngineSpec;
 use fisheye_core::{correct, Interpolator};
 use par_runtime::Schedule;
@@ -48,19 +48,21 @@ pub fn run(scale: Scale) -> Table {
                 Schedule::Static { chunk: None },
             );
 
-        // accelerator legs go through the engine layer: build by
-        // spec name, read the model's throughput from the report
-        let ctx = BuildCtx {
-            geometry: Some((&w.lens, &w.view)),
-            ..Default::default()
-        };
+        // accelerator legs go through the Corrector: build by spec
+        // name, read the model's throughput from the report
         let model_fps = |name: &str| -> f64 {
             let spec = EngineSpec::parse(name).expect("registry spec");
-            let engine = build_gray8(&spec, &ctx).expect("accelerator engine");
-            let plan = w.plan_for(&spec);
-            let mut out = Image::new(res.w, res.h);
-            engine
-                .correct_frame(&w.frame, &plan, &mut out)
+            let corrector = Corrector::builder()
+                .lens(w.lens)
+                .view(w.view)
+                .source(res.w, res.h)
+                .backend(spec)
+                .build()
+                .expect("accelerator engine");
+            let (ow, oh) = corrector.out_dims();
+            let mut out = Image::new(ow, oh);
+            corrector
+                .correct_into(&w.frame, &mut out)
                 .map(|r| r.model.get("model_fps").copied().unwrap_or(f64::NAN))
                 .unwrap_or(f64::NAN)
         };

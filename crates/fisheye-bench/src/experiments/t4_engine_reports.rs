@@ -12,9 +12,9 @@
 //! drawn from a primed `FramePool` — `pool_hit` at 100 % confirms the
 //! steady-state frame path allocates nothing on any backend.
 
-use std::time::Instant;
-
-use fisheye::engine::{build_gray8, registry, BuildCtx, NumericClass};
+use fisheye::core::engine::NumericClass;
+use fisheye::core::EngineSpec;
+use fisheye::Corrector;
 use pixmap::FramePool;
 
 use crate::table::{f1, f2, Table};
@@ -49,23 +49,26 @@ pub fn run(scale: Scale) -> Table {
             "model_detail",
         ],
     );
-    let ctx = BuildCtx {
-        geometry: Some((&w.lens, &w.view)),
-        ..Default::default()
-    };
-    for spec in registry() {
-        let engine = build_gray8(&spec, &ctx).expect("registry spec builds");
-        let t0 = Instant::now();
-        let plan = w.plan_for(&spec);
-        let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let pool = FramePool::new(res.w, res.h);
+    for spec in EngineSpec::registry() {
+        // one Corrector per spec: the builder traces the map, compiles
+        // the plan with the spec's artifacts and resolves the engine
+        let corrector = Corrector::builder()
+            .lens(w.lens)
+            .view(w.view)
+            .source(res.w, res.h)
+            .backend(spec)
+            .build()
+            .expect("registry spec builds");
+        let plan_ms = corrector.plan_time().as_secs_f64() * 1e3;
+        let (ow, oh) = corrector.out_dims();
+        let pool = FramePool::new(ow, oh);
         pool.prime(1);
         let mut report = None;
         for _ in 0..FRAMES {
             let mut out = pool.acquire();
             report = Some(
-                engine
-                    .correct_frame(&w.frame, &plan, &mut out)
+                corrector
+                    .correct_into(&w.frame, &mut out)
                     .expect("registry spec corrects"),
             );
             // `out` drops here: the buffer recycles for the next frame
@@ -118,7 +121,7 @@ mod tests {
     fn shape_every_backend_reports() {
         let t = run(Scale::Quick);
         let names: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
-        for spec in registry() {
+        for spec in EngineSpec::registry() {
             assert!(
                 names.contains(&spec.name().as_str()),
                 "{} missing from T4",

@@ -1,12 +1,15 @@
 //! Subcommand implementations.
 
-use fisheye::engine::{build_gray8, BuildCtx};
+use std::sync::Arc;
+
+use fisheye::Corrector;
 use fisheye_core::engine::EngineSpec;
 use fisheye_core::plan::{PlanOptions, RemapPlan};
 use fisheye_core::synth::{capture_fisheye, World};
-use fisheye_core::{correct, Interpolator, RemapMap};
+use fisheye_core::{Interpolator, RemapMap};
 use fisheye_geom::calib::{select_model, Observation};
 use fisheye_geom::{FisheyeLens, OutputProjection, PerspectiveView};
+use fisheye_serve::{pump_round, CameraFeed, Server, ServerConfig, SessionConfig};
 use par_runtime::Schedule;
 use pixmap::codec::{load_pgm, save_pgm};
 use pixmap::{Gray8, Image};
@@ -29,6 +32,9 @@ USAGE:
   fisheye stitch    --front FILE --back FILE --out FILE [--fov DEG]
                     [--out-size WxH]
   fisheye calibrate --obs FILE          (CSV lines: theta_rad,radius_px)
+  fisheye serve-sim [--sessions N] [--capacity N] [--views N] [--frames N]
+                    [--size WxH] [--deadline-ms F] [--budget-ms F]
+                    [--backend NAME] [--interp NAME] [--queue N] [--threads N]
   fisheye info      --in FILE
   fisheye backends                      (list correction backends)
   fisheye help
@@ -49,6 +55,7 @@ pub fn dispatch(args: &Args) -> CmdResult {
         "panorama" => panorama(args),
         "stitch" => stitch(args),
         "calibrate" => calibrate(args),
+        "serve-sim" => serve_sim(args),
         "info" => info(args),
         "backends" => backends(args),
         other => Err(CliError::Usage(format!(
@@ -141,26 +148,19 @@ fn run_correct(args: &Args) -> CmdResult {
 
     let lens = FisheyeLens::equidistant_fov(sw, sh, fov);
     let view = PerspectiveView::centered(ow, oh, view_fov).look(pan, tilt);
-    let t0 = std::time::Instant::now();
-    let map = RemapMap::build(&lens, &view, sw, sh);
-    let t_map = t0.elapsed();
-    // compile once per view: spans, SoA planes, plus whatever LUT or
-    // tile artifacts the chosen backend needs
-    let t1 = std::time::Instant::now();
-    let plan = RemapPlan::compile(&map, PlanOptions::for_spec(&spec, interp));
-    let t_plan = t1.elapsed();
-
-    let ctx = BuildCtx {
-        interp,
-        threads: threads.max(1),
-        geometry: Some((&lens, &view)),
-        ..Default::default()
-    };
-    let engine = build_gray8(&spec, &ctx).map_err(|e| CliError::Usage(e.to_string()))?;
+    // the builder traces the map, compiles the plan with whatever LUT
+    // or tile artifacts the chosen backend needs, and resolves the
+    // engine — one validated handle instead of three hand-wired steps
+    let corrector = Corrector::builder()
+        .lens(lens)
+        .view(view)
+        .source(sw, sh)
+        .backend(spec)
+        .interp(interp)
+        .threads(threads.max(1))
+        .build()?;
     let mut out_img = Image::new(ow, oh);
-    let report = engine
-        .correct_frame(&input, &plan, &mut out_img)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let report = corrector.correct_into(&input, &mut out_img)?;
 
     let out = args.req("out")?;
     write_pgm(&out_img, out)?;
@@ -168,8 +168,8 @@ fn run_correct(args: &Args) -> CmdResult {
         "corrected {sw}x{sh} -> {ow}x{oh} ({}, backend {}): map {:.1} ms, plan {:.1} ms, correct {:.1} ms -> {out}",
         interp.name(),
         report.backend,
-        t_map.as_secs_f64() * 1e3,
-        t_plan.as_secs_f64() * 1e3,
+        corrector.map_time().as_secs_f64() * 1e3,
+        corrector.plan_time().as_secs_f64() * 1e3,
         report.correct_time.as_secs_f64() * 1e3
     );
     if !report.model.is_empty() {
@@ -212,25 +212,38 @@ fn panorama(args: &Args) -> CmdResult {
     };
     let lens = FisheyeLens::equidistant_fov(sw, sh, fov);
     let threads: usize = args.num("threads", 1)?;
-    let map = if threads > 1 {
+    let builder = Corrector::builder()
+        .lens(lens)
+        .projection(proj)
+        .source(sw, sh);
+    let corrector = if threads > 1 {
+        // multicore map build stays available through plan injection:
+        // trace the projection in parallel, compile once, hand the
+        // plan to the builder
         let pool = par_runtime::ThreadPool::new(threads);
-        RemapMap::build_projection_parallel(
+        let map = RemapMap::build_projection_parallel(
             &lens,
             &proj,
             sw,
             sh,
             &pool,
             par_runtime::Schedule::Static { chunk: None },
-        )
+        );
+        let plan = RemapPlan::compile(
+            &map,
+            PlanOptions::for_spec(&EngineSpec::Serial, Interpolator::Bilinear),
+        );
+        builder.plan(Arc::new(plan)).build()?
     } else {
-        RemapMap::build_projection(&lens, &proj, sw, sh)
+        builder.build()?
     };
-    let out_img = correct(&input, &map, Interpolator::Bilinear);
+    let coverage = corrector.plan().map().coverage();
+    let (out_img, _) = corrector.correct(&input)?;
     let out = args.req("out")?;
     write_pgm(&out_img, out)?;
     println!(
         "{mode} panorama {ow}x{oh} -> {out} (coverage {:.0}%)",
-        map.coverage() * 100.0
+        coverage * 100.0
     );
     Ok(())
 }
@@ -296,6 +309,120 @@ fn calibrate(args: &Args) -> CmdResult {
         model.name(),
         obs.len()
     );
+    Ok(())
+}
+
+/// Simulate a multi-session serving deployment: N sessions sharing
+/// one camera (and, modulo `--views`, each other's compiled plans)
+/// against a capacity budget and per-frame deadlines, with a pump
+/// budget per tick that creates real overload pressure. Prints the
+/// admission/degradation summary and the full metrics snapshot.
+fn serve_sim(args: &Args) -> CmdResult {
+    args.allow_only(&[
+        "sessions",
+        "capacity",
+        "views",
+        "frames",
+        "size",
+        "deadline-ms",
+        "budget-ms",
+        "queue",
+        "backend",
+        "interp",
+        "threads",
+    ])?;
+    let sessions: usize = args.num("sessions", 6)?;
+    let capacity: usize = args.num("capacity", 4)?;
+    let views: usize = args.num("views", 2)?;
+    let frames: usize = args.num("frames", 90)?;
+    let (sw, sh) = parse_size(args.opt("size", "256x192"))?;
+    let deadline_ms: f64 = args.num("deadline-ms", 20.0)?;
+    let budget_ms: f64 = args.num("budget-ms", 10.0)?;
+    let queue: usize = args.num("queue", 4)?;
+    let threads: usize = args.num("threads", 4)?;
+    let spec = EngineSpec::parse(args.opt("backend", "serial")).map_err(CliError::Usage)?;
+    let interp = parse_interp(args.opt("interp", "bicubic"))?;
+    if sessions == 0 || views == 0 || frames == 0 {
+        return Err(CliError::Usage(
+            "sessions, views and frames must be positive".into(),
+        ));
+    }
+    if deadline_ms <= 0.0 || budget_ms <= 0.0 {
+        return Err(CliError::Usage(
+            "deadline-ms and budget-ms must be positive".into(),
+        ));
+    }
+
+    let server = Server::new(ServerConfig {
+        capacity,
+        queue_depth: queue,
+        frame_deadline: std::time::Duration::from_secs_f64(deadline_ms / 1e3),
+        threads,
+        ..ServerConfig::default()
+    })?;
+    let lens = FisheyeLens::equidistant_fov(sw, sh, 180.0);
+    let mut admitted = Vec::new();
+    let mut rejected = 0usize;
+    for i in 0..sessions {
+        // sessions cycle through `views` distinct pan angles: every
+        // session sharing an angle shares one compiled plan
+        let pan = (i % views) as f64 * 14.0 - (views as f64 - 1.0) * 7.0;
+        let view = PerspectiveView::centered((sw / 2).max(1), (sh / 2).max(1), 90.0).look(pan, 0.0);
+        let cfg = SessionConfig {
+            backend: spec,
+            interp,
+            ..SessionConfig::new(lens, view, (sw, sh))
+        };
+        match server.connect(cfg) {
+            Ok(s) => admitted.push(s),
+            Err(e) if e.is_rejected() => rejected += 1,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    println!(
+        "admitted {}/{sessions} sessions ({rejected} rejected at capacity {capacity}), \
+         {views} distinct views, backend {}, {}",
+        admitted.len(),
+        spec.name(),
+        interp.name(),
+    );
+
+    let mut camera = CameraFeed::new(sw, sh, 42);
+    let budget = std::time::Duration::from_secs_f64(budget_ms / 1e3);
+    for _ in 0..frames {
+        let frame = camera.next_frame();
+        for s in admitted.iter_mut() {
+            let _ = s.submit(Arc::clone(&frame));
+        }
+        pump_round(&mut admitted, budget)?;
+    }
+    // drain what's still queued, then report
+    pump_round(&mut admitted, std::time::Duration::from_secs(60))?;
+
+    let m = server.metrics();
+    let completed = m.counter("serve.frames.completed");
+    let missed = m.counter("serve.frames.deadline_missed");
+    if let Some(h) = m.histogram("serve.latency_us") {
+        println!(
+            "served {completed} frames: p50 {:.1} ms, p99 {:.1} ms, {missed} deadline misses, \
+             final level {}",
+            h.quantile(0.5).as_secs_f64() * 1e3,
+            h.quantile(0.99).as_secs_f64() * 1e3,
+            server.level().name(),
+        );
+    }
+    let cache = server.cache().stats();
+    println!(
+        "plan cache: {} compiles, {} hits ({:.0}% hit rate), {} entries, {} KiB",
+        cache.misses,
+        cache.hits,
+        cache.hit_rate() * 100.0,
+        cache.entries,
+        cache.bytes / 1024,
+    );
+    drop(admitted);
+    println!("--- metrics snapshot ---");
+    print!("{}", m.snapshot());
     Ok(())
 }
 
@@ -448,6 +575,20 @@ mod tests {
         .unwrap();
         assert_eq!(load_pgm(&sphere).unwrap().dims(), (128, 64));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_sim_runs_and_validates() {
+        // over-capacity on purpose: 3 sessions, capacity 2
+        run("serve-sim --sessions 3 --capacity 2 --views 1 --frames 6 \
+             --size 96x72 --deadline-ms 50 --budget-ms 20")
+        .unwrap();
+        let e = run("serve-sim --sessions 0").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        let e = run("serve-sim --deadline-ms -1").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        let e = run("serve-sim --backend warp-drive").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
     }
 
     #[test]

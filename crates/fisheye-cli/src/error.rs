@@ -40,6 +40,25 @@ impl From<ArgError> for CliError {
     }
 }
 
+impl From<fisheye::Error> for CliError {
+    /// Classify a library error by whose fault it is: configuration
+    /// mistakes and unsupported engine requests are usage errors (the
+    /// command line asked for something impossible); backend failures,
+    /// rejections and runtime faults happen after a valid command.
+    fn from(e: fisheye::Error) -> Self {
+        match e.kind() {
+            fisheye::ErrorKind::Config => CliError::Usage(e.to_string()),
+            fisheye::ErrorKind::Engine => match e.as_engine() {
+                Some(fisheye::core::engine::EngineError::Unsupported { .. }) => {
+                    CliError::Usage(e.to_string())
+                }
+                _ => CliError::Runtime(e.to_string()),
+            },
+            _ => CliError::Runtime(e.to_string()),
+        }
+    }
+}
+
 /// Attach a file path to an I/O-ish error, keeping it to one line.
 pub fn with_path<E: std::fmt::Display>(path: &str) -> impl Fn(E) -> CliError + '_ {
     move |e| CliError::Runtime(format!("{path}: {e}"))
@@ -53,6 +72,25 @@ mod tests {
     fn exit_codes() {
         assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
         assert_eq!(CliError::Runtime("x".into()).exit_code(), 1);
+    }
+
+    #[test]
+    fn library_errors_classify_by_kind() {
+        let e: CliError = fisheye::Error::config("bad geometry").into();
+        assert_eq!(e.exit_code(), 2, "config errors are usage errors: {e}");
+        let e: CliError = fisheye::Error::from(fisheye::core::engine::EngineError::unsupported(
+            "cell",
+            "no float path",
+        ))
+        .into();
+        assert_eq!(e.exit_code(), 2, "unsupported engine is a usage error: {e}");
+        let e: CliError = fisheye::Error::Rejected {
+            active: 4,
+            capacity: 4,
+        }
+        .into();
+        assert_eq!(e.exit_code(), 1, "rejection is a runtime error: {e}");
+        assert!(e.to_string().contains("4/4"), "{e}");
     }
 
     #[test]

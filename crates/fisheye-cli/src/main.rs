@@ -10,6 +10,8 @@
 //! fisheye stitch   --front f.pgm --back b.pgm --out pano.pgm [--fov 190]
 //!                  [--out-size 1024x512]
 //! fisheye calibrate --obs obs.csv            # lines of "theta_rad,radius_px"
+//! fisheye serve-sim [--sessions N] [--capacity N] [--views N] [--frames N]
+//!                  [--deadline-ms F] [--budget-ms F]  # multi-session serving sim
 //! fisheye info     --in img.pgm
 //! fisheye backends                           # list correction backends
 //! ```

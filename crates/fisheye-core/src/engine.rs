@@ -20,6 +20,7 @@
 //! consumer changes.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use fisheye_geom::{FisheyeLens, PerspectiveView};
@@ -417,6 +418,25 @@ impl EngineSpec {
     /// `gpusim`).
     pub fn is_host(&self) -> bool {
         !matches!(self, EngineSpec::Cell { .. } | EngineSpec::Gpu { .. })
+    }
+}
+
+/// `Display` prints [`EngineSpec::name`], so `format!("{spec}")` and
+/// `spec.parse()` round-trip losslessly: for every spec the registry
+/// can produce, `s.to_string().parse() == Ok(s)`.
+impl fmt::Display for EngineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// `FromStr` delegates to [`EngineSpec::parse`]; the error is the
+/// same human-readable message.
+impl std::str::FromStr for EngineSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EngineSpec, String> {
+        EngineSpec::parse(s)
     }
 }
 
@@ -992,6 +1012,31 @@ mod tests {
             let spec = EngineSpec::parse(s).unwrap();
             assert_eq!(EngineSpec::parse(&spec.name()).unwrap(), spec, "{s}");
         }
+    }
+
+    #[test]
+    fn display_from_str_round_trip_is_lossless() {
+        let mut specs = EngineSpec::registry();
+        specs.extend([
+            EngineSpec::Smp {
+                schedule: Schedule::Dynamic { chunk: 3 },
+            },
+            EngineSpec::FixedPoint { frac_bits: 9 },
+            EngineSpec::Cell {
+                tile_w: 16,
+                tile_h: 8,
+                double_buffer: false,
+                frac_bits: 7,
+            },
+            EngineSpec::Gpu { block_threads: 128 },
+        ]);
+        for spec in specs {
+            let shown = spec.to_string();
+            assert_eq!(shown, spec.name(), "Display must print the canonical name");
+            let parsed: EngineSpec = shown.parse().unwrap();
+            assert_eq!(parsed, spec, "{shown}");
+        }
+        assert!("warp-drive".parse::<EngineSpec>().is_err());
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub use engine::{
 pub use interp::Interpolator;
 pub use map::{FixedRemapMap, MapEntry, RemapMap};
 pub use pipeline::{CorrectionPipeline, PipelineConfig, PipelineStats};
-pub use plan::{correct_plan, correct_plan_into, PlanOptions, RemapPlan, ValidSpan};
+pub use plan::{
+    correct_plan, correct_plan_into, plan_request_digest, PlanOptions, RemapPlan, ValidSpan,
+};
 pub use stitch::{DualFisheyeRig, StitchMap};
 pub use tile::{TileJob, TilePlan};
 pub use yuv::{correct_yuv420, correct_yuv420_parallel, YuvMaps};

@@ -40,6 +40,7 @@
 //! byte-identical plan (see [`RemapPlan::digest`]), which is what
 //! makes plans safe to share across threads and compare in tests.
 
+use fisheye_geom::{FisheyeLens, PerspectiveView};
 use pixmap::{Image, Pixel};
 
 use crate::engine::EngineSpec;
@@ -103,6 +104,68 @@ impl PlanOptions {
         opts.tiles.sort_unstable();
         opts.tiles.dedup();
         opts
+    }
+}
+
+/// Order-sensitive FNV-1a digest of a *plan request* — everything
+/// that determines what [`RemapPlan::compile`] would produce: the
+/// lens, the view, the source frame dimensions and the
+/// [`PlanOptions`]. Unlike [`RemapPlan::digest`] this is computable
+/// *before* compiling, which is what a plan cache needs for its key:
+/// two sessions asking for the same view hash to the same slot and
+/// the map is traced once. Floats are hashed by bit pattern, so any
+/// parameter change — however small — changes the digest.
+pub fn plan_request_digest(
+    lens: &FisheyeLens,
+    view: &PerspectiveView,
+    src_w: u32,
+    src_h: u32,
+    opts: &PlanOptions,
+) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    lens.model.hash(&mut h);
+    for v in [lens.focal_px, lens.cx, lens.cy, lens.max_theta] {
+        h.mix(v.to_bits());
+    }
+    for v in [view.pan, view.tilt, view.roll, view.h_fov] {
+        h.mix(v.to_bits());
+    }
+    h.mix(((view.width as u64) << 32) | view.height as u64);
+    h.mix(((src_w as u64) << 32) | src_h as u64);
+    h.mix(opts.frac_bits.len() as u64);
+    for &b in &opts.frac_bits {
+        h.mix(b as u64);
+    }
+    h.mix(opts.tiles.len() as u64);
+    for &(tw, th) in &opts.tiles {
+        h.mix(((tw as u64) << 32) | th as u64);
+    }
+    h.mix(opts.interp as u64);
+    h.finish()
+}
+
+/// FNV-1a accumulator behind [`plan_request_digest`]; implements
+/// `Hasher` so `Hash`-deriving types (the lens model enum) can feed it.
+struct Fnv(u64);
+
+impl Fnv {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -579,5 +642,29 @@ mod tests {
         );
         assert!(loaded.bytes() > bare.bytes());
         assert!(bare.bytes() > map.bytes());
+    }
+
+    #[test]
+    fn request_digest_is_deterministic_and_parameter_sensitive() {
+        let lens = FisheyeLens::equidistant_fov(64, 48, 180.0);
+        let view = PerspectiveView::centered(32, 24, 90.0);
+        let opts = PlanOptions::default();
+        let base = plan_request_digest(&lens, &view, 64, 48, &opts);
+        assert_eq!(base, plan_request_digest(&lens, &view, 64, 48, &opts));
+
+        let mut panned = view;
+        panned.pan += 1e-9; // any bit flip must re-key
+        assert_ne!(base, plan_request_digest(&lens, &panned, 64, 48, &opts));
+        assert_ne!(base, plan_request_digest(&lens, &view, 65, 48, &opts));
+        let loaded = PlanOptions {
+            frac_bits: vec![12],
+            ..Default::default()
+        };
+        assert_ne!(base, plan_request_digest(&lens, &view, 64, 48, &loaded));
+        let nearest = PlanOptions {
+            interp: Interpolator::Nearest,
+            ..Default::default()
+        };
+        assert_ne!(base, plan_request_digest(&lens, &view, 64, 48, &nearest));
     }
 }

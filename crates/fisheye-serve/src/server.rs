@@ -1,0 +1,732 @@
+//! Admission control, sessions and the degradation ladder.
+//!
+//! A [`Server`] owns the shared [`PlanCache`] and [`Registry`] and
+//! admits [`Session`]s against a fixed capacity budget: past the cap,
+//! [`Server::connect`] returns [`fisheye::Error::Rejected`]
+//! immediately — there is no wait queue to grow without bound, the
+//! caller decides whether to retry. Each admitted session owns a
+//! [`Corrector`] resolved from its [`EngineSpec`], a bounded frame
+//! queue and a [`FramePool`] of output buffers, and measures every
+//! frame against its deadline.
+//!
+//! Under sustained overload — a windowed fraction of frames missing
+//! their deadlines — the server walks a degradation ladder, one rung
+//! per evaluation window:
+//!
+//! 1. [`DegradeLevel::DropOldest`] — full queues shed their *oldest*
+//!    frame instead of refusing the newest, so latency stops
+//!    compounding;
+//! 2. [`DegradeLevel::InterpDown`] — interpolation steps down one
+//!    kernel (bicubic → bilinear);
+//! 3. [`DegradeLevel::InterpFloor`] — interpolation floors at
+//!    nearest-neighbour;
+//! 4. [`DegradeLevel::HalfRes`] — views render at half resolution
+//!    (quarter the pixels), through half-res plans that the cache
+//!    compiles once and shares like any others.
+//!
+//! When the miss ratio falls back below the recovery threshold the
+//! ladder walks down again, automatically — degradation is a state
+//! the server passes through, not a one-way door. Every admission,
+//! rejection, drop, deadline miss and level transition is counted in
+//! the registry; [`Registry::snapshot`] is the audit trail.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fisheye::{Corrector, ErrorKind};
+use fisheye_core::engine::{EngineSpec, FrameReport};
+use fisheye_core::plan::{plan_request_digest, PlanOptions, RemapPlan};
+use fisheye_core::{Interpolator, RemapMap};
+use fisheye_geom::{FisheyeLens, PerspectiveView};
+use par_runtime::sync::Mutex;
+use pixmap::{FramePool, Gray8, Image, PooledFrame};
+
+use crate::cache::PlanCache;
+use crate::metrics::Registry;
+
+/// How far the server has degraded service quality, in ladder order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradeLevel {
+    /// Full quality; full queues refuse the newest frame.
+    Normal,
+    /// Full queues shed their oldest frame to keep latency fresh.
+    DropOldest,
+    /// Interpolation stepped down one kernel (plus drop-oldest).
+    InterpDown,
+    /// Interpolation floored at nearest-neighbour.
+    InterpFloor,
+    /// Views render at half resolution (plus nearest + drop-oldest).
+    HalfRes,
+}
+
+impl DegradeLevel {
+    /// All levels, mildest first.
+    pub const LADDER: [DegradeLevel; 5] = [
+        DegradeLevel::Normal,
+        DegradeLevel::DropOldest,
+        DegradeLevel::InterpDown,
+        DegradeLevel::InterpFloor,
+        DegradeLevel::HalfRes,
+    ];
+
+    /// Position on the ladder (0 = normal).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    fn from_index(i: usize) -> DegradeLevel {
+        DegradeLevel::LADDER[i.min(DegradeLevel::LADDER.len() - 1)]
+    }
+
+    /// Short lowercase name for metrics and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeLevel::Normal => "normal",
+            DegradeLevel::DropOldest => "drop_oldest",
+            DegradeLevel::InterpDown => "interp_down",
+            DegradeLevel::InterpFloor => "interp_floor",
+            DegradeLevel::HalfRes => "half_res",
+        }
+    }
+}
+
+/// Degradation controller tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradeConfig {
+    /// Completed frames per evaluation window.
+    pub window: usize,
+    /// Escalate one rung when the window's deadline-miss ratio
+    /// reaches this.
+    pub up_threshold: f64,
+    /// Recover one rung when the ratio falls to this or below.
+    pub down_threshold: f64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            window: 32,
+            up_threshold: 0.5,
+            down_threshold: 0.05,
+        }
+    }
+}
+
+/// Server tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrently admitted sessions; connects past this are
+    /// rejected outright.
+    pub capacity: usize,
+    /// Ready entries the shared plan cache holds.
+    pub plan_cache_capacity: usize,
+    /// Pending frames a session queues before shedding.
+    pub queue_depth: usize,
+    /// Default per-frame latency budget, submit → corrected
+    /// (sessions may override per [`SessionConfig::deadline`]).
+    pub frame_deadline: Duration,
+    /// Worker threads for SMP-backed correctors.
+    pub threads: usize,
+    /// Degradation controller tuning.
+    pub degrade: DegradeConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            capacity: 8,
+            plan_cache_capacity: 32,
+            queue_depth: 4,
+            frame_deadline: Duration::from_millis(33),
+            threads: 4,
+            degrade: DegradeConfig::default(),
+        }
+    }
+}
+
+/// Per-session configuration presented at [`Server::connect`].
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// The camera's lens.
+    pub lens: FisheyeLens,
+    /// The view this session renders.
+    pub view: PerspectiveView,
+    /// Source frame dimensions `(w, h)`.
+    pub source: (u32, u32),
+    /// Execution backend.
+    pub backend: EngineSpec,
+    /// Full-quality interpolation kernel.
+    pub interp: Interpolator,
+    /// Per-frame deadline override (`None` = server default).
+    pub deadline: Option<Duration>,
+}
+
+impl SessionConfig {
+    /// A serial-backend bilinear session for `lens`/`view`.
+    pub fn new(lens: FisheyeLens, view: PerspectiveView, source: (u32, u32)) -> SessionConfig {
+        SessionConfig {
+            lens,
+            view,
+            source,
+            backend: EngineSpec::Serial,
+            interp: Interpolator::Bilinear,
+            deadline: None,
+        }
+    }
+}
+
+struct LadderState {
+    level: usize,
+    window: Vec<bool>,
+}
+
+struct ServerInner {
+    cfg: ServerConfig,
+    cache: PlanCache,
+    metrics: Registry,
+    active: AtomicUsize,
+    next_id: AtomicU64,
+    ladder: Mutex<LadderState>,
+}
+
+/// The serving front end: admission control plus the shared plan
+/// cache, metrics registry and degradation controller. Clone-cheap;
+/// clones are handles onto one server.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<ServerInner>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("capacity", &self.inner.cfg.capacity)
+            .field("active", &self.active_sessions())
+            .field("level", &self.level())
+            .finish()
+    }
+}
+
+impl Server {
+    /// A server with `cfg`, validating it ([`fisheye::Error::Config`]
+    /// on nonsense — never a panic).
+    pub fn new(cfg: ServerConfig) -> Result<Server, fisheye::Error> {
+        if cfg.capacity == 0 {
+            return Err(fisheye::Error::config("server capacity must be at least 1"));
+        }
+        if cfg.queue_depth == 0 {
+            return Err(fisheye::Error::config("queue depth must be at least 1"));
+        }
+        if cfg.threads == 0 {
+            return Err(fisheye::Error::config("threads must be at least 1"));
+        }
+        if cfg.degrade.window == 0 {
+            return Err(fisheye::Error::config("degrade window must be at least 1"));
+        }
+        let (up, down) = (cfg.degrade.up_threshold, cfg.degrade.down_threshold);
+        if !(0.0..=1.0).contains(&up) || !(0.0..=1.0).contains(&down) || down >= up {
+            return Err(fisheye::Error::config(
+                "degrade thresholds must satisfy 0 <= down < up <= 1",
+            ));
+        }
+        let cache = PlanCache::new(cfg.plan_cache_capacity)?;
+        let metrics = Registry::new();
+        metrics.gauge("serve.degrade.level", 0.0);
+        metrics.gauge("serve.sessions.active", 0.0);
+        Ok(Server {
+            inner: Arc::new(ServerInner {
+                cfg,
+                cache,
+                metrics,
+                active: AtomicUsize::new(0),
+                next_id: AtomicU64::new(1),
+                ladder: Mutex::new(LadderState {
+                    level: 0,
+                    window: Vec::new(),
+                }),
+            }),
+        })
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.inner.metrics
+    }
+
+    /// The shared plan cache.
+    pub fn cache(&self) -> &PlanCache {
+        &self.inner.cache
+    }
+
+    /// Currently admitted sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.inner.active.load(Ordering::SeqCst)
+    }
+
+    /// The configuration this server runs.
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.cfg
+    }
+
+    /// The ladder's current level.
+    pub fn level(&self) -> DegradeLevel {
+        DegradeLevel::from_index(self.inner.ladder.lock().level)
+    }
+
+    /// Admit a session, or reject it when the capacity budget is
+    /// spent. The session's first plan comes from the shared cache —
+    /// identical views across sessions compile once.
+    pub fn connect(&self, cfg: SessionConfig) -> Result<Session, fisheye::Error> {
+        let capacity = self.inner.cfg.capacity;
+        let claim = self
+            .inner
+            .active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < capacity).then_some(n + 1)
+            });
+        let active = match claim {
+            Ok(prev) => prev + 1,
+            Err(full) => {
+                self.inner.metrics.inc("serve.rejected");
+                return Err(fisheye::Error::Rejected {
+                    active: full,
+                    capacity,
+                });
+            }
+        };
+        match self.admit(cfg) {
+            Ok(session) => {
+                self.inner.metrics.inc("serve.admitted");
+                self.inner
+                    .metrics
+                    .gauge("serve.sessions.active", active as f64);
+                Ok(session)
+            }
+            Err(e) => {
+                self.inner.active.fetch_sub(1, Ordering::SeqCst);
+                Err(e)
+            }
+        }
+    }
+
+    fn admit(&self, cfg: SessionConfig) -> Result<Session, fisheye::Error> {
+        let (src_w, src_h) = cfg.source;
+        let plan = self.plan_for(
+            &cfg.lens,
+            &cfg.view,
+            (src_w, src_h),
+            &cfg.backend,
+            cfg.interp,
+        );
+        let corrector = Corrector::builder()
+            .lens(cfg.lens)
+            .view(cfg.view)
+            .source(src_w, src_h)
+            .backend(cfg.backend)
+            .interp(cfg.interp)
+            .threads(self.inner.cfg.threads)
+            .plan(plan)
+            .build()?;
+        let (out_w, out_h) = corrector.out_dims();
+        let pool = FramePool::new(out_w, out_h);
+        pool.prime(2);
+        Ok(Session {
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            server: self.clone(),
+            base_view: cfg.view,
+            base_interp: cfg.interp,
+            deadline: cfg.deadline.unwrap_or(self.inner.cfg.frame_deadline),
+            corrector,
+            queue: VecDeque::new(),
+            seq: 0,
+            applied: DegradeLevel::Normal,
+            pool,
+            pool_dims: (out_w, out_h),
+            pool_seen: (0, 0),
+        })
+    }
+
+    /// Compile-through-cache for one (lens, view, source, backend,
+    /// interp) request.
+    fn plan_for(
+        &self,
+        lens: &FisheyeLens,
+        view: &PerspectiveView,
+        (src_w, src_h): (u32, u32),
+        spec: &EngineSpec,
+        interp: Interpolator,
+    ) -> Arc<RemapPlan> {
+        let opts = PlanOptions::for_spec(spec, interp);
+        let digest = plan_request_digest(lens, view, src_w, src_h, &opts);
+        let plan = self.inner.cache.get_or_compile(digest, || {
+            let map = RemapMap::build(lens, view, src_w, src_h);
+            RemapPlan::compile(&map, opts)
+        });
+        self.inner.cache.export(&self.inner.metrics, "serve.cache");
+        plan
+    }
+
+    /// Record one completed frame's deadline fate and run the ladder
+    /// controller over the closing window.
+    fn note_frame(&self, missed: bool) {
+        let cfg = &self.inner.cfg.degrade;
+        let mut st = self.inner.ladder.lock();
+        st.window.push(missed);
+        if st.window.len() < cfg.window {
+            return;
+        }
+        let misses = st.window.iter().filter(|&&m| m).count();
+        let ratio = misses as f64 / st.window.len() as f64;
+        st.window.clear();
+        let max = DegradeLevel::LADDER.len() - 1;
+        if ratio >= cfg.up_threshold && st.level < max {
+            st.level += 1;
+            let level = st.level;
+            drop(st);
+            self.inner.metrics.inc("serve.degrade.escalations");
+            self.inner
+                .metrics
+                .gauge("serve.degrade.level", level as f64);
+        } else if ratio <= cfg.down_threshold && st.level > 0 {
+            st.level -= 1;
+            let level = st.level;
+            drop(st);
+            self.inner.metrics.inc("serve.degrade.recoveries");
+            self.inner
+                .metrics
+                .gauge("serve.degrade.level", level as f64);
+        }
+    }
+}
+
+/// What happened to a submitted frame at the queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued for the next pump.
+    Queued,
+    /// Queued; the oldest pending frame (whose sequence number is
+    /// carried) was shed to make room — the drop-oldest rung.
+    DroppedOldest(u64),
+    /// Refused: the queue is full and the server is not shedding.
+    DroppedNewest,
+}
+
+/// One pending frame.
+struct Pending {
+    seq: u64,
+    submitted: Instant,
+    frame: Arc<Image<Gray8>>,
+}
+
+/// A corrected frame leaving [`Session::pump_one`]. Dropping it
+/// recycles the output buffer into the session's pool;
+/// [`PooledFrame::detach`] keeps the image.
+pub struct FrameOutcome {
+    /// Submission sequence number.
+    pub seq: u64,
+    /// Submit → corrected latency.
+    pub latency: Duration,
+    /// Whether the deadline was missed.
+    pub missed: bool,
+    /// Ladder level the frame was served at.
+    pub level: DegradeLevel,
+    /// Engine-attributed execution report.
+    pub report: FrameReport,
+    /// The corrected frame, on a pooled buffer.
+    pub frame: PooledFrame<Gray8>,
+}
+
+impl std::fmt::Debug for FrameOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameOutcome")
+            .field("seq", &self.seq)
+            .field("latency", &self.latency)
+            .field("missed", &self.missed)
+            .field("level", &self.level)
+            .finish()
+    }
+}
+
+/// One admitted view-session: a corrector on a cache-shared plan, a
+/// bounded frame queue and a pooled output path. Dropping the session
+/// releases its admission slot.
+pub struct Session {
+    id: u64,
+    server: Server,
+    base_view: PerspectiveView,
+    base_interp: Interpolator,
+    deadline: Duration,
+    corrector: Corrector<Gray8>,
+    queue: VecDeque<Pending>,
+    seq: u64,
+    applied: DegradeLevel,
+    pool: FramePool<Gray8>,
+    pool_dims: (u32, u32),
+    /// Pool counters already flushed into the registry.
+    pool_seen: (u64, u64),
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.flush_pool_counters();
+        let left = self.server.inner.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.server.inner.metrics.inc("serve.sessions.closed");
+        self.server
+            .inner
+            .metrics
+            .gauge("serve.sessions.active", left as f64);
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("view", &self.base_view)
+            .field("pending", &self.queue.len())
+            .field("applied", &self.applied)
+            .finish()
+    }
+}
+
+impl Session {
+    /// Server-unique session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The full-quality view this session renders.
+    pub fn view(&self) -> PerspectiveView {
+        self.base_view
+    }
+
+    /// Frames waiting to be pumped.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Per-frame latency budget.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// The ladder level this session last reconfigured to (sessions
+    /// follow the server's level lazily, at their next pump).
+    pub fn applied_level(&self) -> DegradeLevel {
+        self.applied
+    }
+
+    /// The session's corrector (its plan, spec and dims are the
+    /// currently *applied* — possibly degraded — configuration).
+    pub fn corrector(&self) -> &Corrector<Gray8> {
+        &self.corrector
+    }
+
+    /// Point the session at a new view. The plan comes from the
+    /// shared cache — if any session already watches this view (at
+    /// this quality), the switch is a lookup, not a compile.
+    pub fn set_view(&mut self, view: PerspectiveView) -> Result<(), fisheye::Error> {
+        if view.width == 0 || view.height == 0 {
+            return Err(fisheye::Error::config("view dimensions must be positive"));
+        }
+        let old = self.base_view;
+        self.base_view = view;
+        let level = self.applied;
+        if let Err(e) = self.reconfigure(level) {
+            self.base_view = old;
+            return Err(e);
+        }
+        self.server.inner.metrics.inc("serve.view_changes");
+        Ok(())
+    }
+
+    /// Queue a frame for correction. Sheds per the current ladder
+    /// level when the queue is full; never blocks, never grows past
+    /// the configured depth.
+    pub fn submit(&mut self, frame: Arc<Image<Gray8>>) -> SubmitOutcome {
+        let m = self.server.metrics();
+        m.inc("serve.frames.submitted");
+        let seq = self.seq;
+        self.seq += 1;
+        let pending = Pending {
+            seq,
+            submitted: Instant::now(),
+            frame,
+        };
+        if self.queue.len() >= self.server.inner.cfg.queue_depth {
+            if self.server.level() >= DegradeLevel::DropOldest {
+                let shed = self.queue.pop_front();
+                self.queue.push_back(pending);
+                m.inc("serve.frames.dropped_oldest");
+                return match shed {
+                    Some(p) => SubmitOutcome::DroppedOldest(p.seq),
+                    None => SubmitOutcome::Queued,
+                };
+            }
+            m.inc("serve.frames.dropped_newest");
+            return SubmitOutcome::DroppedNewest;
+        }
+        self.queue.push_back(pending);
+        SubmitOutcome::Queued
+    }
+
+    /// Correct the oldest pending frame (after syncing to the
+    /// server's ladder level), or `Ok(None)` when idle. Errors are
+    /// engine failures — configuration mistakes surfaced per-frame,
+    /// e.g. a submitted frame whose dimensions don't match the lens.
+    pub fn pump_one(&mut self) -> Result<Option<FrameOutcome>, fisheye::Error> {
+        let level = self.server.level();
+        if level != self.applied {
+            self.reconfigure(level)?;
+        }
+        let Some(pending) = self.queue.pop_front() else {
+            return Ok(None);
+        };
+        self.sync_pool();
+        let mut out = self.pool.acquire();
+        let report = self.corrector.correct_into(&pending.frame, &mut out)?;
+        let latency = pending.submitted.elapsed();
+        let missed = latency > self.deadline;
+        let m = self.server.metrics();
+        m.inc("serve.frames.completed");
+        m.observe("serve.latency_us", latency);
+        m.inc(&format!("serve.degrade.frames.{}", self.applied.name()));
+        if missed {
+            m.inc("serve.frames.deadline_missed");
+        }
+        m.absorb_frame_report("serve.engine", &report);
+        self.flush_pool_counters();
+        self.server.note_frame(missed);
+        Ok(Some(FrameOutcome {
+            seq: pending.seq,
+            latency,
+            missed,
+            level: self.applied,
+            report,
+            frame: out,
+        }))
+    }
+
+    /// Apply `level` to the corrector: interpolation downgrade and/or
+    /// half-resolution plan swap, both derived from the session's
+    /// full-quality base so levels compose and recovery is exact.
+    fn reconfigure(&mut self, level: DegradeLevel) -> Result<(), fisheye::Error> {
+        let desired_interp = match level {
+            DegradeLevel::Normal | DegradeLevel::DropOldest => self.base_interp,
+            DegradeLevel::InterpDown => downgrade(self.base_interp, 1),
+            DegradeLevel::InterpFloor | DegradeLevel::HalfRes => downgrade(self.base_interp, 2),
+        };
+        let desired_view = if level == DegradeLevel::HalfRes {
+            halved(self.base_view)
+        } else {
+            self.base_view
+        };
+        if self.corrector.interp() != desired_interp {
+            match self.corrector.set_interp(desired_interp) {
+                Ok(()) => {}
+                // an engine that cannot run the downgraded kernel
+                // (e.g. the bilinear-only SIMD path) skips the rung —
+                // degradation must never take a session down
+                Err(e) if e.kind() == ErrorKind::Engine => {
+                    self.server
+                        .inner
+                        .metrics
+                        .inc("serve.degrade.interp_unsupported");
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if self.corrector.view() != Some(desired_view) {
+            let plan = self.server.plan_for(
+                &self.corrector.lens(),
+                &desired_view,
+                self.corrector.source_dims(),
+                &self.corrector.spec(),
+                self.corrector.interp(),
+            );
+            self.corrector.set_plan(desired_view, plan)?;
+        }
+        self.applied = level;
+        Ok(())
+    }
+
+    /// Swap the output pool when a reconfigure changed output dims.
+    fn sync_pool(&mut self) {
+        let dims = self.corrector.out_dims();
+        if dims != self.pool_dims {
+            self.flush_pool_counters();
+            self.pool = FramePool::new(dims.0, dims.1);
+            self.pool.prime(2);
+            self.pool_dims = dims;
+            self.pool_seen = (0, 0);
+        }
+    }
+
+    /// Push pool hit/miss deltas into the shared registry.
+    fn flush_pool_counters(&mut self) {
+        let (hits, misses) = (self.pool.hits(), self.pool.misses());
+        let m = self.server.metrics();
+        m.add("serve.pool.hits", hits - self.pool_seen.0);
+        m.add("serve.pool.misses", misses - self.pool_seen.1);
+        self.pool_seen = (hits, misses);
+    }
+}
+
+/// `steps` kernel downgrades from `interp`, saturating at nearest.
+fn downgrade(interp: Interpolator, steps: u32) -> Interpolator {
+    let mut cur = interp;
+    for _ in 0..steps {
+        cur = match cur {
+            Interpolator::Bicubic => Interpolator::Bilinear,
+            Interpolator::Bilinear | Interpolator::Nearest => Interpolator::Nearest,
+        };
+    }
+    cur
+}
+
+/// `view` at half output resolution, same optics.
+fn halved(view: PerspectiveView) -> PerspectiveView {
+    PerspectiveView {
+        width: (view.width / 2).max(1),
+        height: (view.height / 2).max(1),
+        ..view
+    }
+}
+
+/// Aggregate result of one [`pump_round`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PumpStats {
+    /// Frames corrected this round.
+    pub processed: u64,
+    /// Of those, frames over their deadline.
+    pub missed: u64,
+}
+
+/// Drive `sessions` round-robin until all queues drain or `budget`
+/// wall time elapses — the serving loop's inner step. The budget is
+/// what creates overload pressure: with more work queued than the
+/// budget covers, frames age, deadlines slip, and the ladder engages.
+pub fn pump_round(sessions: &mut [Session], budget: Duration) -> Result<PumpStats, fisheye::Error> {
+    let started = Instant::now();
+    let mut stats = PumpStats::default();
+    loop {
+        let mut any = false;
+        for session in sessions.iter_mut() {
+            if started.elapsed() >= budget {
+                return Ok(stats);
+            }
+            if let Some(outcome) = session.pump_one()? {
+                stats.processed += 1;
+                if outcome.missed {
+                    stats.missed += 1;
+                }
+                any = true;
+            }
+        }
+        if !any {
+            return Ok(stats);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Concurrency contract of the shared [`PlanCache`]: under many
+//! threads requesting a mix of identical and distinct views, every
+//! digest is compiled exactly once, all requesters of a digest share
+//! one `Arc`, and the cache never exceeds its capacity bound.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use fisheye_core::plan::{plan_request_digest, PlanOptions, RemapPlan};
+use fisheye_core::RemapMap;
+use fisheye_geom::{FisheyeLens, PerspectiveView};
+use fisheye_serve::PlanCache;
+use par_runtime::sync::Mutex;
+
+const SRC: (u32, u32) = (96, 72);
+
+fn lens() -> FisheyeLens {
+    FisheyeLens::equidistant_fov(SRC.0, SRC.1, 180.0)
+}
+
+fn view(idx: usize) -> PerspectiveView {
+    PerspectiveView::centered(48, 36, 80.0).look(idx as f64 * 5.0, 0.0)
+}
+
+fn digest_of(idx: usize) -> u64 {
+    plan_request_digest(&lens(), &view(idx), SRC.0, SRC.1, &PlanOptions::default())
+}
+
+fn compile(idx: usize) -> RemapPlan {
+    let map = RemapMap::build(&lens(), &view(idx), SRC.0, SRC.1);
+    RemapPlan::compile(&map, PlanOptions::default())
+}
+
+#[test]
+fn many_threads_compile_each_digest_exactly_once() {
+    const THREADS: usize = 16;
+    const DISTINCT_VIEWS: usize = 4;
+    const ROUNDS: usize = 8;
+
+    let cache = PlanCache::new(DISTINCT_VIEWS).expect("capacity ok");
+    let compiles: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..DISTINCT_VIEWS).map(|_| AtomicUsize::new(0)).collect());
+    let plans_seen: Arc<Mutex<HashMap<u64, Vec<Arc<RemapPlan>>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = cache.clone();
+            let compiles = Arc::clone(&compiles);
+            let plans_seen = Arc::clone(&plans_seen);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait(); // maximize contention on first lookup
+                for round in 0..ROUNDS {
+                    // every thread hits every view, in a different order
+                    let idx = (t + round) % DISTINCT_VIEWS;
+                    let plan = cache.get_or_compile(digest_of(idx), || {
+                        compiles[idx].fetch_add(1, Ordering::SeqCst);
+                        compile(idx)
+                    });
+                    assert_eq!(plan.width(), 48, "view {idx}: wrong plan");
+                    plans_seen
+                        .lock()
+                        .entry(digest_of(idx))
+                        .or_default()
+                        .push(plan);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+
+    // exactly one compilation per digest, despite 16×8 lookups
+    for (idx, n) in compiles.iter().enumerate() {
+        assert_eq!(
+            n.load(Ordering::SeqCst),
+            1,
+            "view {idx} compiled more than once"
+        );
+    }
+    // every requester of a digest got the same allocation
+    let seen = plans_seen.lock();
+    assert_eq!(seen.len(), DISTINCT_VIEWS);
+    for (digest, plans) in seen.iter() {
+        assert_eq!(plans.len(), THREADS * ROUNDS / DISTINCT_VIEWS);
+        for p in plans {
+            assert!(
+                Arc::ptr_eq(p, &plans[0]),
+                "digest {digest:#x}: distinct Arcs"
+            );
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, DISTINCT_VIEWS as u64);
+    assert_eq!(
+        stats.hits + stats.misses,
+        (THREADS * ROUNDS) as u64,
+        "every lookup accounted for"
+    );
+    assert_eq!(stats.entries, DISTINCT_VIEWS);
+    assert!(stats.bytes > 0);
+}
+
+#[test]
+fn capacity_stays_bounded_under_concurrent_churn() {
+    const THREADS: usize = 8;
+    const DISTINCT_VIEWS: usize = 12;
+    const CAPACITY: usize = 3;
+
+    let cache = PlanCache::new(CAPACITY).expect("capacity ok");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                for round in 0..DISTINCT_VIEWS {
+                    let idx = (t * 5 + round) % DISTINCT_VIEWS;
+                    let plan = cache.get_or_compile(digest_of(idx), || compile(idx));
+                    assert_eq!(plan.src_dims(), SRC);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.entries <= CAPACITY,
+        "cache grew past its bound: {} > {CAPACITY}",
+        stats.entries
+    );
+    assert!(stats.evictions > 0, "churn past capacity must evict");
+    assert_eq!(
+        stats.misses - stats.evictions,
+        stats.entries as u64,
+        "misses and evictions reconcile with residency"
+    );
+}

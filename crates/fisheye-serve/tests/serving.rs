@@ -1,0 +1,292 @@
+//! End-to-end contracts of the serving layer: admission against the
+//! capacity budget, plan sharing across sessions, the degradation
+//! ladder engaging under deterministic overload and recovering when
+//! it lifts, and the metrics snapshot accounting for every frame.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fisheye::ErrorKind;
+use fisheye_core::Interpolator;
+use fisheye_geom::{FisheyeLens, PerspectiveView};
+use fisheye_serve::{
+    CameraFeed, DegradeConfig, DegradeLevel, Server, ServerConfig, SessionConfig, SubmitOutcome,
+};
+
+const SRC: (u32, u32) = (128, 96);
+
+fn lens() -> FisheyeLens {
+    FisheyeLens::equidistant_fov(SRC.0, SRC.1, 180.0)
+}
+
+fn wide_view() -> PerspectiveView {
+    PerspectiveView::centered(64, 48, 90.0)
+}
+
+fn test_server(capacity: usize) -> Server {
+    Server::new(ServerConfig {
+        capacity,
+        queue_depth: 2,
+        degrade: DegradeConfig {
+            window: 8,
+            up_threshold: 0.5,
+            down_threshold: 0.05,
+        },
+        ..ServerConfig::default()
+    })
+    .expect("valid config")
+}
+
+fn session_cfg() -> SessionConfig {
+    SessionConfig {
+        interp: Interpolator::Bicubic,
+        ..SessionConfig::new(lens(), wide_view(), SRC)
+    }
+}
+
+#[test]
+fn admission_is_a_budget_not_a_queue() {
+    let server = test_server(2);
+    let a = server.connect(session_cfg()).expect("slot 1");
+    let b = server.connect(session_cfg()).expect("slot 2");
+    assert_eq!(server.active_sessions(), 2);
+
+    let err = server.connect(session_cfg()).expect_err("over capacity");
+    assert!(err.is_rejected());
+    assert_eq!(err.kind(), ErrorKind::Rejected);
+    assert_eq!(
+        err.to_string(),
+        "session rejected: 2/2 slots in use",
+        "rejection names the budget"
+    );
+
+    // a released slot is immediately reusable
+    drop(a);
+    assert_eq!(server.active_sessions(), 1);
+    let c = server.connect(session_cfg()).expect("freed slot");
+    drop(b);
+    drop(c);
+    let m = server.metrics();
+    assert_eq!(m.counter("serve.admitted"), 3);
+    assert_eq!(m.counter("serve.rejected"), 1);
+    assert_eq!(m.counter("serve.sessions.closed"), 3);
+    assert_eq!(m.gauge_value("serve.sessions.active"), Some(0.0));
+}
+
+#[test]
+fn identical_views_share_one_compiled_plan() {
+    let server = test_server(4);
+    let sessions: Vec<_> = (0..4)
+        .map(|_| server.connect(session_cfg()).expect("capacity 4"))
+        .collect();
+    let stats = server.cache().stats();
+    assert_eq!(stats.misses, 1, "one compile for four identical views");
+    assert_eq!(stats.hits, 3);
+    for s in &sessions[1..] {
+        assert!(
+            Arc::ptr_eq(sessions[0].corrector().plan(), s.corrector().plan()),
+            "sessions share the same plan allocation"
+        );
+    }
+    // a view change to a *new* view compiles once; back to the shared
+    // view is a pure hit
+    let mut sessions = sessions;
+    let other = PerspectiveView::centered(64, 48, 70.0).look(30.0, 0.0);
+    sessions[0].set_view(other).expect("valid view");
+    assert_eq!(server.cache().stats().misses, 2);
+    sessions[0].set_view(wide_view()).expect("valid view");
+    assert_eq!(server.cache().stats().misses, 2, "return trip is cached");
+    assert!(server.cache().stats().hit_rate() > 0.5);
+}
+
+#[test]
+fn ladder_escalates_under_overload_and_recovers() {
+    let server = test_server(2);
+    let mut camera = CameraFeed::new(SRC.0, SRC.1, 3);
+
+    // deterministic overload: a zero deadline makes every completed
+    // frame a miss, closing each 8-frame window at a 100% miss ratio
+    let mut hot = server
+        .connect(SessionConfig {
+            deadline: Some(Duration::ZERO),
+            ..session_cfg()
+        })
+        .expect("slot");
+    let mut climb = Vec::new();
+    for _ in 0..4 {
+        for _ in 0..8 {
+            assert_ne!(
+                hot.submit(camera.next_frame()),
+                SubmitOutcome::DroppedNewest
+            );
+            hot.pump_one().expect("engine ok").expect("frame pending");
+        }
+        climb.push(server.level());
+    }
+    assert_eq!(
+        climb,
+        vec![
+            DegradeLevel::DropOldest,
+            DegradeLevel::InterpDown,
+            DegradeLevel::InterpFloor,
+            DegradeLevel::HalfRes,
+        ],
+        "one rung per saturated window"
+    );
+
+    // the session followed the ladder: kernel floored, output halved
+    let out = {
+        hot.submit(camera.next_frame());
+        hot.pump_one().expect("engine ok").expect("frame pending")
+    };
+    assert_eq!(out.level, DegradeLevel::HalfRes);
+    assert_eq!(
+        out.frame.dims(),
+        (32, 24),
+        "half resolution at the top rung"
+    );
+    assert_eq!(hot.corrector().interp(), Interpolator::Nearest);
+    assert_eq!(hot.applied_level(), DegradeLevel::HalfRes);
+
+    // at drop-oldest and above, a full queue sheds its *oldest* frame
+    hot.submit(camera.next_frame());
+    hot.submit(camera.next_frame());
+    let shed = hot.submit(camera.next_frame());
+    assert!(matches!(shed, SubmitOutcome::DroppedOldest(_)), "{shed:?}");
+    assert!(hot.pending() <= 2, "queue depth is a hard bound");
+    drop(hot);
+
+    // overload lifts: a generous deadline misses nothing and the
+    // ladder walks all the way back down, automatically (five
+    // windows: the first flushes the misses the checks above left in
+    // the controller's buffer, four recover the four rungs)
+    let mut cool = server
+        .connect(SessionConfig {
+            deadline: Some(Duration::from_secs(3600)),
+            ..session_cfg()
+        })
+        .expect("slot");
+    for _ in 0..5 {
+        for _ in 0..8 {
+            cool.submit(camera.next_frame());
+            cool.pump_one().expect("engine ok").expect("frame pending");
+        }
+    }
+    assert_eq!(server.level(), DegradeLevel::Normal, "full recovery");
+    cool.submit(camera.next_frame());
+    let out = cool.pump_one().expect("engine ok").expect("frame pending");
+    assert_eq!(out.frame.dims(), (64, 48), "full resolution restored");
+    assert_eq!(cool.corrector().interp(), Interpolator::Bicubic);
+
+    let m = server.metrics();
+    assert_eq!(m.counter("serve.degrade.escalations"), 4);
+    assert_eq!(m.counter("serve.degrade.recoveries"), 4);
+    assert_eq!(m.gauge_value("serve.degrade.level"), Some(0.0));
+}
+
+#[test]
+fn snapshot_accounts_for_every_submitted_frame() {
+    let server = test_server(2);
+    let mut camera = CameraFeed::new(SRC.0, SRC.1, 9);
+    let mut s = server
+        .connect(SessionConfig {
+            deadline: Some(Duration::ZERO), // engage drop-oldest quickly
+            ..session_cfg()
+        })
+        .expect("slot");
+
+    // uneven submit/pump pressure: some frames complete, some are
+    // refused at Normal, some are shed at DropOldest+
+    for burst in 0..20 {
+        for _ in 0..3 {
+            s.submit(camera.next_frame());
+        }
+        let pumps = if burst % 2 == 0 { 1 } else { 2 };
+        for _ in 0..pumps {
+            let _ = s.pump_one().expect("engine ok");
+        }
+    }
+    let pending = s.pending() as u64;
+    let m = server.metrics();
+    let submitted = m.counter("serve.frames.submitted");
+    let completed = m.counter("serve.frames.completed");
+    let dropped_oldest = m.counter("serve.frames.dropped_oldest");
+    let dropped_newest = m.counter("serve.frames.dropped_newest");
+    assert_eq!(submitted, 60);
+    assert_eq!(
+        submitted,
+        completed + dropped_oldest + dropped_newest + pending,
+        "every frame is exactly one of completed/shed/refused/pending"
+    );
+    assert!(dropped_oldest > 0, "overload must engage shedding");
+    assert_eq!(
+        m.counter("serve.frames.deadline_missed"),
+        completed,
+        "zero deadline: every completed frame misses"
+    );
+    let h = m.histogram("serve.latency_us").expect("latency histogram");
+    assert_eq!(h.count(), completed);
+
+    // the text snapshot carries the whole story
+    let snap = m.snapshot();
+    for key in [
+        "serve.admitted",
+        "serve.frames.submitted",
+        "serve.frames.completed",
+        "serve.frames.dropped_oldest",
+        "serve.frames.deadline_missed",
+        "serve.degrade.escalations",
+        "serve.cache.hit_rate",
+        "serve.engine.frames",
+        "serve.latency_us histogram",
+        "serve.pool.hits",
+    ] {
+        assert!(snap.contains(key), "snapshot missing {key}:\n{snap}");
+    }
+}
+
+#[test]
+fn invalid_configs_are_errors_not_panics() {
+    for cfg in [
+        ServerConfig {
+            capacity: 0,
+            ..ServerConfig::default()
+        },
+        ServerConfig {
+            queue_depth: 0,
+            ..ServerConfig::default()
+        },
+        ServerConfig {
+            plan_cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+        ServerConfig {
+            degrade: DegradeConfig {
+                window: 0,
+                ..DegradeConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        ServerConfig {
+            degrade: DegradeConfig {
+                up_threshold: 0.2,
+                down_threshold: 0.4,
+                ..DegradeConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    ] {
+        let err = Server::new(cfg).expect_err("must reject");
+        assert_eq!(err.kind(), ErrorKind::Config, "{cfg:?}");
+    }
+}
+
+#[test]
+fn mismatched_frames_surface_as_errors_at_the_pump() {
+    let server = test_server(1);
+    let mut s = server.connect(session_cfg()).expect("slot");
+    let mut wrong = CameraFeed::new(32, 32, 1);
+    s.submit(wrong.next_frame());
+    let err = s.pump_one().expect_err("dims mismatch");
+    assert_eq!(err.kind(), ErrorKind::Engine);
+}

@@ -56,6 +56,11 @@ pub struct PipeConfig {
     /// `on_frame` calls strictly in sequence (late frames are
     /// dropped and counted in [`PipeReport::dropped`]).
     pub resequence: Option<usize>,
+    /// Per-frame latency budget, capture → sink. Frames over budget
+    /// are still delivered — a corrected late frame beats a gap — but
+    /// are counted in [`PipeReport::deadline_missed`], the overload
+    /// signal the serving layer's degradation controller consumes.
+    pub frame_deadline: Option<Duration>,
 }
 
 impl Default for PipeConfig {
@@ -66,6 +71,7 @@ impl Default for PipeConfig {
             interp: Interpolator::Bilinear,
             engine: EngineSpec::Serial,
             resequence: None,
+            frame_deadline: None,
         }
     }
 }
@@ -94,6 +100,9 @@ pub struct PipeReport {
     pub out_of_order: u64,
     /// Frames dropped by the resequencer (0 when resequencing is off).
     pub dropped: u64,
+    /// Frames whose capture→sink latency exceeded
+    /// [`PipeConfig::frame_deadline`] (0 when no deadline is set).
+    pub deadline_missed: u64,
     /// Total correction-kernel time summed over all sunk frames (CPU
     /// work, as opposed to the queue-inclusive latency percentiles).
     pub kernel_time: Duration,
@@ -192,6 +201,7 @@ pub fn run_pipeline(
     let mut latency = crate::latency::LatencyStats::new();
     let mut out_of_order = 0u64;
     let mut dropped = 0u64;
+    let mut deadline_missed = 0u64;
     let mut kernel_time = Duration::ZERO;
     let mut invalid_pixels = 0u64;
     let mut last_seq: Option<u64> = None;
@@ -253,7 +263,11 @@ pub fn run_pipeline(
             .resequence
             .map(crate::resequencer::Resequencer::<CorrectedFrame>::new);
         while let Some(done) = q_out.pop() {
-            latency.record(done.captured_at.elapsed());
+            let lat = done.captured_at.elapsed();
+            latency.record(lat);
+            if config.frame_deadline.is_some_and(|d| lat > d) {
+                deadline_missed += 1;
+            }
             kernel_time += done.kernel_time;
             invalid_pixels += done.invalid_pixels;
             if let Some(prev) = last_seq {
@@ -300,6 +314,7 @@ pub fn run_pipeline(
         in_queue_high_water: q_in.high_water(),
         out_of_order,
         dropped,
+        deadline_missed,
         kernel_time,
         invalid_pixels,
         pool_hits: pool.hits(),
@@ -486,6 +501,41 @@ mod tests {
             ..Default::default()
         };
         let _ = run_pipeline(src, &plan, config, |_, _| {});
+    }
+
+    #[test]
+    fn deadline_misses_are_counted_and_bounded() {
+        // a zero deadline makes every sunk frame a deterministic miss:
+        // the overload case. Misses are *counted*, never dropped, and
+        // backpressure still bounds the queue — overload degrades
+        // latency accounting, not memory.
+        let plan = test_plan();
+        let src = Box::new(ShiftVideo::new(random_gray(128, 96, 13), 1, 30));
+        let config = PipeConfig {
+            queue_capacity: 2,
+            frame_deadline: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let report = run_pipeline(src, &plan, config, |_, _| {});
+        assert_eq!(report.frames, 30, "late frames are delivered, not lost");
+        assert_eq!(report.deadline_missed, 30);
+        assert!(
+            report.in_queue_high_water <= 2,
+            "no queue growth under overload"
+        );
+    }
+
+    #[test]
+    fn generous_deadline_misses_nothing() {
+        let plan = test_plan();
+        let src = Box::new(ShiftVideo::new(random_gray(128, 96, 14), 1, 10));
+        let config = PipeConfig {
+            frame_deadline: Some(Duration::from_secs(3600)),
+            ..Default::default()
+        };
+        let report = run_pipeline(src, &plan, config, |_, _| {});
+        assert_eq!(report.frames, 10);
+        assert_eq!(report.deadline_missed, 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ```
 
 use fisheye::cell::{CellConfig, CellRunner};
+use fisheye::core::correct_fixed;
 use fisheye::gpu::{GpuConfig, GpuRunner};
 use fisheye::prelude::*;
 use fisheye::stream::{FixedMapGen, StreamConfig};
@@ -25,26 +26,33 @@ fn main() {
     );
 
     // host serial (measured)
-    let t0 = std::time::Instant::now();
-    let host_out = correct(&frame, &map, Interpolator::Bilinear);
-    let t_serial = t0.elapsed().as_secs_f64();
-    println!("host 1 thread   : {:7.1} fps  (measured)", 1.0 / t_serial);
+    let serial = Corrector::builder()
+        .lens(lens)
+        .view(view)
+        .backend(EngineSpec::Serial)
+        .build()
+        .unwrap();
+    let (host_out, sr) = serial.correct(&frame).unwrap();
+    println!(
+        "host 1 thread   : {:7.1} fps  (measured)",
+        1.0 / sr.correct_time.as_secs_f64()
+    );
 
     // host multicore (measured; flat on single-core machines)
-    let pool = ThreadPool::with_default_parallelism();
-    let t0 = std::time::Instant::now();
-    let par_out = correct_parallel(
-        &frame,
-        &map,
-        Interpolator::Bilinear,
-        &pool,
-        Schedule::Static { chunk: None },
-    );
-    let t_par = t0.elapsed().as_secs_f64();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let smp = Corrector::builder()
+        .lens(lens)
+        .view(view)
+        .backend(EngineSpec::Smp {
+            schedule: Schedule::Static { chunk: None },
+        })
+        .threads(threads)
+        .build()
+        .unwrap();
+    let (par_out, pr) = smp.correct(&frame).unwrap();
     println!(
-        "host {} threads  : {:7.1} fps  (measured)",
-        pool.threads(),
-        1.0 / t_par
+        "host {threads} threads  : {:7.1} fps  (measured)",
+        1.0 / pr.correct_time.as_secs_f64()
     );
     assert_eq!(host_out, par_out, "parallel output must be bit-exact");
 

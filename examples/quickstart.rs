@@ -32,19 +32,28 @@ fn main() {
     let world = World::Planar(&view);
     let distorted = capture_fisheye(scene.as_ref(), world, &lens, 640, 480, 2);
 
-    // 3. phase 1: build the remap LUT for the desired view
-    let t0 = std::time::Instant::now();
-    let map = RemapMap::build(&lens, &view, 640, 480);
+    // 3. build the corrector: map tracing + plan compilation happen
+    //    once here, inside build()
+    let corrector = Corrector::builder()
+        .lens(lens)
+        .view(view)
+        .source(640, 480)
+        .interp(Interpolator::Bilinear)
+        .build()
+        .expect("lens and view are valid");
     println!(
-        "map generation: {:.1} ms ({:.0}% of output covered)",
-        t0.elapsed().as_secs_f64() * 1e3,
-        map.coverage() * 100.0
+        "map generation: {:.1} ms, plan compile: {:.1} ms",
+        corrector.map_time().as_secs_f64() * 1e3,
+        corrector.plan_time().as_secs_f64() * 1e3,
     );
 
-    // 4. phase 2: correct the frame
-    let t0 = std::time::Instant::now();
-    let corrected = correct(&distorted, &map, Interpolator::Bilinear);
-    println!("correction: {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    // 4. per frame: pure plan execution
+    let (corrected, report) = corrector.correct(&distorted).expect("frame matches plan");
+    println!(
+        "correction: {:.1} ms on '{}'",
+        report.correct_time.as_secs_f64() * 1e3,
+        report.backend
+    );
 
     // 5. compare against the exact ground truth
     let truth = ground_truth(scene.as_ref(), world, &view, 2);

@@ -10,7 +10,6 @@
 //! left, right, zoomed) as PGM files into `target/example-out/`.
 
 use fisheye::core::synth::{capture_fisheye, World};
-use fisheye::core::{CorrectionPipeline, PipelineConfig};
 use fisheye::img::scene::scene_by_name;
 use fisheye::prelude::*;
 
@@ -45,19 +44,30 @@ fn main() {
         ),
     ];
 
-    let pool = ThreadPool::with_default_parallelism();
+    // one corrector serves every monitor: set_view re-traces the map
+    // and recompiles the plan, then frames are pure plan execution —
+    // the same PTZ pattern the serving layer runs per session
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut corrector = Corrector::builder()
+        .lens(lens)
+        .view(monitors[0].1)
+        .source(src_w, src_h)
+        .backend(EngineSpec::Smp {
+            schedule: Schedule::Static { chunk: None },
+        })
+        .threads(threads)
+        .build()
+        .expect("valid camera configuration");
     for (name, view) in monitors {
-        let mut pipe = CorrectionPipeline::new(lens, view, src_w, src_h, PipelineConfig::default())
-            .with_pool(&pool);
-        let corrected = pipe.process(&frame);
-        let s = pipe.stats();
+        corrector.set_view(view).expect("valid monitor view");
+        let (corrected, report) = corrector.correct(&frame).expect("frame matches lens");
         println!(
             "{name:>5}: pan {:+.0}° tilt {:+.0}° fov {:.0}° — map {:.1} ms, correct {:.1} ms",
             view.pan.to_degrees(),
             view.tilt.to_degrees(),
             view.h_fov.to_degrees(),
-            s.map_time.as_secs_f64() * 1e3,
-            s.correct_time.as_secs_f64() * 1e3,
+            corrector.map_time().as_secs_f64() * 1e3,
+            report.correct_time.as_secs_f64() * 1e3,
         );
         fisheye::img::codec::save_pgm(&corrected, out_dir.join(format!("monitor_{name}.pgm")))
             .unwrap();

@@ -14,6 +14,12 @@ cargo fmt --all -- --check
 echo "lint: cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# The serving layer is long-running multi-tenant code: a panic takes
+# every session down, so unwrap is banned outright there (tests use
+# expect, which documents intent).
+echo "lint: cargo clippy fisheye-serve (deny unwrap_used)"
+cargo clippy --offline -p fisheye-serve --no-deps --all-targets -- -D warnings -D clippy::unwrap_used
+
 echo "lint: cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 

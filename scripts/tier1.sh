@@ -48,5 +48,8 @@ echo "tier1: manifests are path-only"
 # --- offline build + test -------------------------------------------
 cargo build --release --offline
 cargo test -q --offline
+# Doc examples are API contracts too (the Corrector and serve
+# quickstarts live in rustdoc) — run them explicitly.
+cargo test -q --offline --doc
 
 echo "tier1: OK"

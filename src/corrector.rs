@@ -1,0 +1,769 @@
+//! `Corrector` — the one front door for distortion correction.
+//!
+//! Earlier revisions grew a facade sprawl: `correct`,
+//! `correct_fixed`, `correct_plan*`, `build_projection*` and the
+//! `BuildCtx`-based engine builders each exposed one slice of the
+//! compile/execute split, and every caller had to know which slice it
+//! wanted and how to thread a [`RemapPlan`] between them. The
+//! [`Corrector`] builder replaces all of those entry points:
+//!
+//! ```
+//! use fisheye::prelude::*;
+//!
+//! let lens = FisheyeLens::equidistant_fov(640, 480, 180.0);
+//! let view = PerspectiveView::centered(320, 240, 90.0);
+//! let corrector = Corrector::builder()
+//!     .lens(lens)
+//!     .view(view)
+//!     .backend(EngineSpec::Serial)
+//!     .build()?;
+//!
+//! let frame = fisheye::img::scene::random_gray(640, 480, 1);
+//! let mut out = Image::new(320, 240);
+//! let report = corrector.correct_into(&frame, &mut out)?;
+//! assert_eq!(report.backend, "serial");
+//! # Ok::<(), fisheye::Error>(())
+//! ```
+//!
+//! `build()` does the expensive work exactly once — trace the map,
+//! compile the [`RemapPlan`], resolve the [`EngineSpec`] to an engine
+//! — so the per-frame call is nothing but plan execution. View
+//! changes go through [`Corrector::set_view`] (recompile) or, in the
+//! serving layer, [`Corrector::set_plan`] (adopt a cached plan
+//! compiled by another session — the same `Arc<RemapPlan>` serves
+//! every tenant with that view).
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::cell::{CellConfig, CellEngine};
+use crate::core::engine::{build_host, CorrectionEngine, EngineError, EngineSpec, HostCtx};
+use crate::core::plan::plan_request_digest;
+use crate::core::{FrameReport, Interpolator, PlanOptions, RemapMap, RemapPlan};
+use crate::error::Error;
+use crate::geom::{FisheyeLens, OutputProjection, PerspectiveView};
+use crate::gpu::{GpuConfig, GpuEngine};
+use crate::img::{Gray8, GrayF32, Image};
+
+/// Everything [`CorrectorPixel::resolve_engine`] needs to build an
+/// engine: host resources plus the accelerator machine descriptions.
+/// Public because the trait method signature must name it; built by
+/// the corrector, not by users.
+#[doc(hidden)]
+#[derive(Clone, Copy)]
+pub struct ResolveCtx<'a> {
+    /// Interpolation kernel for the float paths.
+    pub interp: Interpolator,
+    /// Worker threads for `smp` engines.
+    pub threads: usize,
+    /// Lens + view, required by `direct`.
+    pub geometry: Option<(&'a FisheyeLens, &'a PerspectiveView)>,
+    /// Cell machine description.
+    pub cell: CellConfig,
+    /// GPU machine description.
+    pub gpu: GpuConfig,
+}
+
+impl<'a> ResolveCtx<'a> {
+    fn host(&self) -> HostCtx<'a> {
+        HostCtx {
+            interp: self.interp,
+            threads: self.threads,
+            geometry: self.geometry,
+        }
+    }
+}
+
+/// Pixel types the [`Corrector`] can serve: each knows how to resolve
+/// any [`EngineSpec`] — host or accelerator — for itself.
+pub trait CorrectorPixel: crate::core::engine::EnginePixel + 'static {
+    /// Resolve `spec` to a boxed engine for this pixel type, or
+    /// explain why the combination has no implementation.
+    #[doc(hidden)]
+    fn resolve_engine(
+        spec: &EngineSpec,
+        ctx: &ResolveCtx<'_>,
+    ) -> Result<Box<dyn CorrectionEngine<Self>>, EngineError>;
+}
+
+/// Every registry spec resolves for byte-gray frames.
+impl CorrectorPixel for Gray8 {
+    fn resolve_engine(
+        spec: &EngineSpec,
+        ctx: &ResolveCtx<'_>,
+    ) -> Result<Box<dyn CorrectionEngine<Gray8>>, EngineError> {
+        match spec {
+            EngineSpec::Cell { .. } => Ok(Box::new(CellEngine::from_spec(spec, ctx.cell)?)),
+            EngineSpec::Gpu { .. } => {
+                Ok(Box::new(GpuEngine::from_spec(spec, ctx.gpu, ctx.interp)?))
+            }
+            _ => build_host::<Gray8>(spec, &ctx.host()),
+        }
+    }
+}
+
+/// Float frames: the integer datapaths (`fixed`, `cell`) have no
+/// float implementation and resolve to
+/// [`EngineError::Unsupported`].
+impl CorrectorPixel for GrayF32 {
+    fn resolve_engine(
+        spec: &EngineSpec,
+        ctx: &ResolveCtx<'_>,
+    ) -> Result<Box<dyn CorrectionEngine<GrayF32>>, EngineError> {
+        match spec {
+            EngineSpec::Cell { .. } => Err(EngineError::unsupported(
+                spec.name(),
+                "the Cell SPE kernel is the byte-wise fixed-point datapath",
+            )),
+            EngineSpec::Gpu { .. } => {
+                Ok(Box::new(GpuEngine::from_spec(spec, ctx.gpu, ctx.interp)?))
+            }
+            _ => build_host::<GrayF32>(spec, &ctx.host()),
+        }
+    }
+}
+
+/// What the corrector renders: a pan/tilt/zoom perspective view (the
+/// common case, PTZ-changeable) or a fixed panoramic projection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Target {
+    View(PerspectiveView),
+    Projection(OutputProjection),
+}
+
+impl Target {
+    fn out_dims(&self) -> (u32, u32) {
+        match self {
+            Target::View(v) => (v.width, v.height),
+            Target::Projection(p) => p.dims(),
+        }
+    }
+}
+
+/// Builder for [`Corrector`]; see the module docs for the canonical
+/// usage. Construct with [`Corrector::builder`].
+pub struct CorrectorBuilder<P: CorrectorPixel = Gray8> {
+    lens: Option<FisheyeLens>,
+    target: Option<Target>,
+    source: Option<(u32, u32)>,
+    spec: EngineSpec,
+    interp: Interpolator,
+    threads: usize,
+    cell: CellConfig,
+    gpu: GpuConfig,
+    plan: Option<Arc<RemapPlan>>,
+    _pixel: PhantomData<P>,
+}
+
+impl<P: CorrectorPixel> Default for CorrectorBuilder<P> {
+    fn default() -> Self {
+        CorrectorBuilder {
+            lens: None,
+            target: None,
+            source: None,
+            spec: EngineSpec::Serial,
+            interp: Interpolator::Bilinear,
+            threads: 4,
+            cell: CellConfig::default(),
+            gpu: GpuConfig::default(),
+            plan: None,
+            _pixel: PhantomData,
+        }
+    }
+}
+
+impl<P: CorrectorPixel> CorrectorBuilder<P> {
+    /// The fisheye camera producing the source frames (required).
+    pub fn lens(mut self, lens: FisheyeLens) -> Self {
+        self.lens = Some(lens);
+        self
+    }
+
+    /// The corrected perspective view to render (this or
+    /// [`projection`](Self::projection) is required).
+    pub fn view(mut self, view: PerspectiveView) -> Self {
+        self.target = Some(Target::View(view));
+        self
+    }
+
+    /// Render a panoramic projection instead of a perspective view
+    /// (replaces the old `build_projection*` free functions).
+    pub fn projection(mut self, proj: OutputProjection) -> Self {
+        self.target = Some(Target::Projection(proj));
+        self
+    }
+
+    /// Source frame dimensions. Defaults to the lens's sensor size
+    /// inferred from its optical center (`2·cx × 2·cy`), which is
+    /// exact for every `*_fov` lens constructor.
+    pub fn source(mut self, width: u32, height: u32) -> Self {
+        self.source = Some((width, height));
+        self
+    }
+
+    /// Execution backend (default [`EngineSpec::Serial`]). Accepts
+    /// anything in [`EngineSpec::registry`] plus parameterized forms.
+    pub fn backend(mut self, spec: EngineSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Interpolation kernel for the float paths (default bilinear).
+    pub fn interp(mut self, interp: Interpolator) -> Self {
+        self.interp = interp;
+        self
+    }
+
+    /// Worker threads for the `smp` backends (default 4).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Cell machine description for `cell` specs.
+    pub fn cell_config(mut self, cell: CellConfig) -> Self {
+        self.cell = cell;
+        self
+    }
+
+    /// GPU machine description for `gpu` specs.
+    pub fn gpu_config(mut self, gpu: GpuConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Adopt an already-compiled plan instead of compiling one
+    /// (the serving layer injects its cache's `Arc<RemapPlan>` here).
+    /// The plan must match the view and source dimensions or
+    /// [`build`](Self::build) reports [`Error::Config`].
+    pub fn plan(mut self, plan: Arc<RemapPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Compile the plan (unless injected), resolve the engine, and
+    /// return the ready corrector. All validation happens here —
+    /// nothing in the builder chain panics on bad input.
+    pub fn build(self) -> Result<Corrector<P>, Error> {
+        let lens = self
+            .lens
+            .ok_or_else(|| Error::config("Corrector::builder(): .lens(..) is required"))?;
+        let target = self.target.ok_or_else(|| {
+            Error::config("Corrector::builder(): .view(..) or .projection(..) is required")
+        })?;
+        let (src_w, src_h) = match self.source {
+            Some(dims) => dims,
+            None => {
+                let w = (lens.cx * 2.0).round();
+                let h = (lens.cy * 2.0).round();
+                if !(w >= 1.0 && h >= 1.0 && w <= u32::MAX as f64 && h <= u32::MAX as f64) {
+                    return Err(Error::config(format!(
+                        "cannot infer source dims from lens center ({}, {}); \
+                         pass .source(w, h)",
+                        lens.cx, lens.cy
+                    )));
+                }
+                (w as u32, h as u32)
+            }
+        };
+        if src_w == 0 || src_h == 0 {
+            return Err(Error::config("source dimensions must be positive"));
+        }
+        let (out_w, out_h) = target.out_dims();
+        if out_w == 0 || out_h == 0 {
+            return Err(Error::config("output dimensions must be positive"));
+        }
+        if self.threads == 0 {
+            return Err(Error::config("thread count must be positive"));
+        }
+        if let EngineSpec::Smp { schedule } = self.spec {
+            let ok = match schedule {
+                crate::par::Schedule::Static { chunk } => chunk.is_none_or(|c| c > 0),
+                crate::par::Schedule::Dynamic { chunk } => chunk > 0,
+                crate::par::Schedule::Guided { min_chunk } => min_chunk > 0,
+            };
+            if !ok {
+                return Err(Error::config("smp schedule chunk must be positive"));
+            }
+        }
+        let engine = {
+            let geometry = match &target {
+                Target::View(v) => Some((&lens, v)),
+                Target::Projection(_) => None,
+            };
+            P::resolve_engine(
+                &self.spec,
+                &ResolveCtx {
+                    interp: self.interp,
+                    threads: self.threads,
+                    geometry,
+                    cell: self.cell,
+                    gpu: self.gpu,
+                },
+            )?
+        };
+        let opts = PlanOptions::for_spec(&self.spec, self.interp);
+        let (plan, plan_injected, map_time, plan_time) = match self.plan {
+            Some(plan) => {
+                check_plan_matches(&plan, (out_w, out_h), (src_w, src_h))?;
+                (plan, true, Duration::ZERO, Duration::ZERO)
+            }
+            None => {
+                let t0 = Instant::now();
+                let map = match &target {
+                    Target::View(v) => RemapMap::build(&lens, v, src_w, src_h),
+                    Target::Projection(p) => RemapMap::build_projection(&lens, p, src_w, src_h),
+                };
+                let map_time = t0.elapsed();
+                let t1 = Instant::now();
+                let plan = Arc::new(RemapPlan::compile(&map, opts));
+                (plan, false, map_time, t1.elapsed())
+            }
+        };
+        Ok(Corrector {
+            lens,
+            target,
+            src_w,
+            src_h,
+            spec: self.spec,
+            interp: self.interp,
+            threads: self.threads,
+            cell: self.cell,
+            gpu: self.gpu,
+            engine,
+            plan,
+            plan_injected,
+            map_time,
+            plan_time,
+        })
+    }
+}
+
+/// Shared validation for injected plans: dimensions must agree with
+/// what the corrector renders and reads.
+fn check_plan_matches(
+    plan: &RemapPlan,
+    (out_w, out_h): (u32, u32),
+    (src_w, src_h): (u32, u32),
+) -> Result<(), Error> {
+    if (plan.width(), plan.height()) != (out_w, out_h) {
+        return Err(Error::config(format!(
+            "injected plan renders {}x{}, corrector outputs {out_w}x{out_h}",
+            plan.width(),
+            plan.height()
+        )));
+    }
+    if plan.src_dims() != (src_w, src_h) {
+        return Err(Error::config(format!(
+            "injected plan reads {}x{} sources, corrector expects {src_w}x{src_h}",
+            plan.src_dims().0,
+            plan.src_dims().1
+        )));
+    }
+    Ok(())
+}
+
+/// A compiled, ready-to-run correction path: lens + view + plan +
+/// engine, built once by [`CorrectorBuilder::build`]. See the module
+/// docs.
+pub struct Corrector<P: CorrectorPixel = Gray8> {
+    lens: FisheyeLens,
+    target: Target,
+    src_w: u32,
+    src_h: u32,
+    spec: EngineSpec,
+    interp: Interpolator,
+    threads: usize,
+    cell: CellConfig,
+    gpu: GpuConfig,
+    engine: Box<dyn CorrectionEngine<P>>,
+    plan: Arc<RemapPlan>,
+    plan_injected: bool,
+    map_time: Duration,
+    plan_time: Duration,
+}
+
+impl<P: CorrectorPixel> Corrector<P> {
+    /// Start building a corrector (see the module docs).
+    pub fn builder() -> CorrectorBuilder<P> {
+        CorrectorBuilder::default()
+    }
+
+    /// Correct one frame into a caller-supplied buffer. This is the
+    /// steady-state path: no allocation, no map work — just plan
+    /// execution on the chosen backend.
+    pub fn correct_into(&self, src: &Image<P>, out: &mut Image<P>) -> Result<FrameReport, Error> {
+        Ok(self.engine.correct_frame(src, &self.plan, out)?)
+    }
+
+    /// Correct one frame into a freshly allocated output image.
+    pub fn correct(&self, src: &Image<P>) -> Result<(Image<P>, FrameReport), Error> {
+        let (w, h) = self.target.out_dims();
+        let mut out = Image::new(w, h);
+        let report = self.correct_into(src, &mut out)?;
+        Ok((out, report))
+    }
+
+    /// Point the corrector at a new perspective view, recompiling the
+    /// map and plan (the per-view-change cost; frames stay cheap).
+    /// Reports [`Error::Config`] on a projection-target corrector.
+    pub fn set_view(&mut self, view: PerspectiveView) -> Result<(), Error> {
+        if view.width == 0 || view.height == 0 {
+            return Err(Error::config("view dimensions must be positive"));
+        }
+        match self.target {
+            Target::View(old) => {
+                self.target = Target::View(view);
+                if let Err(e) = self.rebuild_engine() {
+                    self.target = Target::View(old);
+                    return Err(e);
+                }
+                self.plan_injected = false;
+                self.recompile();
+                Ok(())
+            }
+            Target::Projection(_) => Err(Error::config(
+                "set_view on a projection corrector; build a new one",
+            )),
+        }
+    }
+
+    /// Switch interpolation kernel (the serve layer's degradation
+    /// ladder walks bicubic → bilinear → nearest through this).
+    /// Rebuilds the engine; recompiles the plan only when it was
+    /// compiled here (an injected cache plan is left alone — its
+    /// footprints were sized for the original kernel, which can only
+    /// over-cover after a downgrade).
+    pub fn set_interp(&mut self, interp: Interpolator) -> Result<(), Error> {
+        if interp == self.interp {
+            return Ok(());
+        }
+        let before = self.interp;
+        self.interp = interp;
+        if let Err(e) = self.rebuild_engine() {
+            self.interp = before;
+            // restore the old engine: the previous build succeeded, so
+            // this cannot fail; if it somehow does, surface that error
+            self.rebuild_engine()?;
+            return Err(e);
+        }
+        if !self.plan_injected {
+            self.recompile();
+        }
+        Ok(())
+    }
+
+    /// Adopt a plan compiled elsewhere (the serving layer's shared
+    /// cache) for a new view. The plan must have been compiled for
+    /// `view` over this corrector's source dimensions.
+    pub fn set_plan(&mut self, view: PerspectiveView, plan: Arc<RemapPlan>) -> Result<(), Error> {
+        match self.target {
+            Target::View(_) => {
+                let old = self.target;
+                self.target = Target::View(view);
+                if let Err(e) = self.adopt_plan(plan) {
+                    self.target = old;
+                    return Err(e);
+                }
+                self.rebuild_engine()
+            }
+            Target::Projection(_) => Err(Error::config(
+                "set_plan on a projection corrector; build a new one",
+            )),
+        }
+    }
+
+    /// The compiled plan, shareable across correctors serving the
+    /// same view (`Arc`-cheap).
+    pub fn plan(&self) -> &Arc<RemapPlan> {
+        &self.plan
+    }
+
+    /// Pre-compile digest of this corrector's (lens, view, source,
+    /// options) request — the key a plan cache files its plan under.
+    /// `None` for projection targets, which are not cache-keyed.
+    pub fn request_digest(&self) -> Option<u64> {
+        match &self.target {
+            Target::View(v) => Some(plan_request_digest(
+                &self.lens,
+                v,
+                self.src_w,
+                self.src_h,
+                &self.plan_options(),
+            )),
+            Target::Projection(_) => None,
+        }
+    }
+
+    /// The backend spec frames run on.
+    pub fn spec(&self) -> EngineSpec {
+        self.spec
+    }
+
+    /// The active interpolation kernel.
+    pub fn interp(&self) -> Interpolator {
+        self.interp
+    }
+
+    /// The lens frames are corrected against.
+    pub fn lens(&self) -> FisheyeLens {
+        self.lens
+    }
+
+    /// The perspective view being rendered (`None` for projections).
+    pub fn view(&self) -> Option<PerspectiveView> {
+        match self.target {
+            Target::View(v) => Some(v),
+            Target::Projection(_) => None,
+        }
+    }
+
+    /// Source frame dimensions `(w, h)` this corrector expects.
+    pub fn source_dims(&self) -> (u32, u32) {
+        (self.src_w, self.src_h)
+    }
+
+    /// Output dimensions `(w, h)` of corrected frames.
+    pub fn out_dims(&self) -> (u32, u32) {
+        self.target.out_dims()
+    }
+
+    /// Wall time of the last map trace (zero when the plan was
+    /// injected).
+    pub fn map_time(&self) -> Duration {
+        self.map_time
+    }
+
+    /// Wall time of the last plan compilation (zero when injected).
+    pub fn plan_time(&self) -> Duration {
+        self.plan_time
+    }
+
+    fn plan_options(&self) -> PlanOptions {
+        PlanOptions::for_spec(&self.spec, self.interp)
+    }
+
+    fn rebuild_engine(&mut self) -> Result<(), Error> {
+        let geometry = match &self.target {
+            Target::View(v) => Some((&self.lens, v)),
+            Target::Projection(_) => None,
+        };
+        self.engine = P::resolve_engine(
+            &self.spec,
+            &ResolveCtx {
+                interp: self.interp,
+                threads: self.threads,
+                geometry,
+                cell: self.cell,
+                gpu: self.gpu,
+            },
+        )?;
+        Ok(())
+    }
+
+    fn recompile(&mut self) {
+        let t0 = Instant::now();
+        let map = match &self.target {
+            Target::View(v) => RemapMap::build(&self.lens, v, self.src_w, self.src_h),
+            Target::Projection(p) => {
+                RemapMap::build_projection(&self.lens, p, self.src_w, self.src_h)
+            }
+        };
+        self.map_time = t0.elapsed();
+        let t1 = Instant::now();
+        self.plan = Arc::new(RemapPlan::compile(&map, self.plan_options()));
+        self.plan_time = t1.elapsed();
+        self.plan_injected = false;
+    }
+
+    fn adopt_plan(&mut self, plan: Arc<RemapPlan>) -> Result<(), Error> {
+        check_plan_matches(&plan, self.target.out_dims(), (self.src_w, self.src_h))?;
+        self.plan = plan;
+        self.plan_injected = true;
+        self.map_time = Duration::ZERO;
+        self.plan_time = Duration::ZERO;
+        Ok(())
+    }
+}
+
+impl<P: CorrectorPixel> std::fmt::Debug for Corrector<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Corrector")
+            .field("spec", &self.spec.name())
+            .field("interp", &self.interp)
+            .field("target", &self.target)
+            .field("src", &(self.src_w, self.src_h))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::engine::EngineSpec;
+
+    fn lens_view() -> (FisheyeLens, PerspectiveView) {
+        (
+            FisheyeLens::equidistant_fov(64, 48, 180.0),
+            PerspectiveView::centered(32, 24, 90.0),
+        )
+    }
+
+    #[test]
+    fn builder_requires_lens_and_view() {
+        let (lens, view) = lens_view();
+        let e = Corrector::<Gray8>::builder()
+            .view(view)
+            .build()
+            .unwrap_err();
+        assert_eq!(e.kind(), crate::ErrorKind::Config);
+        let e = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .build()
+            .unwrap_err();
+        assert_eq!(e.kind(), crate::ErrorKind::Config);
+    }
+
+    #[test]
+    fn source_dims_default_from_lens_center() {
+        let (lens, view) = lens_view();
+        let c = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .build()
+            .unwrap();
+        assert_eq!(c.source_dims(), (64, 48));
+        assert_eq!(c.out_dims(), (32, 24));
+    }
+
+    #[test]
+    fn corrects_matching_the_engine_layer() {
+        let (lens, view) = lens_view();
+        let src = crate::img::scene::random_gray(64, 48, 7);
+        let c = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .build()
+            .unwrap();
+        let (out, report) = c.correct(&src).unwrap();
+        assert_eq!(report.backend, "serial");
+        let map = RemapMap::build(&lens, &view, 64, 48);
+        let reference = crate::core::correct(&src, &map, Interpolator::Bilinear);
+        assert_eq!(out.pixels(), reference.pixels());
+    }
+
+    #[test]
+    fn set_view_recompiles_and_changes_digest() {
+        let (lens, view) = lens_view();
+        let mut c = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .build()
+            .unwrap();
+        let d0 = c.request_digest().unwrap();
+        let mut panned = view;
+        panned.pan = 0.3;
+        c.set_view(panned).unwrap();
+        assert_ne!(c.request_digest().unwrap(), d0);
+        let src = crate::img::scene::random_gray(64, 48, 7);
+        let (out, _) = c.correct(&src).unwrap();
+        assert_eq!(out.dims(), (32, 24));
+    }
+
+    #[test]
+    fn injected_plan_is_validated_and_shared() {
+        let (lens, view) = lens_view();
+        let map = RemapMap::build(&lens, &view, 64, 48);
+        let plan = Arc::new(RemapPlan::compile(
+            &map,
+            PlanOptions::for_spec(&EngineSpec::Serial, Interpolator::Bilinear),
+        ));
+        let c = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .plan(Arc::clone(&plan))
+            .build()
+            .unwrap();
+        assert_eq!(c.plan().digest(), plan.digest());
+        assert_eq!(c.plan_time(), Duration::ZERO);
+
+        let wrong_view = PerspectiveView::centered(16, 12, 90.0);
+        let e = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(wrong_view)
+            .plan(plan)
+            .build()
+            .unwrap_err();
+        assert_eq!(e.kind(), crate::ErrorKind::Config);
+    }
+
+    #[test]
+    fn interp_downgrade_keeps_injected_plan() {
+        let (lens, view) = lens_view();
+        let map = RemapMap::build(&lens, &view, 64, 48);
+        let plan = Arc::new(RemapPlan::compile(
+            &map,
+            PlanOptions::for_spec(&EngineSpec::Serial, Interpolator::Bicubic),
+        ));
+        let mut c = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .interp(Interpolator::Bicubic)
+            .plan(Arc::clone(&plan))
+            .build()
+            .unwrap();
+        c.set_interp(Interpolator::Nearest).unwrap();
+        assert_eq!(c.plan().digest(), plan.digest(), "injected plan kept");
+        let src = crate::img::scene::random_gray(64, 48, 7);
+        let map = RemapMap::build(&lens, &view, 64, 48);
+        let reference = crate::core::correct(&src, &map, Interpolator::Nearest);
+        let (out, _) = c.correct(&src).unwrap();
+        assert_eq!(out.pixels(), reference.pixels());
+    }
+
+    #[test]
+    fn projection_target_replaces_build_projection() {
+        let (lens, _) = lens_view();
+        let proj = OutputProjection::cylinder_180(64, 24, 30.0);
+        let c = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .projection(proj)
+            .build()
+            .unwrap();
+        assert_eq!(c.out_dims(), (64, 24));
+        assert!(c.request_digest().is_none());
+        let src = crate::img::scene::random_gray(64, 48, 7);
+        let map = RemapMap::build_projection(&lens, &proj, 64, 48);
+        let reference = crate::core::correct(&src, &map, Interpolator::Bilinear);
+        let (out, _) = c.correct(&src).unwrap();
+        assert_eq!(out.pixels(), reference.pixels());
+    }
+
+    #[test]
+    fn float_corrector_rejects_integer_datapaths() {
+        let (lens, view) = lens_view();
+        for name in ["fixed", "cell"] {
+            let spec: EngineSpec = name.parse().unwrap();
+            let e = Corrector::<GrayF32>::builder()
+                .lens(lens)
+                .view(view)
+                .backend(spec)
+                .build()
+                .unwrap_err();
+            assert_eq!(e.kind(), crate::ErrorKind::Engine, "{name}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_a_config_error_not_a_panic() {
+        let (lens, view) = lens_view();
+        let e = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .threads(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(e.kind(), crate::ErrorKind::Config);
+    }
+}

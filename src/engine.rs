@@ -1,12 +1,17 @@
-//! All-backend engine construction.
+//! All-backend engine construction (superseded by
+//! [`Corrector`](crate::Corrector)).
 //!
 //! `fisheye_core::engine` defines the [`CorrectionEngine`] trait and
 //! builds the host paths, but it cannot see the accelerator models
 //! (`cellsim`/`gpusim` depend on it, not the other way around). This
 //! module sits at the top of the dependency graph and resolves *any*
-//! [`EngineSpec`] — host or accelerator — to a boxed engine, which is
-//! what the CLI's `--backend` flag and the platform-consistency tests
-//! use. The spec names are exactly what [`registry`] reports.
+//! [`EngineSpec`] — host or accelerator — to a boxed engine. The spec
+//! names are exactly what [`registry`] reports.
+//!
+//! Since PR 4 the [`Corrector`](crate::Corrector) builder does this
+//! resolution (plus map tracing and plan compilation) behind one
+//! entry point; `BuildCtx`/`build_gray8`/`build_gray_f32` remain as
+//! deprecated shims for code that manages plans by hand.
 
 use crate::cell::{CellConfig, CellEngine};
 use crate::core::engine::{build_host, CorrectionEngine, EngineError, EngineSpec, HostCtx};
@@ -25,6 +30,10 @@ pub fn registry() -> Vec<EngineSpec> {
 
 /// Everything needed to build any backend: host resources plus the
 /// accelerator machine descriptions.
+#[deprecated(
+    since = "0.4.0",
+    note = "use fisheye::Corrector::builder(), which carries this context internally"
+)]
 #[derive(Clone, Copy)]
 pub struct BuildCtx<'a> {
     /// Interpolation kernel for the float paths.
@@ -39,6 +48,7 @@ pub struct BuildCtx<'a> {
     pub gpu: GpuConfig,
 }
 
+#[allow(deprecated)]
 impl Default for BuildCtx<'_> {
     fn default() -> Self {
         BuildCtx {
@@ -51,6 +61,7 @@ impl Default for BuildCtx<'_> {
     }
 }
 
+#[allow(deprecated)]
 impl<'a> BuildCtx<'a> {
     fn host(&self) -> HostCtx<'a> {
         HostCtx {
@@ -63,6 +74,11 @@ impl<'a> BuildCtx<'a> {
 
 /// Build any backend for `Gray8` frames — every registry spec
 /// resolves for this type.
+#[deprecated(
+    since = "0.4.0",
+    note = "use fisheye::Corrector::builder().backend(spec).build()"
+)]
+#[allow(deprecated)]
 pub fn build_gray8(
     spec: &EngineSpec,
     ctx: &BuildCtx,
@@ -77,6 +93,11 @@ pub fn build_gray8(
 /// Build a backend for `GrayF32` frames. The integer datapaths
 /// (`fixed`, `cell`) have no float implementation and return
 /// [`EngineError::Unsupported`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use fisheye::Corrector::<GrayF32>::builder().backend(spec).build()"
+)]
+#[allow(deprecated)]
 pub fn build_gray_f32(
     spec: &EngineSpec,
     ctx: &BuildCtx,
@@ -92,6 +113,7 @@ pub fn build_gray_f32(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until they are removed
 mod tests {
     use super::*;
 

@@ -17,7 +17,14 @@
 //! | [`stream`] | the streaming/FPGA platform model |
 //! | [`video`] | the real-time video pipeline |
 //!
+//! (The multi-session serving layer lives in the `fisheye-serve`
+//! crate, which builds on this facade's [`Corrector`].)
+//!
 //! ## Quickstart
+//!
+//! The one entry point is [`Corrector`]: name the lens, the view you
+//! want, and the backend; `build()` compiles the remap plan once and
+//! every frame after that is pure plan execution.
 //!
 //! ```
 //! use fisheye::prelude::*;
@@ -26,15 +33,25 @@
 //! let lens = FisheyeLens::equidistant_fov(640, 480, 180.0);
 //! // the corrected view an operator wants: straight ahead, 90° hFOV
 //! let view = PerspectiveView::centered(640, 480, 90.0);
-//! // phase 1: build the remap LUT (reused until the view changes)
-//! let map = RemapMap::build(&lens, &view, 640, 480);
-//! // phase 2: correct frames
+//! let corrector = Corrector::builder().lens(lens).view(view).build()?;
+//!
 //! let frame = fisheye::img::scene::random_gray(640, 480, 1);
-//! let corrected = fisheye::core::correct(&frame, &map, Interpolator::Bilinear);
-//! assert_eq!(corrected.dims(), (640, 480));
+//! let mut out = Image::new(640, 480);
+//! let report = corrector.correct_into(&frame, &mut out)?;
+//! assert_eq!(out.dims(), (640, 480));
+//! assert_eq!(report.backend, "serial");
+//! # Ok::<(), fisheye::Error>(())
 //! ```
+//!
+//! Switch backends by passing any registry spec to
+//! [`CorrectorBuilder::backend`] — `"smp"`, `"fixed"`, `"simd"`,
+//! `"cell"`, `"gpu"` — parsed from strings via
+//! [`EngineSpec`](crate::core::EngineSpec)'s `FromStr` if they arrive
+//! from a command line.
 
+pub mod corrector;
 pub mod engine;
+pub mod error;
 
 pub use cellsim as cell;
 pub use fisheye_core as core;
@@ -47,21 +64,31 @@ pub use pixmap as img;
 pub use streamsim as stream;
 pub use videopipe as video;
 
-/// The most commonly used items in one import.
+pub use corrector::{Corrector, CorrectorBuilder, CorrectorPixel};
+pub use error::{Error, ErrorKind};
+
+/// The most commonly used items in one import. This surface is
+/// pinned by `tests/api_surface.rs` — additions are deliberate,
+/// removals are breaking.
 pub mod prelude {
     pub use crate::core::{
-        correct, correct_fixed, correct_parallel, CorrectionEngine, CorrectionPipeline, EngineSpec,
-        FixedRemapMap, FrameReport, Interpolator, PipelineConfig, PlanOptions, RemapMap, RemapPlan,
-        TilePlan,
+        CorrectionEngine, CorrectionPipeline, EngineSpec, FixedRemapMap, FrameReport, Interpolator,
+        PipelineConfig, PlanOptions, RemapMap, RemapPlan, TilePlan,
     };
-    pub use crate::geom::{BrownConrady, FisheyeLens, LensModel, PerspectiveView};
-    pub use crate::img::{Gray8, Image, Pixel, Rgb8};
+    pub use crate::corrector::{Corrector, CorrectorBuilder, CorrectorPixel};
+    pub use crate::error::{Error, ErrorKind};
+    pub use crate::geom::{
+        BrownConrady, FisheyeLens, LensModel, OutputProjection, PerspectiveView,
+    };
+    pub use crate::img::{FramePool, Gray8, GrayF32, Image, Pixel, Rgb8};
     pub use crate::par::{Schedule, ThreadPool};
 }
 
-/// One-call correction for simple uses: build the LUT and correct a
-/// single frame. For video, hold a [`core::CorrectionPipeline`]
-/// instead so the LUT is reused.
+/// One-call correction for simple uses.
+#[deprecated(
+    since = "0.4.0",
+    note = "build a fisheye::Corrector once and call correct_into per frame"
+)]
 pub fn undistort<P: img::Pixel>(
     frame: &img::Image<P>,
     lens: &geom::FisheyeLens,
@@ -73,16 +100,79 @@ pub fn undistort<P: img::Pixel>(
     core::correct(frame, &map, interp)
 }
 
+/// Thin wrapper over [`core::correct()`] kept for migration.
+#[deprecated(
+    since = "0.4.0",
+    note = "use fisheye::Corrector::builder().lens(..).view(..).build()"
+)]
+pub fn correct<P: img::Pixel>(
+    src: &img::Image<P>,
+    map: &core::RemapMap,
+    interp: core::Interpolator,
+) -> img::Image<P> {
+    core::correct(src, map, interp)
+}
+
+/// Thin wrapper over [`core::correct_fixed`] kept for migration.
+#[deprecated(
+    since = "0.4.0",
+    note = "use fisheye::Corrector with .backend(EngineSpec::FixedPoint { .. })"
+)]
+pub fn correct_fixed(
+    src: &img::Image<img::Gray8>,
+    map: &core::FixedRemapMap,
+) -> img::Image<img::Gray8> {
+    core::correct_fixed(src, map)
+}
+
+/// Thin wrapper over [`core::correct_plan`] kept for migration.
+#[deprecated(
+    since = "0.4.0",
+    note = "use fisheye::Corrector, which compiles and executes the plan for you"
+)]
+pub fn correct_plan<P: img::Pixel>(
+    src: &img::Image<P>,
+    plan: &core::RemapPlan,
+    interp: core::Interpolator,
+) -> img::Image<P> {
+    core::correct_plan(src, plan, interp)
+}
+
+/// Thin wrapper over [`core::RemapMap::build_projection`] kept for
+/// migration.
+#[deprecated(
+    since = "0.4.0",
+    note = "use fisheye::Corrector::builder().projection(..), which compiles the plan too"
+)]
+pub fn build_projection(
+    lens: &geom::FisheyeLens,
+    proj: &geom::OutputProjection,
+    src_w: u32,
+    src_h: u32,
+) -> core::RemapMap {
+    core::RemapMap::build_projection(lens, proj, src_w, src_h)
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
 
     #[test]
-    fn undistort_one_call() {
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
         let lens = FisheyeLens::equidistant_fov(64, 48, 180.0);
         let view = PerspectiveView::centered(32, 24, 90.0);
         let frame = crate::img::scene::random_gray(64, 48, 1);
         let out = crate::undistort(&frame, &lens, &view, Interpolator::Bilinear);
         assert_eq!(out.dims(), (32, 24));
+        let corrector = Corrector::builder().lens(lens).view(view).build().unwrap();
+        let (via_corrector, _) = corrector.correct(&frame).unwrap();
+        assert_eq!(out.pixels(), via_corrector.pixels());
+
+        let map = RemapMap::build(&lens, &view, 64, 48);
+        assert_eq!(
+            crate::correct(&frame, &map, Interpolator::Bilinear).pixels(),
+            via_corrector.pixels()
+        );
     }
 }

@@ -1,0 +1,120 @@
+//! Pin the public API surface of the `fisheye` facade crate.
+//!
+//! Two properties are under test:
+//!
+//! 1. **The prelude is complete and stable.** The explicit use-list
+//!    below is the contract: everything a downstream crate needs for
+//!    the common paths — building a [`Corrector`], handling
+//!    [`Error`], picking a backend, pooling frames — importable from
+//!    `fisheye::prelude` alone. Removing or renaming any of these is
+//!    a compile failure here first.
+//! 2. **`EngineSpec` names round-trip.** `Display` output parses back
+//!    to the same spec for every registry entry (and the parameterised
+//!    forms), so specs can travel through CLIs, configs and cache
+//!    keys as plain strings.
+
+#![allow(unused_imports)]
+
+use fisheye::prelude::{
+    // geom: lens and view models
+    BrownConrady,
+    // core: plans, maps, engines, pipeline
+    CorrectionEngine,
+    CorrectionPipeline,
+    // corrector: the single entry point for correction
+    Corrector,
+    CorrectorBuilder,
+    CorrectorPixel,
+    EngineSpec,
+    // error: the unified error type
+    Error,
+    ErrorKind,
+    FisheyeLens,
+    FixedRemapMap,
+    // img: pixel formats, frames, pooling
+    FramePool,
+    FrameReport,
+    Gray8,
+    GrayF32,
+    Image,
+    Interpolator,
+    LensModel,
+    OutputProjection,
+    PerspectiveView,
+    PipelineConfig,
+    Pixel,
+    PlanOptions,
+    RemapMap,
+    RemapPlan,
+    Rgb8,
+    // par: the thread runtime
+    Schedule,
+    ThreadPool,
+    TilePlan,
+};
+
+/// Every registry spec's `Display` form parses back to itself.
+#[test]
+fn engine_spec_display_round_trips_through_fromstr() {
+    for spec in EngineSpec::registry() {
+        let shown = spec.to_string();
+        let parsed: EngineSpec = shown.parse().unwrap_or_else(|e| {
+            panic!("registry spec `{shown}` failed to re-parse: {e}");
+        });
+        assert_eq!(parsed, spec, "round trip changed `{shown}`");
+        // and the Display form is the canonical registry name
+        assert_eq!(shown, spec.name(), "Display diverges from name()");
+    }
+}
+
+/// Parameterised spellings round-trip too, not just registry defaults.
+#[test]
+fn parameterised_specs_round_trip() {
+    for name in [
+        "smp:dynamic:4",
+        "smp:guided:2",
+        "smp:static:8",
+        "cell:48x16",
+        "cell:16x16:single:q8",
+        "gpu:512",
+    ] {
+        let spec: EngineSpec = name.parse().expect(name);
+        assert_eq!(spec.to_string().parse::<EngineSpec>().expect(name), spec);
+    }
+}
+
+/// Unknown spec names are `Err`, never a panic or a silent default.
+#[test]
+fn unknown_spec_names_are_errors() {
+    for name in ["warp-drive", "", "smp:", "cell:0x0"] {
+        assert!(name.parse::<EngineSpec>().is_err(), "`{name}` parsed");
+    }
+}
+
+/// The prelude types compose: a Corrector built from prelude imports
+/// alone corrects a frame, and its failures surface as `Error` with a
+/// stable `ErrorKind`.
+#[test]
+fn prelude_is_sufficient_for_the_common_path() {
+    let lens = FisheyeLens::equidistant_fov(64, 48, 180.0);
+    let view = PerspectiveView::centered(32, 24, 90.0);
+    let corrector = Corrector::builder()
+        .lens(lens)
+        .view(view)
+        .source(64, 48)
+        .backend(EngineSpec::Serial)
+        .interp(Interpolator::Bilinear)
+        .build()
+        .expect("prelude-only build");
+    let src: Image<Gray8> = Image::new(64, 48);
+    let pool = FramePool::new(32, 24);
+    let mut out = pool.acquire();
+    let report: FrameReport = corrector.correct_into(&src, &mut out).expect("correct");
+    assert_eq!(report.backend, "serial");
+
+    let err: Error = Corrector::<Gray8>::builder()
+        .source(64, 48)
+        .build()
+        .expect_err("missing lens/view must not build");
+    assert_eq!(err.kind(), ErrorKind::Config);
+}

@@ -96,11 +96,12 @@ fn calibration_feeds_correction() {
 }
 
 #[test]
-fn undistort_facade_roundtrip() {
+fn corrector_facade_roundtrip() {
     let lens = FisheyeLens::equidistant_fov(128, 128, 180.0);
     let view = PerspectiveView::centered(64, 64, 90.0);
     let frame = fisheye::img::scene::random_gray(128, 128, 3);
-    let a = fisheye::undistort(&frame, &lens, &view, Interpolator::Bilinear);
+    let corrector = Corrector::builder().lens(lens).view(view).build().unwrap();
+    let (a, _) = corrector.correct(&frame).unwrap();
     let map = RemapMap::build(&lens, &view, 128, 128);
     let b = correct(&frame, &map, Interpolator::Bilinear);
     assert_eq!(a, b);
@@ -112,7 +113,13 @@ fn codec_roundtrip_of_corrected_output() {
     let lens = FisheyeLens::equidistant_fov(96, 96, 180.0);
     let view = PerspectiveView::centered(64, 64, 90.0);
     let frame = fisheye::img::scene::random_gray(96, 96, 4);
-    let out = fisheye::undistort(&frame, &lens, &view, Interpolator::Nearest);
+    let corrector = Corrector::builder()
+        .lens(lens)
+        .view(view)
+        .interp(Interpolator::Nearest)
+        .build()
+        .unwrap();
+    let (out, _) = corrector.correct(&frame).unwrap();
     let pgm = fisheye::img::codec::encode_pgm(&out);
     assert_eq!(fisheye::img::codec::decode_pgm(&pgm).unwrap(), out);
     let rgb: fisheye::img::Image<Rgb8> = out.convert();

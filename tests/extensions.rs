@@ -3,6 +3,7 @@
 //! dual-fisheye stitching, Y4M output.
 
 use fisheye::core::antialias::{correct_antialiased, supersampled_fraction, AaConfig};
+use fisheye::core::correct;
 use fisheye::core::stitch::{DualFisheyeRig, StitchMap};
 use fisheye::core::synth::{capture_fisheye, World};
 use fisheye::core::yuv::{correct_yuv420, YuvMaps};

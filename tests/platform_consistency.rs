@@ -1,8 +1,7 @@
 //! Cross-platform functional consistency, driven by the engine
 //! registry: every registered [`EngineSpec`] — host serial, SMP,
 //! direct, fixed-point, SIMD, Cell model, GPU model — is built
-//! through the facade's [`fisheye::engine::build_gray8`] /
-//! [`fisheye::engine::build_gray_f32`] and must reproduce its
+//! through the [`Corrector`] facade and must reproduce its
 //! numeric-class reference bit-exactly:
 //!
 //! * [`NumericClass::Float`] engines match `correct(serial)`;
@@ -10,33 +9,56 @@
 //!   `correct_fixed(&src, &map.to_fixed(frac_bits))`.
 //!
 //! Every engine executes the same single [`RemapPlan`], compiled once
-//! with the union of what the whole registry needs — the compile/
+//! with the union of what the whole registry needs and injected into
+//! each corrector via [`CorrectorBuilder::plan`] — the compile/
 //! execute split's core claim is exactly that one immutable plan
-//! serves every backend.
+//! serves every backend (and, since PR 4, every tenant).
 //!
 //! The streaming (FPGA) datapath generates its own quantized map, so
 //! it is held to a PSNR bound rather than bit-exactness.
 
-use fisheye::engine::{build_gray8, build_gray_f32, registry, BuildCtx, NumericClass};
+use std::sync::Arc;
+
+use fisheye::core::engine::NumericClass;
+use fisheye::core::{correct, correct_fixed, correct_parallel};
 use fisheye::img::metrics::psnr;
-use fisheye::img::GrayF32;
 use fisheye::prelude::*;
 use fisheye::stream::FixedMapGen;
 
-/// One plan for the whole registry.
-fn plan_for_registry(map: &RemapMap) -> RemapPlan {
-    RemapPlan::compile(
-        map,
-        PlanOptions::for_specs(&registry(), Interpolator::Bilinear),
-    )
+fn registry() -> Vec<EngineSpec> {
+    EngineSpec::registry()
 }
 
-fn workload() -> (FisheyeLens, PerspectiveView, RemapPlan, Image<Gray8>) {
+/// One plan for the whole registry.
+fn plan_for_registry(map: &RemapMap) -> Arc<RemapPlan> {
+    Arc::new(RemapPlan::compile(
+        map,
+        PlanOptions::for_specs(&registry(), Interpolator::Bilinear),
+    ))
+}
+
+fn workload() -> (FisheyeLens, PerspectiveView, Arc<RemapPlan>, Image<Gray8>) {
     let lens = FisheyeLens::equidistant_fov(256, 192, 180.0);
     let view = PerspectiveView::centered(128, 96, 90.0);
     let map = RemapMap::build(&lens, &view, 256, 192);
     let frame = fisheye::img::scene::random_gray(256, 192, 123);
     (lens, view, plan_for_registry(&map), frame)
+}
+
+/// Build a corrector for `spec` running on the shared registry plan.
+fn corrector_for(
+    spec: EngineSpec,
+    lens: FisheyeLens,
+    view: PerspectiveView,
+    plan: &Arc<RemapPlan>,
+) -> Corrector<Gray8> {
+    Corrector::builder()
+        .lens(lens)
+        .view(view)
+        .backend(spec)
+        .plan(Arc::clone(plan))
+        .build()
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name()))
 }
 
 /// The bit-exactness promise for a Gray8 frame: what the engine's
@@ -51,17 +73,12 @@ fn gray8_reference(spec: &EngineSpec, frame: &Image<Gray8>, map: &RemapMap) -> I
 #[test]
 fn every_registered_engine_bit_exact_on_gray8() {
     let (lens, view, plan, frame) = workload();
-    let ctx = BuildCtx {
-        geometry: Some((&lens, &view)),
-        ..Default::default()
-    };
     for spec in registry() {
         let name = spec.name();
-        let engine = build_gray8(&spec, &ctx).unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert_eq!(engine.name(), name, "registry name round-trips");
+        let corrector = corrector_for(spec, lens, view, &plan);
         let mut out = Image::new(128, 96);
-        let report = engine
-            .correct_frame(&frame, &plan, &mut out)
+        let report = corrector
+            .correct_into(&frame, &mut out)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(out, gray8_reference(&spec, &frame, plan.map()), "{name}");
         assert_eq!(report.backend, name);
@@ -82,17 +99,19 @@ fn float_engines_bit_exact_on_gray_f32() {
     let (lens, view, plan, frame) = workload();
     let framef: Image<GrayF32> = frame.map(GrayF32::from);
     let serial = correct(&framef, plan.map(), Interpolator::Bilinear);
-    let ctx = BuildCtx {
-        geometry: Some((&lens, &view)),
-        ..Default::default()
-    };
     for spec in registry() {
         let name = spec.name();
-        match build_gray_f32(&spec, &ctx) {
-            Ok(engine) => {
+        let built = Corrector::<GrayF32>::builder()
+            .lens(lens)
+            .view(view)
+            .backend(spec)
+            .plan(Arc::clone(&plan))
+            .build();
+        match built {
+            Ok(corrector) => {
                 let mut out = Image::new(128, 96);
-                engine
-                    .correct_frame(&framef, &plan, &mut out)
+                corrector
+                    .correct_into(&framef, &mut out)
                     .unwrap_or_else(|e| panic!("{name}: {e}"));
                 assert_eq!(out, serial, "{name}");
             }
@@ -102,6 +121,7 @@ fn float_engines_bit_exact_on_gray_f32() {
                     matches!(spec.numeric_class(), NumericClass::Fixed { .. }),
                     "{name} refused GrayF32: {e}"
                 );
+                assert_eq!(e.kind(), ErrorKind::Engine, "{name}");
             }
         }
     }
@@ -122,16 +142,12 @@ fn engines_round_trip_ragged_and_invalid_tiles() {
         "workload must include invalid entries"
     );
     let plan = plan_for_registry(&map);
-    let ctx = BuildCtx {
-        geometry: Some((&lens, &view)),
-        ..Default::default()
-    };
     for spec in registry() {
         let name = spec.name();
-        let engine = build_gray8(&spec, &ctx).unwrap();
+        let corrector = corrector_for(spec, lens, view, &plan);
         let mut out = Image::new(101, 67);
-        let report = engine
-            .correct_frame(&frame, &plan, &mut out)
+        let report = corrector
+            .correct_into(&frame, &mut out)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(out, gray8_reference(&spec, &frame, &map), "{name}");
         assert_eq!(out.pixel(0, 0), Gray8(0), "{name}: invalid corner is black");

@@ -1,6 +1,7 @@
 //! Property-based integration tests over the geometry and correction
 //! stack, on the in-tree `proputil` harness.
 
+use fisheye::core::{correct, correct_fixed, correct_parallel};
 use fisheye::geom::{FisheyeLens, LensModel, PerspectiveView, Vec3};
 use fisheye::prelude::*;
 use proputil::{ensure, ensure_eq, Gen};
