@@ -1,0 +1,7 @@
+//! Reproduce T6 — YUV420 / RGB correction cost versus grayscale on
+//! every host backend. Pass `--full` for the paper-scale run.
+
+fn main() {
+    fisheye_bench::experiments::t6_color_formats::run(fisheye_bench::Scale::from_args())
+        .emit("t6_color_formats");
+}

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use fisheye::Corrector;
 use fisheye_core::engine::EngineSpec;
+use fisheye_core::frame::{Frame, FrameFormat};
 use fisheye_core::plan::{PlanOptions, RemapPlan};
 use fisheye_core::synth::{capture_fisheye, World};
 use fisheye_core::{Interpolator, RemapMap};
@@ -26,6 +27,7 @@ USAGE:
   fisheye correct   --in FILE --out FILE [--fov DEG] [--view-fov DEG]
                     [--pan DEG] [--tilt DEG] [--out-size WxH]
                     [--interp nearest|bilinear|bicubic]
+                    [--format gray8|yuv420|rgb8]
                     [--backend NAME] [--threads N]
   fisheye panorama  --in FILE --out FILE [--mode cylindrical|equirect]
                     [--fov DEG] [--out-size WxH] [--threads N]
@@ -34,6 +36,7 @@ USAGE:
   fisheye calibrate --obs FILE          (CSV lines: theta_rad,radius_px)
   fisheye serve-sim [--sessions N] [--capacity N] [--views N] [--frames N]
                     [--size WxH] [--deadline-ms F] [--budget-ms F]
+                    [--format gray8|yuv420|rgb8]
                     [--backend NAME] [--interp NAME] [--queue N] [--threads N]
   fisheye info      --in FILE
   fisheye backends                      (list correction backends)
@@ -81,6 +84,11 @@ pub fn parse_size(s: &str) -> Result<(u32, u32), ArgError> {
     Ok((w, h))
 }
 
+/// Parse a frame-format name (the `--format` flag).
+pub fn parse_format(s: &str) -> Result<FrameFormat, ArgError> {
+    s.parse().map_err(ArgError)
+}
+
 /// Parse an interpolator name.
 pub fn parse_interp(s: &str) -> Result<Interpolator, ArgError> {
     match s {
@@ -123,12 +131,19 @@ fn capture(args: &Args) -> CmdResult {
 fn run_correct(args: &Args) -> CmdResult {
     args.allow_only(&[
         "in", "out", "fov", "view-fov", "pan", "tilt", "out-size", "interp", "threads", "backend",
+        "format",
     ])?;
     let fov: f64 = args.num("fov", 180.0)?;
     let view_fov: f64 = args.num("view-fov", 90.0)?;
     let pan: f64 = args.num("pan", 0.0)?;
     let tilt: f64 = args.num("tilt", 0.0)?;
     let interp = parse_interp(args.opt("interp", "bilinear"))?;
+    let format = parse_format(args.opt("format", "gray8"))?;
+    if format == FrameFormat::GrayF32 {
+        return Err(CliError::Usage(
+            "PGM I/O is 8-bit; --format grayf32 is not supported here".into(),
+        ));
+    }
     let mut threads: usize = args.num("threads", 1)?;
     let mut spec = EngineSpec::parse(args.opt("backend", "serial")).map_err(CliError::Usage)?;
     // back-compat: `--threads N` without an explicit backend means smp
@@ -148,31 +163,65 @@ fn run_correct(args: &Args) -> CmdResult {
 
     let lens = FisheyeLens::equidistant_fov(sw, sh, fov);
     let view = PerspectiveView::centered(ow, oh, view_fov).look(pan, tilt);
-    // the builder traces the map, compiles the plan with whatever LUT
-    // or tile artifacts the chosen backend needs, and resolves the
-    // engine — one validated handle instead of three hand-wired steps
+    // the builder traces the map(s), compiles the plan(s) with
+    // whatever LUT or tile artifacts the chosen backend needs, and
+    // resolves the engine — one validated handle instead of three
+    // hand-wired steps
     let corrector = Corrector::builder()
         .lens(lens)
         .view(view)
         .source(sw, sh)
+        .format(format)
         .backend(spec)
         .interp(interp)
         .threads(threads.max(1))
         .build()?;
-    let mut out_img = Image::new(ow, oh);
-    let report = corrector.correct_into(&input, &mut out_img)?;
-
     let out = args.req("out")?;
-    write_pgm(&out_img, out)?;
+    let report = if format == FrameFormat::Gray8 {
+        let mut out_img = Image::new(ow, oh);
+        let report = corrector.correct_into(&input, &mut out_img)?;
+        write_pgm(&out_img, out)?;
+        report
+    } else {
+        // lift the gray PGM into the requested format — neutral
+        // chroma for 4:2:0, replicated planes for RGB — and correct
+        // every plane through the frame path; the luma/first plane is
+        // what the PGM output carries
+        let frame = match format {
+            FrameFormat::Yuv420 => Frame::Yuv420(pixmap::yuv::Yuv420::from_luma(input)),
+            FrameFormat::Rgb8 => Frame::Rgb8 {
+                r: input.clone(),
+                g: input.clone(),
+                b: input,
+            },
+            _ => unreachable!("gray formats handled above"),
+        };
+        let (out_frame, report) = corrector.correct_frame(&frame)?;
+        let planes = out_frame.u8_planes().expect("byte formats only here");
+        write_pgm(planes[0], out)?;
+        report
+    };
     println!(
-        "corrected {sw}x{sh} -> {ow}x{oh} ({}, backend {}): map {:.1} ms, plan {:.1} ms, correct {:.1} ms -> {out}",
+        "corrected {sw}x{sh} -> {ow}x{oh} ({format}, {}, backend {}): map {:.1} ms, plan {:.1} ms, correct {:.1} ms -> {out}",
         interp.name(),
         report.backend,
         corrector.map_time().as_secs_f64() * 1e3,
         corrector.plan_time().as_secs_f64() * 1e3,
         report.correct_time.as_secs_f64() * 1e3
     );
-    if !report.model.is_empty() {
+    if format.is_multi_plane() {
+        let per_plane: Vec<String> = format
+            .plane_labels()
+            .iter()
+            .filter_map(|label| {
+                report
+                    .model
+                    .get(&format!("{label}.correct_ms"))
+                    .map(|ms| format!("{label} {ms:.2} ms"))
+            })
+            .collect();
+        println!("  planes: {}", per_plane.join(", "));
+    } else if !report.model.is_empty() {
         println!("  model: {}", report.model_pairs().join(" "));
     }
     Ok(())
@@ -330,6 +379,7 @@ fn serve_sim(args: &Args) -> CmdResult {
         "backend",
         "interp",
         "threads",
+        "format",
     ])?;
     let sessions: usize = args.num("sessions", 6)?;
     let capacity: usize = args.num("capacity", 4)?;
@@ -342,6 +392,12 @@ fn serve_sim(args: &Args) -> CmdResult {
     let threads: usize = args.num("threads", 4)?;
     let spec = EngineSpec::parse(args.opt("backend", "serial")).map_err(CliError::Usage)?;
     let interp = parse_interp(args.opt("interp", "bicubic"))?;
+    let format = parse_format(args.opt("format", "gray8"))?;
+    if format == FrameFormat::GrayF32 {
+        return Err(CliError::Usage(
+            "the serving layer corrects byte formats; --format grayf32 is not servable".into(),
+        ));
+    }
     if sessions == 0 || views == 0 || frames == 0 {
         return Err(CliError::Usage(
             "sessions, views and frames must be positive".into(),
@@ -371,6 +427,7 @@ fn serve_sim(args: &Args) -> CmdResult {
         let cfg = SessionConfig {
             backend: spec,
             interp,
+            format,
             ..SessionConfig::new(lens, view, (sw, sh))
         };
         match server.connect(cfg) {
@@ -381,7 +438,7 @@ fn serve_sim(args: &Args) -> CmdResult {
     }
     println!(
         "admitted {}/{sessions} sessions ({rejected} rejected at capacity {capacity}), \
-         {views} distinct views, backend {}, {}",
+         {views} distinct views, format {format}, backend {}, {}",
         admitted.len(),
         spec.name(),
         interp.name(),
@@ -390,9 +447,10 @@ fn serve_sim(args: &Args) -> CmdResult {
     let mut camera = CameraFeed::new(sw, sh, 42);
     let budget = std::time::Duration::from_secs_f64(budget_ms / 1e3);
     for _ in 0..frames {
-        let frame = camera.next_frame();
+        // one camera, N sessions: every queue holds the same Arc
+        let frame = camera.next_frame_in(format);
         for s in admitted.iter_mut() {
-            let _ = s.submit(Arc::clone(&frame));
+            let _ = s.submit_frame(Arc::clone(&frame));
         }
         pump_round(&mut admitted, budget)?;
     }
@@ -467,6 +525,14 @@ mod tests {
         assert!(parse_interp("lanczos").is_err());
     }
 
+    #[test]
+    fn format_parser() {
+        assert_eq!(parse_format("yuv420").unwrap(), FrameFormat::Yuv420);
+        assert_eq!(parse_format("rgb8").unwrap(), FrameFormat::Rgb8);
+        assert_eq!(parse_format("gray8").unwrap(), FrameFormat::Gray8);
+        assert!(parse_format("nv12").is_err());
+    }
+
     fn run(line: &str) -> CmdResult {
         dispatch(&Args::parse(line.split_whitespace().map(String::from)).unwrap())
     }
@@ -534,6 +600,46 @@ mod tests {
     }
 
     #[test]
+    fn correct_accepts_multi_plane_formats() {
+        let dir = std::env::temp_dir().join("fisheye_cli_formats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cap = dir.join("cap.pgm");
+        run(&format!(
+            "capture --scene checker --out {} --size 128x96",
+            cap.display()
+        ))
+        .unwrap();
+        let gray = dir.join("flat-gray.pgm");
+        run(&format!(
+            "correct --in {} --out {} --view-fov 80 --out-size 64x48 --format gray8",
+            cap.display(),
+            gray.display()
+        ))
+        .unwrap();
+        for fmt in ["yuv420", "rgb8"] {
+            let flat = dir.join(format!("flat-{fmt}.pgm"));
+            run(&format!(
+                "correct --in {} --out {} --view-fov 80 --out-size 64x48 --format {fmt}",
+                cap.display(),
+                flat.display()
+            ))
+            .unwrap_or_else(|e| panic!("format {fmt}: {e}"));
+            let img = load_pgm(&flat).unwrap();
+            assert_eq!(img.dims(), (64, 48), "format {fmt}");
+            // the luma/first plane goes through the same full-res plan
+            // as the gray path, so the PGM outputs are identical
+            assert_eq!(img, load_pgm(&gray).unwrap(), "format {fmt}");
+        }
+        let e = run(&format!(
+            "correct --in {} --out /tmp/x.pgm --format nv12",
+            cap.display()
+        ))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 2, "unknown format is a usage error: {e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn backends_subcommand_lists_registry() {
         run("backends").unwrap();
     }
@@ -589,6 +695,15 @@ mod tests {
         assert_eq!(e.exit_code(), 2, "{e}");
         let e = run("serve-sim --backend warp-drive").unwrap_err();
         assert_eq!(e.exit_code(), 2, "{e}");
+        let e = run("serve-sim --format grayf32").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+    }
+
+    #[test]
+    fn serve_sim_serves_yuv_sessions() {
+        run("serve-sim --sessions 2 --capacity 2 --views 1 --frames 5 \
+             --size 96x72 --deadline-ms 50 --budget-ms 20 --format yuv420")
+        .unwrap();
     }
 
     #[test]

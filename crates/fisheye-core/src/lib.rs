@@ -34,6 +34,10 @@
 pub mod antialias;
 pub mod correct;
 pub mod engine;
+// the frame layer dispatches every multi-plane correction; a panic
+// here takes down whole streams, so unwrap is denied at the module
+#[deny(clippy::unwrap_used)]
+pub mod frame;
 pub mod interp;
 pub mod map;
 pub mod pipeline;
@@ -49,6 +53,9 @@ pub use correct::{correct, correct_fixed, correct_fixed_into, correct_into, corr
 pub use engine::{
     CorrectionEngine, EngineError, EnginePixel, EngineSpec, FrameReport, NumericClass,
 };
+pub use frame::{
+    Frame, FrameCorrector, FrameEngines, FrameFormat, PlaneClass, PlaneRequest, ViewPlan,
+};
 pub use interp::Interpolator;
 pub use map::{FixedRemapMap, MapEntry, RemapMap};
 pub use pipeline::{CorrectionPipeline, PipelineConfig, PipelineStats};
@@ -57,4 +64,5 @@ pub use plan::{
 };
 pub use stitch::{DualFisheyeRig, StitchMap};
 pub use tile::{TileJob, TilePlan};
+#[allow(deprecated)]
 pub use yuv::{correct_yuv420, correct_yuv420_parallel, YuvMaps};

@@ -101,6 +101,34 @@ pub fn capture_fisheye_f32(
     })
 }
 
+/// Render the planar YCbCr 4:2:0 frame a fisheye camera would capture
+/// of a three-channel scene: `luma` drives the full-resolution Y
+/// plane, `cb`/`cr` drive the chroma planes captured at
+/// `ceil(dim/2)` resolution through the half-scaled lens
+/// ([`FisheyeLens::scaled`]`(0.5)`) — the exact plane geometry the
+/// frame layer's `HalfChroma` class corrects. The same `world` works
+/// for both resolutions because planar shading normalizes by view
+/// dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn capture_fisheye_yuv(
+    luma: &dyn Scene,
+    cb: &dyn Scene,
+    cr: &dyn Scene,
+    world: World,
+    lens: &FisheyeLens,
+    width: u32,
+    height: u32,
+    ss: u32,
+) -> pixmap::yuv::Yuv420 {
+    let half = lens.scaled(0.5);
+    let (cw, ch) = (width.div_ceil(2), height.div_ceil(2));
+    pixmap::yuv::Yuv420 {
+        y: capture_fisheye(luma, world, lens, width, height, ss),
+        cb: capture_fisheye(cb, world, &half, cw, ch, ss),
+        cr: capture_fisheye(cr, world, &half, cw, ch, ss),
+    }
+}
+
 /// Render the exact ground-truth corrected frame: the scene as seen by
 /// `view` directly (no fisheye in the loop). Comparing a corrected
 /// capture against this isolates the correction error.

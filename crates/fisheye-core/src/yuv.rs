@@ -1,4 +1,5 @@
-//! Correction of planar YCbCr 4:2:0 video.
+//! Correction of planar YCbCr 4:2:0 video — **superseded by the frame
+//! layer** ([`crate::frame`]).
 //!
 //! Real camera streams are YUV420, so a production deployment corrects
 //! three planes per frame: luma at full resolution, the two chroma
@@ -7,16 +8,31 @@
 //! [`fisheye_geom::FisheyeLens::scaled`]). Chroma adds 50% more pixels
 //! but at ¼ the per-plane cost, i.e. the classic "1.5×" bill the
 //! platform papers quote for color.
+//!
+//! This module predates the plan/engine split. Its entry points now
+//! execute through compiled [`RemapPlan`]s
+//! (the pre-engine `correct`/`correct_parallel` path has no remaining
+//! consumers), but they still recompile those plans on **every call**.
+//! New code should hold a [`ViewPlan`](crate::frame::ViewPlan) and a
+//! [`FrameCorrector`](crate::frame::FrameCorrector) instead: one
+//! compile per view, every format, every backend, pooled frames.
 
 use fisheye_geom::{FisheyeLens, PerspectiveView};
 use par_runtime::{Schedule, ThreadPool};
 use pixmap::yuv::Yuv420;
+use pixmap::{Gray8, Image};
 
-use crate::correct::{correct, correct_parallel};
+use crate::engine::{execute_host, EngineSpec, HostEnv};
 use crate::interp::Interpolator;
 use crate::map::RemapMap;
+use crate::plan::{correct_plan, PlanOptions, RemapPlan};
 
 /// The pair of maps a YUV420 stream needs.
+#[deprecated(
+    since = "0.5.0",
+    note = "use fisheye_core::frame::ViewPlan, which compiles one RemapPlan \
+            per plane class and carries a format-aware cache digest"
+)]
 #[derive(Clone, Debug)]
 pub struct YuvMaps {
     /// Full-resolution map for the Y plane.
@@ -25,6 +41,7 @@ pub struct YuvMaps {
     pub chroma: RemapMap,
 }
 
+#[allow(deprecated)]
 impl YuvMaps {
     /// Build both maps for a lens/view over `src_w`×`src_h` luma
     /// frames. The chroma map uses the 0.5-scaled lens and a
@@ -49,16 +66,34 @@ impl YuvMaps {
 }
 
 /// Correct a YUV420 frame serially.
+#[deprecated(
+    since = "0.5.0",
+    note = "build a fisheye_core::frame::FrameCorrector for FrameFormat::Yuv420; \
+            this function recompiles both plane plans on every call"
+)]
+#[allow(deprecated)]
 pub fn correct_yuv420(frame: &Yuv420, maps: &YuvMaps, interp: Interpolator) -> Yuv420 {
+    let opts = PlanOptions {
+        interp,
+        ..PlanOptions::default()
+    };
+    let luma = RemapPlan::compile(&maps.luma, opts.clone());
+    let chroma = RemapPlan::compile(&maps.chroma, opts);
     Yuv420 {
-        y: correct(&frame.y, &maps.luma, interp),
-        cb: correct(&frame.cb, &maps.chroma, interp),
-        cr: correct(&frame.cr, &maps.chroma, interp),
+        y: correct_plan(&frame.y, &luma, interp),
+        cb: correct_plan(&frame.cb, &chroma, interp),
+        cr: correct_plan(&frame.cr, &chroma, interp),
     }
 }
 
 /// Correct a YUV420 frame on a thread pool (planes sequential, rows
 /// parallel — the same decomposition the paper uses).
+#[deprecated(
+    since = "0.5.0",
+    note = "build a fisheye_core::frame::FrameCorrector with an smp backend; \
+            this function recompiles both plane plans on every call"
+)]
+#[allow(deprecated)]
 pub fn correct_yuv420_parallel(
     frame: &Yuv420,
     maps: &YuvMaps,
@@ -66,14 +101,32 @@ pub fn correct_yuv420_parallel(
     pool: &ThreadPool,
     schedule: Schedule,
 ) -> Yuv420 {
+    let opts = PlanOptions {
+        interp,
+        ..PlanOptions::default()
+    };
+    let luma = RemapPlan::compile(&maps.luma, opts.clone());
+    let chroma = RemapPlan::compile(&maps.chroma, opts);
+    let spec = EngineSpec::Smp { schedule };
+    let env = HostEnv {
+        pool: Some(pool),
+        geometry: None,
+    };
+    let run = |src: &Image<Gray8>, plan: &RemapPlan| {
+        let mut out = Image::new(plan.width(), plan.height());
+        execute_host(&spec, interp, src, plan, &env, &mut out)
+            .expect("smp plan execution with a pool cannot fail");
+        out
+    };
     Yuv420 {
-        y: correct_parallel(&frame.y, &maps.luma, interp, pool, schedule),
-        cb: correct_parallel(&frame.cb, &maps.chroma, interp, pool, schedule),
-        cr: correct_parallel(&frame.cr, &maps.chroma, interp, pool, schedule),
+        y: run(&frame.y, &luma),
+        cb: run(&frame.cb, &chroma),
+        cr: run(&frame.cr, &chroma),
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pixmap::scene::random_rgb;
@@ -101,7 +154,7 @@ mod tests {
     fn luma_plane_identical_to_gray_path() {
         let (lens, view, frame) = setup();
         let maps = YuvMaps::build(&lens, &view, 160, 120);
-        let gray = correct(&frame.y, &maps.luma, Interpolator::Bilinear);
+        let gray = crate::correct::correct(&frame.y, &maps.luma, Interpolator::Bilinear);
         let out = correct_yuv420(&frame, &maps, Interpolator::Bilinear);
         assert_eq!(out.y, gray);
     }
@@ -142,6 +195,41 @@ mod tests {
             Schedule::Guided { min_chunk: 1 },
         );
         assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn matches_the_frame_layer_bit_for_bit() {
+        // the deprecated path and its replacement must agree exactly,
+        // or migration silently changes output
+        use crate::frame::{Frame, FrameCorrector, FrameFormat, ViewPlan};
+
+        let (lens, view, frame) = setup();
+        let maps = YuvMaps::build(&lens, &view, 160, 120);
+        let legacy = correct_yuv420(&frame, &maps, Interpolator::Bilinear);
+
+        let vp = ViewPlan::compile(
+            FrameFormat::Yuv420,
+            &lens,
+            &view,
+            160,
+            120,
+            &PlanOptions::default(),
+        );
+        let fc = FrameCorrector::host(
+            FrameFormat::Yuv420,
+            vp,
+            &EngineSpec::Serial,
+            Interpolator::Bilinear,
+            2,
+        )
+        .expect("host corrector");
+        let (out, _) = fc
+            .correct_frame(&Frame::Yuv420(frame))
+            .expect("frame correction");
+        match out {
+            Frame::Yuv420(modern) => assert_eq!(legacy, modern),
+            other => panic!("unexpected output format {:?}", other.format()),
+        }
     }
 
     #[test]

@@ -63,6 +63,6 @@ pub use cache::{CacheStats, PlanCache};
 pub use feed::CameraFeed;
 pub use metrics::{Histogram, Registry};
 pub use server::{
-    pump_round, DegradeConfig, DegradeLevel, FrameOutcome, PumpStats, Server, ServerConfig,
-    Session, SessionConfig, SubmitOutcome,
+    pump_round, DegradeConfig, DegradeLevel, FrameOutcome, PumpStats, ServedFrame, Server,
+    ServerConfig, Session, SessionConfig, SubmitOutcome,
 };

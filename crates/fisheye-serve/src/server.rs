@@ -37,11 +37,12 @@ use std::time::{Duration, Instant};
 
 use fisheye::{Corrector, ErrorKind};
 use fisheye_core::engine::{EngineSpec, FrameReport};
-use fisheye_core::plan::{plan_request_digest, PlanOptions, RemapPlan};
-use fisheye_core::{Interpolator, RemapMap};
+use fisheye_core::frame::{Frame, FrameFormat, ViewPlan};
+use fisheye_core::plan::PlanOptions;
+use fisheye_core::Interpolator;
 use fisheye_geom::{FisheyeLens, PerspectiveView};
 use par_runtime::sync::Mutex;
-use pixmap::{FramePool, Gray8, Image, PooledFrame};
+use pixmap::{FramePool, Gray8, Image, PlanePool, PooledFrame};
 
 use crate::cache::PlanCache;
 use crate::metrics::Registry;
@@ -153,8 +154,14 @@ pub struct SessionConfig {
     pub lens: FisheyeLens,
     /// The view this session renders.
     pub view: PerspectiveView,
-    /// Source frame dimensions `(w, h)`.
+    /// Source frame dimensions `(w, h)` — full-resolution (luma)
+    /// dims for multi-plane formats.
     pub source: (u32, u32),
+    /// The frame format this session submits and receives. Gray
+    /// sessions use [`Session::submit`]; multi-plane sessions use
+    /// [`Session::submit_frame`]. `grayf32` is not servable (the
+    /// serving layer's pools and ladder are byte-plane machinery).
+    pub format: FrameFormat,
     /// Execution backend.
     pub backend: EngineSpec,
     /// Full-quality interpolation kernel.
@@ -164,12 +171,13 @@ pub struct SessionConfig {
 }
 
 impl SessionConfig {
-    /// A serial-backend bilinear session for `lens`/`view`.
+    /// A serial-backend bilinear gray session for `lens`/`view`.
     pub fn new(lens: FisheyeLens, view: PerspectiveView, source: (u32, u32)) -> SessionConfig {
         SessionConfig {
             lens,
             view,
             source,
+            format: FrameFormat::Gray8,
             backend: EngineSpec::Serial,
             interp: Interpolator::Bilinear,
             deadline: None,
@@ -312,60 +320,75 @@ impl Server {
     }
 
     fn admit(&self, cfg: SessionConfig) -> Result<Session, fisheye::Error> {
+        if cfg.format == FrameFormat::GrayF32 {
+            return Err(fisheye::Error::config(
+                "the serving layer corrects byte formats; grayf32 is not servable",
+            ));
+        }
         let (src_w, src_h) = cfg.source;
-        let plan = self.plan_for(
+        let plan = self.view_plan_for(
             &cfg.lens,
             &cfg.view,
             (src_w, src_h),
+            cfg.format,
             &cfg.backend,
             cfg.interp,
-        );
+        )?;
         let corrector = Corrector::builder()
             .lens(cfg.lens)
             .view(cfg.view)
             .source(src_w, src_h)
+            .format(cfg.format)
             .backend(cfg.backend)
             .interp(cfg.interp)
             .threads(self.inner.cfg.threads)
-            .plan(plan)
+            .view_plan(plan)
             .build()?;
-        let (out_w, out_h) = corrector.out_dims();
-        let pool = FramePool::new(out_w, out_h);
-        pool.prime(2);
+        let (pool, pool_dims) = SessionPool::for_corrector(&corrector);
         Ok(Session {
             id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
             server: self.clone(),
             base_view: cfg.view,
             base_interp: cfg.interp,
+            format: cfg.format,
             deadline: cfg.deadline.unwrap_or(self.inner.cfg.frame_deadline),
             corrector,
             queue: VecDeque::new(),
             seq: 0,
             applied: DegradeLevel::Normal,
             pool,
-            pool_dims: (out_w, out_h),
+            pool_dims,
             pool_seen: (0, 0),
         })
     }
 
-    /// Compile-through-cache for one (lens, view, source, backend,
-    /// interp) request.
-    fn plan_for(
+    /// Compile-through-cache for one (lens, view, source, format,
+    /// backend, interp) request: one cache entry **per plane class**,
+    /// so a YUV session's full-res luma plan is the same cache entry
+    /// a gray session of the same view uses, and its half-res chroma
+    /// plan is shared with every other 4:2:0 session — never confused
+    /// with a full-res plan thanks to the class-salted digest.
+    fn view_plan_for(
         &self,
         lens: &FisheyeLens,
         view: &PerspectiveView,
         (src_w, src_h): (u32, u32),
+        format: FrameFormat,
         spec: &EngineSpec,
         interp: Interpolator,
-    ) -> Arc<RemapPlan> {
+    ) -> Result<ViewPlan, fisheye::Error> {
         let opts = PlanOptions::for_spec(spec, interp);
-        let digest = plan_request_digest(lens, view, src_w, src_h, &opts);
-        let plan = self.inner.cache.get_or_compile(digest, || {
-            let map = RemapMap::build(lens, view, src_w, src_h);
-            RemapPlan::compile(&map, opts)
-        });
+        let plans = ViewPlan::plane_requests(format, lens, view, src_w, src_h)
+            .into_iter()
+            .map(|req| {
+                let digest = req.digest(&opts);
+                self.inner
+                    .cache
+                    .get_or_compile(digest, || req.compile(opts.clone()))
+            })
+            .collect();
         self.inner.cache.export(&self.inner.metrics, "serve.cache");
-        plan
+        Ok(ViewPlan::from_plans(format, plans)?)
     }
 
     /// Record one completed frame's deadline fate and run the ladder
@@ -413,16 +436,115 @@ pub enum SubmitOutcome {
     DroppedNewest,
 }
 
+/// One pending frame — gray sessions queue shared images, format
+/// sessions queue shared multi-plane frames.
+enum SourceFrame {
+    Gray(Arc<Image<Gray8>>),
+    Multi(Arc<Frame>),
+}
+
 /// One pending frame.
 struct Pending {
     seq: u64,
     submitted: Instant,
-    frame: Arc<Image<Gray8>>,
+    frame: SourceFrame,
+}
+
+/// The session's output-buffer pool: one full-res pool for gray
+/// sessions, one pool per plane size class for format sessions.
+enum SessionPool {
+    Gray(FramePool<Gray8>),
+    Planes(PlanePool<Gray8>),
+}
+
+impl SessionPool {
+    /// Build (and prime) the pool matching `corrector`'s current
+    /// plan, returning the per-plane dims it was sized for.
+    fn for_corrector(corrector: &Corrector<Gray8>) -> (SessionPool, Vec<(u32, u32)>) {
+        let dims = corrector.view_plan().plane_dims();
+        let pool = if corrector.format().is_multi_plane() {
+            let pool = PlanePool::new(&dims);
+            pool.prime(2);
+            SessionPool::Planes(pool)
+        } else {
+            let pool = FramePool::new(dims[0].0, dims[0].1);
+            pool.prime(2);
+            SessionPool::Gray(pool)
+        };
+        (pool, dims)
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        match self {
+            SessionPool::Gray(p) => (p.hits(), p.misses()),
+            SessionPool::Planes(p) => (p.hits(), p.misses()),
+        }
+    }
+}
+
+/// A corrected frame leaving [`Session::pump_one`] on pooled buffers.
+/// Dropping it recycles every buffer into the session's pool;
+/// [`PooledFrame::detach`] keeps an image.
+pub enum ServedFrame {
+    /// A gray session's single corrected plane.
+    Gray(PooledFrame<Gray8>),
+    /// A format session's corrected planes, in plane order
+    /// (`y`/`cb`/`cr` or `r`/`g`/`b`).
+    Planes {
+        /// The session's frame format.
+        format: FrameFormat,
+        /// One corrected buffer per plane.
+        planes: Vec<PooledFrame<Gray8>>,
+    },
+}
+
+impl ServedFrame {
+    /// Full-resolution output dims (the first plane's).
+    pub fn dims(&self) -> (u32, u32) {
+        match self {
+            ServedFrame::Gray(f) => f.dims(),
+            ServedFrame::Planes { planes, .. } => planes[0].dims(),
+        }
+    }
+
+    /// The served format ([`FrameFormat::Gray8`] for gray sessions).
+    pub fn format(&self) -> FrameFormat {
+        match self {
+            ServedFrame::Gray(_) => FrameFormat::Gray8,
+            ServedFrame::Planes { format, .. } => *format,
+        }
+    }
+
+    /// The gray plane, when this is a gray session's output.
+    pub fn as_gray(&self) -> Option<&PooledFrame<Gray8>> {
+        match self {
+            ServedFrame::Gray(f) => Some(f),
+            ServedFrame::Planes { .. } => None,
+        }
+    }
+
+    /// All planes in plane order, uniformly (a gray output is one
+    /// plane). Consumes the frame; dropping the planes recycles them.
+    pub fn into_planes(self) -> Vec<PooledFrame<Gray8>> {
+        match self {
+            ServedFrame::Gray(f) => vec![f],
+            ServedFrame::Planes { planes, .. } => planes,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServedFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedFrame")
+            .field("format", &self.format())
+            .field("dims", &self.dims())
+            .finish()
+    }
 }
 
 /// A corrected frame leaving [`Session::pump_one`]. Dropping it
-/// recycles the output buffer into the session's pool;
-/// [`PooledFrame::detach`] keeps the image.
+/// recycles the output buffer(s) into the session's pool;
+/// [`PooledFrame::detach`] keeps an image.
 pub struct FrameOutcome {
     /// Submission sequence number.
     pub seq: u64,
@@ -432,10 +554,11 @@ pub struct FrameOutcome {
     pub missed: bool,
     /// Ladder level the frame was served at.
     pub level: DegradeLevel,
-    /// Engine-attributed execution report.
+    /// Engine-attributed execution report (merged across planes for
+    /// format sessions, with per-plane `<label>.*` model keys).
     pub report: FrameReport,
-    /// The corrected frame, on a pooled buffer.
-    pub frame: PooledFrame<Gray8>,
+    /// The corrected frame, on pooled buffers.
+    pub frame: ServedFrame,
 }
 
 impl std::fmt::Debug for FrameOutcome {
@@ -457,13 +580,14 @@ pub struct Session {
     server: Server,
     base_view: PerspectiveView,
     base_interp: Interpolator,
+    format: FrameFormat,
     deadline: Duration,
     corrector: Corrector<Gray8>,
     queue: VecDeque<Pending>,
     seq: u64,
     applied: DegradeLevel,
-    pool: FramePool<Gray8>,
-    pool_dims: (u32, u32),
+    pool: SessionPool,
+    pool_dims: Vec<(u32, u32)>,
     /// Pool counters already flushed into the registry.
     pool_seen: (u64, u64),
 }
@@ -500,6 +624,11 @@ impl Session {
     /// The full-quality view this session renders.
     pub fn view(&self) -> PerspectiveView {
         self.base_view
+    }
+
+    /// The frame format this session serves.
+    pub fn format(&self) -> FrameFormat {
+        self.format
     }
 
     /// Frames waiting to be pumped.
@@ -542,10 +671,25 @@ impl Session {
         Ok(())
     }
 
-    /// Queue a frame for correction. Sheds per the current ladder
-    /// level when the queue is full; never blocks, never grows past
-    /// the configured depth.
+    /// Queue a gray frame for correction. Sheds per the current
+    /// ladder level when the queue is full; never blocks, never grows
+    /// past the configured depth. On a multi-plane session the
+    /// mismatch surfaces at the pump as a config error — use
+    /// [`Session::submit_frame`] there.
     pub fn submit(&mut self, frame: Arc<Image<Gray8>>) -> SubmitOutcome {
+        self.enqueue(SourceFrame::Gray(frame))
+    }
+
+    /// Queue a multi-plane frame for correction — the format-session
+    /// counterpart of [`Session::submit`], with the same shedding
+    /// rules. The frame's format must match the session's
+    /// (a gray [`Frame`] on a gray session is fine); mismatches
+    /// surface at the pump.
+    pub fn submit_frame(&mut self, frame: Arc<Frame>) -> SubmitOutcome {
+        self.enqueue(SourceFrame::Multi(frame))
+    }
+
+    fn enqueue(&mut self, frame: SourceFrame) -> SubmitOutcome {
         let m = self.server.metrics();
         m.inc("serve.frames.submitted");
         let seq = self.seq;
@@ -585,8 +729,7 @@ impl Session {
             return Ok(None);
         };
         self.sync_pool();
-        let mut out = self.pool.acquire();
-        let report = self.corrector.correct_into(&pending.frame, &mut out)?;
+        let (report, frame) = self.correct_pending(&pending.frame)?;
         let latency = pending.submitted.elapsed();
         let missed = latency > self.deadline;
         let m = self.server.metrics();
@@ -597,6 +740,16 @@ impl Session {
             m.inc("serve.frames.deadline_missed");
         }
         m.absorb_frame_report("serve.engine", &report);
+        if self.format.is_multi_plane() {
+            for label in self.format.plane_labels() {
+                if let Some(ms) = report.model.get(&format!("{label}.correct_ms")) {
+                    m.observe(
+                        &format!("serve.plane.{label}.correct_us"),
+                        Duration::from_secs_f64(ms.max(0.0) / 1e3),
+                    );
+                }
+            }
+        }
         self.flush_pool_counters();
         self.server.note_frame(missed);
         Ok(Some(FrameOutcome {
@@ -605,8 +758,67 @@ impl Session {
             missed,
             level: self.applied,
             report,
-            frame: out,
+            frame,
         }))
+    }
+
+    /// Route one pending frame through the corrector onto pooled
+    /// output buffers.
+    fn correct_pending(
+        &mut self,
+        src: &SourceFrame,
+    ) -> Result<(FrameReport, ServedFrame), fisheye::Error> {
+        match (&self.pool, src) {
+            (SessionPool::Gray(pool), SourceFrame::Gray(img)) => {
+                let mut out = pool.acquire();
+                let report = self.corrector.correct_into(img, &mut out)?;
+                Ok((report, ServedFrame::Gray(out)))
+            }
+            // a gray session accepts a gray Frame too, so feeds can be
+            // format-uniform
+            (SessionPool::Gray(pool), SourceFrame::Multi(f)) => match f.as_ref() {
+                Frame::Gray8(img) => {
+                    let mut out = pool.acquire();
+                    let report = self.corrector.correct_into(img, &mut out)?;
+                    Ok((report, ServedFrame::Gray(out)))
+                }
+                other => Err(fisheye::Error::config(format!(
+                    "session serves {}, got a {} frame",
+                    self.format,
+                    other.format()
+                ))),
+            },
+            (SessionPool::Planes(pool), SourceFrame::Multi(f)) => {
+                if f.format() != self.format {
+                    return Err(fisheye::Error::config(format!(
+                        "session serves {}, got a {} frame",
+                        self.format,
+                        f.format()
+                    )));
+                }
+                let srcs = f
+                    .u8_planes()
+                    .expect("grayf32 sessions are rejected at connect");
+                let mut planes = pool.acquire();
+                let mut refs: Vec<&mut Image<Gray8>> =
+                    planes.iter_mut().map(|p| &mut **p).collect();
+                let report = self
+                    .corrector
+                    .frame_corrector()
+                    .correct_u8_planes_into(&srcs, &mut refs)?;
+                Ok((
+                    report,
+                    ServedFrame::Planes {
+                        format: self.format,
+                        planes,
+                    },
+                ))
+            }
+            (SessionPool::Planes(_), SourceFrame::Gray(_)) => Err(fisheye::Error::config(format!(
+                "session serves {}; submit a multi-plane Frame via submit_frame",
+                self.format
+            ))),
+        }
     }
 
     /// Apply `level` to the corrector: interpolation downgrade and/or
@@ -639,34 +851,35 @@ impl Session {
             }
         }
         if self.corrector.view() != Some(desired_view) {
-            let plan = self.server.plan_for(
+            let plan = self.server.view_plan_for(
                 &self.corrector.lens(),
                 &desired_view,
                 self.corrector.source_dims(),
+                self.format,
                 &self.corrector.spec(),
                 self.corrector.interp(),
-            );
-            self.corrector.set_plan(desired_view, plan)?;
+            )?;
+            self.corrector.set_view_plan(desired_view, plan)?;
         }
         self.applied = level;
         Ok(())
     }
 
-    /// Swap the output pool when a reconfigure changed output dims.
+    /// Swap the output pool(s) when a reconfigure changed output dims.
     fn sync_pool(&mut self) {
-        let dims = self.corrector.out_dims();
+        let dims = self.corrector.view_plan().plane_dims();
         if dims != self.pool_dims {
             self.flush_pool_counters();
-            self.pool = FramePool::new(dims.0, dims.1);
-            self.pool.prime(2);
-            self.pool_dims = dims;
+            let (pool, pool_dims) = SessionPool::for_corrector(&self.corrector);
+            self.pool = pool;
+            self.pool_dims = pool_dims;
             self.pool_seen = (0, 0);
         }
     }
 
     /// Push pool hit/miss deltas into the shared registry.
     fn flush_pool_counters(&mut self) {
-        let (hits, misses) = (self.pool.hits(), self.pool.misses());
+        let (hits, misses) = self.pool.counters();
         let m = self.server.metrics();
         m.add("serve.pool.hits", hits - self.pool_seen.0);
         m.add("serve.pool.misses", misses - self.pool_seen.1);

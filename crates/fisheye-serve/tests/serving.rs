@@ -7,10 +7,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use fisheye::ErrorKind;
+use fisheye_core::frame::FrameFormat;
 use fisheye_core::Interpolator;
 use fisheye_geom::{FisheyeLens, PerspectiveView};
 use fisheye_serve::{
-    CameraFeed, DegradeConfig, DegradeLevel, Server, ServerConfig, SessionConfig, SubmitOutcome,
+    CameraFeed, DegradeConfig, DegradeLevel, ServedFrame, Server, ServerConfig, SessionConfig,
+    SubmitOutcome,
 };
 
 const SRC: (u32, u32) = (128, 96);
@@ -279,6 +281,125 @@ fn invalid_configs_are_errors_not_panics() {
         let err = Server::new(cfg).expect_err("must reject");
         assert_eq!(err.kind(), ErrorKind::Config, "{cfg:?}");
     }
+}
+
+#[test]
+fn yuv_sessions_share_plane_plans_and_serve_bit_exact_frames() {
+    let server = test_server(4);
+    let yuv_cfg = SessionConfig {
+        format: FrameFormat::Yuv420,
+        ..session_cfg()
+    };
+    let mut a = server.connect(yuv_cfg).expect("slot 1");
+    let _b = server.connect(yuv_cfg).expect("slot 2");
+    let stats = server.cache().stats();
+    assert_eq!(
+        stats.misses, 2,
+        "one compile per plane class (full luma + half chroma)"
+    );
+    assert_eq!(stats.hits, 2, "the second session reuses both");
+
+    // a gray session of the same view shares the full-res plan with
+    // the YUV sessions' luma plane — cross-format, same cache entry
+    let _gray = server.connect(session_cfg()).expect("slot 3");
+    let stats = server.cache().stats();
+    assert_eq!(stats.misses, 2, "gray full-res plan is the luma plan");
+    assert_eq!(stats.hits, 3);
+
+    let mut camera = CameraFeed::new(SRC.0, SRC.1, 5);
+    let frame = camera.next_frame_in(FrameFormat::Yuv420);
+    a.submit_frame(Arc::clone(&frame));
+    let out = a.pump_one().expect("engine ok").expect("frame pending");
+    assert_eq!(out.frame.dims(), (64, 48));
+    assert_eq!(out.frame.format(), FrameFormat::Yuv420);
+
+    // bit-exact per plane against the offline plan path
+    let ServedFrame::Planes { planes, .. } = &out.frame else {
+        panic!("yuv session serves planes");
+    };
+    assert_eq!(planes.len(), 3);
+    assert_eq!(planes[1].dims(), (32, 24), "chroma at half view res");
+    let plan = a.corrector().view_plan().clone();
+    let srcs = frame.u8_planes().expect("yuv has byte planes");
+    for (i, (src, got)) in srcs.iter().zip(planes.iter()).enumerate() {
+        let expect = fisheye_core::correct_plan(src, plan.plane_plan(i), Interpolator::Bicubic);
+        assert_eq!(**got, expect, "plane {i} bit-exact");
+    }
+
+    // plane-labelled accounting reached the registry
+    let m = server.metrics();
+    for label in ["y", "cb", "cr"] {
+        let h = m
+            .histogram(&format!("serve.plane.{label}.correct_us"))
+            .unwrap_or_else(|| panic!("serve.plane.{label}.correct_us missing"));
+        assert_eq!(h.count(), 1);
+    }
+    assert_eq!(
+        m.gauge_value("serve.engine.model.planes"),
+        Some(3.0),
+        "merged report carries the plane count"
+    );
+}
+
+#[test]
+fn yuv_sessions_ride_the_halfres_rung() {
+    let server = test_server(1);
+    let mut camera = CameraFeed::new(SRC.0, SRC.1, 11);
+    let mut hot = server
+        .connect(SessionConfig {
+            format: FrameFormat::Yuv420,
+            deadline: Some(Duration::ZERO),
+            ..session_cfg()
+        })
+        .expect("slot");
+    // saturate four 8-frame windows: one rung per window, to HalfRes
+    for _ in 0..4 {
+        for _ in 0..8 {
+            hot.submit_frame(camera.next_frame_in(FrameFormat::Yuv420));
+            hot.pump_one().expect("engine ok").expect("frame pending");
+        }
+    }
+    assert_eq!(server.level(), DegradeLevel::HalfRes);
+    hot.submit_frame(camera.next_frame_in(FrameFormat::Yuv420));
+    let out = hot.pump_one().expect("engine ok").expect("frame pending");
+    assert_eq!(out.level, DegradeLevel::HalfRes);
+    assert_eq!(out.frame.dims(), (32, 24), "halved luma");
+    let ServedFrame::Planes { planes, .. } = &out.frame else {
+        panic!("yuv session serves planes");
+    };
+    assert_eq!(planes[1].dims(), (16, 12), "halved chroma follows");
+}
+
+#[test]
+fn format_mismatches_and_grayf32_are_config_errors() {
+    let server = test_server(3);
+    let err = server
+        .connect(SessionConfig {
+            format: FrameFormat::GrayF32,
+            ..session_cfg()
+        })
+        .expect_err("grayf32 is not servable");
+    assert_eq!(err.kind(), ErrorKind::Config);
+
+    let mut camera = CameraFeed::new(SRC.0, SRC.1, 13);
+    let mut yuv = server
+        .connect(SessionConfig {
+            format: FrameFormat::Yuv420,
+            ..session_cfg()
+        })
+        .expect("slot");
+    yuv.submit(camera.next_frame());
+    let err = yuv.pump_one().expect_err("gray image on a yuv session");
+    assert_eq!(err.kind(), ErrorKind::Config);
+    yuv.submit_frame(camera.next_frame_in(FrameFormat::Rgb8));
+    let err = yuv.pump_one().expect_err("rgb frame on a yuv session");
+    assert_eq!(err.kind(), ErrorKind::Config);
+
+    // a gray session accepts a gray Frame through submit_frame
+    let mut gray = server.connect(session_cfg()).expect("slot");
+    gray.submit_frame(camera.next_frame_in(FrameFormat::Gray8));
+    let out = gray.pump_one().expect("engine ok").expect("frame pending");
+    assert!(out.frame.as_gray().is_some());
 }
 
 #[test]

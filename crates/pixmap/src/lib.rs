@@ -36,4 +36,4 @@ pub mod yuv;
 
 pub use crate::image::{Image, Rect};
 pub use crate::pixel::{Gray16, Gray8, GrayF32, Pixel, Rgb8, RgbF32};
-pub use crate::pool::{FramePool, PooledFrame};
+pub use crate::pool::{FramePool, PlanePool, PooledFrame};

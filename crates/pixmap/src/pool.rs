@@ -152,6 +152,102 @@ impl<P: Pixel> FramePool<P> {
     }
 }
 
+/// A set of [`FramePool`]s, one per plane of a multi-plane frame
+/// format (planar YUV 4:2:0, planar RGB). Plane `i` of every acquired
+/// frame comes from pool `i`, so differently-sized planes (full-res
+/// luma, half-res chroma) each recycle within their own size class and
+/// the steady state stays zero-allocation exactly as with a single
+/// [`FramePool`]. Counters aggregate across the plane pools.
+pub struct PlanePool<P: Pixel> {
+    pools: Vec<FramePool<P>>,
+}
+
+impl<P: Pixel> Clone for PlanePool<P> {
+    fn clone(&self) -> Self {
+        PlanePool {
+            pools: self.pools.clone(),
+        }
+    }
+}
+
+impl<P: Pixel> PlanePool<P> {
+    /// Create an empty pool set for planes of the given dimensions,
+    /// in plane order.
+    pub fn new(plane_dims: &[(u32, u32)]) -> PlanePool<P> {
+        assert!(!plane_dims.is_empty(), "a frame has at least one plane");
+        PlanePool {
+            pools: plane_dims
+                .iter()
+                .map(|&(w, h)| FramePool::new(w, h))
+                .collect(),
+        }
+    }
+
+    /// Number of planes per acquired frame.
+    pub fn planes(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Per-plane dimensions, in plane order.
+    pub fn plane_dims(&self) -> Vec<(u32, u32)> {
+        self.pools.iter().map(|p| (p.width(), p.height())).collect()
+    }
+
+    /// The pool serving plane `i`.
+    pub fn plane(&self, i: usize) -> &FramePool<P> {
+        &self.pools[i]
+    }
+
+    /// Pre-allocate `n` buffers onto every plane's free list (the
+    /// first `n` [`acquire`](PlanePool::acquire) calls are all hits).
+    pub fn prime(&self, n: usize) {
+        for p in &self.pools {
+            p.prime(n);
+        }
+    }
+
+    /// Hand out one black-filled frame per plane, in plane order.
+    pub fn acquire(&self) -> Vec<PooledFrame<P>> {
+        self.pools.iter().map(|p| p.acquire()).collect()
+    }
+
+    /// Total plane acquisitions served from free lists.
+    pub fn hits(&self) -> u64 {
+        self.pools.iter().map(|p| p.hits()).sum()
+    }
+
+    /// Total plane acquisitions that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.pools.iter().map(|p| p.misses()).sum()
+    }
+
+    /// Aggregate `hits / (hits + misses)` across planes (1.0 before
+    /// the first acquire).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            1.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Total buffers currently idle across plane free lists.
+    pub fn idle(&self) -> usize {
+        self.pools.iter().map(|p| p.idle()).sum()
+    }
+}
+
+impl<P: Pixel> std::fmt::Debug for PlanePool<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanePool")
+            .field("plane_dims", &self.plane_dims())
+            .field("idle", &self.idle())
+            .finish()
+    }
+}
+
 /// An owned frame borrowed from a [`FramePool`].
 ///
 /// Dereferences to [`Image`]; dropping it returns the underlying
@@ -276,5 +372,30 @@ mod tests {
     fn empty_pool_hit_rate_is_one() {
         let pool: FramePool<Gray8> = FramePool::new(1, 1);
         assert_eq!(pool.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn plane_pool_recycles_per_size_class() {
+        // 4:2:0 layout: full-res luma, two half-res chroma planes
+        let pool: PlanePool<Gray8> = PlanePool::new(&[(8, 6), (4, 3), (4, 3)]);
+        assert_eq!(pool.planes(), 3);
+        assert_eq!(pool.plane_dims(), vec![(8, 6), (4, 3), (4, 3)]);
+        pool.prime(2);
+        for _ in 0..5 {
+            let planes = pool.acquire();
+            assert_eq!(planes[0].dims(), (8, 6));
+            assert_eq!(planes[1].dims(), (4, 3));
+            assert_eq!(planes[2].dims(), (4, 3));
+            drop(planes);
+        }
+        assert_eq!(pool.misses(), 0, "primed plane pool never allocates");
+        assert!((pool.hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(pool.idle(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one plane")]
+    fn plane_pool_rejects_zero_planes() {
+        let _: PlanePool<Gray8> = PlanePool::new(&[]);
     }
 }

@@ -29,12 +29,13 @@
 use std::time::{Duration, Instant};
 
 use fisheye_core::engine::{execute_host, EngineSpec, HostEnv};
+use fisheye_core::frame::{FrameCorrector, ViewPlan};
 use fisheye_core::plan::RemapPlan;
 use fisheye_core::Interpolator;
-use pixmap::{FramePool, Gray8, PooledFrame};
+use pixmap::{FramePool, Gray8, Image, PlanePool, PooledFrame};
 
 use crate::channel::BoundedQueue;
-use crate::source::{VideoFrame, VideoSource};
+use crate::source::{FramePacket, FrameSource, VideoFrame, VideoSource};
 
 /// Pipeline configuration.
 #[derive(Clone, Copy, Debug)]
@@ -116,6 +117,12 @@ pub struct PipeReport {
     /// primed for the maximum number of in-flight frames, so this
     /// stays 0 unless the sink detaches frames from the pool.
     pub pool_misses: u64,
+    /// Per-plane kernel time summed over all sunk frames, labelled in
+    /// plane order (`y`/`cb`/`cr`, `r`/`g`/`b`, …). Filled by
+    /// [`run_frame_pipeline`]; empty for the single-plane
+    /// [`run_pipeline`], whose whole kernel cost is already
+    /// [`kernel_time`](Self::kernel_time).
+    pub plane_kernel: Vec<(String, Duration)>,
 }
 
 impl PipeReport {
@@ -319,17 +326,244 @@ pub fn run_pipeline(
         invalid_pixels,
         pool_hits: pool.hits(),
         pool_misses: pool.misses(),
+        plane_kernel: Vec::new(),
+    }
+}
+
+/// A corrected multi-plane frame arriving at the sink.
+struct CorrectedPlanes {
+    seq: u64,
+    captured_at: Instant,
+    planes: Vec<PooledFrame<Gray8>>,
+    kernel_time: Duration,
+    plane_times: Vec<Duration>,
+    invalid_pixels: u64,
+}
+
+/// The format-aware counterpart of [`run_pipeline`]: drive a
+/// multi-plane [`FrameSource`] through the correction pipeline to
+/// exhaustion. Every worker owns a sequential
+/// [`FrameCorrector`] over the shared [`ViewPlan`] (frame-level
+/// parallelism is already provided by the workers, so planes run in
+/// line inside each worker rather than stacking a second pool per
+/// worker). Output planes come from a primed [`PlanePool`] — the
+/// steady-state path allocates nothing per frame, exactly like the
+/// gray pipeline — and `on_frame` receives the pooled planes in plane
+/// order, by value. The report's
+/// [`plane_kernel`](PipeReport::plane_kernel) carries per-plane kernel
+/// time totals; [`kernel_time`](PipeReport::kernel_time) is their sum.
+///
+/// Panics under the same up-front configuration rules as
+/// [`run_pipeline`] (engine must be `serial`/`fixed`/`simd`, LUTs
+/// must be pre-compiled into **every** plane class's plan), plus the
+/// source format must have byte planes (every format except
+/// `grayf32`).
+pub fn run_frame_pipeline(
+    mut source: Box<dyn FrameSource>,
+    plan: &ViewPlan,
+    config: PipeConfig,
+    mut on_frame: impl FnMut(u64, Vec<PooledFrame<Gray8>>) + Send,
+) -> PipeReport {
+    assert!(config.workers >= 1, "need at least one worker");
+    let format = source.format();
+    assert!(
+        format.has_u8_planes(),
+        "the frame pipeline corrects byte planes; '{format}' has none"
+    );
+    match config.engine {
+        EngineSpec::Serial | EngineSpec::Simd => {}
+        EngineSpec::FixedPoint { frac_bits } => {
+            for class_plan in plan.plans() {
+                assert!(
+                    class_plan.fixed(frac_bits).is_some(),
+                    "a plane plan was not compiled with a {frac_bits}-bit LUT for engine \
+                     '{}' — compile the ViewPlan with PlanOptions::for_spec",
+                    config.engine.name()
+                );
+            }
+        }
+        other => panic!(
+            "videopipe workers support engines serial/fixed/simd, got '{}'",
+            other.name()
+        ),
+    }
+    if config.engine == EngineSpec::Simd {
+        assert!(
+            config.interp == Interpolator::Bilinear,
+            "the simd engine implements bilinear only"
+        );
+    }
+    let labels = format.plane_labels();
+    let q_in: BoundedQueue<FramePacket> = BoundedQueue::new(config.queue_capacity);
+    let q_out: BoundedQueue<CorrectedPlanes> = BoundedQueue::new(config.queue_capacity);
+    // same in-flight bound as the gray pipeline, per plane
+    let pool: PlanePool<Gray8> = PlanePool::new(&plan.plane_dims());
+    pool.prime(config.queue_capacity + config.workers + config.resequence.unwrap_or(0) + 1);
+
+    let started = Instant::now();
+    let mut frames = 0u64;
+    let mut latency = crate::latency::LatencyStats::new();
+    let mut out_of_order = 0u64;
+    let mut dropped = 0u64;
+    let mut deadline_missed = 0u64;
+    let mut kernel_time = Duration::ZERO;
+    let mut plane_times = vec![Duration::ZERO; labels.len()];
+    let mut invalid_pixels = 0u64;
+    let mut last_seq: Option<u64> = None;
+
+    std::thread::scope(|s| {
+        // capture stage
+        let q_in_prod = q_in.clone();
+        s.spawn(move || {
+            while let Some(packet) = source.next_frame() {
+                if q_in_prod.push(packet).is_err() {
+                    break;
+                }
+            }
+            q_in_prod.close();
+        });
+        // corrector workers — one sequential frame corrector each over
+        // the shared per-class plans
+        let worker_handles: Vec<_> = (0..config.workers)
+            .map(|_| {
+                let q_in = q_in.clone();
+                let q_out = q_out.clone();
+                let pool = pool.clone();
+                let interp = config.interp;
+                let spec = config.engine;
+                let plan = plan.clone();
+                s.spawn(move || {
+                    let fc = FrameCorrector::host_sequential(format, plan, &spec, interp, 1)
+                        .expect("engine validated before workers started");
+                    while let Some(packet) = q_in.pop() {
+                        let srcs = packet
+                            .frame
+                            .u8_planes()
+                            .expect("format validated to have u8 planes");
+                        let mut planes = pool.acquire();
+                        let mut refs: Vec<&mut Image<Gray8>> =
+                            planes.iter_mut().map(|p| &mut **p).collect();
+                        let report = fc
+                            .correct_u8_planes_into(&srcs, &mut refs)
+                            .expect("engine validated before workers started");
+                        let per_plane = labels
+                            .iter()
+                            .map(|label| {
+                                let ms = report
+                                    .model
+                                    .get(&format!("{label}.correct_ms"))
+                                    .copied()
+                                    .unwrap_or(0.0);
+                                Duration::from_secs_f64(ms / 1e3)
+                            })
+                            .collect();
+                        let done = CorrectedPlanes {
+                            seq: packet.seq,
+                            captured_at: packet.captured_at,
+                            planes,
+                            kernel_time: report.correct_time,
+                            plane_times: per_plane,
+                            invalid_pixels: report.invalid_pixels,
+                        };
+                        if q_out.push(done).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        // closer: when all workers exit, close the output queue
+        {
+            let q_out = q_out.clone();
+            s.spawn(move || {
+                for h in worker_handles {
+                    let _ = h.join();
+                }
+                q_out.close();
+            });
+        }
+        // sink (this thread)
+        let mut reseq = config
+            .resequence
+            .map(crate::resequencer::Resequencer::<CorrectedPlanes>::new);
+        while let Some(done) = q_out.pop() {
+            let lat = done.captured_at.elapsed();
+            latency.record(lat);
+            if config.frame_deadline.is_some_and(|d| lat > d) {
+                deadline_missed += 1;
+            }
+            kernel_time += done.kernel_time;
+            for (acc, t) in plane_times.iter_mut().zip(&done.plane_times) {
+                *acc += *t;
+            }
+            invalid_pixels += done.invalid_pixels;
+            if let Some(prev) = last_seq {
+                if done.seq < prev {
+                    out_of_order += 1;
+                }
+            }
+            last_seq = Some(done.seq.max(last_seq.unwrap_or(0)));
+            match reseq.as_mut() {
+                Some(r) => {
+                    for (seq, f) in r.push(done.seq, done) {
+                        on_frame(seq, f.planes);
+                        frames += 1;
+                    }
+                }
+                None => {
+                    on_frame(done.seq, done.planes);
+                    frames += 1;
+                }
+            }
+        }
+        if let Some(r) = reseq.as_mut() {
+            for (seq, f) in r.flush() {
+                on_frame(seq, f.planes);
+                frames += 1;
+            }
+            dropped = r.dropped();
+        }
+    });
+
+    let elapsed = started.elapsed();
+    PipeReport {
+        frames,
+        elapsed,
+        fps: if elapsed.as_secs_f64() > 0.0 {
+            frames as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        mean_latency: latency.mean(),
+        p50_latency: latency.percentile(0.5),
+        p95_latency: latency.percentile(0.95),
+        max_latency: latency.max(),
+        in_queue_high_water: q_in.high_water(),
+        out_of_order,
+        dropped,
+        deadline_missed,
+        kernel_time,
+        invalid_pixels,
+        pool_hits: pool.hits(),
+        pool_misses: pool.misses(),
+        plane_kernel: labels
+            .iter()
+            .map(|l| l.to_string())
+            .zip(plane_times)
+            .collect(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::source::ShiftVideo;
+    use crate::source::{CycledFrames, ShiftVideo};
+    use fisheye_core::frame::{Frame, FrameFormat};
     use fisheye_core::plan::PlanOptions;
-    use fisheye_core::{correct, correct_fixed, RemapMap};
+    use fisheye_core::{correct, correct_fixed, correct_plan, RemapMap};
     use fisheye_geom::{FisheyeLens, PerspectiveView};
     use pixmap::scene::random_gray;
+    use pixmap::yuv::Yuv420;
 
     fn test_plan_for(spec: &EngineSpec) -> RemapPlan {
         let lens = FisheyeLens::equidistant_fov(128, 96, 180.0);
@@ -340,6 +574,27 @@ mod tests {
 
     fn test_plan() -> RemapPlan {
         test_plan_for(&EngineSpec::Serial)
+    }
+
+    fn yuv_test_plan_for(spec: &EngineSpec) -> ViewPlan {
+        let lens = FisheyeLens::equidistant_fov(128, 96, 180.0);
+        let view = PerspectiveView::centered(64, 48, 90.0);
+        ViewPlan::compile(
+            FrameFormat::Yuv420,
+            &lens,
+            &view,
+            128,
+            96,
+            &PlanOptions::for_spec(spec, Interpolator::Bilinear),
+        )
+    }
+
+    fn yuv_frame(seed: u64) -> Frame {
+        Frame::Yuv420(Yuv420 {
+            y: random_gray(128, 96, seed),
+            cb: random_gray(64, 48, seed + 100),
+            cr: random_gray(64, 48, seed + 200),
+        })
     }
 
     #[test]
@@ -536,6 +791,132 @@ mod tests {
         let report = run_pipeline(src, &plan, config, |_, _| {});
         assert_eq!(report.frames, 10);
         assert_eq!(report.deadline_missed, 0);
+    }
+
+    #[test]
+    fn yuv_frames_reach_sink_and_match_offline() {
+        let plan = yuv_test_plan_for(&EngineSpec::Serial);
+        let frame = yuv_frame(21);
+        let srcs = frame.u8_planes().unwrap();
+        let expect: Vec<_> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, src)| correct_plan(src, plan.plane_plan(i), Interpolator::Bilinear))
+            .collect();
+        let src = Box::new(CycledFrames::new(vec![frame.clone()], 1));
+        let mut got = None;
+        let report = run_frame_pipeline(src, &plan, PipeConfig::default(), |_, planes| {
+            got = Some(
+                planes
+                    .into_iter()
+                    .map(|p| p.detach())
+                    .collect::<Vec<Image<Gray8>>>(),
+            );
+        });
+        let got = got.unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].dims(), (64, 48), "luma at full view resolution");
+        assert_eq!(got[1].dims(), (32, 24), "chroma at half resolution");
+        assert_eq!(got, expect, "pipeline output matches offline per-plane");
+        assert_eq!(report.frames, 1);
+        let labels: Vec<&str> = report
+            .plane_kernel
+            .iter()
+            .map(|(l, _)| l.as_str())
+            .collect();
+        assert_eq!(labels, ["y", "cb", "cr"]);
+    }
+
+    #[test]
+    fn frame_pipeline_steady_state_recycles_every_plane() {
+        let plan = yuv_test_plan_for(&EngineSpec::Serial);
+        let frames = vec![yuv_frame(31), yuv_frame(32)];
+        let src = Box::new(CycledFrames::new(frames, 40));
+        let config = PipeConfig {
+            workers: 4,
+            ..Default::default()
+        };
+        let report = run_frame_pipeline(src, &plan, config, |_, _| {});
+        assert_eq!(report.frames, 40);
+        assert_eq!(report.pool_misses, 0, "steady state must never allocate");
+        assert_eq!(report.pool_hits, 40 * 3, "three plane buffers per frame");
+        assert!(report.kernel_time > Duration::ZERO);
+        let plane_sum: Duration = report.plane_kernel.iter().map(|(_, t)| *t).sum();
+        assert!(
+            plane_sum <= report.kernel_time * 2 && plane_sum * 2 >= report.kernel_time,
+            "per-plane kernel times sum to the same order as the total \
+             ({plane_sum:?} vs {:?})",
+            report.kernel_time
+        );
+    }
+
+    #[test]
+    fn frame_pipeline_resequences_in_order() {
+        let plan = yuv_test_plan_for(&EngineSpec::Simd);
+        let src = Box::new(CycledFrames::new(vec![yuv_frame(41)], 30));
+        let config = PipeConfig {
+            workers: 4,
+            engine: EngineSpec::Simd,
+            resequence: Some(16),
+            ..Default::default()
+        };
+        let mut seqs = Vec::new();
+        let report = run_frame_pipeline(src, &plan, config, |seq, _| seqs.push(seq));
+        let expect: Vec<u64> = (0..report.frames).collect();
+        assert_eq!(seqs, expect);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.frames, 30);
+    }
+
+    #[test]
+    fn frame_pipeline_fixed_engine_matches_offline() {
+        let spec = EngineSpec::FixedPoint { frac_bits: 12 };
+        let plan = yuv_test_plan_for(&spec);
+        let frame = yuv_frame(51);
+        let srcs = frame.u8_planes().unwrap();
+        let expect: Vec<_> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, src)| correct_fixed(src, plan.plane_plan(i).fixed(12).unwrap()))
+            .collect();
+        let src = Box::new(CycledFrames::new(vec![frame.clone()], 1));
+        let config = PipeConfig {
+            engine: spec,
+            ..Default::default()
+        };
+        let mut got = None;
+        let _ = run_frame_pipeline(src, &plan, config, |_, planes| {
+            got = Some(
+                planes
+                    .into_iter()
+                    .map(|p| p.detach())
+                    .collect::<Vec<Image<Gray8>>>(),
+            );
+        });
+        assert_eq!(got.unwrap(), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "has none")]
+    fn frame_pipeline_rejects_float_frames() {
+        let plan = yuv_test_plan_for(&EngineSpec::Serial);
+        let src = Box::new(CycledFrames::new(
+            vec![Frame::new(FrameFormat::GrayF32, 128, 96)],
+            3,
+        ));
+        let _ = run_frame_pipeline(src, &plan, PipeConfig::default(), |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "a plane plan was not compiled with a 12-bit LUT")]
+    fn frame_pipeline_fixed_without_lut_rejected_up_front() {
+        let plan = yuv_test_plan_for(&EngineSpec::Serial);
+        let src = Box::new(CycledFrames::new(vec![yuv_frame(61)], 3));
+        let config = PipeConfig {
+            engine: EngineSpec::FixedPoint { frac_bits: 12 },
+            ..Default::default()
+        };
+        let _ = run_frame_pipeline(src, &plan, config, |_, _| {});
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl<T> Resequencer<T> {
         self.pending.insert(seq, item);
         if self.pending.len() > self.capacity {
             // skip to the oldest pending item
-            let oldest = *self.pending.keys().next().unwrap();
+            let oldest = *self
+                .pending
+                .keys()
+                .next()
+                .expect("len > capacity implies non-empty");
             self.dropped += oldest - self.next;
             self.next = oldest;
         }

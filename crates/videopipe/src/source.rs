@@ -7,9 +7,14 @@
 //! * [`ShiftVideo`] — a single capture translated by a growing offset
 //!   each frame (cheap per frame; models a panning camera well enough
 //!   for throughput work where frame *content* is irrelevant).
+//! * [`CycledFrames`] — the multi-plane counterpart of `CycledVideo`:
+//!   cycles whole [`Frame`]s (YUV 4:2:0, planar RGB, or gray) for the
+//!   format-aware pipeline
+//!   ([`run_frame_pipeline`](crate::pipeline::run_frame_pipeline)).
 
 use std::time::Instant;
 
+use fisheye_core::frame::{Frame, FrameFormat};
 use pixmap::{Gray8, Image};
 
 /// A timestamped frame traveling through the pipeline.
@@ -30,6 +35,85 @@ pub trait VideoSource: Send {
 
     /// Frame dimensions.
     fn dims(&self) -> (u32, u32);
+}
+
+/// A timestamped multi-plane frame traveling through the format-aware
+/// pipeline — [`VideoFrame`]'s counterpart for any [`FrameFormat`].
+#[derive(Clone, Debug)]
+pub struct FramePacket {
+    /// Sequence number (0-based).
+    pub seq: u64,
+    /// Capture timestamp (latency measurements start here).
+    pub captured_at: Instant,
+    /// The distorted fisheye frame, all planes.
+    pub frame: Frame,
+}
+
+/// A source of multi-plane frames. `next_frame` returns `None` at end
+/// of stream; every frame must share [`format`](Self::format) and
+/// [`dims`](Self::dims).
+pub trait FrameSource: Send {
+    /// Produce the next frame, or `None` when the stream ends.
+    fn next_frame(&mut self) -> Option<FramePacket>;
+
+    /// Full-resolution frame dimensions.
+    fn dims(&self) -> (u32, u32);
+
+    /// The format of every frame this source produces.
+    fn format(&self) -> FrameFormat;
+}
+
+/// Cycles through a fixed set of multi-plane frames for `total`
+/// frames — [`CycledVideo`] for any [`FrameFormat`].
+pub struct CycledFrames {
+    frames: Vec<Frame>,
+    total: u64,
+    seq: u64,
+}
+
+impl CycledFrames {
+    /// A stream of `total` frames cycling `frames` (must be non-empty,
+    /// all the same format and size).
+    pub fn new(frames: Vec<Frame>, total: u64) -> Self {
+        assert!(!frames.is_empty(), "need at least one frame");
+        let format = frames[0].format();
+        let dims = frames[0].dims();
+        assert!(
+            frames
+                .iter()
+                .all(|f| f.format() == format && f.dims() == dims),
+            "all frames must share format and dimensions"
+        );
+        CycledFrames {
+            frames,
+            total,
+            seq: 0,
+        }
+    }
+}
+
+impl FrameSource for CycledFrames {
+    fn next_frame(&mut self) -> Option<FramePacket> {
+        if self.seq >= self.total {
+            return None;
+        }
+        let frame = self.frames[(self.seq % self.frames.len() as u64) as usize].clone();
+        let p = FramePacket {
+            seq: self.seq,
+            captured_at: Instant::now(),
+            frame,
+        };
+        self.seq += 1;
+        Some(p)
+    }
+
+    fn dims(&self) -> (u32, u32) {
+        self.frames[0].dims()
+    }
+
+    fn format(&self) -> FrameFormat {
+        self.frames[0].format()
+    }
 }
 
 /// Cycles through a fixed set of frames for `total` frames.
@@ -168,6 +252,37 @@ mod tests {
         let _ = v2.next_frame();
         let f2 = v2.next_frame().unwrap(); // shift 10 % 10 = 0
         assert_eq!(f2.image, base);
+    }
+
+    #[test]
+    fn cycled_frames_counts_cycles_and_reports_format() {
+        let a = Frame::new(FrameFormat::Yuv420, 16, 12);
+        let mut b = Frame::new(FrameFormat::Yuv420, 16, 12);
+        if let Frame::Yuv420(yuv) = &mut b {
+            yuv.y = random_gray(16, 12, 9);
+        }
+        let mut s = CycledFrames::new(vec![a.clone(), b.clone()], 5);
+        assert_eq!(s.dims(), (16, 12));
+        assert_eq!(s.format(), FrameFormat::Yuv420);
+        let packets: Vec<_> = std::iter::from_fn(|| s.next_frame()).collect();
+        assert_eq!(packets.len(), 5);
+        assert_eq!(packets[0].frame, a);
+        assert_eq!(packets[1].frame, b);
+        assert_eq!(packets[2].frame, a);
+        assert_eq!(packets[4].seq, 4);
+        assert!(s.next_frame().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "share format and dimensions")]
+    fn cycled_frames_checks_format() {
+        let _ = CycledFrames::new(
+            vec![
+                Frame::new(FrameFormat::Yuv420, 16, 12),
+                Frame::new(FrameFormat::Rgb8, 16, 12),
+            ],
+            2,
+        );
     }
 
     #[test]

@@ -1,18 +1,17 @@
 //! Color video end to end: synthesize a moving color fisheye stream,
-//! correct it in YUV 4:2:0 (the camera wire format), and write a
-//! playable YUV4MPEG2 file.
+//! correct it in YUV 4:2:0 (the camera wire format) through the
+//! multi-plane `Corrector`, and write a playable YUV4MPEG2 file.
 //!
 //! ```sh
 //! cargo run --release --example color_video
 //! mpv target/example-out/corrected.y4m   # or ffplay
 //! ```
 
-use fisheye::core::yuv::{correct_yuv420, YuvMaps};
-use fisheye::core::Interpolator;
 use fisheye::img::y4m::Y4mWriter;
 use fisheye::img::yuv::Yuv420;
 use fisheye::img::{Image, Rgb8};
 use fisheye::prelude::*;
+use fisheye::Corrector;
 
 /// Render one colorful RGB frame of the synthetic world at time `t`,
 /// then push it through the forward fisheye model per channel.
@@ -40,10 +39,23 @@ fn main() {
     let frames = 48u64;
     let lens = FisheyeLens::equidistant_fov(w, h, 180.0);
     let view = PerspectiveView::centered(w, h, 100.0);
-    let maps = YuvMaps::build(&lens, &view, w, h);
+    let corrector: Corrector = Corrector::builder()
+        .lens(lens)
+        .view(view)
+        .source(w, h)
+        .format(FrameFormat::Yuv420)
+        .build()
+        .expect("valid corrector");
+    let plan_bytes: usize = corrector
+        .view_plan()
+        .plans()
+        .iter()
+        .map(|p| p.bytes())
+        .sum();
     println!(
-        "correcting {frames} YUV420 frames at {w}x{h} (LUTs: {} KB)",
-        maps.bytes() / 1024
+        "correcting {frames} YUV420 frames at {w}x{h} \
+         (full-res luma plan + half-res chroma plan: {} KB)",
+        plan_bytes / 1024
     );
 
     let out_dir = std::path::Path::new("target/example-out");
@@ -55,7 +67,12 @@ fn main() {
     let t0 = std::time::Instant::now();
     for i in 0..frames {
         let frame = distorted_color_frame(&lens, w, h, i as f64 / 24.0);
-        let corrected = correct_yuv420(&frame, &maps, Interpolator::Bilinear);
+        let (corrected, _report) = corrector
+            .correct_frame(&Frame::Yuv420(frame))
+            .expect("correct frame");
+        let Frame::Yuv420(corrected) = corrected else {
+            unreachable!("yuv420 in, yuv420 out");
+        };
         writer.write_frame(&corrected).expect("write frame");
     }
     let elapsed = t0.elapsed().as_secs_f64();

@@ -16,4 +16,7 @@ cargo run --release --offline -p fisheye-bench --bin repro_a1_ablations
 echo "bench-smoke: repro_t4_engine_reports (quick scale)"
 cargo run --release --offline -p fisheye-bench --bin repro_t4_engine_reports
 
+echo "bench-smoke: repro_t6_color_formats (quick scale)"
+cargo run --release --offline -p fisheye-bench --bin repro_t6_color_formats
+
 echo "bench-smoke: OK"

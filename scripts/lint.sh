@@ -20,6 +20,12 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "lint: cargo clippy fisheye-serve (deny unwrap_used)"
 cargo clippy --offline -p fisheye-serve --no-deps --all-targets -- -D warnings -D clippy::unwrap_used
 
+# Same rule for the streaming pipeline: videopipe library code runs
+# inside worker threads for the life of a stream, where a stray unwrap
+# kills the whole pipeline (library only; its tests use unwrap freely).
+echo "lint: cargo clippy videopipe lib (deny unwrap_used)"
+cargo clippy --offline -p videopipe --no-deps --lib -- -D warnings -D clippy::unwrap_used
+
 echo "lint: cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 

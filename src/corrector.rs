@@ -25,13 +25,41 @@
 //! # Ok::<(), fisheye::Error>(())
 //! ```
 //!
-//! `build()` does the expensive work exactly once — trace the map,
-//! compile the [`RemapPlan`], resolve the [`EngineSpec`] to an engine
+//! `build()` does the expensive work exactly once — trace the map(s),
+//! compile the [`ViewPlan`], resolve the [`EngineSpec`] to an engine
 //! — so the per-frame call is nothing but plan execution. View
 //! changes go through [`Corrector::set_view`] (recompile) or, in the
-//! serving layer, [`Corrector::set_plan`] (adopt a cached plan
-//! compiled by another session — the same `Arc<RemapPlan>` serves
-//! every tenant with that view).
+//! serving layer, [`Corrector::set_plan`] /
+//! [`Corrector::set_view_plan`] (adopt cached plans compiled by
+//! another session — the same `Arc<RemapPlan>`s serve every tenant
+//! with that view).
+//!
+//! ## Multi-plane formats
+//!
+//! The corrector speaks every [`FrameFormat`], not just single gray
+//! planes. Internally *every* corrector collapses onto a
+//! [`FrameCorrector`] from the core frame layer; the generic
+//! single-image path ([`Corrector::correct_into`]) is simply the
+//! degenerate one-plane case. Declare a format on the builder and
+//! feed whole [`Frame`]s:
+//!
+//! ```
+//! use fisheye::prelude::*;
+//!
+//! let lens = FisheyeLens::equidistant_fov(128, 96, 180.0);
+//! let view = PerspectiveView::centered(64, 48, 90.0);
+//! let corrector: Corrector = Corrector::builder()
+//!     .lens(lens)
+//!     .view(view)
+//!     .format(FrameFormat::Yuv420)
+//!     .build()?;
+//!
+//! let frame = Frame::new(FrameFormat::Yuv420, 128, 96);
+//! let (out, report) = corrector.correct_frame(&frame)?;
+//! assert_eq!(out.dims(), (64, 48));
+//! assert_eq!(report.model["planes"], 3.0);
+//! # Ok::<(), fisheye::Error>(())
+//! ```
 
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -39,6 +67,7 @@ use std::time::{Duration, Instant};
 
 use crate::cell::{CellConfig, CellEngine};
 use crate::core::engine::{build_host, CorrectionEngine, EngineError, EngineSpec, HostCtx};
+use crate::core::frame::{Frame, FrameCorrector, FrameEngines, FrameFormat, PlaneClass, ViewPlan};
 use crate::core::plan::plan_request_digest;
 use crate::core::{FrameReport, Interpolator, PlanOptions, RemapMap, RemapPlan};
 use crate::error::Error;
@@ -76,8 +105,14 @@ impl<'a> ResolveCtx<'a> {
 }
 
 /// Pixel types the [`Corrector`] can serve: each knows how to resolve
-/// any [`EngineSpec`] — host or accelerator — for itself.
+/// any [`EngineSpec`] — host or accelerator — for itself, and how the
+/// frame layer carries its planes.
 pub trait CorrectorPixel: crate::core::engine::EnginePixel + 'static {
+    /// The degenerate single-plane format of this pixel type (the
+    /// builder default).
+    #[doc(hidden)]
+    const FORMAT: FrameFormat;
+
     /// Resolve `spec` to a boxed engine for this pixel type, or
     /// explain why the combination has no implementation.
     #[doc(hidden)]
@@ -85,10 +120,25 @@ pub trait CorrectorPixel: crate::core::engine::EnginePixel + 'static {
         spec: &EngineSpec,
         ctx: &ResolveCtx<'_>,
     ) -> Result<Box<dyn CorrectionEngine<Self>>, EngineError>;
+
+    /// Wrap a resolved engine in the frame layer's engine holder.
+    #[doc(hidden)]
+    fn pack_engine(engine: Box<dyn CorrectionEngine<Self>>) -> FrameEngines;
+
+    /// The degenerate single-plane correction: one full-res plane of
+    /// this pixel type through the frame corrector.
+    #[doc(hidden)]
+    fn correct_single(
+        frames: &FrameCorrector,
+        src: &Image<Self>,
+        out: &mut Image<Self>,
+    ) -> Result<FrameReport, EngineError>;
 }
 
 /// Every registry spec resolves for byte-gray frames.
 impl CorrectorPixel for Gray8 {
+    const FORMAT: FrameFormat = FrameFormat::Gray8;
+
     fn resolve_engine(
         spec: &EngineSpec,
         ctx: &ResolveCtx<'_>,
@@ -101,12 +151,26 @@ impl CorrectorPixel for Gray8 {
             _ => build_host::<Gray8>(spec, &ctx.host()),
         }
     }
+
+    fn pack_engine(engine: Box<dyn CorrectionEngine<Gray8>>) -> FrameEngines {
+        FrameEngines::U8(engine)
+    }
+
+    fn correct_single(
+        frames: &FrameCorrector,
+        src: &Image<Gray8>,
+        out: &mut Image<Gray8>,
+    ) -> Result<FrameReport, EngineError> {
+        frames.correct_plane_u8(PlaneClass::Full, src, out)
+    }
 }
 
 /// Float frames: the integer datapaths (`fixed`, `cell`) have no
 /// float implementation and resolve to
 /// [`EngineError::Unsupported`].
 impl CorrectorPixel for GrayF32 {
+    const FORMAT: FrameFormat = FrameFormat::GrayF32;
+
     fn resolve_engine(
         spec: &EngineSpec,
         ctx: &ResolveCtx<'_>,
@@ -121,6 +185,18 @@ impl CorrectorPixel for GrayF32 {
             }
             _ => build_host::<GrayF32>(spec, &ctx.host()),
         }
+    }
+
+    fn pack_engine(engine: Box<dyn CorrectionEngine<GrayF32>>) -> FrameEngines {
+        FrameEngines::F32(engine)
+    }
+
+    fn correct_single(
+        frames: &FrameCorrector,
+        src: &Image<GrayF32>,
+        out: &mut Image<GrayF32>,
+    ) -> Result<FrameReport, EngineError> {
+        frames.correct_plane_f32(src, out)
     }
 }
 
@@ -147,12 +223,14 @@ pub struct CorrectorBuilder<P: CorrectorPixel = Gray8> {
     lens: Option<FisheyeLens>,
     target: Option<Target>,
     source: Option<(u32, u32)>,
+    format: Option<FrameFormat>,
     spec: EngineSpec,
     interp: Interpolator,
     threads: usize,
     cell: CellConfig,
     gpu: GpuConfig,
     plan: Option<Arc<RemapPlan>>,
+    view_plan: Option<ViewPlan>,
     _pixel: PhantomData<P>,
 }
 
@@ -162,12 +240,14 @@ impl<P: CorrectorPixel> Default for CorrectorBuilder<P> {
             lens: None,
             target: None,
             source: None,
+            format: None,
             spec: EngineSpec::Serial,
             interp: Interpolator::Bilinear,
             threads: 4,
             cell: CellConfig::default(),
             gpu: GpuConfig::default(),
             plan: None,
+            view_plan: None,
             _pixel: PhantomData,
         }
     }
@@ -199,6 +279,17 @@ impl<P: CorrectorPixel> CorrectorBuilder<P> {
     /// exact for every `*_fov` lens constructor.
     pub fn source(mut self, width: u32, height: u32) -> Self {
         self.source = Some((width, height));
+        self
+    }
+
+    /// The frame format this corrector accepts (default: the pixel
+    /// type's own single-plane format). Multi-plane formats
+    /// ([`FrameFormat::Yuv420`], [`FrameFormat::Rgb8`]) require the
+    /// `Gray8` pixel type (their planes are byte planes), a
+    /// perspective-view target, and a plan-consuming backend (any
+    /// registry spec except `direct`).
+    pub fn format(mut self, format: FrameFormat) -> Self {
+        self.format = Some(format);
         self
     }
 
@@ -236,13 +327,23 @@ impl<P: CorrectorPixel> CorrectorBuilder<P> {
     /// Adopt an already-compiled plan instead of compiling one
     /// (the serving layer injects its cache's `Arc<RemapPlan>` here).
     /// The plan must match the view and source dimensions or
-    /// [`build`](Self::build) reports [`Error::Config`].
+    /// [`build`](Self::build) reports [`Error::Config`]. Single-plane
+    /// formats only — multi-plane formats inject a whole
+    /// [`view_plan`](Self::view_plan).
     pub fn plan(mut self, plan: Arc<RemapPlan>) -> Self {
         self.plan = Some(plan);
         self
     }
 
-    /// Compile the plan (unless injected), resolve the engine, and
+    /// Adopt an already-compiled multi-plane [`ViewPlan`] (the serving
+    /// layer assembles one from per-plane cache hits). Must match the
+    /// declared format, view and source dimensions.
+    pub fn view_plan(mut self, plan: ViewPlan) -> Self {
+        self.view_plan = Some(plan);
+        self
+    }
+
+    /// Compile the plan(s) (unless injected), resolve the engine, and
     /// return the ready corrector. All validation happens here —
     /// nothing in the builder chain panics on bad input.
     pub fn build(self) -> Result<Corrector<P>, Error> {
@@ -252,6 +353,32 @@ impl<P: CorrectorPixel> CorrectorBuilder<P> {
         let target = self.target.ok_or_else(|| {
             Error::config("Corrector::builder(): .view(..) or .projection(..) is required")
         })?;
+        let format = self.format.unwrap_or(P::FORMAT);
+        if format != P::FORMAT && !(P::FORMAT == FrameFormat::Gray8 && format.is_multi_plane()) {
+            return Err(Error::config(format!(
+                "format {format} is not available on the {} pixel type",
+                P::FORMAT
+            )));
+        }
+        if format.is_multi_plane() {
+            if matches!(target, Target::Projection(_)) {
+                return Err(Error::config(
+                    "multi-plane formats require a perspective-view target",
+                ));
+            }
+            if matches!(self.spec, EngineSpec::Direct) {
+                return Err(Error::config(
+                    "the direct backend ignores the compiled plan and cannot \
+                     render half-resolution chroma geometry; pick a plan-consuming backend",
+                ));
+            }
+            if self.plan.is_some() {
+                return Err(Error::config(
+                    "a single injected plan cannot drive a multi-plane format; \
+                     inject a ViewPlan with .view_plan(..)",
+                ));
+            }
+        }
         let (src_w, src_h) = match self.source {
             Some(dims) => dims,
             None => {
@@ -287,56 +414,69 @@ impl<P: CorrectorPixel> CorrectorBuilder<P> {
                 return Err(Error::config("smp schedule chunk must be positive"));
             }
         }
-        let engine = {
-            let geometry = match &target {
-                Target::View(v) => Some((&lens, v)),
-                Target::Projection(_) => None,
-            };
-            P::resolve_engine(
-                &self.spec,
-                &ResolveCtx {
-                    interp: self.interp,
-                    threads: self.threads,
-                    geometry,
-                    cell: self.cell,
-                    gpu: self.gpu,
-                },
-            )?
-        };
         let opts = PlanOptions::for_spec(&self.spec, self.interp);
-        let (plan, plan_injected, map_time, plan_time) = match self.plan {
-            Some(plan) => {
-                check_plan_matches(&plan, (out_w, out_h), (src_w, src_h))?;
-                (plan, true, Duration::ZERO, Duration::ZERO)
+        let (plan, plan_injected, map_time, plan_time) = match (self.view_plan, self.plan) {
+            (Some(vp), _) => {
+                check_view_plan_matches(&vp, format, (out_w, out_h), (src_w, src_h))?;
+                (vp, true, Duration::ZERO, Duration::ZERO)
             }
-            None => {
-                let t0 = Instant::now();
-                let map = match &target {
-                    Target::View(v) => RemapMap::build(&lens, v, src_w, src_h),
-                    Target::Projection(p) => RemapMap::build_projection(&lens, p, src_w, src_h),
-                };
-                let map_time = t0.elapsed();
-                let t1 = Instant::now();
-                let plan = Arc::new(RemapPlan::compile(&map, opts));
-                (plan, false, map_time, t1.elapsed())
+            (None, Some(plan)) => {
+                check_plan_matches(&plan, (out_w, out_h), (src_w, src_h))?;
+                let vp = ViewPlan::from_plans(format, vec![plan])?;
+                (vp, true, Duration::ZERO, Duration::ZERO)
+            }
+            (None, None) => {
+                let (vp, map_time, plan_time) =
+                    compile_target(format, &lens, &target, src_w, src_h, &opts);
+                (vp, false, map_time, plan_time)
             }
         };
-        Ok(Corrector {
+        let mut corrector = Corrector {
             lens,
             target,
             src_w,
             src_h,
+            format,
             spec: self.spec,
             interp: self.interp,
             threads: self.threads,
             cell: self.cell,
             gpu: self.gpu,
-            engine,
-            plan,
+            frames: None,
             plan_injected,
             map_time,
             plan_time,
-        })
+            _pixel: PhantomData,
+        };
+        corrector.rebuild_frames(plan)?;
+        Ok(corrector)
+    }
+}
+
+/// Compile the view plan for a target: perspective views go through
+/// [`ViewPlan::compile_timed`] (one plan per plane class); projection
+/// targets trace the projection map (single-plane formats only — the
+/// builder rejects the combination otherwise).
+fn compile_target(
+    format: FrameFormat,
+    lens: &FisheyeLens,
+    target: &Target,
+    src_w: u32,
+    src_h: u32,
+    opts: &PlanOptions,
+) -> (ViewPlan, Duration, Duration) {
+    match target {
+        Target::View(v) => ViewPlan::compile_timed(format, lens, v, src_w, src_h, opts),
+        Target::Projection(p) => {
+            let t0 = Instant::now();
+            let map = RemapMap::build_projection(lens, p, src_w, src_h);
+            let map_time = t0.elapsed();
+            let t1 = Instant::now();
+            let plan = Arc::new(RemapPlan::compile(&map, opts.clone()));
+            let vp = ViewPlan::from_plans(format, vec![plan])
+                .expect("single-plane projection plan is trivially consistent");
+            (vp, map_time, t1.elapsed())
+        }
     }
 }
 
@@ -364,24 +504,46 @@ fn check_plan_matches(
     Ok(())
 }
 
-/// A compiled, ready-to-run correction path: lens + view + plan +
-/// engine, built once by [`CorrectorBuilder::build`]. See the module
-/// docs.
+/// Validation for injected view plans: format and full-res dimensions
+/// must agree (per-class consistency was checked at assembly).
+fn check_view_plan_matches(
+    vp: &ViewPlan,
+    format: FrameFormat,
+    out: (u32, u32),
+    src: (u32, u32),
+) -> Result<(), Error> {
+    if vp.format() != format {
+        return Err(Error::config(format!(
+            "injected view plan is for {}, corrector format is {format}",
+            vp.format()
+        )));
+    }
+    check_plan_matches(vp.full(), out, src)
+}
+
+/// A compiled, ready-to-run correction path: lens + view + plan(s) +
+/// engine, built once by [`CorrectorBuilder::build`]. Internally every
+/// corrector is a [`FrameCorrector`] over its declared
+/// [`FrameFormat`]; the generic single-image entry points are the
+/// degenerate one-plane case. See the module docs.
 pub struct Corrector<P: CorrectorPixel = Gray8> {
     lens: FisheyeLens,
     target: Target,
     src_w: u32,
     src_h: u32,
+    format: FrameFormat,
     spec: EngineSpec,
     interp: Interpolator,
     threads: usize,
     cell: CellConfig,
     gpu: GpuConfig,
-    engine: Box<dyn CorrectionEngine<P>>,
-    plan: Arc<RemapPlan>,
+    /// Always `Some` after construction; `Option` only so rebuilds can
+    /// move the plan out without a placeholder corrector.
+    frames: Option<FrameCorrector>,
     plan_injected: bool,
     map_time: Duration,
     plan_time: Duration,
+    _pixel: PhantomData<P>,
 }
 
 impl<P: CorrectorPixel> Corrector<P> {
@@ -390,14 +552,22 @@ impl<P: CorrectorPixel> Corrector<P> {
         CorrectorBuilder::default()
     }
 
-    /// Correct one frame into a caller-supplied buffer. This is the
-    /// steady-state path: no allocation, no map work — just plan
-    /// execution on the chosen backend.
-    pub fn correct_into(&self, src: &Image<P>, out: &mut Image<P>) -> Result<FrameReport, Error> {
-        Ok(self.engine.correct_frame(src, &self.plan, out)?)
+    fn frames_ref(&self) -> &FrameCorrector {
+        self.frames.as_ref().expect("frames present after build")
     }
 
-    /// Correct one frame into a freshly allocated output image.
+    /// Correct one single-plane frame into a caller-supplied buffer.
+    /// This is the steady-state path: no allocation, no map work —
+    /// just plan execution on the chosen backend. On a multi-plane
+    /// corrector this corrects one full-resolution plane (the luma /
+    /// single-channel view of the stream); whole frames go through
+    /// [`correct_frame_into`](Self::correct_frame_into).
+    pub fn correct_into(&self, src: &Image<P>, out: &mut Image<P>) -> Result<FrameReport, Error> {
+        Ok(P::correct_single(self.frames_ref(), src, out)?)
+    }
+
+    /// Correct one single-plane frame into a freshly allocated output
+    /// image.
     pub fn correct(&self, src: &Image<P>) -> Result<(Image<P>, FrameReport), Error> {
         let (w, h) = self.target.out_dims();
         let mut out = Image::new(w, h);
@@ -405,9 +575,23 @@ impl<P: CorrectorPixel> Corrector<P> {
         Ok((out, report))
     }
 
+    /// Correct a whole (possibly multi-plane) frame into a
+    /// caller-supplied output frame of the declared format. For
+    /// multi-plane formats the report is the merged per-plane report
+    /// (summed kernel time, `<plane>.correct_ms` kv sections).
+    pub fn correct_frame_into(&self, src: &Frame, out: &mut Frame) -> Result<FrameReport, Error> {
+        Ok(self.frames_ref().correct_frame_into(src, out)?)
+    }
+
+    /// Correct a whole frame into a freshly allocated output frame.
+    pub fn correct_frame(&self, src: &Frame) -> Result<(Frame, FrameReport), Error> {
+        Ok(self.frames_ref().correct_frame(src)?)
+    }
+
     /// Point the corrector at a new perspective view, recompiling the
-    /// map and plan (the per-view-change cost; frames stay cheap).
-    /// Reports [`Error::Config`] on a projection-target corrector.
+    /// map(s) and plan(s) (the per-view-change cost; frames stay
+    /// cheap). Reports [`Error::Config`] on a projection-target
+    /// corrector.
     pub fn set_view(&mut self, view: PerspectiveView) -> Result<(), Error> {
         if view.width == 0 || view.height == 0 {
             return Err(Error::config("view dimensions must be positive"));
@@ -415,12 +599,10 @@ impl<P: CorrectorPixel> Corrector<P> {
         match self.target {
             Target::View(old) => {
                 self.target = Target::View(view);
-                if let Err(e) = self.rebuild_engine() {
+                if let Err(e) = self.recompile() {
                     self.target = Target::View(old);
                     return Err(e);
                 }
-                self.plan_injected = false;
-                self.recompile();
                 Ok(())
             }
             Target::Projection(_) => Err(Error::config(
@@ -441,48 +623,91 @@ impl<P: CorrectorPixel> Corrector<P> {
         }
         let before = self.interp;
         self.interp = interp;
-        if let Err(e) = self.rebuild_engine() {
+        let plan = self.frames_ref().plan().clone();
+        if let Err(e) = self.rebuild_frames(plan) {
             self.interp = before;
             // restore the old engine: the previous build succeeded, so
             // this cannot fail; if it somehow does, surface that error
-            self.rebuild_engine()?;
+            let plan = self.frames_ref().plan().clone();
+            self.rebuild_frames(plan)?;
             return Err(e);
         }
         if !self.plan_injected {
-            self.recompile();
+            self.recompile()?;
         }
         Ok(())
     }
 
     /// Adopt a plan compiled elsewhere (the serving layer's shared
     /// cache) for a new view. The plan must have been compiled for
-    /// `view` over this corrector's source dimensions.
+    /// `view` over this corrector's source dimensions. Single-plane
+    /// formats only; multi-plane correctors adopt a whole
+    /// [`ViewPlan`] through [`set_view_plan`](Self::set_view_plan).
     pub fn set_plan(&mut self, view: PerspectiveView, plan: Arc<RemapPlan>) -> Result<(), Error> {
+        if self.format.is_multi_plane() {
+            return Err(Error::config(format!(
+                "set_plan on a {} corrector; adopt a ViewPlan with set_view_plan",
+                self.format
+            )));
+        }
+        check_plan_matches(&plan, (view.width, view.height), (self.src_w, self.src_h))?;
+        let vp = ViewPlan::from_plans(self.format, vec![plan])?;
+        self.set_view_plan(view, vp)
+    }
+
+    /// Adopt a whole [`ViewPlan`] compiled/assembled elsewhere for a
+    /// new view (the serving layer resolves each plane class against
+    /// its shared cache and injects the assembly here).
+    pub fn set_view_plan(&mut self, view: PerspectiveView, plan: ViewPlan) -> Result<(), Error> {
         match self.target {
             Target::View(_) => {
                 let old = self.target;
                 self.target = Target::View(view);
-                if let Err(e) = self.adopt_plan(plan) {
-                    self.target = old;
-                    return Err(e);
-                }
-                self.rebuild_engine()
+                check_view_plan_matches(
+                    &plan,
+                    self.format,
+                    (view.width, view.height),
+                    (self.src_w, self.src_h),
+                )
+                .and_then(|()| self.rebuild_frames(plan))
+                .inspect(|()| {
+                    self.plan_injected = true;
+                    self.map_time = Duration::ZERO;
+                    self.plan_time = Duration::ZERO;
+                })
+                .inspect_err(|_| self.target = old)
             }
             Target::Projection(_) => Err(Error::config(
-                "set_plan on a projection corrector; build a new one",
+                "set_view_plan on a projection corrector; build a new one",
             )),
         }
     }
 
-    /// The compiled plan, shareable across correctors serving the
-    /// same view (`Arc`-cheap).
+    /// The compiled full-resolution plan, shareable across correctors
+    /// serving the same view (`Arc`-cheap). For multi-plane formats
+    /// this is the luma-class plan; the rest are on
+    /// [`view_plan`](Self::view_plan).
     pub fn plan(&self) -> &Arc<RemapPlan> {
-        &self.plan
+        self.frames_ref().plan().full()
+    }
+
+    /// The full per-plane-class plan set.
+    pub fn view_plan(&self) -> &ViewPlan {
+        self.frames_ref().plan()
+    }
+
+    /// The frame-layer dispatcher every call routes through — the
+    /// serving layer uses it directly for pooled per-plane output.
+    pub fn frame_corrector(&self) -> &FrameCorrector {
+        self.frames_ref()
     }
 
     /// Pre-compile digest of this corrector's (lens, view, source,
-    /// options) request — the key a plan cache files its plan under.
-    /// `None` for projection targets, which are not cache-keyed.
+    /// options) full-resolution plan request — the key a plan cache
+    /// files that plan under. `None` for projection targets, which
+    /// are not cache-keyed. (Multi-plane formats have one digest per
+    /// plane class; see
+    /// [`ViewPlan::plane_requests`].)
     pub fn request_digest(&self) -> Option<u64> {
         match &self.target {
             Target::View(v) => Some(plan_request_digest(
@@ -494,6 +719,11 @@ impl<P: CorrectorPixel> Corrector<P> {
             )),
             Target::Projection(_) => None,
         }
+    }
+
+    /// The frame format this corrector accepts and produces.
+    pub fn format(&self) -> FrameFormat {
+        self.format
     }
 
     /// The backend spec frames run on.
@@ -544,12 +774,14 @@ impl<P: CorrectorPixel> Corrector<P> {
         PlanOptions::for_spec(&self.spec, self.interp)
     }
 
-    fn rebuild_engine(&mut self) -> Result<(), Error> {
+    /// Resolve the engine for the current spec/interp and assemble the
+    /// frame corrector around `plan`.
+    fn rebuild_frames(&mut self, plan: ViewPlan) -> Result<(), Error> {
         let geometry = match &self.target {
             Target::View(v) => Some((&self.lens, v)),
             Target::Projection(_) => None,
         };
-        self.engine = P::resolve_engine(
+        let engine = P::resolve_engine(
             &self.spec,
             &ResolveCtx {
                 interp: self.interp,
@@ -559,30 +791,31 @@ impl<P: CorrectorPixel> Corrector<P> {
                 gpu: self.gpu,
             },
         )?;
+        let pool = FrameCorrector::default_plane_pool(self.format, &self.spec, self.threads);
+        self.frames = Some(FrameCorrector::from_parts(
+            self.format,
+            plan,
+            P::pack_engine(engine),
+            pool,
+        )?);
         Ok(())
     }
 
-    fn recompile(&mut self) {
-        let t0 = Instant::now();
-        let map = match &self.target {
-            Target::View(v) => RemapMap::build(&self.lens, v, self.src_w, self.src_h),
-            Target::Projection(p) => {
-                RemapMap::build_projection(&self.lens, p, self.src_w, self.src_h)
-            }
-        };
-        self.map_time = t0.elapsed();
-        let t1 = Instant::now();
-        self.plan = Arc::new(RemapPlan::compile(&map, self.plan_options()));
-        self.plan_time = t1.elapsed();
+    /// Recompile the plan(s) for the current target and rebuild the
+    /// frame corrector around them.
+    fn recompile(&mut self) -> Result<(), Error> {
+        let (plan, map_time, plan_time) = compile_target(
+            self.format,
+            &self.lens,
+            &self.target,
+            self.src_w,
+            self.src_h,
+            &self.plan_options(),
+        );
+        self.rebuild_frames(plan)?;
+        self.map_time = map_time;
+        self.plan_time = plan_time;
         self.plan_injected = false;
-    }
-
-    fn adopt_plan(&mut self, plan: Arc<RemapPlan>) -> Result<(), Error> {
-        check_plan_matches(&plan, self.target.out_dims(), (self.src_w, self.src_h))?;
-        self.plan = plan;
-        self.plan_injected = true;
-        self.map_time = Duration::ZERO;
-        self.plan_time = Duration::ZERO;
         Ok(())
     }
 }
@@ -592,6 +825,7 @@ impl<P: CorrectorPixel> std::fmt::Debug for Corrector<P> {
         f.debug_struct("Corrector")
             .field("spec", &self.spec.name())
             .field("interp", &self.interp)
+            .field("format", &self.format)
             .field("target", &self.target)
             .field("src", &(self.src_w, self.src_h))
             .finish()
@@ -635,6 +869,7 @@ mod tests {
             .unwrap();
         assert_eq!(c.source_dims(), (64, 48));
         assert_eq!(c.out_dims(), (32, 24));
+        assert_eq!(c.format(), FrameFormat::Gray8);
     }
 
     #[test]
@@ -765,5 +1000,118 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(e.kind(), crate::ErrorKind::Config);
+    }
+
+    #[test]
+    fn yuv_corrector_end_to_end_bit_exact_per_plane() {
+        let (lens, view) = lens_view();
+        let c = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .format(FrameFormat::Yuv420)
+            .build()
+            .unwrap();
+        assert_eq!(c.format(), FrameFormat::Yuv420);
+        let src = Frame::Yuv420(crate::core::synth::capture_fisheye_yuv(
+            &crate::img::scene::Checkerboard { cells: 5 },
+            &crate::img::scene::RadialGradient,
+            &crate::img::scene::Checkerboard { cells: 3 },
+            crate::core::synth::World::Spherical,
+            &lens,
+            64,
+            48,
+            1,
+        ));
+        let (out, report) = c.correct_frame(&src).unwrap();
+        assert_eq!(out.dims(), (32, 24));
+        assert_eq!(report.model["planes"], 3.0);
+        // each plane bit-exact against the single-plane engine path
+        let vp = c.view_plan();
+        let srcs = src.u8_planes().unwrap();
+        let outs = out.u8_planes().unwrap();
+        for (i, (s, o)) in srcs.iter().zip(&outs).enumerate() {
+            let reference = crate::core::correct_plan(s, vp.plane_plan(i), Interpolator::Bilinear);
+            assert_eq!(reference.pixels(), o.pixels(), "plane {i}");
+        }
+        // the luma plane is also exactly what the gray path produces
+        let (gray_out, _) = c.correct(&srcs[0].clone()).unwrap();
+        assert_eq!(gray_out.pixels(), outs[0].pixels());
+    }
+
+    #[test]
+    fn multi_plane_misconfigurations_are_config_errors() {
+        let (lens, view) = lens_view();
+        // float pixel type cannot carry byte planes
+        let e = Corrector::<GrayF32>::builder()
+            .lens(lens)
+            .view(view)
+            .format(FrameFormat::Yuv420)
+            .build()
+            .unwrap_err();
+        assert_eq!(e.kind(), crate::ErrorKind::Config);
+        // direct ignores the plan → wrong chroma geometry
+        let e = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .format(FrameFormat::Yuv420)
+            .backend(EngineSpec::Direct)
+            .build()
+            .unwrap_err();
+        assert_eq!(e.kind(), crate::ErrorKind::Config);
+        // projections have no chroma-class geometry
+        let e = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .projection(OutputProjection::cylinder_180(64, 24, 30.0))
+            .format(FrameFormat::Rgb8)
+            .build()
+            .unwrap_err();
+        assert_eq!(e.kind(), crate::ErrorKind::Config);
+        // a single injected plan cannot drive three planes
+        let map = RemapMap::build(&lens, &view, 64, 48);
+        let plan = Arc::new(RemapPlan::compile(&map, PlanOptions::default()));
+        let e = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .format(FrameFormat::Yuv420)
+            .plan(plan)
+            .build()
+            .unwrap_err();
+        assert_eq!(e.kind(), crate::ErrorKind::Config);
+    }
+
+    #[test]
+    fn set_view_plan_adopts_assembled_plans() {
+        let (lens, view) = lens_view();
+        let mut c = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .format(FrameFormat::Yuv420)
+            .build()
+            .unwrap();
+        let panned = view.look(0.2, 0.0);
+        let vp = ViewPlan::compile(
+            FrameFormat::Yuv420,
+            &lens,
+            &panned,
+            64,
+            48,
+            &PlanOptions::default(),
+        );
+        c.set_view_plan(panned, vp.clone()).unwrap();
+        assert_eq!(c.view(), Some(panned));
+        assert_eq!(c.plan().digest(), vp.full().digest());
+        assert_eq!(c.plan_time(), Duration::ZERO, "injected, not compiled");
+        // wrong-format adoption is rejected and leaves the view alone
+        let gray_vp = ViewPlan::compile(
+            FrameFormat::Gray8,
+            &lens,
+            &view,
+            64,
+            48,
+            &PlanOptions::default(),
+        );
+        let e = c.set_view_plan(view, gray_vp).unwrap_err();
+        assert_eq!(e.kind(), crate::ErrorKind::Config);
+        assert_eq!(c.view(), Some(panned));
     }
 }

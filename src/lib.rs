@@ -72,15 +72,16 @@ pub use error::{Error, ErrorKind};
 /// removals are breaking.
 pub mod prelude {
     pub use crate::core::{
-        CorrectionEngine, CorrectionPipeline, EngineSpec, FixedRemapMap, FrameReport, Interpolator,
-        PipelineConfig, PlanOptions, RemapMap, RemapPlan, TilePlan,
+        CorrectionEngine, CorrectionPipeline, EngineSpec, FixedRemapMap, Frame, FrameCorrector,
+        FrameFormat, FrameReport, Interpolator, PipelineConfig, PlanOptions, PlaneClass, RemapMap,
+        RemapPlan, TilePlan, ViewPlan,
     };
     pub use crate::corrector::{Corrector, CorrectorBuilder, CorrectorPixel};
     pub use crate::error::{Error, ErrorKind};
     pub use crate::geom::{
         BrownConrady, FisheyeLens, LensModel, OutputProjection, PerspectiveView,
     };
-    pub use crate::img::{FramePool, Gray8, GrayF32, Image, Pixel, Rgb8};
+    pub use crate::img::{FramePool, Gray8, GrayF32, Image, Pixel, PlanePool, Rgb8};
     pub use crate::par::{Schedule, ThreadPool};
 }
 

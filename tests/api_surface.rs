@@ -31,6 +31,10 @@ use fisheye::prelude::{
     ErrorKind,
     FisheyeLens,
     FixedRemapMap,
+    // frame layer: multi-plane formats, plans, dispatch
+    Frame,
+    FrameCorrector,
+    FrameFormat,
     // img: pixel formats, frames, pooling
     FramePool,
     FrameReport,
@@ -44,6 +48,8 @@ use fisheye::prelude::{
     PipelineConfig,
     Pixel,
     PlanOptions,
+    PlaneClass,
+    PlanePool,
     RemapMap,
     RemapPlan,
     Rgb8,
@@ -51,6 +57,7 @@ use fisheye::prelude::{
     Schedule,
     ThreadPool,
     TilePlan,
+    ViewPlan,
 };
 
 /// Every registry spec's `Display` form parses back to itself.
@@ -117,4 +124,62 @@ fn prelude_is_sufficient_for_the_common_path() {
         .build()
         .expect_err("missing lens/view must not build");
     assert_eq!(err.kind(), ErrorKind::Config);
+}
+
+/// Every `FrameFormat`'s `Display` form parses back to the same
+/// format, so formats can travel through CLIs and session configs as
+/// plain strings — same contract `EngineSpec` pins above.
+#[test]
+fn frame_format_display_round_trips_through_fromstr() {
+    for format in FrameFormat::ALL {
+        let shown = format.to_string();
+        let parsed: FrameFormat = shown.parse().unwrap_or_else(|e| {
+            panic!("format `{shown}` failed to re-parse: {e}");
+        });
+        assert_eq!(parsed, format, "round trip changed `{shown}`");
+        assert_eq!(shown, format.name(), "Display diverges from name()");
+        assert_eq!(format.plane_labels().len(), format.planes());
+    }
+    assert!(
+        "nv12".parse::<FrameFormat>().is_err(),
+        "unknown formats are Err"
+    );
+}
+
+/// The prelude's frame layer composes: a multi-plane `ViewPlan`
+/// compiled from prelude imports alone drives a `FrameCorrector` and
+/// the format-aware `Corrector` facade, with `PlanePool` supplying
+/// the output planes.
+#[test]
+fn prelude_is_sufficient_for_the_multi_plane_path() {
+    let lens = FisheyeLens::equidistant_fov(64, 48, 180.0);
+    let view = PerspectiveView::centered(32, 24, 90.0);
+    let spec = EngineSpec::Serial;
+    let interp = Interpolator::Bilinear;
+    let opts = PlanOptions::for_spec(&spec, interp);
+    let plan = ViewPlan::compile(FrameFormat::Yuv420, &lens, &view, 64, 48, &opts);
+    assert_eq!(plan.plans().len(), FrameFormat::Yuv420.classes().len());
+    assert_eq!(PlaneClass::Full.scale(), 1.0);
+    assert_eq!(PlaneClass::HalfChroma.scale(), 0.5);
+
+    let corrector: Corrector = Corrector::builder()
+        .lens(lens)
+        .view(view)
+        .source(64, 48)
+        .format(FrameFormat::Yuv420)
+        .backend(spec)
+        .interp(interp)
+        .build()
+        .expect("prelude-only multi-plane build");
+    assert_eq!(corrector.format(), FrameFormat::Yuv420);
+    let src = Frame::new(FrameFormat::Yuv420, 64, 48);
+    let (out, report) = corrector.correct_frame(&src).expect("correct frame");
+    assert_eq!(out.dims(), (32, 24));
+    assert_eq!(report.model.get("planes").copied(), Some(3.0));
+
+    // the dispatcher and pool are reachable directly too
+    let frames: &FrameCorrector = corrector.frame_corrector();
+    let pool = PlanePool::<Gray8>::new(&frames.plan().plane_dims());
+    let planes = pool.acquire();
+    assert_eq!(planes.len(), FrameFormat::Yuv420.planes());
 }

@@ -6,11 +6,33 @@ use fisheye::core::antialias::{correct_antialiased, supersampled_fraction, AaCon
 use fisheye::core::correct;
 use fisheye::core::stitch::{DualFisheyeRig, StitchMap};
 use fisheye::core::synth::{capture_fisheye, World};
-use fisheye::core::yuv::{correct_yuv420, YuvMaps};
 use fisheye::geom::OutputProjection;
 use fisheye::img::y4m::{decode_y4m, Y4mWriter};
 use fisheye::img::yuv::Yuv420;
 use fisheye::prelude::*;
+use fisheye::Corrector;
+
+/// A YUV420 facade corrector for the color tests.
+fn yuv_corrector(lens: FisheyeLens, view: PerspectiveView, src: (u32, u32)) -> Corrector {
+    Corrector::builder()
+        .lens(lens)
+        .view(view)
+        .source(src.0, src.1)
+        .format(FrameFormat::Yuv420)
+        .build()
+        .expect("valid yuv420 corrector")
+}
+
+/// Correct one YUV420 frame through the facade, unwrapping the format.
+fn correct_yuv(corrector: &Corrector, yuv: Yuv420) -> Yuv420 {
+    let (frame, _report) = corrector
+        .correct_frame(&Frame::Yuv420(yuv))
+        .expect("correct yuv frame");
+    match frame {
+        Frame::Yuv420(out) => out,
+        other => panic!("yuv420 in, {} out", other.format()),
+    }
+}
 
 #[test]
 fn color_pipeline_end_to_end_preserves_hue() {
@@ -25,8 +47,8 @@ fn color_pipeline_end_to_end_preserves_hue() {
             fisheye::img::Rgb8::new(30, 60, 210)
         }
     });
-    let maps = YuvMaps::build(&lens, &view, 128, 128);
-    let corrected = correct_yuv420(&Yuv420::from_rgb(&rgb), &maps, Interpolator::Bilinear);
+    let corrector = yuv_corrector(lens, view, (128, 128));
+    let corrected = correct_yuv(&corrector, Yuv420::from_rgb(&rgb));
     let out = corrected.to_rgb();
     // left half red-ish, right half blue-ish (the view is centered and
     // narrower than the lens, so sides map to sides)
@@ -40,12 +62,12 @@ fn color_pipeline_end_to_end_preserves_hue() {
 fn corrected_video_roundtrips_through_y4m() {
     let lens = FisheyeLens::equidistant_fov(64, 64, 180.0);
     let view = PerspectiveView::centered(32, 32, 90.0);
-    let maps = YuvMaps::build(&lens, &view, 64, 64);
+    let corrector = yuv_corrector(lens, view, (64, 64));
     let mut writer = Y4mWriter::new(Vec::new(), 32, 32, 30, 1);
     let mut originals = Vec::new();
     for seed in 0..3u64 {
         let frame = Yuv420::from_rgb(&fisheye::img::scene::random_rgb(64, 64, seed));
-        let corrected = correct_yuv420(&frame, &maps, Interpolator::Bilinear);
+        let corrected = correct_yuv(&corrector, frame);
         writer.write_frame(&corrected).unwrap();
         originals.push(corrected);
     }
