@@ -13,11 +13,8 @@
 //! redundancy, modeled cycles) land in the [`FrameReport`]'s uniform
 //! key/value section.
 
-use std::time::Instant;
-
 use fisheye_core::engine::{CorrectionEngine, EngineError, EngineSpec, FrameReport};
 use fisheye_core::plan::RemapPlan;
-use fisheye_core::{Interpolator, TilePlan};
 use pixmap::{Gray8, Image};
 
 use crate::{CellConfig, CellRunner};
@@ -99,17 +96,21 @@ impl CorrectionEngine<Gray8> for CellEngine {
                 ),
             ));
         }
-        // Plan-miss fallback: derive anything the plan does not carry.
+        // Plan-miss fallback: derive anything the plan does not carry
+        // through its memo, so only the first frame on a given plan
+        // pays the derivation — later frames are free (and silent).
         let mut misses = 0u32;
         let mut derive_ms = 0.0f64;
         let owned_fixed;
         let fixed = match plan.fixed(self.frac_bits) {
             Some(f) => f,
             None => {
-                let t0 = Instant::now();
-                owned_fixed = plan.map().to_fixed(self.frac_bits);
-                derive_ms += t0.elapsed().as_secs_f64() * 1e3;
-                misses += 1;
+                let (arc, ms) = plan.fixed_lazy(self.frac_bits);
+                if let Some(ms) = ms {
+                    derive_ms += ms;
+                    misses += 1;
+                }
+                owned_fixed = arc;
                 &owned_fixed
             }
         };
@@ -117,11 +118,12 @@ impl CorrectionEngine<Gray8> for CellEngine {
         let tiles = match plan.tile_plan(self.tile_w, self.tile_h) {
             Some(t) => t,
             None => {
-                let t0 = Instant::now();
-                owned_tiles =
-                    TilePlan::build(plan.map(), self.tile_w, self.tile_h, Interpolator::Bilinear);
-                derive_ms += t0.elapsed().as_secs_f64() * 1e3;
-                misses += 1;
+                let (arc, ms) = plan.tile_plan_lazy(self.tile_w, self.tile_h);
+                if let Some(ms) = ms {
+                    derive_ms += ms;
+                    misses += 1;
+                }
+                owned_tiles = arc;
                 &owned_tiles
             }
         };
@@ -158,6 +160,7 @@ mod tests {
     use fisheye_core::correct_fixed;
     use fisheye_core::map::RemapMap;
     use fisheye_core::plan::PlanOptions;
+    use fisheye_core::Interpolator;
     use fisheye_geom::{FisheyeLens, PerspectiveView};
 
     fn workload(spec: &EngineSpec) -> (RemapPlan, Image<Gray8>) {

@@ -1,0 +1,26 @@
+//! Reproduce T8 — view churn: cold vs delta view-change compilation
+//! and sustained serve fps under per-session view churn. Pass
+//! `--full` for the paper-scale run (includes the 1080p ≥3× claim).
+//!
+//! Besides the usual CSV, this bin writes `results/BENCH_t8.json`,
+//! the machine-readable speedup contract `scripts/bench_smoke.sh`
+//! enforces.
+
+use fisheye_bench::experiments::t8_view_churn;
+use fisheye_bench::table::results_dir;
+use fisheye_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let points = t8_view_churn::points(scale);
+    t8_view_churn::table(&points).emit("t8_view_churn");
+
+    let json = t8_view_churn::to_json(&points, scale);
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_t8.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -36,7 +36,7 @@ USAGE:
   fisheye calibrate --obs FILE          (CSV lines: theta_rad,radius_px)
   fisheye serve-sim [--sessions N] [--capacity N] [--views N] [--frames N]
                     [--size WxH] [--deadline-ms F] [--budget-ms F]
-                    [--format gray8|yuv420|rgb8]
+                    [--format gray8|yuv420|rgb8] [--churn N]
                     [--backend NAME] [--interp NAME] [--queue N] [--threads N]
   fisheye info      --in FILE
   fisheye backends                      (list correction backends)
@@ -380,6 +380,7 @@ fn serve_sim(args: &Args) -> CmdResult {
         "interp",
         "threads",
         "format",
+        "churn",
     ])?;
     let sessions: usize = args.num("sessions", 6)?;
     let capacity: usize = args.num("capacity", 4)?;
@@ -389,6 +390,9 @@ fn serve_sim(args: &Args) -> CmdResult {
     let deadline_ms: f64 = args.num("deadline-ms", 20.0)?;
     let budget_ms: f64 = args.num("budget-ms", 10.0)?;
     let queue: usize = args.num("queue", 4)?;
+    // 0 = static views; N > 0 pans every session every N frames,
+    // exercising the delta plan-recompilation path under load
+    let churn: usize = args.num("churn", 0)?;
     let threads: usize = args.num("threads", 4)?;
     let spec = EngineSpec::parse(args.opt("backend", "serial")).map_err(CliError::Usage)?;
     let interp = parse_interp(args.opt("interp", "bicubic"))?;
@@ -418,6 +422,7 @@ fn serve_sim(args: &Args) -> CmdResult {
     })?;
     let lens = FisheyeLens::equidistant_fov(sw, sh, 180.0);
     let mut admitted = Vec::new();
+    let mut base_views = Vec::new();
     let mut rejected = 0usize;
     for i in 0..sessions {
         // sessions cycle through `views` distinct pan angles: every
@@ -431,7 +436,10 @@ fn serve_sim(args: &Args) -> CmdResult {
             ..SessionConfig::new(lens, view, (sw, sh))
         };
         match server.connect(cfg) {
-            Ok(s) => admitted.push(s),
+            Ok(s) => {
+                admitted.push(s);
+                base_views.push(view);
+            }
             Err(e) if e.is_rejected() => rejected += 1,
             Err(e) => return Err(e.into()),
         }
@@ -446,7 +454,16 @@ fn serve_sim(args: &Args) -> CmdResult {
 
     let mut camera = CameraFeed::new(sw, sh, 42);
     let budget = std::time::Duration::from_secs_f64(budget_ms / 1e3);
-    for _ in 0..frames {
+    let mut pans = 0usize;
+    for f in 0..frames {
+        if churn > 0 && f > 0 && f % churn == 0 {
+            // every session pans: one plan-cache miss per shared view,
+            // served by delta recompilation from the outgoing plan
+            pans += 1;
+            for (s, base) in admitted.iter_mut().zip(&base_views) {
+                s.set_view(base.look(0.5 * pans as f64, 0.0))?;
+            }
+        }
         // one camera, N sessions: every queue holds the same Arc
         let frame = camera.next_frame_in(format);
         for s in admitted.iter_mut() {
@@ -478,6 +495,12 @@ fn serve_sim(args: &Args) -> CmdResult {
         cache.entries,
         cache.bytes / 1024,
     );
+    if churn > 0 {
+        println!(
+            "view churn: {pans} pans every {churn} frames, {} delta recompiles",
+            m.counter("serve.plan.delta_recompiles"),
+        );
+    }
     drop(admitted);
     println!("--- metrics snapshot ---");
     print!("{}", m.snapshot());
@@ -697,6 +720,13 @@ mod tests {
         assert_eq!(e.exit_code(), 2, "{e}");
         let e = run("serve-sim --format grayf32").unwrap_err();
         assert_eq!(e.exit_code(), 2, "{e}");
+    }
+
+    #[test]
+    fn serve_sim_churns_views() {
+        run("serve-sim --sessions 2 --capacity 2 --views 1 --frames 8 \
+             --size 96x72 --deadline-ms 50 --budget-ms 20 --churn 3")
+        .unwrap();
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //!                  [--out-size 1024x512]
 //! fisheye calibrate --obs obs.csv            # lines of "theta_rad,radius_px"
 //! fisheye serve-sim [--sessions N] [--capacity N] [--views N] [--frames N]
-//!                  [--deadline-ms F] [--budget-ms F]  # multi-session serving sim
+//!                  [--deadline-ms F] [--budget-ms F] [--churn N]
+//!                  # multi-session serving sim; --churn pans every N frames
 //! fisheye info     --in img.pgm
 //! fisheye backends                           # list correction backends
 //! ```

@@ -666,10 +666,16 @@ pub fn execute_host<P: EnginePixel>(
             let fmap = match plan.fixed(frac_bits) {
                 Some(f) => f,
                 None => {
-                    let t0 = Instant::now();
-                    owned = plan.map().to_fixed(frac_bits);
-                    report.kv("lut_quantize_ms", t0.elapsed().as_secs_f64() * 1e3);
-                    report.kv("plan_miss", 1.0);
+                    // Plan miss: derive through the plan's memo so
+                    // only the first frame after a (delta) compile
+                    // pays the quantization; later frames hit the
+                    // memo and report nothing.
+                    let (arc, derived_ms) = plan.fixed_lazy(frac_bits);
+                    if let Some(ms) = derived_ms {
+                        report.kv("plan_miss", 1.0);
+                        report.kv("plan_derive_ms", ms);
+                    }
+                    owned = arc;
                     &owned
                 }
             };

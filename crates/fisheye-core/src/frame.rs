@@ -339,13 +339,15 @@ impl Frame {
 
 /// The pre-compile description of one plane class's remap plan: the
 /// (possibly scaled) lens, view and source dimensions a plan for that
-/// class is traced from. This is what a shared plan cache keys on —
+/// class is traced from, plus the full-resolution geometry it was
+/// derived from. This is what a shared plan cache keys on —
 /// [`PlaneRequest::digest`] — and what it compiles on a miss.
 #[derive(Clone, Copy, Debug)]
 pub struct PlaneRequest {
     /// The plane class this request describes.
     pub class: PlaneClass,
-    /// Lens scaled to the class ([`FisheyeLens::scaled`]).
+    /// Lens scaled to the class ([`FisheyeLens::scaled`]) — the
+    /// nominal scaled geometry, part of the cache key.
     pub lens: FisheyeLens,
     /// View with class-scaled output dimensions.
     pub view: PerspectiveView,
@@ -353,6 +355,16 @@ pub struct PlaneRequest {
     pub src_w: u32,
     /// Class-scaled source height.
     pub src_h: u32,
+    /// The frame-level lens the request was derived from. `HalfChroma`
+    /// maps are traced through this full-resolution geometry (see
+    /// [`RemapMap::build_half_chroma`]): on odd-sized frames the
+    /// ceil'd plane dimensions make any scaled-lens formulation shift
+    /// the implicit view center by up to half a luma pixel.
+    pub full_lens: FisheyeLens,
+    /// The frame-level view the request was derived from.
+    pub full_view: PerspectiveView,
+    /// Frame-level (unscaled) source dimensions.
+    pub full_src: (u32, u32),
 }
 
 impl PlaneRequest {
@@ -366,29 +378,30 @@ impl PlaneRequest {
         src_w: u32,
         src_h: u32,
     ) -> PlaneRequest {
-        match class {
-            PlaneClass::Full => PlaneRequest {
-                class,
-                lens: *lens,
-                view: *view,
-                src_w,
-                src_h,
-            },
+        let (scaled_lens, scaled_view, (sw, sh)) = match class {
+            PlaneClass::Full => (*lens, *view, (src_w, src_h)),
             PlaneClass::HalfChroma => {
                 let (vw, vh) = class.apply((view.width, view.height));
-                let (sw, sh) = class.apply((src_w, src_h));
-                PlaneRequest {
-                    class,
-                    lens: lens.scaled(0.5),
-                    view: PerspectiveView {
+                (
+                    lens.scaled(0.5),
+                    PerspectiveView {
                         width: vw,
                         height: vh,
                         ..*view
                     },
-                    src_w: sw,
-                    src_h: sh,
-                }
+                    class.apply((src_w, src_h)),
+                )
             }
+        };
+        PlaneRequest {
+            class,
+            lens: scaled_lens,
+            view: scaled_view,
+            src_w: sw,
+            src_h: sh,
+            full_lens: *lens,
+            full_view: *view,
+            full_src: (src_w, src_h),
         }
     }
 
@@ -402,10 +415,26 @@ impl PlaneRequest {
         (base ^ self.class.salt()).wrapping_mul(0x100_0000_01b3)
     }
 
+    /// Trace this request's map — serially, or row-parallel on `pool`.
+    /// `Full` traces the scaled (= frame-level) geometry directly;
+    /// `HalfChroma` traces chroma pixels through the *full-resolution*
+    /// geometry so the chroma plane stays registered with luma on odd
+    /// dimensions.
+    pub fn build_map(&self, pool: Option<(&ThreadPool, Schedule)>) -> RemapMap {
+        let (sw, sh) = self.full_src;
+        match self.class {
+            PlaneClass::Full => {
+                RemapMap::build_pooled(&self.lens, &self.view, self.src_w, self.src_h, pool)
+            }
+            PlaneClass::HalfChroma => {
+                RemapMap::build_half_chroma(&self.full_lens, &self.full_view, sw, sh, pool)
+            }
+        }
+    }
+
     /// Trace the map and compile the plan this request describes.
     pub fn compile(&self, opts: PlanOptions) -> RemapPlan {
-        let map = RemapMap::build(&self.lens, &self.view, self.src_w, self.src_h);
-        RemapPlan::compile(&map, opts)
+        RemapPlan::compile(&self.build_map(None), opts)
     }
 }
 
@@ -465,13 +494,28 @@ impl ViewPlan {
         src_h: u32,
         opts: &PlanOptions,
     ) -> (ViewPlan, Duration, Duration) {
+        Self::compile_timed_pooled(format, lens, view, src_w, src_h, opts, None)
+    }
+
+    /// [`ViewPlan::compile_timed`] with the map trace optionally
+    /// row-parallelized on `pool` — the cold half of an interactive
+    /// view change.
+    pub fn compile_timed_pooled(
+        format: FrameFormat,
+        lens: &FisheyeLens,
+        view: &PerspectiveView,
+        src_w: u32,
+        src_h: u32,
+        opts: &PlanOptions,
+        pool: Option<(&ThreadPool, Schedule)>,
+    ) -> (ViewPlan, Duration, Duration) {
         let mut map_time = Duration::ZERO;
         let mut plan_time = Duration::ZERO;
         let plans = Self::plane_requests(format, lens, view, src_w, src_h)
             .into_iter()
             .map(|req| {
                 let t0 = Instant::now();
-                let map = RemapMap::build(&req.lens, &req.view, req.src_w, req.src_h);
+                let map = req.build_map(pool);
                 map_time += t0.elapsed();
                 let t1 = Instant::now();
                 let plan = Arc::new(RemapPlan::compile(&map, opts.clone()));
@@ -480,6 +524,47 @@ impl ViewPlan {
             })
             .collect();
         (ViewPlan { format, plans }, map_time, plan_time)
+    }
+
+    /// Delta-recompile this view plan for a new frame-level geometry —
+    /// the cheap path behind an interactive view change. Each class's
+    /// map is retraced (row-parallel when `pool` is given) and run
+    /// through [`RemapPlan::recompile`] against the previous class
+    /// plan, which reuses the span index of bit-identical rows and
+    /// defers LUT/tile materialization to first use. The result is
+    /// bit-exact against a cold [`ViewPlan::compile`] with the same
+    /// geometry and the previous plans' options.
+    pub fn recompile_timed(
+        &self,
+        lens: &FisheyeLens,
+        view: &PerspectiveView,
+        src_w: u32,
+        src_h: u32,
+        pool: Option<(&ThreadPool, Schedule)>,
+    ) -> (ViewPlan, Duration, Duration) {
+        let mut map_time = Duration::ZERO;
+        let mut plan_time = Duration::ZERO;
+        let plans = Self::plane_requests(self.format, lens, view, src_w, src_h)
+            .into_iter()
+            .zip(&self.plans)
+            .map(|(req, prev)| {
+                let t0 = Instant::now();
+                let map = req.build_map(pool);
+                map_time += t0.elapsed();
+                let t1 = Instant::now();
+                let plan = Arc::new(prev.recompile(map));
+                plan_time += t1.elapsed();
+                plan
+            })
+            .collect();
+        (
+            ViewPlan {
+                format: self.format,
+                plans,
+            },
+            map_time,
+            plan_time,
+        )
     }
 
     /// Assemble a view plan from per-class plans resolved elsewhere
@@ -1070,6 +1155,68 @@ mod tests {
         assert_eq!((req.view.width, req.view.height), (40, 30));
         assert_eq!((req.src_w, req.src_h), (48, 36));
         assert!((req.lens.focal_px - lens.scaled(0.5).focal_px).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_dimension_chroma_stays_registered_with_luma() {
+        // Regression: chroma maps used to be traced with a 0.5-scaled
+        // lens over ceil'd integer plane dims, which on odd-sized
+        // frames shifts the implicit chroma view center (and focal
+        // length) by up to half a luma pixel relative to the luma
+        // plane. A chroma pixel covers the 2×2 luma block centered at
+        // luma coordinate (2x+1, 2y+1), so its source coordinate must
+        // be exactly half the full-resolution trace of that point —
+        // for every parity.
+        let lens = FisheyeLens::equidistant_fov(95, 71, 175.0);
+        let view = PerspectiveView::centered(81, 61, 92.0);
+        let vp = ViewPlan::compile(
+            FrameFormat::Yuv420,
+            &lens,
+            &view,
+            95,
+            71,
+            &PlanOptions::default(),
+        );
+        let chroma = vp.class_plan(PlaneClass::HalfChroma).expect("chroma plan");
+        assert_eq!((chroma.width(), chroma.height()), (41, 31));
+        assert_eq!(chroma.src_dims(), (48, 36));
+        let map = chroma.map();
+        let mut checked = 0u32;
+        for y in 0..map.height() {
+            for x in 0..map.width() {
+                let e = map.entry(x, y);
+                let center = view.pixel_ray(2.0 * (x as f64 + 0.5), 2.0 * (y as f64 + 0.5));
+                match lens.project(center) {
+                    Some((sx, sy)) if (0.0..95.0).contains(&sx) && (0.0..71.0).contains(&sy) => {
+                        assert!(e.is_valid(), "({x},{y}) should be valid");
+                        assert_eq!(e.sx, (sx * 0.5) as f32, "({x},{y}) sx");
+                        assert_eq!(e.sy, (sy * 0.5) as f32, "({x},{y}) sy");
+                        checked += 1;
+                    }
+                    _ => assert!(!e.is_valid(), "({x},{y}) should be invalid"),
+                }
+            }
+        }
+        assert!(checked > 0, "no valid chroma pixels checked");
+    }
+
+    #[test]
+    fn view_plan_delta_recompile_matches_cold_compile() {
+        let (lens, view) = geometry();
+        let opts = PlanOptions {
+            frac_bits: vec![12],
+            ..PlanOptions::default()
+        };
+        let vp = ViewPlan::compile(FrameFormat::Yuv420, &lens, &view, 96, 72, &opts);
+        let panned = view.look(1.0, 0.0);
+        let (delta, map_time, plan_time) = vp.recompile_timed(&lens, &panned, 96, 72, None);
+        let cold = ViewPlan::compile(FrameFormat::Yuv420, &lens, &panned, 96, 72, &opts);
+        assert_eq!(delta.digest(), cold.digest());
+        for (d, c) in delta.plans().iter().zip(cold.plans()) {
+            assert_eq!(d.digest(), c.digest());
+            assert_eq!(d.invalid_pixels(), c.invalid_pixels());
+        }
+        assert!(map_time > Duration::ZERO && plan_time > Duration::ZERO);
     }
 
     #[test]

@@ -66,12 +66,7 @@ pub struct RemapMap {
 impl RemapMap {
     /// Build serially (the single-core baseline of experiment F1).
     pub fn build(lens: &FisheyeLens, view: &PerspectiveView, src_w: u32, src_h: u32) -> Self {
-        let mut m = Self::empty(view.width, view.height, src_w, src_h);
-        for y in 0..view.height {
-            let row = &mut m.entries[(y as usize) * view.width as usize..][..view.width as usize];
-            fill_row(lens, view, src_w, src_h, y, row);
-        }
-        m
+        Self::build_pooled(lens, view, src_w, src_h, None)
     }
 
     /// Build on a thread pool under the given schedule (phase-1
@@ -84,12 +79,21 @@ impl RemapMap {
         pool: &ThreadPool,
         schedule: Schedule,
     ) -> Self {
-        let mut m = Self::empty(view.width, view.height, src_w, src_h);
-        let w = view.width;
-        pool.parallel_rows(&mut m.entries, w as usize, schedule, &|row, slice| {
-            fill_row(lens, view, src_w, src_h, row as u32, slice);
-        });
-        m
+        Self::build_pooled(lens, view, src_w, src_h, Some((pool, schedule)))
+    }
+
+    /// Shared perspective builder: serial when `pool` is `None`,
+    /// row-parallel otherwise. Both run the same row fill, so the two
+    /// paths cannot drift apart numerically.
+    pub fn build_pooled(
+        lens: &FisheyeLens,
+        view: &PerspectiveView,
+        src_w: u32,
+        src_h: u32,
+        pool: Option<(&ThreadPool, Schedule)>,
+    ) -> Self {
+        let m = Self::empty(view.width, view.height, src_w, src_h);
+        m.fill_rows(pool, &|fx, fy| lens.project(view.pixel_ray(fx, fy)))
     }
 
     /// Build for an arbitrary output projection (perspective,
@@ -101,13 +105,7 @@ impl RemapMap {
         src_w: u32,
         src_h: u32,
     ) -> Self {
-        let (w, h) = proj.dims();
-        let mut m = Self::empty(w, h, src_w, src_h);
-        for y in 0..h {
-            let row = &mut m.entries[(y as usize) * w as usize..][..w as usize];
-            fill_projection_row(lens, proj, src_w, src_h, y, row);
-        }
-        m
+        Self::build_projection_pooled(lens, proj, src_w, src_h, None)
     }
 
     /// Parallel variant of [`RemapMap::build_projection`].
@@ -119,12 +117,83 @@ impl RemapMap {
         pool: &ThreadPool,
         schedule: Schedule,
     ) -> Self {
+        Self::build_projection_pooled(lens, proj, src_w, src_h, Some((pool, schedule)))
+    }
+
+    /// Shared projection builder: serial when `pool` is `None`,
+    /// row-parallel otherwise.
+    pub fn build_projection_pooled(
+        lens: &FisheyeLens,
+        proj: &fisheye_geom::OutputProjection,
+        src_w: u32,
+        src_h: u32,
+        pool: Option<(&ThreadPool, Schedule)>,
+    ) -> Self {
         let (w, h) = proj.dims();
-        let mut m = Self::empty(w, h, src_w, src_h);
-        pool.parallel_rows(&mut m.entries, w as usize, schedule, &|row, slice| {
-            fill_projection_row(lens, proj, src_w, src_h, row as u32, slice);
-        });
-        m
+        let m = Self::empty(w, h, src_w, src_h);
+        m.fill_rows(pool, &|fx, fy| lens.project(proj.pixel_ray(fx, fy)))
+    }
+
+    /// Build the half-resolution chroma map of a 4:2:0 frame by
+    /// tracing the *full-resolution* geometry and halving the source
+    /// coordinates.
+    ///
+    /// A chroma pixel `(x, y)` covers the 2×2 luma block whose center
+    /// sits at luma coordinate `(2x+1, 2y+1)`, so its ray is the
+    /// full-res view's ray at that coordinate and its source location
+    /// is exactly half the luma source location. Deriving a scaled
+    /// lens plus an integer half-size view instead (the previous
+    /// approach) is only equivalent when the full-res dimensions are
+    /// even: `ceil(d/2)` plane dimensions shift the implicit view
+    /// center by a quarter chroma pixel — half a luma pixel — and
+    /// inflate the focal length on odd-sized frames. Building from
+    /// the luma geometry keeps chroma aligned for every parity.
+    pub fn build_half_chroma(
+        lens: &FisheyeLens,
+        view: &PerspectiveView,
+        src_w: u32,
+        src_h: u32,
+        pool: Option<(&ThreadPool, Schedule)>,
+    ) -> Self {
+        let m = Self::empty(
+            view.width.div_ceil(2),
+            view.height.div_ceil(2),
+            src_w.div_ceil(2),
+            src_h.div_ceil(2),
+        );
+        let (sw, sh) = (src_w as f64, src_h as f64);
+        m.fill_rows(pool, &|fx, fy| {
+            // validity is decided against the luma frame: the ceil'd
+            // chroma plane may carry a padding column/row that no
+            // luma pixel backs
+            let (sx, sy) = lens.project(view.pixel_ray(2.0 * fx, 2.0 * fy))?;
+            (sx >= 0.0 && sx < sw && sy >= 0.0 && sy < sh).then_some((sx * 0.5, sy * 0.5))
+        })
+    }
+
+    /// Run the single row-fill implementation over every row of this
+    /// map — serially, or on `pool` under its schedule.
+    fn fill_rows(
+        mut self,
+        pool: Option<(&ThreadPool, Schedule)>,
+        project: &(impl Fn(f64, f64) -> Option<(f64, f64)> + Sync),
+    ) -> Self {
+        let w = self.width as usize;
+        let (src_w, src_h) = (self.src_width, self.src_height);
+        match pool {
+            Some((pool, schedule)) => {
+                pool.parallel_rows(&mut self.entries, w, schedule, &|row, slice| {
+                    fill_row(project, src_w, src_h, row as u32, slice);
+                });
+            }
+            None => {
+                for y in 0..self.height {
+                    let row = &mut self.entries[(y as usize) * w..][..w];
+                    fill_row(project, src_w, src_h, y, row);
+                }
+            }
+        }
+        self
     }
 
     /// Build from the Brown–Conrady baseline model instead of the
@@ -292,49 +361,62 @@ impl RemapMap {
     }
 }
 
-/// Compute one output row of LUT entries.
+/// Compute one output row of LUT entries. This is the single row-fill
+/// implementation behind every builder (perspective, projection, half
+/// chroma) in both serial and pooled form, so the variants cannot
+/// drift apart numerically. `project` maps an output pixel-center
+/// coordinate to a source coordinate (`None` = no ray / off-sensor);
+/// the shared source-rectangle bounds policy lives here.
+///
+/// The row is processed in fixed-width lanes: the trig-heavy
+/// projection fills small staging arrays, and the branch-light
+/// bounds-check + f32 conversion over those arrays is left in a shape
+/// the compiler can vectorize. The scalar remainder applies the same
+/// per-pixel operations in the same order, keeping the lane split
+/// bit-exact.
 fn fill_row(
-    lens: &FisheyeLens,
-    view: &PerspectiveView,
+    project: &(impl Fn(f64, f64) -> Option<(f64, f64)> + Sync),
     src_w: u32,
     src_h: u32,
     y: u32,
     row: &mut [MapEntry],
 ) {
-    for (x, e) in row.iter_mut().enumerate() {
-        let ray = view.pixel_ray(x as f64 + 0.5, y as f64 + 0.5);
-        *e = match lens.project(ray) {
-            Some((sx, sy)) if sx >= 0.0 && sx < src_w as f64 && sy >= 0.0 && sy < src_h as f64 => {
-                MapEntry {
-                    sx: sx as f32,
-                    sy: sy as f32,
-                }
+    const LANES: usize = 4;
+    let (sw, sh) = (src_w as f64, src_h as f64);
+    let fy = y as f64 + 0.5;
+    let mut x0 = 0usize;
+    let mut chunks = row.chunks_exact_mut(LANES);
+    for chunk in &mut chunks {
+        let mut sx = [0.0f64; LANES];
+        let mut sy = [0.0f64; LANES];
+        let mut ok = [false; LANES];
+        for lane in 0..LANES {
+            if let Some((px, py)) = project((x0 + lane) as f64 + 0.5, fy) {
+                sx[lane] = px;
+                sy[lane] = py;
+                ok[lane] = true;
             }
-            _ => MapEntry::INVALID,
-        };
+        }
+        for lane in 0..LANES {
+            let valid =
+                ok[lane] && sx[lane] >= 0.0 && sx[lane] < sw && sy[lane] >= 0.0 && sy[lane] < sh;
+            chunk[lane] = if valid {
+                MapEntry {
+                    sx: sx[lane] as f32,
+                    sy: sy[lane] as f32,
+                }
+            } else {
+                MapEntry::INVALID
+            };
+        }
+        x0 += LANES;
     }
-}
-
-/// Compute one output row of LUT entries for an arbitrary output
-/// projection. Shared by the serial and pooled projection builders so
-/// they cannot drift apart numerically.
-fn fill_projection_row(
-    lens: &FisheyeLens,
-    proj: &fisheye_geom::OutputProjection,
-    src_w: u32,
-    src_h: u32,
-    y: u32,
-    row: &mut [MapEntry],
-) {
-    for (x, e) in row.iter_mut().enumerate() {
-        let ray = proj.pixel_ray(x as f64 + 0.5, y as f64 + 0.5);
-        *e = match lens.project(ray) {
-            Some((sx, sy)) if sx >= 0.0 && sx < src_w as f64 && sy >= 0.0 && sy < src_h as f64 => {
-                MapEntry {
-                    sx: sx as f32,
-                    sy: sy as f32,
-                }
-            }
+    for (i, e) in chunks.into_remainder().iter_mut().enumerate() {
+        *e = match project((x0 + i) as f64 + 0.5, fy) {
+            Some((px, py)) if px >= 0.0 && px < sw && py >= 0.0 && py < sh => MapEntry {
+                sx: px as f32,
+                sy: py as f32,
+            },
             _ => MapEntry::INVALID,
         };
     }

@@ -40,7 +40,10 @@
 //! byte-identical plan (see [`RemapPlan::digest`]), which is what
 //! makes plans safe to share across threads and compare in tests.
 
+use std::sync::Arc;
+
 use fisheye_geom::{FisheyeLens, PerspectiveView};
+use par_runtime::sync::Mutex;
 use pixmap::{Image, Pixel};
 
 use crate::engine::EngineSpec;
@@ -195,7 +198,17 @@ impl ValidSpan {
 
 /// The compiled, immutable execution artifact for one remap map. See
 /// the module docs for the compile/execute contract.
-#[derive(Clone, Debug)]
+///
+/// Quantized LUTs and tile plans come in two flavors: the ones the
+/// plan was *compiled with* (eagerly materialized per
+/// [`PlanOptions`], visible through [`RemapPlan::fixed`] /
+/// [`RemapPlan::tile_plan`]) and ones an engine derives *on demand*
+/// through [`RemapPlan::fixed_lazy`] / [`RemapPlan::tile_plan_lazy`],
+/// which are memoized so a plan-miss costs one derivation per plan,
+/// not one per frame. Neither flavor affects [`RemapPlan::digest`]:
+/// the digest covers the map and the compile *parameters*, so two
+/// plans that differ only in which artifacts happen to be
+/// materialized still hash identically.
 pub struct RemapPlan {
     map: RemapMap,
     sx: Vec<f32>,
@@ -204,9 +217,93 @@ pub struct RemapPlan {
     /// `row_offsets[y]..row_offsets[y+1]` indexes `spans` for row `y`.
     row_offsets: Vec<u32>,
     invalid_pixels: u64,
+    /// Per-row FNV digest of the map's coordinate bit patterns; what
+    /// [`RemapPlan::recompile`] reuses for unchanged rows.
+    row_digests: Vec<u64>,
+    /// Cached full digest (map rows + compile parameters).
+    digest: u64,
+    /// Options the plan was compiled with (eager artifact set +
+    /// interpolator); reused verbatim by [`RemapPlan::recompile`].
+    opts: PlanOptions,
     fixed: Vec<FixedRemapMap>,
     tiles: Vec<TilePlan>,
-    interp: Interpolator,
+    /// Lazily derived LUTs/tile plans an engine asked for beyond the
+    /// compiled set (plan misses), memoized for subsequent frames.
+    fixed_memo: Mutex<Vec<Arc<FixedRemapMap>>>,
+    tile_memo: Mutex<Vec<Arc<TilePlan>>>,
+}
+
+impl Clone for RemapPlan {
+    fn clone(&self) -> Self {
+        RemapPlan {
+            map: self.map.clone(),
+            sx: self.sx.clone(),
+            sy: self.sy.clone(),
+            spans: self.spans.clone(),
+            row_offsets: self.row_offsets.clone(),
+            invalid_pixels: self.invalid_pixels,
+            row_digests: self.row_digests.clone(),
+            digest: self.digest,
+            opts: self.opts.clone(),
+            fixed: self.fixed.clone(),
+            tiles: self.tiles.clone(),
+            fixed_memo: Mutex::new(self.fixed_memo.lock().clone()),
+            tile_memo: Mutex::new(self.tile_memo.lock().clone()),
+        }
+    }
+}
+
+impl std::fmt::Debug for RemapPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemapPlan")
+            .field("width", &self.width())
+            .field("height", &self.height())
+            .field("src_dims", &self.src_dims())
+            .field("span_count", &self.spans.len())
+            .field("invalid_pixels", &self.invalid_pixels)
+            .field("digest", &self.digest)
+            .field("opts", &self.opts)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Scan one map row: append its valid spans to `spans` and return
+/// `(invalid pixels, row digest)`. The digest covers every
+/// coordinate's bit pattern, so it distinguishes NaN-invalid entries
+/// and any sub-ulp coordinate change.
+fn scan_row(row: &[crate::map::MapEntry], spans: &mut Vec<ValidSpan>) -> (u64, u64) {
+    let w = row.len();
+    let mut invalid = 0u64;
+    let mut x = 0usize;
+    while x < w {
+        if row[x].is_valid() {
+            let start = x;
+            while x < w && row[x].is_valid() {
+                x += 1;
+            }
+            spans.push(ValidSpan {
+                start: start as u32,
+                end: x as u32,
+            });
+        } else {
+            invalid += 1;
+            x += 1;
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    for e in row {
+        h.mix(((e.sx.to_bits() as u64) << 32) | e.sy.to_bits() as u64);
+    }
+    (invalid, h.0)
+}
+
+/// Whether two map rows are bit-identical (NaN-aware: invalid entries
+/// with the same bit pattern compare equal, unlike `f32` equality).
+fn rows_bit_equal(a: &[crate::map::MapEntry], b: &[crate::map::MapEntry]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.sx.to_bits() == y.sx.to_bits() && x.sy.to_bits() == y.sy.to_bits())
 }
 
 impl RemapPlan {
@@ -218,54 +315,128 @@ impl RemapPlan {
     /// Deterministic: the same map and options yield a byte-identical
     /// plan (same [`RemapPlan::digest`]).
     pub fn compile(map: &RemapMap, opts: PlanOptions) -> RemapPlan {
+        Self::build_plan(map.clone(), opts, true)
+    }
+
+    /// Shared constructor behind [`RemapPlan::compile`] (eager) and
+    /// the dimension-mismatch path of [`RemapPlan::recompile`] (lazy:
+    /// LUTs and tile plans are left to on-demand derivation).
+    fn build_plan(map: RemapMap, opts: PlanOptions, eager: bool) -> RemapPlan {
         let entries = map.entries();
         let mut sx = Vec::with_capacity(entries.len());
         let mut sy = Vec::with_capacity(entries.len());
-        for e in entries {
-            sx.push(e.sx);
-            sy.push(e.sy);
-        }
         let w = map.width() as usize;
+        let h = map.height() as usize;
         let mut spans = Vec::new();
-        let mut row_offsets = Vec::with_capacity(map.height() as usize + 1);
+        let mut row_offsets = Vec::with_capacity(h + 1);
         row_offsets.push(0u32);
+        let mut row_digests = Vec::with_capacity(h);
         let mut invalid = 0u64;
-        for y in 0..map.height() {
-            let row = &entries[(y as usize) * w..][..w];
-            let mut x = 0usize;
-            while x < w {
-                if row[x].is_valid() {
-                    let start = x;
-                    while x < w && row[x].is_valid() {
-                        x += 1;
-                    }
-                    spans.push(ValidSpan {
-                        start: start as u32,
-                        end: x as u32,
-                    });
-                } else {
-                    invalid += 1;
-                    x += 1;
-                }
-            }
+        // one streaming pass: each row is split into the SoA planes
+        // and scanned while it is still hot in cache
+        for y in 0..h {
+            let row = &entries[y * w..][..w];
+            sx.extend(row.iter().map(|e| e.sx));
+            sy.extend(row.iter().map(|e| e.sy));
+            let (inv, rd) = scan_row(row, &mut spans);
+            invalid += inv;
+            row_digests.push(rd);
             row_offsets.push(spans.len() as u32);
         }
-        let fixed = opts.frac_bits.iter().map(|&b| map.to_fixed(b)).collect();
-        let tiles = opts
-            .tiles
-            .iter()
-            .map(|&(tw, th)| TilePlan::build(map, tw, th, opts.interp))
-            .collect();
+        let (fixed, tiles) = if eager {
+            (
+                opts.frac_bits.iter().map(|&b| map.to_fixed(b)).collect(),
+                opts.tiles
+                    .iter()
+                    .map(|&(tw, th)| TilePlan::build(&map, tw, th, opts.interp))
+                    .collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let digest = Self::digest_of(&map, &row_digests, invalid, &opts);
         RemapPlan {
-            map: map.clone(),
+            map,
             sx,
             sy,
             spans,
             row_offsets,
             invalid_pixels: invalid,
+            row_digests,
+            digest,
+            opts,
             fixed,
             tiles,
-            interp: opts.interp,
+            fixed_memo: Mutex::new(Vec::new()),
+            tile_memo: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Recompile this plan for a new map of the same view geometry —
+    /// the cheap path behind an interactive view change.
+    ///
+    /// Rows whose coordinates are bit-identical to the previous map
+    /// reuse their span index and row digest; changed rows are
+    /// rescanned. Quantized LUTs and tile plans are *not* eagerly
+    /// rebuilt — a backend that needs one derives and memoizes it on
+    /// first use (reported as a plan miss). The result is bit-exact
+    /// against `RemapPlan::compile(&map, self.opts())` — same
+    /// coordinates, spans, lazily-derived artifacts and
+    /// [`RemapPlan::digest`] — so a digest-keyed cache can never
+    /// confuse delta-compiled and cold-compiled plans.
+    pub fn recompile(&self, map: RemapMap) -> RemapPlan {
+        if map.width() != self.width()
+            || map.height() != self.height()
+            || map.src_dims() != self.src_dims()
+        {
+            return Self::build_plan(map, self.opts.clone(), false);
+        }
+        let entries = map.entries();
+        let old = self.map.entries();
+        let mut sx = Vec::with_capacity(entries.len());
+        let mut sy = Vec::with_capacity(entries.len());
+        let w = map.width() as usize;
+        let h = map.height() as usize;
+        let mut spans = Vec::with_capacity(self.spans.len());
+        let mut row_offsets = Vec::with_capacity(h + 1);
+        row_offsets.push(0u32);
+        let mut row_digests = Vec::with_capacity(h);
+        let mut invalid = 0u64;
+        // same single-pass row loop as `build_plan`, plus the reuse
+        // check against the previous map while the row is cache-hot
+        for y in 0..h {
+            let row = &entries[y * w..][..w];
+            sx.extend(row.iter().map(|e| e.sx));
+            sy.extend(row.iter().map(|e| e.sy));
+            if rows_bit_equal(row, &old[y * w..][..w]) {
+                let a = self.row_offsets[y] as usize;
+                let b = self.row_offsets[y + 1] as usize;
+                let reused = &self.spans[a..b];
+                invalid += w as u64 - reused.iter().map(|s| s.len() as u64).sum::<u64>();
+                spans.extend_from_slice(reused);
+                row_digests.push(self.row_digests[y]);
+            } else {
+                let (inv, rd) = scan_row(row, &mut spans);
+                invalid += inv;
+                row_digests.push(rd);
+            }
+            row_offsets.push(spans.len() as u32);
+        }
+        let digest = Self::digest_of(&map, &row_digests, invalid, &self.opts);
+        RemapPlan {
+            map,
+            sx,
+            sy,
+            spans,
+            row_offsets,
+            invalid_pixels: invalid,
+            row_digests,
+            digest,
+            opts: self.opts.clone(),
+            fixed: Vec::new(),
+            tiles: Vec::new(),
+            fixed_memo: Mutex::new(Vec::new()),
+            tile_memo: Mutex::new(Vec::new()),
         }
     }
 
@@ -296,7 +467,7 @@ impl RemapPlan {
     /// Interpolator the tile footprints were inflated for.
     #[inline]
     pub fn interp(&self) -> Interpolator {
-        self.interp
+        self.opts.interp
     }
 
     /// Row `y` of the SoA x-coordinate plane.
@@ -362,58 +533,91 @@ impl RemapPlan {
             + self.fixed.iter().map(|f| f.bytes()).sum::<usize>()
     }
 
-    /// Order-sensitive FNV-1a digest over every byte of compiled
-    /// state (coordinate bit patterns, spans, quantized entries, tile
-    /// rectangles). Two compilations of the same map with the same
-    /// options produce the same digest — the determinism contract the
-    /// plan-layer tests pin down. (A derived `PartialEq` would be
-    /// wrong here: NaN coordinates of invalid entries compare unequal
-    /// to themselves.)
+    /// The options the plan was compiled with (eager artifact set and
+    /// interpolator). [`RemapPlan::recompile`] carries these forward.
+    #[inline]
+    pub fn opts(&self) -> &PlanOptions {
+        &self.opts
+    }
+
+    /// Derive (or fetch the memoized) quantized LUT for a `frac_bits`
+    /// the plan was *not* compiled with — the plan-miss path. Returns
+    /// the LUT plus `Some(milliseconds)` if this call materialized it
+    /// (`None` = memo hit; later frames pay nothing). Callers should
+    /// try [`RemapPlan::fixed`] first: widths in the compiled set are
+    /// already materialized and borrowable for free.
+    pub fn fixed_lazy(&self, frac_bits: u32) -> (Arc<FixedRemapMap>, Option<f64>) {
+        let mut memo = self.fixed_memo.lock();
+        if let Some(f) = memo.iter().find(|f| f.frac_bits() == frac_bits) {
+            return (Arc::clone(f), None);
+        }
+        let t0 = std::time::Instant::now();
+        let f = Arc::new(self.map.to_fixed(frac_bits));
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        memo.push(Arc::clone(&f));
+        (f, Some(ms))
+    }
+
+    /// Derive (or fetch the memoized) tile plan for a geometry the
+    /// plan was *not* compiled with — the plan-miss path, memoized
+    /// like [`RemapPlan::fixed_lazy`]. The footprint margin uses the
+    /// plan's compiled interpolator.
+    pub fn tile_plan_lazy(&self, tile_w: u32, tile_h: u32) -> (Arc<TilePlan>, Option<f64>) {
+        let mut memo = self.tile_memo.lock();
+        if let Some(t) = memo.iter().find(|t| t.tile_dims() == (tile_w, tile_h)) {
+            return (Arc::clone(t), None);
+        }
+        let t0 = std::time::Instant::now();
+        let t = Arc::new(TilePlan::build(&self.map, tile_w, tile_h, self.opts.interp));
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        memo.push(Arc::clone(&t));
+        (t, Some(ms))
+    }
+
+    /// Order-sensitive FNV-1a digest of the plan's *content*: the map
+    /// dimensions, every coordinate bit pattern (via per-row digests)
+    /// and the compile parameters (eager `frac_bits` set, tile
+    /// geometries, interpolator). Cached at compile time — reading it
+    /// is free.
+    ///
+    /// Two compilations of the same map with the same options produce
+    /// the same digest — including a [`RemapPlan::recompile`] against
+    /// a cold compile — while plans differing in quantization or tile
+    /// parameters never collide. Artifacts materialized lazily after
+    /// compilation deliberately do **not** affect the digest: they
+    /// are pure functions of state already covered by it. (A derived
+    /// `PartialEq` would be wrong here: NaN coordinates of invalid
+    /// entries compare unequal to themselves.)
+    #[inline]
     pub fn digest(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        let mut mix = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        };
-        mix(self.map.width() as u64);
-        mix(self.map.height() as u64);
-        let (sw, sh) = self.map.src_dims();
-        mix(sw as u64);
-        mix(sh as u64);
-        for e in self.map.entries() {
-            mix(e.sx.to_bits() as u64);
-            mix(e.sy.to_bits() as u64);
+        self.digest
+    }
+
+    /// Compute the digest stored by every constructor. Folds in the
+    /// parameters of every *derivable* artifact (quantization widths,
+    /// tile geometries, interpolator margin) rather than the artifact
+    /// bytes, so materialization state cannot affect the hash.
+    fn digest_of(map: &RemapMap, row_digests: &[u64], invalid: u64, opts: &PlanOptions) -> u64 {
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.mix(map.width() as u64);
+        h.mix(map.height() as u64);
+        let (sw, sh) = map.src_dims();
+        h.mix(sw as u64);
+        h.mix(sh as u64);
+        for &rd in row_digests {
+            h.mix(rd);
         }
-        for v in self.sx.iter().chain(&self.sy) {
-            mix(v.to_bits() as u64);
+        h.mix(invalid);
+        h.mix(opts.frac_bits.len() as u64);
+        for &b in &opts.frac_bits {
+            h.mix(b as u64);
         }
-        for s in &self.spans {
-            mix(((s.start as u64) << 32) | s.end as u64);
+        h.mix(opts.tiles.len() as u64);
+        for &(tw, th) in &opts.tiles {
+            h.mix(((tw as u64) << 32) | th as u64);
         }
-        for o in &self.row_offsets {
-            mix(*o as u64);
-        }
-        mix(self.invalid_pixels);
-        for f in &self.fixed {
-            mix(f.frac_bits() as u64);
-            for e in f.entries() {
-                mix((e.x0 as u16 as u64) << 48
-                    | (e.y0 as u16 as u64) << 32
-                    | (e.wx as u64) << 16
-                    | e.wy as u64);
-            }
-        }
-        for t in &self.tiles {
-            let (tw, th) = t.tile_dims();
-            mix(((tw as u64) << 32) | th as u64);
-            for j in &t.jobs {
-                mix(((j.out.x0 as u64) << 32) | j.out.y0 as u64);
-                mix(((j.out.x1 as u64) << 32) | j.out.y1 as u64);
-                mix(((j.src.x0 as u64) << 32) | j.src.y0 as u64);
-                mix(((j.src.x1 as u64) << 32) | j.src.y1 as u64);
-            }
-        }
-        h
+        h.mix(opts.interp as u64);
+        h.0
     }
 }
 

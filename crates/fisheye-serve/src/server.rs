@@ -37,11 +37,13 @@ use std::time::{Duration, Instant};
 
 use fisheye::{Corrector, ErrorKind};
 use fisheye_core::engine::{EngineSpec, FrameReport};
-use fisheye_core::frame::{Frame, FrameFormat, ViewPlan};
-use fisheye_core::plan::PlanOptions;
+use fisheye_core::frame::{Frame, FrameFormat, PlaneRequest, ViewPlan};
+use fisheye_core::map::RemapMap;
+use fisheye_core::plan::{PlanOptions, RemapPlan};
 use fisheye_core::Interpolator;
 use fisheye_geom::{FisheyeLens, PerspectiveView};
 use par_runtime::sync::Mutex;
+use par_runtime::{Schedule, ThreadPool};
 use pixmap::{FramePool, Gray8, Image, PlanePool, PooledFrame};
 
 use crate::cache::PlanCache;
@@ -197,6 +199,11 @@ struct ServerInner {
     active: AtomicUsize,
     next_id: AtomicU64,
     ladder: Mutex<LadderState>,
+    /// Shared worker pool for row-parallel map traces, created on the
+    /// first multi-threaded compile. `par_runtime`'s broadcast is
+    /// single-submitter, so the pool lives behind its mutex:
+    /// concurrent cache misses serialize their traces.
+    map_pool: Mutex<Option<ThreadPool>>,
 }
 
 /// The serving front end: admission control plus the shared plan
@@ -254,6 +261,7 @@ impl Server {
                     level: 0,
                     window: Vec::new(),
                 }),
+                map_pool: Mutex::new(None),
             }),
         })
     }
@@ -333,6 +341,7 @@ impl Server {
             cfg.format,
             &cfg.backend,
             cfg.interp,
+            None,
         )?;
         let corrector = Corrector::builder()
             .lens(cfg.lens)
@@ -368,6 +377,16 @@ impl Server {
     /// a gray session of the same view uses, and its half-res chroma
     /// plan is shared with every other 4:2:0 session — never confused
     /// with a full-res plan thanks to the class-salted digest.
+    ///
+    /// `base` is the session's outgoing plan, when the request is a
+    /// view *change* rather than a first compile: a cache miss then
+    /// delta-recompiles from the matching class plan instead of
+    /// compiling cold — bit-exact, same digest, much cheaper for
+    /// small view perturbations. A base compiled under different
+    /// [`PlanOptions`] (e.g. across a degradation rung's interp
+    /// change) is ignored: its digests live in a different key space
+    /// and must never seed this one.
+    #[allow(clippy::too_many_arguments)]
     fn view_plan_for(
         &self,
         lens: &FisheyeLens,
@@ -376,51 +395,100 @@ impl Server {
         format: FrameFormat,
         spec: &EngineSpec,
         interp: Interpolator,
+        base: Option<&ViewPlan>,
     ) -> Result<ViewPlan, fisheye::Error> {
         let opts = PlanOptions::for_spec(spec, interp);
         let plans = ViewPlan::plane_requests(format, lens, view, src_w, src_h)
             .into_iter()
             .map(|req| {
                 let digest = req.digest(&opts);
-                self.inner
-                    .cache
-                    .get_or_compile(digest, || req.compile(opts.clone()))
+                self.inner.cache.get_or_compile(digest, || {
+                    match base.and_then(|b| b.class_plan(req.class)) {
+                        Some(prev) if prev.opts() == &opts => {
+                            self.inner.metrics.inc("serve.plan.delta_recompiles");
+                            prev.recompile(self.build_plane_map(&req))
+                        }
+                        _ => RemapPlan::compile(&self.build_plane_map(&req), opts.clone()),
+                    }
+                })
             })
             .collect();
         self.inner.cache.export(&self.inner.metrics, "serve.cache");
         Ok(ViewPlan::from_plans(format, plans)?)
     }
 
+    /// Trace one plane request's map, row-parallel on the server's
+    /// shared pool when the server is configured multi-threaded. The
+    /// pool mutex is held across the whole trace (single-submitter
+    /// broadcast), so concurrent compiles queue here rather than
+    /// corrupt each other.
+    fn build_plane_map(&self, req: &PlaneRequest) -> RemapMap {
+        if self.inner.cfg.threads <= 1 {
+            return req.build_map(None);
+        }
+        let mut slot = self.inner.map_pool.lock();
+        let pool = slot.get_or_insert_with(|| ThreadPool::new(self.inner.cfg.threads));
+        req.build_map(Some((pool, Schedule::Static { chunk: None })))
+    }
+
     /// Record one completed frame's deadline fate and run the ladder
     /// controller over the closing window.
     fn note_frame(&self, missed: bool) {
-        let cfg = &self.inner.cfg.degrade;
+        let cfg = self.inner.cfg.degrade;
         let mut st = self.inner.ladder.lock();
         st.window.push(missed);
         if st.window.len() < cfg.window {
             return;
         }
-        let misses = st.window.iter().filter(|&&m| m).count();
-        let ratio = misses as f64 / st.window.len() as f64;
-        st.window.clear();
-        let max = DegradeLevel::LADDER.len() - 1;
-        if ratio >= cfg.up_threshold && st.level < max {
-            st.level += 1;
-            let level = st.level;
-            drop(st);
-            self.inner.metrics.inc("serve.degrade.escalations");
-            self.inner
-                .metrics
-                .gauge("serve.degrade.level", level as f64);
-        } else if ratio <= cfg.down_threshold && st.level > 0 {
-            st.level -= 1;
-            let level = st.level;
-            drop(st);
-            self.inner.metrics.inc("serve.degrade.recoveries");
+        let transition = evaluate_window(&cfg, &mut st);
+        drop(st);
+        self.record_transition(transition);
+    }
+
+    /// Evaluate whatever partial window is in flight (one sample is
+    /// enough) instead of discarding it. Sessions call this on
+    /// teardown so sustained misses straddling a close still count;
+    /// a serving loop may also call it at shutdown. A full window is
+    /// never left partial by `note_frame`, so this only ever sees the
+    /// in-flight tail.
+    pub fn flush_window(&self) {
+        let cfg = self.inner.cfg.degrade;
+        let mut st = self.inner.ladder.lock();
+        if st.window.is_empty() {
+            return;
+        }
+        let transition = evaluate_window(&cfg, &mut st);
+        drop(st);
+        self.record_transition(transition);
+    }
+
+    fn record_transition(&self, transition: Option<(&'static str, usize)>) {
+        if let Some((counter, level)) = transition {
+            self.inner.metrics.inc(counter);
             self.inner
                 .metrics
                 .gauge("serve.degrade.level", level as f64);
         }
+    }
+}
+
+/// Close the window: compute its miss ratio, clear it, and walk the
+/// ladder at most one rung. Returns the transition counter to bump
+/// and the new level, if the level moved. Callers hold the ladder
+/// lock; metrics happen after it drops.
+fn evaluate_window(cfg: &DegradeConfig, st: &mut LadderState) -> Option<(&'static str, usize)> {
+    let misses = st.window.iter().filter(|&&m| m).count();
+    let ratio = misses as f64 / st.window.len() as f64;
+    st.window.clear();
+    let max = DegradeLevel::LADDER.len() - 1;
+    if ratio >= cfg.up_threshold && st.level < max {
+        st.level += 1;
+        Some(("serve.degrade.escalations", st.level))
+    } else if ratio <= cfg.down_threshold && st.level > 0 {
+        st.level -= 1;
+        Some(("serve.degrade.recoveries", st.level))
+    } else {
+        None
     }
 }
 
@@ -595,6 +663,7 @@ pub struct Session {
 impl Drop for Session {
     fn drop(&mut self) {
         self.flush_pool_counters();
+        self.server.flush_window();
         let left = self.server.inner.active.fetch_sub(1, Ordering::SeqCst) - 1;
         self.server.inner.metrics.inc("serve.sessions.closed");
         self.server
@@ -851,6 +920,8 @@ impl Session {
             }
         }
         if self.corrector.view() != Some(desired_view) {
+            // the outgoing plan seeds delta recompilation on a cache
+            // miss — a small pan recompiles only the rows it moved
             let plan = self.server.view_plan_for(
                 &self.corrector.lens(),
                 &desired_view,
@@ -858,6 +929,7 @@ impl Session {
                 self.format,
                 &self.corrector.spec(),
                 self.corrector.interp(),
+                Some(self.corrector.view_plan()),
             )?;
             self.corrector.set_view_plan(desired_view, plan)?;
         }

@@ -411,3 +411,125 @@ fn mismatched_frames_surface_as_errors_at_the_pump() {
     let err = s.pump_one().expect_err("dims mismatch");
     assert_eq!(err.kind(), ErrorKind::Engine);
 }
+
+#[test]
+fn partial_windows_flush_on_session_close() {
+    // fewer completed frames than a full window used to vanish with
+    // the session: sustained misses straddling a close never counted
+    let server = Server::new(ServerConfig {
+        capacity: 2,
+        degrade: DegradeConfig {
+            window: 32,
+            up_threshold: 0.5,
+            down_threshold: 0.05,
+        },
+        ..ServerConfig::default()
+    })
+    .expect("valid config");
+    let mut camera = CameraFeed::new(SRC.0, SRC.1, 7);
+    let mut hot = server
+        .connect(SessionConfig {
+            deadline: Some(Duration::ZERO), // every completed frame misses
+            ..session_cfg()
+        })
+        .expect("slot");
+    for _ in 0..8 {
+        hot.submit(camera.next_frame());
+        hot.pump_one().expect("engine ok").expect("frame pending");
+    }
+    assert_eq!(
+        server.level(),
+        DegradeLevel::Normal,
+        "8 of 32 samples: the window is still open"
+    );
+    drop(hot);
+    assert_eq!(
+        server.level(),
+        DegradeLevel::DropOldest,
+        "teardown evaluates the partial window (8/8 missed)"
+    );
+    assert_eq!(server.metrics().counter("serve.degrade.escalations"), 1);
+}
+
+#[test]
+fn view_changes_delta_recompile_from_the_outgoing_plan() {
+    use fisheye_core::engine::EngineSpec;
+    use fisheye_core::map::RemapMap;
+    use fisheye_core::plan::{PlanOptions, RemapPlan};
+
+    let server = test_server(2);
+    let mut s = server.connect(session_cfg()).expect("slot");
+    let m = server.metrics();
+    assert_eq!(
+        m.counter("serve.plan.delta_recompiles"),
+        0,
+        "first compile is cold"
+    );
+
+    let panned = wide_view().look(1.0, 0.0);
+    s.set_view(panned).expect("valid view");
+    assert_eq!(
+        m.counter("serve.plan.delta_recompiles"),
+        1,
+        "the cache miss was served by delta recompilation from the outgoing plan"
+    );
+
+    // bit-exact against a cold offline compile of the same view: same
+    // digest (so the cache entry is shared with cold-compiled
+    // sessions) and bit-identical corrected frames
+    let cold = RemapPlan::compile(
+        &RemapMap::build(&lens(), &panned, SRC.0, SRC.1),
+        PlanOptions::for_spec(&EngineSpec::Serial, Interpolator::Bicubic),
+    );
+    assert_eq!(s.corrector().plan().digest(), cold.digest());
+    let mut camera = CameraFeed::new(SRC.0, SRC.1, 5);
+    let frame = camera.next_frame();
+    s.submit(Arc::clone(&frame));
+    let out = s.pump_one().expect("engine ok").expect("frame pending");
+    let got = out.frame.as_gray().expect("gray session");
+    assert_eq!(
+        **got,
+        fisheye_core::correct_plan(&frame, &cold, Interpolator::Bicubic),
+        "delta-recompiled plan corrects bit-exactly"
+    );
+}
+
+#[test]
+fn degraded_interp_never_seeds_delta_recompilation() {
+    use fisheye_core::engine::EngineSpec;
+    use fisheye_core::map::RemapMap;
+    use fisheye_core::plan::{PlanOptions, RemapPlan};
+
+    // walk the ladder to InterpDown: the corrector now runs bilinear
+    // while its plan was compiled under bicubic options
+    let server = test_server(2);
+    let mut camera = CameraFeed::new(SRC.0, SRC.1, 17);
+    let mut hot = server
+        .connect(SessionConfig {
+            deadline: Some(Duration::ZERO),
+            ..session_cfg()
+        })
+        .expect("slot");
+    for _ in 0..17 {
+        hot.submit(camera.next_frame());
+        hot.pump_one().expect("engine ok").expect("frame pending");
+    }
+    assert_eq!(server.level(), DegradeLevel::InterpDown);
+    assert_eq!(hot.applied_level(), DegradeLevel::InterpDown);
+    assert_eq!(hot.corrector().interp(), Interpolator::Bilinear);
+
+    // a pan at this rung compiles into the *bilinear* key space; the
+    // outgoing bicubic-opts plan must not seed it
+    let panned = wide_view().look(1.0, 0.0);
+    hot.set_view(panned).expect("valid view");
+    assert_eq!(
+        server.metrics().counter("serve.plan.delta_recompiles"),
+        0,
+        "mismatched plan options fall back to a cold compile"
+    );
+    let cold = RemapPlan::compile(
+        &RemapMap::build(&lens(), &panned, SRC.0, SRC.1),
+        PlanOptions::for_spec(&EngineSpec::Serial, Interpolator::Bilinear),
+    );
+    assert_eq!(hot.corrector().plan().digest(), cold.digest());
+}

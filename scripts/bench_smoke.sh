@@ -19,4 +19,19 @@ cargo run --release --offline -p fisheye-bench --bin repro_t4_engine_reports
 echo "bench-smoke: repro_t6_color_formats (quick scale)"
 cargo run --release --offline -p fisheye-bench --bin repro_t6_color_formats
 
+echo "bench-smoke: repro_t8_view_churn (quick scale)"
+cargo run --release --offline -p fisheye-bench --bin repro_t8_view_churn
+
+# The view-change fast path must stay measurably faster than a cold
+# compile (the full-scale claim is >=3x at 1080p; quick scale enforces
+# a conservative floor) and bit-exact against it.
+json="results/BENCH_t8.json"
+[ -f "$json" ] || { echo "bench-smoke: FAIL ($json missing)"; exit 1; }
+min_speedup="$(sed -n 's/.*"min_speedup": \([0-9.]*\).*/\1/p' "$json")"
+grep -q '"all_bit_exact": true' "$json" \
+  || { echo "bench-smoke: FAIL (delta recompile not bit-exact, see $json)"; exit 1; }
+awk -v s="$min_speedup" 'BEGIN { exit !(s >= 2.0) }' \
+  || { echo "bench-smoke: FAIL (delta recompile speedup $min_speedup < 2.0x)"; exit 1; }
+echo "bench-smoke: t8 delta recompile ${min_speedup}x >= 2.0x, bit-exact"
+
 echo "bench-smoke: OK"

@@ -74,6 +74,7 @@ use crate::error::Error;
 use crate::geom::{FisheyeLens, OutputProjection, PerspectiveView};
 use crate::gpu::{GpuConfig, GpuEngine};
 use crate::img::{Gray8, GrayF32, Image};
+use crate::par::{Schedule, ThreadPool};
 
 /// Everything [`CorrectorPixel::resolve_engine`] needs to build an
 /// engine: host resources plus the accelerator machine descriptions.
@@ -427,7 +428,7 @@ impl<P: CorrectorPixel> CorrectorBuilder<P> {
             }
             (None, None) => {
                 let (vp, map_time, plan_time) =
-                    compile_target(format, &lens, &target, src_w, src_h, &opts);
+                    compile_target(format, &lens, &target, src_w, src_h, &opts, None);
                 (vp, false, map_time, plan_time)
             }
         };
@@ -446,6 +447,7 @@ impl<P: CorrectorPixel> CorrectorBuilder<P> {
             plan_injected,
             map_time,
             plan_time,
+            map_pool: None,
             _pixel: PhantomData,
         };
         corrector.rebuild_frames(plan)?;
@@ -454,9 +456,10 @@ impl<P: CorrectorPixel> CorrectorBuilder<P> {
 }
 
 /// Compile the view plan for a target: perspective views go through
-/// [`ViewPlan::compile_timed`] (one plan per plane class); projection
-/// targets trace the projection map (single-plane formats only — the
-/// builder rejects the combination otherwise).
+/// [`ViewPlan::compile_timed_pooled`] (one plan per plane class);
+/// projection targets trace the projection map (single-plane formats
+/// only — the builder rejects the combination otherwise). The map
+/// trace runs row-parallel when `pool` is given.
 fn compile_target(
     format: FrameFormat,
     lens: &FisheyeLens,
@@ -464,12 +467,15 @@ fn compile_target(
     src_w: u32,
     src_h: u32,
     opts: &PlanOptions,
+    pool: Option<(&ThreadPool, Schedule)>,
 ) -> (ViewPlan, Duration, Duration) {
     match target {
-        Target::View(v) => ViewPlan::compile_timed(format, lens, v, src_w, src_h, opts),
+        Target::View(v) => {
+            ViewPlan::compile_timed_pooled(format, lens, v, src_w, src_h, opts, pool)
+        }
         Target::Projection(p) => {
             let t0 = Instant::now();
-            let map = RemapMap::build_projection(lens, p, src_w, src_h);
+            let map = RemapMap::build_projection_pooled(lens, p, src_w, src_h, pool);
             let map_time = t0.elapsed();
             let t1 = Instant::now();
             let plan = Arc::new(RemapPlan::compile(&map, opts.clone()));
@@ -543,6 +549,9 @@ pub struct Corrector<P: CorrectorPixel = Gray8> {
     plan_injected: bool,
     map_time: Duration,
     plan_time: Duration,
+    /// Row-parallel pool for map retraces on view changes, spun up
+    /// lazily on the first recompile (never for `threads == 1`).
+    map_pool: Option<Arc<ThreadPool>>,
     _pixel: PhantomData<P>,
 }
 
@@ -588,9 +597,14 @@ impl<P: CorrectorPixel> Corrector<P> {
         Ok(self.frames_ref().correct_frame(src)?)
     }
 
-    /// Point the corrector at a new perspective view, recompiling the
-    /// map(s) and plan(s) (the per-view-change cost; frames stay
-    /// cheap). Reports [`Error::Config`] on a projection-target
+    /// Point the corrector at a new perspective view — the
+    /// per-view-change cost; frames stay cheap. When the previous
+    /// plan was compiled here (not injected), this is the **delta
+    /// path**: the maps are retraced row-parallel on the corrector's
+    /// pool and [`ViewPlan::recompile_timed`] reuses everything the
+    /// view change did not invalidate, deferring LUT/tile
+    /// materialization to first use. Bit-exact against a cold
+    /// rebuild. Reports [`Error::Config`] on a projection-target
     /// corrector.
     pub fn set_view(&mut self, view: PerspectiveView) -> Result<(), Error> {
         if view.width == 0 || view.height == 0 {
@@ -598,6 +612,27 @@ impl<P: CorrectorPixel> Corrector<P> {
         }
         match self.target {
             Target::View(old) => {
+                if !self.plan_injected {
+                    // delta fast path against the current compiled plans
+                    let prev = self.frames_ref().plan().clone();
+                    let pool = self.map_pool();
+                    let sched = Schedule::Static { chunk: None };
+                    let (plan, map_time, plan_time) = prev.recompile_timed(
+                        &self.lens,
+                        &view,
+                        self.src_w,
+                        self.src_h,
+                        pool.as_deref().map(|p| (p, sched)),
+                    );
+                    self.target = Target::View(view);
+                    if let Err(e) = self.rebuild_frames(plan) {
+                        self.target = Target::View(old);
+                        return Err(e);
+                    }
+                    self.map_time = map_time;
+                    self.plan_time = plan_time;
+                    return Ok(());
+                }
                 self.target = Target::View(view);
                 if let Err(e) = self.recompile() {
                     self.target = Target::View(old);
@@ -801,9 +836,23 @@ impl<P: CorrectorPixel> Corrector<P> {
         Ok(())
     }
 
-    /// Recompile the plan(s) for the current target and rebuild the
-    /// frame corrector around them.
+    /// The lazily-created row-parallel pool for map retraces (`None`
+    /// for single-threaded correctors).
+    fn map_pool(&mut self) -> Option<Arc<ThreadPool>> {
+        if self.threads <= 1 {
+            return None;
+        }
+        Some(Arc::clone(self.map_pool.get_or_insert_with(|| {
+            Arc::new(ThreadPool::new(self.threads))
+        })))
+    }
+
+    /// Recompile the plan(s) for the current target from scratch and
+    /// rebuild the frame corrector around them (map trace
+    /// row-parallel on the corrector's pool).
     fn recompile(&mut self) -> Result<(), Error> {
+        let pool = self.map_pool();
+        let sched = Schedule::Static { chunk: None };
         let (plan, map_time, plan_time) = compile_target(
             self.format,
             &self.lens,
@@ -811,6 +860,7 @@ impl<P: CorrectorPixel> Corrector<P> {
             self.src_w,
             self.src_h,
             &self.plan_options(),
+            pool.as_deref().map(|p| (p, sched)),
         );
         self.rebuild_frames(plan)?;
         self.map_time = map_time;
@@ -904,6 +954,35 @@ mod tests {
         let src = crate::img::scene::random_gray(64, 48, 7);
         let (out, _) = c.correct(&src).unwrap();
         assert_eq!(out.dims(), (32, 24));
+    }
+
+    #[test]
+    fn set_view_delta_path_bit_exact_with_cold_build() {
+        let (lens, view) = lens_view();
+        let build = |v| {
+            Corrector::<Gray8>::builder()
+                .lens(lens)
+                .view(v)
+                .backend(EngineSpec::FixedPoint { frac_bits: 12 })
+                .build()
+                .unwrap()
+        };
+        let mut c = build(view);
+        let panned = view.look(1.0, 0.5);
+        c.set_view(panned).unwrap();
+        let cold = build(panned);
+        // the delta-recompiled plans hash identically to a cold build
+        assert_eq!(c.view_plan().digest(), cold.view_plan().digest());
+        let src = crate::img::scene::random_gray(64, 48, 9);
+        let (a, r1) = c.correct(&src).unwrap();
+        let (b, _) = cold.correct(&src).unwrap();
+        assert_eq!(a, b);
+        // the delta plan defers LUT quantization: the first frame
+        // derives it once (a reported plan miss), the second hits the
+        // plan's memo silently
+        assert_eq!(r1.model.get("plan_miss"), Some(&1.0));
+        let (_, r2) = c.correct(&src).unwrap();
+        assert_eq!(r2.model.get("plan_miss"), None);
     }
 
     #[test]

@@ -156,6 +156,73 @@ fn engines_round_trip_ragged_and_invalid_tiles() {
 }
 
 #[test]
+fn odd_dimension_chroma_bit_exact_on_every_engine() {
+    // Odd source and view dims: the 4:2:0 chroma planes are ceil'd,
+    // where the scaled-lens chroma formulation used to shift the
+    // chroma center by up to half a luma pixel. Every backend must
+    // reproduce its numeric-class reference on the chroma planes of
+    // the (correctly registered) chroma plan.
+    use fisheye::core::frame::{Frame, FrameFormat, PlaneClass, ViewPlan};
+    use fisheye::img::yuv::Yuv420;
+
+    let lens = FisheyeLens::equidistant_fov(159, 119, 180.0);
+    let view = PerspectiveView::centered(101, 75, 90.0);
+    let opts = PlanOptions::for_specs(&registry(), Interpolator::Bilinear);
+    let vp = ViewPlan::compile(FrameFormat::Yuv420, &lens, &view, 159, 119, &opts);
+    let chroma = vp.class_plan(PlaneClass::HalfChroma).expect("chroma plan");
+    assert_eq!(chroma.src_dims(), (80, 60));
+    let chroma_map = chroma.map().clone();
+    let src = Yuv420 {
+        y: fisheye::img::scene::random_gray(159, 119, 31),
+        cb: fisheye::img::scene::random_gray(80, 60, 32),
+        cr: fisheye::img::scene::random_gray(80, 60, 33),
+    };
+    let mut ran = 0u32;
+    for spec in registry() {
+        let name = spec.name();
+        let built = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .source(159, 119)
+            .format(FrameFormat::Yuv420)
+            .backend(spec)
+            .view_plan(vp.clone())
+            .build();
+        let corrector = match built {
+            Ok(c) => c,
+            // a backend that cannot drive multi-plane frames must say
+            // so at build time, not corrupt chroma silently
+            Err(e) => {
+                assert!(
+                    matches!(e.kind(), ErrorKind::Engine | ErrorKind::Config),
+                    "{name}: {e}"
+                );
+                continue;
+            }
+        };
+        let (out, _report) = corrector
+            .correct_frame(&Frame::Yuv420(src.clone()))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = match out {
+            Frame::Yuv420(out) => out,
+            other => panic!("{name}: yuv420 in, {} out", other.format()),
+        };
+        assert_eq!(
+            out.cb,
+            gray8_reference(&spec, &src.cb, &chroma_map),
+            "{name} cb"
+        );
+        assert_eq!(
+            out.cr,
+            gray8_reference(&spec, &src.cr, &chroma_map),
+            "{name} cr"
+        );
+        ran += 1;
+    }
+    assert!(ran >= 4, "only {ran} engines ran the odd-dims workload");
+}
+
+#[test]
 fn smp_schedules_bit_exact() {
     // beyond the registry's default smp entry: every schedule family
     // at several widths
