@@ -1,0 +1,26 @@
+//! Reproduce T9 — the fused post stage: grade+tone-map riding the
+//! remap traversal versus a separate per-pixel grading pass, across
+//! the host backends. Pass `--full` for the paper-scale run.
+//!
+//! Besides the usual CSV, this bin writes `results/BENCH_t9.json`,
+//! the machine-readable overhead/speedup contract
+//! `scripts/bench_smoke.sh` enforces.
+
+use fisheye_bench::experiments::t9_fused_post;
+use fisheye_bench::table::results_dir;
+use fisheye_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let points = t9_fused_post::points(scale);
+    t9_fused_post::table(&points).emit("t9_fused_post");
+
+    let json = t9_fused_post::to_json(&points, scale);
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_t9.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

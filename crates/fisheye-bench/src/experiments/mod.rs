@@ -26,6 +26,7 @@ pub mod t4_engine_reports;
 pub mod t5_serve_scaling;
 pub mod t6_color_formats;
 pub mod t8_view_churn;
+pub mod t9_fused_post;
 
 use crate::table::Table;
 use crate::Scale;
@@ -52,6 +53,7 @@ pub fn all() -> Vec<Experiment> {
         ("t5_serve_scaling", t5_serve_scaling::run),
         ("t6_color_formats", t6_color_formats::run),
         ("t8_view_churn", t8_view_churn::run),
+        ("t9_fused_post", t9_fused_post::run),
         ("f10_pipeline", f10_pipeline::run),
         ("f11_color", f11_color::run),
         ("f12_projections", f12_projections::run),

@@ -6,6 +6,7 @@ use fisheye::Corrector;
 use fisheye_core::engine::EngineSpec;
 use fisheye_core::frame::{Frame, FrameFormat};
 use fisheye_core::plan::{PlanOptions, RemapPlan};
+use fisheye_core::post::{DitherSeed, Lut3d, PostStage, ToneMap};
 use fisheye_core::synth::{capture_fisheye, World};
 use fisheye_core::{Interpolator, RemapMap};
 use fisheye_geom::calib::{select_model, Observation};
@@ -29,6 +30,8 @@ USAGE:
                     [--interp nearest|bilinear|bicubic]
                     [--format gray8|yuv420|rgb8]
                     [--backend NAME] [--threads N]
+                    [--lut NAME|FILE.cube] [--grade-strength F]
+                    [--tone-map linear|mcface] [--dither-seed N]
   fisheye panorama  --in FILE --out FILE [--mode cylindrical|equirect]
                     [--fov DEG] [--out-size WxH] [--threads N]
   fisheye stitch    --front FILE --back FILE --out FILE [--fov DEG]
@@ -38,6 +41,8 @@ USAGE:
                     [--size WxH] [--deadline-ms F] [--budget-ms F]
                     [--format gray8|yuv420|rgb8] [--churn N]
                     [--backend NAME] [--interp NAME] [--queue N] [--threads N]
+                    [--lut NAME|FILE.cube] [--grade-strength F]
+                    [--tone-map linear|mcface]
   fisheye info      --in FILE
   fisheye backends                      (list correction backends)
   fisheye help
@@ -45,6 +50,7 @@ USAGE:
 Scenes: checker circles grid bricks text gradient sinusoid.
 Backends: run `fisheye backends` for the registry; parameterized forms
 like smp:dynamic:4, fixed:10, cell:64x32, gpu:512 are accepted too.
+LUTs: builtin names (identity warm cool noir) or a .cube file path.
 All images are PGM.
 ";
 
@@ -101,6 +107,45 @@ pub fn parse_interp(s: &str) -> Result<Interpolator, ArgError> {
     }
 }
 
+/// Parse the post-stage flags shared by `correct` and `serve-sim`:
+/// `--lut` names a builtin LUT or a `.cube` file, `--grade-strength`
+/// scales the grade, `--tone-map` picks the curve, `--dither-seed`
+/// enables deterministic dithering.
+fn parse_post(args: &Args) -> Result<PostStage, CliError> {
+    let mut stage = PostStage::identity();
+    if let Some(lut_arg) = args.options.get("lut") {
+        let lut = match Lut3d::builtin(lut_arg) {
+            Some(l) => l,
+            None => {
+                let text = std::fs::read_to_string(lut_arg).map_err(with_path(lut_arg))?;
+                Lut3d::parse_cube(&text)
+                    .map_err(|e| CliError::Runtime(format!("{lut_arg}: {e}")))?
+            }
+        };
+        let strength: f32 = args.num("grade-strength", 1.0)?;
+        if !(0.0..=1.0).contains(&strength) {
+            return Err(CliError::Usage(
+                "--grade-strength must be between 0 and 1".into(),
+            ));
+        }
+        stage = stage.with_grade(Arc::new(lut), strength);
+    } else if args.options.contains_key("grade-strength") {
+        return Err(CliError::Usage("--grade-strength needs --lut".into()));
+    }
+    if let Some(tone) = args.options.get("tone-map") {
+        let tone = ToneMap::parse(tone)
+            .ok_or_else(|| CliError::Usage(format!("unknown tone map '{tone}' (linear|mcface)")))?;
+        stage = stage.with_tone_map(tone);
+    }
+    if let Some(seed) = args.options.get("dither-seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| ArgError(format!("--dither-seed: cannot parse '{seed}'")))?;
+        stage = stage.with_dither(DitherSeed(seed));
+    }
+    Ok(stage)
+}
+
 fn read_pgm(path: &str) -> Result<Image<Gray8>, CliError> {
     load_pgm(path).map_err(with_path(path))
 }
@@ -130,8 +175,21 @@ fn capture(args: &Args) -> CmdResult {
 
 fn run_correct(args: &Args) -> CmdResult {
     args.allow_only(&[
-        "in", "out", "fov", "view-fov", "pan", "tilt", "out-size", "interp", "threads", "backend",
+        "in",
+        "out",
+        "fov",
+        "view-fov",
+        "pan",
+        "tilt",
+        "out-size",
+        "interp",
+        "threads",
+        "backend",
         "format",
+        "lut",
+        "grade-strength",
+        "tone-map",
+        "dither-seed",
     ])?;
     let fov: f64 = args.num("fov", 180.0)?;
     let view_fov: f64 = args.num("view-fov", 90.0)?;
@@ -157,6 +215,7 @@ fn run_correct(args: &Args) -> CmdResult {
     if matches!(spec, EngineSpec::Smp { .. }) && threads <= 1 {
         threads = 4;
     }
+    let post = parse_post(args)?;
     let input = read_pgm(args.req("in")?)?;
     let (sw, sh) = input.dims();
     let (ow, oh) = parse_size(args.opt("out-size", &format!("{sw}x{sh}")))?;
@@ -174,6 +233,7 @@ fn run_correct(args: &Args) -> CmdResult {
         .format(format)
         .backend(spec)
         .interp(interp)
+        .post_stage(post)
         .threads(threads.max(1))
         .build()?;
     let out = args.req("out")?;
@@ -381,6 +441,10 @@ fn serve_sim(args: &Args) -> CmdResult {
         "threads",
         "format",
         "churn",
+        "lut",
+        "grade-strength",
+        "tone-map",
+        "dither-seed",
     ])?;
     let sessions: usize = args.num("sessions", 6)?;
     let capacity: usize = args.num("capacity", 4)?;
@@ -397,6 +461,7 @@ fn serve_sim(args: &Args) -> CmdResult {
     let spec = EngineSpec::parse(args.opt("backend", "serial")).map_err(CliError::Usage)?;
     let interp = parse_interp(args.opt("interp", "bicubic"))?;
     let format = parse_format(args.opt("format", "gray8"))?;
+    let post = parse_post(args)?;
     if format == FrameFormat::GrayF32 {
         return Err(CliError::Usage(
             "the serving layer corrects byte formats; --format grayf32 is not servable".into(),
@@ -433,6 +498,7 @@ fn serve_sim(args: &Args) -> CmdResult {
             backend: spec,
             interp,
             format,
+            post: post.clone(),
             ..SessionConfig::new(lens, view, (sw, sh))
         };
         match server.connect(cfg) {
@@ -668,6 +734,90 @@ mod tests {
     }
 
     #[test]
+    fn correct_grades_through_builtin_and_cube_luts() {
+        let dir = std::env::temp_dir().join("fisheye_cli_grade");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cap = dir.join("cap.pgm");
+        run(&format!(
+            "capture --scene gradient --out {} --size 128x96",
+            cap.display()
+        ))
+        .unwrap();
+        let plain = dir.join("plain.pgm");
+        run(&format!(
+            "correct --in {} --out {} --view-fov 80 --out-size 64x48",
+            cap.display(),
+            plain.display()
+        ))
+        .unwrap();
+        // a builtin LUT with a tone map changes the bytes
+        let warm = dir.join("warm.pgm");
+        run(&format!(
+            "correct --in {} --out {} --view-fov 80 --out-size 64x48 \
+             --lut warm --tone-map mcface --dither-seed 7",
+            cap.display(),
+            warm.display()
+        ))
+        .unwrap();
+        assert_ne!(load_pgm(&warm).unwrap(), load_pgm(&plain).unwrap());
+        // and the same command is deterministic, dither included
+        let warm2 = dir.join("warm2.pgm");
+        run(&format!(
+            "correct --in {} --out {} --view-fov 80 --out-size 64x48 \
+             --lut warm --tone-map mcface --dither-seed 7",
+            cap.display(),
+            warm2.display()
+        ))
+        .unwrap();
+        assert_eq!(load_pgm(&warm).unwrap(), load_pgm(&warm2).unwrap());
+        // a .cube file loads through the same flag
+        let cube = dir.join("boost.cube");
+        std::fs::write(
+            &cube,
+            "TITLE \"boost\"\nLUT_3D_SIZE 2\n0 0 0\n1 .5 .5\n.5 1 .5\n1 1 .5\n.5 .5 1\n1 .5 1\n.5 1 1\n1 1 1\n",
+        )
+        .unwrap();
+        let graded = dir.join("cube.pgm");
+        run(&format!(
+            "correct --in {} --out {} --view-fov 80 --out-size 64x48 --lut {}",
+            cap.display(),
+            graded.display(),
+            cube.display()
+        ))
+        .unwrap();
+        assert_ne!(load_pgm(&graded).unwrap(), load_pgm(&plain).unwrap());
+        // zero strength is the identity: byte-identical to no post
+        let zero = dir.join("zero.pgm");
+        run(&format!(
+            "correct --in {} --out {} --view-fov 80 --out-size 64x48 \
+             --lut warm --grade-strength 0",
+            cap.display(),
+            zero.display()
+        ))
+        .unwrap();
+        assert_eq!(load_pgm(&zero).unwrap(), load_pgm(&plain).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_post_flags_are_usage_errors() {
+        let e = run("correct --in /x.pgm --out /y.pgm --tone-map filmic").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        let e = run("correct --in /x.pgm --out /y.pgm --grade-strength 0.5").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "--grade-strength without --lut: {e}");
+        let e = run("correct --in /x.pgm --out /y.pgm --lut warm --grade-strength 2").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        let e = run("correct --in /x.pgm --out /y.pgm --lut warm --dither-seed x").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        let e = run("correct --in /x.pgm --out /y.pgm --lut /missing.cube").unwrap_err();
+        assert_eq!(
+            e.exit_code(),
+            1,
+            "missing cube file is a runtime error: {e}"
+        );
+    }
+
+    #[test]
     fn unknown_backend_is_usage_error() {
         // arguments are validated before any file I/O, so the bad
         // backend name wins over the missing input file
@@ -733,6 +883,14 @@ mod tests {
     fn serve_sim_serves_yuv_sessions() {
         run("serve-sim --sessions 2 --capacity 2 --views 1 --frames 5 \
              --size 96x72 --deadline-ms 50 --budget-ms 20 --format yuv420")
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_sim_serves_graded_sessions() {
+        run("serve-sim --sessions 2 --capacity 2 --views 1 --frames 5 \
+             --size 96x72 --deadline-ms 50 --budget-ms 20 \
+             --lut warm --grade-strength 0.8 --tone-map mcface")
         .unwrap();
     }
 

@@ -30,7 +30,8 @@ use pixmap::{Gray8, GrayF32, Image, Pixel};
 use crate::correct::correct_fixed_into;
 use crate::interp::Interpolator;
 use crate::map::FixedRemapMap;
-use crate::plan::{correct_plan_row, RemapPlan};
+use crate::plan::{correct_plan_row, correct_plan_row_post, RemapPlan};
+use crate::post::{PostPixel, PostPlan};
 use crate::simd;
 
 /// Default fractional weight bits for the quantized (fixed-point)
@@ -461,7 +462,7 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 /// artifact it needs derives it on the fly and sets `plan_miss=1` in
 /// the report's model section — functional, but the caller is leaving
 /// per-frame work on the table.
-pub trait CorrectionEngine<P: Pixel>: Send + Sync {
+pub trait CorrectionEngine<P: EnginePixel>: Send + Sync {
     /// Canonical spec name ([`EngineSpec::name`]).
     fn name(&self) -> String;
 
@@ -473,6 +474,64 @@ pub trait CorrectionEngine<P: Pixel>: Send + Sync {
         plan: &RemapPlan,
         out: &mut Image<P>,
     ) -> Result<FrameReport, EngineError>;
+
+    /// [`CorrectionEngine::correct_frame`] with an optional compiled
+    /// post stage. The default runs the correction and then a second
+    /// pass of [`EnginePixel::post_row`] over the output (reported as
+    /// `post_ms` with `fused=0`) — correct for every backend,
+    /// including the accelerator models that cannot fuse; the host
+    /// engines override this to fuse post into the span traversal
+    /// (`fused=1`, post cost inside `correct_time`). Both paths are
+    /// bit-exact with each other by construction.
+    fn correct_frame_post(
+        &self,
+        src: &Image<P>,
+        plan: &RemapPlan,
+        post: Option<&PostPlan>,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        let mut report = self.correct_frame(src, plan, out)?;
+        post_pass::<P>(&self.name(), post, out, &mut report)?;
+        Ok(report)
+    }
+}
+
+/// Reject an active post stage on a pixel type with no post
+/// datapath; strip inert stages so engines skip them entirely.
+fn active_post<'a, P: EnginePixel>(
+    name: &str,
+    post: Option<&'a PostPlan>,
+) -> Result<Option<&'a PostPlan>, EngineError> {
+    match post.filter(|p| !p.is_noop()) {
+        Some(_) if !P::HAS_POST => Err(EngineError::unsupported(
+            name,
+            "no post-stage datapath for this pixel type",
+        )),
+        other => Ok(other),
+    }
+}
+
+/// The two-pass post application: a full extra traversal of `out`,
+/// measured into `post_ms` with `fused=0`. This is the golden
+/// reference the fused path must match byte for byte, and the only
+/// path available to engines that cannot fuse.
+pub fn post_pass<P: EnginePixel>(
+    name: &str,
+    post: Option<&PostPlan>,
+    out: &mut Image<P>,
+    report: &mut FrameReport,
+) -> Result<(), EngineError> {
+    let Some(pp) = active_post::<P>(name, post)? else {
+        return Ok(());
+    };
+    let w = (out.dims().0 as usize).max(1);
+    let t0 = Instant::now();
+    for (y, row) in out.pixels_mut().chunks_mut(w).enumerate() {
+        P::post_row(row, y as u32, pp);
+    }
+    report.kv("post_ms", t0.elapsed().as_secs_f64() * 1e3);
+    report.kv("fused", 0.0);
+    Ok(())
 }
 
 /// Pixel types the engine layer can route: the float kernels work for
@@ -484,6 +543,8 @@ pub trait EnginePixel: Pixel {
     const HAS_FIXED: bool = false;
     /// The 4-lane SoA bilinear kernel exists for this type.
     const HAS_SIMD: bool = false;
+    /// The post-correction color stage exists for this type.
+    const HAS_POST: bool = false;
 
     /// Integer-datapath correction (bit-exact with
     /// [`crate::correct_fixed`]).
@@ -510,11 +571,32 @@ pub trait EnginePixel: Pixel {
             "no SoA kernel for this pixel type",
         ))
     }
+
+    /// Correct one row with the post stage fused into the span walk.
+    /// The default ignores the stage — engines guard every call
+    /// behind [`EnginePixel::HAS_POST`], so this body only runs when
+    /// post is inert.
+    fn fused_post_row(
+        src: &Image<Self>,
+        plan: &RemapPlan,
+        y: u32,
+        interp: Interpolator,
+        _post: &PostPlan,
+        out_row: &mut [Self],
+    ) {
+        correct_plan_row(src, plan, y, interp, out_row);
+    }
+
+    /// Apply the post stage over an already-corrected row (the
+    /// two-pass path). No-op by default, guarded like
+    /// [`EnginePixel::fused_post_row`].
+    fn post_row(_row: &mut [Self], _y: u32, _post: &PostPlan) {}
 }
 
 impl EnginePixel for Gray8 {
     const HAS_FIXED: bool = true;
     const HAS_SIMD: bool = true;
+    const HAS_POST: bool = true;
 
     fn fixed_kernel(
         src: &Image<Self>,
@@ -533,10 +615,26 @@ impl EnginePixel for Gray8 {
         simd::correct_bilinear_simd_gray8_into(src, plan, out);
         Ok(())
     }
+
+    fn fused_post_row(
+        src: &Image<Self>,
+        plan: &RemapPlan,
+        y: u32,
+        interp: Interpolator,
+        post: &PostPlan,
+        out_row: &mut [Self],
+    ) {
+        correct_plan_row_post(src, plan, y, interp, post, out_row);
+    }
+
+    fn post_row(row: &mut [Self], y: u32, post: &PostPlan) {
+        <Gray8 as PostPixel>::post_row(row, y, post);
+    }
 }
 
 impl EnginePixel for GrayF32 {
     const HAS_SIMD: bool = true;
+    const HAS_POST: bool = true;
 
     fn simd_kernel(
         src: &Image<Self>,
@@ -545,6 +643,21 @@ impl EnginePixel for GrayF32 {
     ) -> Result<(), EngineError> {
         simd::correct_bilinear_simd_into(src, plan, out);
         Ok(())
+    }
+
+    fn fused_post_row(
+        src: &Image<Self>,
+        plan: &RemapPlan,
+        y: u32,
+        interp: Interpolator,
+        post: &PostPlan,
+        out_row: &mut [Self],
+    ) {
+        correct_plan_row_post(src, plan, y, interp, post, out_row);
+    }
+
+    fn post_row(row: &mut [Self], y: u32, post: &PostPlan) {
+        <GrayF32 as PostPixel>::post_row(row, y, post);
     }
 }
 
@@ -614,17 +727,48 @@ pub fn execute_host<P: EnginePixel>(
     env: &HostEnv,
     out: &mut Image<P>,
 ) -> Result<FrameReport, EngineError> {
+    execute_host_post(spec, interp, src, plan, None, env, out)
+}
+
+/// [`execute_host`] with an optional compiled post stage. The
+/// row-oriented float paths (`serial`, `smp`) fuse the stage into the
+/// span traversal (`fused=1`, cost inside `correct_time`); the
+/// kernel paths (`fixed`, `simd`) and `direct` run their kernel and
+/// then one post pass over the output (`fused=0`, cost in
+/// `post_ms`). All paths are bit-exact with each other.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_host_post<P: EnginePixel>(
+    spec: &EngineSpec,
+    interp: Interpolator,
+    src: &Image<P>,
+    plan: &RemapPlan,
+    post: Option<&PostPlan>,
+    env: &HostEnv,
+    out: &mut Image<P>,
+) -> Result<FrameReport, EngineError> {
     let name = spec.name();
     let mut report = FrameReport::new(&name);
     report.rows = plan.height() as u64;
     match *spec {
         EngineSpec::Serial => {
             check_frame_dims(&name, src, plan, out)?;
-            let t0 = Instant::now();
-            for y in 0..plan.height() {
-                correct_plan_row(src, plan, y, interp, out.row_mut(y));
+            match active_post::<P>(&name, post)? {
+                Some(pp) => {
+                    let t0 = Instant::now();
+                    for y in 0..plan.height() {
+                        P::fused_post_row(src, plan, y, interp, pp, out.row_mut(y));
+                    }
+                    report.correct_time = t0.elapsed();
+                    report.kv("fused", 1.0);
+                }
+                None => {
+                    let t0 = Instant::now();
+                    for y in 0..plan.height() {
+                        correct_plan_row(src, plan, y, interp, out.row_mut(y));
+                    }
+                    report.correct_time = t0.elapsed();
+                }
             }
-            report.correct_time = t0.elapsed();
             report.invalid_pixels = plan.invalid_pixels();
         }
         EngineSpec::Smp { schedule } => {
@@ -633,11 +777,23 @@ pub fn execute_host<P: EnginePixel>(
                 EngineError::unsupported(&name, "smp needs a thread pool (HostEnv::pool)")
             })?;
             let w = plan.width() as usize;
-            let t0 = Instant::now();
-            pool.parallel_rows(out.pixels_mut(), w, schedule, &|row, out_row| {
-                correct_plan_row(src, plan, row as u32, interp, out_row);
-            });
-            report.correct_time = t0.elapsed();
+            match active_post::<P>(&name, post)? {
+                Some(pp) => {
+                    let t0 = Instant::now();
+                    pool.parallel_rows(out.pixels_mut(), w, schedule, &|row, out_row| {
+                        P::fused_post_row(src, plan, row as u32, interp, pp, out_row);
+                    });
+                    report.correct_time = t0.elapsed();
+                    report.kv("fused", 1.0);
+                }
+                None => {
+                    let t0 = Instant::now();
+                    pool.parallel_rows(out.pixels_mut(), w, schedule, &|row, out_row| {
+                        correct_plan_row(src, plan, row as u32, interp, out_row);
+                    });
+                    report.correct_time = t0.elapsed();
+                }
+            }
             report.invalid_pixels = plan.invalid_pixels();
             report.kv("threads", pool.threads() as f64);
         }
@@ -652,7 +808,9 @@ pub fn execute_host<P: EnginePixel>(
                     "view dimensions do not match the plan",
                 ));
             }
-            return execute_direct(interp, src, lens, view, out);
+            let mut direct_report = execute_direct(interp, src, lens, view, out)?;
+            post_pass::<P>(&name, post, out, &mut direct_report)?;
+            return Ok(direct_report);
         }
         EngineSpec::FixedPoint { frac_bits } => {
             check_frame_dims(&name, src, plan, out)?;
@@ -684,6 +842,7 @@ pub fn execute_host<P: EnginePixel>(
             report.correct_time = t0.elapsed();
             report.invalid_pixels = plan.invalid_pixels();
             report.kv("frac_bits", frac_bits as f64);
+            post_pass::<P>(&name, post, out, &mut report)?;
         }
         EngineSpec::Simd => {
             check_frame_dims(&name, src, plan, out)?;
@@ -704,6 +863,7 @@ pub fn execute_host<P: EnginePixel>(
             report.correct_time = t0.elapsed();
             report.invalid_pixels = plan.invalid_pixels();
             report.kv("lanes", simd::LANES as f64);
+            post_pass::<P>(&name, post, out, &mut report)?;
         }
         EngineSpec::Cell { .. } | EngineSpec::Gpu { .. } => {
             return Err(EngineError::unsupported(
@@ -868,6 +1028,24 @@ impl<P: EnginePixel> CorrectionEngine<P> for SerialEngine {
             out,
         )
     }
+
+    fn correct_frame_post(
+        &self,
+        src: &Image<P>,
+        plan: &RemapPlan,
+        post: Option<&PostPlan>,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        execute_host_post(
+            &EngineSpec::Serial,
+            self.interp,
+            src,
+            plan,
+            post,
+            &HostEnv::default(),
+            out,
+        )
+    }
 }
 
 struct SmpEngine {
@@ -893,6 +1071,20 @@ impl<P: EnginePixel> CorrectionEngine<P> for SmpEngine {
         };
         execute_host(&self.spec, self.interp, src, plan, &env, out)
     }
+
+    fn correct_frame_post(
+        &self,
+        src: &Image<P>,
+        plan: &RemapPlan,
+        post: Option<&PostPlan>,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        let env = HostEnv {
+            pool: Some(&self.pool),
+            ..Default::default()
+        };
+        execute_host_post(&self.spec, self.interp, src, plan, post, &env, out)
+    }
 }
 
 struct DirectEngine {
@@ -917,6 +1109,20 @@ impl<P: EnginePixel> CorrectionEngine<P> for DirectEngine {
             ..Default::default()
         };
         execute_host(&EngineSpec::Direct, self.interp, src, plan, &env, out)
+    }
+
+    fn correct_frame_post(
+        &self,
+        src: &Image<P>,
+        plan: &RemapPlan,
+        post: Option<&PostPlan>,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        let env = HostEnv {
+            geometry: Some((&self.lens, &self.view)),
+            ..Default::default()
+        };
+        execute_host_post(&EngineSpec::Direct, self.interp, src, plan, post, &env, out)
     }
 }
 
@@ -949,6 +1155,26 @@ impl<P: EnginePixel> CorrectionEngine<P> for FixedPointEngine {
             out,
         )
     }
+
+    fn correct_frame_post(
+        &self,
+        src: &Image<P>,
+        plan: &RemapPlan,
+        post: Option<&PostPlan>,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        execute_host_post(
+            &EngineSpec::FixedPoint {
+                frac_bits: self.frac_bits,
+            },
+            Interpolator::Bilinear,
+            src,
+            plan,
+            post,
+            &HostEnv::default(),
+            out,
+        )
+    }
 }
 
 struct SimdEngine;
@@ -969,6 +1195,24 @@ impl<P: EnginePixel> CorrectionEngine<P> for SimdEngine {
             Interpolator::Bilinear,
             src,
             plan,
+            &HostEnv::default(),
+            out,
+        )
+    }
+
+    fn correct_frame_post(
+        &self,
+        src: &Image<P>,
+        plan: &RemapPlan,
+        post: Option<&PostPlan>,
+        out: &mut Image<P>,
+    ) -> Result<FrameReport, EngineError> {
+        execute_host_post(
+            &EngineSpec::Simd,
+            Interpolator::Bilinear,
+            src,
+            plan,
+            post,
             &HostEnv::default(),
             out,
         )

@@ -43,6 +43,7 @@ use crate::engine::{build_host, CorrectionEngine, EngineError, EngineSpec, Frame
 use crate::interp::Interpolator;
 use crate::map::RemapMap;
 use crate::plan::{plan_request_digest, PlanOptions, RemapPlan};
+use crate::post::{PostChannel, PostPlan, PostStage};
 
 // ---------------------------------------------------------------------
 // Plane classes
@@ -158,6 +159,17 @@ impl FrameFormat {
                 PlaneClass::HalfChroma,
             ],
             FrameFormat::Rgb8 => &[PlaneClass::Full, PlaneClass::Full, PlaneClass::Full],
+        }
+    }
+
+    /// The post-stage color channel of every plane, in plane order:
+    /// gray planes grade as luma, 4:2:0 chroma planes are
+    /// curve-exempt, RGB planes grade per channel.
+    pub fn plane_channels(self) -> &'static [PostChannel] {
+        match self {
+            FrameFormat::Gray8 | FrameFormat::GrayF32 => &[PostChannel::Luma],
+            FrameFormat::Yuv420 => &[PostChannel::Luma, PostChannel::Chroma, PostChannel::Chroma],
+            FrameFormat::Rgb8 => &[PostChannel::Red, PostChannel::Green, PostChannel::Blue],
         }
     }
 
@@ -720,6 +732,7 @@ pub enum FrameEngines {
 struct PlaneJob<'a> {
     label: &'static str,
     plan: &'a RemapPlan,
+    post: Option<&'a PostPlan>,
     src: &'a Image<Gray8>,
     out: &'a mut Image<Gray8>,
 }
@@ -739,6 +752,11 @@ pub struct FrameCorrector {
     format: FrameFormat,
     plan: ViewPlan,
     engines: FrameEngines,
+    /// The configured post stage (identity when none was set).
+    post_stage: PostStage,
+    /// One compiled post plan per plane, in plane order; `None` for
+    /// planes the stage is inert on (so engines skip post entirely).
+    post: Vec<Option<PostPlan>>,
     /// Pool for plane-level concurrency. Guarded by `gate`: a
     /// `broadcast` must have a single submitter, so concurrent
     /// `correct_frame_into` calls race for the gate and the losers
@@ -844,9 +862,39 @@ impl FrameCorrector {
             format,
             plan,
             engines,
+            post_stage: PostStage::identity(),
+            post: vec![None; format.planes()],
             plane_pool,
             gate: std::sync::Mutex::new(()),
         })
+    }
+
+    /// Configure the post-correction color stage, compiling one
+    /// [`PostPlan`] per plane with the plane's channel semantics
+    /// (luma-vs-chroma for yuv420, per-channel for rgb8). An identity
+    /// stage clears post entirely.
+    pub fn set_post(&mut self, stage: &PostStage) {
+        self.post_stage = stage.clone();
+        self.post = self
+            .format
+            .plane_channels()
+            .iter()
+            .map(|&ch| {
+                let plan = stage.compile(ch);
+                (!plan.is_noop()).then_some(plan)
+            })
+            .collect();
+    }
+
+    /// The configured post stage (identity when unset).
+    pub fn post_stage(&self) -> &PostStage {
+        &self.post_stage
+    }
+
+    /// The compiled post plan for plane `i`, if the stage is active
+    /// on that plane.
+    pub fn plane_post(&self, i: usize) -> Option<&PostPlan> {
+        self.post.get(i).and_then(|p| p.as_ref())
     }
 
     /// The format this corrector accepts and produces.
@@ -886,8 +934,17 @@ impl FrameCorrector {
                 format!("format {} has no {} plane class", self.format, class.name()),
             )
         })?;
+        // the first plane of the class carries its post semantics
+        // (single-plane formats: plane 0; yuv chroma: the cb plan,
+        // identical to cr's — chroma post is channel-wide)
+        let post = self
+            .format
+            .plane_classes()
+            .iter()
+            .position(|&c| c == class)
+            .and_then(|i| self.plane_post(i));
         match &self.engines {
-            FrameEngines::U8(e) => e.correct_frame(src, plan, out),
+            FrameEngines::U8(e) => e.correct_frame_post(src, plan, post, out),
             FrameEngines::F32(_) => Err(EngineError::backend(
                 "frame-corrector",
                 "u8 plane on a float-plane corrector",
@@ -903,7 +960,9 @@ impl FrameCorrector {
         out: &mut Image<GrayF32>,
     ) -> Result<FrameReport, EngineError> {
         match &self.engines {
-            FrameEngines::F32(e) => e.correct_frame(src, self.plan.full(), out),
+            FrameEngines::F32(e) => {
+                e.correct_frame_post(src, self.plan.full(), self.plane_post(0), out)
+            }
             FrameEngines::U8(_) => Err(EngineError::backend(
                 "frame-corrector",
                 "float plane on a u8-plane corrector",
@@ -989,6 +1048,7 @@ impl FrameCorrector {
             jobs.push(PlaneJob {
                 label: labels[i],
                 plan: self.plan.plane_plan(i),
+                post: self.plane_post(i),
                 src: srcs[i],
                 out,
             });
@@ -1002,7 +1062,7 @@ impl FrameCorrector {
                 .into_iter()
                 .map(|job| {
                     engine
-                        .correct_frame(job.src, job.plan, job.out)
+                        .correct_frame_post(job.src, job.plan, job.post, job.out)
                         .map(|r| (job.label, r))
                 })
                 .collect::<Result<Vec<_>, _>>()?,
@@ -1053,7 +1113,7 @@ fn run_planes_concurrent(
         for i in range {
             let job = cells[i].lock().take();
             if let Some(job) = job {
-                let r = engine.correct_frame(job.src, job.plan, job.out);
+                let r = engine.correct_frame_post(job.src, job.plan, job.post, job.out);
                 *results[i].lock() = Some((job.label, r));
             }
         }

@@ -42,11 +42,15 @@ pub mod interp;
 pub mod map;
 pub mod pipeline;
 pub mod plan;
+// the post stage runs inside the fused span loop on every frame; a
+// panic here takes down whole streams, so unwrap is denied at the
+// module
+#[deny(clippy::unwrap_used)]
+pub mod post;
 pub mod simd;
 pub mod stitch;
 pub mod synth;
 pub mod tile;
-pub mod yuv;
 
 pub use antialias::{correct_antialiased, AaConfig};
 pub use correct::{correct, correct_fixed, correct_fixed_into, correct_into, correct_parallel};
@@ -62,7 +66,6 @@ pub use pipeline::{CorrectionPipeline, PipelineConfig, PipelineStats};
 pub use plan::{
     correct_plan, correct_plan_into, plan_request_digest, PlanOptions, RemapPlan, ValidSpan,
 };
+pub use post::{DitherSeed, Lut3d, PostChannel, PostPixel, PostPlan, PostStage, ToneMap};
 pub use stitch::{DualFisheyeRig, StitchMap};
 pub use tile::{TileJob, TilePlan};
-#[allow(deprecated)]
-pub use yuv::{correct_yuv420, correct_yuv420_parallel, YuvMaps};

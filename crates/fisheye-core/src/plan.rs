@@ -49,6 +49,7 @@ use pixmap::{Image, Pixel};
 use crate::engine::EngineSpec;
 use crate::interp::{sample_bicubic, sample_bilinear, sample_nearest, Interpolator};
 use crate::map::{FixedRemapMap, RemapMap};
+use crate::post::{PostPixel, PostPlan};
 use crate::tile::TilePlan;
 
 /// What [`RemapPlan::compile`] should prederive beyond the SoA planes
@@ -662,6 +663,76 @@ fn span_row<P: Pixel>(plan: &RemapPlan, y: u32, out_row: &mut [P], sample: impl 
         cursor = r.end;
     }
     out_row[cursor..].fill(P::BLACK);
+}
+
+/// [`correct_plan_row`] with the post-correction color stage fused
+/// into the span walk: every output pixel — sampled spans and black
+/// gap fill alike — passes through `post` in the same traversal, so
+/// corrected+graded output costs one pass over the row instead of
+/// remap-then-grade over the full frame. Bit-exact with correcting
+/// the row first and then applying [`PostPixel::post_row`] over it
+/// (the two-pass golden reference).
+#[inline]
+pub fn correct_plan_row_post<P: PostPixel>(
+    src: &Image<P>,
+    plan: &RemapPlan,
+    y: u32,
+    interp: Interpolator,
+    post: &PostPlan,
+    out_row: &mut [P],
+) {
+    if post.is_noop() {
+        return correct_plan_row(src, plan, y, interp, out_row);
+    }
+    debug_assert_eq!(out_row.len(), plan.width() as usize);
+    match interp {
+        Interpolator::Nearest => {
+            span_row_post(plan, y, post, out_row, |x, yy| sample_nearest(src, x, yy))
+        }
+        Interpolator::Bilinear => {
+            span_row_post(plan, y, post, out_row, |x, yy| sample_bilinear(src, x, yy))
+        }
+        Interpolator::Bicubic => {
+            span_row_post(plan, y, post, out_row, |x, yy| sample_bicubic(src, x, yy))
+        }
+    }
+}
+
+/// [`span_row`] with the compiled post stage applied to each pixel
+/// as it is produced. Gap fill goes through post too (dither makes
+/// even the fill coordinate-dependent), matching what a full-frame
+/// second pass would do to the black borders.
+#[inline]
+fn span_row_post<P: PostPixel>(
+    plan: &RemapPlan,
+    y: u32,
+    post: &PostPlan,
+    out_row: &mut [P],
+    sample: impl Fn(f32, f32) -> P,
+) {
+    let sx = plan.row_sx(y);
+    let sy = plan.row_sy(y);
+    let fill = |row: &mut [P], start: usize| {
+        for (i, o) in row.iter_mut().enumerate() {
+            *o = P::BLACK.post(post, (start + i) as u32, y);
+        }
+    };
+    let mut cursor = 0usize;
+    for s in plan.spans(y) {
+        fill(&mut out_row[cursor..s.start as usize], cursor);
+        let r = s.start as usize..s.end as usize;
+        for (i, ((x, yy), o)) in sx[r.clone()]
+            .iter()
+            .zip(&sy[r.clone()])
+            .zip(&mut out_row[r.clone()])
+            .enumerate()
+        {
+            *o = sample(*x, *yy).post(post, s.start + i as u32, y);
+        }
+        cursor = r.end;
+    }
+    let tail = cursor;
+    fill(&mut out_row[tail..], tail);
 }
 
 /// Serial span-based correction into a pre-allocated output image.

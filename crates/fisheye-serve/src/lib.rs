@@ -15,8 +15,9 @@
 //!   anywhere in the layer.
 //! * **Overload degrades, it doesn't collapse.** Sustained deadline
 //!   misses walk a [`DegradeLevel`] ladder — drop-oldest, then
-//!   interpolation downgrade, then resolution halving — and walk back
-//!   down when load subsides.
+//!   interpolation downgrade, then shedding per-session color
+//!   grading, then resolution halving — and walk back down when load
+//!   subsides.
 //!
 //! The [`Registry`] is the single observability sink: admissions,
 //! rejections, drops, deadline misses, ladder transitions, cache and
@@ -38,8 +39,8 @@
 //! let view = PerspectiveView::centered(64, 48, 90.0);
 //! let cfg = SessionConfig::new(lens, view, (128, 96));
 //!
-//! let mut a = server.connect(cfg)?;
-//! let mut b = server.connect(cfg)?; // same view: plan cache hit
+//! let mut a = server.connect(cfg.clone())?;
+//! let mut b = server.connect(cfg.clone())?; // same view: plan cache hit
 //! assert!(server.connect(cfg).is_err()); // over capacity: rejected
 //!
 //! let mut camera = CameraFeed::new(128, 96, 1);

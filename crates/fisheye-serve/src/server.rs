@@ -20,9 +20,12 @@
 //!    kernel (bicubic → bilinear);
 //! 3. [`DegradeLevel::InterpFloor`] — interpolation floors at
 //!    nearest-neighbour;
-//! 4. [`DegradeLevel::HalfRes`] — views render at half resolution
+//! 4. [`DegradeLevel::DropGrading`] — per-session post-correction
+//!    color work (grade / tone map / dither) is shed; geometry is
+//!    untouched, so this rung costs no plan compile at all;
+//! 5. [`DegradeLevel::HalfRes`] — views render at half resolution
 //!    (quarter the pixels), through half-res plans that the cache
-//!    compiles once and shares like any others.
+//!    compiles once and shares like any others. Grading stays shed.
 //!
 //! When the miss ratio falls back below the recovery threshold the
 //! ladder walks down again, automatically — degradation is a state
@@ -40,6 +43,7 @@ use fisheye_core::engine::{EngineSpec, FrameReport};
 use fisheye_core::frame::{Frame, FrameFormat, PlaneRequest, ViewPlan};
 use fisheye_core::map::RemapMap;
 use fisheye_core::plan::{PlanOptions, RemapPlan};
+use fisheye_core::post::PostStage;
 use fisheye_core::Interpolator;
 use fisheye_geom::{FisheyeLens, PerspectiveView};
 use par_runtime::sync::Mutex;
@@ -60,17 +64,22 @@ pub enum DegradeLevel {
     InterpDown,
     /// Interpolation floored at nearest-neighbour.
     InterpFloor,
-    /// Views render at half resolution (plus nearest + drop-oldest).
+    /// Post-correction grading shed (plus nearest + drop-oldest);
+    /// cheaper than touching geometry, so it comes before half-res.
+    DropGrading,
+    /// Views render at half resolution (plus no grading, nearest,
+    /// drop-oldest).
     HalfRes,
 }
 
 impl DegradeLevel {
     /// All levels, mildest first.
-    pub const LADDER: [DegradeLevel; 5] = [
+    pub const LADDER: [DegradeLevel; 6] = [
         DegradeLevel::Normal,
         DegradeLevel::DropOldest,
         DegradeLevel::InterpDown,
         DegradeLevel::InterpFloor,
+        DegradeLevel::DropGrading,
         DegradeLevel::HalfRes,
     ];
 
@@ -90,6 +99,7 @@ impl DegradeLevel {
             DegradeLevel::DropOldest => "drop_oldest",
             DegradeLevel::InterpDown => "interp_down",
             DegradeLevel::InterpFloor => "interp_floor",
+            DegradeLevel::DropGrading => "drop_grading",
             DegradeLevel::HalfRes => "half_res",
         }
     }
@@ -150,7 +160,8 @@ impl Default for ServerConfig {
 }
 
 /// Per-session configuration presented at [`Server::connect`].
-#[derive(Clone, Copy, Debug)]
+/// (`Clone` but not `Copy`: the post stage carries an `Arc`'d LUT.)
+#[derive(Clone, Debug)]
 pub struct SessionConfig {
     /// The camera's lens.
     pub lens: FisheyeLens,
@@ -168,6 +179,10 @@ pub struct SessionConfig {
     pub backend: EngineSpec,
     /// Full-quality interpolation kernel.
     pub interp: Interpolator,
+    /// Per-session post-correction color stage (grade / tone map /
+    /// dither), identity by default. Shed wholesale at
+    /// [`DegradeLevel::DropGrading`] and above.
+    pub post: PostStage,
     /// Per-frame deadline override (`None` = server default).
     pub deadline: Option<Duration>,
 }
@@ -182,6 +197,7 @@ impl SessionConfig {
             format: FrameFormat::Gray8,
             backend: EngineSpec::Serial,
             interp: Interpolator::Bilinear,
+            post: PostStage::identity(),
             deadline: None,
         }
     }
@@ -341,6 +357,7 @@ impl Server {
             cfg.format,
             &cfg.backend,
             cfg.interp,
+            &cfg.post,
             None,
         )?;
         let corrector = Corrector::builder()
@@ -350,6 +367,7 @@ impl Server {
             .format(cfg.format)
             .backend(cfg.backend)
             .interp(cfg.interp)
+            .post_stage(cfg.post.clone())
             .threads(self.inner.cfg.threads)
             .view_plan(plan)
             .build()?;
@@ -359,6 +377,7 @@ impl Server {
             server: self.clone(),
             base_view: cfg.view,
             base_interp: cfg.interp,
+            base_post: cfg.post,
             format: cfg.format,
             deadline: cfg.deadline.unwrap_or(self.inner.cfg.frame_deadline),
             corrector,
@@ -386,6 +405,13 @@ impl Server {
     /// [`PlanOptions`] (e.g. across a degradation rung's interp
     /// change) is ignored: its digests live in a different key space
     /// and must never seed this one.
+    ///
+    /// The session's post stage salts the digest (identity stages
+    /// don't): a cache entry's key then covers everything that shapes
+    /// the session's output bytes, matching the facade's
+    /// `request_digest` contract, and shedding the grading at
+    /// [`DegradeLevel::DropGrading`] re-keys the session onto the
+    /// plans ungraded sessions of the same view already share.
     #[allow(clippy::too_many_arguments)]
     fn view_plan_for(
         &self,
@@ -395,13 +421,15 @@ impl Server {
         format: FrameFormat,
         spec: &EngineSpec,
         interp: Interpolator,
+        post: &PostStage,
         base: Option<&ViewPlan>,
     ) -> Result<ViewPlan, fisheye::Error> {
         let opts = PlanOptions::for_spec(spec, interp);
+        let post_salt = if post.is_identity() { 0 } else { post.digest() };
         let plans = ViewPlan::plane_requests(format, lens, view, src_w, src_h)
             .into_iter()
             .map(|req| {
-                let digest = req.digest(&opts);
+                let digest = req.digest(&opts) ^ post_salt;
                 self.inner.cache.get_or_compile(digest, || {
                     match base.and_then(|b| b.class_plan(req.class)) {
                         Some(prev) if prev.opts() == &opts => {
@@ -648,6 +676,7 @@ pub struct Session {
     server: Server,
     base_view: PerspectiveView,
     base_interp: Interpolator,
+    base_post: PostStage,
     format: FrameFormat,
     deadline: Duration,
     corrector: Corrector<Gray8>,
@@ -897,13 +926,28 @@ impl Session {
         let desired_interp = match level {
             DegradeLevel::Normal | DegradeLevel::DropOldest => self.base_interp,
             DegradeLevel::InterpDown => downgrade(self.base_interp, 1),
-            DegradeLevel::InterpFloor | DegradeLevel::HalfRes => downgrade(self.base_interp, 2),
+            DegradeLevel::InterpFloor | DegradeLevel::DropGrading | DegradeLevel::HalfRes => {
+                downgrade(self.base_interp, 2)
+            }
         };
         let desired_view = if level == DegradeLevel::HalfRes {
             halved(self.base_view)
         } else {
             self.base_view
         };
+        // grading is shed at DropGrading and stays shed above it;
+        // restored exactly from the session's base on recovery
+        let desired_post = if level >= DegradeLevel::DropGrading {
+            PostStage::identity()
+        } else {
+            self.base_post.clone()
+        };
+        if self.corrector.post_stage().digest() != desired_post.digest() {
+            if desired_post.is_identity() {
+                self.server.inner.metrics.inc("serve.degrade.post_shed");
+            }
+            self.corrector.set_post(desired_post);
+        }
         if self.corrector.interp() != desired_interp {
             match self.corrector.set_interp(desired_interp) {
                 Ok(()) => {}
@@ -922,6 +966,7 @@ impl Session {
         if self.corrector.view() != Some(desired_view) {
             // the outgoing plan seeds delta recompilation on a cache
             // miss — a small pan recompiles only the rows it moved
+            let post = self.corrector.post_stage().clone();
             let plan = self.server.view_plan_for(
                 &self.corrector.lens(),
                 &desired_view,
@@ -929,6 +974,7 @@ impl Session {
                 self.format,
                 &self.corrector.spec(),
                 self.corrector.interp(),
+                &post,
                 Some(self.corrector.view_plan()),
             )?;
             self.corrector.set_view_plan(desired_view, plan)?;

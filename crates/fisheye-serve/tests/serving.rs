@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use fisheye::ErrorKind;
 use fisheye_core::frame::FrameFormat;
+use fisheye_core::post::{Lut3d, PostStage, ToneMap};
 use fisheye_core::Interpolator;
 use fisheye_geom::{FisheyeLens, PerspectiveView};
 use fisheye_serve::{
@@ -115,7 +116,7 @@ fn ladder_escalates_under_overload_and_recovers() {
         })
         .expect("slot");
     let mut climb = Vec::new();
-    for _ in 0..4 {
+    for _ in 0..5 {
         for _ in 0..8 {
             assert_ne!(
                 hot.submit(camera.next_frame()),
@@ -131,6 +132,7 @@ fn ladder_escalates_under_overload_and_recovers() {
             DegradeLevel::DropOldest,
             DegradeLevel::InterpDown,
             DegradeLevel::InterpFloor,
+            DegradeLevel::DropGrading,
             DegradeLevel::HalfRes,
         ],
         "one rung per saturated window"
@@ -159,16 +161,16 @@ fn ladder_escalates_under_overload_and_recovers() {
     drop(hot);
 
     // overload lifts: a generous deadline misses nothing and the
-    // ladder walks all the way back down, automatically (five
+    // ladder walks all the way back down, automatically (six
     // windows: the first flushes the misses the checks above left in
-    // the controller's buffer, four recover the four rungs)
+    // the controller's buffer, five recover the five rungs)
     let mut cool = server
         .connect(SessionConfig {
             deadline: Some(Duration::from_secs(3600)),
             ..session_cfg()
         })
         .expect("slot");
-    for _ in 0..5 {
+    for _ in 0..6 {
         for _ in 0..8 {
             cool.submit(camera.next_frame());
             cool.pump_one().expect("engine ok").expect("frame pending");
@@ -181,9 +183,122 @@ fn ladder_escalates_under_overload_and_recovers() {
     assert_eq!(cool.corrector().interp(), Interpolator::Bicubic);
 
     let m = server.metrics();
-    assert_eq!(m.counter("serve.degrade.escalations"), 4);
-    assert_eq!(m.counter("serve.degrade.recoveries"), 4);
+    assert_eq!(m.counter("serve.degrade.escalations"), 5);
+    assert_eq!(m.counter("serve.degrade.recoveries"), 5);
     assert_eq!(m.gauge_value("serve.degrade.level"), Some(0.0));
+}
+
+/// The ladder sheds grading before resolution on the way up, and
+/// restores resolution before grading on the way down: DropGrading
+/// sits between InterpFloor and HalfRes in both directions.
+#[test]
+fn grading_is_shed_before_resolution_and_restored_after() {
+    let server = test_server(2);
+    let mut camera = CameraFeed::new(SRC.0, SRC.1, 21);
+    let post = PostStage::identity()
+        .with_grade(Arc::new(Lut3d::builtin("warm").expect("builtin lut")), 1.0)
+        .with_tone_map(ToneMap::McFace);
+    let mut hot = server
+        .connect(SessionConfig {
+            post: post.clone(),
+            deadline: Some(Duration::ZERO),
+            ..session_cfg()
+        })
+        .expect("slot");
+    assert!(!hot.corrector().post_stage().is_identity());
+
+    // the post stage salts the plan digest: an ungraded session of
+    // the same view compiles its own cache entry rather than aliasing
+    // the graded one
+    let misses_before = server.cache().stats().misses;
+    drop(server.connect(session_cfg()).expect("slot"));
+    assert_eq!(server.cache().stats().misses, misses_before + 1);
+
+    // four saturated windows climb to DropGrading: grading shed,
+    // geometry (resolution) untouched
+    for _ in 0..4 {
+        for _ in 0..8 {
+            hot.submit(camera.next_frame());
+            hot.pump_one().expect("engine ok").expect("frame pending");
+        }
+    }
+    assert_eq!(server.level(), DegradeLevel::DropGrading);
+    hot.submit(camera.next_frame());
+    let out = hot.pump_one().expect("engine ok").expect("frame pending");
+    assert_eq!(out.level, DegradeLevel::DropGrading);
+    assert!(
+        hot.corrector().post_stage().is_identity(),
+        "grading shed at DropGrading"
+    );
+    assert_eq!(out.frame.dims(), (64, 48), "resolution survives the rung");
+    assert_eq!(server.metrics().counter("serve.degrade.post_shed"), 1);
+
+    // one more saturated window: only then does resolution halve, and
+    // grading stays shed
+    for _ in 0..7 {
+        hot.submit(camera.next_frame());
+        hot.pump_one().expect("engine ok").expect("frame pending");
+    }
+    assert_eq!(server.level(), DegradeLevel::HalfRes);
+    hot.submit(camera.next_frame());
+    let out = hot.pump_one().expect("engine ok").expect("frame pending");
+    assert_eq!(out.level, DegradeLevel::HalfRes);
+    assert_eq!(out.frame.dims(), (32, 24));
+    assert!(hot.corrector().post_stage().is_identity());
+    drop(hot);
+
+    // recovery runs the rungs in reverse: resolution comes back while
+    // grading is still shed, and grading returns only below
+    // DropGrading — fully restored from the session's base at Normal
+    let mut cool = server
+        .connect(SessionConfig {
+            post: post.clone(),
+            deadline: Some(Duration::from_secs(3600)),
+            ..session_cfg()
+        })
+        .expect("slot");
+    let mut saw_restored_res_without_grading = false;
+    for _ in 0..6 {
+        for _ in 0..8 {
+            cool.submit(camera.next_frame());
+            let out = cool.pump_one().expect("engine ok").expect("frame pending");
+            if out.level == DegradeLevel::DropGrading {
+                assert_eq!(out.frame.dims(), (64, 48));
+                assert!(cool.corrector().post_stage().is_identity());
+                saw_restored_res_without_grading = true;
+            }
+        }
+    }
+    assert!(
+        saw_restored_res_without_grading,
+        "recovery must pass through DropGrading (full res, no grading)"
+    );
+    assert_eq!(server.level(), DegradeLevel::Normal, "full recovery");
+    cool.submit(camera.next_frame());
+    let out = cool.pump_one().expect("engine ok").expect("frame pending");
+    assert_eq!(out.level, DegradeLevel::Normal);
+    assert!(
+        !cool.corrector().post_stage().is_identity(),
+        "grading restored from the base config"
+    );
+    assert_eq!(out.frame.dims(), (64, 48));
+
+    // and the restored grading really reaches the pixels: the same
+    // source frame serves differently on a graded vs ungraded session
+    let mut plain = server
+        .connect(SessionConfig {
+            deadline: Some(Duration::from_secs(3600)),
+            ..session_cfg()
+        })
+        .expect("slot");
+    let frame = camera.next_frame();
+    cool.submit(Arc::clone(&frame));
+    plain.submit(frame);
+    let graded = cool.pump_one().expect("ok").expect("pending");
+    let ungraded = plain.pump_one().expect("ok").expect("pending");
+    let g = graded.frame.as_gray().expect("gray session");
+    let u = ungraded.frame.as_gray().expect("gray session");
+    assert_ne!(g.pixels(), u.pixels(), "grading changes output bytes");
 }
 
 #[test]
@@ -290,7 +405,7 @@ fn yuv_sessions_share_plane_plans_and_serve_bit_exact_frames() {
         format: FrameFormat::Yuv420,
         ..session_cfg()
     };
-    let mut a = server.connect(yuv_cfg).expect("slot 1");
+    let mut a = server.connect(yuv_cfg.clone()).expect("slot 1");
     let _b = server.connect(yuv_cfg).expect("slot 2");
     let stats = server.cache().stats();
     assert_eq!(
@@ -352,8 +467,8 @@ fn yuv_sessions_ride_the_halfres_rung() {
             ..session_cfg()
         })
         .expect("slot");
-    // saturate four 8-frame windows: one rung per window, to HalfRes
-    for _ in 0..4 {
+    // saturate five 8-frame windows: one rung per window, to HalfRes
+    for _ in 0..5 {
         for _ in 0..8 {
             hot.submit_frame(camera.next_frame_in(FrameFormat::Yuv420));
             hot.pump_one().expect("engine ok").expect("frame pending");

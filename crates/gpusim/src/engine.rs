@@ -10,10 +10,10 @@
 //! rate, DRAM traffic, warp memory profile, modeled cycles) into the
 //! [`FrameReport`]'s uniform key/value section.
 
-use fisheye_core::engine::{CorrectionEngine, EngineError, EngineSpec, FrameReport};
+use fisheye_core::engine::{CorrectionEngine, EngineError, EnginePixel, EngineSpec, FrameReport};
 use fisheye_core::plan::RemapPlan;
 use fisheye_core::Interpolator;
-use pixmap::{Image, Pixel};
+use pixmap::Image;
 
 use crate::{GpuConfig, GpuRunner};
 
@@ -56,7 +56,7 @@ impl GpuEngine {
     }
 }
 
-impl<P: Pixel> CorrectionEngine<P> for GpuEngine {
+impl<P: EnginePixel> CorrectionEngine<P> for GpuEngine {
     fn name(&self) -> String {
         self.spec.name()
     }

@@ -34,4 +34,23 @@ awk -v s="$min_speedup" 'BEGIN { exit !(s >= 2.0) }' \
   || { echo "bench-smoke: FAIL (delta recompile speedup $min_speedup < 2.0x)"; exit 1; }
 echo "bench-smoke: t8 delta recompile ${min_speedup}x >= 2.0x, bit-exact"
 
+echo "bench-smoke: repro_t9_fused_post (quick scale)"
+cargo run --release --offline -p fisheye-bench --bin repro_t9_fused_post
+
+# The fused post stage must stay nearly free on the remap traversal
+# (<= 1.15x bare correction at VGA+), clearly beat a separate
+# per-pixel grading pass (>= 1.3x at VGA+), and match the two-pass
+# reference byte for byte.
+json="results/BENCH_t9.json"
+[ -f "$json" ] || { echo "bench-smoke: FAIL ($json missing)"; exit 1; }
+max_overhead="$(sed -n 's/.*"max_overhead": \([0-9.]*\).*/\1/p' "$json")"
+min_speedup="$(sed -n 's/.*"min_speedup": \([0-9.]*\).*/\1/p' "$json")"
+grep -q '"all_bit_exact": true' "$json" \
+  || { echo "bench-smoke: FAIL (fused post not bit-exact, see $json)"; exit 1; }
+awk -v o="$max_overhead" 'BEGIN { exit !(o <= 1.15) }' \
+  || { echo "bench-smoke: FAIL (fused post overhead ${max_overhead}x > 1.15x)"; exit 1; }
+awk -v s="$min_speedup" 'BEGIN { exit !(s >= 1.3) }' \
+  || { echo "bench-smoke: FAIL (fused post speedup ${min_speedup}x < 1.3x vs two-pass)"; exit 1; }
+echo "bench-smoke: t9 fused post ${max_overhead}x overhead <= 1.15x, ${min_speedup}x >= 1.3x vs two-pass, bit-exact"
+
 echo "bench-smoke: OK"

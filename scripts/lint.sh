@@ -26,6 +26,14 @@ cargo clippy --offline -p fisheye-serve --no-deps --all-targets -- -D warnings -
 echo "lint: cargo clippy videopipe lib (deny unwrap_used)"
 cargo clippy --offline -p videopipe --no-deps --lib -- -D warnings -D clippy::unwrap_used
 
+# The post stage sits on the per-pixel hot path of every backend and
+# inside the serving layer's degrade machinery: a panic there takes
+# frames (or sessions) down, so unwrap is banned in fisheye-core too.
+# The crate carries #[deny(clippy::unwrap_used)] on the post module;
+# this run makes the gate observable in CI alongside the others.
+echo "lint: cargo clippy fisheye-core lib (deny unwrap_used on post)"
+cargo clippy --offline -p fisheye-core --no-deps --lib -- -D warnings
+
 echo "lint: cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 

@@ -69,6 +69,7 @@ use crate::cell::{CellConfig, CellEngine};
 use crate::core::engine::{build_host, CorrectionEngine, EngineError, EngineSpec, HostCtx};
 use crate::core::frame::{Frame, FrameCorrector, FrameEngines, FrameFormat, PlaneClass, ViewPlan};
 use crate::core::plan::plan_request_digest;
+use crate::core::post::{DitherSeed, Lut3d, PostStage, ToneMap};
 use crate::core::{FrameReport, Interpolator, PlanOptions, RemapMap, RemapPlan};
 use crate::error::Error;
 use crate::geom::{FisheyeLens, OutputProjection, PerspectiveView};
@@ -232,6 +233,7 @@ pub struct CorrectorBuilder<P: CorrectorPixel = Gray8> {
     gpu: GpuConfig,
     plan: Option<Arc<RemapPlan>>,
     view_plan: Option<ViewPlan>,
+    post: PostStage,
     _pixel: PhantomData<P>,
 }
 
@@ -249,6 +251,7 @@ impl<P: CorrectorPixel> Default for CorrectorBuilder<P> {
             gpu: GpuConfig::default(),
             plan: None,
             view_plan: None,
+            post: PostStage::identity(),
             _pixel: PhantomData,
         }
     }
@@ -322,6 +325,38 @@ impl<P: CorrectorPixel> CorrectorBuilder<P> {
     /// GPU machine description for `gpu` specs.
     pub fn gpu_config(mut self, gpu: GpuConfig) -> Self {
         self.gpu = gpu;
+        self
+    }
+
+    /// Color-grade corrected output through a 3D LUT at `strength`
+    /// (0 = off, 1 = full). The grade is part of the post stage fused
+    /// into the remap traversal on backends that support it — see
+    /// [`PostStage`]. Chroma planes of multi-plane formats are
+    /// curve-exempt; RGB planes are graded per channel.
+    pub fn grade(mut self, lut: Arc<Lut3d>, strength: f32) -> Self {
+        self.post = self.post.with_grade(lut, strength);
+        self
+    }
+
+    /// Tone-map corrected output (default [`ToneMap::Linear`], i.e.
+    /// off). Applied in linear light, after the grade.
+    pub fn tone_map(mut self, tone: ToneMap) -> Self {
+        self.post = self.post.with_tone_map(tone);
+        self
+    }
+
+    /// Dither the re-quantization of post-processed byte output with
+    /// interleaved-gradient noise derived from `seed` and the pixel
+    /// coordinates. Deterministic: same seed, same bytes.
+    pub fn dither(mut self, seed: DitherSeed) -> Self {
+        self.post = self.post.with_dither(seed);
+        self
+    }
+
+    /// Replace the whole post stage at once (the serving layer
+    /// carries one per session config).
+    pub fn post_stage(mut self, stage: PostStage) -> Self {
+        self.post = stage;
         self
     }
 
@@ -448,6 +483,7 @@ impl<P: CorrectorPixel> CorrectorBuilder<P> {
             map_time,
             plan_time,
             map_pool: None,
+            post: self.post,
             _pixel: PhantomData,
         };
         corrector.rebuild_frames(plan)?;
@@ -552,6 +588,9 @@ pub struct Corrector<P: CorrectorPixel = Gray8> {
     /// Row-parallel pool for map retraces on view changes, spun up
     /// lazily on the first recompile (never for `threads == 1`).
     map_pool: Option<Arc<ThreadPool>>,
+    /// Post-correction color pipeline applied to every corrected
+    /// plane (identity by default — zero cost when inactive).
+    post: PostStage,
     _pixel: PhantomData<P>,
 }
 
@@ -745,15 +784,39 @@ impl<P: CorrectorPixel> Corrector<P> {
     /// [`ViewPlan::plane_requests`].)
     pub fn request_digest(&self) -> Option<u64> {
         match &self.target {
-            Target::View(v) => Some(plan_request_digest(
-                &self.lens,
-                v,
-                self.src_w,
-                self.src_h,
-                &self.plan_options(),
-            )),
+            Target::View(v) => {
+                let mut d = plan_request_digest(
+                    &self.lens,
+                    v,
+                    self.src_w,
+                    self.src_h,
+                    &self.plan_options(),
+                );
+                // the post stage changes output bytes, so it salts the
+                // cache identity — but an identity stage is a no-op and
+                // must hash like a corrector with no post at all
+                if !self.post.is_identity() {
+                    d ^= self.post.digest();
+                }
+                Some(d)
+            }
             Target::Projection(_) => None,
         }
+    }
+
+    /// Replace the post-correction color stage (grade / tone map /
+    /// dither). Cheap: recompiles the 256-entry per-plane transfer
+    /// tables, never the remap plan or the engine.
+    pub fn set_post(&mut self, stage: PostStage) {
+        self.post = stage;
+        if let Some(frames) = self.frames.as_mut() {
+            frames.set_post(&self.post);
+        }
+    }
+
+    /// The active post-correction stage (identity when unset).
+    pub fn post_stage(&self) -> &PostStage {
+        &self.post
     }
 
     /// The frame format this corrector accepts and produces.
@@ -827,12 +890,10 @@ impl<P: CorrectorPixel> Corrector<P> {
             },
         )?;
         let pool = FrameCorrector::default_plane_pool(self.format, &self.spec, self.threads);
-        self.frames = Some(FrameCorrector::from_parts(
-            self.format,
-            plan,
-            P::pack_engine(engine),
-            pool,
-        )?);
+        let mut frames =
+            FrameCorrector::from_parts(self.format, plan, P::pack_engine(engine), pool)?;
+        frames.set_post(&self.post);
+        self.frames = Some(frames);
         Ok(())
     }
 
@@ -886,6 +947,7 @@ impl<P: CorrectorPixel> std::fmt::Debug for Corrector<P> {
 mod tests {
     use super::*;
     use crate::core::engine::EngineSpec;
+    use crate::core::post::PostPixel;
 
     fn lens_view() -> (FisheyeLens, PerspectiveView) {
         (
@@ -1156,6 +1218,104 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(e.kind(), crate::ErrorKind::Config);
+    }
+
+    #[test]
+    fn graded_corrector_matches_reference_post_pass() {
+        let (lens, view) = lens_view();
+        let src = crate::img::scene::random_gray(64, 48, 7);
+        let lut = Arc::new(Lut3d::builtin("warm").unwrap());
+        let stage = PostStage::identity()
+            .with_grade(Arc::clone(&lut), 0.8)
+            .with_tone_map(ToneMap::McFace);
+        for spec in [
+            EngineSpec::Serial,
+            EngineSpec::Smp {
+                schedule: Schedule::Static { chunk: None },
+            },
+        ] {
+            let c = Corrector::<Gray8>::builder()
+                .lens(lens)
+                .view(view)
+                .backend(spec)
+                .grade(Arc::clone(&lut), 0.8)
+                .tone_map(ToneMap::McFace)
+                .build()
+                .unwrap();
+            let (out, report) = c.correct(&src).unwrap();
+            // fused on host backends
+            assert_eq!(report.model.get("fused"), Some(&1.0), "{spec:?}");
+            // reference: plain correction then the per-pixel transfer
+            let plain = Corrector::<Gray8>::builder()
+                .lens(lens)
+                .view(view)
+                .build()
+                .unwrap();
+            let (mut reference, _) = plain.correct(&src).unwrap();
+            let plan = stage.compile(crate::core::post::PostChannel::Luma);
+            for (y, row) in (0..).zip(reference.pixels_mut().chunks_mut(32)) {
+                Gray8::post_row(row, y, &plan);
+            }
+            assert_eq!(out.pixels(), reference.pixels(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn identity_post_leaves_output_and_digest_alone() {
+        let (lens, view) = lens_view();
+        let src = crate::img::scene::random_gray(64, 48, 5);
+        let plain = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .build()
+            .unwrap();
+        let lut = Arc::new(Lut3d::identity(9));
+        let noop = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .grade(lut, 0.0)
+            .tone_map(ToneMap::Linear)
+            .build()
+            .unwrap();
+        assert_eq!(plain.request_digest(), noop.request_digest());
+        let (a, _) = plain.correct(&src).unwrap();
+        let (b, _) = noop.correct(&src).unwrap();
+        assert_eq!(a.pixels(), b.pixels());
+    }
+
+    #[test]
+    fn post_stage_salts_request_digest_and_set_post_updates_it() {
+        let (lens, view) = lens_view();
+        let mut c = Corrector::<Gray8>::builder()
+            .lens(lens)
+            .view(view)
+            .build()
+            .unwrap();
+        let d0 = c.request_digest().unwrap();
+        let lut = Arc::new(Lut3d::builtin("cool").unwrap());
+        c.set_post(PostStage::identity().with_grade(lut, 1.0));
+        let d1 = c.request_digest().unwrap();
+        assert_ne!(d0, d1);
+        c.set_post(PostStage::identity());
+        assert_eq!(c.request_digest().unwrap(), d0);
+    }
+
+    #[test]
+    fn dithered_output_is_deterministic() {
+        let (lens, view) = lens_view();
+        let src = crate::img::scene::random_gray(64, 48, 11);
+        let build = || {
+            Corrector::<Gray8>::builder()
+                .lens(lens)
+                .view(view)
+                .tone_map(ToneMap::McFace)
+                .dither(DitherSeed(0x5eed))
+                .build()
+                .unwrap()
+        };
+        let (a, _) = build().correct(&src).unwrap();
+        let (b, _) = build().correct(&src).unwrap();
+        assert_eq!(a.pixels(), b.pixels());
     }
 
     #[test]

@@ -1,148 +1,45 @@
-//! All-backend engine construction (superseded by
-//! [`Corrector`](crate::Corrector)).
+//! Backend registry for the facade.
 //!
 //! `fisheye_core::engine` defines the [`CorrectionEngine`] trait and
 //! builds the host paths, but it cannot see the accelerator models
-//! (`cellsim`/`gpusim` depend on it, not the other way around). This
-//! module sits at the top of the dependency graph and resolves *any*
-//! [`EngineSpec`] — host or accelerator — to a boxed engine. The spec
-//! names are exactly what [`registry`] reports.
+//! (`cellsim`/`gpusim` depend on it, not the other way around). All
+//! cross-crate engine resolution now lives in the
+//! [`Corrector`](crate::Corrector) builder, which traces maps,
+//! compiles plans and resolves *any* [`EngineSpec`] — host or
+//! accelerator — behind one entry point. This module keeps the
+//! registry listing and the engine-layer re-exports.
 //!
-//! Since PR 4 the [`Corrector`](crate::Corrector) builder does this
-//! resolution (plus map tracing and plan compilation) behind one
-//! entry point; `BuildCtx`/`build_gray8`/`build_gray_f32` remain as
-//! deprecated shims for code that manages plans by hand.
+//! [`CorrectionEngine`]: crate::core::engine::CorrectionEngine
 
-use crate::cell::{CellConfig, CellEngine};
-use crate::core::engine::{build_host, CorrectionEngine, EngineError, EngineSpec, HostCtx};
-use crate::core::Interpolator;
-use crate::geom::{FisheyeLens, PerspectiveView};
-use crate::gpu::{GpuConfig, GpuEngine};
-use crate::img::{Gray8, GrayF32};
+use crate::core::engine::EngineSpec;
 
 pub use crate::core::engine::{EnginePixel, FrameReport, NumericClass};
 
 /// The canonical spec list ([`EngineSpec::registry`]) — one entry per
-/// backend, each buildable here.
+/// backend, each buildable by the [`Corrector`](crate::Corrector)
+/// builder.
 pub fn registry() -> Vec<EngineSpec> {
     EngineSpec::registry()
 }
 
-/// Everything needed to build any backend: host resources plus the
-/// accelerator machine descriptions.
-#[deprecated(
-    since = "0.4.0",
-    note = "use fisheye::Corrector::builder(), which carries this context internally"
-)]
-#[derive(Clone, Copy)]
-pub struct BuildCtx<'a> {
-    /// Interpolation kernel for the float paths.
-    pub interp: Interpolator,
-    /// Worker threads for `smp` engines.
-    pub threads: usize,
-    /// Lens + view, required by `direct`.
-    pub geometry: Option<(&'a FisheyeLens, &'a PerspectiveView)>,
-    /// Cell machine description (spec parameters override buffering).
-    pub cell: CellConfig,
-    /// GPU machine description (spec parameters override block size).
-    pub gpu: GpuConfig,
-}
-
-#[allow(deprecated)]
-impl Default for BuildCtx<'_> {
-    fn default() -> Self {
-        BuildCtx {
-            interp: Interpolator::Bilinear,
-            threads: 4,
-            geometry: None,
-            cell: CellConfig::default(),
-            gpu: GpuConfig::default(),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl<'a> BuildCtx<'a> {
-    fn host(&self) -> HostCtx<'a> {
-        HostCtx {
-            interp: self.interp,
-            threads: self.threads,
-            geometry: self.geometry,
-        }
-    }
-}
-
-/// Build any backend for `Gray8` frames — every registry spec
-/// resolves for this type.
-#[deprecated(
-    since = "0.4.0",
-    note = "use fisheye::Corrector::builder().backend(spec).build()"
-)]
-#[allow(deprecated)]
-pub fn build_gray8(
-    spec: &EngineSpec,
-    ctx: &BuildCtx,
-) -> Result<Box<dyn CorrectionEngine<Gray8>>, EngineError> {
-    match spec {
-        EngineSpec::Cell { .. } => Ok(Box::new(CellEngine::from_spec(spec, ctx.cell)?)),
-        EngineSpec::Gpu { .. } => Ok(Box::new(GpuEngine::from_spec(spec, ctx.gpu, ctx.interp)?)),
-        _ => build_host::<Gray8>(spec, &ctx.host()),
-    }
-}
-
-/// Build a backend for `GrayF32` frames. The integer datapaths
-/// (`fixed`, `cell`) have no float implementation and return
-/// [`EngineError::Unsupported`].
-#[deprecated(
-    since = "0.4.0",
-    note = "use fisheye::Corrector::<GrayF32>::builder().backend(spec).build()"
-)]
-#[allow(deprecated)]
-pub fn build_gray_f32(
-    spec: &EngineSpec,
-    ctx: &BuildCtx,
-) -> Result<Box<dyn CorrectionEngine<GrayF32>>, EngineError> {
-    match spec {
-        EngineSpec::Cell { .. } => Err(EngineError::unsupported(
-            spec.name(),
-            "the Cell SPE kernel is the byte-wise fixed-point datapath",
-        )),
-        EngineSpec::Gpu { .. } => Ok(Box::new(GpuEngine::from_spec(spec, ctx.gpu, ctx.interp)?)),
-        _ => build_host::<GrayF32>(spec, &ctx.host()),
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the shims must keep working until they are removed
 mod tests {
     use super::*;
+    use crate::geom::{FisheyeLens, PerspectiveView};
+    use crate::img::Gray8;
 
     #[test]
-    fn every_registry_spec_builds_for_gray8() {
+    fn every_registry_spec_builds_through_the_corrector() {
         let lens = FisheyeLens::equidistant_fov(64, 48, 180.0);
         let view = PerspectiveView::centered(32, 24, 90.0);
-        let ctx = BuildCtx {
-            geometry: Some((&lens, &view)),
-            ..Default::default()
-        };
         for spec in registry() {
-            let engine = build_gray8(&spec, &ctx).unwrap();
-            assert_eq!(engine.name(), spec.name());
-        }
-    }
-
-    #[test]
-    fn float_builder_rejects_integer_datapaths() {
-        let ctx = BuildCtx::default();
-        for name in ["fixed", "cell"] {
-            let spec = EngineSpec::parse(name).unwrap();
-            assert!(
-                matches!(
-                    build_gray_f32(&spec, &ctx),
-                    Err(EngineError::Unsupported { .. })
-                ),
-                "{name}"
-            );
+            let c = crate::Corrector::<Gray8>::builder()
+                .lens(lens)
+                .view(view)
+                .backend(spec)
+                .build()
+                .unwrap();
+            assert_eq!(c.spec().name(), spec.name());
         }
     }
 }

@@ -72,9 +72,9 @@ pub use error::{Error, ErrorKind};
 /// removals are breaking.
 pub mod prelude {
     pub use crate::core::{
-        CorrectionEngine, CorrectionPipeline, EngineSpec, FixedRemapMap, Frame, FrameCorrector,
-        FrameFormat, FrameReport, Interpolator, PipelineConfig, PlanOptions, PlaneClass, RemapMap,
-        RemapPlan, TilePlan, ViewPlan,
+        CorrectionEngine, CorrectionPipeline, DitherSeed, EngineSpec, FixedRemapMap, Frame,
+        FrameCorrector, FrameFormat, FrameReport, Interpolator, Lut3d, PipelineConfig, PlanOptions,
+        PlaneClass, PostStage, RemapMap, RemapPlan, TilePlan, ToneMap, ViewPlan,
     };
     pub use crate::corrector::{Corrector, CorrectorBuilder, CorrectorPixel};
     pub use crate::error::{Error, ErrorKind};
@@ -85,94 +85,22 @@ pub mod prelude {
     pub use crate::par::{Schedule, ThreadPool};
 }
 
-/// One-call correction for simple uses.
-#[deprecated(
-    since = "0.4.0",
-    note = "build a fisheye::Corrector once and call correct_into per frame"
-)]
-pub fn undistort<P: img::Pixel>(
-    frame: &img::Image<P>,
-    lens: &geom::FisheyeLens,
-    view: &geom::PerspectiveView,
-    interp: core::Interpolator,
-) -> img::Image<P> {
-    let (w, h) = frame.dims();
-    let map = core::RemapMap::build(lens, view, w, h);
-    core::correct(frame, &map, interp)
-}
-
-/// Thin wrapper over [`core::correct()`] kept for migration.
-#[deprecated(
-    since = "0.4.0",
-    note = "use fisheye::Corrector::builder().lens(..).view(..).build()"
-)]
-pub fn correct<P: img::Pixel>(
-    src: &img::Image<P>,
-    map: &core::RemapMap,
-    interp: core::Interpolator,
-) -> img::Image<P> {
-    core::correct(src, map, interp)
-}
-
-/// Thin wrapper over [`core::correct_fixed`] kept for migration.
-#[deprecated(
-    since = "0.4.0",
-    note = "use fisheye::Corrector with .backend(EngineSpec::FixedPoint { .. })"
-)]
-pub fn correct_fixed(
-    src: &img::Image<img::Gray8>,
-    map: &core::FixedRemapMap,
-) -> img::Image<img::Gray8> {
-    core::correct_fixed(src, map)
-}
-
-/// Thin wrapper over [`core::correct_plan`] kept for migration.
-#[deprecated(
-    since = "0.4.0",
-    note = "use fisheye::Corrector, which compiles and executes the plan for you"
-)]
-pub fn correct_plan<P: img::Pixel>(
-    src: &img::Image<P>,
-    plan: &core::RemapPlan,
-    interp: core::Interpolator,
-) -> img::Image<P> {
-    core::correct_plan(src, plan, interp)
-}
-
-/// Thin wrapper over [`core::RemapMap::build_projection`] kept for
-/// migration.
-#[deprecated(
-    since = "0.4.0",
-    note = "use fisheye::Corrector::builder().projection(..), which compiles the plan too"
-)]
-pub fn build_projection(
-    lens: &geom::FisheyeLens,
-    proj: &geom::OutputProjection,
-    src_w: u32,
-    src_h: u32,
-) -> core::RemapMap {
-    core::RemapMap::build_projection(lens, proj, src_w, src_h)
-}
-
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
+    fn facade_matches_the_core_entry_point() {
         let lens = FisheyeLens::equidistant_fov(64, 48, 180.0);
         let view = PerspectiveView::centered(32, 24, 90.0);
         let frame = crate::img::scene::random_gray(64, 48, 1);
-        let out = crate::undistort(&frame, &lens, &view, Interpolator::Bilinear);
-        assert_eq!(out.dims(), (32, 24));
         let corrector = Corrector::builder().lens(lens).view(view).build().unwrap();
         let (via_corrector, _) = corrector.correct(&frame).unwrap();
-        assert_eq!(out.pixels(), via_corrector.pixels());
+        assert_eq!(via_corrector.dims(), (32, 24));
 
         let map = RemapMap::build(&lens, &view, 64, 48);
         assert_eq!(
-            crate::correct(&frame, &map, Interpolator::Bilinear).pixels(),
+            crate::core::correct(&frame, &map, Interpolator::Bilinear).pixels(),
             via_corrector.pixels()
         );
     }

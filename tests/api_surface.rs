@@ -25,6 +25,8 @@ use fisheye::prelude::{
     Corrector,
     CorrectorBuilder,
     CorrectorPixel,
+    // post: the fused color pipeline
+    DitherSeed,
     EngineSpec,
     // error: the unified error type
     Error,
@@ -43,6 +45,7 @@ use fisheye::prelude::{
     Image,
     Interpolator,
     LensModel,
+    Lut3d,
     OutputProjection,
     PerspectiveView,
     PipelineConfig,
@@ -50,6 +53,7 @@ use fisheye::prelude::{
     PlanOptions,
     PlaneClass,
     PlanePool,
+    PostStage,
     RemapMap,
     RemapPlan,
     Rgb8,
@@ -57,6 +61,7 @@ use fisheye::prelude::{
     Schedule,
     ThreadPool,
     TilePlan,
+    ToneMap,
     ViewPlan,
 };
 
@@ -124,6 +129,30 @@ fn prelude_is_sufficient_for_the_common_path() {
         .build()
         .expect_err("missing lens/view must not build");
     assert_eq!(err.kind(), ErrorKind::Config);
+}
+
+/// The post-pipeline types are in the prelude and compose with the
+/// builder: grade, tone map and dither build without reaching into
+/// `fisheye::core::post`.
+#[test]
+fn prelude_is_sufficient_for_the_graded_path() {
+    use std::sync::Arc;
+    let lens = FisheyeLens::equidistant_fov(64, 48, 180.0);
+    let view = PerspectiveView::centered(32, 24, 90.0);
+    let corrector = Corrector::<Gray8>::builder()
+        .lens(lens)
+        .view(view)
+        .grade(Arc::new(Lut3d::builtin("warm").expect("builtin lut")), 0.5)
+        .tone_map(ToneMap::McFace)
+        .dither(DitherSeed(7))
+        .build()
+        .expect("graded build");
+    assert!(!corrector.post_stage().is_identity());
+    assert!(PostStage::identity().is_identity());
+    // tone map names round-trip like specs and formats do
+    for tone in ToneMap::ALL {
+        assert_eq!(ToneMap::parse(tone.name()), Some(tone));
+    }
 }
 
 /// Every `FrameFormat`'s `Display` form parses back to the same

@@ -1,6 +1,10 @@
 //! Property-based integration tests over the geometry and correction
 //! stack, on the in-tree `proputil` harness.
 
+use std::sync::Arc;
+
+use fisheye::core::engine::{build_host, HostCtx};
+use fisheye::core::post::{PostChannel, PostPixel};
 use fisheye::core::{correct, correct_fixed, correct_parallel};
 use fisheye::geom::{FisheyeLens, LensModel, PerspectiveView, Vec3};
 use fisheye::prelude::*;
@@ -128,6 +132,137 @@ fn parallel_always_matches_serial() {
             Schedule::Dynamic { chunk },
         );
         ensure_eq!(serial, par, "w={w} h={h} threads={threads} chunk={chunk}");
+        Ok(())
+    });
+}
+
+/// An identity post stage — unset, or built from inert parts (zero
+/// grade strength, linear curve, no dither) — is invisible on every
+/// registry backend: byte-identical output and an unchanged plan
+/// request digest, so it can never split the serving layer's cache.
+#[test]
+fn identity_post_stage_is_invisible_on_every_backend() {
+    proputil::check(
+        "identity_post_stage_is_invisible_on_every_backend",
+        12,
+        |g| {
+            let out_w = g.u32_in(5, 40);
+            let out_h = g.u32_in(5, 40);
+            let pan = g.f64_in(-30.0, 30.0);
+            let seed = g.u64_in(0, 99);
+            let lens = FisheyeLens::equidistant_fov(64, 48, 180.0);
+            let view = PerspectiveView::centered(out_w, out_h, 90.0).look(pan, 0.0);
+            let frame = fisheye::img::scene::random_gray(64, 48, seed);
+            // inert by construction, not by omission: every knob touched
+            let inert = PostStage::identity()
+                .with_grade(Arc::new(Lut3d::builtin("warm").expect("builtin lut")), 0.0)
+                .with_tone_map(ToneMap::Linear);
+            ensure!(inert.is_identity(), "zero-strength warm grade is inert");
+            for spec in EngineSpec::registry() {
+                let build = |post: Option<&PostStage>| {
+                    let mut b = Corrector::<Gray8>::builder()
+                        .lens(lens)
+                        .view(view)
+                        .source(64, 48)
+                        .backend(spec)
+                        .interp(Interpolator::Bilinear);
+                    if let Some(stage) = post {
+                        b = b.post_stage(stage.clone());
+                    }
+                    b.build()
+                        .unwrap_or_else(|e| panic!("{} builds: {e}", spec.name()))
+                };
+                let plain = build(None);
+                let graded = build(Some(&inert));
+                ensure_eq!(
+                    plain.request_digest(),
+                    graded.request_digest(),
+                    "{}: identity stage must not re-key the plan cache",
+                    spec.name()
+                );
+                let (a, _) = plain.correct(&frame).expect("plain correct");
+                let (b, _) = graded.correct(&frame).expect("graded correct");
+                ensure_eq!(a, b, "{}: identity stage changed bytes", spec.name());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The fused post path is byte-identical to correct-then-post_row for
+/// arbitrary stages (any builtin LUT, strength, curve, dither seed,
+/// channel) on every host backend — including the degenerate 1×1
+/// output and the all-invalid map a backward-looking view produces.
+#[test]
+fn fused_post_always_matches_two_pass() {
+    proputil::check("fused_post_always_matches_two_pass", CASES, |g| {
+        let shape = g.u32_in(0, 8);
+        let (out_w, out_h, pan) = match shape {
+            // the smallest legal output: one pixel, one span
+            0 => (1, 1, 0.0),
+            // looking straight backward through a 180° lens: every
+            // map entry invalid, so post only ever sees gap fill
+            1 => (24, 20, 180.0),
+            _ => (g.u32_in(3, 33), g.u32_in(3, 33), g.f64_in(-40.0, 40.0)),
+        };
+        let lens = FisheyeLens::equidistant_fov(48, 40, 180.0);
+        let view = PerspectiveView::centered(out_w, out_h, 90.0).look(pan, 0.0);
+        let map = RemapMap::build(&lens, &view, 48, 40);
+        let frame = fisheye::img::scene::random_gray(48, 40, g.u64_in(0, 99));
+
+        let lut_name = *g.pick(&["identity", "warm", "cool", "noir"]);
+        let strength = g.f64_in(0.0, 1.0) as f32;
+        let tone = *g.pick(&[ToneMap::Linear, ToneMap::McFace]);
+        let mut stage = PostStage::identity()
+            .with_grade(
+                Arc::new(Lut3d::builtin(lut_name).expect("builtin lut")),
+                strength,
+            )
+            .with_tone_map(tone);
+        if g.bool() {
+            stage = stage.with_dither(DitherSeed(g.u64_in(0, u64::MAX)));
+        }
+        let channel = *g.pick(&[PostChannel::Luma, PostChannel::Chroma, PostChannel::Red]);
+        let post = stage.compile(channel);
+
+        let specs = [
+            EngineSpec::Serial,
+            EngineSpec::Smp {
+                schedule: Schedule::Static { chunk: None },
+            },
+            EngineSpec::Simd,
+        ];
+        let threads = g.usize_in(1, 5);
+        for spec in specs {
+            let plan =
+                RemapPlan::compile(&map, PlanOptions::for_spec(&spec, Interpolator::Bilinear));
+            let engine = build_host::<Gray8>(
+                &spec,
+                &HostCtx {
+                    interp: Interpolator::Bilinear,
+                    threads,
+                    geometry: None,
+                },
+            )
+            .expect("host engine builds");
+            let mut fused = Image::new(out_w, out_h);
+            engine
+                .correct_frame_post(&frame, &plan, Some(&post), &mut fused)
+                .expect("fused correct");
+            let mut two = Image::new(out_w, out_h);
+            engine
+                .correct_frame(&frame, &plan, &mut two)
+                .expect("plain correct");
+            for (y, row) in two.pixels_mut().chunks_mut(out_w as usize).enumerate() {
+                Gray8::post_row(row, y as u32, &post);
+            }
+            ensure_eq!(
+                fused,
+                two,
+                "{} {out_w}x{out_h} pan={pan} lut={lut_name} s={strength} {tone:?} {channel:?}",
+                spec.name()
+            );
+        }
         Ok(())
     });
 }
