@@ -1,0 +1,27 @@
+//! Reproduce T7 — serve soak: a thousand concurrent wire-protocol
+//! sessions against the sharded network front end on loopback, with
+//! continuous connect/disconnect and view churn. Pass `--full` for
+//! the longer paper-scale soak.
+//!
+//! Besides the usual CSV, this bin writes `results/BENCH_t7.json`,
+//! the machine-readable soak contract (`bounded_p99`,
+//! `bounded_bytes`) that `scripts/bench_smoke.sh` enforces.
+
+use fisheye_bench::experiments::t7_serve_soak;
+use fisheye_bench::table::results_dir;
+use fisheye_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let result = t7_serve_soak::point(scale);
+    t7_serve_soak::table(&result).emit("t7_serve_soak");
+
+    let json = t7_serve_soak::to_json(&result, scale);
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_t7.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

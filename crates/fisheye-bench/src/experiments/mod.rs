@@ -25,6 +25,7 @@ pub mod t3_stream_resources;
 pub mod t4_engine_reports;
 pub mod t5_serve_scaling;
 pub mod t6_color_formats;
+pub mod t7_serve_soak;
 pub mod t8_view_churn;
 pub mod t9_fused_post;
 
@@ -52,6 +53,7 @@ pub fn all() -> Vec<Experiment> {
         ("t4_engine_reports", t4_engine_reports::run),
         ("t5_serve_scaling", t5_serve_scaling::run),
         ("t6_color_formats", t6_color_formats::run),
+        ("t7_serve_soak", t7_serve_soak::run),
         ("t8_view_churn", t8_view_churn::run),
         ("t9_fused_post", t9_fused_post::run),
         ("f10_pipeline", f10_pipeline::run),

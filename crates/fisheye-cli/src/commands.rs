@@ -11,7 +11,10 @@ use fisheye_core::synth::{capture_fisheye, World};
 use fisheye_core::{Interpolator, RemapMap};
 use fisheye_geom::calib::{select_model, Observation};
 use fisheye_geom::{FisheyeLens, OutputProjection, PerspectiveView};
-use fisheye_serve::{pump_round, CameraFeed, Server, ServerConfig, SessionConfig};
+use fisheye_serve::{
+    pump_round, CameraFeed, Client, ClientEvent, NetServer, NetServerConfig, Server, ServerConfig,
+    SessionConfig, SessionDesc,
+};
 use par_runtime::Schedule;
 use pixmap::codec::{load_pgm, save_pgm};
 use pixmap::{Gray8, Image};
@@ -43,6 +46,14 @@ USAGE:
                     [--backend NAME] [--interp NAME] [--queue N] [--threads N]
                     [--lut NAME|FILE.cube] [--grade-strength F]
                     [--tone-map linear|mcface]
+  fisheye serve     [--bind HOST:PORT] [--shards N] [--capacity N] [--queue N]
+                    [--deadline-ms F] [--hot-cache N] [--threads N]
+                    [--for-ms N]      (0 = run until killed)
+  fisheye client    --connect HOST:PORT [--frames N] [--size WxH]
+                    [--view-size WxH] [--fov DEG] [--view-fov DEG]
+                    [--pan DEG] [--tilt DEG] [--format gray8|yuv420|rgb8]
+                    [--interp NAME] [--backend NAME] [--deadline-ms F]
+                    [--seed N] [--churn N] [--out FILE]
   fisheye info      --in FILE
   fisheye backends                      (list correction backends)
   fisheye help
@@ -65,6 +76,8 @@ pub fn dispatch(args: &Args) -> CmdResult {
         "stitch" => stitch(args),
         "calibrate" => calibrate(args),
         "serve-sim" => serve_sim(args),
+        "serve" => serve(args),
+        "client" => client(args),
         "info" => info(args),
         "backends" => backends(args),
         other => Err(CliError::Usage(format!(
@@ -573,6 +586,207 @@ fn serve_sim(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Bind the sharded network front end and serve wire-protocol
+/// sessions. `--for-ms` bounds the run (handy for scripts and tests);
+/// the default 0 serves until the process is killed. The bound
+/// address is printed (and flushed) first so `--bind 127.0.0.1:0`
+/// callers can scrape the kernel-chosen port.
+fn serve(args: &Args) -> CmdResult {
+    args.allow_only(&[
+        "bind",
+        "shards",
+        "capacity",
+        "queue",
+        "deadline-ms",
+        "hot-cache",
+        "threads",
+        "for-ms",
+    ])?;
+    let bind = args.opt("bind", "127.0.0.1:4590");
+    let shards: usize = args.num("shards", 2)?;
+    let capacity: usize = args.num("capacity", 64)?;
+    let queue: usize = args.num("queue", 4)?;
+    let deadline_ms: f64 = args.num("deadline-ms", 20.0)?;
+    let hot_cache: usize = args.num("hot-cache", 8)?;
+    let threads: usize = args.num("threads", 1)?;
+    let for_ms: u64 = args.num("for-ms", 0)?;
+    if deadline_ms <= 0.0 {
+        return Err(CliError::Usage("deadline-ms must be positive".into()));
+    }
+    let cfg = NetServerConfig {
+        server: ServerConfig {
+            capacity,
+            queue_depth: queue,
+            frame_deadline: std::time::Duration::from_secs_f64(deadline_ms / 1e3),
+            threads,
+            ..ServerConfig::default()
+        },
+        shards,
+        hot_cache_capacity: hot_cache,
+        ..NetServerConfig::default()
+    };
+    let mut srv = NetServer::bind(bind, cfg)?;
+    println!(
+        "serving on {} ({shards} shards, capacity {capacity}, queue {queue}, \
+         deadline {deadline_ms} ms)",
+        srv.addr()
+    );
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    if for_ms == 0 {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(for_ms));
+    srv.shutdown();
+    let m = srv.metrics_snapshot();
+    println!(
+        "served {} frames over {} connections ({} shed, {} protocol errors)",
+        m.counter("serve.frames.completed"),
+        m.counter("serve.net.accepted"),
+        m.counter("serve.frames.shed_shutdown") + m.counter("serve.frames.shed_internal"),
+        m.counter("serve.net.protocol_errors"),
+    );
+    println!("--- metrics snapshot ---");
+    print!("{}", m.snapshot());
+    Ok(())
+}
+
+/// Drive one wire-protocol session against a running `fisheye serve`:
+/// connect, stream synthetic camera frames (the same [`CameraFeed`]
+/// the in-process sim uses), and report round-trip latency. `--churn`
+/// pans the view every N frames; `--out` writes the last corrected
+/// luma plane as PGM.
+fn client(args: &Args) -> CmdResult {
+    args.allow_only(&[
+        "connect",
+        "frames",
+        "size",
+        "view-size",
+        "fov",
+        "view-fov",
+        "pan",
+        "tilt",
+        "format",
+        "interp",
+        "backend",
+        "deadline-ms",
+        "seed",
+        "churn",
+        "out",
+    ])?;
+    let addr_s = args.req("connect")?;
+    let addr: std::net::SocketAddr = addr_s
+        .parse()
+        .map_err(|_| CliError::Usage(format!("--connect '{addr_s}' is not HOST:PORT")))?;
+    let frames: u64 = args.num("frames", 30)?;
+    let (sw, sh) = parse_size(args.opt("size", "256x192"))?;
+    let default_view = format!("{}x{}", (sw / 2).max(1), (sh / 2).max(1));
+    let (vw, vh) = parse_size(args.opt("view-size", &default_view))?;
+    let fov: f64 = args.num("fov", 180.0)?;
+    let view_fov: f64 = args.num("view-fov", 90.0)?;
+    let pan: f64 = args.num("pan", 0.0)?;
+    let tilt: f64 = args.num("tilt", 0.0)?;
+    let format = parse_format(args.opt("format", "gray8"))?;
+    if format == FrameFormat::GrayF32 {
+        return Err(CliError::Usage(
+            "the wire protocol carries byte formats; --format grayf32 is not servable".into(),
+        ));
+    }
+    let interp = parse_interp(args.opt("interp", "bilinear"))?;
+    let backend = args.opt("backend", "serial");
+    // validate locally before dialing so typos are usage errors, not
+    // a protocol shed from the far end
+    EngineSpec::parse(backend).map_err(CliError::Usage)?;
+    let deadline_ms: f64 = args.num("deadline-ms", 0.0)?;
+    if frames == 0 || deadline_ms < 0.0 {
+        return Err(CliError::Usage(
+            "frames must be positive and deadline-ms non-negative".into(),
+        ));
+    }
+    let seed: u64 = args.num("seed", 42)?;
+    let churn: u64 = args.num("churn", 0)?;
+
+    let base_view = PerspectiveView::centered(vw, vh, view_fov).look(pan, tilt);
+    let desc = SessionDesc {
+        lens: FisheyeLens::equidistant_fov(sw, sh, fov),
+        view: base_view,
+        source: (sw, sh),
+        format,
+        interp,
+        deadline_us: (deadline_ms * 1e3) as u32,
+        backend,
+    };
+    let mut client = Client::connect(addr, &desc, std::time::Duration::from_secs(10))?;
+    println!("session {} connected to {addr}", client.session_id());
+
+    let mut feed = CameraFeed::new(sw, sh, seed);
+    let (mut done, mut shed, mut missed) = (0u64, 0u64, 0u64);
+    let (mut lat_sum, mut lat_max) = (0u64, 0u32);
+    let mut last = None;
+    let mut pans = 0u64;
+    'drive: for seq in 0..frames {
+        if churn > 0 && seq > 0 && seq % churn == 0 {
+            pans += 1;
+            client.set_view(base_view.look(pan + 0.5 * pans as f64, tilt))?;
+        }
+        client.submit(seq, &feed.next_frame_in(format))?;
+        // lockstep: wait for this frame's verdict before the next one
+        loop {
+            match client.recv(std::time::Duration::from_secs(10))? {
+                Some(ClientEvent::FrameDone {
+                    seq: s,
+                    latency_us,
+                    missed: frame_missed,
+                    frame,
+                    ..
+                }) => {
+                    done += 1;
+                    if frame_missed {
+                        missed += 1;
+                    }
+                    lat_sum += latency_us as u64;
+                    lat_max = lat_max.max(latency_us);
+                    last = Some(frame);
+                    if s == seq {
+                        break;
+                    }
+                }
+                Some(ClientEvent::Shed { .. }) => {
+                    shed += 1;
+                    break;
+                }
+                Some(ClientEvent::Goodbye) => break 'drive,
+                None => return Err(CliError::Runtime("timed out waiting for the server".into())),
+            }
+        }
+    }
+    let _ = client.goodbye();
+    let mean_ms = if done > 0 {
+        lat_sum as f64 / done as f64 / 1e3
+    } else {
+        0.0
+    };
+    println!(
+        "received {done}/{frames} frames ({shed} shed, {missed} deadline-missed): \
+         latency mean {mean_ms:.2} ms, max {:.2} ms",
+        lat_max as f64 / 1e3,
+    );
+    if let Some(out) = args.options.get("out") {
+        let frame =
+            last.ok_or_else(|| CliError::Runtime("no frame received; nothing to write".into()))?;
+        let planes = frame
+            .u8_planes()
+            .ok_or_else(|| CliError::Runtime("the served frame has no byte planes".into()))?;
+        let first = planes
+            .first()
+            .ok_or_else(|| CliError::Runtime("the served frame is empty".into()))?;
+        write_pgm(first, out)?;
+        println!("wrote the last corrected luma plane -> {out}");
+    }
+    Ok(())
+}
+
 fn info(args: &Args) -> CmdResult {
     args.allow_only(&["in"])?;
     let path = args.req("in")?;
@@ -892,6 +1106,56 @@ mod tests {
              --size 96x72 --deadline-ms 50 --budget-ms 20 \
              --lut warm --grade-strength 0.8 --tone-map mcface")
         .unwrap();
+    }
+
+    #[test]
+    fn serve_subcommand_runs_a_bounded_window() {
+        run("serve --bind 127.0.0.1:0 --shards 1 --for-ms 50").unwrap();
+    }
+
+    #[test]
+    fn client_subcommand_drives_a_live_server() {
+        let mut srv = fisheye_serve::NetServer::bind(
+            "127.0.0.1:0",
+            fisheye_serve::NetServerConfig {
+                server: ServerConfig {
+                    capacity: 8,
+                    frame_deadline: std::time::Duration::from_secs(5),
+                    threads: 1,
+                    ..ServerConfig::default()
+                },
+                ..fisheye_serve::NetServerConfig::default()
+            },
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("fisheye_cli_net");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("net.pgm");
+        run(&format!(
+            "client --connect {} --frames 4 --size 96x72 --churn 2 --out {}",
+            srv.addr(),
+            out.display()
+        ))
+        .unwrap();
+        // default view is half the source size
+        assert_eq!(load_pgm(&out).unwrap().dims(), (48, 36));
+        srv.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn client_flags_are_validated_before_dialing() {
+        let e = run("client --connect not-an-addr").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        let e = run("client --connect 127.0.0.1:1 --format grayf32").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        let e = run("client --connect 127.0.0.1:1 --backend warp-drive").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        let e = run("client --connect 127.0.0.1:1 --frames 0").unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        // a dead port is a runtime failure, not a usage one
+        let e = run("client --connect 127.0.0.1:1 --frames 1").unwrap_err();
+        assert_eq!(e.exit_code(), 1, "{e}");
     }
 
     #[test]

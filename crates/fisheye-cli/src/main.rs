@@ -13,6 +13,11 @@
 //! fisheye serve-sim [--sessions N] [--capacity N] [--views N] [--frames N]
 //!                  [--deadline-ms F] [--budget-ms F] [--churn N]
 //!                  # multi-session serving sim; --churn pans every N frames
+//! fisheye serve    [--bind 127.0.0.1:4590] [--shards 2] [--capacity 64]
+//!                  [--deadline-ms 20] [--for-ms 0]
+//!                  # sharded network front end speaking the wire protocol
+//! fisheye client   --connect 127.0.0.1:4590 [--frames 30] [--churn N]
+//!                  [--out last.pgm]          # drive one network session
 //! fisheye info     --in img.pgm
 //! fisheye backends                           # list correction backends
 //! ```

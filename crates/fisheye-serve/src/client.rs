@@ -1,0 +1,275 @@
+//! A blocking wire-protocol client for [`NetServer`](crate::NetServer).
+//!
+//! The client side needs none of the server's readiness machinery: a
+//! session submits, polls, and repoints from one thread, so plain
+//! blocking sockets with a read timeout are the simplest correct
+//! thing. The [`Client`] speaks exactly the [`wire`]
+//! protocol — it exists so tests, the CLI `client` subcommand and the
+//! soak bench don't each reimplement framing.
+
+// Client-side but still library code embedded in long-running hosts
+// (the soak driver, the CLI): same panic-free bar as wire and shard.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use fisheye_core::frame::Frame;
+use fisheye_geom::PerspectiveView;
+
+use crate::server::DegradeLevel;
+use crate::wire::{self, Message, SessionDesc, ShedReason};
+
+/// A server-to-client event, decoded and owned (frames are copied out
+/// of the socket buffer).
+#[derive(Debug)]
+pub enum ClientEvent {
+    /// A corrected frame.
+    FrameDone {
+        /// The wire seq this client submitted.
+        seq: u64,
+        /// Submit → corrected latency measured by the server, µs.
+        latency_us: u32,
+        /// Whether the server judged the deadline missed.
+        missed: bool,
+        /// Ladder level the frame was served at.
+        level: DegradeLevel,
+        /// The corrected pixels.
+        frame: Frame,
+    },
+    /// The server shed a frame (or, with `seq == 0`, reported a
+    /// non-frame condition).
+    Shed {
+        /// The shed frame's wire seq (0 when not per-frame).
+        seq: u64,
+        /// Why.
+        reason: ShedReason,
+    },
+    /// The server is closing the session.
+    Goodbye,
+}
+
+/// One connected wire session.
+pub struct Client {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    session: u64,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("session", &self.session)
+            .finish()
+    }
+}
+
+fn io_err(what: &str, e: std::io::Error) -> fisheye::Error {
+    fisheye::Error::runtime(format!("{what}: {e}"))
+}
+
+fn wire_err(e: wire::WireError) -> fisheye::Error {
+    fisheye::Error::runtime(format!("wire protocol: {e}"))
+}
+
+impl Client {
+    /// Dial `addr`, perform the `Hello`/`Connect` handshake for
+    /// `desc`, and wait (up to `timeout`) for the server's verdict.
+    /// An admission refusal surfaces as [`fisheye::Error::Rejected`]
+    /// (counts unknown client-side, reported as 0/0) so callers can
+    /// use `is_rejected()` for retry logic, exactly as with the
+    /// in-process [`Server::connect`](crate::Server::connect).
+    pub fn connect(
+        addr: SocketAddr,
+        desc: &SessionDesc<'_>,
+        timeout: Duration,
+    ) -> Result<Client, fisheye::Error> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        stream.set_nodelay(true).map_err(|e| io_err("nodelay", e))?;
+        let mut hello = Vec::new();
+        Message::Hello {
+            version: wire::WIRE_VERSION,
+            session: 0,
+        }
+        .encode_into(&mut hello)
+        .map_err(wire_err)?;
+        Message::Connect(*desc)
+            .encode_into(&mut hello)
+            .map_err(wire_err)?;
+        let mut client = Client {
+            stream,
+            rbuf: Vec::new(),
+            session: 0,
+        };
+        client
+            .stream
+            .write_all(&hello)
+            .map_err(|e| io_err("handshake send", e))?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            match client.recv_until(deadline)? {
+                Some(ClientEvent::FrameDone { .. }) => {
+                    return Err(fisheye::Error::runtime(
+                        "server sent a frame before accepting the session",
+                    ));
+                }
+                Some(ClientEvent::Shed {
+                    reason: ShedReason::Rejected,
+                    ..
+                }) => {
+                    return Err(fisheye::Error::Rejected {
+                        active: 0,
+                        capacity: 0,
+                    });
+                }
+                Some(ClientEvent::Shed { reason, .. }) => {
+                    return Err(fisheye::Error::runtime(format!(
+                        "server refused the session: {}",
+                        reason.name()
+                    )));
+                }
+                Some(ClientEvent::Goodbye) => {
+                    return Err(fisheye::Error::runtime("server closed during handshake"));
+                }
+                None => {
+                    if client.session != 0 {
+                        return Ok(client);
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(fisheye::Error::runtime("handshake timed out"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// Submit one frame under a caller-chosen `seq` (echoed back on
+    /// the matching [`ClientEvent::FrameDone`] or `Shed`).
+    pub fn submit(&mut self, seq: u64, frame: &Frame) -> Result<(), fisheye::Error> {
+        let mut out = Vec::new();
+        wire::encode_submit(seq, frame, &mut out).map_err(wire_err)?;
+        self.stream.write_all(&out).map_err(|e| io_err("submit", e))
+    }
+
+    /// Repoint the session.
+    pub fn set_view(&mut self, view: PerspectiveView) -> Result<(), fisheye::Error> {
+        let mut out = Vec::new();
+        Message::SetView(view)
+            .encode_into(&mut out)
+            .map_err(wire_err)?;
+        self.stream
+            .write_all(&out)
+            .map_err(|e| io_err("set_view", e))
+    }
+
+    /// Orderly close: tell the server goodbye and stop sending. The
+    /// server sheds anything still queued and frees the session slot.
+    pub fn goodbye(&mut self) -> Result<(), fisheye::Error> {
+        let mut out = Vec::new();
+        Message::Goodbye.encode_into(&mut out).map_err(wire_err)?;
+        self.stream
+            .write_all(&out)
+            .map_err(|e| io_err("goodbye", e))?;
+        self.stream
+            .shutdown(std::net::Shutdown::Write)
+            .map_err(|e| io_err("shutdown", e))
+    }
+
+    /// Wait up to `wait` for the next event (`Ok(None)` on timeout).
+    pub fn recv(&mut self, wait: Duration) -> Result<Option<ClientEvent>, fisheye::Error> {
+        let deadline = Instant::now() + wait;
+        loop {
+            match self.recv_until(deadline)? {
+                Some(ev) => return Ok(Some(ev)),
+                None if Instant::now() >= deadline => return Ok(None),
+                None => {}
+            }
+        }
+    }
+
+    /// One decode-or-read step: yields an event if one is buffered,
+    /// otherwise blocks on the socket until `deadline` for more
+    /// bytes. `Ok(None)` means "no event yet" (handshake state may
+    /// have advanced — `Hello` is absorbed here).
+    fn recv_until(&mut self, deadline: Instant) -> Result<Option<ClientEvent>, fisheye::Error> {
+        if let Some(ev) = self.try_decode()? {
+            return Ok(Some(ev));
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Ok(None);
+        }
+        self.stream
+            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+            .map_err(|e| io_err("read timeout", e))?;
+        let mut chunk = [0u8; 64 * 1024];
+        match std::io::Read::read(&mut self.stream, &mut chunk) {
+            Ok(0) => Ok(Some(ClientEvent::Goodbye)),
+            Ok(n) => {
+                if let Some(read) = chunk.get(..n) {
+                    self.rbuf.extend_from_slice(read);
+                }
+                self.try_decode()
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(None),
+            Err(e) => Err(io_err("read", e)),
+        }
+    }
+
+    /// Decode one buffered message into an owned event. `Hello` is
+    /// handled internally (it carries the session id), so callers
+    /// only ever see frame-level events.
+    fn try_decode(&mut self) -> Result<Option<ClientEvent>, fisheye::Error> {
+        loop {
+            let (event, used) = match wire::decode_frame(&self.rbuf).map_err(wire_err)? {
+                None => return Ok(None),
+                Some((msg, used)) => {
+                    let event = match msg {
+                        Message::Hello { session, .. } => {
+                            self.session = session;
+                            None
+                        }
+                        Message::FrameDone {
+                            seq,
+                            latency_us,
+                            missed,
+                            level,
+                            frame,
+                        } => Some(ClientEvent::FrameDone {
+                            seq,
+                            latency_us,
+                            missed,
+                            level,
+                            frame: frame.to_frame(),
+                        }),
+                        Message::Shed { seq, reason } => Some(ClientEvent::Shed { seq, reason }),
+                        Message::Goodbye => Some(ClientEvent::Goodbye),
+                        Message::Connect(_) | Message::SubmitFrame { .. } | Message::SetView(_) => {
+                            return Err(fisheye::Error::runtime(
+                                "server sent a client-only message",
+                            ));
+                        }
+                    };
+                    (event, used)
+                }
+            };
+            self.rbuf.drain(..used);
+            match event {
+                Some(ev) => return Ok(Some(ev)),
+                None => continue, // absorbed a Hello; look for more
+            }
+        }
+    }
+}

@@ -56,14 +56,20 @@
 //! [`FrameReport`]: fisheye_core::engine::FrameReport
 
 pub mod cache;
+pub mod client;
 pub mod feed;
 pub mod metrics;
 pub mod server;
+pub mod shard;
+pub mod wire;
 
 pub use cache::{CacheStats, PlanCache};
+pub use client::{Client, ClientEvent};
 pub use feed::CameraFeed;
 pub use metrics::{Histogram, Registry};
 pub use server::{
-    pump_round, DegradeConfig, DegradeLevel, FrameOutcome, PumpStats, ServedFrame, Server,
-    ServerConfig, Session, SessionConfig, SubmitOutcome,
+    pump_round, AdmissionBudget, DegradeConfig, DegradeLevel, FrameOutcome, PumpStats, ServedFrame,
+    Server, ServerConfig, Session, SessionConfig, SubmitOutcome,
 };
+pub use shard::{NetServer, NetServerConfig};
+pub use wire::{Message, SessionDesc, ShedReason, WireError};

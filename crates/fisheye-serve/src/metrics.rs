@@ -66,6 +66,41 @@ impl Histogram {
         Duration::from_micros(self.max_us)
     }
 
+    /// Fold `other`'s samples into this histogram: buckets and counts
+    /// add, max takes the larger. This is what makes per-shard
+    /// histograms mergeable at snapshot time without any shared lock
+    /// on the observe path.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// The samples recorded since `earlier` (an older copy of this
+    /// same histogram): per-bucket saturating subtraction. The max is
+    /// inherited from `self` — an upper bound, since the true window
+    /// max is not recoverable — which keeps quantile estimates
+    /// conservative. Used by the soak bench to compare an early
+    /// latency window against a late one.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::default();
+        for ((o, s), e) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter())
+            .zip(earlier.buckets.iter())
+        {
+            *o = s.saturating_sub(*e);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum_us = self.sum_us.saturating_sub(earlier.sum_us);
+        out.max_us = self.max_us;
+        out
+    }
+
     /// Quantile estimate (`q` in `0.0..=1.0`): the upper edge of the
     /// bucket holding the q-th sample, capped at the observed max —
     /// an overestimate by at most 2×.
@@ -207,6 +242,33 @@ impl Registry {
         }
     }
 
+    /// Fold every metric of `other` into this registry: counters add,
+    /// histograms [merge](Histogram::merge), gauges **add** (the
+    /// useful default for per-shard totals like cache bytes or active
+    /// sessions; non-additive gauges such as rates and ladder levels
+    /// are the caller's to fix up after merging — see the shard
+    /// layer's snapshot). Entries only in `other` are copied in.
+    pub fn merge_from(&self, other: &Registry) {
+        let theirs = other.metrics.lock().clone();
+        let mut ours = self.metrics.lock();
+        for (name, metric) in theirs {
+            match ours.entry(name) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(metric);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    match (slot.get_mut(), metric) {
+                        (Metric::Counter(v), Metric::Counter(o)) => *v += o,
+                        (Metric::Gauge(v), Metric::Gauge(o)) => *v += o,
+                        (Metric::Histogram(h), Metric::Histogram(o)) => h.merge(&o),
+                        // type clash: keep ours, same rule as add/gauge
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
     /// Sorted plain-text snapshot, one metric per line:
     ///
     /// ```text
@@ -300,6 +362,45 @@ mod tests {
         assert_eq!(r.counter("serve.engine.frames"), 1);
         assert_eq!(r.counter("serve.engine.rows"), 96);
         assert_eq!(r.gauge_value("serve.engine.model.model_fps"), Some(123.0));
+    }
+
+    #[test]
+    fn merge_from_adds_counters_and_buckets() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.add("n", 3);
+        b.add("n", 4);
+        b.inc("only_b");
+        a.gauge("bytes", 100.0);
+        b.gauge("bytes", 50.0);
+        a.observe("lat", Duration::from_micros(100));
+        b.observe("lat", Duration::from_micros(10_000));
+        a.merge_from(&b);
+        assert_eq!(a.counter("n"), 7);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.gauge_value("bytes"), Some(150.0));
+        let h = a.histogram("lat").expect("merged histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Duration::from_micros(10_000));
+        // b is untouched
+        assert_eq!(b.counter("n"), 4);
+    }
+
+    #[test]
+    fn diff_isolates_the_late_window() {
+        let r = Registry::new();
+        r.observe("lat", Duration::from_micros(100));
+        let early = r.histogram("lat").expect("histogram");
+        for _ in 0..10 {
+            r.observe("lat", Duration::from_micros(5_000));
+        }
+        let late = r.histogram("lat").expect("histogram").diff(&early);
+        assert_eq!(late.count(), 10);
+        let p50 = late.quantile(0.5).as_micros() as u64;
+        assert!(
+            p50 >= 4096,
+            "late window p50 {p50} must ignore the early sample"
+        );
     }
 
     #[test]

@@ -203,6 +203,67 @@ impl SessionConfig {
     }
 }
 
+/// The cross-server admission budget: a claim/release counter over a
+/// fixed session capacity. Clone-cheap (`Arc` inside); a sharded
+/// front end hands every shard's [`Server`] a clone of one budget, so
+/// capacity is enforced globally while each shard keeps its own
+/// cache, ladder and registry.
+#[derive(Clone)]
+pub struct AdmissionBudget {
+    inner: Arc<BudgetInner>,
+}
+
+struct BudgetInner {
+    active: AtomicUsize,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for AdmissionBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionBudget")
+            .field("active", &self.active())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl AdmissionBudget {
+    /// A budget admitting at most `capacity` concurrent sessions.
+    pub fn new(capacity: usize) -> AdmissionBudget {
+        AdmissionBudget {
+            inner: Arc::new(BudgetInner {
+                active: AtomicUsize::new(0),
+                capacity,
+            }),
+        }
+    }
+
+    /// Total session capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Currently claimed sessions.
+    pub fn active(&self) -> usize {
+        self.inner.active.load(Ordering::SeqCst)
+    }
+
+    /// Claim one slot: `Ok(new_active)` or `Err(active)` when spent.
+    fn claim(&self) -> Result<usize, usize> {
+        self.inner
+            .active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.inner.capacity).then_some(n + 1)
+            })
+            .map(|prev| prev + 1)
+    }
+
+    /// Release one slot, returning the remaining active count.
+    fn release(&self) -> usize {
+        self.inner.active.fetch_sub(1, Ordering::SeqCst) - 1
+    }
+}
+
 struct LadderState {
     level: usize,
     window: Vec<bool>,
@@ -212,7 +273,7 @@ struct ServerInner {
     cfg: ServerConfig,
     cache: PlanCache,
     metrics: Registry,
-    active: AtomicUsize,
+    budget: AdmissionBudget,
     next_id: AtomicU64,
     ladder: Mutex<LadderState>,
     /// Shared worker pool for row-parallel map traces, created on the
@@ -244,7 +305,25 @@ impl Server {
     /// A server with `cfg`, validating it ([`fisheye::Error::Config`]
     /// on nonsense — never a panic).
     pub fn new(cfg: ServerConfig) -> Result<Server, fisheye::Error> {
-        if cfg.capacity == 0 {
+        let budget = AdmissionBudget::new(cfg.capacity);
+        let cache = PlanCache::new(cfg.plan_cache_capacity)?;
+        Server::with_parts(cfg, budget, cache, Registry::new())
+    }
+
+    /// A server assembled from externally owned parts — the shard
+    /// constructor. A sharded front end builds N of these sharing one
+    /// [`AdmissionBudget`] (capacity is global) while each carries a
+    /// private hot [`PlanCache`] (usually
+    /// [`with_cold_tier`](PlanCache::with_cold_tier) over one shared
+    /// cold cache) and a private [`Registry`] merged at snapshot
+    /// time, so nothing on the frame path crosses a shard boundary.
+    pub fn with_parts(
+        cfg: ServerConfig,
+        budget: AdmissionBudget,
+        cache: PlanCache,
+        metrics: Registry,
+    ) -> Result<Server, fisheye::Error> {
+        if budget.capacity() == 0 {
             return Err(fisheye::Error::config("server capacity must be at least 1"));
         }
         if cfg.queue_depth == 0 {
@@ -262,8 +341,6 @@ impl Server {
                 "degrade thresholds must satisfy 0 <= down < up <= 1",
             ));
         }
-        let cache = PlanCache::new(cfg.plan_cache_capacity)?;
-        let metrics = Registry::new();
         metrics.gauge("serve.degrade.level", 0.0);
         metrics.gauge("serve.sessions.active", 0.0);
         Ok(Server {
@@ -271,7 +348,7 @@ impl Server {
                 cfg,
                 cache,
                 metrics,
-                active: AtomicUsize::new(0),
+                budget,
                 next_id: AtomicU64::new(1),
                 ladder: Mutex::new(LadderState {
                     level: 0,
@@ -292,9 +369,15 @@ impl Server {
         &self.inner.cache
     }
 
-    /// Currently admitted sessions.
+    /// Currently admitted sessions (across every server sharing this
+    /// one's admission budget).
     pub fn active_sessions(&self) -> usize {
-        self.inner.active.load(Ordering::SeqCst)
+        self.inner.budget.active()
+    }
+
+    /// The admission budget this server claims slots from.
+    pub fn budget(&self) -> &AdmissionBudget {
+        &self.inner.budget
     }
 
     /// The configuration this server runs.
@@ -311,24 +394,27 @@ impl Server {
     /// spent. The session's first plan comes from the shared cache —
     /// identical views across sessions compile once.
     pub fn connect(&self, cfg: SessionConfig) -> Result<Session, fisheye::Error> {
-        let capacity = self.inner.cfg.capacity;
-        let claim = self
-            .inner
-            .active
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
-                (n < capacity).then_some(n + 1)
-            });
-        let active = match claim {
-            Ok(prev) => prev + 1,
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.connect_with_id(cfg, id)
+    }
+
+    /// [`Server::connect`] with a caller-assigned session id — the
+    /// sharded front end's entry point, where the acceptor assigns
+    /// globally unique ids and routes each connection to the shard
+    /// its id hashes to (so the shard's server must not mint its
+    /// own).
+    pub fn connect_with_id(&self, cfg: SessionConfig, id: u64) -> Result<Session, fisheye::Error> {
+        let active = match self.inner.budget.claim() {
+            Ok(active) => active,
             Err(full) => {
                 self.inner.metrics.inc("serve.rejected");
                 return Err(fisheye::Error::Rejected {
                     active: full,
-                    capacity,
+                    capacity: self.inner.budget.capacity(),
                 });
             }
         };
-        match self.admit(cfg) {
+        match self.admit(cfg, id) {
             Ok(session) => {
                 self.inner.metrics.inc("serve.admitted");
                 self.inner
@@ -337,13 +423,13 @@ impl Server {
                 Ok(session)
             }
             Err(e) => {
-                self.inner.active.fetch_sub(1, Ordering::SeqCst);
+                self.inner.budget.release();
                 Err(e)
             }
         }
     }
 
-    fn admit(&self, cfg: SessionConfig) -> Result<Session, fisheye::Error> {
+    fn admit(&self, cfg: SessionConfig, id: u64) -> Result<Session, fisheye::Error> {
         if cfg.format == FrameFormat::GrayF32 {
             return Err(fisheye::Error::config(
                 "the serving layer corrects byte formats; grayf32 is not servable",
@@ -373,7 +459,7 @@ impl Server {
             .build()?;
         let (pool, pool_dims) = SessionPool::for_corrector(&corrector);
         Ok(Session {
-            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            id,
             server: self.clone(),
             base_view: cfg.view,
             base_interp: cfg.interp,
@@ -691,9 +777,10 @@ pub struct Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
+        self.shed_pending();
         self.flush_pool_counters();
         self.server.flush_window();
-        let left = self.server.inner.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        let left = self.server.inner.budget.release();
         self.server.inner.metrics.inc("serve.sessions.closed");
         self.server
             .inner
@@ -732,6 +819,14 @@ impl Session {
     /// Frames waiting to be pumped.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The sequence number the *next* submitted frame will get
+    /// (assigned even to refused frames). The network front end uses
+    /// this to map its clients' wire sequence numbers onto the
+    /// session's internal ones.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
     }
 
     /// Per-frame latency budget.
@@ -785,6 +880,22 @@ impl Session {
     /// surface at the pump.
     pub fn submit_frame(&mut self, frame: Arc<Frame>) -> SubmitOutcome {
         self.enqueue(SourceFrame::Multi(frame))
+    }
+
+    /// Shed every pending frame without correcting it, returning the
+    /// shed sequence numbers. This is the drain half of a graceful
+    /// shutdown (and runs implicitly when a session drops), counted
+    /// under `serve.frames.shed_shutdown` so the conservation
+    /// invariant — submitted = completed + dropped + shed + pending —
+    /// holds through teardown.
+    pub fn shed_pending(&mut self) -> Vec<u64> {
+        let seqs: Vec<u64> = self.queue.drain(..).map(|p| p.seq).collect();
+        if !seqs.is_empty() {
+            self.server
+                .metrics()
+                .add("serve.frames.shed_shutdown", seqs.len() as u64);
+        }
+        seqs
     }
 
     fn enqueue(&mut self, frame: SourceFrame) -> SubmitOutcome {

@@ -1,0 +1,255 @@
+//! Property tests for the wire codec's hardening bar.
+//!
+//! The decoder faces network bytes, so the properties are adversarial:
+//! arbitrary garbage, truncations of valid frames, and bit-flipped
+//! valid frames must all produce a typed verdict — a message, "need
+//! more bytes", or a [`WireError`] — and **never** a panic. Panics
+//! are caught with `catch_unwind` so a violation fails the property
+//! with the offending input rather than aborting the harness.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fisheye_core::frame::{Frame, FrameFormat};
+use fisheye_core::Interpolator;
+use fisheye_geom::{FisheyeLens, LensModel, PerspectiveView};
+use fisheye_serve::wire::{self, FramePayload, Message, SessionDesc, ShedReason};
+use fisheye_serve::DegradeLevel;
+use proputil::{check, CaseResult, Gen};
+
+/// Decode must return (any verdict), not unwind.
+fn decode_must_not_panic(bytes: &[u8]) -> CaseResult {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let _ = wire::decode_frame(bytes);
+    }));
+    if r.is_err() {
+        return Err(format!(
+            "decoder panicked on {} bytes: {bytes:?}",
+            bytes.len()
+        ));
+    }
+    Ok(())
+}
+
+fn gen_view(g: &mut Gen) -> PerspectiveView {
+    PerspectiveView {
+        pan: g.f64_in(-180.0, 180.0),
+        tilt: g.f64_in(-90.0, 90.0),
+        roll: g.f64_in(-45.0, 45.0),
+        h_fov: g.f64_in(0.1, 3.0),
+        width: g.u32_in(1, 256),
+        height: g.u32_in(1, 256),
+    }
+}
+
+fn gen_lens(g: &mut Gen) -> FisheyeLens {
+    FisheyeLens {
+        model: *g.pick(&LensModel::ALL),
+        focal_px: g.f64_in(1.0, 500.0),
+        cx: g.f64_in(0.0, 256.0),
+        cy: g.f64_in(0.0, 256.0),
+        max_theta: g.f64_in(0.1, std::f64::consts::PI),
+    }
+}
+
+fn gen_format(g: &mut Gen) -> FrameFormat {
+    *g.pick(&[FrameFormat::Gray8, FrameFormat::Yuv420, FrameFormat::Rgb8])
+}
+
+/// Deterministic plane bytes for a payload of `format` at `w`×`h`.
+fn gen_planes(g: &mut Gen, format: FrameFormat, w: u32, h: u32) -> Vec<Vec<u8>> {
+    wire::wire_plane_dims(format, w, h)
+        .iter()
+        .take(format.planes())
+        .map(|&(pw, ph)| {
+            let n = (pw * ph) as usize;
+            let salt = g.u8_any();
+            (0..n).map(|i| (i as u8).wrapping_add(salt)).collect()
+        })
+        .collect()
+}
+
+/// One random message of any type, encoded. Returns the encoded bytes
+/// and a tag describing the choice (for failure messages).
+fn gen_encoded(g: &mut Gen) -> Result<(Vec<u8>, &'static str), String> {
+    let mut buf = Vec::new();
+    let which = g.usize_in(0, 7);
+    let kind = match which {
+        0 => {
+            Message::Hello {
+                version: wire::WIRE_VERSION,
+                session: g.u64_any(),
+            }
+            .encode_into(&mut buf)
+            .map_err(|e| e.to_string())?;
+            "hello"
+        }
+        1 => {
+            let desc = SessionDesc {
+                lens: gen_lens(g),
+                view: gen_view(g),
+                source: (g.u32_in(1, 256), g.u32_in(1, 256)),
+                format: gen_format(g),
+                interp: *g.pick(&[
+                    Interpolator::Nearest,
+                    Interpolator::Bilinear,
+                    Interpolator::Bicubic,
+                ]),
+                deadline_us: g.u32_in(0, 1_000_000),
+                backend: ["serial", "smp:dynamic:4", "fixed:12", ""][g.u32_in(0, 3) as usize],
+            };
+            Message::Connect(desc)
+                .encode_into(&mut buf)
+                .map_err(|e| e.to_string())?;
+            "connect"
+        }
+        2 | 3 => {
+            let format = gen_format(g);
+            let (w, h) = (g.u32_in(1, 24), g.u32_in(1, 24));
+            let planes = gen_planes(g, format, w, h);
+            let refs: Vec<&[u8]> = planes.iter().map(|p| p.as_slice()).collect();
+            let payload = FramePayload::new(format, w, h, &refs).map_err(|e| e.to_string())?;
+            if which == 2 {
+                Message::SubmitFrame {
+                    seq: g.u64_any(),
+                    frame: payload,
+                }
+                .encode_into(&mut buf)
+                .map_err(|e| e.to_string())?;
+                "submit"
+            } else {
+                Message::FrameDone {
+                    seq: g.u64_any(),
+                    latency_us: g.u32_in(0, u32::MAX),
+                    missed: g.bool(),
+                    level: *g.pick(&DegradeLevel::LADDER),
+                    frame: payload,
+                }
+                .encode_into(&mut buf)
+                .map_err(|e| e.to_string())?;
+                "frame_done"
+            }
+        }
+        4 => {
+            Message::SetView(gen_view(g))
+                .encode_into(&mut buf)
+                .map_err(|e| e.to_string())?;
+            "set_view"
+        }
+        5 => {
+            let reasons = [
+                ShedReason::QueueRefused,
+                ShedReason::ReplacedOldest,
+                ShedReason::Rejected,
+                ShedReason::Shutdown,
+                ShedReason::Protocol,
+                ShedReason::Internal,
+            ];
+            Message::Shed {
+                seq: g.u64_any(),
+                reason: *g.pick(&reasons),
+            }
+            .encode_into(&mut buf)
+            .map_err(|e| e.to_string())?;
+            "shed"
+        }
+        _ => {
+            Message::Goodbye
+                .encode_into(&mut buf)
+                .map_err(|e| e.to_string())?;
+            "goodbye"
+        }
+    };
+    Ok((buf, kind))
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_the_decoder() {
+    check("wire_arbitrary_bytes", 400, |g| {
+        let len = g.usize_in(0, 600);
+        let bytes: Vec<u8> = (0..len).map(|_| g.u8_any()).collect();
+        decode_must_not_panic(&bytes)
+    });
+}
+
+#[test]
+fn truncations_of_valid_frames_ask_for_more_never_panic() {
+    check("wire_truncation", 150, |g| {
+        let (buf, kind) = gen_encoded(g)?;
+        let cut = g.usize_in(0, buf.len().max(1));
+        let cut_buf = &buf[..cut.min(buf.len())];
+        decode_must_not_panic(cut_buf)?;
+        // a strict prefix of one valid frame is always "incomplete",
+        // never an error and never a message
+        if cut < buf.len() {
+            match wire::decode_frame(cut_buf) {
+                Ok(None) => Ok(()),
+                other => Err(format!(
+                    "{kind} cut at {cut}/{} decoded to {other:?}, want Ok(None)",
+                    buf.len()
+                )),
+            }
+        } else {
+            Ok(())
+        }
+    });
+}
+
+#[test]
+fn bit_flips_yield_a_verdict_never_a_panic() {
+    check("wire_bit_flip", 200, |g| {
+        let (mut buf, _) = gen_encoded(g)?;
+        let flips = g.usize_in(1, 5);
+        for _ in 0..flips {
+            let byte = g.usize_in(0, buf.len());
+            let bit = g.usize_in(0, 8);
+            buf[byte] ^= 1 << bit;
+        }
+        decode_must_not_panic(&buf)
+    });
+}
+
+#[test]
+fn every_message_round_trips_bit_exact() {
+    check("wire_round_trip", 150, |g| {
+        let (buf, kind) = gen_encoded(g)?;
+        // decode, re-encode, compare: a borrowed Message can't be
+        // compared across two buffers' lifetimes without cloning the
+        // backing store, so byte-compare the re-encoding instead
+        let (msg, used) = match wire::decode_frame(&buf) {
+            Ok(Some(v)) => v,
+            other => return Err(format!("{kind} failed to decode: {other:?}")),
+        };
+        if used != buf.len() {
+            return Err(format!("{kind}: consumed {used} of {} bytes", buf.len()));
+        }
+        let mut again = Vec::new();
+        msg.encode_into(&mut again).map_err(|e| e.to_string())?;
+        if again != buf {
+            return Err(format!("{kind}: re-encoding differs"));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn submitted_payloads_survive_the_frame_round_trip() {
+    check("wire_frame_round_trip", 60, |g| {
+        let format = gen_format(g);
+        let (w, h) = (g.u32_in(1, 32), g.u32_in(1, 32));
+        let planes = gen_planes(g, format, w, h);
+        let refs: Vec<&[u8]> = planes.iter().map(|p| p.as_slice()).collect();
+        let payload = FramePayload::new(format, w, h, &refs).map_err(|e| e.to_string())?;
+        let frame: Frame = payload.to_frame();
+        let mut buf = Vec::new();
+        wire::encode_submit(7, &frame, &mut buf).map_err(|e| e.to_string())?;
+        match wire::decode_frame(&buf) {
+            Ok(Some((Message::SubmitFrame { seq: 7, frame: p2 }, _))) => {
+                if p2.to_frame() != frame {
+                    return Err("pixels changed across encode/decode".into());
+                }
+                Ok(())
+            }
+            other => Err(format!("bad decode: {other:?}")),
+        }
+    });
+}

@@ -19,6 +19,25 @@ cargo run --release --offline -p fisheye-bench --bin repro_t4_engine_reports
 echo "bench-smoke: repro_t6_color_formats (quick scale)"
 cargo run --release --offline -p fisheye-bench --bin repro_t6_color_formats
 
+echo "bench-smoke: repro_t7_serve_soak (quick scale, 1000 loopback sessions)"
+cargo run --release --offline -p fisheye-bench --bin repro_t7_serve_soak
+
+# The sharded front end must hold a thousand concurrent wire sessions
+# under connect/disconnect and view churn with no late-window p99
+# blow-up and no resident plan-byte growth once the view pool is
+# compiled.
+json="results/BENCH_t7.json"
+[ -f "$json" ] || { echo "bench-smoke: FAIL ($json missing)"; exit 1; }
+sessions="$(sed -n 's/.*"sessions": \([0-9]*\).*/\1/p' "$json")"
+growth="$(sed -n 's/.*"p99_growth": \([0-9.]*\).*/\1/p' "$json")"
+awk -v s="$sessions" 'BEGIN { exit !(s >= 1000) }' \
+  || { echo "bench-smoke: FAIL (soak held $sessions sessions < 1000)"; exit 1; }
+grep -q '"bounded_p99": true' "$json" \
+  || { echo "bench-smoke: FAIL (soak p99 grew ${growth}x, see $json)"; exit 1; }
+grep -q '"bounded_bytes": true' "$json" \
+  || { echo "bench-smoke: FAIL (resident plan bytes leaked, see $json)"; exit 1; }
+echo "bench-smoke: t7 soak held $sessions sessions, p99 growth ${growth}x bounded, plan bytes flat"
+
 echo "bench-smoke: repro_t8_view_churn (quick scale)"
 cargo run --release --offline -p fisheye-bench --bin repro_t8_view_churn
 

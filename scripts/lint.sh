@@ -26,6 +26,22 @@ cargo clippy --offline -p fisheye-serve --no-deps --all-targets -- -D warnings -
 echo "lint: cargo clippy videopipe lib (deny unwrap_used)"
 cargo clippy --offline -p videopipe --no-deps --lib -- -D warnings -D clippy::unwrap_used
 
+# The wire codec, shard loop and client face raw bytes from the
+# network: wire.rs, shard.rs and client.rs carry module-level
+#   #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+# (wire.rs additionally denies indexing_slicing), so a panic path
+# cannot appear there without deleting the attribute. Clippy enforces
+# the attributes in the run above; this check makes sure nobody
+# quietly removes them.
+echo "lint: wire/shard/client panic-free deny attributes present"
+for f in crates/fisheye-serve/src/wire.rs \
+         crates/fisheye-serve/src/shard.rs \
+         crates/fisheye-serve/src/client.rs; do
+  # whitespace-insensitive: rustfmt may wrap the attribute across lines
+  tr -d ' \n' < "$f" | grep -q '#!\[deny(clippy::unwrap_used,clippy::expect_used,clippy::panic' \
+    || { echo "lint: FAIL ($f lost its panic-free deny attribute)"; exit 1; }
+done
+
 # The post stage sits on the per-pixel hot path of every backend and
 # inside the serving layer's degrade machinery: a panic there takes
 # frames (or sessions) down, so unwrap is banned in fisheye-core too.
