@@ -1,0 +1,28 @@
+//! Reproduce T10 — the SIMT batch interpreter executing the lowered
+//! kernel against `gpusim`'s analytic predictions of the same grid:
+//! warp and coalescing counters must agree exactly, and both kernel
+//! datapaths must stay bit-exact with their host references. Pass
+//! `--full` for the paper-scale run.
+//!
+//! Besides the usual CSV, this bin writes `results/BENCH_t10.json`,
+//! the machine-readable counters/bit-exactness contract
+//! `scripts/bench_smoke.sh` enforces.
+
+use fisheye_bench::experiments::t10_simt_codegen;
+use fisheye_bench::table::results_dir;
+use fisheye_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let points = t10_simt_codegen::points(scale);
+    t10_simt_codegen::table(&points).emit("t10_simt_codegen");
+
+    let json = t10_simt_codegen::to_json(&points, scale);
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_t10.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -19,6 +19,7 @@ pub mod f6_interp;
 pub mod f7_fixedpoint;
 pub mod f8_resolution;
 pub mod f9_lut_crossover;
+pub mod t10_simt_codegen;
 pub mod t1_platforms;
 pub mod t2_traffic;
 pub mod t3_stream_resources;
@@ -56,6 +57,7 @@ pub fn all() -> Vec<Experiment> {
         ("t7_serve_soak", t7_serve_soak::run),
         ("t8_view_churn", t8_view_churn::run),
         ("t9_fused_post", t9_fused_post::run),
+        ("t10_simt_codegen", t10_simt_codegen::run),
         ("f10_pipeline", f10_pipeline::run),
         ("f11_color", f11_color::run),
         ("f12_projections", f12_projections::run),

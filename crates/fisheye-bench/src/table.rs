@@ -141,6 +141,12 @@ pub fn f1(v: f64) -> String {
     format!("{v:.1}")
 }
 
+/// Format a float with 4 decimals — for ratios whose exact equality
+/// is the point of the table (T10's per-warp line counts).
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
 /// Format nanoseconds-per-pixel from (duration, pixel count).
 pub fn ns_per_px(d: std::time::Duration, pixels: u64) -> String {
     format!("{:.2}", d.as_nanos() as f64 / pixels as f64)

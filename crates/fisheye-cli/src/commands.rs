@@ -56,6 +56,10 @@ USAGE:
                     [--seed N] [--churn N] [--out FILE]
   fisheye info      --in FILE
   fisheye backends                      (list correction backends)
+  fisheye emit-kernel --out FILE|DIR [--target wgsl|c] [--size WxH]
+                    [--out-size WxH] [--fov DEG] [--view-fov DEG]
+                    [--pan DEG] [--tilt DEG] [--interp NAME]
+                    [--backend NAME]
   fisheye help
 
 Scenes: checker circles grid bricks text gradient sinusoid.
@@ -80,6 +84,7 @@ pub fn dispatch(args: &Args) -> CmdResult {
         "client" => client(args),
         "info" => info(args),
         "backends" => backends(args),
+        "emit-kernel" => emit_kernel(args),
         other => Err(CliError::Usage(format!(
             "unknown subcommand '{other}' (run `fisheye help`)"
         ))),
@@ -313,6 +318,60 @@ fn backends(args: &Args) -> CmdResult {
         let kind = if spec.is_host() { "host" } else { "model" };
         println!("  {:<8} {kind:<6} {class}", spec.name());
     }
+    Ok(())
+}
+
+/// Lower a compiled remap plan to portable kernel source (`wgsl` or
+/// `c`) for the requested backend, without running a correction. The
+/// plan is traced and compiled exactly as `correct` would, so the
+/// emitted kernel's plan digest matches what the engines execute.
+fn emit_kernel(args: &Args) -> CmdResult {
+    args.allow_only(&[
+        "out", "target", "size", "out-size", "fov", "view-fov", "pan", "tilt", "interp", "backend",
+    ])?;
+    let (sw, sh) = parse_size(args.opt("size", "640x480"))?;
+    let (ow, oh) = parse_size(args.opt("out-size", "640x480"))?;
+    let fov: f64 = args.num("fov", 180.0)?;
+    let view_fov: f64 = args.num("view-fov", 90.0)?;
+    let pan: f64 = args.num("pan", 0.0)?;
+    let tilt: f64 = args.num("tilt", 0.0)?;
+    let interp = parse_interp(args.opt("interp", "bilinear"))?;
+    let spec = EngineSpec::parse(args.opt("backend", "simt")).map_err(CliError::Usage)?;
+    let target = match args.opt("target", "wgsl") {
+        "wgsl" => fisheye::codegen::KernelTarget::Wgsl,
+        "c" => fisheye::codegen::KernelTarget::C,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown target '{other}' (wgsl|c)"
+            )))
+        }
+    };
+
+    let lens = FisheyeLens::equidistant_fov(sw, sh, fov);
+    let view = PerspectiveView::centered(ow, oh, view_fov).look(pan, tilt);
+    let map = RemapMap::build(&lens, &view, sw, sh);
+    let plan = RemapPlan::compile(&map, PlanOptions::for_spec(&spec, interp));
+    let kernel = fisheye::codegen::emit_kernel(&plan, &spec, target)?;
+
+    let out = args.req("out")?;
+    let path = std::path::Path::new(out);
+    // writing into a directory picks the kernel's own file name, so a
+    // build script can emit several targets side by side
+    let path = if path.is_dir() {
+        path.join(kernel.file_name())
+    } else {
+        path.to_path_buf()
+    };
+    std::fs::write(&path, kernel.source.as_bytes()).map_err(with_path(out))?;
+    println!(
+        "emitted {} kernel '{}' for backend {} (plan 0x{:016x}, {} bytes) -> {}",
+        kernel.target.name(),
+        kernel.entry_point,
+        spec.name(),
+        kernel.plan_digest,
+        kernel.source.len(),
+        path.display()
+    );
     Ok(())
 }
 
@@ -860,6 +919,56 @@ mod tests {
         let img = load_pgm(&flat).unwrap();
         assert_eq!(img.dims(), (80, 60));
         run(&format!("info --in {}", flat.display())).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn emit_kernel_writes_both_targets() {
+        let dir = std::env::temp_dir().join("fisheye_cli_emit");
+        std::fs::create_dir_all(&dir).unwrap();
+        // explicit file path for wgsl
+        let wgsl = dir.join("remap.wgsl");
+        run(&format!(
+            "emit-kernel --out {} --target wgsl --size 64x48 --out-size 32x24 --backend simt:64",
+            wgsl.display()
+        ))
+        .unwrap();
+        let src = std::fs::read_to_string(&wgsl).unwrap();
+        assert!(src.contains("@compute"), "wgsl kernel body: {src}");
+        assert!(src.contains("plan: 0x"), "plan digest header: {src}");
+        // directory output picks the kernel's own file name
+        run(&format!(
+            "emit-kernel --out {} --target c --size 64x48 --out-size 32x24 --backend fixed",
+            dir.display()
+        ))
+        .unwrap();
+        let c_path = dir.join("fisheye_remap_fixed_q12.c");
+        let c_src = std::fs::read_to_string(&c_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", c_path.display()));
+        assert!(c_src.contains("#include"), "c kernel body: {c_src}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn emit_kernel_refusals_are_usage_errors() {
+        let dir = std::env::temp_dir().join("fisheye_cli_emit_err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("k.wgsl");
+        // the direct backend has no compiled plan to lower
+        let err = run(&format!(
+            "emit-kernel --out {} --backend direct --size 64x48 --out-size 32x24",
+            out.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("codegen"), "{err}");
+        // unknown targets are rejected before any work happens
+        let err = run(&format!(
+            "emit-kernel --out {} --target spirv",
+            out.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

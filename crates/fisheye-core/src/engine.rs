@@ -41,6 +41,10 @@ pub const DEFAULT_FRAC_BITS: u32 = 12;
 pub const DEFAULT_TILE: (u32, u32) = (32, 16);
 /// Default GPU threads per block.
 pub const DEFAULT_GPU_BLOCK: usize = 256;
+/// Default SIMT interpreter workgroup size (threads per workgroup;
+/// 32-lane warps, so 256 threads = a 32x8 output tile — the same
+/// geometry `gpusim` models with its default block).
+pub const DEFAULT_SIMT_WG: usize = 256;
 
 // ---------------------------------------------------------------------
 // Errors
@@ -215,6 +219,51 @@ pub enum EngineSpec {
         /// Threads per block.
         block_threads: usize,
     },
+    /// SIMT batch interpreter executing the codegen layer's
+    /// WGSL-shaped kernel in-process (`simt`, `simt:64`). Implemented
+    /// in `fisheye-codegen`; unlike `gpu` it produces real output
+    /// while counting warp divergence and line coalescing.
+    Simt {
+        /// Threads per workgroup (32-lane warps; the workgroup maps
+        /// to a `32 x workgroup/32` output tile).
+        workgroup: usize,
+    },
+}
+
+/// What an execution path can and cannot do — the one source of truth
+/// consumers (videopipe, fisheye-serve, the CLI) query instead of
+/// hard-coding per-backend rejection lists. Returned by
+/// [`EngineSpec::capabilities`]; every registry spec's answers are
+/// pinned by a registry-loop test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Capabilities {
+    /// The engine can fuse a compiled post stage into its correction
+    /// traversal (`fused=1`); engines without it fall back to the
+    /// two-pass [`post_pass`].
+    pub fused_post: bool,
+    /// The engine needs the plan compiled with a quantized LUT of
+    /// this width (`PlanOptions::frac_bits`); running without one
+    /// still works but requantizes per plan (`plan_miss=1`).
+    pub requires_lut: Option<u32>,
+    /// The engine wants the plan compiled with this tile geometry
+    /// (`PlanOptions::tiles`); absent tiles are derived lazily.
+    pub requires_tiles: Option<(u32, u32)>,
+    /// Distinct frames may be corrected concurrently through one
+    /// engine instance without oversubscription — false for engines
+    /// that own a thread pool (`smp`) or model one device (`cell`,
+    /// `gpu`).
+    pub supports_frame_concurrency: bool,
+    /// The spec is built and run by this module's host builder;
+    /// false means the facade crate resolves it (accelerator models
+    /// and the SIMT interpreter).
+    pub host_executable: bool,
+    /// The engine consumes a compiled [`RemapPlan`] (everything but
+    /// `direct`, which recomputes the projection per pixel).
+    pub uses_plan: bool,
+    /// The engine implements exactly one interpolator; requesting any
+    /// other is a build error (the `simd` SoA kernel is bilinear
+    /// only).
+    pub interp_locked: Option<Interpolator>,
 }
 
 impl EngineSpec {
@@ -263,6 +312,13 @@ impl EngineSpec {
                     format!("gpu:{block_threads}")
                 }
             }
+            EngineSpec::Simt { workgroup } => {
+                if workgroup == DEFAULT_SIMT_WG {
+                    "simt".into()
+                } else {
+                    format!("simt:{workgroup}")
+                }
+            }
         }
     }
 
@@ -289,13 +345,17 @@ impl EngineSpec {
             EngineSpec::Gpu {
                 block_threads: DEFAULT_GPU_BLOCK,
             },
+            EngineSpec::Simt {
+                workgroup: DEFAULT_SIMT_WG,
+            },
         ]
     }
 
     /// Parse a spec name. Accepts everything [`EngineSpec::name`]
     /// emits plus parameterized forms:
     /// `smp[:static[:C]|:dynamic[:C]|:guided[:M]]`, `fixed[:BITS]`,
-    /// `cell[:WxH][:single|:double][:qBITS]`, `gpu[:THREADS]`.
+    /// `cell[:WxH][:single|:double][:qBITS]`, `gpu[:THREADS]`,
+    /// `simt[:THREADS]`.
     pub fn parse(s: &str) -> Result<EngineSpec, String> {
         let mut parts = s.split(':');
         let head = parts.next().unwrap_or("");
@@ -393,6 +453,19 @@ impl EngineSpec {
                 }
                 Ok(EngineSpec::Gpu { block_threads })
             }
+            "simt" => {
+                let workgroup = match rest.as_slice() {
+                    [] => DEFAULT_SIMT_WG,
+                    [t] => parse_num(t, "simt workgroup")?,
+                    _ => return Err(format!("bad simt spec '{s}'")),
+                };
+                if workgroup == 0 || workgroup % 32 != 0 {
+                    return Err(format!(
+                        "simt workgroup must be a positive multiple of 32, got {workgroup}"
+                    ));
+                }
+                Ok(EngineSpec::Simt { workgroup })
+            }
             other => {
                 let names: Vec<String> = EngineSpec::registry().iter().map(|s| s.name()).collect();
                 Err(format!(
@@ -416,10 +489,87 @@ impl EngineSpec {
 
     /// True when this spec is one of the host paths this module can
     /// execute itself (the accelerator models live in `cellsim` /
-    /// `gpusim`).
+    /// `gpusim`, the SIMT interpreter in `fisheye-codegen`).
     pub fn is_host(&self) -> bool {
-        !matches!(self, EngineSpec::Cell { .. } | EngineSpec::Gpu { .. })
+        !matches!(
+            self,
+            EngineSpec::Cell { .. } | EngineSpec::Gpu { .. } | EngineSpec::Simt { .. }
+        )
     }
+
+    /// What this execution path can do — the one answer consumers
+    /// query instead of maintaining their own per-backend rejection
+    /// lists. See [`Capabilities`] for field semantics.
+    pub fn capabilities(&self) -> Capabilities {
+        // the conservative baseline: a plan-consuming engine with no
+        // fused post, no artifact requirements and no concurrency or
+        // host guarantees — each arm widens what it actually supports
+        let base = Capabilities {
+            fused_post: false,
+            requires_lut: None,
+            requires_tiles: None,
+            supports_frame_concurrency: false,
+            host_executable: true,
+            uses_plan: true,
+            interp_locked: None,
+        };
+        match *self {
+            EngineSpec::Serial => Capabilities {
+                fused_post: true,
+                supports_frame_concurrency: true,
+                ..base
+            },
+            // smp owns its thread pool: concurrent frames through one
+            // instance oversubscribe the machine
+            EngineSpec::Smp { .. } => Capabilities {
+                fused_post: true,
+                ..base
+            },
+            EngineSpec::Direct => Capabilities {
+                uses_plan: false,
+                supports_frame_concurrency: true,
+                ..base
+            },
+            EngineSpec::FixedPoint { frac_bits } => Capabilities {
+                requires_lut: Some(frac_bits),
+                supports_frame_concurrency: true,
+                ..base
+            },
+            EngineSpec::Simd => Capabilities {
+                interp_locked: Some(Interpolator::Bilinear),
+                supports_frame_concurrency: true,
+                ..base
+            },
+            EngineSpec::Cell {
+                tile_w,
+                tile_h,
+                frac_bits,
+                ..
+            } => Capabilities {
+                requires_lut: Some(frac_bits),
+                requires_tiles: Some((tile_w, tile_h)),
+                host_executable: false,
+                ..base
+            },
+            EngineSpec::Gpu { .. } => Capabilities {
+                host_executable: false,
+                ..base
+            },
+            EngineSpec::Simt { workgroup } => Capabilities {
+                fused_post: true,
+                requires_tiles: Some(simt_tile(workgroup)),
+                supports_frame_concurrency: true,
+                host_executable: false,
+                ..base
+            },
+        }
+    }
+}
+
+/// Output tile geometry of a `simt` workgroup: one 32-lane warp per
+/// tile row, `workgroup / 32` rows.
+pub fn simt_tile(workgroup: usize) -> (u32, u32) {
+    (32, (workgroup / 32).max(1) as u32)
 }
 
 /// `Display` prints [`EngineSpec::name`], so `format!("{spec}")` and
@@ -865,7 +1015,7 @@ pub fn execute_host_post<P: EnginePixel>(
             report.kv("lanes", simd::LANES as f64);
             post_pass::<P>(&name, post, out, &mut report)?;
         }
-        EngineSpec::Cell { .. } | EngineSpec::Gpu { .. } => {
+        EngineSpec::Cell { .. } | EngineSpec::Gpu { .. } | EngineSpec::Simt { .. } => {
             return Err(EngineError::unsupported(
                 &name,
                 "accelerator model — build it via the facade crate's engine module",
@@ -997,10 +1147,12 @@ pub fn build_host<P: EnginePixel>(
             }
             Ok(Box::new(SimdEngine))
         }
-        EngineSpec::Cell { .. } | EngineSpec::Gpu { .. } => Err(EngineError::unsupported(
-            &name,
-            "accelerator model — build it via the facade crate's engine module",
-        )),
+        EngineSpec::Cell { .. } | EngineSpec::Gpu { .. } | EngineSpec::Simt { .. } => {
+            Err(EngineError::unsupported(
+                &name,
+                "accelerator model — build it via the facade crate's engine module",
+            ))
+        }
     }
 }
 
@@ -1258,6 +1410,7 @@ mod tests {
             "cell:64x32",
             "cell:16x16:single:q8",
             "gpu:512",
+            "simt:64",
         ] {
             let spec = EngineSpec::parse(s).unwrap();
             assert_eq!(EngineSpec::parse(&spec.name()).unwrap(), spec, "{s}");
@@ -1279,6 +1432,7 @@ mod tests {
                 frac_bits: 7,
             },
             EngineSpec::Gpu { block_threads: 128 },
+            EngineSpec::Simt { workgroup: 64 },
         ]);
         for spec in specs {
             let shown = spec.to_string();
@@ -1298,6 +1452,60 @@ mod tests {
         assert!(EngineSpec::parse("gpu:100").is_err());
         assert!(EngineSpec::parse("cell:0x8").is_err());
         assert!(EngineSpec::parse("cell:wat").is_err());
+        assert!(EngineSpec::parse("simt:0").is_err());
+        assert!(EngineSpec::parse("simt:100").is_err());
+        assert!(EngineSpec::parse("simt:64:64").is_err());
+    }
+
+    #[test]
+    fn registry_capabilities_are_pinned() {
+        // the one-source-of-truth contract: every consumer that used
+        // to hard-code a backend list now reads these answers, so a
+        // change here is a change to videopipe/serve/CLI behavior and
+        // must be deliberate
+        let expect = |name: &str| match name {
+            "serial" => (true, None, None, true, true, true, None),
+            "smp" => (true, None, None, false, true, true, None),
+            "direct" => (false, None, None, true, true, false, None),
+            "fixed" => (false, Some(12), None, true, true, true, None),
+            "simd" => (
+                false,
+                None,
+                None,
+                true,
+                true,
+                true,
+                Some(Interpolator::Bilinear),
+            ),
+            "cell" => (false, Some(12), Some((32, 16)), false, false, true, None),
+            "gpu" => (false, None, None, false, false, true, None),
+            "simt" => (true, None, Some((32, 8)), true, false, true, None),
+            other => panic!("registry grew '{other}' without pinning its capabilities"),
+        };
+        for spec in EngineSpec::registry() {
+            let name = spec.name();
+            let c = spec.capabilities();
+            let (fused, lut, tiles, conc, host, plan, locked) = expect(&name);
+            assert_eq!(c.fused_post, fused, "{name} fused_post");
+            assert_eq!(c.requires_lut, lut, "{name} requires_lut");
+            assert_eq!(c.requires_tiles, tiles, "{name} requires_tiles");
+            assert_eq!(c.supports_frame_concurrency, conc, "{name} concurrency");
+            assert_eq!(c.host_executable, host, "{name} host_executable");
+            assert_eq!(c.host_executable, spec.is_host(), "{name} is_host agrees");
+            assert_eq!(c.uses_plan, plan, "{name} uses_plan");
+            assert_eq!(c.interp_locked, locked, "{name} interp_locked");
+        }
+    }
+
+    #[test]
+    fn parameterized_capabilities_follow_their_parameters() {
+        let c = EngineSpec::parse("fixed:9").unwrap().capabilities();
+        assert_eq!(c.requires_lut, Some(9));
+        let c = EngineSpec::parse("cell:64x32:q10").unwrap().capabilities();
+        assert_eq!(c.requires_lut, Some(10));
+        assert_eq!(c.requires_tiles, Some((64, 32)));
+        let c = EngineSpec::parse("simt:64").unwrap().capabilities();
+        assert_eq!(c.requires_tiles, Some((32, 2)));
     }
 
     #[test]
@@ -1344,7 +1552,7 @@ mod tests {
     #[test]
     fn accelerator_specs_rejected_by_host_builder() {
         let ctx = HostCtx::default();
-        for s in ["cell", "gpu"] {
+        for s in ["cell", "gpu", "simt"] {
             let spec = EngineSpec::parse(s).unwrap();
             assert!(matches!(
                 build_host::<Gray8>(&spec, &ctx),

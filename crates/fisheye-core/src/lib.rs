@@ -55,7 +55,7 @@ pub mod tile;
 pub use antialias::{correct_antialiased, AaConfig};
 pub use correct::{correct, correct_fixed, correct_fixed_into, correct_into, correct_parallel};
 pub use engine::{
-    CorrectionEngine, EngineError, EnginePixel, EngineSpec, FrameReport, NumericClass,
+    Capabilities, CorrectionEngine, EngineError, EnginePixel, EngineSpec, FrameReport, NumericClass,
 };
 pub use frame::{
     Frame, FrameCorrector, FrameEngines, FrameFormat, PlaneClass, PlaneRequest, ViewPlan,

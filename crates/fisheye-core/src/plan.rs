@@ -89,18 +89,12 @@ impl PlanOptions {
             ..Default::default()
         };
         for spec in specs {
-            match *spec {
-                EngineSpec::FixedPoint { frac_bits } => opts.frac_bits.push(frac_bits),
-                EngineSpec::Cell {
-                    tile_w,
-                    tile_h,
-                    frac_bits,
-                    ..
-                } => {
-                    opts.frac_bits.push(frac_bits);
-                    opts.tiles.push((tile_w, tile_h));
-                }
-                _ => {}
+            let caps = spec.capabilities();
+            if let Some(frac_bits) = caps.requires_lut {
+                opts.frac_bits.push(frac_bits);
+            }
+            if let Some(tile) = caps.requires_tiles {
+                opts.tiles.push(tile);
             }
         }
         opts.frac_bits.sort_unstable();

@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fisheye::{Corrector, ErrorKind};
+use fisheye::Corrector;
 use fisheye_core::engine::{EngineSpec, FrameReport};
 use fisheye_core::frame::{Frame, FrameFormat, PlaneRequest, ViewPlan};
 use fisheye_core::map::RemapMap;
@@ -342,6 +342,15 @@ impl Server {
             ));
         }
         metrics.gauge("serve.degrade.level", 0.0);
+        // one labeled gauge per rung, so a scrape shows *which* rung
+        // is active by name, not just a bare index
+        for rung in DegradeLevel::LADDER {
+            let active = rung == DegradeLevel::Normal;
+            metrics.gauge(
+                &format!("serve.degrade.rung.{}", rung.name()),
+                if active { 1.0 } else { 0.0 },
+            );
+        }
         metrics.gauge("serve.sessions.active", 0.0);
         Ok(Server {
             inner: Arc::new(ServerInner {
@@ -430,10 +439,14 @@ impl Server {
     }
 
     fn admit(&self, cfg: SessionConfig, id: u64) -> Result<Session, fisheye::Error> {
-        if cfg.format == FrameFormat::GrayF32 {
-            return Err(fisheye::Error::config(
-                "the serving layer corrects byte formats; grayf32 is not servable",
-            ));
+        // admission is format-capability driven: the pools, ladder
+        // and wire protocol are byte-plane machinery, so any format
+        // without u8 planes is refused up front
+        if !cfg.format.has_u8_planes() {
+            return Err(fisheye::Error::config(format!(
+                "the serving layer corrects byte formats; {} is not servable",
+                cfg.format
+            )));
         }
         let (src_w, src_h) = cfg.source;
         let plan = self.view_plan_for(
@@ -582,6 +595,13 @@ impl Server {
             self.inner
                 .metrics
                 .gauge("serve.degrade.level", level as f64);
+            for rung in DegradeLevel::LADDER {
+                let active = rung.index() == level;
+                self.inner.metrics.gauge(
+                    &format!("serve.degrade.rung.{}", rung.name()),
+                    if active { 1.0 } else { 0.0 },
+                );
+            }
         }
     }
 }
@@ -1060,18 +1080,18 @@ impl Session {
             self.corrector.set_post(desired_post);
         }
         if self.corrector.interp() != desired_interp {
-            match self.corrector.set_interp(desired_interp) {
-                Ok(()) => {}
-                // an engine that cannot run the downgraded kernel
-                // (e.g. the bilinear-only SIMD path) skips the rung —
-                // degradation must never take a session down
-                Err(e) if e.kind() == ErrorKind::Engine => {
+            // an engine locked to one kernel (the bilinear-only SIMD
+            // path) skips the rung — its capabilities declare the
+            // lock up front, so no trial rebuild is needed, and
+            // degradation must never take a session down
+            match self.corrector.spec().capabilities().interp_locked {
+                Some(locked) if locked != desired_interp => {
                     self.server
                         .inner
                         .metrics
                         .inc("serve.degrade.interp_unsupported");
                 }
-                Err(e) => return Err(e),
+                _ => self.corrector.set_interp(desired_interp)?,
             }
         }
         if self.corrector.view() != Some(desired_view) {

@@ -125,6 +125,14 @@ fn ladder_escalates_under_overload_and_recovers() {
             hot.pump_one().expect("engine ok").expect("frame pending");
         }
         climb.push(server.level());
+        // the active rung is readable by *name*: exactly one labeled
+        // rung gauge is high, and it is the current level's
+        let m = server.metrics();
+        for rung in DegradeLevel::LADDER {
+            let gauge = format!("serve.degrade.rung.{}", rung.name());
+            let expect = if rung == server.level() { 1.0 } else { 0.0 };
+            assert_eq!(m.gauge_value(&gauge), Some(expect), "{gauge}");
+        }
     }
     assert_eq!(
         climb,
@@ -186,6 +194,8 @@ fn ladder_escalates_under_overload_and_recovers() {
     assert_eq!(m.counter("serve.degrade.escalations"), 5);
     assert_eq!(m.counter("serve.degrade.recoveries"), 5);
     assert_eq!(m.gauge_value("serve.degrade.level"), Some(0.0));
+    assert_eq!(m.gauge_value("serve.degrade.rung.normal"), Some(1.0));
+    assert_eq!(m.gauge_value("serve.degrade.rung.half_res"), Some(0.0));
 }
 
 /// The ladder sheds grading before resolution on the way up, and

@@ -28,7 +28,7 @@
 
 use std::time::{Duration, Instant};
 
-use fisheye_core::engine::{execute_host, EngineSpec, HostEnv};
+use fisheye_core::engine::{execute_host, Capabilities, EngineSpec, HostEnv};
 use fisheye_core::frame::{FrameCorrector, ViewPlan};
 use fisheye_core::plan::RemapPlan;
 use fisheye_core::Interpolator;
@@ -158,6 +158,34 @@ struct CorrectedFrame {
     invalid_pixels: u64,
 }
 
+/// The capability gate for the worker pool, shared by both pipeline
+/// entry points. Workers run the engine's host datapath concurrently
+/// over one shared plan, so admission is exactly the capability
+/// triple `host_executable && supports_frame_concurrency &&
+/// uses_plan` — derived from [`EngineSpec::capabilities`], not an
+/// engine name allow-list, so a new engine that declares the right
+/// capabilities is admitted without an edit here. Returns the
+/// capabilities so callers can apply the engine's LUT requirement to
+/// their plan shape.
+fn check_worker_engine(spec: &EngineSpec, interp: Interpolator) -> Capabilities {
+    let caps = spec.capabilities();
+    assert!(
+        caps.host_executable && caps.supports_frame_concurrency && caps.uses_plan,
+        "videopipe workers support engines that are host-executable, \
+         frame-concurrent plan consumers; '{}' is not",
+        spec.name()
+    );
+    if let Some(locked) = caps.interp_locked {
+        assert!(
+            interp == locked,
+            "the {} engine implements {} only",
+            spec.name(),
+            locked.name()
+        );
+    }
+    caps
+}
+
 /// Drive `source` through the correction pipeline to exhaustion and
 /// return the measurements. `on_frame` is invoked at the sink for
 /// every corrected frame, receiving the pooled output **by value**:
@@ -176,23 +204,13 @@ pub fn run_pipeline(
     mut on_frame: impl FnMut(u64, PooledFrame<Gray8>) + Send,
 ) -> PipeReport {
     assert!(config.workers >= 1, "need at least one worker");
-    match config.engine {
-        EngineSpec::Serial | EngineSpec::Simd => {}
-        EngineSpec::FixedPoint { frac_bits } => assert!(
+    let caps = check_worker_engine(&config.engine, config.interp);
+    if let Some(frac_bits) = caps.requires_lut {
+        assert!(
             plan.fixed(frac_bits).is_some(),
             "plan was not compiled with a {frac_bits}-bit LUT for engine '{}' — \
              compile it with PlanOptions::for_spec",
             config.engine.name()
-        ),
-        other => panic!(
-            "videopipe workers support engines serial/fixed/simd, got '{}'",
-            other.name()
-        ),
-    }
-    if config.engine == EngineSpec::Simd {
-        assert!(
-            config.interp == Interpolator::Bilinear,
-            "the simd engine implements bilinear only"
         );
     }
     let q_in: BoundedQueue<VideoFrame> = BoundedQueue::new(config.queue_capacity);
@@ -370,28 +388,16 @@ pub fn run_frame_pipeline(
         format.has_u8_planes(),
         "the frame pipeline corrects byte planes; '{format}' has none"
     );
-    match config.engine {
-        EngineSpec::Serial | EngineSpec::Simd => {}
-        EngineSpec::FixedPoint { frac_bits } => {
-            for class_plan in plan.plans() {
-                assert!(
-                    class_plan.fixed(frac_bits).is_some(),
-                    "a plane plan was not compiled with a {frac_bits}-bit LUT for engine \
-                     '{}' — compile the ViewPlan with PlanOptions::for_spec",
-                    config.engine.name()
-                );
-            }
+    let caps = check_worker_engine(&config.engine, config.interp);
+    if let Some(frac_bits) = caps.requires_lut {
+        for class_plan in plan.plans() {
+            assert!(
+                class_plan.fixed(frac_bits).is_some(),
+                "a plane plan was not compiled with a {frac_bits}-bit LUT for engine \
+                 '{}' — compile the ViewPlan with PlanOptions::for_spec",
+                config.engine.name()
+            );
         }
-        other => panic!(
-            "videopipe workers support engines serial/fixed/simd, got '{}'",
-            other.name()
-        ),
-    }
-    if config.engine == EngineSpec::Simd {
-        assert!(
-            config.interp == Interpolator::Bilinear,
-            "the simd engine implements bilinear only"
-        );
     }
     let labels = format.plane_labels();
     let q_in: BoundedQueue<FramePacket> = BoundedQueue::new(config.queue_capacity);
@@ -729,6 +735,52 @@ mod tests {
             got.unwrap(),
             correct(&base, plan.map(), Interpolator::Bilinear)
         );
+    }
+
+    #[test]
+    fn registry_admission_follows_capabilities() {
+        // The worker-pool gate is the capability triple, not an
+        // engine allow-list: walking the whole registry, every spec
+        // whose capabilities say host-executable + frame-concurrent +
+        // plan-consuming runs frames, and every other spec panics
+        // up front with the admission message. A new engine is
+        // admitted (or refused) here purely by what it declares.
+        for spec in EngineSpec::registry() {
+            let caps = spec.capabilities();
+            let admitted =
+                caps.host_executable && caps.supports_frame_concurrency && caps.uses_plan;
+            let name = spec.name();
+            let outcome = std::panic::catch_unwind(|| {
+                let plan = test_plan_for(&spec);
+                let base = random_gray(128, 96, 21);
+                let src = Box::new(ShiftVideo::new(base, 1, 2));
+                let config = PipeConfig {
+                    engine: spec,
+                    ..Default::default()
+                };
+                run_pipeline(src, &plan, config, |_, _| {}).frames
+            });
+            match outcome {
+                Ok(frames) => {
+                    assert!(admitted, "{name}: capabilities say reject, pipeline ran");
+                    assert_eq!(frames, 2, "{name}");
+                }
+                Err(payload) => {
+                    assert!(
+                        !admitted,
+                        "{name}: capabilities say admit, pipeline panicked"
+                    );
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .unwrap_or_default();
+                    assert!(
+                        msg.contains("videopipe workers support engines"),
+                        "{name}: unexpected panic: {msg}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -72,4 +72,25 @@ awk -v s="$min_speedup" 'BEGIN { exit !(s >= 1.3) }' \
   || { echo "bench-smoke: FAIL (fused post speedup ${min_speedup}x < 1.3x vs two-pass)"; exit 1; }
 echo "bench-smoke: t9 fused post ${max_overhead}x overhead <= 1.15x, ${min_speedup}x >= 1.3x vs two-pass, bit-exact"
 
+echo "bench-smoke: repro_t10_simt_codegen (quick scale)"
+cargo run --release --offline -p fisheye-bench --bin repro_t10_simt_codegen
+
+# The SIMT interpreter executes the same lowered kernel the WGSL/C
+# emitters render; its warp/coalescing counters must agree exactly
+# with gpusim's analytic model on every row, and both kernel
+# datapaths must stay bit-exact with their host references.
+json="results/BENCH_t10.json"
+[ -f "$json" ] || { echo "bench-smoke: FAIL ($json missing)"; exit 1; }
+grep -q '"counters_match": true' "$json" \
+  || { echo "bench-smoke: FAIL (simt counters drifted from gpusim, see $json)"; exit 1; }
+grep -q '"all_bit_exact": true' "$json" \
+  || { echo "bench-smoke: FAIL (simt kernel not bit-exact, see $json)"; exit 1; }
+echo "bench-smoke: t10 simt counters match gpusim exactly, kernels bit-exact"
+
+# Emitted kernel sources are pinned as snapshots; a drift here means
+# the WGSL/C emitters changed output without the snapshots (and the
+# review they force) being updated.
+echo "bench-smoke: fisheye-codegen kernel snapshots"
+cargo test --release --offline -p fisheye-codegen --test snapshots
+
 echo "bench-smoke: OK"

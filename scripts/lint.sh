@@ -42,6 +42,18 @@ for f in crates/fisheye-serve/src/wire.rs \
     || { echo "lint: FAIL ($f lost its panic-free deny attribute)"; exit 1; }
 done
 
+# The codegen crate's emitted kernels end up compiled into other
+# programs and its interpreter runs inside the engine registry: the
+# whole crate carries
+#   #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+# so every refusal is a typed CodegenError, never a panic. Clippy
+# enforces the attribute; the grep makes sure nobody quietly drops it.
+echo "lint: cargo clippy fisheye-codegen (panic-free crate)"
+cargo clippy --offline -p fisheye-codegen --no-deps --all-targets -- -D warnings
+tr -d ' \n' < crates/fisheye-codegen/src/lib.rs \
+  | grep -q '#!\[deny(clippy::unwrap_used,clippy::expect_used,clippy::panic' \
+  || { echo "lint: FAIL (fisheye-codegen lost its panic-free deny attribute)"; exit 1; }
+
 # The post stage sits on the per-pixel hot path of every backend and
 # inside the serving layer's degrade machinery: a panic there takes
 # frames (or sessions) down, so unwrap is banned in fisheye-core too.

@@ -66,6 +66,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::cell::{CellConfig, CellEngine};
+use crate::codegen::SimtEngine;
 use crate::core::engine::{build_host, CorrectionEngine, EngineError, EngineSpec, HostCtx};
 use crate::core::frame::{Frame, FrameCorrector, FrameEngines, FrameFormat, PlaneClass, ViewPlan};
 use crate::core::plan::plan_request_digest;
@@ -150,6 +151,7 @@ impl CorrectorPixel for Gray8 {
             EngineSpec::Gpu { .. } => {
                 Ok(Box::new(GpuEngine::from_spec(spec, ctx.gpu, ctx.interp)?))
             }
+            EngineSpec::Simt { .. } => Ok(Box::new(SimtEngine::from_spec(spec)?)),
             _ => build_host::<Gray8>(spec, &ctx.host()),
         }
     }
@@ -185,6 +187,7 @@ impl CorrectorPixel for GrayF32 {
             EngineSpec::Gpu { .. } => {
                 Ok(Box::new(GpuEngine::from_spec(spec, ctx.gpu, ctx.interp)?))
             }
+            EngineSpec::Simt { .. } => Ok(Box::new(SimtEngine::from_spec(spec)?)),
             _ => build_host::<GrayF32>(spec, &ctx.host()),
         }
     }

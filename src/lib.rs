@@ -16,6 +16,7 @@
 //! | [`gpu`] | the SIMT GPU platform model |
 //! | [`stream`] | the streaming/FPGA platform model |
 //! | [`video`] | the real-time video pipeline |
+//! | [`codegen`] | WGSL/C kernel emission and the SIMT batch interpreter |
 //!
 //! (The multi-session serving layer lives in the `fisheye-serve`
 //! crate, which builds on this facade's [`Corrector`].)
@@ -49,6 +50,7 @@
 //! [`EngineSpec`](crate::core::EngineSpec)'s `FromStr` if they arrive
 //! from a command line.
 
+pub mod codegen;
 pub mod corrector;
 pub mod engine;
 pub mod error;
@@ -71,6 +73,7 @@ pub use error::{Error, ErrorKind};
 /// pinned by `tests/api_surface.rs` — additions are deliberate,
 /// removals are breaking.
 pub mod prelude {
+    pub use crate::codegen::{emit_kernel, EmittedKernel, KernelTarget};
     pub use crate::core::{
         CorrectionEngine, CorrectionPipeline, DitherSeed, EngineSpec, FixedRemapMap, Frame,
         FrameCorrector, FrameFormat, FrameReport, Interpolator, Lut3d, PipelineConfig, PlanOptions,

@@ -16,6 +16,8 @@
 #![allow(unused_imports)]
 
 use fisheye::prelude::{
+    // codegen: kernel source emission from compiled plans
+    emit_kernel,
     // geom: lens and view models
     BrownConrady,
     // core: plans, maps, engines, pipeline
@@ -27,6 +29,7 @@ use fisheye::prelude::{
     CorrectorPixel,
     // post: the fused color pipeline
     DitherSeed,
+    EmittedKernel,
     EngineSpec,
     // error: the unified error type
     Error,
@@ -44,6 +47,7 @@ use fisheye::prelude::{
     GrayF32,
     Image,
     Interpolator,
+    KernelTarget,
     LensModel,
     Lut3d,
     OutputProjection,
@@ -89,6 +93,7 @@ fn parameterised_specs_round_trip() {
         "cell:48x16",
         "cell:16x16:single:q8",
         "gpu:512",
+        "simt:64",
     ] {
         let spec: EngineSpec = name.parse().expect(name);
         assert_eq!(spec.to_string().parse::<EngineSpec>().expect(name), spec);
@@ -153,6 +158,28 @@ fn prelude_is_sufficient_for_the_graded_path() {
     for tone in ToneMap::ALL {
         assert_eq!(ToneMap::parse(tone.name()), Some(tone));
     }
+}
+
+/// The codegen entry points are in the prelude: lowering a compiled
+/// plan to kernel source needs no `fisheye::codegen` path import, and
+/// refusals surface as `Error` with the stable `Codegen` kind.
+#[test]
+fn prelude_is_sufficient_for_kernel_emission() {
+    let lens = FisheyeLens::equidistant_fov(64, 48, 180.0);
+    let view = PerspectiveView::centered(32, 24, 90.0);
+    let map = RemapMap::build(&lens, &view, 64, 48);
+    let plan = RemapPlan::compile(&map, PlanOptions::default());
+    for target in [KernelTarget::Wgsl, KernelTarget::C] {
+        let kernel: EmittedKernel =
+            emit_kernel(&plan, &EngineSpec::Simt { workgroup: 64 }, target).expect("emit");
+        assert_eq!(kernel.target, target);
+        assert_eq!(kernel.plan_digest, plan.digest());
+        assert!(kernel.file_name().ends_with(target.file_extension()));
+        assert!(!kernel.source.is_empty());
+    }
+    let err: Error = emit_kernel(&plan, &EngineSpec::Direct, KernelTarget::Wgsl)
+        .expect_err("direct has no plan kernel");
+    assert_eq!(err.kind(), ErrorKind::Codegen);
 }
 
 /// Every `FrameFormat`'s `Display` form parses back to the same
